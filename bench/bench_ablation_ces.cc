@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Ablation: why Amdahl utility needed new market theory (Section V-D).
+ *
+ * Prior proportional-response theory covers CES utilities. This
+ * ablation fits the best CES surrogate c * x^rho to each workload's
+ * Amdahl speedup curve, runs the classical CES market with the
+ * surrogates, and scores the resulting allocation with the *true*
+ * Amdahl utilities — quantifying what the approximation costs versus
+ * the paper's exact Amdahl Bidding.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "core/amdahl.hh"
+#include "core/bidding.hh"
+#include "core/ces_market.hh"
+
+int
+main()
+{
+    using namespace amdahl;
+    bench::printHeader(
+        "Ablation: CES surrogate",
+        "Fit c*x^rho to Amdahl speedup curves; compare CES-market "
+        "allocations against exact Amdahl Bidding");
+
+    // Part 1: fit quality per parallel fraction.
+    TablePrinter fits;
+    fits.addColumn("f");
+    fits.addColumn("fitted rho");
+    fits.addColumn("fitted c");
+    fits.addColumn("RMS rel err");
+    for (double f : {0.53, 0.68, 0.85, 0.93, 0.96, 0.99}) {
+        double scale = 0.0, rho = 0.0;
+        const double err = core::fitCesToAmdahl(f, 24, scale, rho);
+        fits.beginRow().cell(f, 2).cell(rho, 3).cell(scale, 3).cell(
+            err, 4);
+    }
+    std::cout << "(a) CES fits to Amdahl speedup curves (1-24 cores)\n";
+    fits.print(std::cout);
+    std::cout << "\nLow-f curves saturate hard; a power law cannot "
+                 "track them, so the fit error grows as f falls.\n\n";
+
+    // Part 2: allocation quality. Two servers, three users.
+    struct Job
+    {
+        std::size_t server;
+        double f;
+    };
+    const std::vector<std::vector<Job>> user_jobs = {
+        {{0, 0.53}, {1, 0.93}},
+        {{0, 0.96}, {1, 0.68}},
+        {{0, 0.85}, {1, 0.99}},
+    };
+    const std::vector<double> budgets = {1.0, 1.0, 2.0};
+
+    core::FisherMarket amdahl_market({10.0, 10.0});
+    core::CesMarket ces_market({10.0, 10.0});
+    for (std::size_t i = 0; i < user_jobs.size(); ++i) {
+        core::MarketUser mu;
+        mu.name = "u" + std::to_string(i);
+        mu.budget = budgets[i];
+        core::CesUser cu;
+        cu.name = mu.name;
+        cu.budget = budgets[i];
+        double rho_sum = 0.0;
+        std::vector<double> scales;
+        for (const auto &job : user_jobs[i]) {
+            mu.jobs.push_back({job.server, job.f, 1.0});
+            double scale = 0.0, rho = 0.0;
+            core::fitCesToAmdahl(job.f, 24, scale, rho);
+            rho_sum += rho;
+            scales.push_back(scale);
+        }
+        // One rho per CES user: average of her jobs' fitted exponents;
+        // per-job scale enters through the weight (w^rho ~= c).
+        cu.rho = rho_sum / static_cast<double>(user_jobs[i].size());
+        for (std::size_t k = 0; k < user_jobs[i].size(); ++k) {
+            cu.jobs.push_back(
+                {user_jobs[i][k].server,
+                 std::pow(scales[k], 1.0 / cu.rho)});
+        }
+        amdahl_market.addUser(std::move(mu));
+        ces_market.addUser(std::move(cu));
+    }
+
+    const auto exact = core::solveAmdahlBidding(amdahl_market);
+    const auto surrogate = core::solveCesMarket(ces_market);
+
+    TablePrinter table;
+    table.addColumn("User", TablePrinter::Align::Left);
+    table.addColumn("AB x0");
+    table.addColumn("AB x1");
+    table.addColumn("CES x0");
+    table.addColumn("CES x1");
+    table.addColumn("u(AB)");
+    table.addColumn("u(CES)");
+    table.addColumn("loss %");
+    double worst_loss = 0.0;
+    for (std::size_t i = 0; i < user_jobs.size(); ++i) {
+        const auto utility = amdahl_market.utilityOf(i);
+        const double u_ab = utility.value(exact.allocation[i]);
+        const double u_ces = utility.value(surrogate.allocation[i]);
+        const double loss = 100.0 * (u_ab - u_ces) / u_ab;
+        worst_loss = std::max(worst_loss, loss);
+        table.beginRow()
+            .cell("u" + std::to_string(i))
+            .cell(exact.allocation[i][0], 2)
+            .cell(exact.allocation[i][1], 2)
+            .cell(surrogate.allocation[i][0], 2)
+            .cell(surrogate.allocation[i][1], 2)
+            .cell(u_ab, 3)
+            .cell(u_ces, 3)
+            .cell(loss, 2);
+    }
+    std::cout << "(b) allocations and true-Amdahl utilities\n";
+    table.print(std::cout);
+    std::cout << "\nAB iterations: " << exact.iterations
+              << ", CES PRD iterations: " << surrogate.iterations
+              << "; worst per-user utility loss of the surrogate: "
+              << formatDouble(worst_loss, 2)
+              << "%.\nThe surrogate misprices saturation, shifting "
+                 "cores toward jobs whose Amdahl curves have already "
+                 "flattened — the gap Amdahl Bidding closes by "
+                 "construction.\n";
+    return 0;
+}

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Ablation: Amdahl Bidding convergence knobs.
+ *
+ * (a) Termination threshold epsilon: the paper stops when prices move
+ *     less than a small threshold and reports convergence "often
+ *     within ten iterations" — this sweep shows how iteration counts
+ *     scale with epsilon, and that allocations are already accurate at
+ *     loose thresholds.
+ * (b) Damping: the plain proportional update (d = 1) against damped
+ *     variants, measuring iterations to the same tolerance.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/random.hh"
+#include "common/table.hh"
+#include "core/bidding.hh"
+#include "eval/experiment.hh"
+#include "sim/workload_library.hh"
+
+int
+main()
+{
+    using namespace amdahl;
+    bench::printHeader("Ablation: convergence",
+                       "Iterations and allocation accuracy vs epsilon "
+                       "and damping (48 users, s=0.5, d=12)");
+
+    // A fixed mid-size market.
+    Rng rng(0x5eed);
+    eval::PopulationOptions popts;
+    popts.users = bench::envInt("AMDAHL_BENCH_USERS", 48);
+    popts.serverMultiplier = 0.5;
+    popts.density = 12;
+    popts.workloadCount = sim::workloadLibrary().size();
+    const auto pop = eval::generatePopulation(rng, popts);
+    eval::CharacterizationCache cache;
+    const auto market =
+        eval::buildMarket(pop, cache, eval::FractionSource::Estimated);
+
+    // Reference: tight solve.
+    core::BiddingOptions tight;
+    tight.priceTolerance = 1e-10;
+    tight.maxIterations = 200000;
+    const auto reference = core::solveAmdahlBidding(market, tight);
+
+    auto allocation_error = [&](const core::BiddingResult &r) {
+        double worst = 0.0;
+        for (std::size_t i = 0; i < r.allocation.size(); ++i) {
+            for (std::size_t k = 0; k < r.allocation[i].size(); ++k) {
+                worst = std::max(worst,
+                                 std::abs(r.allocation[i][k] -
+                                          reference.allocation[i][k]));
+            }
+        }
+        return worst;
+    };
+
+    {
+        TablePrinter table;
+        table.addColumn("epsilon");
+        table.addColumn("iterations");
+        table.addColumn("max |x - x*| (cores)");
+        for (double eps : {1e-2, 1e-3, 1e-4, 1e-5, 1e-6}) {
+            core::BiddingOptions opts;
+            opts.priceTolerance = eps;
+            opts.maxIterations = 200000;
+            const auto r = core::solveAmdahlBidding(market, opts);
+            table.beginRow()
+                .cell(formatDouble(eps, 6))
+                .cell(r.iterations)
+                .cell(allocation_error(r), 4);
+        }
+        std::cout << "(a) termination threshold sweep\n";
+        table.print(std::cout);
+        std::cout << "\nLoose thresholds already land within a "
+                     "fraction of a core of the exact equilibrium — "
+                     "the paper's ~10-iteration regime.\n\n";
+    }
+
+    {
+        TablePrinter table;
+        table.addColumn("damping");
+        table.addColumn("iterations");
+        table.addColumn("converged");
+        for (double d : {1.0, 0.9, 0.7, 0.5, 0.3}) {
+            core::BiddingOptions opts;
+            opts.priceTolerance = 1e-6;
+            opts.maxIterations = 200000;
+            opts.damping = d;
+            const auto r = core::solveAmdahlBidding(market, opts);
+            table.beginRow()
+                .cell(d, 1)
+                .cell(r.iterations)
+                .cell(r.converged ? "yes" : "no");
+        }
+        std::cout << "(b) damping sweep (epsilon = 1e-6)\n";
+        table.print(std::cout);
+        std::cout << "\nThe plain proportional update (damping 1.0) is "
+                     "fastest; damping only trades speed for stability "
+                     "margin.\n\n";
+    }
+
+    {
+        TablePrinter table;
+        table.addColumn("schedule", TablePrinter::Align::Left);
+        table.addColumn("iterations");
+        table.addColumn("max |x - x*| (cores)");
+        for (auto schedule : {core::UpdateSchedule::Synchronous,
+                              core::UpdateSchedule::GaussSeidel}) {
+            core::BiddingOptions opts;
+            opts.priceTolerance = 1e-6;
+            opts.maxIterations = 200000;
+            opts.schedule = schedule;
+            const auto r = core::solveAmdahlBidding(market, opts);
+            table.beginRow()
+                .cell(schedule == core::UpdateSchedule::Synchronous
+                          ? "synchronous"
+                          : "gauss-seidel")
+                .cell(r.iterations)
+                .cell(allocation_error(r), 4);
+        }
+        std::cout << "(c) update schedule (epsilon = 1e-6)\n";
+        table.print(std::cout);
+        std::cout << "\nGauss-Seidel (a centralized coordinator's "
+                     "natural order) reaches the same equilibrium; "
+                     "synchronous updates model the distributed "
+                     "deployment where users bid in parallel.\n\n";
+    }
+
+    {
+        // (d) warm start: an epoch-based deployment re-clears a
+        // slightly perturbed market; last epoch's bids are nearly
+        // right. Perturb every parallel fraction by a few percent and
+        // re-solve cold vs warm.
+        core::FisherMarket perturbed(market.capacities());
+        Rng jitter(0x3a97);
+        for (std::size_t i = 0; i < market.userCount(); ++i) {
+            core::MarketUser user = market.user(i);
+            for (auto &job : user.jobs) {
+                job.parallelFraction = std::min(
+                    0.999, std::max(0.05, job.parallelFraction *
+                                              jitter.uniform(0.97,
+                                                             1.03)));
+            }
+            perturbed.addUser(std::move(user));
+        }
+        core::BiddingOptions cold;
+        cold.priceTolerance = 1e-6;
+        cold.maxIterations = 200000;
+        const auto cold_run = core::solveAmdahlBidding(perturbed, cold);
+        auto warm = cold;
+        warm.initialBids = reference.bids; // unperturbed equilibrium
+        const auto warm_run = core::solveAmdahlBidding(perturbed, warm);
+
+        TablePrinter table;
+        table.addColumn("start", TablePrinter::Align::Left);
+        table.addColumn("iterations");
+        table.beginRow().cell("cold (even split)").cell(
+            cold_run.iterations);
+        table.beginRow().cell("warm (previous equilibrium)").cell(
+            warm_run.iterations);
+        std::cout << "(d) warm start on a +/-3%-perturbed market "
+                     "(epsilon = 1e-6)\n";
+        table.print(std::cout);
+        std::cout << "\nRe-clearing from the previous epoch's bids "
+                     "cuts convergence work — the natural deployment "
+                     "optimization for periodic markets.\n";
+    }
+    return 0;
+}

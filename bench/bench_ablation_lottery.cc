@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Ablation: lottery scheduling vs deterministic mechanisms.
+ *
+ * Lottery scheduling (Section II-A's probabilistic entitlement
+ * mechanism, used in practice via token schedulers) matches
+ * proportional sharing in expectation but any single raffle deviates.
+ * This ablation quantifies the raffle variance and compares measured
+ * system progress against PS and the market.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "alloc/amdahl_bidding_policy.hh"
+#include "alloc/lottery.hh"
+#include "alloc/proportional_fairness.hh"
+#include "alloc/proportional_share.hh"
+#include "bench_util.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "core/entitlement.hh"
+#include "eval/experiment.hh"
+#include "eval/metrics.hh"
+#include "sim/workload_library.hh"
+
+int
+main()
+{
+    using namespace amdahl;
+    bench::printHeader(
+        "Ablation: lottery scheduling",
+        "Raffle variance and measured progress of LS vs PS vs AB");
+
+    Rng rng(0x10771);
+    eval::PopulationOptions popts;
+    popts.users = 32;
+    popts.serverMultiplier = 0.5;
+    popts.density = 12;
+    popts.workloadCount = sim::workloadLibrary().size();
+    const auto pop = eval::generatePopulation(rng, popts);
+
+    eval::CharacterizationCache cache;
+    const auto market =
+        eval::buildMarket(pop, cache, eval::FractionSource::Estimated);
+    eval::ProgressEvaluator evaluator(cache);
+    const auto entitled = core::entitledCoresPerUser(market);
+
+    auto mape_of = [&](const alloc::AllocationResult &result) {
+        double mape = 0.0;
+        for (std::size_t i = 0; i < pop.userCount(); ++i) {
+            mape += std::abs(result.userCores(i) - entitled[i]) /
+                    entitled[i];
+        }
+        return 100.0 * mape / static_cast<double>(pop.userCount());
+    };
+
+    // Lottery: average over raffles; also track per-user variance.
+    OnlineStats ls_progress, ls_mape;
+    std::vector<OnlineStats> per_user(pop.userCount());
+    const int raffles = 50;
+    for (int s = 0; s < raffles; ++s) {
+        const auto result =
+            alloc::LotteryPolicy(static_cast<std::uint64_t>(s))
+                .allocate(market);
+        ls_progress.add(evaluator.systemProgress(pop, result.cores));
+        ls_mape.add(mape_of(result));
+        for (std::size_t i = 0; i < pop.userCount(); ++i)
+            per_user[i].add(result.userCores(i));
+    }
+    OnlineStats stddevs;
+    for (const auto &stats : per_user)
+        stddevs.add(stats.stddev());
+
+    const auto ps = alloc::ProportionalShare().allocate(market);
+    const auto ab = alloc::AmdahlBiddingPolicy().allocate(market);
+    const auto pf = alloc::ProportionalFairnessPolicy().allocate(market);
+
+    TablePrinter table;
+    table.addColumn("Policy", TablePrinter::Align::Left);
+    table.addColumn("SysProgress");
+    table.addColumn("MAPE %");
+    table.addColumn("per-user core stddev");
+    table.beginRow()
+        .cell("LS (mean of " + std::to_string(raffles) + " raffles)")
+        .cell(ls_progress.mean(), 3)
+        .cell(ls_mape.mean(), 1)
+        .cell(stddevs.mean(), 2);
+    table.beginRow()
+        .cell("PS")
+        .cell(evaluator.systemProgress(pop, ps.cores), 3)
+        .cell(mape_of(ps), 1)
+        .cell(0.0, 2);
+    table.beginRow()
+        .cell("AB")
+        .cell(evaluator.systemProgress(pop, ab.cores), 3)
+        .cell(mape_of(ab), 1)
+        .cell(0.0, 2);
+    table.beginRow()
+        .cell("PF (Eisenberg-Gale)")
+        .cell(evaluator.systemProgress(pop, pf.cores), 3)
+        .cell(mape_of(pf), 1)
+        .cell(0.0, 2);
+    bench::emitTable(table, "lottery");
+
+    std::cout << "\nLS tracks PS in expectation (it raffles the same "
+                 "shares) but individual users' allocations wobble by "
+                 "several cores between raffles; the market delivers "
+                 "both better progress and tighter entitlement "
+                 "tracking, deterministically. PF — the Eisenberg-Gale "
+                 "optimum, computed by generic projected-gradient "
+                 "optimization — lands near the market on progress but "
+                 "tracks entitlements less tightly (Amdahl utility is "
+                 "not homogeneous, so PF and the equilibrium are "
+                 "different points; THEORY.md 4a), needs centralized "
+                 "gradient optimization rather than decentralized "
+                 "bids, and its entitlement guarantee comes with no "
+                 "per-user afford-your-share certificate.\n";
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 10: per-entitlement-class performance (mean user utility per
+ * class, normalized to PS's value for that class).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "eval/population.hh"
+
+int
+main()
+{
+    using namespace amdahl;
+    bench::printHeader(
+        "Figure 10", "Per-class user progress normalized to PS "
+                     "(budgets proportional to class, density 12)");
+
+    eval::ExperimentDriver driver(bench::benchConfig());
+    const auto row = driver.runDensityPoint(12);
+
+    TablePrinter table;
+    table.addColumn("Policy", TablePrinter::Align::Left);
+    for (int cls = 1; cls <= 5; ++cls)
+        table.addColumn("Class " + std::to_string(cls));
+
+    for (const char *name : {"G", "PS", "AB", "BR", "UB"}) {
+        const auto &metrics = row.byPolicy.at(name);
+        const auto &ps = row.byPolicy.at("PS");
+        table.beginRow().cell(name);
+        for (int cls = 1; cls <= 5; ++cls) {
+            const auto it = metrics.classProgress.find(cls);
+            const auto ps_it = ps.classProgress.find(cls);
+            if (it == metrics.classProgress.end() ||
+                ps_it == ps.classProgress.end()) {
+                table.cell("-");
+            } else {
+                table.cell(it->second / ps_it->second, 3);
+            }
+        }
+    }
+    bench::emitTable(table, "fig10");
+
+    std::cout << "\nExpected shape (paper): G disadvantages high "
+                 "classes; UB favors them; AB and BR track entitlements "
+                 "across every class while beating PS.\n";
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Figure 13: Amdahl Bidding iterations to convergence as a function of
+ * the user count, the server multiplier, and the workload density.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "eval/population.hh"
+
+int
+main()
+{
+    using namespace amdahl;
+    bench::printHeader("Figure 13",
+                       "Mean Amdahl Bidding iterations to convergence "
+                       "vs users / servers / density");
+
+    auto cfg = bench::benchConfig();
+    eval::ExperimentDriver driver(cfg);
+    const int pops = cfg.populationsPerPoint;
+
+    {
+        TablePrinter table;
+        table.addColumn("Users");
+        table.addColumn("Iterations");
+        for (int users : {20, 40, 80, 160}) {
+            table.beginRow().cell(users).cell(
+                driver.meanBiddingIterations(users, 0.5, 12, pops), 1);
+        }
+        std::cout << "(a) vs user count (s=0.5, d=12)\n";
+        table.print(std::cout);
+    }
+    {
+        TablePrinter table;
+        table.addColumn("Multiplier");
+        table.addColumn("Servers");
+        table.addColumn("Iterations");
+        for (double s : eval::paperServerMultipliers()) {
+            table.beginRow()
+                .cell(s, 2)
+                .cell(static_cast<int>(std::ceil(s * cfg.users)))
+                .cell(driver.meanBiddingIterations(cfg.users, s, 12,
+                                                   pops),
+                      1);
+        }
+        std::cout << "\n(b) vs server multiplier (n=" << cfg.users
+                  << ", d=12)\n";
+        table.print(std::cout);
+    }
+    {
+        TablePrinter table;
+        table.addColumn("Density");
+        table.addColumn("Iterations");
+        for (int d : eval::paperDensityLadder()) {
+            table.beginRow().cell(d).cell(
+                driver.meanBiddingIterations(cfg.users, 0.5, d, pops),
+                1);
+        }
+        std::cout << "\n(c) vs workload density (n=" << cfg.users
+                  << ", s=0.5)\n";
+        table.print(std::cout);
+    }
+
+    std::cout << "\nExpected shape (paper): iterations grow with the "
+                 "user population, shrink with more servers (smaller "
+                 "bids per job), and respond non-monotonically to "
+                 "density.\n";
+    return 0;
+}

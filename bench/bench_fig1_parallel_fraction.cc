@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 1: calculated parallel fraction F(x) for representative Spark
+ * workloads as the processor count varies.
+ *
+ * Flat series indicate Amdahl's Law models the workload well; series
+ * that fall with core count reveal parallelization overheads
+ * (communication, locks, scheduling).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "profiling/karp_flatt.hh"
+#include "profiling/profiler.hh"
+#include "sim/workload_library.hh"
+
+int
+main()
+{
+    using namespace amdahl;
+    bench::printHeader("Figure 1",
+                       "Karp-Flatt parallel fraction F(x) vs core count "
+                       "for representative Spark workloads");
+
+    const std::vector<std::string> names = {
+        "correlation", "decision", "fpgrowth",
+        "gradient",    "kmeans",   "linear"};
+    const std::vector<int> cores = {2, 4, 6, 8, 12, 16, 20, 24};
+    const profiling::Profiler profiler{sim::TaskSimulator(),
+                                       std::vector<int>(cores)};
+
+    TablePrinter table;
+    table.addColumn("Workload", TablePrinter::Align::Left);
+    for (int x : cores)
+        table.addColumn("F(" + std::to_string(x) + ")");
+
+    for (const auto &name : names) {
+        const auto &w = sim::findWorkload(name);
+        const auto profile = profiler.profile(w, {w.datasetGB});
+        const auto est =
+            profiling::estimateFraction(profile, w.datasetGB);
+        table.beginRow().cell(name);
+        for (double f : est.fractions)
+            table.cell(f, 3);
+    }
+    bench::emitTable(table, "fig1");
+
+    std::cout << "\nFlat rows track Amdahl's Law; falling rows (graph "
+                 "analytics would fall further) show overheads growing "
+                 "with parallelism. kmeans is noisy: its 327 MB dataset "
+                 "yields only 11 tasks.\n";
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 2: expected parallel fraction E[F] = mean_x F(x) for every
+ * Table I application.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "profiling/karp_flatt.hh"
+#include "profiling/profiler.hh"
+#include "sim/workload_library.hh"
+
+int
+main()
+{
+    using namespace amdahl;
+    bench::printHeader("Figure 2",
+                       "Expected parallel fraction E[F] per application "
+                       "(paper range: ~0.55 to ~0.99)");
+
+    const profiling::Profiler profiler((sim::TaskSimulator()));
+
+    TablePrinter table;
+    table.addColumn("ID");
+    table.addColumn("Workload", TablePrinter::Align::Left);
+    table.addColumn("E[F]");
+
+    double lo = 1.0, hi = 0.0;
+    for (const auto &w : sim::workloadLibrary()) {
+        const auto profile = profiler.profile(w, {w.datasetGB});
+        const auto est =
+            profiling::estimateFraction(profile, w.datasetGB);
+        table.beginRow().cell(w.id).cell(w.name).cell(est.expected, 3);
+        lo = std::min(lo, est.expected);
+        hi = std::max(hi, est.expected);
+    }
+    bench::emitTable(table, "fig2");
+    std::cout << "\nRange: " << formatDouble(lo, 3) << " to "
+              << formatDouble(hi, 3) << "\n";
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 7: predicted vs measured execution time for the Decision Tree
+ * workload across processor allocations, predicting the full dataset
+ * from sampled-dataset profiles.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "profiling/predictor.hh"
+#include "profiling/profiler.hh"
+#include "profiling/sampler.hh"
+#include "sim/workload_library.hh"
+
+int
+main()
+{
+    using namespace amdahl;
+    bench::printHeader("Figure 7",
+                       "Predicted vs measured execution time (decision "
+                       "tree, full 24 GB dataset)");
+
+    const auto &w = sim::findWorkload("decision");
+    const profiling::Profiler profiler((sim::TaskSimulator()));
+    const auto plan = profiling::planSamples(w);
+    const auto predictor = profiling::PerformancePredictor::fit(
+        profiler.profile(w, plan.sampleSizesGB));
+
+    const sim::TaskSimulator sim;
+    const std::vector<int> cores = {1, 2, 4, 6, 8, 12, 16, 20, 24};
+    const auto report = profiling::evaluatePredictor(
+        predictor, sim, w, w.datasetGB, cores);
+
+    TablePrinter table;
+    table.addColumn("Cores");
+    table.addColumn("Measured(s)");
+    table.addColumn("Estimated(s)");
+    table.addColumn("Error(%)");
+    for (std::size_t k = 0; k < cores.size(); ++k) {
+        table.beginRow()
+            .cell(cores[k])
+            .cell(report.measuredSeconds[k], 1)
+            .cell(report.predictedSeconds[k], 1)
+            .cell(report.errorPercent[k], 2);
+    }
+    bench::emitTable(table, "fig7");
+    std::cout << "\nMean error: "
+              << formatDouble(report.meanErrorPercent, 2)
+              << "% (estimated parallel fraction "
+              << formatDouble(predictor.parallelFraction(), 3) << ")\n";
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Table I: workloads and datasets, extended with the measured
+ * characterization our simulator produces for each benchmark.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "eval/characterization.hh"
+#include "sim/workload_library.hh"
+
+int
+main()
+{
+    using namespace amdahl;
+    bench::printHeader(
+        "Table I", "Workloads and datasets (12 Spark + 10 PARSEC), with "
+                   "measured/estimated parallel fractions");
+
+    eval::CharacterizationCache cache;
+
+    TablePrinter table;
+    table.addColumn("ID");
+    table.addColumn("Name", TablePrinter::Align::Left);
+    table.addColumn("Application", TablePrinter::Align::Left);
+    table.addColumn("Suite", TablePrinter::Align::Left);
+    table.addColumn("Dataset", TablePrinter::Align::Left);
+    table.addColumn("Size(GB)");
+    table.addColumn("T1(s)");
+    table.addColumn("F(meas)");
+    table.addColumn("F(est)");
+
+    const auto &library = sim::workloadLibrary();
+    for (std::size_t i = 0; i < library.size(); ++i) {
+        const auto &w = library[i];
+        const auto &c = cache.of(i);
+        table.beginRow()
+            .cell(w.id)
+            .cell(w.name)
+            .cell(w.application)
+            .cell(toString(w.suite))
+            .cell(w.dataset)
+            .cell(w.datasetGB, 3)
+            .cell(c.t1Seconds, 1)
+            .cell(c.measuredFraction, 3)
+            .cell(c.estimatedFraction, 3);
+    }
+    bench::emitTable(table, "table1");
+    return 0;
+}

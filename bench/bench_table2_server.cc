@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Table II: the simulated server specification.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "sim/server.hh"
+
+int
+main()
+{
+    using namespace amdahl;
+    bench::printHeader("Table II", "Server specification (simulated)");
+
+    const sim::ServerConfig server;
+    TablePrinter table;
+    table.addColumn("Component", TablePrinter::Align::Left);
+    table.addColumn("Specification", TablePrinter::Align::Left);
+    table.addRow({"Processor", server.model});
+    table.addRow({"Sockets",
+                  std::to_string(server.sockets) + " Sockets, NUMA Node"});
+    table.addRow({"Cores", std::to_string(server.coresPerSocket) +
+                               " Cores per Socket, " +
+                               std::to_string(server.threadsPerCore) +
+                               " Threads per Core"});
+    table.addRow({"Cache", server.l1ICache + " L1 ICache, " +
+                               server.l1DCache + " L1 DCache, " +
+                               server.l2Cache + " L2 Cache, " +
+                               server.l3Cache + " L3 Cache"});
+    table.addRow({"Memory", formatDouble(server.memoryGB, 0) + " GB DRAM, " +
+                                formatDouble(server.memoryBandwidthGBps, 1) +
+                                " GB/s bandwidth ceiling"});
+    table.addRow({"Allocatable cores", std::to_string(server.cores())});
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared helpers for the per-figure bench binaries.
+ *
+ * Every binary regenerates the rows/series of one table or figure from
+ * the paper. Scale knobs default to a configuration that finishes in
+ * seconds; set AMDAHL_BENCH_POPULATIONS / AMDAHL_BENCH_USERS to larger
+ * values (the paper used 50 populations of 40-1000 users) for
+ * higher-fidelity runs.
+ */
+
+#ifndef AMDAHL_BENCH_BENCH_UTIL_HH
+#define AMDAHL_BENCH_BENCH_UTIL_HH
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/table.hh"
+#include "eval/experiment.hh"
+
+namespace amdahl::bench {
+
+/** Read a positive integer environment override. */
+inline int
+envInt(const char *name, int fallback)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr)
+        return fallback;
+    const int parsed = std::atoi(value);
+    return parsed > 0 ? parsed : fallback;
+}
+
+/** Shared experiment configuration for the Figure 9-13 benches. */
+inline eval::ExperimentDriver::Config
+benchConfig()
+{
+    eval::ExperimentDriver::Config cfg;
+    cfg.seed = 0x48504341; // "HPCA"
+    cfg.populationsPerPoint = envInt("AMDAHL_BENCH_POPULATIONS", 5);
+    cfg.users = envInt("AMDAHL_BENCH_USERS", 48);
+    cfg.serverMultiplier = 0.5;
+    cfg.includeBestResponse = true;
+    return cfg;
+}
+
+/** Print the standard bench header. */
+inline void
+printHeader(const std::string &experiment, const std::string &caption)
+{
+    std::cout << "== " << experiment << " ==\n"
+              << caption << "\n\n";
+}
+
+/**
+ * Print a result table and, when AMDAHL_BENCH_CSV_DIR is set, also
+ * dump it as <dir>/<name>.csv for external re-plotting.
+ */
+inline void
+emitTable(const TablePrinter &table, const std::string &name)
+{
+    table.print(std::cout);
+    if (const char *dir = std::getenv("AMDAHL_BENCH_CSV_DIR")) {
+        const std::string path = std::string(dir) + "/" + name + ".csv";
+        std::ofstream out(path);
+        if (out) {
+            table.writeCsv(out);
+            std::cerr << "wrote " << path << "\n";
+        } else {
+            std::cerr << "could not open " << path << "\n";
+        }
+    }
+}
+
+} // namespace amdahl::bench
+
+#endif // AMDAHL_BENCH_BENCH_UTIL_HH

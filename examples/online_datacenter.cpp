@@ -1,0 +1,99 @@
+/**
+ * @file
+ * An hour in the life of a shared cluster: jobs arrive continuously,
+ * the market re-clears every epoch, and completed jobs free their
+ * cores. Compares Amdahl Bidding against per-server Proportional
+ * Sharing on the identical arrival stream.
+ *
+ * Build & run:  ./build/examples/online_datacenter [servers] [rate]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+#include <vector>
+
+#include "alloc/amdahl_bidding_policy.hh"
+#include "alloc/greedy.hh"
+#include "alloc/proportional_share.hh"
+#include "common/table.hh"
+#include "eval/online.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace amdahl;
+
+    eval::OnlineOptions opts;
+    opts.servers = argc > 1 ? std::atoi(argv[1]) : 8;
+    opts.arrivalsPerServerEpoch =
+        argc > 2 ? std::atof(argv[2]) : 2.0;
+    opts.users = 2 * opts.servers;
+    opts.horizonSeconds = 3600.0;
+    opts.workScaleMin = 0.5;
+    opts.workScaleMax = 2.5;
+
+    std::cout << "Online datacenter: " << opts.servers << " servers x "
+              << opts.coresPerServer << " cores, " << opts.users
+              << " tenants, "
+              << formatDouble(opts.arrivalsPerServerEpoch, 2)
+              << " arrivals/server/epoch, "
+              << formatDouble(opts.horizonSeconds / 60.0, 0)
+              << " minutes simulated, market re-clears every "
+              << formatDouble(opts.epochSeconds, 0) << " s\n\n";
+
+    eval::CharacterizationCache cache;
+    eval::OnlineSimulator sim(cache, opts);
+
+    TablePrinter table;
+    table.addColumn("Policy", TablePrinter::Align::Left);
+    table.addColumn("arrived");
+    table.addColumn("completed");
+    table.addColumn("work done (1-core h)");
+    table.addColumn("mean compl (min)");
+    table.addColumn("p95 compl (min)");
+    table.addColumn("avg jobs in system");
+    table.addColumn("weighted speedup");
+
+    std::vector<std::pair<std::string, eval::OnlineMetrics>> runs;
+    auto run = [&](const alloc::AllocationPolicy &policy,
+                   eval::FractionSource source) {
+        const auto m = sim.run(policy, source);
+        table.beginRow()
+            .cell(m.policyName)
+            .cell(m.jobsArrived)
+            .cell(m.jobsCompleted)
+            .cell(m.workCompleted / 3600.0, 2)
+            .cell(m.meanCompletionSeconds / 60.0, 1)
+            .cell(m.p95CompletionSeconds / 60.0, 1)
+            .cell(m.meanJobsInSystem, 1)
+            .cell(m.meanWeightedSpeedup, 2);
+        runs.emplace_back(m.policyName, m);
+    };
+    run(alloc::ProportionalShare(), eval::FractionSource::Measured);
+    run(alloc::AmdahlBiddingPolicy(), eval::FractionSource::Estimated);
+    run(alloc::GreedyPolicy(), eval::FractionSource::Measured);
+    table.print(std::cout);
+
+    std::cout << "\nBacklog over the hour (jobs in system per epoch):\n";
+    for (const auto &[name, m] : runs) {
+        std::cout << "  " << name << "  "
+                  << sparkline(m.occupancyHistory) << "\n";
+    }
+    std::cout << "Entitlement-weighted speedup per epoch:\n";
+    for (const auto &[name, m] : runs) {
+        std::cout << "  " << name << "  "
+                  << sparkline(m.speedupHistory) << "\n";
+    }
+
+    std::cout << "\nAll policies face the identical arrival stream. "
+                 "The market sustains the highest entitlement-weighted "
+                 "speedup — the objective it clears for — while "
+                 "completing as much work as fair sharing. Greedy "
+                 "posts an even higher instantaneous speedup but "
+                 "starves poorly scaling jobs (fewest completions, "
+                 "largest backlog): progress-only objectives are not "
+                 "throughput, which is exactly why entitlements "
+                 "matter in a shared system.\n";
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The Section III-IV profiling pipeline, end to end, for one workload:
+ *
+ *   sample datasets -> profile (cores x sizes) -> Karp-Flatt -> linear
+ *   models -> predict full-dataset execution times -> validate.
+ *
+ * Build & run:  ./build/examples/profiling_pipeline [workload]
+ */
+
+#include <iostream>
+#include <string>
+
+#include "common/table.hh"
+#include "profiling/karp_flatt.hh"
+#include "profiling/predictor.hh"
+#include "profiling/profiler.hh"
+#include "profiling/sampler.hh"
+#include "sim/task_sim.hh"
+#include "sim/workload_library.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace amdahl;
+    const std::string name = argc > 1 ? argv[1] : "decision";
+    const auto &workload = sim::findWorkload(name);
+
+    std::cout << "Profiling pipeline for '" << name << "' ("
+              << toString(workload.suite) << ", "
+              << formatDouble(workload.datasetGB, 2) << " GB "
+              << workload.dataset << ")\n\n";
+
+    // 1. Plan sampled datasets (small subsets of the full input).
+    const auto plan = profiling::planSamples(workload);
+    std::cout << "Sampled sizes (GB):";
+    for (double gb : plan.sampleSizesGB)
+        std::cout << " " << formatDouble(gb, 2);
+    std::cout << "\n\n";
+
+    // 2. Profile execution across the (cores x sizes) grid.
+    const profiling::Profiler profiler((sim::TaskSimulator()));
+    const auto profile = profiler.profile(workload, plan.sampleSizesGB);
+
+    // 3. Karp-Flatt analysis per sampled dataset.
+    TablePrinter kf;
+    kf.addColumn("Dataset(GB)");
+    kf.addColumn("E[F]");
+    kf.addColumn("Var(F)");
+    for (double gb : profile.datasetsGB) {
+        const auto est = profiling::estimateFraction(profile, gb);
+        kf.beginRow().cell(gb, 2).cell(est.expected, 3).cell(
+            formatDouble(est.variance, 6));
+    }
+    kf.print(std::cout);
+
+    // 4. Fit the performance predictor (linear models + Amdahl).
+    const auto predictor = profiling::PerformancePredictor::fit(profile);
+    std::cout << "\nEstimated parallel fraction: "
+              << formatDouble(predictor.parallelFraction(), 3) << "\n\n";
+
+    // 5. Predict the *full* dataset at unseen allocations; validate
+    //    against fresh simulated measurements.
+    const sim::TaskSimulator sim;
+    const auto report = profiling::evaluatePredictor(
+        predictor, sim, workload, workload.datasetGB,
+        {1, 2, 4, 8, 16, 24});
+
+    TablePrinter table;
+    table.addColumn("Cores");
+    table.addColumn("Predicted(s)");
+    table.addColumn("Measured(s)");
+    table.addColumn("Error(%)");
+    for (std::size_t k = 0; k < report.coreCounts.size(); ++k) {
+        table.beginRow()
+            .cell(report.coreCounts[k])
+            .cell(report.predictedSeconds[k], 1)
+            .cell(report.measuredSeconds[k], 1)
+            .cell(report.errorPercent[k], 2);
+    }
+    table.print(std::cout);
+    std::cout << "\nMean prediction error: "
+              << formatDouble(report.meanErrorPercent, 2) << "%\n";
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * A look inside the execution simulator: per-stage timing breakdowns
+ * for one workload across core allocations, showing where Amdahl's Law
+ * holds and where overheads (dispatch, communication, bandwidth) bend
+ * the curve.
+ *
+ * Build & run:  ./build/examples/simulator_trace [workload] [gb]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table.hh"
+#include "core/amdahl.hh"
+#include "sim/task_sim.hh"
+#include "sim/workload_library.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace amdahl;
+    const std::string name = argc > 1 ? argv[1] : "pagerank";
+    const auto &workload = sim::findWorkload(name);
+    const double gb =
+        argc > 2 ? std::atof(argv[2]) : workload.datasetGB;
+
+    std::cout << "Execution trace for '" << name << "' on "
+              << formatDouble(gb, 2) << " GB (structural parallel "
+              << "fraction "
+              << formatDouble(workload.structuralParallelFraction(), 3)
+              << ")\n\n";
+
+    const sim::TaskSimulator sim;
+    const double t1 = sim.executionSeconds(workload, gb, 1);
+
+    for (int cores : {1, 4, 12, 24}) {
+        const auto result = sim.execute(workload, gb, cores);
+        std::cout << "--- " << cores << " core(s): total "
+                  << formatDouble(result.totalSeconds, 2)
+                  << " s, speedup "
+                  << formatDouble(t1 / result.totalSeconds, 2)
+                  << " (Amdahl bound "
+                  << formatDouble(
+                         core::amdahlSpeedup(
+                             workload.structuralParallelFraction(),
+                             cores),
+                         2)
+                  << ")\n";
+        TablePrinter table;
+        table.addColumn("Stage", TablePrinter::Align::Left);
+        table.addColumn("start(s)");
+        table.addColumn("end(s)");
+        table.addColumn("tasks");
+        table.addColumn("workers");
+        table.addColumn("serial(s)");
+        table.addColumn("comm(s)");
+        table.addColumn("bw slowdown");
+        for (const auto &stage : result.stages) {
+            table.beginRow()
+                .cell(stage.label)
+                .cell(stage.startSeconds, 2)
+                .cell(stage.endSeconds, 2)
+                .cell(stage.tasks)
+                .cell(stage.workers)
+                .cell(stage.serialSeconds, 2)
+                .cell(stage.commSeconds, 2)
+                .cell(stage.bandwidthSlowdown, 2);
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+
+    std::cout << "Measured speedups trail the Amdahl bound exactly by "
+                 "the overhead columns: serialized dispatch, "
+                 "communication growing with workers, and DRAM "
+                 "bandwidth saturation.\n";
+    return 0;
+}

@@ -1,0 +1,17 @@
+#include "amdahl_bidding_policy.hh"
+
+#include "core/rounding.hh"
+
+namespace amdahl::alloc {
+
+AllocationResult
+AmdahlBiddingPolicy::allocate(const core::FisherMarket &market) const
+{
+    AllocationResult result;
+    result.policyName = name();
+    result.outcome = core::solveAmdahlBidding(market, opts);
+    result.cores = core::roundOutcome(market, result.outcome);
+    return result;
+}
+
+} // namespace amdahl::alloc

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Performance-centric greedy mechanisms: Greedy (G) and Upper-Bound
+ * (UB) from Section VI-A.
+ *
+ * Both allocate each server's cores one at a time to the job with the
+ * greatest marginal gain, using an oracle (here: Amdahl's Law with the
+ * market's parallel fractions) to predict speedups. They differ only in
+ * how a user's progress is weighted:
+ *
+ *  - G  maximizes unweighted aggregate user progress — it ignores
+ *    entitlements entirely;
+ *  - UB maximizes the paper's system-progress objective (Eq. 10), which
+ *    weights each user's progress by her entitlement share b_i / B.
+ *
+ * Because the objective is separable and concave in per-job cores,
+ * per-core greedy assignment yields the *optimal* integral allocation
+ * for the respective objective — hence "upper bound".
+ */
+
+#ifndef AMDAHL_ALLOC_GREEDY_HH
+#define AMDAHL_ALLOC_GREEDY_HH
+
+#include "alloc/policy.hh"
+
+namespace amdahl::alloc {
+
+/** Shared engine; see GreedyPolicy and UpperBoundPolicy. */
+class MarginalGreedyBase : public AllocationPolicy
+{
+  public:
+    AllocationResult allocate(
+        const core::FisherMarket &market) const override;
+
+  protected:
+    /**
+     * @return The per-user multiplier applied to marginal progress
+     * (1 for G; the budget for UB — a positive rescaling of b_i / B).
+     */
+    virtual double userWeight(const core::FisherMarket &market,
+                              std::size_t i) const = 0;
+};
+
+/** Greedy (G): entitlement-blind progress maximization. */
+class GreedyPolicy : public MarginalGreedyBase
+{
+  public:
+    std::string name() const override { return "G"; }
+
+  protected:
+    double userWeight(const core::FisherMarket &,
+                      std::size_t) const override
+    {
+        return 1.0;
+    }
+};
+
+/** Upper-Bound (UB): maximizes system progress, Eq. 10. */
+class UpperBoundPolicy : public MarginalGreedyBase
+{
+  public:
+    std::string name() const override { return "UB"; }
+
+  protected:
+    double userWeight(const core::FisherMarket &market,
+                      std::size_t i) const override
+    {
+        return market.user(i).budget;
+    }
+};
+
+} // namespace amdahl::alloc
+
+#endif // AMDAHL_ALLOC_GREEDY_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Lottery scheduling (Waldspurger & Weihl), the probabilistic
+ * entitlement mechanism the paper discusses in Section II-A:
+ * "lottery scheduling ... allocates resources probabilistically based
+ * on users' holdings of a virtual currency", as used by Microsoft's
+ * token scheduler [3].
+ *
+ * Per server, each user present holds tickets proportional to her
+ * budget; every core is raffled independently. Expected shares equal
+ * proportional sharing's, but any single raffle deviates — the
+ * variance is the price of the mechanism's simplicity, and comparing
+ * it against PS/AB quantifies that price.
+ */
+
+#ifndef AMDAHL_ALLOC_LOTTERY_HH
+#define AMDAHL_ALLOC_LOTTERY_HH
+
+#include <cstdint>
+
+#include "alloc/policy.hh"
+
+namespace amdahl::alloc {
+
+/** The probabilistic proportional-share baseline. */
+class LotteryPolicy : public AllocationPolicy
+{
+  public:
+    /**
+     * @param seed Raffle seed; identical seeds reproduce identical
+     *             allocations (the raffle is deterministic pseudo-
+     *             randomness, as any reproducible experiment needs).
+     */
+    explicit LotteryPolicy(std::uint64_t seed = 0x107e5ULL)
+        : seed_(seed)
+    {}
+
+    std::string name() const override { return "LS"; }
+
+    AllocationResult allocate(
+        const core::FisherMarket &market) const override;
+
+  private:
+    std::uint64_t seed_;
+};
+
+} // namespace amdahl::alloc
+
+#endif // AMDAHL_ALLOC_LOTTERY_HH

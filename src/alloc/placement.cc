@@ -1,0 +1,94 @@
+#include "placement.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace amdahl::alloc {
+
+std::string
+toString(PlacementRule rule)
+{
+    switch (rule) {
+      case PlacementRule::RoundRobin:
+        return "round-robin";
+      case PlacementRule::LeastLoaded:
+        return "least-loaded";
+      case PlacementRule::PriceAware:
+        return "price-aware";
+    }
+    panic("unknown placement rule");
+}
+
+JobPlacer::JobPlacer(PlacementRule rule, std::size_t servers)
+    : rule_(rule), loads(servers, 0), prices_(servers, 0.0),
+      sinceUpdate(servers, 0)
+{
+    if (servers == 0)
+        fatal("placer needs at least one server");
+}
+
+std::size_t
+JobPlacer::place()
+{
+    std::size_t choice = 0;
+    switch (rule_) {
+      case PlacementRule::RoundRobin:
+        choice = nextRoundRobin;
+        nextRoundRobin = (nextRoundRobin + 1) % loads.size();
+        break;
+      case PlacementRule::LeastLoaded:
+        for (std::size_t j = 1; j < loads.size(); ++j) {
+            if (loads[j] < loads[choice])
+                choice = j;
+        }
+        break;
+      case PlacementRule::PriceAware: {
+        // Effective price inflates with placements made since the
+        // last update, so a batch of arrivals spreads instead of
+        // herding onto the stale-cheapest server.
+        auto effective = [&](std::size_t j) {
+            return prices_[j] * (1.0 + sinceUpdate[j]) +
+                   1e-9 * sinceUpdate[j];
+        };
+        for (std::size_t j = 1; j < prices_.size(); ++j) {
+            if (effective(j) < effective(choice))
+                choice = j;
+        }
+        ++sinceUpdate[choice];
+        break;
+      }
+    }
+    ++loads[choice];
+    return choice;
+}
+
+void
+JobPlacer::jobFinished(std::size_t server)
+{
+    if (server >= loads.size())
+        fatal("server index ", server, " out of range");
+    if (loads[server] <= 0)
+        panic("job finished on server ", server, " with no jobs");
+    --loads[server];
+}
+
+void
+JobPlacer::updatePrices(const std::vector<double> &prices)
+{
+    if (prices.size() != prices_.size())
+        fatal("price vector has ", prices.size(), " entries, expected ",
+              prices_.size());
+    prices_ = prices;
+    std::fill(sinceUpdate.begin(), sinceUpdate.end(), 0);
+}
+
+int
+JobPlacer::load(std::size_t server) const
+{
+    if (server >= loads.size())
+        fatal("server index ", server, " out of range");
+    return loads[server];
+}
+
+} // namespace amdahl::alloc

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Job placement policies.
+ *
+ * The paper takes job-to-server assignment as given ("each job has
+ * been assigned to a server") and allocates cores afterwards. A full
+ * system must also decide *where* arriving jobs go. Equilibrium prices
+ * make that decision natural: a server's price is bids over capacity
+ * (Eq. 8), i.e. a direct congestion signal — expensive servers are the
+ * contended ones. This module provides three placement disciplines for
+ * the online runtime:
+ *
+ *  - RoundRobin:  spread arrivals evenly, ignoring state;
+ *  - LeastLoaded: pick the server currently hosting the fewest jobs;
+ *  - PriceAware:  pick the cheapest server by the last market
+ *                 equilibrium's prices.
+ */
+
+#ifndef AMDAHL_ALLOC_PLACEMENT_HH
+#define AMDAHL_ALLOC_PLACEMENT_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace amdahl::alloc {
+
+/** Placement disciplines for arriving jobs. */
+enum class PlacementRule
+{
+    RoundRobin,
+    LeastLoaded,
+    PriceAware,
+};
+
+/** @return Short name for a placement rule. */
+std::string toString(PlacementRule rule);
+
+/**
+ * Stateful placer: tracks per-server job counts and the latest price
+ * vector, and picks a server for each arrival.
+ */
+class JobPlacer
+{
+  public:
+    /**
+     * @param rule    The discipline.
+     * @param servers Number of servers (> 0).
+     */
+    JobPlacer(PlacementRule rule, std::size_t servers);
+
+    /** @return The discipline in use. */
+    PlacementRule rule() const { return rule_; }
+
+    /**
+     * Choose a server for an arriving job and record the placement.
+     * Ties break toward the lowest server index (deterministic).
+     */
+    std::size_t place();
+
+    /** Record that a job on @p server finished (frees its slot). */
+    void jobFinished(std::size_t server);
+
+    /**
+     * Feed the latest equilibrium prices (PriceAware only; ignored by
+     * other rules). Servers absent from this epoch's market keep
+     * their previous price. A server with no observed price yet is
+     * treated as free (price 0).
+     *
+     * @param prices One price per server.
+     */
+    void updatePrices(const std::vector<double> &prices);
+
+    /** @return Current jobs placed on @p server (and not finished). */
+    int load(std::size_t server) const;
+
+  private:
+    PlacementRule rule_;
+    std::vector<int> loads;
+    std::vector<double> prices_;
+    /** Placements since the last price update: prices are stale
+     *  within an epoch, so each placement inflates its server's
+     *  effective price to avoid herding the whole batch onto the
+     *  stale-cheapest server. */
+    std::vector<int> sinceUpdate;
+    std::size_t nextRoundRobin = 0;
+};
+
+} // namespace amdahl::alloc
+
+#endif // AMDAHL_ALLOC_PLACEMENT_HH

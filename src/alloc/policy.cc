@@ -1,0 +1,28 @@
+#include "policy.hh"
+
+namespace amdahl::alloc {
+
+int
+AllocationResult::userCores(std::size_t i) const
+{
+    int total = 0;
+    for (int x : cores[i])
+        total += x;
+    return total;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>>
+jobsOnServer(const core::FisherMarket &market, std::size_t server)
+{
+    std::vector<std::pair<std::size_t, std::size_t>> located;
+    for (std::size_t i = 0; i < market.userCount(); ++i) {
+        const auto &jobs = market.user(i).jobs;
+        for (std::size_t k = 0; k < jobs.size(); ++k) {
+            if (jobs[k].server == server)
+                located.emplace_back(i, k);
+        }
+    }
+    return located;
+}
+
+} // namespace amdahl::alloc

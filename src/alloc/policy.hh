@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The allocation-policy interface (Section VI-A).
+ *
+ * Every evaluated mechanism consumes the same problem description — a
+ * FisherMarket (users, budgets/entitlements, jobs with (f, w), server
+ * capacities) — and produces integral per-job core allocations plus the
+ * fractional allocation it rounded from. Market mechanisms also report
+ * prices and convergence iterations.
+ */
+
+#ifndef AMDAHL_ALLOC_POLICY_HH
+#define AMDAHL_ALLOC_POLICY_HH
+
+#include <string>
+#include <vector>
+
+#include "core/market.hh"
+
+namespace amdahl::alloc {
+
+/** Outcome of running a policy on a market. */
+struct AllocationResult
+{
+    std::string policyName;
+
+    /** Integral cores per [user][job] (Hamilton-rounded). */
+    std::vector<std::vector<int>> cores;
+
+    /**
+     * The pre-rounding outcome: fractional allocation always present;
+     * prices/bids populated by market mechanisms only.
+     */
+    core::MarketOutcome outcome;
+
+    /** @return Total integral cores held by user i. */
+    int userCores(std::size_t i) const;
+};
+
+/** Abstract allocation mechanism. */
+class AllocationPolicy
+{
+  public:
+    virtual ~AllocationPolicy() = default;
+
+    /** @return Short policy tag: "PS", "G", "UB", "AB", or "BR". */
+    virtual std::string name() const = 0;
+
+    /**
+     * Allocate all cores of all servers.
+     *
+     * @param market The problem; validated by implementations.
+     * @return Integral allocations covering each server's capacity.
+     */
+    virtual AllocationResult allocate(
+        const core::FisherMarket &market) const = 0;
+};
+
+/**
+ * Jobs located on one server, as (user, job-index) pairs — a shared
+ * helper for per-server policies.
+ */
+std::vector<std::pair<std::size_t, std::size_t>>
+jobsOnServer(const core::FisherMarket &market, std::size_t server);
+
+} // namespace amdahl::alloc
+
+#endif // AMDAHL_ALLOC_POLICY_HH

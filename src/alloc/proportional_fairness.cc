@@ -1,0 +1,67 @@
+#include "proportional_fairness.hh"
+
+#include "common/logging.hh"
+#include "core/amdahl.hh"
+#include "core/rounding.hh"
+
+namespace amdahl::alloc {
+
+AllocationResult
+ProportionalFairnessPolicy::allocate(
+    const core::FisherMarket &market) const
+{
+    market.validate();
+
+    // Adapt the market description into EG buyers with Amdahl
+    // utilities (Eq. 4's normalized weighted speedup).
+    std::vector<solver::EgUser> buyers;
+    buyers.reserve(market.userCount());
+    for (std::size_t i = 0; i < market.userCount(); ++i) {
+        const auto &user = market.user(i);
+        solver::EgUser buyer;
+        buyer.budget = user.budget;
+        std::vector<double> fractions, weights;
+        double weight_sum = 0.0;
+        for (const auto &job : user.jobs) {
+            buyer.servers.push_back(job.server);
+            fractions.push_back(job.parallelFraction);
+            weights.push_back(job.weight);
+            weight_sum += job.weight;
+        }
+        buyer.utility = [fractions, weights,
+                         weight_sum](const std::vector<double> &x) {
+            double total = 0.0;
+            for (std::size_t k = 0; k < fractions.size(); ++k) {
+                total += weights[k] *
+                         core::amdahlSpeedup(fractions[k], x[k]);
+            }
+            return total / weight_sum;
+        };
+        buyer.gradient = [fractions, weights,
+                          weight_sum](const std::vector<double> &x) {
+            std::vector<double> grad(fractions.size());
+            for (std::size_t k = 0; k < fractions.size(); ++k) {
+                grad[k] = weights[k] *
+                          core::amdahlSpeedupDerivative(fractions[k],
+                                                        x[k]) /
+                          weight_sum;
+            }
+            return grad;
+        };
+        buyers.push_back(std::move(buyer));
+    }
+
+    const auto eg =
+        solver::solveEisenbergGale(market.capacities(), buyers, opts);
+
+    AllocationResult result;
+    result.policyName = name();
+    result.outcome.allocation = eg.allocation;
+    result.outcome.prices = eg.prices;
+    result.outcome.iterations = eg.iterations;
+    result.outcome.converged = eg.converged;
+    result.cores = core::roundOutcome(market, result.outcome);
+    return result;
+}
+
+} // namespace amdahl::alloc

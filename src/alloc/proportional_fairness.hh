@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Proportional Fairness (PF) — the Eisenberg-Gale optimum as an
+ * allocation policy.
+ *
+ * Maximizes sum_i b_i log u_i(x_i) subject to per-server clearing,
+ * via the generic projected-gradient solver. For homogeneous
+ * utilities this *is* the market equilibrium; for Amdahl utilities it
+ * is a close but distinct point (see THEORY.md section 4a) that
+ * trades a little of the flatter-curve users' utility for aggregate
+ * log-utility — the networking community's classic fairness notion,
+ * here as a baseline against the paper's market.
+ */
+
+#ifndef AMDAHL_ALLOC_PROPORTIONAL_FAIRNESS_HH
+#define AMDAHL_ALLOC_PROPORTIONAL_FAIRNESS_HH
+
+#include "alloc/policy.hh"
+#include "solver/eisenberg_gale.hh"
+
+namespace amdahl::alloc {
+
+/** The Eisenberg-Gale / proportional-fairness baseline. */
+class ProportionalFairnessPolicy : public AllocationPolicy
+{
+  public:
+    explicit ProportionalFairnessPolicy(
+        solver::EgOptions options = solver::EgOptions())
+        : opts(options)
+    {}
+
+    std::string name() const override { return "PF"; }
+
+    AllocationResult allocate(
+        const core::FisherMarket &market) const override;
+
+  private:
+    solver::EgOptions opts;
+};
+
+} // namespace amdahl::alloc
+
+#endif // AMDAHL_ALLOC_PROPORTIONAL_FAIRNESS_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Proportional Sharing (PS) — the classical entitlement baseline
+ * (Sections II-A/B and VI-A).
+ *
+ * PS is the Fair Share Scheduler's discipline applied server by server:
+ * each server's cores are divided among the users computing on it in
+ * proportion to their entitlements; when a user's demand on the server is
+ * below her share, the excess is redistributed to the others, again in
+ * proportion to entitlements. PS enforces entitlements *within* each
+ * server but — as the paper's Section II-B example shows — may violate
+ * them in aggregate, and it ignores differences in parallelizability.
+ */
+
+#ifndef AMDAHL_ALLOC_PROPORTIONAL_SHARE_HH
+#define AMDAHL_ALLOC_PROPORTIONAL_SHARE_HH
+
+#include <optional>
+
+#include "alloc/policy.hh"
+
+namespace amdahl::alloc {
+
+/** The per-server proportional-share mechanism. */
+class ProportionalShare : public AllocationPolicy
+{
+  public:
+    ProportionalShare() = default;
+
+    /**
+     * @param demands Optional per-[user][job] demand caps in cores (the
+     *                Section II-B example has explicit demands); absent
+     *                caps mean jobs accept any allocation.
+     */
+    explicit ProportionalShare(
+        std::vector<std::vector<double>> demands);
+
+    std::string name() const override { return "PS"; }
+
+    AllocationResult allocate(
+        const core::FisherMarket &market) const override;
+
+  private:
+    std::optional<std::vector<std::vector<double>>> demandCaps;
+};
+
+} // namespace amdahl::alloc
+
+#endif // AMDAHL_ALLOC_PROPORTIONAL_SHARE_HH

@@ -1,0 +1,39 @@
+#include "logging.hh"
+
+#include <atomic>
+#include <iostream>
+
+namespace amdahl {
+
+namespace {
+
+std::atomic<LogLevel> globalLevel{LogLevel::Warn};
+
+} // namespace
+
+LogLevel
+setLogLevel(LogLevel level)
+{
+    return globalLevel.exchange(level);
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel.load();
+}
+
+namespace detail {
+
+void
+emitLog(LogLevel level, const std::string &msg)
+{
+    if (static_cast<int>(level) > static_cast<int>(globalLevel.load()))
+        return;
+    const char *tag = level == LogLevel::Warn ? "warn: " : "info: ";
+    std::cerr << tag << msg << '\n';
+}
+
+} // namespace detail
+
+} // namespace amdahl

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Status and error reporting for the amdahl-market library.
+ *
+ * Follows the gem5 convention of distinguishing user errors from internal
+ * bugs:
+ *
+ *  - fatal():  the computation cannot continue because of a condition that
+ *              is the *caller's* fault (bad configuration, invalid
+ *              arguments). Throws FatalError.
+ *  - panic():  something happened that should never happen regardless of
+ *              what the caller does — an internal bug. Throws PanicError.
+ *  - warn():   something is suspicious but execution can continue.
+ *  - inform(): plain status messages.
+ *
+ * Unlike gem5 (which exits the process), fatal() and panic() throw typed
+ * exceptions so that library users and the test suite can observe and
+ * recover from them.
+ */
+
+#ifndef AMDAHL_COMMON_LOGGING_HH
+#define AMDAHL_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace amdahl {
+
+/** Error caused by invalid input or configuration (the caller's fault). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error("fatal: " + msg)
+    {}
+};
+
+/** Error caused by an internal invariant violation (a library bug). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error("panic: " + msg)
+    {}
+};
+
+namespace detail {
+
+/** Concatenate a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Abort the current computation due to a caller error.
+ *
+ * @param args Message fragments, concatenated with operator<<.
+ * @throws FatalError always.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Abort the current computation due to an internal bug.
+ *
+ * @param args Message fragments, concatenated with operator<<.
+ * @throws PanicError always.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    throw PanicError(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Severity levels for non-throwing log messages. */
+enum class LogLevel { Quiet, Warn, Inform };
+
+/**
+ * Set the global log verbosity.
+ *
+ * @param level Messages above this severity are suppressed.
+ * @return The previous level.
+ */
+LogLevel setLogLevel(LogLevel level);
+
+/** @return The current global log verbosity. */
+LogLevel logLevel();
+
+namespace detail {
+
+void emitLog(LogLevel level, const std::string &msg);
+
+} // namespace detail
+
+/** Report a suspicious-but-survivable condition to stderr. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emitLog(LogLevel::Warn,
+                    detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report a status message to stderr. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emitLog(LogLevel::Inform,
+                    detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Check an internal invariant, panicking with a message on failure.
+ *
+ * Unlike assert(), this is always on: allocation-market invariants are cheap
+ * to check relative to the math around them.
+ */
+template <typename... Args>
+void
+ensure(bool condition, Args &&...args)
+{
+    if (!condition)
+        panic(std::forward<Args>(args)...);
+}
+
+} // namespace amdahl
+
+#endif // AMDAHL_COMMON_LOGGING_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Small numeric helpers shared across modules.
+ */
+
+#ifndef AMDAHL_COMMON_MATH_UTIL_HH
+#define AMDAHL_COMMON_MATH_UTIL_HH
+
+#include <cmath>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace amdahl {
+
+/**
+ * Approximate equality with combined absolute/relative tolerance.
+ *
+ * @return true iff |a - b| <= abs_tol + rel_tol * max(|a|, |b|).
+ */
+inline bool
+approxEqual(double a, double b, double rel_tol = 1e-9,
+            double abs_tol = 1e-12)
+{
+    return std::abs(a - b) <=
+           abs_tol + rel_tol * std::max(std::abs(a), std::abs(b));
+}
+
+/** @return Sum of a vector of doubles. */
+inline double
+sum(const std::vector<double> &xs)
+{
+    return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+
+/** @return L-infinity distance between two equally sized vectors. */
+inline double
+maxAbsDiff(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double d = 0.0;
+    for (std::size_t i = 0; i < a.size() && i < b.size(); ++i)
+        d = std::max(d, std::abs(a[i] - b[i]));
+    return d;
+}
+
+/** Clamp x into [lo, hi]. */
+inline double
+clampTo(double x, double lo, double hi)
+{
+    return x < lo ? lo : (x > hi ? hi : x);
+}
+
+} // namespace amdahl
+
+#endif // AMDAHL_COMMON_MATH_UTIL_HH

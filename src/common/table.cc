@@ -1,0 +1,222 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "csv.hh"
+#include "logging.hh"
+
+namespace amdahl {
+
+std::string
+formatDouble(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+void
+TablePrinter::addColumn(std::string header, Align align)
+{
+    if (!rows.empty() || rowOpen)
+        fatal("addColumn after rows were added");
+    headers.push_back(std::move(header));
+    aligns.push_back(align);
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    finishPendingRow();
+    if (cells.size() != headers.size()) {
+        fatal("row has ", cells.size(), " cells, expected ",
+              headers.size());
+    }
+    rows.push_back(std::move(cells));
+}
+
+TablePrinter &
+TablePrinter::beginRow()
+{
+    finishPendingRow();
+    rowOpen = true;
+    pending.clear();
+    return *this;
+}
+
+TablePrinter &
+TablePrinter::cell(const std::string &value)
+{
+    if (!rowOpen)
+        fatal("cell() without beginRow()");
+    if (pending.size() >= headers.size())
+        fatal("too many cells in row; table has ", headers.size(),
+              " columns");
+    pending.push_back(value);
+    return *this;
+}
+
+TablePrinter &
+TablePrinter::cell(const char *value)
+{
+    return cell(std::string(value));
+}
+
+TablePrinter &
+TablePrinter::cell(double value, int precision)
+{
+    return cell(formatDouble(value, precision));
+}
+
+TablePrinter &
+TablePrinter::cell(long long value)
+{
+    return cell(std::to_string(value));
+}
+
+TablePrinter &
+TablePrinter::cell(unsigned long long value)
+{
+    return cell(std::to_string(value));
+}
+
+TablePrinter &
+TablePrinter::cell(int value)
+{
+    return cell(std::to_string(value));
+}
+
+TablePrinter &
+TablePrinter::cell(std::size_t value)
+{
+    return cell(std::to_string(value));
+}
+
+void
+TablePrinter::finishPendingRow() const
+{
+    if (!rowOpen)
+        return;
+    if (pending.size() != headers.size()) {
+        fatal("row has ", pending.size(), " cells, expected ",
+              headers.size());
+    }
+    rows.push_back(pending);
+    pending.clear();
+    rowOpen = false;
+}
+
+std::string
+TablePrinter::toString() const
+{
+    finishPendingRow();
+    std::vector<std::size_t> widths(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](std::ostringstream &os,
+                        const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c > 0)
+                os << "  ";
+            const auto pad = widths[c] - cells[c].size();
+            if (aligns[c] == Align::Right)
+                os << std::string(pad, ' ') << cells[c];
+            else
+                os << cells[c] << std::string(pad, ' ');
+        }
+        os << '\n';
+    };
+
+    std::ostringstream os;
+    emit_row(os, headers);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c > 0 ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows)
+        emit_row(os, row);
+    return os.str();
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    os << toString();
+}
+
+const std::vector<std::string> &
+TablePrinter::columnHeaders() const
+{
+    finishPendingRow();
+    return headers;
+}
+
+const std::vector<std::vector<std::string>> &
+TablePrinter::dataRows() const
+{
+    finishPendingRow();
+    return rows;
+}
+
+void
+TablePrinter::writeCsv(std::ostream &os) const
+{
+    finishPendingRow();
+    CsvWriter csv(os, headers);
+    for (const auto &row : rows)
+        csv.writeRow(row);
+}
+
+std::string
+sparkline(const std::vector<double> &values, std::size_t max_width)
+{
+    if (values.empty() || max_width == 0)
+        return "";
+
+    // Down-sample to bucket means when the series is too long.
+    std::vector<double> series;
+    if (values.size() <= max_width) {
+        series = values;
+    } else {
+        series.resize(max_width, 0.0);
+        std::vector<std::size_t> counts(max_width, 0);
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            const std::size_t bucket =
+                i * max_width / values.size();
+            series[bucket] += values[i];
+            ++counts[bucket];
+        }
+        for (std::size_t b = 0; b < max_width; ++b) {
+            if (counts[b] > 0)
+                series[b] /= static_cast<double>(counts[b]);
+        }
+    }
+
+    static const char *glyphs[] = {"▁", "▂", "▃",
+                                   "▄", "▅", "▆",
+                                   "▇", "█"};
+    double lo = series.front(), hi = series.front();
+    for (double v : series) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    std::string out;
+    for (double v : series) {
+        std::size_t level = 3; // constant series: mid-height
+        if (hi > lo) {
+            level = static_cast<std::size_t>(
+                (v - lo) / (hi - lo) * 7.0 + 0.5);
+        }
+        out += glyphs[level];
+    }
+    return out;
+}
+
+} // namespace amdahl

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Console table rendering for benchmark output.
+ *
+ * Every bench binary prints the rows/series of one of the paper's tables or
+ * figures; TablePrinter keeps that output aligned and consistent.
+ */
+
+#ifndef AMDAHL_COMMON_TABLE_HH
+#define AMDAHL_COMMON_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace amdahl {
+
+/**
+ * Fixed-schema text table.
+ *
+ * Columns are declared once; rows are appended as strings or numbers and
+ * rendered with per-column width computed from the content.
+ */
+class TablePrinter
+{
+  public:
+    /** Column alignment. */
+    enum class Align { Left, Right };
+
+    /**
+     * Declare a column.
+     *
+     * @param header Column title.
+     * @param align  Cell alignment (headers follow the same alignment).
+     */
+    void addColumn(std::string header, Align align = Align::Right);
+
+    /**
+     * Append a row of pre-formatted cells.
+     *
+     * @param cells One string per declared column.
+     */
+    void addRow(std::vector<std::string> cells);
+
+    /** Begin a new row; cells are appended with cell(). */
+    TablePrinter &beginRow();
+
+    /** Append a string cell to the row opened by beginRow(). */
+    TablePrinter &cell(const std::string &value);
+    /** Append a C-string cell. */
+    TablePrinter &cell(const char *value);
+    /** Append a formatted double cell. */
+    TablePrinter &cell(double value, int precision = 3);
+    /** Append an integer cell. */
+    TablePrinter &cell(long long value);
+    /** Append an unsigned integer cell. */
+    TablePrinter &cell(unsigned long long value);
+    /** Append an int cell. */
+    TablePrinter &cell(int value);
+    /** Append a size_t cell. */
+    TablePrinter &cell(std::size_t value);
+
+    /** @return Number of data rows added so far. */
+    std::size_t rowCount() const { return rows.size(); }
+
+    /** Render the table (header, separator, rows) to a string. */
+    std::string toString() const;
+
+    /** Render the table to a stream. */
+    void print(std::ostream &os) const;
+
+    /** @return Column headers (flushes any pending row). */
+    const std::vector<std::string> &columnHeaders() const;
+
+    /** @return All data rows (flushes any pending row). */
+    const std::vector<std::vector<std::string>> &dataRows() const;
+
+    /** Write the table as CSV (header + rows). */
+    void writeCsv(std::ostream &os) const;
+
+  private:
+    void finishPendingRow() const;
+
+    std::vector<std::string> headers;
+    std::vector<Align> aligns;
+    mutable std::vector<std::vector<std::string>> rows;
+    mutable std::vector<std::string> pending;
+    mutable bool rowOpen = false;
+};
+
+/** Format a double with fixed precision. */
+std::string formatDouble(double value, int precision = 3);
+
+/**
+ * Render a numeric series as a unicode block sparkline, e.g.
+ * "▁▂▄▆█▆▄". Values are scaled to the series' own [min, max]; a
+ * constant series renders mid-height. Long series are down-sampled by
+ * bucket means to at most @p max_width glyphs.
+ */
+std::string sparkline(const std::vector<double> &values,
+                      std::size_t max_width = 60);
+
+} // namespace amdahl
+
+#endif // AMDAHL_COMMON_TABLE_HH

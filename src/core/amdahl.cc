@@ -1,0 +1,79 @@
+#include "amdahl.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace amdahl::core {
+
+namespace {
+
+void
+checkFraction(double f)
+{
+    if (f < 0.0 || f > 1.0)
+        fatal("parallel fraction ", f, " outside [0, 1]");
+}
+
+} // namespace
+
+double
+amdahlSpeedup(double f, double x)
+{
+    checkFraction(f);
+    if (x < 0.0)
+        fatal("core allocation must be non-negative, got ", x);
+    const double denom = f + (1.0 - f) * x;
+    if (denom == 0.0)
+        return 0.0; // f == 0, x == 0.
+    return x / denom;
+}
+
+double
+amdahlSpeedupDerivative(double f, double x)
+{
+    checkFraction(f);
+    if (x < 0.0)
+        fatal("core allocation must be non-negative, got ", x);
+    const double denom = f + (1.0 - f) * x;
+    if (denom == 0.0)
+        fatal("speedup derivative undefined at f == 0, x == 0");
+    return f / (denom * denom);
+}
+
+double
+amdahlSpeedupLimit(double f)
+{
+    checkFraction(f);
+    if (f == 1.0)
+        return std::numeric_limits<double>::infinity();
+    return 1.0 / (1.0 - f);
+}
+
+double
+karpFlatt(double speedup, double x)
+{
+    if (speedup <= 0.0)
+        fatal("speedup must be positive, got ", speedup);
+    if (x <= 1.0)
+        fatal("Karp-Flatt needs more than one core, got ", x);
+    return (1.0 - 1.0 / speedup) / (1.0 - 1.0 / x);
+}
+
+double
+coresForSpeedup(double f, double target)
+{
+    checkFraction(f);
+    if (f == 0.0)
+        fatal("a serial workload cannot be sped up");
+    if (target < 0.0)
+        fatal("target speedup must be non-negative, got ", target);
+    if (target >= amdahlSpeedupLimit(f)) {
+        fatal("target speedup ", target, " unreachable; limit is ",
+              amdahlSpeedupLimit(f));
+    }
+    // Solve s = x / (f + (1-f) x) for x: x = s f / (1 - s (1-f)).
+    return target * f / (1.0 - target * (1.0 - f));
+}
+
+} // namespace amdahl::core

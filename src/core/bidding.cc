@@ -1,0 +1,190 @@
+#include "bidding.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "core/amdahl.hh"
+
+namespace amdahl::core {
+
+namespace {
+
+/** Recompute prices from bids: p_j = sum b_ij / C_j. */
+void
+computePrices(const FisherMarket &market, const JobMatrix &bids,
+              std::vector<double> &prices)
+{
+    std::fill(prices.begin(), prices.end(), 0.0);
+    for (std::size_t i = 0; i < market.userCount(); ++i) {
+        const auto &jobs = market.user(i).jobs;
+        for (std::size_t k = 0; k < jobs.size(); ++k)
+            prices[jobs[k].server] += bids[i][k];
+    }
+    for (std::size_t j = 0; j < market.serverCount(); ++j)
+        prices[j] /= market.capacity(j);
+}
+
+} // namespace
+
+void
+updateUserBids(const MarketUser &user, const std::vector<double> &prices,
+               std::vector<double> &bids)
+{
+    if (bids.size() != user.jobs.size())
+        fatal("bid vector size mismatch for user '", user.name, "'");
+
+    // U_ij = sqrt(f w p) * s(x) with x = b / p.
+    double total = 0.0;
+    for (std::size_t k = 0; k < user.jobs.size(); ++k) {
+        const auto &job = user.jobs[k];
+        if (job.server >= prices.size()) {
+            fatal("user '", user.name, "' bids on server ", job.server,
+                  " but only ", prices.size(), " prices were posted");
+        }
+        const double p = prices[job.server];
+        double propensity = 0.0;
+        if (p > 0.0 && bids[k] > 0.0) {
+            const double x = bids[k] / p;
+            propensity =
+                std::sqrt(job.parallelFraction * job.weight * p) *
+                amdahlSpeedup(job.parallelFraction, x);
+        }
+        bids[k] = propensity; // Reuse storage for the unnormalized U.
+        total += propensity;
+    }
+
+    if (total <= 0.0) {
+        // All propensities vanished (e.g. fully serial jobs): fall back
+        // to an even split so the budget is still exhausted.
+        const double even = user.budget / static_cast<double>(bids.size());
+        std::fill(bids.begin(), bids.end(), even);
+        return;
+    }
+    for (double &b : bids)
+        b = user.budget * b / total;
+}
+
+BiddingResult
+solveAmdahlBidding(const FisherMarket &market, const BiddingOptions &opts)
+{
+    market.validate();
+    if (opts.priceTolerance <= 0.0)
+        fatal("price tolerance must be positive");
+    if (opts.maxIterations < 1)
+        fatal("need at least one iteration");
+    if (opts.damping <= 0.0 || opts.damping > 1.0)
+        fatal("damping must be in (0, 1], got ", opts.damping);
+
+    const std::size_t n = market.userCount();
+    const std::size_t m = market.serverCount();
+
+    BiddingResult result;
+    result.bids.resize(n);
+    result.prices.assign(m, 0.0);
+
+    // Initial bids: warm start when provided, else an even split of
+    // each budget.
+    if (!opts.initialBids.empty() &&
+        opts.initialBids.size() != n) {
+        fatal("warm-start bids have ", opts.initialBids.size(),
+              " users, expected ", n);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto &user = market.user(i);
+        const double even =
+            user.budget / static_cast<double>(user.jobs.size());
+        result.bids[i].assign(user.jobs.size(), even);
+        if (opts.initialBids.empty())
+            continue;
+        const auto &seed = opts.initialBids[i];
+        if (seed.size() != user.jobs.size()) {
+            fatal("warm-start bids for user ", i, " have ",
+                  seed.size(), " jobs, expected ", user.jobs.size());
+        }
+        double total = 0.0;
+        bool usable = true;
+        for (double b : seed) {
+            if (b < 0.0 || !std::isfinite(b))
+                usable = false;
+            total += b;
+        }
+        if (!usable || total <= 0.0)
+            continue; // Fall back to the even split.
+        for (std::size_t k = 0; k < seed.size(); ++k) {
+            // Keep strictly positive bids so the proportional update
+            // can move every coordinate.
+            result.bids[i][k] = std::max(1e-12 * user.budget,
+                                         user.budget * seed[k] / total);
+        }
+    }
+    computePrices(market, result.bids, result.prices);
+
+    std::vector<double> new_prices(m);
+    std::vector<double> proposal;
+    std::vector<double> live_prices;
+    for (int it = 0; it < opts.maxIterations; ++it) {
+        if (opts.schedule == UpdateSchedule::GaussSeidel)
+            live_prices = result.prices;
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto &user = market.user(i);
+            const auto &posted =
+                opts.schedule == UpdateSchedule::GaussSeidel
+                    ? live_prices
+                    : result.prices;
+            proposal = result.bids[i];
+            updateUserBids(user, posted, proposal);
+            if (opts.damping < 1.0) {
+                for (std::size_t k = 0; k < proposal.size(); ++k) {
+                    proposal[k] =
+                        (1.0 - opts.damping) * result.bids[i][k] +
+                        opts.damping * proposal[k];
+                }
+            }
+            if (opts.schedule == UpdateSchedule::GaussSeidel) {
+                // Fold the bid change into prices immediately so
+                // later users in this round see it.
+                for (std::size_t k = 0; k < proposal.size(); ++k) {
+                    const auto j = user.jobs[k].server;
+                    live_prices[j] +=
+                        (proposal[k] - result.bids[i][k]) /
+                        market.capacity(j);
+                }
+            }
+            result.bids[i] = proposal;
+        }
+
+        computePrices(market, result.bids, new_prices);
+        double max_delta = 0.0;
+        for (std::size_t j = 0; j < m; ++j) {
+            const double base = std::max(result.prices[j], 1e-300);
+            max_delta = std::max(
+                max_delta, std::abs(new_prices[j] - result.prices[j]) /
+                               base);
+        }
+        result.prices = new_prices;
+        result.iterations = it + 1;
+        if (opts.trackHistory)
+            result.priceDeltaHistory.push_back(max_delta);
+        if (max_delta < opts.priceTolerance) {
+            result.converged = true;
+            break;
+        }
+    }
+
+    // Final allocations: x_ij = b_ij / p_j.
+    result.allocation.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto &jobs = market.user(i).jobs;
+        result.allocation[i].resize(jobs.size());
+        for (std::size_t k = 0; k < jobs.size(); ++k) {
+            const double p = result.prices[jobs[k].server];
+            ensure(p > 0.0, "zero equilibrium price on server ",
+                   jobs[k].server);
+            result.allocation[i][k] = result.bids[i][k] / p;
+        }
+    }
+    return result;
+}
+
+} // namespace amdahl::core

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The Amdahl Bidding procedure (Section V-D/E).
+ *
+ * Proportional response dynamics extended to Amdahl utilities. Each
+ * iteration evaluates closed-form equations only — no optimization:
+ *
+ *     p_j(t)    = sum_i b_ij(t) / C_j
+ *     x_ij(t)   = b_ij(t) / p_j(t)
+ *     U_ij(t)   = sqrt(f_ij w_ij p_j(t)) * s_ij(x_ij(t))
+ *     b_ij(t+1) = b_i * U_ij(t) / sum_k U_ik(t)
+ *
+ * The update's fixed points satisfy the KKT stationarity condition
+ * b_ij^2 proportional to w_ij f_ij s_ij^2 p_j (the paper's Eq. 9), so any
+ * fixed point is a market equilibrium and vice versa. The procedure
+ * terminates when prices change by less than a small threshold epsilon.
+ */
+
+#ifndef AMDAHL_CORE_BIDDING_HH
+#define AMDAHL_CORE_BIDDING_HH
+
+#include <vector>
+
+#include "core/market.hh"
+
+namespace amdahl::core {
+
+/** How users' bid updates are interleaved within one iteration. */
+enum class UpdateSchedule
+{
+    /** All users respond to the same posted prices (the paper's
+     *  distributed deployment: bids computed in parallel). */
+    Synchronous,
+    /** Users update one at a time against prices that already reflect
+     *  earlier users' new bids (a centralized coordinator's natural
+     *  order; typically converges in fewer iterations). */
+    GaussSeidel,
+};
+
+/** Termination and stabilization knobs for Amdahl Bidding. */
+struct BiddingOptions
+{
+    /**
+     * Relative price-change threshold epsilon: iteration stops when
+     * max_j |p_j(t+1) - p_j(t)| / p_j(t) falls below this.
+     */
+    double priceTolerance = 1e-6;
+
+    /** Hard cap on iterations. */
+    int maxIterations = 10000;
+
+    /**
+     * Damping factor in (0, 1]: b(t+1) = (1-d) b(t) + d b_prop. The
+     * plain proportional update is d = 1 (the paper's form); smaller
+     * values trade speed for stability on adversarial inputs.
+     */
+    double damping = 1.0;
+
+    /** Record the price trajectory (for convergence studies, Fig 13). */
+    bool trackHistory = false;
+
+    /** Bid-update interleaving. */
+    UpdateSchedule schedule = UpdateSchedule::Synchronous;
+
+    /**
+     * Warm start: initial bids from a previous equilibrium (an
+     * epoch-based deployment re-clears a barely changed market, so
+     * last epoch's bids are nearly right). Shape must match the
+     * market ([user][job]); each user's bids are renormalized to her
+     * budget, and non-positive entries fall back to an even split.
+     * Empty (the default) starts from even splits.
+     */
+    JobMatrix initialBids;
+};
+
+/** Outcome of the bidding procedure plus convergence diagnostics. */
+struct BiddingResult : MarketOutcome
+{
+    /** Relative price change after each iteration (if tracked). */
+    std::vector<double> priceDeltaHistory;
+};
+
+/**
+ * Run Amdahl Bidding to the market equilibrium.
+ *
+ * @param market The allocation problem (validated internally).
+ * @param opts   Termination/damping options.
+ * @return Equilibrium prices, bids, and fractional allocations. The
+ *         `converged` flag is false if maxIterations was exhausted.
+ */
+BiddingResult solveAmdahlBidding(const FisherMarket &market,
+                                 const BiddingOptions &opts = {});
+
+/**
+ * One proportional-response bid update for a single user (exposed for
+ * the overheads study, Section VI-F, which times precisely this code).
+ *
+ * @param user      The bidding user.
+ * @param prices    Current prices p_j.
+ * @param bids      The user's current bids (one per job); updated in
+ *                  place.
+ */
+void updateUserBids(const MarketUser &user,
+                    const std::vector<double> &prices,
+                    std::vector<double> &bids);
+
+} // namespace amdahl::core
+
+#endif // AMDAHL_CORE_BIDDING_HH

@@ -1,0 +1,284 @@
+#include "ces_market.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "core/amdahl.hh"
+#include "solver/linear_model.hh"
+
+namespace amdahl::core {
+
+CesUtility::CesUtility(std::vector<double> weights, double rho)
+    : weights_(std::move(weights)), rho_(rho)
+{
+    if (weights_.empty())
+        fatal("CES utility needs at least one job");
+    if (rho_ <= 0.0 || rho_ > 1.0)
+        fatal("CES rho must be in (0, 1], got ", rho_);
+    for (std::size_t j = 0; j < weights_.size(); ++j) {
+        if (weights_[j] <= 0.0)
+            fatal("CES weight ", j, " must be positive");
+    }
+}
+
+double
+CesUtility::value(const std::vector<double> &x) const
+{
+    if (x.size() != weights_.size())
+        fatal("allocation arity mismatch");
+    double total = 0.0;
+    for (std::size_t j = 0; j < weights_.size(); ++j)
+        total += jobValue(j, x[j]);
+    return total;
+}
+
+double
+CesUtility::jobValue(std::size_t j, double x) const
+{
+    if (j >= weights_.size())
+        fatal("job index out of range");
+    if (x < 0.0)
+        fatal("negative allocation");
+    return std::pow(weights_[j] * x, rho_);
+}
+
+double
+CesUtility::jobMarginal(std::size_t j, double x) const
+{
+    if (j >= weights_.size())
+        fatal("job index out of range");
+    if (x <= 0.0)
+        fatal("CES marginal undefined at x <= 0");
+    return rho_ * std::pow(weights_[j], rho_) * std::pow(x, rho_ - 1.0);
+}
+
+std::vector<double>
+CesUtility::demand(const std::vector<double> &prices, double budget) const
+{
+    if (prices.size() != weights_.size())
+        fatal("price arity mismatch");
+    if (budget <= 0.0)
+        fatal("budget must be positive");
+    for (double p : prices) {
+        if (p <= 0.0)
+            fatal("prices must be positive");
+    }
+    if (rho_ >= 1.0) {
+        // Linear utility: all budget to the best weight/price ratio
+        // (ties split evenly for determinism).
+        double best = 0.0;
+        for (std::size_t j = 0; j < weights_.size(); ++j)
+            best = std::max(best, weights_[j] / prices[j]);
+        std::vector<std::size_t> winners;
+        for (std::size_t j = 0; j < weights_.size(); ++j) {
+            if (weights_[j] / prices[j] >= best * (1.0 - 1e-12))
+                winners.push_back(j);
+        }
+        std::vector<double> x(weights_.size(), 0.0);
+        for (std::size_t j : winners) {
+            x[j] = budget /
+                   (static_cast<double>(winners.size()) * prices[j]);
+        }
+        return x;
+    }
+
+    // Interior optimum: spend share on job j proportional to
+    // w_j^(rho sigma) p_j^(1 - sigma) with sigma = 1 / (1 - rho).
+    const double sigma = 1.0 / (1.0 - rho_);
+    std::vector<double> spend(weights_.size());
+    double total = 0.0;
+    for (std::size_t j = 0; j < weights_.size(); ++j) {
+        spend[j] = std::pow(weights_[j], rho_ * sigma) *
+                   std::pow(prices[j], 1.0 - sigma);
+        total += spend[j];
+    }
+    std::vector<double> x(weights_.size());
+    for (std::size_t j = 0; j < weights_.size(); ++j)
+        x[j] = budget * spend[j] / (total * prices[j]);
+    return x;
+}
+
+CesMarket::CesMarket(std::vector<double> capacities)
+    : capacities_(std::move(capacities))
+{
+    if (capacities_.empty())
+        fatal("CES market needs at least one server");
+    for (double c : capacities_) {
+        if (c <= 0.0)
+            fatal("non-positive server capacity");
+    }
+}
+
+std::size_t
+CesMarket::addUser(CesUser user)
+{
+    if (user.budget <= 0.0)
+        fatal("user '", user.name, "' has non-positive budget");
+    if (user.jobs.empty())
+        fatal("user '", user.name, "' has no jobs");
+    if (user.rho <= 0.0 || user.rho >= 1.0)
+        fatal("user '", user.name, "' needs rho in (0, 1) for PRD");
+    for (const auto &job : user.jobs) {
+        if (job.server >= capacities_.size())
+            fatal("job on unknown server ", job.server);
+        if (job.weight <= 0.0)
+            fatal("job weight must be positive");
+    }
+    users_.push_back(std::move(user));
+    return users_.size() - 1;
+}
+
+const CesUser &
+CesMarket::user(std::size_t i) const
+{
+    if (i >= users_.size())
+        fatal("user index out of range");
+    return users_[i];
+}
+
+double
+CesMarket::capacity(std::size_t j) const
+{
+    if (j >= capacities_.size())
+        fatal("server index out of range");
+    return capacities_[j];
+}
+
+void
+CesMarket::validate() const
+{
+    if (users_.empty())
+        fatal("CES market has no users");
+    std::vector<bool> hosted(capacities_.size(), false);
+    for (const auto &user : users_)
+        for (const auto &job : user.jobs)
+            hosted[job.server] = true;
+    for (std::size_t j = 0; j < capacities_.size(); ++j) {
+        if (!hosted[j])
+            fatal("server ", j, " hosts no jobs");
+    }
+}
+
+CesResult
+solveCesMarket(const CesMarket &market, const CesOptions &opts)
+{
+    market.validate();
+    if (opts.priceTolerance <= 0.0)
+        fatal("price tolerance must be positive");
+    if (opts.maxIterations < 1)
+        fatal("need at least one iteration");
+
+    const std::size_t n = market.userCount();
+    const std::size_t m = market.serverCount();
+
+    CesResult result;
+    result.bids.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto &user = market.user(i);
+        result.bids[i].assign(user.jobs.size(),
+                              user.budget /
+                                  static_cast<double>(user.jobs.size()));
+    }
+
+    auto compute_prices = [&](std::vector<double> &prices) {
+        prices.assign(m, 0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto &jobs = market.user(i).jobs;
+            for (std::size_t k = 0; k < jobs.size(); ++k)
+                prices[jobs[k].server] += result.bids[i][k];
+        }
+        for (std::size_t j = 0; j < m; ++j)
+            prices[j] /= market.capacity(j);
+    };
+
+    compute_prices(result.prices);
+    std::vector<double> new_prices(m);
+    for (int it = 0; it < opts.maxIterations; ++it) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto &user = market.user(i);
+            // Bid proportional to utility contributions (w x)^rho.
+            double total = 0.0;
+            for (std::size_t k = 0; k < user.jobs.size(); ++k) {
+                const double p = result.prices[user.jobs[k].server];
+                const double x =
+                    p > 0.0 ? result.bids[i][k] / p : 0.0;
+                const double contribution =
+                    std::pow(user.jobs[k].weight * x, user.rho);
+                result.bids[i][k] = contribution;
+                total += contribution;
+            }
+            if (total <= 0.0) {
+                const double even =
+                    user.budget /
+                    static_cast<double>(user.jobs.size());
+                std::fill(result.bids[i].begin(),
+                          result.bids[i].end(), even);
+                continue;
+            }
+            for (double &b : result.bids[i])
+                b = user.budget * b / total;
+        }
+
+        compute_prices(new_prices);
+        double delta = 0.0;
+        for (std::size_t j = 0; j < m; ++j) {
+            delta = std::max(delta,
+                             std::abs(new_prices[j] -
+                                      result.prices[j]) /
+                                 std::max(result.prices[j], 1e-300));
+        }
+        result.prices = new_prices;
+        result.iterations = it + 1;
+        if (delta < opts.priceTolerance) {
+            result.converged = true;
+            break;
+        }
+    }
+
+    result.allocation.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto &jobs = market.user(i).jobs;
+        result.allocation[i].resize(jobs.size());
+        for (std::size_t k = 0; k < jobs.size(); ++k) {
+            const double p = result.prices[jobs[k].server];
+            ensure(p > 0.0, "zero CES equilibrium price");
+            result.allocation[i][k] = result.bids[i][k] / p;
+        }
+    }
+    return result;
+}
+
+double
+fitCesToAmdahl(double parallel_fraction, int max_cores, double &scale,
+               double &rho)
+{
+    if (parallel_fraction <= 0.0 || parallel_fraction >= 1.0)
+        fatal("parallel fraction must be in (0, 1)");
+    if (max_cores < 2)
+        fatal("fit domain needs at least 2 cores");
+
+    // log s(x) ~= log c + rho log x: ordinary least squares in logs.
+    std::vector<double> log_x, log_s;
+    for (int x = 1; x <= max_cores; ++x) {
+        log_x.push_back(std::log(static_cast<double>(x)));
+        log_s.push_back(std::log(amdahlSpeedup(
+            parallel_fraction, static_cast<double>(x))));
+    }
+    const auto model = solver::fitLinear(log_x, log_s);
+    rho = std::clamp(model.slope, 1e-3, 1.0 - 1e-6);
+    scale = std::exp(model.intercept);
+
+    double sum_sq = 0.0;
+    for (int x = 1; x <= max_cores; ++x) {
+        const double s = amdahlSpeedup(parallel_fraction,
+                                       static_cast<double>(x));
+        const double fit =
+            scale * std::pow(static_cast<double>(x), rho);
+        const double rel = (fit - s) / s;
+        sum_sq += rel * rel;
+    }
+    return std::sqrt(sum_sq / max_cores);
+}
+
+} // namespace amdahl::core

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * CES utilities and the classical proportional-response market.
+ *
+ * Section V-D of the paper situates Amdahl Bidding against prior
+ * theory: proportional response dynamics (PRD) was known to converge
+ * for *constant elasticity of substitution* utilities,
+ *
+ *     u_i(x_i) = sum_j (w_ij x_ij)^rho_i,   rho_i in (0, 1),
+ *
+ * but Amdahl utility is not CES, which is why the paper derives a new
+ * bidding rule. This module implements the CES side of that contrast:
+ * the utility, its closed-form price-taking demand, and the classical
+ * PRD solver (bids proportional to utility contributions). It powers
+ * the ablation that fits a CES surrogate to an Amdahl speedup curve
+ * and measures what the approximation costs (bench_ablation_ces).
+ */
+
+#ifndef AMDAHL_CORE_CES_MARKET_HH
+#define AMDAHL_CORE_CES_MARKET_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace amdahl::core {
+
+/** One CES job: a weighted term on one server. */
+struct CesJob
+{
+    std::size_t server = 0;
+    double weight = 1.0; //!< w_ij > 0.
+};
+
+/** One CES market participant. */
+struct CesUser
+{
+    std::string name;
+    double budget = 1.0;
+    double rho = 0.5; //!< Elasticity parameter in (0, 1).
+    std::vector<CesJob> jobs;
+};
+
+/** CES utility u(x) = sum_j (w_j x_j)^rho. */
+class CesUtility
+{
+  public:
+    /**
+     * @param weights Per-job weights (positive).
+     * @param rho     Elasticity in (0, 1].
+     */
+    CesUtility(std::vector<double> weights, double rho);
+
+    /** @return Number of jobs. */
+    std::size_t size() const { return weights_.size(); }
+
+    /** @return The elasticity parameter. */
+    double rho() const { return rho_; }
+
+    /** @return u(x). */
+    double value(const std::vector<double> &x) const;
+
+    /** @return One job's contribution (w_j x_j)^rho. */
+    double jobValue(std::size_t j, double x) const;
+
+    /** @return du/dx_j. */
+    double jobMarginal(std::size_t j, double x) const;
+
+    /**
+     * Closed-form price-taking demand: the utility-maximizing bundle
+     * under prices p and the given budget (spends the whole budget).
+     *
+     * @param prices Positive price per job (already mapped from its
+     *               server).
+     * @param budget Total budget (> 0).
+     * @return Optimal x_j per job.
+     */
+    std::vector<double> demand(const std::vector<double> &prices,
+                               double budget) const;
+
+  private:
+    std::vector<double> weights_;
+    double rho_;
+};
+
+/** A Fisher market with CES participants. */
+class CesMarket
+{
+  public:
+    explicit CesMarket(std::vector<double> capacities);
+
+    /** Add a participant. @return Her index. */
+    std::size_t addUser(CesUser user);
+
+    std::size_t userCount() const { return users_.size(); }
+    std::size_t serverCount() const { return capacities_.size(); }
+    const CesUser &user(std::size_t i) const;
+    double capacity(std::size_t j) const;
+
+    /** @throws FatalError when a server has no bidders. */
+    void validate() const;
+
+  private:
+    std::vector<double> capacities_;
+    std::vector<CesUser> users_;
+};
+
+/** Result of the CES proportional-response solver. */
+struct CesResult
+{
+    std::vector<double> prices;
+    std::vector<std::vector<double>> allocation; //!< [user][job].
+    std::vector<std::vector<double>> bids;
+    int iterations = 0;
+    bool converged = false;
+};
+
+/** Options for the CES PRD solver. */
+struct CesOptions
+{
+    double priceTolerance = 1e-8;
+    int maxIterations = 100000;
+};
+
+/**
+ * Classical proportional response for CES utilities: each user bids
+ * her budget in proportion to per-job utility contributions,
+ *
+ *     b_ij(t+1) = b_i * (w_ij x_ij(t))^rho_i / sum_k (w_ik x_ik(t))^rho_i
+ *
+ * which converges to the Fisher equilibrium for rho in (0, 1)
+ * (Zhang; Birnbaum, Devanur, Xiao).
+ */
+CesResult solveCesMarket(const CesMarket &market,
+                         const CesOptions &opts = {});
+
+/**
+ * Least-squares fit of a single-job CES term c * x^rho to an Amdahl
+ * speedup curve s(x) = x / (f + (1-f) x) over x in [1, max_cores]
+ * (log-log regression). Used by the CES-surrogate ablation.
+ *
+ * @param parallel_fraction The Amdahl f in (0, 1).
+ * @param max_cores         Fit domain upper end (>= 2).
+ * @param[out] scale        Fitted c.
+ * @param[out] rho          Fitted exponent, clamped into (0, 1).
+ * @return RMS relative fitting error over the sampled domain.
+ */
+double fitCesToAmdahl(double parallel_fraction, int max_cores,
+                      double &scale, double &rho);
+
+} // namespace amdahl::core
+
+#endif // AMDAHL_CORE_CES_MARKET_HH

@@ -1,0 +1,213 @@
+#include "market.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "core/amdahl.hh"
+#include "solver/water_filling.hh"
+
+namespace amdahl::core {
+
+FisherMarket::FisherMarket(std::vector<double> capacities)
+    : capacities_(std::move(capacities))
+{
+    if (capacities_.empty())
+        fatal("market needs at least one server");
+    for (std::size_t j = 0; j < capacities_.size(); ++j) {
+        if (capacities_[j] <= 0.0)
+            fatal("server ", j, " has non-positive capacity ",
+                  capacities_[j]);
+    }
+}
+
+std::size_t
+FisherMarket::addUser(MarketUser user)
+{
+    if (user.budget <= 0.0)
+        fatal("user '", user.name, "' has non-positive budget ",
+              user.budget);
+    if (user.jobs.empty())
+        fatal("user '", user.name, "' has no jobs");
+    for (const auto &job : user.jobs) {
+        if (job.server >= capacities_.size()) {
+            fatal("user '", user.name, "' has a job on server ",
+                  job.server, " but there are only ", capacities_.size(),
+                  " servers");
+        }
+        if (job.parallelFraction < 0.0 || job.parallelFraction > 1.0) {
+            fatal("user '", user.name, "' job has parallel fraction ",
+                  job.parallelFraction, " outside [0, 1]");
+        }
+        if (job.weight <= 0.0) {
+            fatal("user '", user.name, "' job has non-positive weight ",
+                  job.weight);
+        }
+    }
+    budgetSum += user.budget;
+    users_.push_back(std::move(user));
+    return users_.size() - 1;
+}
+
+const MarketUser &
+FisherMarket::user(std::size_t i) const
+{
+    if (i >= users_.size())
+        fatal("user index ", i, " out of range (", users_.size(), ")");
+    return users_[i];
+}
+
+double
+FisherMarket::capacity(std::size_t j) const
+{
+    if (j >= capacities_.size()) {
+        fatal("server index ", j, " out of range (", capacities_.size(),
+              ")");
+    }
+    return capacities_[j];
+}
+
+double
+FisherMarket::totalCores() const
+{
+    double total = 0.0;
+    for (double c : capacities_)
+        total += c;
+    return total;
+}
+
+void
+FisherMarket::validate() const
+{
+    if (users_.empty())
+        fatal("market has no users");
+    std::vector<bool> has_job(capacities_.size(), false);
+    for (const auto &user : users_)
+        for (const auto &job : user.jobs)
+            has_job[job.server] = true;
+    for (std::size_t j = 0; j < capacities_.size(); ++j) {
+        if (!has_job[j]) {
+            fatal("server ", j,
+                  " hosts no jobs; it cannot clear in a market");
+        }
+    }
+}
+
+double
+FisherMarket::entitlementShare(std::size_t i) const
+{
+    return user(i).budget / budgetSum;
+}
+
+double
+FisherMarket::entitledCores(std::size_t i) const
+{
+    return entitlementShare(i) * totalCores();
+}
+
+double
+FisherMarket::entitledCoresOnServer(std::size_t i, std::size_t j) const
+{
+    return entitlementShare(i) * capacity(j);
+}
+
+AmdahlUtility
+FisherMarket::utilityOf(std::size_t i) const
+{
+    const auto &u = user(i);
+    std::vector<UtilityTerm> terms;
+    terms.reserve(u.jobs.size());
+    for (const auto &job : u.jobs)
+        terms.push_back({job.parallelFraction, job.weight});
+    return AmdahlUtility(std::move(terms));
+}
+
+double
+MarketOutcome::userCores(std::size_t i) const
+{
+    if (i >= allocation.size())
+        fatal("user index ", i, " out of range in outcome");
+    double total = 0.0;
+    for (double x : allocation[i])
+        total += x;
+    return total;
+}
+
+double
+MarketOutcome::serverLoad(const FisherMarket &market, std::size_t j) const
+{
+    double load = 0.0;
+    for (std::size_t i = 0; i < market.userCount(); ++i) {
+        const auto &jobs = market.user(i).jobs;
+        for (std::size_t k = 0; k < jobs.size(); ++k) {
+            if (jobs[k].server == j)
+                load += allocation[i][k];
+        }
+    }
+    return load;
+}
+
+bool
+EquilibriumCheck::pass(double tol) const
+{
+    return maxClearingResidual <= tol && maxBudgetResidual <= tol &&
+           maxOptimalityGap <= tol;
+}
+
+EquilibriumCheck
+verifyEquilibrium(const FisherMarket &market, const MarketOutcome &outcome)
+{
+    if (outcome.prices.size() != market.serverCount())
+        fatal("outcome has wrong price vector size");
+    if (outcome.allocation.size() != market.userCount() ||
+        outcome.bids.size() != market.userCount()) {
+        fatal("outcome has wrong user count");
+    }
+
+    EquilibriumCheck check;
+
+    // Condition 1: every server clears.
+    for (std::size_t j = 0; j < market.serverCount(); ++j) {
+        const double load = outcome.serverLoad(market, j);
+        const double residual =
+            std::abs(load - market.capacity(j)) / market.capacity(j);
+        check.maxClearingResidual =
+            std::max(check.maxClearingResidual, residual);
+    }
+
+    // Condition 2: each user's allocation solves her budget-constrained
+    // utility maximization at the posted prices. The closed-form
+    // water-filling solver gives the optimum to compare against.
+    for (std::size_t i = 0; i < market.userCount(); ++i) {
+        const auto &user = market.user(i);
+        double spent = 0.0;
+        for (double b : outcome.bids[i])
+            spent += b;
+        check.maxBudgetResidual =
+            std::max(check.maxBudgetResidual,
+                     std::abs(spent - user.budget) / user.budget);
+
+        std::vector<solver::WaterFillItem> items;
+        items.reserve(user.jobs.size());
+        for (const auto &job : user.jobs) {
+            items.push_back({job.weight, job.parallelFraction,
+                             outcome.prices[job.server]});
+        }
+        const auto best = solver::waterFill(items, user.budget);
+
+        double actual = 0.0;
+        for (std::size_t k = 0; k < user.jobs.size(); ++k) {
+            actual += user.jobs[k].weight *
+                      amdahlSpeedup(user.jobs[k].parallelFraction,
+                                    outcome.allocation[i][k]);
+        }
+        if (best.utility > 0.0) {
+            const double gap = (best.utility - actual) / best.utility;
+            check.maxOptimalityGap =
+                std::max(check.maxOptimalityGap, gap);
+        }
+    }
+    return check;
+}
+
+} // namespace amdahl::core

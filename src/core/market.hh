@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The Fisher market for processor cores (Section V-B/C).
+ *
+ * The system has n users and m servers; server j holds C_j cores. Each
+ * user runs one or more jobs, each assigned to a server and characterized
+ * by a parallel fraction f and work rate w. Users receive budgets
+ * proportional to their datacenter-wide entitlements and bid budget on
+ * the servers that run their jobs.
+ *
+ * A price vector p and allocation x form a *market equilibrium* when
+ * (1) every server clears — sum_i x_ij = C_j — and (2) every user's
+ * allocation maximizes her Amdahl utility subject to her budget. This
+ * header defines the market description, outcomes, and an equilibrium
+ * verifier; the Amdahl Bidding procedure that finds the equilibrium
+ * lives in bidding.hh.
+ */
+
+#ifndef AMDAHL_CORE_MARKET_HH
+#define AMDAHL_CORE_MARKET_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/utility.hh"
+
+namespace amdahl::core {
+
+/** One job: a workload instance pinned to a server. */
+struct JobSpec
+{
+    std::size_t server = 0;        //!< Index of the hosting server.
+    double parallelFraction = 0.5; //!< f_ij (estimated via Karp-Flatt).
+    double weight = 1.0;           //!< w_ij, work rate at one core.
+};
+
+/** One market participant. */
+struct MarketUser
+{
+    std::string name;          //!< Diagnostic label.
+    double budget = 1.0;       //!< b_i, proportional to entitlement.
+    std::vector<JobSpec> jobs; //!< At least one.
+};
+
+/**
+ * Immutable description of one allocation problem.
+ */
+class FisherMarket
+{
+  public:
+    /** @param capacities C_j per server, each positive. */
+    explicit FisherMarket(std::vector<double> capacities);
+
+    /** Add a participant. @return Her index. */
+    std::size_t addUser(MarketUser user);
+
+    /** @return Number of users n. */
+    std::size_t userCount() const { return users_.size(); }
+
+    /** @return Number of servers m. */
+    std::size_t serverCount() const { return capacities_.size(); }
+
+    /** @return User i. */
+    const MarketUser &user(std::size_t i) const;
+
+    /** @return Capacity vector. */
+    const std::vector<double> &capacities() const { return capacities_; }
+
+    /** @return C_j. */
+    double capacity(std::size_t j) const;
+
+    /** @return Sum of user budgets B. */
+    double totalBudget() const { return budgetSum; }
+
+    /** @return Sum of server capacities. */
+    double totalCores() const;
+
+    /**
+     * Check solvability: at least one user, every user has a job and a
+     * positive budget, and every server hosts at least one job (a
+     * bidder-less server cannot clear).
+     *
+     * @throws FatalError when the market is degenerate.
+     */
+    void validate() const;
+
+    /** @return b_i / B, user i's entitlement share. */
+    double entitlementShare(std::size_t i) const;
+
+    /**
+     * @return User i's datacenter-wide entitled cores,
+     * (b_i / B) * sum_j C_j.
+     */
+    double entitledCores(std::size_t i) const;
+
+    /**
+     * @return User i's per-server entitlement on server j,
+     * x_ent_ij = (b_i / B) * C_j.
+     */
+    double entitledCoresOnServer(std::size_t i, std::size_t j) const;
+
+    /** @return User i's Amdahl utility function (one term per job). */
+    AmdahlUtility utilityOf(std::size_t i) const;
+
+  private:
+    std::vector<double> capacities_;
+    std::vector<MarketUser> users_;
+    double budgetSum = 0.0;
+};
+
+/**
+ * Per-user, per-job matrices (bids or allocations); outer index is the
+ * user, inner index matches MarketUser::jobs order.
+ */
+using JobMatrix = std::vector<std::vector<double>>;
+
+/** Result of running a market mechanism. */
+struct MarketOutcome
+{
+    std::vector<double> prices; //!< p_j per server.
+    JobMatrix allocation;       //!< x_ij fractional cores per job.
+    JobMatrix bids;             //!< b_ij spend per job.
+    int iterations = 0;         //!< Bidding rounds executed.
+    bool converged = false;     //!< Price-change threshold reached.
+
+    /** @return Total cores user i holds across all her jobs. */
+    double userCores(std::size_t i) const;
+
+    /** @return Sum of allocations on server j under the given market. */
+    double serverLoad(const FisherMarket &market, std::size_t j) const;
+};
+
+/** Residuals of the two equilibrium conditions. */
+struct EquilibriumCheck
+{
+    /** max_j |sum_i x_ij - C_j| / C_j — the market-clearing residual. */
+    double maxClearingResidual = 0.0;
+
+    /** max_i |sum_j b_ij - b_i| / b_i — budget exhaustion residual. */
+    double maxBudgetResidual = 0.0;
+
+    /**
+     * max_i relative gap between the user's achieved utility and her
+     * optimal price-taking utility at the outcome's prices (computed by
+     * the closed-form water-filling solver).
+     */
+    double maxOptimalityGap = 0.0;
+
+    /** @return true when all residuals are within tol. */
+    bool pass(double tol = 1e-4) const;
+};
+
+/**
+ * Verify that an outcome is (approximately) a market equilibrium.
+ *
+ * @param market  The market description.
+ * @param outcome Prices/allocations/bids to check.
+ */
+EquilibriumCheck verifyEquilibrium(const FisherMarket &market,
+                                   const MarketOutcome &outcome);
+
+} // namespace amdahl::core
+
+#endif // AMDAHL_CORE_MARKET_HH

@@ -1,0 +1,183 @@
+#include "market_io.hh"
+
+#include <istream>
+#include <limits>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace amdahl::core {
+
+namespace {
+
+/** Split a line into whitespace-separated tokens, dropping comments. */
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> tokens;
+    std::istringstream is(line);
+    std::string token;
+    while (is >> token) {
+        if (!token.empty() && token.front() == '#')
+            break;
+        tokens.push_back(token);
+    }
+    return tokens;
+}
+
+double
+parseNumber(const std::string &token, int line_no, const char *what)
+{
+    try {
+        std::size_t used = 0;
+        const double value = std::stod(token, &used);
+        if (used != token.size())
+            throw std::invalid_argument(token);
+        return value;
+    } catch (const std::exception &) {
+        fatal("line ", line_no, ": expected a number for ", what,
+              ", got '", token, "'");
+    }
+}
+
+} // namespace
+
+FisherMarket
+parseMarket(std::istream &in)
+{
+    std::optional<FisherMarket> market;
+    MarketUser current;
+    bool in_user = false;
+    int line_no = 0;
+
+    auto flush_user = [&]() {
+        if (!in_user)
+            return;
+        ensure(market.has_value(), "user without servers");
+        market->addUser(std::move(current));
+        current = MarketUser();
+        in_user = false;
+    };
+
+    std::string line;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const auto tokens = tokenize(line);
+        if (tokens.empty())
+            continue;
+        const std::string &keyword = tokens.front();
+
+        if (keyword == "servers") {
+            if (market)
+                fatal("line ", line_no, ": duplicate 'servers' line");
+            if (tokens.size() < 2)
+                fatal("line ", line_no,
+                      ": 'servers' needs at least one capacity");
+            std::vector<double> capacities;
+            for (std::size_t t = 1; t < tokens.size(); ++t) {
+                capacities.push_back(
+                    parseNumber(tokens[t], line_no, "a capacity"));
+            }
+            market.emplace(std::move(capacities));
+        } else if (keyword == "user") {
+            if (!market)
+                fatal("line ", line_no,
+                      ": 'user' before 'servers'");
+            flush_user();
+            current = MarketUser();
+            in_user = true;
+            // Accept: user <name> [budget <b>]
+            std::size_t t = 1;
+            if (t < tokens.size() && tokens[t] != "budget")
+                current.name = tokens[t++];
+            if (t < tokens.size()) {
+                if (tokens[t] != "budget" || t + 1 >= tokens.size())
+                    fatal("line ", line_no,
+                          ": expected 'budget <value>'");
+                current.budget =
+                    parseNumber(tokens[t + 1], line_no, "a budget");
+                t += 2;
+            }
+            if (t != tokens.size())
+                fatal("line ", line_no, ": trailing tokens on 'user'");
+        } else if (keyword == "job") {
+            if (!in_user)
+                fatal("line ", line_no, ": 'job' before any 'user'");
+            JobSpec job;
+            bool have_server = false, have_fraction = false;
+            for (std::size_t t = 1; t + 1 < tokens.size(); t += 2) {
+                const std::string &key = tokens[t];
+                const std::string &value = tokens[t + 1];
+                if (key == "server") {
+                    job.server = static_cast<std::size_t>(
+                        parseNumber(value, line_no, "a server index"));
+                    have_server = true;
+                } else if (key == "fraction") {
+                    job.parallelFraction =
+                        parseNumber(value, line_no, "a fraction");
+                    have_fraction = true;
+                } else if (key == "weight") {
+                    job.weight =
+                        parseNumber(value, line_no, "a weight");
+                } else {
+                    fatal("line ", line_no, ": unknown job key '", key,
+                          "'");
+                }
+            }
+            if ((tokens.size() - 1) % 2 != 0)
+                fatal("line ", line_no,
+                      ": job keys and values must pair up");
+            if (!have_server || !have_fraction)
+                fatal("line ", line_no,
+                      ": job needs 'server' and 'fraction'");
+            current.jobs.push_back(job);
+        } else {
+            fatal("line ", line_no, ": unknown keyword '", keyword,
+                  "'");
+        }
+    }
+
+    if (!market)
+        fatal("market file has no 'servers' line");
+    flush_user();
+    if (market->userCount() == 0)
+        fatal("market file has no users");
+    return std::move(*market);
+}
+
+FisherMarket
+parseMarketString(const std::string &text)
+{
+    std::istringstream is(text);
+    return parseMarket(is);
+}
+
+void
+writeMarket(std::ostream &out, const FisherMarket &market)
+{
+    // max_digits10 so parse(write(m)) reproduces every double exactly.
+    const auto saved_precision = out.precision(
+        std::numeric_limits<double>::max_digits10);
+    out << "servers";
+    for (double c : market.capacities())
+        out << ' ' << c;
+    out << '\n';
+    for (std::size_t i = 0; i < market.userCount(); ++i) {
+        const auto &user = market.user(i);
+        out << "user ";
+        if (!user.name.empty())
+            out << user.name << ' ';
+        out << "budget " << user.budget << '\n';
+        for (const auto &job : user.jobs) {
+            out << "job server " << job.server << " fraction "
+                << job.parallelFraction << " weight " << job.weight
+                << '\n';
+        }
+    }
+    out.precision(saved_precision);
+}
+
+} // namespace amdahl::core

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Plain-text serialization of Fisher markets.
+ *
+ * A small line-oriented format so markets can be described in files,
+ * shipped to the CLI tool, and round-tripped in tests:
+ *
+ *     # Comments start with '#'; blank lines are ignored.
+ *     servers 10 10            # capacities C_j, one market per file
+ *     user Alice budget 1
+ *     job server 0 fraction 0.53 weight 1
+ *     job server 1 fraction 0.93          # weight defaults to 1
+ *     user Bob budget 1
+ *     job server 0 fraction 0.96
+ *     job server 1 fraction 0.68
+ *
+ * `job` lines attach to the most recent `user`. Keywords may appear
+ * in any order within a line's key/value pairs.
+ */
+
+#ifndef AMDAHL_CORE_MARKET_IO_HH
+#define AMDAHL_CORE_MARKET_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "core/market.hh"
+
+namespace amdahl::core {
+
+/**
+ * Parse a market description.
+ *
+ * @param in Input stream with the format above.
+ * @return The market (validated: at least one user; server indices in
+ *         range).
+ * @throws FatalError with a line number on malformed input.
+ */
+FisherMarket parseMarket(std::istream &in);
+
+/** Convenience: parse from a string. */
+FisherMarket parseMarketString(const std::string &text);
+
+/**
+ * Write a market in the same format (round-trips through
+ * parseMarket).
+ */
+void writeMarket(std::ostream &out, const FisherMarket &market);
+
+} // namespace amdahl::core
+
+#endif // AMDAHL_CORE_MARKET_IO_HH

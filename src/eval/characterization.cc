@@ -1,0 +1,78 @@
+#include "characterization.hh"
+
+#include "common/logging.hh"
+#include "profiling/karp_flatt.hh"
+#include "profiling/profiler.hh"
+#include "profiling/sampler.hh"
+#include "sim/workload_library.hh"
+
+namespace amdahl::eval {
+
+CharacterizationCache::CharacterizationCache(sim::TaskSimulator simulator)
+    : sim_(std::move(simulator))
+{}
+
+const WorkloadCharacterization &
+CharacterizationCache::of(std::size_t index)
+{
+    const auto it = characterizations.find(index);
+    if (it != characterizations.end())
+        return it->second;
+
+    const auto &library = sim::workloadLibrary();
+    if (index >= library.size())
+        fatal("workload index ", index, " out of range (", library.size(),
+              ")");
+    const auto &workload = library[index];
+
+    profiling::Profiler profiler(sim_);
+
+    WorkloadCharacterization record;
+    record.name = workload.name;
+
+    // Measured fraction: Karp-Flatt on the full dataset.
+    const auto full_profile =
+        profiler.profile(workload, {workload.datasetGB});
+    record.measuredFraction =
+        profiling::estimateFraction(full_profile, workload.datasetGB)
+            .expected;
+    record.t1Seconds = full_profile.secondsAt(workload.datasetGB, 1);
+
+    // Estimated fraction: the sampled-dataset pipeline of Section IV.
+    const auto plan = profiling::planSamples(workload);
+    const auto sampled_profile =
+        profiler.profile(workload, plan.sampleSizesGB);
+    record.estimatedFraction =
+        profiling::estimateFractionFromSamples(sampled_profile);
+
+    return characterizations.emplace(index, std::move(record))
+        .first->second;
+}
+
+double
+CharacterizationCache::fraction(std::size_t index, FractionSource source)
+{
+    const auto &record = of(index);
+    return source == FractionSource::Measured ? record.measuredFraction
+                                              : record.estimatedFraction;
+}
+
+double
+CharacterizationCache::fullDatasetSeconds(std::size_t index, int cores)
+{
+    const auto key = std::make_pair(index, cores);
+    const auto it = times.find(key);
+    if (it != times.end())
+        return it->second;
+
+    const auto &library = sim::workloadLibrary();
+    if (index >= library.size())
+        fatal("workload index ", index, " out of range");
+    const auto &workload = library[index];
+    const double seconds =
+        sim_.executionSeconds(workload, workload.datasetGB, cores);
+    times.emplace(key, seconds);
+    return seconds;
+}
+
+} // namespace amdahl::eval

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Per-workload characterization cache.
+ *
+ * The evaluation needs, for every Table I workload:
+ *
+ *  - the *estimated* parallel fraction (fit from sampled-dataset
+ *    profiles — this is what the market's Amdahl utilities use, so
+ *    estimation error propagates into allocations exactly as in the
+ *    paper);
+ *  - the *measured* parallel fraction (Karp-Flatt on the full dataset —
+ *    the oracle used by the performance-centric G/UB baselines);
+ *  - full-dataset execution times at every core count (ground truth for
+ *    the progress metrics).
+ *
+ * Characterizations and execution times are memoized: a population has
+ * thousands of jobs but only 22 distinct workloads.
+ */
+
+#ifndef AMDAHL_EVAL_CHARACTERIZATION_HH
+#define AMDAHL_EVAL_CHARACTERIZATION_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/task_sim.hh"
+
+namespace amdahl::eval {
+
+/** Summary facts about one workload. */
+struct WorkloadCharacterization
+{
+    std::string name;
+    double measuredFraction = 0.0;  //!< E[F] on the full dataset.
+    double estimatedFraction = 0.0; //!< Geomean E[F] on sampled data.
+    double t1Seconds = 0.0;         //!< Full-dataset single-core time.
+};
+
+/** Which parallel fraction a market should be built with. */
+enum class FractionSource
+{
+    Measured, //!< Full-dataset Karp-Flatt (oracle policies: G, UB).
+    Estimated //!< Sampled-dataset pipeline (market policies: AB, BR).
+};
+
+/**
+ * Lazily characterizes workloads from the library and memoizes
+ * full-dataset execution times.
+ */
+class CharacterizationCache
+{
+  public:
+    /** @param simulator The machine model executions run on. */
+    explicit CharacterizationCache(
+        sim::TaskSimulator simulator = sim::TaskSimulator());
+
+    /** @return The simulator in use. */
+    const sim::TaskSimulator &simulator() const { return sim_; }
+
+    /** @return Characterization of library workload @p index. */
+    const WorkloadCharacterization &of(std::size_t index);
+
+    /** @return The fraction from the requested source. */
+    double fraction(std::size_t index, FractionSource source);
+
+    /**
+     * Memoized full-dataset execution time.
+     *
+     * @param index Library workload index.
+     * @param cores Allocation (>= 1).
+     */
+    double fullDatasetSeconds(std::size_t index, int cores);
+
+  private:
+    sim::TaskSimulator sim_;
+    std::map<std::size_t, WorkloadCharacterization> characterizations;
+    std::map<std::pair<std::size_t, int>, double> times;
+};
+
+} // namespace amdahl::eval
+
+#endif // AMDAHL_EVAL_CHARACTERIZATION_HH

@@ -1,0 +1,62 @@
+#include "deployment.hh"
+
+#include "common/logging.hh"
+
+namespace amdahl::eval {
+
+DeploymentModel::DeploymentModel(DeploymentCosts costs) : costs_(costs)
+{
+    if (costs_.userBidUpdateMs < 0.0 || costs_.priceUpdateMs < 0.0 ||
+        costs_.networkRttMinMs < 0.0 || costs_.receiveBidsMs < 0.0 ||
+        costs_.roundingMs < 0.0) {
+        fatal("deployment costs must be non-negative");
+    }
+    if (costs_.networkRttMaxMs < costs_.networkRttMinMs)
+        fatal("network RTT range inverted");
+    if (costs_.bestResponseMultiplier < 1.0)
+        fatal("BR multiplier must be >= 1");
+}
+
+LatencyBreakdown
+DeploymentModel::latency(int iterations, int users,
+                         Architecture architecture,
+                         Mechanism mechanism) const
+{
+    if (iterations < 1)
+        fatal("need at least one iteration");
+    if (users < 1)
+        fatal("need at least one user");
+
+    double update = costs_.userBidUpdateMs;
+    if (mechanism == Mechanism::BestResponse)
+        update *= costs_.bestResponseMultiplier;
+
+    LatencyBreakdown breakdown;
+    if (architecture == Architecture::Distributed) {
+        // Users bid in parallel; the network round trip is paid every
+        // iteration (mean of the measured RTT range).
+        const double rtt =
+            0.5 * (costs_.networkRttMinMs + costs_.networkRttMaxMs);
+        breakdown.bidUpdatesMs = iterations * update;
+        breakdown.networkMs = iterations * rtt;
+    } else {
+        // The coordinator computes all users' bids itself: updates
+        // serialize, and there is no per-iteration network.
+        breakdown.bidUpdatesMs = iterations * update * users;
+        breakdown.networkMs = 0.0;
+    }
+    breakdown.priceUpdatesMs = iterations * costs_.priceUpdateMs;
+    breakdown.finalizationMs =
+        costs_.receiveBidsMs + costs_.roundingMs;
+    return breakdown;
+}
+
+double
+DeploymentModel::totalMs(int iterations, int users,
+                         Architecture architecture,
+                         Mechanism mechanism) const
+{
+    return latency(iterations, users, architecture, mechanism).totalMs();
+}
+
+} // namespace amdahl::eval

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Deployment cost model for the market runtime (Section VI-F).
+ *
+ * The paper reports end-to-end equilibrium latency as
+ *
+ *     total = iterations * (user bid update + market price update
+ *                           + network round trip)
+ *             + receive bids + calculate & round allocations
+ *
+ * with measured constants 12.35 ms = 10 * (0.10 + 0.85 + 0.25)
+ * + (0.30 + 0.05) ms, and notes that Best Response's bid update is
+ * ~22x slower — prohibitive for *centralized* deployments where bid
+ * updates dominate because there is no per-iteration network time to
+ * hide behind. This model reproduces that arithmetic for both
+ * architectures and either mechanism, with the paper's constants as
+ * defaults and our measured constants pluggable.
+ */
+
+#ifndef AMDAHL_EVAL_DEPLOYMENT_HH
+#define AMDAHL_EVAL_DEPLOYMENT_HH
+
+namespace amdahl::eval {
+
+/** Per-step costs, milliseconds. Defaults are the paper's values. */
+struct DeploymentCosts
+{
+    double userBidUpdateMs = 0.10;  //!< One user's AB update round.
+    double priceUpdateMs = 0.85;    //!< Price update + termination check.
+    double networkRttMinMs = 0.20;  //!< Round-trip to bidders, best.
+    double networkRttMaxMs = 0.30;  //!< Round-trip to bidders, worst.
+    double receiveBidsMs = 0.30;    //!< Servers receive equilibrium bids.
+    double roundingMs = 0.05;       //!< Per-server allocation rounding.
+
+    /**
+     * BR's bid-update time relative to AB's (the paper measures 22x).
+     */
+    double bestResponseMultiplier = 22.0;
+};
+
+/** Where bids are computed. */
+enum class Architecture
+{
+    /** Users bid on their own machines; each iteration pays a network
+     *  round trip, but bid updates run in parallel across users. */
+    Distributed,
+    /** The market computes every user's bids itself: no per-iteration
+     *  network, but bid updates serialize at the coordinator. */
+    Centralized,
+};
+
+/** Which bid-update rule runs. */
+enum class Mechanism
+{
+    AmdahlBidding,
+    BestResponse,
+};
+
+/** Itemized latency of one equilibrium computation, milliseconds. */
+struct LatencyBreakdown
+{
+    double bidUpdatesMs = 0.0;
+    double priceUpdatesMs = 0.0;
+    double networkMs = 0.0;
+    double finalizationMs = 0.0; //!< Receive bids + rounding.
+
+    /** @return The end-to-end total. */
+    double totalMs() const
+    {
+        return bidUpdatesMs + priceUpdatesMs + networkMs +
+               finalizationMs;
+    }
+};
+
+/**
+ * Analytic latency model for market deployments.
+ */
+class DeploymentModel
+{
+  public:
+    explicit DeploymentModel(DeploymentCosts costs = DeploymentCosts());
+
+    /** @return The cost constants in use. */
+    const DeploymentCosts &costs() const { return costs_; }
+
+    /**
+     * Itemized equilibrium latency.
+     *
+     * @param iterations   Bidding iterations until convergence (>= 1).
+     * @param users        Participants (>= 1); only affects the
+     *                     centralized architecture, where bid updates
+     *                     serialize across users.
+     * @param architecture Distributed or centralized.
+     * @param mechanism    AB (closed form) or BR (optimization).
+     */
+    LatencyBreakdown latency(int iterations, int users,
+                             Architecture architecture,
+                             Mechanism mechanism) const;
+
+    /**
+     * Convenience: the paper's headline number. With the default
+     * constants, latency(10, n, Distributed, AmdahlBidding) totals
+     * 12.35 ms for any n.
+     */
+    double totalMs(int iterations, int users,
+                   Architecture architecture,
+                   Mechanism mechanism) const;
+
+  private:
+    DeploymentCosts costs_;
+};
+
+} // namespace amdahl::eval
+
+#endif // AMDAHL_EVAL_DEPLOYMENT_HH

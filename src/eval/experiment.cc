@@ -1,0 +1,279 @@
+#include "experiment.hh"
+
+#include <cmath>
+#include <memory>
+
+#include "alloc/amdahl_bidding_policy.hh"
+#include "alloc/best_response.hh"
+#include "alloc/greedy.hh"
+#include "alloc/proportional_share.hh"
+#include "common/logging.hh"
+#include "core/bidding.hh"
+#include "core/entitlement.hh"
+#include "sim/workload_library.hh"
+
+namespace amdahl::eval {
+
+core::FisherMarket
+buildMarket(const Population &pop, CharacterizationCache &cache,
+            FractionSource source)
+{
+    std::vector<double> capacities(pop.serverCount);
+    for (std::size_t j = 0; j < pop.serverCount; ++j)
+        capacities[j] = static_cast<double>(pop.coresOf(j));
+    core::FisherMarket market(std::move(capacities));
+    for (std::size_t i = 0; i < pop.userCount(); ++i) {
+        core::MarketUser user;
+        user.name = "user" + std::to_string(i);
+        user.budget = pop.budgets[i];
+        for (const auto &job : pop.userJobs[i]) {
+            core::JobSpec spec;
+            spec.server = job.server;
+            spec.parallelFraction =
+                cache.fraction(job.workloadIndex, source);
+            spec.weight = 1.0;
+            user.jobs.push_back(spec);
+        }
+        market.addUser(std::move(user));
+    }
+    return market;
+}
+
+ExperimentDriver::ExperimentDriver() : ExperimentDriver(Config()) {}
+
+ExperimentDriver::ExperimentDriver(Config config)
+    : cfg(config), cache_(), rng(config.seed)
+{
+    if (cfg.populationsPerPoint < 1)
+        fatal("need at least one population per point");
+}
+
+Population
+ExperimentDriver::nextPopulation(int density)
+{
+    return nextPopulation(cfg.users, cfg.serverMultiplier, density);
+}
+
+Population
+ExperimentDriver::nextPopulation(int users, double multiplier, int density)
+{
+    PopulationOptions opts;
+    opts.users = users;
+    opts.serverMultiplier = multiplier;
+    opts.density = density;
+    opts.coresPerServer = cfg.coresPerServer;
+    opts.workloadCount = sim::workloadLibrary().size();
+    return generatePopulation(rng, opts);
+}
+
+DensitySweepRow
+ExperimentDriver::runDensityPoint(int density)
+{
+    DensitySweepRow row;
+    row.density = density;
+
+    // The five mechanisms of Section VI-A. Oracle policies (G, UB) see
+    // measured fractions; market policies (AB, BR) see the estimates
+    // their deployments would actually have.
+    struct Entry
+    {
+        std::unique_ptr<alloc::AllocationPolicy> policy;
+        FractionSource source;
+    };
+    std::vector<Entry> entries;
+    entries.push_back({std::make_unique<alloc::GreedyPolicy>(),
+                       FractionSource::Measured});
+    entries.push_back({std::make_unique<alloc::ProportionalShare>(),
+                       FractionSource::Measured});
+    entries.push_back({std::make_unique<alloc::AmdahlBiddingPolicy>(),
+                       FractionSource::Estimated});
+    if (cfg.includeBestResponse) {
+        entries.push_back({std::make_unique<alloc::BestResponsePolicy>(),
+                           FractionSource::Estimated});
+    }
+    entries.push_back({std::make_unique<alloc::UpperBoundPolicy>(),
+                       FractionSource::Measured});
+    for (const auto &entry : entries)
+        row.policies.push_back(entry.policy->name());
+
+    ProgressEvaluator evaluator(cache_);
+    std::map<std::string, std::map<int, double>> class_sums;
+    std::map<std::string, std::map<int, std::size_t>> class_counts;
+
+    for (int p = 0; p < cfg.populationsPerPoint; ++p) {
+        const Population pop = nextPopulation(density);
+        const auto measured =
+            buildMarket(pop, cache_, FractionSource::Measured);
+        const auto estimated =
+            buildMarket(pop, cache_, FractionSource::Estimated);
+
+        for (const auto &entry : entries) {
+            const auto &market =
+                entry.source == FractionSource::Measured ? measured
+                                                         : estimated;
+            const auto result = entry.policy->allocate(market);
+            auto &metrics = row.byPolicy[entry.policy->name()];
+
+            metrics.sysProgress +=
+                evaluator.systemProgress(pop, result.cores);
+            metrics.meanIterations += result.outcome.iterations;
+
+            // Entitlement MAPE over integral datacenter-wide cores.
+            const auto entitled = core::entitledCoresPerUser(market);
+            double mape = 0.0;
+            for (std::size_t i = 0; i < pop.userCount(); ++i) {
+                mape += std::abs(result.userCores(i) - entitled[i]) /
+                        entitled[i];
+            }
+            metrics.mape +=
+                100.0 * mape / static_cast<double>(pop.userCount());
+
+            const auto progress =
+                evaluator.allUserProgress(pop, result.cores);
+            for (std::size_t i = 0; i < pop.userCount(); ++i) {
+                const int cls = pop.entitlementClass(i);
+                class_sums[entry.policy->name()][cls] += progress[i];
+                class_counts[entry.policy->name()][cls] += 1;
+            }
+        }
+    }
+
+    const double pops = static_cast<double>(cfg.populationsPerPoint);
+    for (auto &[name, metrics] : row.byPolicy) {
+        metrics.sysProgress /= pops;
+        metrics.mape /= pops;
+        metrics.meanIterations /= pops;
+        for (const auto &[cls, sum] : class_sums[name]) {
+            metrics.classProgress[cls] =
+                sum / static_cast<double>(class_counts[name][cls]);
+        }
+    }
+    return row;
+}
+
+double
+ExperimentDriver::runSensitivity(int density,
+                                 std::pair<double, double> bucket,
+                                 int trials)
+{
+    if (trials < 1)
+        fatal("need at least one sensitivity trial");
+    if (bucket.first < 0.0 || bucket.second < bucket.first ||
+        bucket.second > 100.0) {
+        fatal("invalid reduction bucket [", bucket.first, ", ",
+              bucket.second, "]");
+    }
+
+    alloc::AmdahlBiddingPolicy ab;
+    double mae_sum = 0.0;
+    for (int t = 0; t < trials; ++t) {
+        const Population pop = nextPopulation(density);
+        auto market = buildMarket(pop, cache_, FractionSource::Estimated);
+        const auto baseline = ab.allocate(market);
+
+        // Perturb one random user: contention lowers the effective
+        // parallel fraction of *all* her jobs.
+        const auto victim = static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(pop.userCount()) - 1));
+        const double reduction =
+            rng.uniform(bucket.first, bucket.second);
+
+        core::FisherMarket adjusted(market.capacities());
+        for (std::size_t i = 0; i < pop.userCount(); ++i) {
+            core::MarketUser user = market.user(i);
+            if (i == victim) {
+                for (auto &job : user.jobs) {
+                    job.parallelFraction *= 1.0 - reduction / 100.0;
+                }
+            }
+            adjusted.addUser(std::move(user));
+        }
+        const auto perturbed = ab.allocate(adjusted);
+
+        // MAE over the victim's per-job fractional allocations.
+        double mae = 0.0;
+        const auto &orig = baseline.outcome.allocation[victim];
+        const auto &pert = perturbed.outcome.allocation[victim];
+        for (std::size_t k = 0; k < orig.size(); ++k)
+            mae += std::abs(orig[k] - pert[k]);
+        mae_sum += mae / static_cast<double>(orig.size());
+    }
+    return mae_sum / static_cast<double>(trials);
+}
+
+ExperimentDriver::MisreportStudy
+ExperimentDriver::runMisreport(int users, int density, double exaggeration,
+                               int trials)
+{
+    if (trials < 1)
+        fatal("need at least one misreport trial");
+    if (exaggeration <= 0.0 || exaggeration > 1.0)
+        fatal("exaggeration must be in (0, 1], got ", exaggeration);
+
+    MisreportStudy study;
+    alloc::AmdahlBiddingPolicy ab;
+    for (int t = 0; t < trials; ++t) {
+        const Population pop =
+            nextPopulation(users, cfg.serverMultiplier, density);
+        const auto market =
+            buildMarket(pop, cache_, FractionSource::Estimated);
+        const auto liar = static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(pop.userCount()) - 1));
+
+        // Truthful run, scored with the liar's true utility.
+        const auto truthful = ab.allocate(market);
+        const auto utility = market.utilityOf(liar);
+        const double u_truth =
+            utility.value(truthful.outcome.allocation[liar]);
+
+        // Misreport: the liar claims most of her remaining
+        // parallelism headroom on every job.
+        core::FisherMarket shaded(market.capacities());
+        for (std::size_t i = 0; i < market.userCount(); ++i) {
+            core::MarketUser user = market.user(i);
+            if (i == liar) {
+                for (auto &job : user.jobs) {
+                    job.parallelFraction = std::min(
+                        0.999, job.parallelFraction +
+                                   exaggeration *
+                                       (1.0 - job.parallelFraction));
+                }
+            }
+            shaded.addUser(std::move(user));
+        }
+        const auto manipulated = ab.allocate(shaded);
+        const double u_lie =
+            utility.value(manipulated.outcome.allocation[liar]);
+
+        const double gain = 100.0 * (u_lie - u_truth) / u_truth;
+        study.meanTruthfulUtility += u_truth;
+        study.meanMisreportUtility += u_lie;
+        study.meanGainPercent += gain;
+        study.maxGainPercent = std::max(study.maxGainPercent, gain);
+    }
+    const double scale = 1.0 / static_cast<double>(trials);
+    study.meanTruthfulUtility *= scale;
+    study.meanMisreportUtility *= scale;
+    study.meanGainPercent *= scale;
+    return study;
+}
+
+double
+ExperimentDriver::meanBiddingIterations(int users, double server_multiplier,
+                                        int density, int populations)
+{
+    if (populations < 1)
+        fatal("need at least one population");
+    double total = 0.0;
+    for (int p = 0; p < populations; ++p) {
+        const Population pop =
+            nextPopulation(users, server_multiplier, density);
+        const auto market =
+            buildMarket(pop, cache_, FractionSource::Estimated);
+        const auto result = core::solveAmdahlBidding(market);
+        total += result.iterations;
+    }
+    return total / static_cast<double>(populations);
+}
+
+} // namespace amdahl::eval

@@ -1,0 +1,66 @@
+#include "metrics.hh"
+
+#include "common/logging.hh"
+
+namespace amdahl::eval {
+
+ProgressEvaluator::ProgressEvaluator(CharacterizationCache &cache)
+    : cache_(cache)
+{}
+
+double
+ProgressEvaluator::jobProgress(std::size_t workload_index, int cores) const
+{
+    if (cores < 0)
+        fatal("negative core allocation");
+    if (cores == 0)
+        return 0.0;
+    const double t1 = cache_.fullDatasetSeconds(workload_index, 1);
+    const double tx = cache_.fullDatasetSeconds(workload_index, cores);
+    return t1 / tx;
+}
+
+double
+ProgressEvaluator::userProgress(const Population &pop, std::size_t i,
+                                const std::vector<int> &cores_per_job)
+    const
+{
+    const auto &jobs = pop.userJobs[i];
+    if (cores_per_job.size() != jobs.size())
+        fatal("allocation for user ", i, " has wrong job count");
+    // Unit work rates (w_ij = 1), as in the paper's experiments.
+    double total = 0.0;
+    for (std::size_t k = 0; k < jobs.size(); ++k)
+        total += jobProgress(jobs[k].workloadIndex, cores_per_job[k]);
+    return total / static_cast<double>(jobs.size());
+}
+
+std::vector<double>
+ProgressEvaluator::allUserProgress(
+    const Population &pop,
+    const std::vector<std::vector<int>> &cores) const
+{
+    if (cores.size() != pop.userCount())
+        fatal("allocation has wrong user count");
+    std::vector<double> progress(pop.userCount());
+    for (std::size_t i = 0; i < pop.userCount(); ++i)
+        progress[i] = userProgress(pop, i, cores[i]);
+    return progress;
+}
+
+double
+ProgressEvaluator::systemProgress(
+    const Population &pop,
+    const std::vector<std::vector<int>> &cores) const
+{
+    const auto progress = allUserProgress(pop, cores);
+    double weighted = 0.0;
+    double budget_sum = 0.0;
+    for (std::size_t i = 0; i < pop.userCount(); ++i) {
+        weighted += pop.budgets[i] * progress[i];
+        budget_sum += pop.budgets[i];
+    }
+    return weighted / budget_sum;
+}
+
+} // namespace amdahl::eval

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Progress metrics (Section VI, "Metrics").
+ *
+ * All performance results are reported in terms of measured (simulated)
+ * execution time, not the Amdahl model — so policies that rely on
+ * estimated utilities are scored against ground truth:
+ *
+ *   JobProgress_ij(x)  = w_ij * time_ij(1) / time_ij(x)
+ *   UserProgress_i     = sum_j w_ij time_ij(1)/time_ij(x_ij)
+ *                        / sum_j w_ij
+ *   SysProgress        = (1/B) sum_i b_i * UserProgress_i
+ *
+ * A job allocated zero cores makes zero progress. UserProgress matches
+ * the Amdahl utility definition and the weighted-speedup metric of the
+ * multi-core literature.
+ */
+
+#ifndef AMDAHL_EVAL_METRICS_HH
+#define AMDAHL_EVAL_METRICS_HH
+
+#include <vector>
+
+#include "eval/characterization.hh"
+#include "eval/population.hh"
+
+namespace amdahl::eval {
+
+/**
+ * Computes progress metrics for integral allocations against the
+ * simulator's ground-truth execution times.
+ */
+class ProgressEvaluator
+{
+  public:
+    /** @param cache Shared characterization/time cache (not owned). */
+    explicit ProgressEvaluator(CharacterizationCache &cache);
+
+    /**
+     * Normalized progress of one job: time(1) / time(x), or 0 when
+     * x == 0.
+     *
+     * @param workload_index Library index of the job's workload.
+     * @param cores          Allocated cores (>= 0).
+     */
+    double jobProgress(std::size_t workload_index, int cores) const;
+
+    /**
+     * UserProgress_i for user i of a population.
+     *
+     * @param pop           The population (job placement and workloads).
+     * @param i             User index.
+     * @param cores_per_job Integral allocation for each of her jobs.
+     */
+    double userProgress(const Population &pop, std::size_t i,
+                        const std::vector<int> &cores_per_job) const;
+
+    /** UserProgress for all users. @param cores [user][job] matrix. */
+    std::vector<double>
+    allUserProgress(const Population &pop,
+                    const std::vector<std::vector<int>> &cores) const;
+
+    /** SysProgress: budget-weighted mean of user progress (Eq. 10). */
+    double
+    systemProgress(const Population &pop,
+                   const std::vector<std::vector<int>> &cores) const;
+
+  private:
+    CharacterizationCache &cache_;
+};
+
+} // namespace amdahl::eval
+
+#endif // AMDAHL_EVAL_METRICS_HH

@@ -1,0 +1,318 @@
+#include "online.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "sim/workload_library.hh"
+
+namespace amdahl::eval {
+
+OnlineSimulator::OnlineSimulator(CharacterizationCache &cache,
+                                 OnlineOptions opts)
+    : cache_(cache), opts_(opts)
+{
+    if (opts_.users < 1 || opts_.servers < 1 ||
+        opts_.coresPerServer < 1) {
+        fatal("online scenario needs users, servers, and cores");
+    }
+    if (opts_.epochSeconds <= 0.0 || opts_.horizonSeconds <= 0.0)
+        fatal("epoch and horizon must be positive");
+    if (opts_.arrivalsPerServerEpoch < 0.0)
+        fatal("arrival rate must be non-negative");
+    if (opts_.workScaleMin <= 0.0 ||
+        opts_.workScaleMax < opts_.workScaleMin) {
+        fatal("invalid work-scale range");
+    }
+    if (opts_.minBudget < 1 || opts_.maxBudget < opts_.minBudget)
+        fatal("invalid budget class range");
+    if (!opts_.serverCores.empty() &&
+        opts_.serverCores.size() !=
+            static_cast<std::size_t>(opts_.servers)) {
+        fatal("serverCores has ", opts_.serverCores.size(),
+              " entries for ", opts_.servers, " servers");
+    }
+    int max_cores = opts_.coresPerServer;
+    for (int c : opts_.serverCores) {
+        if (c < 1)
+            fatal("server core counts must be positive");
+        max_cores = std::max(max_cores, c);
+    }
+    if (max_cores > cache_.simulator().server().cores()) {
+        fatal("online servers have up to ", max_cores,
+              " cores but the characterization machine only ",
+              cache_.simulator().server().cores(),
+              "; progress would be unmeasurable");
+    }
+}
+
+namespace {
+
+/** Cores of server j under the options' cluster shape. */
+int
+coresOf(const OnlineOptions &opts, std::size_t j)
+{
+    return opts.serverCores.empty()
+               ? opts.coresPerServer
+               : opts.serverCores[j];
+}
+
+} // namespace
+
+OnlineMetrics
+OnlineSimulator::run(const alloc::AllocationPolicy &policy,
+                     FractionSource source)
+{
+    // All randomness is re-seeded per run: every policy faces the
+    // identical arrival stream.
+    Rng rng(opts_.seed);
+
+    std::vector<double> budgets(static_cast<std::size_t>(opts_.users));
+    for (auto &b : budgets) {
+        b = static_cast<double>(
+            rng.uniformInt(opts_.minBudget, opts_.maxBudget));
+    }
+
+    OnlineMetrics metrics;
+    metrics.policyName = policy.name();
+
+    const auto &library = sim::workloadLibrary();
+    std::vector<OnlineJob> jobs;
+    OnlineStats occupancy;
+    OnlineStats weighted_speedup;
+    alloc::JobPlacer placer(
+        opts_.placement, static_cast<std::size_t>(opts_.servers));
+
+    // Cumulative core-second accounting for long-run fairness.
+    std::vector<double> granted(static_cast<std::size_t>(opts_.users),
+                                0.0);
+    std::vector<double> entitled(static_cast<std::size_t>(opts_.users),
+                                 0.0);
+
+    const int epochs = static_cast<int>(
+        std::ceil(opts_.horizonSeconds / opts_.epochSeconds));
+    for (int epoch = 0; epoch < epochs; ++epoch) {
+        const double now = epoch * opts_.epochSeconds;
+
+        // 1. Arrivals: a Poisson batch for the whole cluster, placed
+        //    by the configured discipline. The batch itself (count,
+        //    users, workloads, work sizes) is identical across runs
+        //    with the same seed; only placement reacts to state.
+        const int count = rng.poisson(opts_.arrivalsPerServerEpoch *
+                                      opts_.servers);
+        for (int a = 0; a < count; ++a) {
+            OnlineJob job;
+            job.user = static_cast<std::size_t>(
+                rng.uniformInt(0, opts_.users - 1));
+            job.workloadIndex =
+                static_cast<std::size_t>(rng.uniformInt(
+                    0,
+                    static_cast<std::int64_t>(library.size()) - 1));
+            job.arrivalSeconds = now;
+            const double t1 =
+                cache_.fullDatasetSeconds(job.workloadIndex, 1);
+            job.totalWork = t1 * rng.uniform(opts_.workScaleMin,
+                                             opts_.workScaleMax);
+            job.remainingWork = job.totalWork;
+            job.server = placer.place();
+            jobs.push_back(job);
+            ++metrics.jobsArrived;
+        }
+
+        // 2. Build the market over in-flight jobs. Idle servers and
+        //    jobless tenants are excluded from this epoch's market.
+        std::vector<std::size_t> active;
+        for (std::size_t k = 0; k < jobs.size(); ++k) {
+            if (!jobs[k].done())
+                active.push_back(k);
+        }
+        occupancy.add(static_cast<double>(active.size()));
+        metrics.occupancyHistory.push_back(
+            static_cast<double>(active.size()));
+        if (active.empty()) {
+            metrics.speedupHistory.push_back(0.0);
+            continue;
+        }
+
+        std::vector<int> server_map(
+            static_cast<std::size_t>(opts_.servers), -1);
+        std::vector<double> capacities;
+        for (std::size_t k : active) {
+            auto &slot = server_map[jobs[k].server];
+            if (slot < 0) {
+                slot = static_cast<int>(capacities.size());
+                capacities.push_back(static_cast<double>(
+                    coresOf(opts_, jobs[k].server)));
+            }
+        }
+
+        std::vector<int> user_map(static_cast<std::size_t>(opts_.users),
+                                  -1);
+        std::vector<core::MarketUser> market_users;
+        std::vector<std::vector<std::size_t>> user_job_ids;
+        for (std::size_t k : active) {
+            auto &slot = user_map[jobs[k].user];
+            if (slot < 0) {
+                slot = static_cast<int>(market_users.size());
+                core::MarketUser user;
+                user.name = "tenant" + std::to_string(jobs[k].user);
+                user.budget = budgets[jobs[k].user];
+                if (opts_.deficitCompensation &&
+                    granted[jobs[k].user] > 0.0) {
+                    const double boost = std::clamp(
+                        entitled[jobs[k].user] /
+                            granted[jobs[k].user],
+                        1.0, opts_.maxCompensation);
+                    user.budget *= boost;
+                }
+                market_users.push_back(std::move(user));
+                user_job_ids.emplace_back();
+            }
+            core::JobSpec spec;
+            spec.server = static_cast<std::size_t>(
+                server_map[jobs[k].server]);
+            spec.parallelFraction =
+                cache_.fraction(jobs[k].workloadIndex, source);
+            spec.weight = 1.0;
+            market_users[static_cast<std::size_t>(slot)]
+                .jobs.push_back(spec);
+            user_job_ids[static_cast<std::size_t>(slot)].push_back(k);
+        }
+
+        core::FisherMarket market(capacities);
+        for (auto &user : market_users)
+            market.addUser(std::move(user));
+
+        const auto result = policy.allocate(market);
+
+        // Core-second accounting against *base* budgets: the
+        // entitlement contract does not move with compensation.
+        {
+            double active_budget = 0.0;
+            double active_capacity = 0.0;
+            for (std::size_t ui = 0; ui < user_job_ids.size(); ++ui) {
+                active_budget +=
+                    budgets[jobs[user_job_ids[ui][0]].user];
+            }
+            for (double c : capacities)
+                active_capacity += c;
+            for (std::size_t ui = 0; ui < user_job_ids.size(); ++ui) {
+                const std::size_t tenant =
+                    jobs[user_job_ids[ui][0]].user;
+                entitled[tenant] += budgets[tenant] / active_budget *
+                                    active_capacity *
+                                    opts_.epochSeconds;
+                granted[tenant] +=
+                    result.userCores(ui) * opts_.epochSeconds;
+            }
+        }
+
+        // Feed the placer its congestion signal for the next epoch:
+        // equilibrium prices where the policy publishes them (idle
+        // servers are free), current loads otherwise.
+        {
+            std::vector<double> signal(
+                static_cast<std::size_t>(opts_.servers), 0.0);
+            const bool has_prices =
+                result.outcome.prices.size() == capacities.size();
+            for (int j = 0; j < opts_.servers; ++j) {
+                const int slot = server_map[static_cast<std::size_t>(j)];
+                if (has_prices && slot >= 0) {
+                    signal[static_cast<std::size_t>(j)] =
+                        result.outcome
+                            .prices[static_cast<std::size_t>(slot)];
+                } else if (!has_prices) {
+                    signal[static_cast<std::size_t>(j)] =
+                        static_cast<double>(placer.load(
+                            static_cast<std::size_t>(j)));
+                }
+            }
+            placer.updatePrices(signal);
+        }
+
+        // 3. Advance jobs by their measured speedups.
+        double epoch_speedup = 0.0;
+        double budget_sum = 0.0;
+        for (std::size_t ui = 0; ui < user_job_ids.size(); ++ui) {
+            double user_progress = 0.0;
+            for (std::size_t kk = 0; kk < user_job_ids[ui].size();
+                 ++kk) {
+                const std::size_t k = user_job_ids[ui][kk];
+                auto &job = jobs[k];
+                const int cores = result.cores[ui][kk];
+                if (cores <= 0)
+                    continue;
+                const double t1 =
+                    cache_.fullDatasetSeconds(job.workloadIndex, 1);
+                const double tx =
+                    cache_.fullDatasetSeconds(job.workloadIndex,
+                                              cores);
+                const double rate = t1 / tx; // measured speedup
+                user_progress += rate;
+                const double done_work =
+                    rate * opts_.epochSeconds;
+                if (done_work >= job.remainingWork) {
+                    const double used =
+                        job.remainingWork / rate;
+                    job.completionSeconds = now + used;
+                    job.remainingWork = 0.0;
+                    ++metrics.jobsCompleted;
+                    placer.jobFinished(job.server);
+                } else {
+                    job.remainingWork -= done_work;
+                }
+            }
+            const double b = market.user(ui).budget;
+            epoch_speedup +=
+                b * user_progress /
+                static_cast<double>(user_job_ids[ui].size());
+            budget_sum += b;
+        }
+        if (budget_sum > 0.0) {
+            weighted_speedup.add(epoch_speedup / budget_sum);
+            metrics.speedupHistory.push_back(epoch_speedup /
+                                             budget_sum);
+        } else {
+            metrics.speedupHistory.push_back(0.0);
+        }
+    }
+
+    // 4. Aggregate metrics.
+    std::vector<double> completions;
+    for (const auto &job : jobs) {
+        if (job.done()) {
+            metrics.workCompleted += job.totalWork;
+            completions.push_back(job.completionSeconds -
+                                  job.arrivalSeconds);
+        } else {
+            metrics.workCompleted +=
+                job.totalWork - job.remainingWork;
+        }
+    }
+    if (!completions.empty()) {
+        metrics.meanCompletionSeconds = mean(completions);
+        metrics.p95CompletionSeconds = quantile(completions, 0.95);
+    }
+    metrics.meanJobsInSystem = occupancy.mean();
+    metrics.meanWeightedSpeedup = weighted_speedup.mean();
+
+    double mape = 0.0;
+    std::size_t ever_active = 0;
+    for (std::size_t i = 0; i < entitled.size(); ++i) {
+        if (entitled[i] <= 0.0)
+            continue;
+        mape += std::abs(granted[i] - entitled[i]) / entitled[i];
+        ++ever_active;
+    }
+    if (ever_active > 0) {
+        metrics.longRunEntitlementMape =
+            100.0 * mape / static_cast<double>(ever_active);
+    }
+
+    metrics.jobs = std::move(jobs);
+    return metrics;
+}
+
+} // namespace amdahl::eval

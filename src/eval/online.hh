@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Online (epoch-based) market operation.
+ *
+ * The paper evaluates one-shot allocations; a deployed scheduler runs
+ * the market *continuously*: jobs arrive, the market re-clears each
+ * epoch over the jobs currently in the system, jobs make progress at
+ * their measured speedups, finish, and release cores. This module
+ * simulates that closed loop so allocation policies can be compared on
+ * completion-time metrics rather than instantaneous progress — the
+ * natural "future work" extension of Section VI, built entirely from
+ * the paper's own pieces (characterized workloads, the market, and
+ * Hamilton rounding).
+ *
+ * Progress model: a job holding x cores for an epoch of E seconds
+ * completes s(x) * E single-core-seconds of its remaining work, where
+ * s is the workload's *measured* (simulated) speedup at the full
+ * dataset. Jobs are pinned to their arrival server, as in the paper.
+ */
+
+#ifndef AMDAHL_EVAL_ONLINE_HH
+#define AMDAHL_EVAL_ONLINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "alloc/placement.hh"
+#include "alloc/policy.hh"
+#include "eval/characterization.hh"
+
+namespace amdahl::eval {
+
+/** One job flowing through the online system. */
+struct OnlineJob
+{
+    std::size_t user = 0;
+    std::size_t server = 0;
+    std::size_t workloadIndex = 0;
+    double arrivalSeconds = 0.0;
+    double totalWork = 0.0;     //!< Single-core seconds at admission.
+    double remainingWork = 0.0; //!< Single-core seconds left.
+    double completionSeconds = -1.0; //!< < 0 while in the system.
+
+    /** @return true once the job has finished. */
+    bool done() const { return completionSeconds >= 0.0; }
+};
+
+/** Scenario knobs. */
+struct OnlineOptions
+{
+    std::uint64_t seed = 0x0517e5ULL;
+    int users = 16;             //!< Fixed tenant population.
+    int servers = 8;
+    int coresPerServer = 24;
+
+    /**
+     * Heterogeneous clusters: per-server core counts (must have
+     * `servers` entries when non-empty). Prices encode capacity —
+     * this is where price-aware placement outruns load counting.
+     */
+    std::vector<int> serverCores;
+    double epochSeconds = 60.0;  //!< Market re-clearing period.
+    double horizonSeconds = 3600.0;
+    /** Expected job arrivals per server per epoch (Bernoulli thinned
+     *  across epochs; deterministic given the seed). */
+    double arrivalsPerServerEpoch = 0.4;
+    /** Arriving jobs carry between work * [min, max] of their
+     *  workload's full-dataset single-core time. */
+    double workScaleMin = 0.1;
+    double workScaleMax = 0.5;
+    int minBudget = 1; //!< Tenant entitlement classes, as in §VI.
+    int maxBudget = 5;
+
+    /**
+     * Where arriving jobs are placed. PriceAware steers arrivals to
+     * the cheapest server by the last equilibrium's prices (a
+     * congestion signal per Eq. 8); when the allocation policy
+     * publishes no prices (PS, G, UB), current loads stand in.
+     */
+    alloc::PlacementRule placement = alloc::PlacementRule::RoundRobin;
+
+    /**
+     * Long-term fairness: entitlements are instantaneous in the
+     * paper, but epoch-based operation can starve a tenant who was
+     * unlucky in *which* epochs her jobs ran. With compensation on,
+     * each epoch a tenant's effective budget is scaled by the ratio
+     * of her cumulative entitled core-seconds to her cumulative
+     * granted core-seconds (clamped to [1, maxCompensation]), so
+     * under-served tenants bid with extra weight until they catch
+     * up — deficit round-robin's idea expressed in market terms.
+     */
+    bool deficitCompensation = false;
+
+    /** Cap on the compensation multiplier. */
+    double maxCompensation = 3.0;
+};
+
+/** Aggregate outcome of one online run. */
+struct OnlineMetrics
+{
+    std::string policyName;
+    int jobsArrived = 0;
+    int jobsCompleted = 0;
+    double workCompleted = 0.0;      //!< Single-core seconds.
+    double meanCompletionSeconds = 0.0;  //!< Over completed jobs.
+    double p95CompletionSeconds = 0.0;
+    double meanJobsInSystem = 0.0;   //!< Time-averaged occupancy.
+    double meanWeightedSpeedup = 0.0; //!< Mean per-epoch SysProgress.
+
+    /**
+     * Long-run fairness: MAPE of cumulative granted core-seconds
+     * against cumulative entitled core-seconds, over tenants that
+     * were ever active.
+     */
+    double longRunEntitlementMape = 0.0;
+
+    /** Per-epoch jobs in the system (time series). */
+    std::vector<double> occupancyHistory;
+
+    /** Per-epoch entitlement-weighted speedup (time series; zero on
+     *  idle epochs). */
+    std::vector<double> speedupHistory;
+
+    /** The full job log (completed and still-running). */
+    std::vector<OnlineJob> jobs;
+};
+
+/**
+ * Epoch-driven online market simulator.
+ *
+ * Deterministic: the arrival process and workload draws depend only on
+ * the options' seed, so different policies face the *identical* job
+ * stream.
+ */
+class OnlineSimulator
+{
+  public:
+    /**
+     * @param cache Workload characterizations (shared; must outlive
+     *              the simulator).
+     * @param opts  Scenario parameters.
+     */
+    OnlineSimulator(CharacterizationCache &cache, OnlineOptions opts);
+
+    /** @return The scenario options. */
+    const OnlineOptions &options() const { return opts_; }
+
+    /**
+     * Run the scenario under an allocation policy.
+     *
+     * Each epoch: admit arrivals, build the market over in-flight
+     * jobs (servers or users without jobs are excluded; their cores
+     * idle), allocate, advance every job by its measured speedup, and
+     * retire completions.
+     *
+     * @param policy Allocation mechanism (AB, PS, ...).
+     * @param source Parallel-fraction source for the market's
+     *               utilities (Estimated for market policies).
+     */
+    OnlineMetrics run(const alloc::AllocationPolicy &policy,
+                      FractionSource source);
+
+  private:
+    CharacterizationCache &cache_;
+    OnlineOptions opts_;
+};
+
+} // namespace amdahl::eval
+
+#endif // AMDAHL_EVAL_ONLINE_HH

@@ -1,0 +1,44 @@
+#include "karp_flatt.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "core/amdahl.hh"
+
+namespace amdahl::profiling {
+
+FractionEstimate
+estimateFraction(const WorkloadProfile &profile, double datasetGB)
+{
+    FractionEstimate est;
+    est.datasetGB = datasetGB;
+    est.coreCounts = profile.multiCoreCounts();
+    if (est.coreCounts.empty())
+        fatal("Karp-Flatt needs profiles beyond one core");
+
+    const auto speedups = profile.speedups(datasetGB);
+    OnlineStats stats;
+    for (std::size_t k = 0; k < est.coreCounts.size(); ++k) {
+        double f = core::karpFlatt(speedups[k],
+                                   static_cast<double>(est.coreCounts[k]));
+        f = std::clamp(f, minClampedFraction, 1.0);
+        est.fractions.push_back(f);
+        stats.add(f);
+    }
+    est.expected = stats.mean();
+    est.variance = stats.variance();
+    return est;
+}
+
+double
+estimateFractionFromSamples(const WorkloadProfile &profile)
+{
+    std::vector<double> expectations;
+    expectations.reserve(profile.datasetsGB.size());
+    for (double gb : profile.datasetsGB)
+        expectations.push_back(estimateFraction(profile, gb).expected);
+    return std::min(1.0, geometricMean(expectations));
+}
+
+} // namespace amdahl::profiling

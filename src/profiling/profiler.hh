@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Execution profiler (Section III, "Physical Server Profiling").
+ *
+ * Runs a workload across a (core count x dataset size) grid and records
+ * execution times — the role `perf stat` and the Spark event log play in
+ * the paper. One core is always profiled (speedups are relative to it).
+ */
+
+#ifndef AMDAHL_PROFILING_PROFILER_HH
+#define AMDAHL_PROFILING_PROFILER_HH
+
+#include <vector>
+
+#include "sim/task_sim.hh"
+#include "sim/workload.hh"
+
+namespace amdahl::profiling {
+
+/** One measurement. */
+struct ProfilePoint
+{
+    double datasetGB = 0.0;
+    int cores = 0;
+    double seconds = 0.0;
+};
+
+/** A workload's measurements over the profiling grid. */
+struct WorkloadProfile
+{
+    std::string workloadName;
+    std::vector<int> coreCounts;      //!< Ascending, includes 1.
+    std::vector<double> datasetsGB;   //!< Ascending.
+    std::vector<ProfilePoint> points; //!< One per grid cell.
+
+    /** @return Measured seconds at a grid cell. Fatal if not profiled. */
+    double secondsAt(double datasetGB, int cores) const;
+
+    /** @return Speedups s(x) = T(1)/T(x) for all x > 1 at a dataset. */
+    std::vector<double> speedups(double datasetGB) const;
+
+    /** @return The core counts greater than one (Karp-Flatt domain). */
+    std::vector<int> multiCoreCounts() const;
+};
+
+/**
+ * Grid profiler over the execution simulator.
+ */
+class Profiler
+{
+  public:
+    /**
+     * @param simulator   The machine to profile on.
+     * @param core_counts Core counts to measure; 1 is added if missing.
+     *                    Defaults to the ladder used in the paper's
+     *                    figures, clipped to the simulator's server.
+     */
+    explicit Profiler(sim::TaskSimulator simulator,
+                      std::vector<int> core_counts = {});
+
+    /** @return The core-count ladder in use. */
+    const std::vector<int> &coreCounts() const { return cores_; }
+
+    /** @return The simulator driving the measurements. */
+    const sim::TaskSimulator &simulator() const { return sim_; }
+
+    /**
+     * Profile a workload at the given dataset sizes.
+     *
+     * @param workload   The benchmark.
+     * @param datasetsGB Dataset sizes to measure (each positive).
+     */
+    WorkloadProfile profile(const sim::WorkloadSpec &workload,
+                            const std::vector<double> &datasetsGB) const;
+
+  private:
+    sim::TaskSimulator sim_;
+    std::vector<int> cores_;
+};
+
+} // namespace amdahl::profiling
+
+#endif // AMDAHL_PROFILING_PROFILER_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Dataset sampling plans (Section IV-A).
+ *
+ * Estimating the parallel fraction requires profiling at several core
+ * counts, which is too slow on full datasets. The paper samples
+ * uniformly and randomly from the original dataset to create smaller
+ * ones: 1-6 GB subsets for Spark inputs, and PARSEC's simlarge-class
+ * inputs standing in for native. Sampled datasets must still produce
+ * more tasks than processors, or there is insufficient parallelism
+ * (paper footnote 1) — the planner enforces this where the dataset
+ * allows it.
+ */
+
+#ifndef AMDAHL_PROFILING_SAMPLER_HH
+#define AMDAHL_PROFILING_SAMPLER_HH
+
+#include <vector>
+
+#include "sim/workload.hh"
+
+namespace amdahl::profiling {
+
+/** A set of dataset sizes to profile. */
+struct SamplingPlan
+{
+    std::vector<double> sampleSizesGB; //!< Reduced inputs, ascending.
+    double fullSizeGB = 0.0;           //!< The original dataset.
+};
+
+/** Planner options. */
+struct SamplerOptions
+{
+    /** Spark sample ladder (GB), clipped to the dataset size. */
+    std::vector<double> sparkLadderGB = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+
+    /** Fractions of the full input used when the ladder is too coarse
+     *  (small datasets) and for PARSEC simlarge-class inputs. */
+    std::vector<double> smallDatasetFractions = {0.15, 0.30, 0.45, 0.60,
+                                                 0.75};
+    std::vector<double> parsecFractions = {0.20, 0.30, 0.40, 0.50};
+
+    /** Minimum sample sizes are chosen so at least this many tasks
+     *  exist per sample (when the dataset allows it). Default: one
+     *  task per allocatable core of the Table II server. */
+    int minTasksPerSample = 24;
+};
+
+/**
+ * Build the sampling plan for a workload.
+ *
+ * @param workload The benchmark (suite decides the ladder).
+ * @param opts     Planner options.
+ * @return Sample sizes plus the full size.
+ */
+SamplingPlan planSamples(const sim::WorkloadSpec &workload,
+                         const SamplerOptions &opts = {});
+
+} // namespace amdahl::profiling
+
+#endif // AMDAHL_PROFILING_SAMPLER_HH

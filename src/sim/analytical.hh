@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Closed-form analytical performance model.
+ *
+ * A first-order companion to the event-driven TaskSimulator: instead
+ * of scheduling every task, each stage's duration is computed from
+ * wave counts, bandwidth ceilings, dispatch serialization, and
+ * communication terms. Three to four orders of magnitude faster than
+ * event simulation, at the cost of ignoring task-skew straggling —
+ * the classic detailed-model / fast-model pair of architecture
+ * studies. Cross-validated against the event-driven simulator in
+ * tests/property/test_analytical_properties.cc.
+ */
+
+#ifndef AMDAHL_SIM_ANALYTICAL_HH
+#define AMDAHL_SIM_ANALYTICAL_HH
+
+#include "sim/server.hh"
+#include "sim/workload.hh"
+
+namespace amdahl::sim {
+
+/**
+ * Analytical execution-time estimator.
+ */
+class AnalyticalModel
+{
+  public:
+    /** @param server Hardware model (same role as the simulator's). */
+    explicit AnalyticalModel(ServerConfig server = ServerConfig());
+
+    /** @return The hardware model. */
+    const ServerConfig &server() const { return config; }
+
+    /**
+     * First-order execution time.
+     *
+     * Per stage: serial driver time plus the larger of the compute
+     * bound (task waves at the bandwidth-throttled task duration) and
+     * the dispatch bound (the serialized driver feeding workers),
+     * plus communication growing with the worker count.
+     *
+     * @param workload  The benchmark.
+     * @param datasetGB Input size (> 0).
+     * @param cores     Allocation (>= 1, within the server).
+     */
+    double executionSeconds(const WorkloadSpec &workload,
+                            double datasetGB, int cores) const;
+
+    /** @return T(1) / T(x) under the analytical model. */
+    double speedup(const WorkloadSpec &workload, double datasetGB,
+                   int cores) const;
+
+  private:
+    ServerConfig config;
+};
+
+} // namespace amdahl::sim
+
+#endif // AMDAHL_SIM_ANALYTICAL_HH

@@ -1,0 +1,46 @@
+#include "interference.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace amdahl::sim {
+
+InterferenceModel::InterferenceModel(double max_degradation)
+    : maxDegradation_(max_degradation)
+{
+    if (max_degradation < 0.0 || max_degradation >= 1.0)
+        fatal("max degradation must be in [0, 1), got ", max_degradation);
+}
+
+double
+InterferenceModel::slowdown(int own_cores, int colocated_cores,
+                            const ServerConfig &server) const
+{
+    if (own_cores < 0 || colocated_cores < 0)
+        fatal("negative core counts in interference model");
+    const int total = server.cores();
+    if (own_cores + colocated_cores > total) {
+        fatal("core counts ", own_cores, "+", colocated_cores,
+              " exceed server capacity ", total);
+    }
+    const int others_capacity = total - own_cores;
+    if (others_capacity <= 0)
+        return 1.0; // The job owns the machine: nobody to contend with.
+    const double pressure =
+        static_cast<double>(colocated_cores) / others_capacity;
+    return 1.0 + maxDegradation_ * pressure;
+}
+
+double
+InterferenceModel::reduceParallelFraction(double fraction,
+                                          double reduction_pct)
+{
+    if (fraction < 0.0 || fraction > 1.0)
+        fatal("parallel fraction ", fraction, " outside [0, 1]");
+    if (reduction_pct < 0.0 || reduction_pct > 100.0)
+        fatal("reduction percentage ", reduction_pct, " outside [0, 100]");
+    return std::max(0.0, fraction * (1.0 - reduction_pct / 100.0));
+}
+
+} // namespace amdahl::sim

@@ -1,0 +1,52 @@
+#include "server.hh"
+
+#include "common/logging.hh"
+
+namespace amdahl::sim {
+
+Cluster
+Cluster::homogeneous(std::size_t count, const ServerConfig &config)
+{
+    Cluster cluster;
+    for (std::size_t j = 0; j < count; ++j)
+        cluster.addServer(config);
+    return cluster;
+}
+
+std::size_t
+Cluster::addServer(ServerConfig config)
+{
+    if (config.cores() <= 0)
+        fatal("server must have at least one core");
+    servers_.push_back(std::move(config));
+    return servers_.size() - 1;
+}
+
+const ServerConfig &
+Cluster::server(std::size_t j) const
+{
+    if (j >= servers_.size())
+        fatal("server index ", j, " out of range (", servers_.size(), ")");
+    return servers_[j];
+}
+
+std::vector<double>
+Cluster::capacities() const
+{
+    std::vector<double> caps;
+    caps.reserve(servers_.size());
+    for (const auto &server : servers_)
+        caps.push_back(static_cast<double>(server.cores()));
+    return caps;
+}
+
+double
+Cluster::totalCores() const
+{
+    double total = 0.0;
+    for (const auto &server : servers_)
+        total += server.cores();
+    return total;
+}
+
+} // namespace amdahl::sim

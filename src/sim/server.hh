@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Server and cluster models.
+ *
+ * The paper profiles workloads on dual-socket Xeon E5-2658 v2 nodes
+ * (Table II). We simulate the properties the allocation study actually
+ * depends on: the number of allocatable cores and the shared memory
+ * bandwidth ceiling that throttles bandwidth-hungry workloads (canneal)
+ * at high core counts.
+ */
+
+#ifndef AMDAHL_SIM_SERVER_HH
+#define AMDAHL_SIM_SERVER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace amdahl::sim {
+
+/**
+ * Static description of one server, mirroring the paper's Table II.
+ */
+struct ServerConfig
+{
+    std::string model = "Intel Xeon CPU E5-2658 v2 (simulated)";
+    int sockets = 2;          //!< NUMA nodes.
+    int coresPerSocket = 12;  //!< Physical cores per socket.
+    int threadsPerCore = 2;   //!< SMT ways (not allocated individually).
+    std::string l1ICache = "32 KB";
+    std::string l1DCache = "32 KB";
+    std::string l2Cache = "256 KB";
+    std::string l3Cache = "32 MB";
+    double memoryGB = 256.0;  //!< DRAM capacity.
+
+    /**
+     * Aggregate DRAM bandwidth available to all cores, GB/s.
+     * Roughly 4 channels of DDR3-1866 per socket.
+     */
+    double memoryBandwidthGBps = 119.4;
+
+    /** @return Total allocatable cores (physical cores, as in the paper). */
+    int cores() const { return sockets * coresPerSocket; }
+};
+
+/**
+ * A datacenter: an ordered collection of servers.
+ *
+ * Server capacities C_j may differ; the market only consumes the capacity
+ * vector, but benches and examples also read the full configs.
+ */
+class Cluster
+{
+  public:
+    Cluster() = default;
+
+    /** Build a homogeneous cluster of @p count copies of @p config. */
+    static Cluster homogeneous(std::size_t count,
+                               const ServerConfig &config = {});
+
+    /** Append one server. @return Its index. */
+    std::size_t addServer(ServerConfig config);
+
+    /** @return Number of servers m. */
+    std::size_t size() const { return servers_.size(); }
+
+    /** @return Config of server j. */
+    const ServerConfig &server(std::size_t j) const;
+
+    /** @return The capacity vector (C_1, ..., C_m). */
+    std::vector<double> capacities() const;
+
+    /** @return Sum of all server capacities. */
+    double totalCores() const;
+
+  private:
+    std::vector<ServerConfig> servers_;
+};
+
+} // namespace amdahl::sim
+
+#endif // AMDAHL_SIM_SERVER_HH

@@ -1,0 +1,257 @@
+#include "workload_library.hh"
+
+#include <mutex>
+
+#include "common/logging.hh"
+
+namespace amdahl::sim {
+
+namespace {
+
+/** Calibration record for a Spark benchmark. */
+struct SparkParams
+{
+    int id;
+    const char *name;
+    const char *application;
+    const char *dataset;
+    double datasetGB;     //!< Full-dataset size.
+    double t1Seconds;     //!< Single-core time at the full dataset.
+    double parallelFrac;  //!< Structural parallel fraction.
+    double dispatch = 0.004;  //!< Driver dispatch seconds per task.
+    double comm = 0.0;        //!< Comm seconds per worker per stage.
+    int computeStages = 1;    //!< Iterative compute stages.
+    double commExponent = 1.0; //!< Comm-vs-dataset scaling exponent.
+    double timeExponent = 1.0; //!< Time-vs-dataset scaling exponent.
+};
+
+/** Calibration record for a PARSEC benchmark. */
+struct ParsecParams
+{
+    int id;
+    const char *name;
+    const char *application;
+    double datasetGB;     //!< "native" input, expressed as pseudo-GB.
+    double t1Seconds;
+    double parallelFrac;
+    int tasks = 256;          //!< Thread-pool work units in the ROI.
+    double comm = 0.0;
+    double bandwidthPerCore = 0.0;
+    double bandwidthSatGB = 0.0;
+};
+
+WorkloadSpec
+makeSpark(const SparkParams &p)
+{
+    WorkloadSpec w;
+    w.id = p.id;
+    w.name = p.name;
+    w.application = p.application;
+    w.suite = Suite::Spark;
+    w.dataset = p.dataset;
+    w.datasetGB = p.datasetGB;
+    w.dispatchSecondsPerTask = p.dispatch;
+    w.commSecondsPerWorker = p.comm;
+    w.commDatasetExponent = p.commExponent;
+    w.timeExponent = p.timeExponent;
+    w.seed = 0x5a11ULL * static_cast<std::uint64_t>(p.id);
+
+    const double serial = (1.0 - p.parallelFrac) * p.t1Seconds;
+    const double parallel = p.parallelFrac * p.t1Seconds;
+
+    // Driver setup, a read wave, compute wave(s), and final aggregation.
+    StageSpec setup;
+    setup.label = "setup";
+    setup.serialSeconds = 0.4 * serial;
+    w.stages.push_back(setup);
+
+    StageSpec read;
+    read.label = "read";
+    read.parallelSeconds = 0.45 * parallel;
+    read.scaling = TaskScaling::BlocksOfDataset;
+    w.stages.push_back(read);
+
+    const double compute_total = 0.55 * parallel;
+    for (int k = 0; k < p.computeStages; ++k) {
+        StageSpec compute;
+        compute.label =
+            p.computeStages == 1 ? "compute"
+                                 : "compute-" + std::to_string(k + 1);
+        compute.parallelSeconds = compute_total / p.computeStages;
+        compute.scaling = TaskScaling::BlocksOfDataset;
+        w.stages.push_back(compute);
+    }
+
+    StageSpec aggregate;
+    aggregate.label = "aggregate";
+    aggregate.serialSeconds = 0.6 * serial;
+    w.stages.push_back(aggregate);
+
+    w.validate();
+    return w;
+}
+
+WorkloadSpec
+makeParsec(const ParsecParams &p)
+{
+    WorkloadSpec w;
+    w.id = p.id;
+    w.name = p.name;
+    w.application = p.application;
+    w.suite = Suite::Parsec;
+    w.dataset = "native";
+    w.datasetGB = p.datasetGB;
+    w.commSecondsPerWorker = p.comm;
+    w.memBandwidthPerCoreGBps = p.bandwidthPerCore;
+    w.memBandwidthSaturationGB = p.bandwidthSatGB;
+    w.seed = 0xba5eULL * static_cast<std::uint64_t>(p.id);
+
+    const double serial = (1.0 - p.parallelFrac) * p.t1Seconds;
+    const double parallel = p.parallelFrac * p.t1Seconds;
+
+    StageSpec init;
+    init.label = "init";
+    init.serialSeconds = 0.5 * serial;
+    w.stages.push_back(init);
+
+    StageSpec roi;
+    roi.label = "roi";
+    roi.parallelSeconds = parallel;
+    roi.scaling = TaskScaling::FixedTasks;
+    roi.fixedTasks = p.tasks;
+    roi.taskSkew = 0.15;
+    w.stages.push_back(roi);
+
+    StageSpec finish;
+    finish.label = "finish";
+    finish.serialSeconds = 0.5 * serial;
+    w.stages.push_back(finish);
+
+    w.validate();
+    return w;
+}
+
+std::vector<WorkloadSpec>
+buildLibrary()
+{
+    std::vector<WorkloadSpec> lib;
+    lib.reserve(22);
+
+    // ------------------------------------------------------------------
+    // Spark (Table I, IDs 1-12). Parallel fractions sit in the ranges
+    // Figure 2 reports; graph analytics carry communication costs so the
+    // measured fraction *falls* with core count (Figure 1's pathology);
+    // kmeans's 327 MB census dataset yields only ~11 tasks.
+    // ------------------------------------------------------------------
+    lib.push_back(makeSpark({1, "correlation", "Statistics", "webspam2011",
+                             24.0, 2000.0, 0.97}));
+    lib.push_back(makeSpark({2, "decision", "Classifier", "webspam2011",
+                             24.0, 2400.0, 0.95}));
+    lib.push_back(makeSpark({3, "fpgrowth", "Mining", "wdc'12", 1.4, 400.0,
+                             0.93}));
+    lib.push_back(makeSpark({4, "gradient", "Classifier", "webspam2011",
+                             6.0, 700.0, 0.96}));
+    lib.push_back(makeSpark({5, "kmeans", "Clustering", "uscensus", 0.327,
+                             120.0, 0.90, 0.05}));
+    lib.push_back(makeSpark({6, "linear", "Classifier", "webspam2011",
+                             24.0, 2200.0, 0.97}));
+    lib.push_back(makeSpark({7, "movie", "Recommender", "movielens", 0.325,
+                             150.0, 0.92, 0.03}));
+    lib.push_back(makeSpark({8, "bayes", "Classifier", "webspam2011", 6.0,
+                             500.0, 0.94}));
+    lib.push_back(makeSpark({9, "svm", "Classifier", "webspam2011", 24.0,
+                             2600.0, 0.96}));
+    lib.push_back(makeSpark({10, "pagerank", "Graph Proc.", "wdc'12", 5.3,
+                             900.0, 0.88, 0.004, 1.0, 2, 1.35}));
+    lib.push_back(makeSpark({11, "connected", "Graph Proc.", "wdc'12", 6.0,
+                             950.0, 0.86, 0.004, 1.0, 2, 1.35}));
+    lib.push_back(makeSpark({12, "triangle", "Graph Proc.", "wdc'12", 5.3,
+                             1100.0, 0.84, 0.004, 1.2, 2, 1.35}));
+
+    // ------------------------------------------------------------------
+    // PARSEC (Table I, IDs 13-22). dedup's pipeline communication drives
+    // its effective fraction down to ~0.53; canneal demands enough DRAM
+    // bandwidth that full-size inputs throttle at high core counts while
+    // sampled inputs (which fit in cache) do not.
+    // ------------------------------------------------------------------
+    lib.push_back(makeParsec({13, "blackscholes", "Finance", 2.0, 300.0,
+                              0.995, 512}));
+    lib.push_back(makeParsec({14, "bodytrack", "Vision", 2.0, 260.0,
+                              0.93, 261}));
+    lib.push_back(makeParsec({15, "canneal", "Engineering", 2.0, 200.0,
+                              0.95, 384, 0.0, 28.0, 1.8}));
+    lib.push_back(makeParsec({16, "dedup", "Storage", 2.0, 150.0, 0.72,
+                              96, 1.0}));
+    lib.push_back(makeParsec({17, "ferret", "Search", 2.0, 280.0, 0.95,
+                              256}));
+    lib.push_back(makeParsec({18, "raytrace", "Visualization", 2.0, 320.0,
+                              0.68, 190}));
+    lib.push_back(makeParsec({19, "streamcluster", "Data Mining", 2.0,
+                              240.0, 0.90, 256, 0.12}));
+    lib.push_back(makeParsec({20, "swaptions", "Finance", 2.0, 220.0,
+                              0.99, 512}));
+    lib.push_back(makeParsec({21, "vips", "Media Proc.", 2.0, 180.0,
+                              0.88, 256}));
+    lib.push_back(makeParsec({22, "x264", "Media Proc.", 2.0, 200.0,
+                              0.96, 512}));
+
+    return lib;
+}
+
+} // namespace
+
+const std::vector<WorkloadSpec> &
+workloadLibrary()
+{
+    static const std::vector<WorkloadSpec> library = buildLibrary();
+    return library;
+}
+
+const WorkloadSpec &
+findWorkload(std::string_view name)
+{
+    for (const auto &workload : workloadLibrary()) {
+        if (workload.name == name)
+            return workload;
+    }
+    fatal("unknown workload '", std::string(name), "'");
+}
+
+const std::vector<WorkloadSpec> &
+extensionWorkloads()
+{
+    static const std::vector<WorkloadSpec> extensions = [] {
+        std::vector<WorkloadSpec> list;
+        // QR decomposition: dense linear algebra whose work grows
+        // quadratically with the input size. Highly parallel kernel
+        // with a serial panel factorization on the critical path.
+        SparkParams qr{23,    "qr",  "Linear Algebra", "synthetic",
+                       6.0,   800.0, 0.94,             0.004,
+                       0.0,   2,     1.0,              2.0};
+        list.push_back(makeSpark(qr));
+        return list;
+    }();
+    return extensions;
+}
+
+const WorkloadSpec &
+findExtensionWorkload(std::string_view name)
+{
+    for (const auto &workload : extensionWorkloads()) {
+        if (workload.name == name)
+            return workload;
+    }
+    fatal("unknown extension workload '", std::string(name), "'");
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    names.reserve(workloadLibrary().size());
+    for (const auto &workload : workloadLibrary())
+        names.push_back(workload.name);
+    return names;
+}
+
+} // namespace amdahl::sim

@@ -1,0 +1,131 @@
+#include "interior_point.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace amdahl::solver {
+
+namespace {
+
+/** Barrier objective value: t * g(b) + sum log b_j + log slack. */
+double
+barrierValue(const SeparableConcave &objective, const std::vector<double> &b,
+             double slack, double t)
+{
+    double value = 0.0;
+    for (std::size_t j = 0; j < b.size(); ++j)
+        value += t * objective.value(j, b[j]) + std::log(b[j]);
+    value += std::log(slack);
+    return value;
+}
+
+} // namespace
+
+std::vector<double>
+maximizeOnSimplex(const SeparableConcave &objective, double budget,
+                  const InteriorPointOptions &opts,
+                  InteriorPointStats *stats)
+{
+    const std::size_t m = objective.size();
+    if (m == 0)
+        fatal("maximizeOnSimplex: empty objective");
+    if (budget <= 0.0)
+        fatal("maximizeOnSimplex: budget must be positive, got ", budget);
+
+    // Strictly feasible start: half the budget spread evenly.
+    std::vector<double> b(m, budget / (2.0 * static_cast<double>(m)));
+    double slack = budget * 0.5;
+
+    InteriorPointStats local;
+    double t = opts.initialT;
+    const double constraints = static_cast<double>(m) + 1.0;
+
+    std::vector<double> grad(m), diag(m), step(m);
+    while (true) {
+        ++local.barrierRounds;
+        // Centering: damped Newton on the barrier objective at weight t.
+        for (int newton = 0; newton < opts.maxNewtonSteps; ++newton) {
+            ++local.newtonSteps;
+            const double slack_grad = -1.0 / slack;
+            const double slack_hess = -1.0 / (slack * slack);
+            for (std::size_t j = 0; j < m; ++j) {
+                grad[j] = t * objective.gradient(j, b[j]) + 1.0 / b[j] +
+                          slack_grad;
+                double h = t * objective.hessian(j, b[j]) -
+                           1.0 / (b[j] * b[j]);
+                if (h > -1e-300)
+                    h = -1e-300; // Guard: objective must be concave.
+                diag[j] = h;
+            }
+            // Newton system (D + c 11^T) step = -grad with c < 0, solved
+            // via Sherman-Morrison.
+            const double c = slack_hess;
+            double sum_ginv = 0.0;
+            double sum_inv = 0.0;
+            for (std::size_t j = 0; j < m; ++j) {
+                sum_ginv += grad[j] / diag[j];
+                sum_inv += 1.0 / diag[j];
+            }
+            const double denom = 1.0 + c * sum_inv;
+            // Newton decrement for maximization: grad^T step
+            // = grad^T (-H^{-1}) grad >= 0 since H is negative definite.
+            double decrement = 0.0;
+            for (std::size_t j = 0; j < m; ++j) {
+                step[j] = -(grad[j] / diag[j] -
+                            c * sum_ginv / (denom * diag[j]));
+                decrement += grad[j] * step[j];
+            }
+            if (decrement < 0.0)
+                decrement = 0.0;
+            if (decrement * 0.5 <= opts.newtonTolerance)
+                break;
+
+            // Backtracking line search keeping strict feasibility.
+            double step_sum = 0.0;
+            for (double s : step)
+                step_sum += s;
+            double alpha = 1.0;
+            for (std::size_t j = 0; j < m; ++j) {
+                if (step[j] < 0.0)
+                    alpha = std::min(alpha, -0.99 * b[j] / step[j]);
+            }
+            if (step_sum > 0.0)
+                alpha = std::min(alpha, 0.99 * slack / step_sum);
+
+            const double base = barrierValue(objective, b, slack, t);
+            constexpr double armijo = 1e-4;
+            constexpr double shrink = 0.5;
+            bool moved = false;
+            for (int ls = 0; ls < 60; ++ls) {
+                std::vector<double> trial(m);
+                for (std::size_t j = 0; j < m; ++j)
+                    trial[j] = b[j] + alpha * step[j];
+                const double trial_slack = slack - alpha * step_sum;
+                const double trial_value =
+                    barrierValue(objective, trial, trial_slack, t);
+                if (trial_value >=
+                    base + armijo * alpha * decrement) {
+                    b = std::move(trial);
+                    slack = trial_slack;
+                    moved = true;
+                    break;
+                }
+                alpha *= shrink;
+            }
+            if (!moved)
+                break; // Line search stalled: centered well enough.
+        }
+
+        local.finalGap = constraints / t;
+        if (local.finalGap <= opts.tolerance)
+            break;
+        t *= opts.tGrowth;
+    }
+
+    if (stats)
+        *stats = local;
+    return b;
+}
+
+} // namespace amdahl::solver

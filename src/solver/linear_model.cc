@@ -1,0 +1,155 @@
+#include "linear_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace amdahl::solver {
+
+namespace {
+
+/** R^2 of predictions against responses. */
+double
+coefficientOfDetermination(const std::vector<double> &ys,
+                           const std::vector<double> &preds)
+{
+    double mean_y = 0.0;
+    for (double y : ys)
+        mean_y += y;
+    mean_y /= static_cast<double>(ys.size());
+
+    double ss_res = 0.0;
+    double ss_tot = 0.0;
+    for (std::size_t i = 0; i < ys.size(); ++i) {
+        ss_res += (ys[i] - preds[i]) * (ys[i] - preds[i]);
+        ss_tot += (ys[i] - mean_y) * (ys[i] - mean_y);
+    }
+    if (ss_tot == 0.0)
+        return ss_res == 0.0 ? 1.0 : 0.0;
+    return 1.0 - ss_res / ss_tot;
+}
+
+/**
+ * Solve the square system a * x = b in place with partial pivoting.
+ * @return The solution vector.
+ */
+std::vector<double>
+solveDense(std::vector<std::vector<double>> a, std::vector<double> b)
+{
+    const std::size_t n = a.size();
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivot.
+        std::size_t pivot = col;
+        for (std::size_t row = col + 1; row < n; ++row) {
+            if (std::abs(a[row][col]) > std::abs(a[pivot][col]))
+                pivot = row;
+        }
+        if (std::abs(a[pivot][col]) < 1e-300)
+            fatal("singular normal equations; add more distinct samples");
+        std::swap(a[col], a[pivot]);
+        std::swap(b[col], b[pivot]);
+        for (std::size_t row = col + 1; row < n; ++row) {
+            const double factor = a[row][col] / a[col][col];
+            for (std::size_t k = col; k < n; ++k)
+                a[row][k] -= factor * a[col][k];
+            b[row] -= factor * b[col];
+        }
+    }
+    std::vector<double> x(n, 0.0);
+    for (std::size_t row = n; row-- > 0;) {
+        double acc = b[row];
+        for (std::size_t k = row + 1; k < n; ++k)
+            acc -= a[row][k] * x[k];
+        x[row] = acc / a[row][row];
+    }
+    return x;
+}
+
+} // namespace
+
+LinearModel
+fitLinear(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    if (xs.size() != ys.size())
+        fatal("fitLinear: size mismatch ", xs.size(), " vs ", ys.size());
+    if (xs.size() < 2)
+        fatal("fitLinear: need at least 2 points, got ", xs.size());
+
+    const double n = static_cast<double>(xs.size());
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+    }
+    const double denom = n * sxx - sx * sx;
+    if (std::abs(denom) < 1e-300)
+        fatal("fitLinear: all x values identical");
+
+    LinearModel model;
+    model.slope = (n * sxy - sx * sy) / denom;
+    model.intercept = (sy - model.slope * sx) / n;
+    model.n = xs.size();
+
+    std::vector<double> preds(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        preds[i] = model.predict(xs[i]);
+    model.r2 = coefficientOfDetermination(ys, preds);
+    return model;
+}
+
+double
+PolynomialModel::predict(double x) const
+{
+    double acc = 0.0;
+    for (std::size_t k = coeffs.size(); k-- > 0;)
+        acc = acc * x + coeffs[k];
+    return acc;
+}
+
+std::size_t
+PolynomialModel::degree() const
+{
+    return coeffs.empty() ? 0 : coeffs.size() - 1;
+}
+
+PolynomialModel
+fitPolynomial(const std::vector<double> &xs, const std::vector<double> &ys,
+              std::size_t degree)
+{
+    if (xs.size() != ys.size())
+        fatal("fitPolynomial: size mismatch");
+    if (xs.size() < degree + 1) {
+        fatal("fitPolynomial: degree ", degree, " needs at least ",
+              degree + 1, " points, got ", xs.size());
+    }
+
+    const std::size_t terms = degree + 1;
+    // Normal equations: (V^T V) c = V^T y for the Vandermonde matrix V.
+    std::vector<std::vector<double>> ata(terms,
+                                         std::vector<double>(terms, 0.0));
+    std::vector<double> atb(terms, 0.0);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        std::vector<double> powers(2 * terms - 1, 1.0);
+        for (std::size_t k = 1; k < powers.size(); ++k)
+            powers[k] = powers[k - 1] * xs[i];
+        for (std::size_t r = 0; r < terms; ++r) {
+            for (std::size_t c = 0; c < terms; ++c)
+                ata[r][c] += powers[r + c];
+            atb[r] += powers[r] * ys[i];
+        }
+    }
+
+    PolynomialModel model;
+    model.coeffs = solveDense(std::move(ata), std::move(atb));
+    model.n = xs.size();
+
+    std::vector<double> preds(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        preds[i] = model.predict(xs[i]);
+    model.r2 = coefficientOfDetermination(ys, preds);
+    return model;
+}
+
+} // namespace amdahl::solver

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Least-squares regression models.
+ *
+ * Section IV of the paper fits linear models of execution time versus
+ * dataset size from sampled profiles (Figure 4) and notes that some
+ * workloads (e.g., QR decomposition) need polynomial models instead. Both
+ * are provided here.
+ */
+
+#ifndef AMDAHL_SOLVER_LINEAR_MODEL_HH
+#define AMDAHL_SOLVER_LINEAR_MODEL_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace amdahl::solver {
+
+/** Simple linear regression y = intercept + slope * x. */
+struct LinearModel
+{
+    double intercept = 0.0;
+    double slope = 0.0;
+    double r2 = 0.0;       //!< Coefficient of determination of the fit.
+    std::size_t n = 0;     //!< Number of points fitted.
+
+    /** Evaluate the model at x. */
+    double predict(double x) const { return intercept + slope * x; }
+};
+
+/**
+ * Fit a line by ordinary least squares.
+ *
+ * @param xs Predictor values.
+ * @param ys Response values (same length as xs, at least 2 points with
+ *           distinct xs).
+ * @return The fitted model with its R^2.
+ */
+LinearModel fitLinear(const std::vector<double> &xs,
+                      const std::vector<double> &ys);
+
+/** Polynomial regression y = sum_k coeffs[k] * x^k. */
+struct PolynomialModel
+{
+    std::vector<double> coeffs; //!< coeffs[k] multiplies x^k.
+    double r2 = 0.0;
+    std::size_t n = 0;
+
+    /** Evaluate the polynomial at x (Horner). */
+    double predict(double x) const;
+
+    /** @return The degree (coeffs.size() - 1); 0 for an empty model. */
+    std::size_t degree() const;
+};
+
+/**
+ * Fit a polynomial of the given degree by least squares (normal
+ * equations solved with partial-pivot Gaussian elimination).
+ *
+ * @param xs     Predictor values.
+ * @param ys     Response values.
+ * @param degree Polynomial degree (>= 0); needs at least degree+1 points.
+ */
+PolynomialModel fitPolynomial(const std::vector<double> &xs,
+                              const std::vector<double> &ys,
+                              std::size_t degree);
+
+} // namespace amdahl::solver
+
+#endif // AMDAHL_SOLVER_LINEAR_MODEL_HH

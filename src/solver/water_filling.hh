@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Closed-form KKT (water-filling) solver for single-user budget splits.
+ *
+ * A user with budget b facing prices p_j maximizes her Amdahl utility
+ *
+ *     max sum_j w_j * s_j(b_j / p_j)   s.t.  sum_j b_j <= b, b_j >= 0,
+ *     s_j(x) = x / (f_j + (1 - f_j) x)
+ *
+ * The objective is separable and concave, so the KKT conditions give each
+ * coordinate in closed form as a function of the budget multiplier lambda:
+ *
+ *     x_j(lambda) = max(0, (sqrt(w_j f_j / (lambda p_j)) - f_j)
+ *                          / (1 - f_j))
+ *
+ * and lambda is found by bisection on the (monotone) aggregate spend.
+ * This is the optimal price-taking demand — it defines the benchmark
+ * against which the Amdahl Bidding fixed point is verified, and it powers
+ * the Upper-Bound policy's per-user subproblem.
+ */
+
+#ifndef AMDAHL_SOLVER_WATER_FILLING_HH
+#define AMDAHL_SOLVER_WATER_FILLING_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace amdahl::solver {
+
+/** One server's term in the user's separable objective. */
+struct WaterFillItem
+{
+    double weight = 1.0;           //!< w_j, work rate on server j.
+    double parallelFraction = 0.5; //!< f_j in (0, 1]; clamped internally.
+    double price = 1.0;            //!< p_j > 0, price per core.
+};
+
+/** Solution of the budget-split problem. */
+struct WaterFillResult
+{
+    std::vector<double> spend;  //!< Optimal b_j; sums to the budget.
+    std::vector<double> cores;  //!< Optimal x_j = b_j / p_j.
+    double multiplier = 0.0;    //!< KKT multiplier lambda*.
+    double utility = 0.0;       //!< sum_j w_j s_j(x_j) at the optimum.
+};
+
+/**
+ * Solve the single-user budget-split problem.
+ *
+ * @param items  Per-server terms; prices and weights must be positive.
+ * @param budget Total budget (> 0).
+ * @return Optimal spends, allocations, and the KKT multiplier.
+ */
+WaterFillResult waterFill(const std::vector<WaterFillItem> &items,
+                          double budget);
+
+} // namespace amdahl::solver
+
+#endif // AMDAHL_SOLVER_WATER_FILLING_HH

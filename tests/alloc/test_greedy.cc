@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the Greedy (G) and Upper-Bound (UB) policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "alloc/greedy.hh"
+#include "common/logging.hh"
+#include "core/amdahl.hh"
+
+namespace amdahl::alloc {
+namespace {
+
+TEST(Greedy, AllocatesEveryCore)
+{
+    core::FisherMarket market({12.0, 12.0});
+    market.addUser({"a", 1.0, {{0, 0.9, 1.0}, {1, 0.8, 1.0}}});
+    market.addUser({"b", 2.0, {{0, 0.7, 1.0}, {1, 0.95, 1.0}}});
+    const GreedyPolicy g;
+    const auto result = g.allocate(market);
+    std::vector<int> load(2, 0);
+    for (std::size_t i = 0; i < 2; ++i) {
+        const auto &jobs = market.user(i).jobs;
+        for (std::size_t k = 0; k < jobs.size(); ++k)
+            load[jobs[k].server] += result.cores[i][k];
+    }
+    EXPECT_EQ(load[0], 12);
+    EXPECT_EQ(load[1], 12);
+}
+
+TEST(Greedy, MoreParallelJobGetsMoreCores)
+{
+    core::FisherMarket market({12.0});
+    market.addUser({"a", 1.0, {{0, 0.98, 1.0}}});
+    market.addUser({"b", 1.0, {{0, 0.55, 1.0}}});
+    const GreedyPolicy g;
+    const auto result = g.allocate(market);
+    EXPECT_GT(result.cores[0][0], result.cores[1][0]);
+}
+
+TEST(Greedy, IgnoresEntitlements)
+{
+    // Same jobs, wildly different budgets: G allocates identically.
+    core::FisherMarket market({12.0});
+    market.addUser({"poor", 1.0, {{0, 0.9, 1.0}}});
+    market.addUser({"rich", 5.0, {{0, 0.9, 1.0}}});
+    const GreedyPolicy g;
+    const auto result = g.allocate(market);
+    EXPECT_EQ(result.cores[0][0], result.cores[1][0]);
+}
+
+TEST(UpperBound, FavorsHighBudgetUsers)
+{
+    // Same jobs, different budgets: UB weights marginal progress by
+    // entitlement and gives the rich user more.
+    core::FisherMarket market({12.0});
+    market.addUser({"poor", 1.0, {{0, 0.9, 1.0}}});
+    market.addUser({"rich", 5.0, {{0, 0.9, 1.0}}});
+    const UpperBoundPolicy ub;
+    const auto result = ub.allocate(market);
+    EXPECT_GT(result.cores[1][0], result.cores[0][0]);
+}
+
+TEST(UpperBound, MaximizesSystemProgressObjective)
+{
+    // UB's integral allocation must beat every neighboring integral
+    // allocation on the Eq. 10 objective (with Amdahl-model progress).
+    core::FisherMarket market({8.0});
+    market.addUser({"a", 1.0, {{0, 0.95, 1.0}}});
+    market.addUser({"b", 3.0, {{0, 0.7, 1.0}}});
+    const UpperBoundPolicy ub;
+    const auto result = ub.allocate(market);
+
+    auto objective = [&](int xa, int xb) {
+        return 1.0 * core::amdahlSpeedup(0.95, xa) +
+               3.0 * core::amdahlSpeedup(0.7, xb);
+    };
+    const int xa = result.cores[0][0];
+    const int xb = result.cores[1][0];
+    const double best = objective(xa, xb);
+    if (xa > 0) {
+        EXPECT_GE(best, objective(xa - 1, xb + 1) - 1e-12);
+    }
+    if (xb > 0) {
+        EXPECT_GE(best, objective(xa + 1, xb - 1) - 1e-12);
+    }
+}
+
+TEST(Greedy, MaximizesUnweightedProgressObjective)
+{
+    core::FisherMarket market({8.0});
+    market.addUser({"a", 1.0, {{0, 0.95, 1.0}}});
+    market.addUser({"b", 3.0, {{0, 0.7, 1.0}}});
+    const GreedyPolicy g;
+    const auto result = g.allocate(market);
+
+    auto objective = [&](int xa, int xb) {
+        return core::amdahlSpeedup(0.95, xa) +
+               core::amdahlSpeedup(0.7, xb);
+    };
+    const int xa = result.cores[0][0];
+    const int xb = result.cores[1][0];
+    const double best = objective(xa, xb);
+    if (xa > 0) {
+        EXPECT_GE(best, objective(xa - 1, xb + 1) - 1e-12);
+    }
+    if (xb > 0) {
+        EXPECT_GE(best, objective(xa + 1, xb - 1) - 1e-12);
+    }
+}
+
+TEST(Greedy, UserWeightNormalizationMatters)
+{
+    // A user with many jobs has each job's marginal diluted by her
+    // weight sum, mirroring the UserProgress definition.
+    core::FisherMarket market({6.0});
+    market.addUser({"many", 1.0,
+                    {{0, 0.9, 1.0}, {0, 0.9, 1.0}, {0, 0.9, 1.0}}});
+    market.addUser({"one", 1.0, {{0, 0.9, 1.0}}});
+    const GreedyPolicy g;
+    const auto result = g.allocate(market);
+    // The single-job user's marginal is 3x each of the many-job
+    // user's, so she collects more cores than any individual job.
+    EXPECT_GT(result.cores[1][0], result.cores[0][0]);
+    EXPECT_GT(result.cores[1][0], result.cores[0][1]);
+}
+
+TEST(Greedy, FractionalOutcomeMirrorsIntegers)
+{
+    core::FisherMarket market({7.0});
+    market.addUser({"a", 1.0, {{0, 0.9, 1.0}}});
+    market.addUser({"b", 1.0, {{0, 0.6, 1.0}}});
+    const GreedyPolicy g;
+    const auto result = g.allocate(market);
+    for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_DOUBLE_EQ(result.outcome.allocation[i][0],
+                         static_cast<double>(result.cores[i][0]));
+    }
+}
+
+TEST(Greedy, PolicyNames)
+{
+    EXPECT_EQ(GreedyPolicy().name(), "G");
+    EXPECT_EQ(UpperBoundPolicy().name(), "UB");
+}
+
+TEST(Greedy, ValidatesMarket)
+{
+    core::FisherMarket empty({4.0});
+    EXPECT_THROW(GreedyPolicy().allocate(empty), FatalError);
+}
+
+} // namespace
+} // namespace amdahl::alloc

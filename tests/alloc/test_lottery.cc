@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for the lottery-scheduling baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "alloc/lottery.hh"
+#include "common/logging.hh"
+
+namespace amdahl::alloc {
+namespace {
+
+core::FisherMarket
+duopoly(double budget_a, double budget_b, double capacity = 12.0)
+{
+    core::FisherMarket market({capacity});
+    market.addUser({"a", budget_a, {{0, 0.9, 1.0}}});
+    market.addUser({"b", budget_b, {{0, 0.9, 1.0}}});
+    return market;
+}
+
+TEST(Lottery, AllocatesEveryCore)
+{
+    const LotteryPolicy lottery;
+    const auto result = lottery.allocate(duopoly(1.0, 1.0));
+    EXPECT_EQ(result.userCores(0) + result.userCores(1), 12);
+}
+
+TEST(Lottery, DeterministicGivenSeed)
+{
+    const auto market = duopoly(1.0, 3.0);
+    const auto a = LotteryPolicy(7).allocate(market);
+    const auto b = LotteryPolicy(7).allocate(market);
+    EXPECT_EQ(a.cores, b.cores);
+}
+
+TEST(Lottery, DifferentSeedsDifferentRaffles)
+{
+    // Two seeds occasionally raffle the same split; across several
+    // seeds at least one must differ from the first.
+    const auto market = duopoly(1.0, 1.0, 24.0);
+    const auto reference = LotteryPolicy(1).allocate(market);
+    bool differed = false;
+    for (std::uint64_t s = 2; s <= 8 && !differed; ++s)
+        differed = LotteryPolicy(s).allocate(market).cores !=
+                   reference.cores;
+    EXPECT_TRUE(differed);
+}
+
+TEST(Lottery, ExpectedSharesTrackEntitlements)
+{
+    // Average over many raffles: shares approach budget proportions
+    // (the mechanism's defining property).
+    const auto market = duopoly(1.0, 3.0, 24.0);
+    double total_a = 0.0;
+    const int raffles = 400;
+    for (int s = 0; s < raffles; ++s)
+        total_a += LotteryPolicy(static_cast<std::uint64_t>(s))
+                       .allocate(market)
+                       .userCores(0);
+    const double mean_a = total_a / raffles;
+    EXPECT_NEAR(mean_a, 6.0, 0.5); // entitled to 24 * 1/4
+}
+
+TEST(Lottery, SingleRaffleHasVariance)
+{
+    // Unlike PS, individual raffles deviate from exact shares.
+    const auto market = duopoly(1.0, 1.0, 24.0);
+    bool deviated = false;
+    for (int s = 0; s < 50 && !deviated; ++s) {
+        const auto r =
+            LotteryPolicy(static_cast<std::uint64_t>(s) + 100)
+                .allocate(market);
+        deviated = r.userCores(0) != 12;
+    }
+    EXPECT_TRUE(deviated);
+}
+
+TEST(Lottery, MultiJobUserTicketsDoNotMultiply)
+{
+    // A user gains no tickets by splitting into more jobs on one
+    // server (the entitlement anti-gaming property of Section II-A).
+    core::FisherMarket market({24.0});
+    market.addUser({"many", 1.0,
+                    {{0, 0.9, 1.0}, {0, 0.9, 1.0}, {0, 0.9, 1.0}}});
+    market.addUser({"one", 1.0, {{0, 0.9, 1.0}}});
+    double total_many = 0.0;
+    const int raffles = 400;
+    for (int s = 0; s < raffles; ++s) {
+        total_many += LotteryPolicy(static_cast<std::uint64_t>(s))
+                          .allocate(market)
+                          .userCores(0);
+    }
+    EXPECT_NEAR(total_many / raffles, 12.0, 0.6);
+}
+
+TEST(Lottery, PolicyNameIsLS)
+{
+    EXPECT_EQ(LotteryPolicy().name(), "LS");
+}
+
+} // namespace
+} // namespace amdahl::alloc

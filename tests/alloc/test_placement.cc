@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for job placement policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "alloc/placement.hh"
+#include "common/logging.hh"
+
+namespace amdahl::alloc {
+namespace {
+
+TEST(Placement, RuleNames)
+{
+    EXPECT_EQ(toString(PlacementRule::RoundRobin), "round-robin");
+    EXPECT_EQ(toString(PlacementRule::LeastLoaded), "least-loaded");
+    EXPECT_EQ(toString(PlacementRule::PriceAware), "price-aware");
+}
+
+TEST(Placement, RoundRobinCycles)
+{
+    JobPlacer placer(PlacementRule::RoundRobin, 3);
+    EXPECT_EQ(placer.place(), 0u);
+    EXPECT_EQ(placer.place(), 1u);
+    EXPECT_EQ(placer.place(), 2u);
+    EXPECT_EQ(placer.place(), 0u);
+}
+
+TEST(Placement, LeastLoadedPicksEmptiest)
+{
+    JobPlacer placer(PlacementRule::LeastLoaded, 3);
+    EXPECT_EQ(placer.place(), 0u); // loads: 1,0,0
+    EXPECT_EQ(placer.place(), 1u); // loads: 1,1,0
+    EXPECT_EQ(placer.place(), 2u); // loads: 1,1,1
+    placer.jobFinished(1);
+    EXPECT_EQ(placer.place(), 1u);
+}
+
+TEST(Placement, LeastLoadedTiesBreakLow)
+{
+    JobPlacer placer(PlacementRule::LeastLoaded, 2);
+    EXPECT_EQ(placer.place(), 0u);
+    placer.jobFinished(0);
+    EXPECT_EQ(placer.place(), 0u);
+}
+
+TEST(Placement, PriceAwarePicksCheapest)
+{
+    JobPlacer placer(PlacementRule::PriceAware, 3);
+    placer.updatePrices({0.5, 0.1, 0.3});
+    EXPECT_EQ(placer.place(), 1u);
+    placer.updatePrices({0.05, 0.1, 0.3});
+    EXPECT_EQ(placer.place(), 0u);
+}
+
+TEST(Placement, PriceAwareDefaultsToFirstWhenUnpriced)
+{
+    JobPlacer placer(PlacementRule::PriceAware, 3);
+    EXPECT_EQ(placer.place(), 0u); // all prices 0: lowest index wins
+}
+
+TEST(Placement, LoadTracking)
+{
+    JobPlacer placer(PlacementRule::RoundRobin, 2);
+    placer.place();
+    placer.place();
+    placer.place();
+    EXPECT_EQ(placer.load(0), 2);
+    EXPECT_EQ(placer.load(1), 1);
+    placer.jobFinished(0);
+    EXPECT_EQ(placer.load(0), 1);
+}
+
+TEST(Placement, Validation)
+{
+    EXPECT_THROW(JobPlacer(PlacementRule::RoundRobin, 0), FatalError);
+    JobPlacer placer(PlacementRule::RoundRobin, 2);
+    EXPECT_THROW(placer.jobFinished(2), FatalError);
+    EXPECT_THROW(placer.load(2), FatalError);
+    EXPECT_THROW(placer.updatePrices({0.1}), FatalError);
+    EXPECT_THROW(placer.jobFinished(0), PanicError); // none placed
+}
+
+} // namespace
+} // namespace amdahl::alloc

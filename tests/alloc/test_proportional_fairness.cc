@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for the Proportional Fairness (Eisenberg-Gale) policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "alloc/amdahl_bidding_policy.hh"
+#include "alloc/proportional_fairness.hh"
+#include "common/logging.hh"
+
+namespace amdahl::alloc {
+namespace {
+
+core::FisherMarket
+aliceBobMarket()
+{
+    core::FisherMarket market({10.0, 10.0});
+    market.addUser({"Alice", 1.0, {{0, 0.53, 1.0}, {1, 0.93, 1.0}}});
+    market.addUser({"Bob", 1.0, {{0, 0.96, 1.0}, {1, 0.68, 1.0}}});
+    return market;
+}
+
+TEST(ProportionalFairness, ClearsServersAndRounds)
+{
+    const ProportionalFairnessPolicy pf;
+    const auto result = pf.allocate(aliceBobMarket());
+    EXPECT_EQ(result.policyName, "PF");
+    EXPECT_TRUE(result.outcome.converged);
+    EXPECT_EQ(result.cores[0][0] + result.cores[1][0], 10);
+    EXPECT_EQ(result.cores[0][1] + result.cores[1][1], 10);
+}
+
+TEST(ProportionalFairness, TracksButDiffersFromTheMarket)
+{
+    const auto market = aliceBobMarket();
+    const auto pf = ProportionalFairnessPolicy().allocate(market);
+    const auto ab = AmdahlBiddingPolicy().allocate(market);
+    for (std::size_t i = 0; i < 2; ++i) {
+        for (std::size_t k = 0; k < 2; ++k) {
+            EXPECT_NEAR(pf.outcome.allocation[i][k],
+                        ab.outcome.allocation[i][k], 0.6);
+        }
+    }
+    // Distinct solution concept (Amdahl utility not homogeneous).
+    EXPECT_GT(std::abs(pf.outcome.allocation[0][0] -
+                       ab.outcome.allocation[0][0]),
+              0.05);
+}
+
+TEST(ProportionalFairness, MaximizesLogUtilityOverTheMarket)
+{
+    const auto market = aliceBobMarket();
+    const auto pf = ProportionalFairnessPolicy().allocate(market);
+    const auto ab = AmdahlBiddingPolicy().allocate(market);
+    auto eg_objective = [&](const core::JobMatrix &x) {
+        double phi = 0.0;
+        for (std::size_t i = 0; i < market.userCount(); ++i) {
+            phi += market.user(i).budget *
+                   std::log(market.utilityOf(i).value(x[i]));
+        }
+        return phi;
+    };
+    EXPECT_GE(eg_objective(pf.outcome.allocation),
+              eg_objective(ab.outcome.allocation) - 1e-9);
+}
+
+TEST(ProportionalFairness, RespectsWeightsAndBudgets)
+{
+    core::FisherMarket market({12.0});
+    market.addUser({"small", 1.0, {{0, 0.9, 1.0}}});
+    market.addUser({"big", 3.0, {{0, 0.9, 1.0}}});
+    const auto result = ProportionalFairnessPolicy().allocate(market);
+    // Higher budget weighs the log term more: the big user gets more.
+    EXPECT_GT(result.outcome.allocation[1][0],
+              result.outcome.allocation[0][0]);
+}
+
+TEST(ProportionalFairness, ValidatesMarket)
+{
+    core::FisherMarket empty({4.0});
+    EXPECT_THROW(ProportionalFairnessPolicy().allocate(empty),
+                 FatalError);
+}
+
+} // namespace
+} // namespace amdahl::alloc

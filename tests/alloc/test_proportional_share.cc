@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for Proportional Sharing, including the paper's
+ * Section II-B worked example.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "alloc/proportional_share.hh"
+#include "common/logging.hh"
+
+namespace amdahl::alloc {
+namespace {
+
+/** Section II-B: three equal users, three 12-core servers. */
+core::FisherMarket
+sectionTwoMarket()
+{
+    core::FisherMarket market({12.0, 12.0, 12.0});
+    // User 1 demands (8, 4, 0): jobs on servers A and B only.
+    market.addUser({"u1", 1.0, {{0, 0.9, 1.0}, {1, 0.9, 1.0}}});
+    // User 2 demands (0, 4, 8).
+    market.addUser({"u2", 1.0, {{1, 0.9, 1.0}, {2, 0.9, 1.0}}});
+    // User 3 demands (8, 8, 8).
+    market.addUser(
+        {"u3", 1.0, {{0, 0.9, 1.0}, {1, 0.9, 1.0}, {2, 0.9, 1.0}}});
+    return market;
+}
+
+TEST(ProportionalShare, ReproducesSectionTwoExample)
+{
+    // With the paper's demand vectors, the Fair Share Scheduler
+    // allocates u1=(6A,4B,0C), u2=(0A,4B,6C), u3=(6A,4B,6C).
+    const auto market = sectionTwoMarket();
+    const std::vector<std::vector<double>> demands = {
+        {8.0, 4.0}, {4.0, 8.0}, {8.0, 8.0, 8.0}};
+    const ProportionalShare ps(demands);
+    const auto result = ps.allocate(market);
+
+    EXPECT_EQ(result.cores[0], (std::vector<int>{6, 4}));
+    EXPECT_EQ(result.cores[1], (std::vector<int>{4, 6}));
+    EXPECT_EQ(result.cores[2], (std::vector<int>{6, 4, 6}));
+
+    // Aggregate: 10, 10, 16 — violating datacenter-wide entitlements
+    // of 12 each (the paper's motivating observation).
+    EXPECT_EQ(result.userCores(0), 10);
+    EXPECT_EQ(result.userCores(1), 10);
+    EXPECT_EQ(result.userCores(2), 16);
+}
+
+TEST(ProportionalShare, UncappedUsersSplitByEntitlement)
+{
+    core::FisherMarket market({12.0});
+    market.addUser({"a", 1.0, {{0, 0.9, 1.0}}});
+    market.addUser({"b", 2.0, {{0, 0.9, 1.0}}});
+    const ProportionalShare ps;
+    const auto result = ps.allocate(market);
+    EXPECT_EQ(result.cores[0][0], 4);
+    EXPECT_EQ(result.cores[1][0], 8);
+}
+
+TEST(ProportionalShare, AbsentUserShareIsRedistributed)
+{
+    // "If a user does not compute on a server, her share is reassigned
+    // to other users on that server in proportion to entitlements."
+    core::FisherMarket market({12.0, 12.0});
+    market.addUser({"a", 1.0, {{0, 0.9, 1.0}}});
+    market.addUser({"b", 1.0, {{0, 0.9, 1.0}, {1, 0.9, 1.0}}});
+    const ProportionalShare ps;
+    const auto result = ps.allocate(market);
+    // Server 0 split between a and b; server 1 entirely b's.
+    EXPECT_EQ(result.cores[0][0], 6);
+    EXPECT_EQ(result.cores[1][0], 6);
+    EXPECT_EQ(result.cores[1][1], 12);
+}
+
+TEST(ProportionalShare, DemandCapsLeaveCoresIdle)
+{
+    core::FisherMarket market({12.0});
+    market.addUser({"a", 1.0, {{0, 0.9, 1.0}}});
+    market.addUser({"b", 1.0, {{0, 0.9, 1.0}}});
+    const ProportionalShare ps(
+        std::vector<std::vector<double>>{{2.0}, {3.0}});
+    const auto result = ps.allocate(market);
+    EXPECT_EQ(result.cores[0][0], 2);
+    EXPECT_EQ(result.cores[1][0], 3);
+}
+
+TEST(ProportionalShare, CapRedistributionCascades)
+{
+    // a capped at 1 core; remaining 11 split between b and c (2:1).
+    core::FisherMarket market({12.0});
+    market.addUser({"a", 5.0, {{0, 0.9, 1.0}}});
+    market.addUser({"b", 2.0, {{0, 0.9, 1.0}}});
+    market.addUser({"c", 1.0, {{0, 0.9, 1.0}}});
+    const ProportionalShare ps(
+        std::vector<std::vector<double>>{{1.0}, {100.0}, {100.0}});
+    const auto result = ps.allocate(market);
+    EXPECT_EQ(result.cores[0][0], 1);
+    EXPECT_EQ(result.cores[1][0], 7);  // 11 * 2/3 = 7.33 -> 7
+    EXPECT_EQ(result.cores[2][0], 4);  // 11 * 1/3 = 3.67 -> 4
+}
+
+TEST(ProportionalShare, ServersAreFullyAllocatedWithoutCaps)
+{
+    const auto market = sectionTwoMarket();
+    const ProportionalShare ps;
+    const auto result = ps.allocate(market);
+    std::vector<int> load(3, 0);
+    for (std::size_t i = 0; i < market.userCount(); ++i) {
+        const auto &jobs = market.user(i).jobs;
+        for (std::size_t k = 0; k < jobs.size(); ++k)
+            load[jobs[k].server] += result.cores[i][k];
+    }
+    for (int l : load)
+        EXPECT_EQ(l, 12);
+}
+
+TEST(ProportionalShare, MultipleJobsOfOneUserSplitHerShare)
+{
+    core::FisherMarket market({12.0});
+    market.addUser({"a", 1.0, {{0, 0.9, 1.0}, {0, 0.5, 1.0}}});
+    market.addUser({"b", 1.0, {{0, 0.9, 1.0}}});
+    const ProportionalShare ps;
+    const auto result = ps.allocate(market);
+    // a's 6-core share split evenly across her two jobs.
+    EXPECT_EQ(result.cores[0][0] + result.cores[0][1], 6);
+    EXPECT_EQ(result.cores[1][0], 6);
+}
+
+TEST(ProportionalShare, FractionalAllocationsRecordedBeforeRounding)
+{
+    core::FisherMarket market({10.0});
+    market.addUser({"a", 1.0, {{0, 0.9, 1.0}}});
+    market.addUser({"b", 2.0, {{0, 0.9, 1.0}}});
+    const ProportionalShare ps;
+    const auto result = ps.allocate(market);
+    EXPECT_NEAR(result.outcome.allocation[0][0], 10.0 / 3.0, 1e-9);
+    EXPECT_NEAR(result.outcome.allocation[1][0], 20.0 / 3.0, 1e-9);
+    EXPECT_EQ(result.cores[0][0] + result.cores[1][0], 10);
+}
+
+TEST(ProportionalShare, ValidatesDemandShape)
+{
+    const auto market = sectionTwoMarket();
+    const ProportionalShare bad_users(
+        std::vector<std::vector<double>>{{1.0}});
+    EXPECT_THROW(bad_users.allocate(market), FatalError);
+    const ProportionalShare bad_jobs(std::vector<std::vector<double>>{
+        {1.0}, {1.0, 1.0}, {1.0, 1.0, 1.0}});
+    EXPECT_THROW(bad_jobs.allocate(market), FatalError);
+}
+
+TEST(ProportionalShare, PolicyNameIsPS)
+{
+    EXPECT_EQ(ProportionalShare().name(), "PS");
+}
+
+} // namespace
+} // namespace amdahl::alloc

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for the small numeric helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+
+namespace amdahl {
+namespace {
+
+TEST(MathUtil, ApproxEqualExactValues)
+{
+    EXPECT_TRUE(approxEqual(1.0, 1.0));
+    EXPECT_TRUE(approxEqual(0.0, 0.0));
+    EXPECT_TRUE(approxEqual(-3.5, -3.5));
+}
+
+TEST(MathUtil, ApproxEqualRelativeTolerance)
+{
+    EXPECT_TRUE(approxEqual(1e9, 1e9 * (1.0 + 1e-10)));
+    EXPECT_FALSE(approxEqual(1e9, 1e9 * 1.01));
+}
+
+TEST(MathUtil, ApproxEqualAbsoluteToleranceNearZero)
+{
+    EXPECT_TRUE(approxEqual(0.0, 1e-13));
+    EXPECT_FALSE(approxEqual(0.0, 1e-6));
+    EXPECT_TRUE(approxEqual(0.0, 1e-6, 1e-9, 1e-5));
+}
+
+TEST(MathUtil, SumOfVector)
+{
+    EXPECT_DOUBLE_EQ(sum({1.0, 2.0, 3.5}), 6.5);
+    EXPECT_DOUBLE_EQ(sum({}), 0.0);
+    EXPECT_DOUBLE_EQ(sum({-1.0, 1.0}), 0.0);
+}
+
+TEST(MathUtil, MaxAbsDiff)
+{
+    EXPECT_DOUBLE_EQ(maxAbsDiff({1.0, 5.0}, {1.5, 4.0}), 1.0);
+    EXPECT_DOUBLE_EQ(maxAbsDiff({}, {}), 0.0);
+    // Extra entries in the longer vector are ignored (min length).
+    EXPECT_DOUBLE_EQ(maxAbsDiff({1.0}, {1.0, 100.0}), 0.0);
+}
+
+TEST(MathUtil, ClampTo)
+{
+    EXPECT_DOUBLE_EQ(clampTo(5.0, 0.0, 10.0), 5.0);
+    EXPECT_DOUBLE_EQ(clampTo(-1.0, 0.0, 10.0), 0.0);
+    EXPECT_DOUBLE_EQ(clampTo(11.0, 0.0, 10.0), 10.0);
+    EXPECT_DOUBLE_EQ(clampTo(0.0, 0.0, 0.0), 0.0);
+}
+
+TEST(Logging, LevelFiltersWarnings)
+{
+    const LogLevel original = setLogLevel(LogLevel::Quiet);
+    ::testing::internal::CaptureStderr();
+    warn("should be suppressed");
+    inform("also suppressed");
+    EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+
+    setLogLevel(LogLevel::Warn);
+    ::testing::internal::CaptureStderr();
+    warn("visible warning");
+    inform("still suppressed");
+    const std::string warn_only =
+        ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(warn_only.find("warn: visible warning"),
+              std::string::npos);
+    EXPECT_EQ(warn_only.find("info:"), std::string::npos);
+
+    setLogLevel(LogLevel::Inform);
+    ::testing::internal::CaptureStderr();
+    inform("now visible");
+    EXPECT_NE(::testing::internal::GetCapturedStderr().find(
+                  "info: now visible"),
+              std::string::npos);
+    setLogLevel(original);
+}
+
+} // namespace
+} // namespace amdahl

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for the console table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace amdahl {
+namespace {
+
+TEST(Table, FormatDoubleFixedPrecision)
+{
+    EXPECT_EQ(formatDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(formatDouble(1.0, 3), "1.000");
+    EXPECT_EQ(formatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(Table, RendersHeaderSeparatorAndRows)
+{
+    TablePrinter t;
+    t.addColumn("name", TablePrinter::Align::Left);
+    t.addColumn("value");
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "23"});
+    const std::string out = t.toString();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+    // Right-aligned "1" under "value": padded to width 5.
+    EXPECT_NE(out.find("    1"), std::string::npos);
+}
+
+TEST(Table, FluentRowBuilding)
+{
+    TablePrinter t;
+    t.addColumn("a");
+    t.addColumn("b");
+    t.beginRow().cell(1).cell(2.5, 1);
+    t.beginRow().cell("x").cell(std::size_t{7});
+    EXPECT_EQ(t.toString().find("2.5") != std::string::npos, true);
+    EXPECT_EQ(t.rowCount(), 2u); // toString() flushed the pending row
+}
+
+TEST(Table, RowArityIsChecked)
+{
+    TablePrinter t;
+    t.addColumn("only");
+    EXPECT_THROW(t.addRow({"a", "b"}), FatalError);
+}
+
+TEST(Table, PendingRowArityCheckedAtRender)
+{
+    TablePrinter t;
+    t.addColumn("a");
+    t.addColumn("b");
+    t.beginRow().cell("just one");
+    EXPECT_THROW(t.toString(), FatalError);
+}
+
+TEST(Table, CellWithoutBeginRowIsFatal)
+{
+    TablePrinter t;
+    t.addColumn("a");
+    EXPECT_THROW(t.cell("x"), FatalError);
+}
+
+TEST(Table, TooManyCellsIsFatal)
+{
+    TablePrinter t;
+    t.addColumn("a");
+    t.beginRow().cell("1");
+    EXPECT_THROW(t.cell("2"), FatalError);
+}
+
+TEST(Table, AddColumnAfterRowsIsFatal)
+{
+    TablePrinter t;
+    t.addColumn("a");
+    t.addRow({"1"});
+    EXPECT_THROW(t.addColumn("late"), FatalError);
+}
+
+TEST(Table, PrintWritesToStream)
+{
+    TablePrinter t;
+    t.addColumn("x");
+    t.addRow({"42"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("42"), std::string::npos);
+}
+
+TEST(Table, WriteCsvMatchesContent)
+{
+    TablePrinter t;
+    t.addColumn("name", TablePrinter::Align::Left);
+    t.addColumn("v");
+    t.addRow({"a,b", "1"});
+    std::ostringstream os;
+    t.writeCsv(os);
+    EXPECT_EQ(os.str(), "name,v\n\"a,b\",1\n");
+}
+
+TEST(Table, AccessorsFlushPendingRow)
+{
+    TablePrinter t;
+    t.addColumn("x");
+    t.beginRow().cell("7");
+    EXPECT_EQ(t.dataRows().size(), 1u);
+    EXPECT_EQ(t.columnHeaders(), (std::vector<std::string>{"x"}));
+    EXPECT_EQ(t.dataRows()[0][0], "7");
+}
+
+TEST(Sparkline, EmptyAndDegenerateInputs)
+{
+    EXPECT_EQ(sparkline({}), "");
+    EXPECT_EQ(sparkline({1.0, 2.0}, 0), "");
+}
+
+TEST(Sparkline, ConstantSeriesRendersMidHeight)
+{
+    const std::string s = sparkline({5.0, 5.0, 5.0});
+    EXPECT_EQ(s, "▄▄▄"); // three mid-height blocks
+}
+
+TEST(Sparkline, MonotoneSeriesStartsLowEndsHigh)
+{
+    const std::string s = sparkline({0.0, 1.0, 2.0, 3.0});
+    // First glyph is the lowest block, last is the full block.
+    EXPECT_EQ(s.substr(0, 3), "▁");
+    EXPECT_EQ(s.substr(s.size() - 3), "█");
+}
+
+TEST(Sparkline, DownsamplesLongSeries)
+{
+    std::vector<double> values(1000);
+    for (std::size_t i = 0; i < values.size(); ++i)
+        values[i] = static_cast<double>(i);
+    const std::string s = sparkline(values, 10);
+    // 10 glyphs, 3 bytes each (UTF-8 block elements).
+    EXPECT_EQ(s.size(), 30u);
+}
+
+TEST(Table, LeftAlignmentPadsRight)
+{
+    TablePrinter t;
+    t.addColumn("col", TablePrinter::Align::Left);
+    t.addRow({"abcdef"});
+    t.addRow({"x"});
+    const std::string out = t.toString();
+    EXPECT_NE(out.find("x     \n"), std::string::npos);
+}
+
+} // namespace
+} // namespace amdahl

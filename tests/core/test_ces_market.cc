@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit tests for CES utilities and the classical proportional-response
+ * market.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "core/amdahl.hh"
+#include "core/ces_market.hh"
+
+namespace amdahl::core {
+namespace {
+
+TEST(CesUtility, ValueAndMarginal)
+{
+    const CesUtility u({2.0, 1.0}, 0.5);
+    EXPECT_DOUBLE_EQ(u.value({2.0, 4.0}), std::sqrt(4.0) + 2.0);
+    EXPECT_DOUBLE_EQ(u.jobValue(0, 2.0), 2.0);
+    // d/dx (w x)^rho = rho w^rho x^(rho-1).
+    EXPECT_NEAR(u.jobMarginal(0, 2.0),
+                0.5 * std::sqrt(2.0) / std::sqrt(2.0), 1e-12);
+}
+
+TEST(CesUtility, MarginalMatchesFiniteDifference)
+{
+    const CesUtility u({1.5}, 0.7);
+    const double h = 1e-7;
+    const double numeric =
+        (u.jobValue(0, 3.0 + h) - u.jobValue(0, 3.0 - h)) / (2.0 * h);
+    EXPECT_NEAR(u.jobMarginal(0, 3.0), numeric, 1e-6);
+}
+
+TEST(CesUtility, ValidatesConstruction)
+{
+    EXPECT_THROW(CesUtility({}, 0.5), FatalError);
+    EXPECT_THROW(CesUtility({1.0}, 0.0), FatalError);
+    EXPECT_THROW(CesUtility({1.0}, 1.5), FatalError);
+    EXPECT_THROW(CesUtility({0.0}, 0.5), FatalError);
+}
+
+TEST(CesUtility, DemandExhaustsBudgetAndIsOptimal)
+{
+    const CesUtility u({2.0, 1.0, 1.5}, 0.4);
+    const std::vector<double> prices = {0.2, 0.5, 0.3};
+    const double budget = 3.0;
+    const auto x = u.demand(prices, budget);
+
+    double spent = 0.0;
+    for (std::size_t j = 0; j < x.size(); ++j)
+        spent += prices[j] * x[j];
+    EXPECT_NEAR(spent, budget, 1e-9);
+
+    // KKT: marginal utility per dollar equal across jobs.
+    const double ratio0 = u.jobMarginal(0, x[0]) / prices[0];
+    for (std::size_t j = 1; j < x.size(); ++j) {
+        EXPECT_NEAR(u.jobMarginal(j, x[j]) / prices[j], ratio0,
+                    1e-6 * ratio0);
+    }
+
+    // Local perturbations cannot improve.
+    const double best = u.value(x);
+    for (double shift : {-0.1, 0.1}) {
+        auto y = x;
+        y[0] += shift / prices[0];
+        y[1] -= shift / prices[1];
+        if (y[0] <= 0.0 || y[1] <= 0.0)
+            continue;
+        EXPECT_LE(u.value(y), best + 1e-9);
+    }
+}
+
+TEST(CesUtility, LinearDemandPicksBestRatio)
+{
+    const CesUtility u({3.0, 1.0}, 1.0);
+    const auto x = u.demand({1.0, 1.0}, 2.0);
+    EXPECT_DOUBLE_EQ(x[0], 2.0);
+    EXPECT_DOUBLE_EQ(x[1], 0.0);
+}
+
+TEST(CesMarket, ValidatesConstruction)
+{
+    EXPECT_THROW(CesMarket({}), FatalError);
+    EXPECT_THROW(CesMarket({0.0}), FatalError);
+
+    CesMarket market({10.0});
+    EXPECT_THROW(market.addUser({"x", 0.0, 0.5, {{0, 1.0}}}),
+                 FatalError);
+    EXPECT_THROW(market.addUser({"x", 1.0, 1.0, {{0, 1.0}}}),
+                 FatalError); // rho must be < 1 for PRD
+    EXPECT_THROW(market.addUser({"x", 1.0, 0.5, {}}), FatalError);
+    EXPECT_THROW(market.addUser({"x", 1.0, 0.5, {{3, 1.0}}}),
+                 FatalError);
+}
+
+TEST(CesMarket, PrdClearsAndExhaustsBudgets)
+{
+    CesMarket market({8.0, 12.0});
+    market.addUser({"a", 1.0, 0.5, {{0, 1.0}, {1, 2.0}}});
+    market.addUser({"b", 2.0, 0.3, {{0, 2.0}, {1, 1.0}}});
+    const auto r = solveCesMarket(market);
+    ASSERT_TRUE(r.converged);
+
+    std::vector<double> load(2, 0.0);
+    for (std::size_t i = 0; i < 2; ++i) {
+        const auto &jobs = market.user(i).jobs;
+        double spent = 0.0;
+        for (std::size_t k = 0; k < jobs.size(); ++k) {
+            load[jobs[k].server] += r.allocation[i][k];
+            spent += r.bids[i][k];
+        }
+        EXPECT_NEAR(spent, market.user(i).budget, 1e-9);
+    }
+    EXPECT_NEAR(load[0], 8.0, 1e-6);
+    EXPECT_NEAR(load[1], 12.0, 1e-6);
+}
+
+TEST(CesMarket, PrdFixedPointMatchesClosedFormDemand)
+{
+    // At equilibrium prices, each user's allocation must equal her
+    // closed-form CES demand.
+    CesMarket market({10.0, 10.0});
+    market.addUser({"a", 1.0, 0.5, {{0, 1.0}, {1, 3.0}}});
+    market.addUser({"b", 1.5, 0.6, {{0, 2.0}, {1, 1.0}}});
+    CesOptions opts;
+    opts.priceTolerance = 1e-11;
+    const auto r = solveCesMarket(market, opts);
+    ASSERT_TRUE(r.converged);
+
+    for (std::size_t i = 0; i < 2; ++i) {
+        const auto &user = market.user(i);
+        std::vector<double> weights, prices;
+        for (const auto &job : user.jobs) {
+            weights.push_back(job.weight);
+            prices.push_back(r.prices[job.server]);
+        }
+        const CesUtility utility(weights, user.rho);
+        const auto demand = utility.demand(prices, user.budget);
+        for (std::size_t k = 0; k < demand.size(); ++k)
+            EXPECT_NEAR(r.allocation[i][k], demand[k], 1e-5);
+    }
+}
+
+TEST(CesMarket, SymmetricUsersSplitEvenly)
+{
+    CesMarket market({9.0});
+    market.addUser({"a", 1.0, 0.5, {{0, 1.0}}});
+    market.addUser({"b", 2.0, 0.5, {{0, 1.0}}});
+    const auto r = solveCesMarket(market);
+    EXPECT_NEAR(r.allocation[0][0], 3.0, 1e-6);
+    EXPECT_NEAR(r.allocation[1][0], 6.0, 1e-6);
+}
+
+TEST(CesMarket, ValidateDetectsOrphanServer)
+{
+    CesMarket market({4.0, 4.0});
+    market.addUser({"a", 1.0, 0.5, {{0, 1.0}}});
+    EXPECT_THROW(solveCesMarket(market), FatalError);
+}
+
+TEST(FitCesToAmdahl, RecoversNearLinearCurves)
+{
+    // f near 1: speedup ~ x, so rho ~ 1 and the fit is tight.
+    double scale = 0.0, rho = 0.0;
+    const double err = fitCesToAmdahl(0.99, 24, scale, rho);
+    EXPECT_GT(rho, 0.85);
+    EXPECT_LT(err, 0.05);
+}
+
+TEST(FitCesToAmdahl, SaturatingCurvesFitPoorly)
+{
+    double scale_hi = 0.0, rho_hi = 0.0;
+    double scale_lo = 0.0, rho_lo = 0.0;
+    const double err_hi = fitCesToAmdahl(0.99, 24, scale_hi, rho_hi);
+    const double err_lo = fitCesToAmdahl(0.55, 24, scale_lo, rho_lo);
+    EXPECT_GT(err_lo, err_hi);
+    EXPECT_LT(rho_lo, rho_hi); // saturating curve -> smaller exponent
+}
+
+TEST(FitCesToAmdahl, ValidatesInputs)
+{
+    double s = 0.0, r = 0.0;
+    EXPECT_THROW(fitCesToAmdahl(0.0, 24, s, r), FatalError);
+    EXPECT_THROW(fitCesToAmdahl(1.0, 24, s, r), FatalError);
+    EXPECT_THROW(fitCesToAmdahl(0.9, 1, s, r), FatalError);
+}
+
+} // namespace
+} // namespace amdahl::core

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for market-file parsing and serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "core/market_io.hh"
+
+namespace amdahl::core {
+namespace {
+
+constexpr const char *aliceBobFile = R"(# the paper's example
+servers 10 10
+user Alice budget 1
+job server 0 fraction 0.53
+job server 1 fraction 0.93
+user Bob budget 1
+job server 0 fraction 0.96 weight 2
+job server 1 fraction 0.68
+)";
+
+TEST(MarketIo, ParsesTheExampleFile)
+{
+    const auto market = parseMarketString(aliceBobFile);
+    EXPECT_EQ(market.serverCount(), 2u);
+    EXPECT_EQ(market.userCount(), 2u);
+    EXPECT_EQ(market.user(0).name, "Alice");
+    EXPECT_DOUBLE_EQ(market.user(0).budget, 1.0);
+    ASSERT_EQ(market.user(1).jobs.size(), 2u);
+    EXPECT_DOUBLE_EQ(market.user(1).jobs[0].parallelFraction, 0.96);
+    EXPECT_DOUBLE_EQ(market.user(1).jobs[0].weight, 2.0);
+    EXPECT_NO_THROW(market.validate());
+}
+
+TEST(MarketIo, CommentsAndBlankLinesIgnored)
+{
+    const auto market = parseMarketString(
+        "\n# header\nservers 4\n\nuser u budget 2  # inline\n"
+        "job server 0 fraction 0.5\n\n");
+    EXPECT_EQ(market.userCount(), 1u);
+    EXPECT_DOUBLE_EQ(market.user(0).budget, 2.0);
+}
+
+TEST(MarketIo, AnonymousUserAndDefaultBudget)
+{
+    const auto market = parseMarketString(
+        "servers 4\nuser\njob server 0 fraction 0.5\n");
+    EXPECT_TRUE(market.user(0).name.empty());
+    EXPECT_DOUBLE_EQ(market.user(0).budget, 1.0);
+}
+
+TEST(MarketIo, JobKeysInAnyOrder)
+{
+    const auto market = parseMarketString(
+        "servers 4\nuser u\n"
+        "job fraction 0.7 weight 3 server 0\n");
+    EXPECT_DOUBLE_EQ(market.user(0).jobs[0].parallelFraction, 0.7);
+    EXPECT_DOUBLE_EQ(market.user(0).jobs[0].weight, 3.0);
+}
+
+TEST(MarketIo, RoundTripsThroughWrite)
+{
+    const auto market = parseMarketString(aliceBobFile);
+    std::ostringstream os;
+    writeMarket(os, market);
+    const auto reparsed = parseMarketString(os.str());
+    ASSERT_EQ(reparsed.userCount(), market.userCount());
+    ASSERT_EQ(reparsed.serverCount(), market.serverCount());
+    for (std::size_t i = 0; i < market.userCount(); ++i) {
+        EXPECT_EQ(reparsed.user(i).name, market.user(i).name);
+        EXPECT_DOUBLE_EQ(reparsed.user(i).budget,
+                         market.user(i).budget);
+        ASSERT_EQ(reparsed.user(i).jobs.size(),
+                  market.user(i).jobs.size());
+        for (std::size_t k = 0; k < market.user(i).jobs.size(); ++k) {
+            EXPECT_EQ(reparsed.user(i).jobs[k].server,
+                      market.user(i).jobs[k].server);
+            EXPECT_DOUBLE_EQ(
+                reparsed.user(i).jobs[k].parallelFraction,
+                market.user(i).jobs[k].parallelFraction);
+            EXPECT_DOUBLE_EQ(reparsed.user(i).jobs[k].weight,
+                             market.user(i).jobs[k].weight);
+        }
+    }
+}
+
+TEST(MarketIo, ErrorsCarryLineNumbers)
+{
+    try {
+        parseMarketString("servers 4\nuser u\njob server 0\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("line 3"),
+                  std::string::npos);
+    }
+}
+
+TEST(MarketIo, RejectsMalformedInput)
+{
+    EXPECT_THROW(parseMarketString(""), FatalError);
+    EXPECT_THROW(parseMarketString("servers\n"), FatalError);
+    EXPECT_THROW(parseMarketString("servers 4\n"), FatalError);
+    EXPECT_THROW(parseMarketString("user u\n"), FatalError);
+    EXPECT_THROW(
+        parseMarketString("servers 4\njob server 0 fraction 0.5\n"),
+        FatalError);
+    EXPECT_THROW(parseMarketString("servers 4\nservers 4\nuser u\n"
+                                   "job server 0 fraction 0.5\n"),
+                 FatalError);
+    EXPECT_THROW(parseMarketString("servers 4\nbogus\n"), FatalError);
+    EXPECT_THROW(parseMarketString("servers x\n"), FatalError);
+    EXPECT_THROW(
+        parseMarketString(
+            "servers 4\nuser u\njob server 0 fraction abc\n"),
+        FatalError);
+    EXPECT_THROW(
+        parseMarketString(
+            "servers 4\nuser u\njob server 0 fraction 0.5 oops 1\n"),
+        FatalError);
+}
+
+TEST(MarketIo, OutOfRangeValuesRejectedByMarket)
+{
+    // Parsing delegates semantic validation to FisherMarket.
+    EXPECT_THROW(
+        parseMarketString(
+            "servers 4\nuser u\njob server 9 fraction 0.5\n"),
+        FatalError);
+    EXPECT_THROW(
+        parseMarketString(
+            "servers 4\nuser u budget -1\njob server 0 fraction 0.5\n"),
+        FatalError);
+}
+
+} // namespace
+} // namespace amdahl::core

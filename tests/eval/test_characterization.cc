@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for the workload characterization cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "eval/characterization.hh"
+#include "sim/workload_library.hh"
+
+namespace amdahl::eval {
+namespace {
+
+TEST(Characterization, FractionsAreInRange)
+{
+    CharacterizationCache cache;
+    for (std::size_t i = 0; i < sim::workloadLibrary().size(); ++i) {
+        const auto &c = cache.of(i);
+        EXPECT_GT(c.measuredFraction, 0.3) << c.name;
+        EXPECT_LE(c.measuredFraction, 1.0) << c.name;
+        EXPECT_GT(c.estimatedFraction, 0.3) << c.name;
+        EXPECT_LE(c.estimatedFraction, 1.0) << c.name;
+        EXPECT_GT(c.t1Seconds, 0.0) << c.name;
+    }
+}
+
+TEST(Characterization, EstimatesTrackMeasurements)
+{
+    // Figure 6's relative accuracy: across workloads the estimate
+    // tracks the measurement.
+    CharacterizationCache cache;
+    for (std::size_t i = 0; i < sim::workloadLibrary().size(); ++i) {
+        const auto &c = cache.of(i);
+        EXPECT_NEAR(c.estimatedFraction, c.measuredFraction, 0.12)
+            << c.name;
+    }
+}
+
+TEST(Characterization, FractionSourceSelectsCorrectly)
+{
+    CharacterizationCache cache;
+    const auto &c = cache.of(0);
+    EXPECT_DOUBLE_EQ(cache.fraction(0, FractionSource::Measured),
+                     c.measuredFraction);
+    EXPECT_DOUBLE_EQ(cache.fraction(0, FractionSource::Estimated),
+                     c.estimatedFraction);
+}
+
+TEST(Characterization, CacheReturnsSameObject)
+{
+    CharacterizationCache cache;
+    const auto *a = &cache.of(3);
+    const auto *b = &cache.of(3);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Characterization, FullDatasetSecondsMemoized)
+{
+    CharacterizationCache cache;
+    const double t1 = cache.fullDatasetSeconds(0, 4);
+    const double t2 = cache.fullDatasetSeconds(0, 4);
+    EXPECT_DOUBLE_EQ(t1, t2);
+    EXPECT_GT(cache.fullDatasetSeconds(0, 1),
+              cache.fullDatasetSeconds(0, 8));
+}
+
+TEST(Characterization, OutOfRangeIndexIsFatal)
+{
+    CharacterizationCache cache;
+    EXPECT_THROW(cache.of(22), FatalError);
+    EXPECT_THROW(cache.fullDatasetSeconds(22, 1), FatalError);
+}
+
+TEST(Characterization, NamesMatchLibrary)
+{
+    CharacterizationCache cache;
+    EXPECT_EQ(cache.of(0).name, "correlation");
+    EXPECT_EQ(cache.of(15).name, "dedup");
+}
+
+} // namespace
+} // namespace amdahl::eval

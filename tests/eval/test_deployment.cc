@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for the Section VI-F deployment cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "eval/deployment.hh"
+
+namespace amdahl::eval {
+namespace {
+
+TEST(Deployment, PaperHeadlineNumber)
+{
+    // 12.35 ms = 10 * (0.10 + 0.85 + 0.25) + (0.30 + 0.05).
+    const DeploymentModel model;
+    EXPECT_NEAR(model.totalMs(10, 100, Architecture::Distributed,
+                              Mechanism::AmdahlBidding),
+                12.35, 1e-9);
+}
+
+TEST(Deployment, BreakdownComponentsSum)
+{
+    const DeploymentModel model;
+    const auto b = model.latency(10, 100, Architecture::Distributed,
+                                 Mechanism::AmdahlBidding);
+    EXPECT_DOUBLE_EQ(b.bidUpdatesMs, 1.0);
+    EXPECT_DOUBLE_EQ(b.priceUpdatesMs, 8.5);
+    EXPECT_DOUBLE_EQ(b.networkMs, 2.5);
+    EXPECT_DOUBLE_EQ(b.finalizationMs, 0.35);
+    EXPECT_DOUBLE_EQ(b.totalMs(), 12.35);
+}
+
+TEST(Deployment, BestResponseMultiplierApplies)
+{
+    const DeploymentModel model;
+    const auto ab = model.latency(10, 100, Architecture::Distributed,
+                                  Mechanism::AmdahlBidding);
+    const auto br = model.latency(10, 100, Architecture::Distributed,
+                                  Mechanism::BestResponse);
+    EXPECT_NEAR(br.bidUpdatesMs, 22.0 * ab.bidUpdatesMs, 1e-12);
+    // Non-bid components unchanged.
+    EXPECT_DOUBLE_EQ(br.priceUpdatesMs, ab.priceUpdatesMs);
+    EXPECT_DOUBLE_EQ(br.networkMs, ab.networkMs);
+}
+
+TEST(Deployment, CentralizedSerializesAcrossUsers)
+{
+    const DeploymentModel model;
+    const auto few = model.latency(10, 10, Architecture::Centralized,
+                                   Mechanism::AmdahlBidding);
+    const auto many = model.latency(10, 1000, Architecture::Centralized,
+                                    Mechanism::AmdahlBidding);
+    EXPECT_NEAR(many.bidUpdatesMs, 100.0 * few.bidUpdatesMs, 1e-9);
+    EXPECT_DOUBLE_EQ(few.networkMs, 0.0);
+}
+
+TEST(Deployment, DistributedIsUserCountInvariant)
+{
+    const DeploymentModel model;
+    EXPECT_DOUBLE_EQ(model.totalMs(10, 10, Architecture::Distributed,
+                                   Mechanism::AmdahlBidding),
+                     model.totalMs(10, 10000,
+                                   Architecture::Distributed,
+                                   Mechanism::AmdahlBidding));
+}
+
+TEST(Deployment, CentralizedBrDominatedByBidUpdates)
+{
+    // The paper's Section VI-F point: centralized BR overheads are
+    // prohibitive because bid updates become the dominant share.
+    const DeploymentModel model;
+    const auto b = model.latency(10, 1000, Architecture::Centralized,
+                                 Mechanism::BestResponse);
+    EXPECT_GT(b.bidUpdatesMs / b.totalMs(), 0.99);
+}
+
+TEST(Deployment, LatencyScalesLinearlyWithIterations)
+{
+    const DeploymentModel model;
+    const auto one = model.latency(1, 100, Architecture::Distributed,
+                                   Mechanism::AmdahlBidding);
+    const auto ten = model.latency(10, 100, Architecture::Distributed,
+                                   Mechanism::AmdahlBidding);
+    EXPECT_NEAR(ten.totalMs() - ten.finalizationMs,
+                10.0 * (one.totalMs() - one.finalizationMs), 1e-9);
+}
+
+TEST(Deployment, ValidatesInputs)
+{
+    const DeploymentModel model;
+    EXPECT_THROW(model.latency(0, 10, Architecture::Distributed,
+                               Mechanism::AmdahlBidding),
+                 FatalError);
+    EXPECT_THROW(model.latency(10, 0, Architecture::Distributed,
+                               Mechanism::AmdahlBidding),
+                 FatalError);
+
+    DeploymentCosts bad;
+    bad.userBidUpdateMs = -1.0;
+    EXPECT_THROW(DeploymentModel{bad}, FatalError);
+    bad = DeploymentCosts{};
+    bad.networkRttMaxMs = 0.1; // below min
+    EXPECT_THROW(DeploymentModel{bad}, FatalError);
+    bad = DeploymentCosts{};
+    bad.bestResponseMultiplier = 0.5;
+    EXPECT_THROW(DeploymentModel{bad}, FatalError);
+}
+
+} // namespace
+} // namespace amdahl::eval

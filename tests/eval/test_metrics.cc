@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the progress metrics (Section VI).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "eval/metrics.hh"
+
+namespace amdahl::eval {
+namespace {
+
+Population
+twoUserPopulation()
+{
+    Population pop;
+    pop.budgets = {1.0, 3.0};
+    pop.serverCount = 2;
+    pop.coresPerServer = 24;
+    pop.userJobs = {
+        {{0, 0}, {1, 13}}, // user 0: correlation, bodytrack
+        {{1, 15}},         // user 1: dedup
+    };
+    return pop;
+}
+
+TEST(Metrics, ZeroCoresMeansZeroProgress)
+{
+    CharacterizationCache cache;
+    const ProgressEvaluator eval(cache);
+    EXPECT_DOUBLE_EQ(eval.jobProgress(0, 0), 0.0);
+}
+
+TEST(Metrics, OneCoreMeansUnitProgress)
+{
+    CharacterizationCache cache;
+    const ProgressEvaluator eval(cache);
+    EXPECT_DOUBLE_EQ(eval.jobProgress(0, 1), 1.0);
+}
+
+TEST(Metrics, ProgressIsMeasuredSpeedup)
+{
+    CharacterizationCache cache;
+    const ProgressEvaluator eval(cache);
+    const double t1 = cache.fullDatasetSeconds(0, 1);
+    const double t8 = cache.fullDatasetSeconds(0, 8);
+    EXPECT_DOUBLE_EQ(eval.jobProgress(0, 8), t1 / t8);
+    EXPECT_GT(eval.jobProgress(0, 8), 1.0);
+}
+
+TEST(Metrics, NegativeCoresIsFatal)
+{
+    CharacterizationCache cache;
+    const ProgressEvaluator eval(cache);
+    EXPECT_THROW(eval.jobProgress(0, -1), FatalError);
+}
+
+TEST(Metrics, UserProgressAveragesJobProgress)
+{
+    CharacterizationCache cache;
+    const ProgressEvaluator eval(cache);
+    const auto pop = twoUserPopulation();
+    const double expected = 0.5 * (eval.jobProgress(0, 4) +
+                                   eval.jobProgress(13, 8));
+    EXPECT_DOUBLE_EQ(eval.userProgress(pop, 0, {4, 8}), expected);
+}
+
+TEST(Metrics, UserProgressAtUnitAllocationIsOne)
+{
+    CharacterizationCache cache;
+    const ProgressEvaluator eval(cache);
+    const auto pop = twoUserPopulation();
+    EXPECT_DOUBLE_EQ(eval.userProgress(pop, 0, {1, 1}), 1.0);
+}
+
+TEST(Metrics, SystemProgressIsBudgetWeighted)
+{
+    CharacterizationCache cache;
+    const ProgressEvaluator eval(cache);
+    const auto pop = twoUserPopulation();
+    const std::vector<std::vector<int>> cores = {{4, 8}, {2}};
+    const auto per_user = eval.allUserProgress(pop, cores);
+    const double expected =
+        (1.0 * per_user[0] + 3.0 * per_user[1]) / 4.0;
+    EXPECT_DOUBLE_EQ(eval.systemProgress(pop, cores), expected);
+}
+
+TEST(Metrics, ShapeValidation)
+{
+    CharacterizationCache cache;
+    const ProgressEvaluator eval(cache);
+    const auto pop = twoUserPopulation();
+    EXPECT_THROW(eval.userProgress(pop, 0, {4}), FatalError);
+    EXPECT_THROW(eval.allUserProgress(pop, {{1, 1}}), FatalError);
+}
+
+TEST(Metrics, MoreCoresMoreProgress)
+{
+    CharacterizationCache cache;
+    const ProgressEvaluator eval(cache);
+    const auto pop = twoUserPopulation();
+    EXPECT_GT(eval.userProgress(pop, 0, {8, 8}),
+              eval.userProgress(pop, 0, {2, 2}));
+}
+
+} // namespace
+} // namespace amdahl::eval

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Unit tests for the online (epoch-based) market simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "alloc/amdahl_bidding_policy.hh"
+#include "alloc/proportional_share.hh"
+#include "common/logging.hh"
+#include "eval/online.hh"
+
+namespace amdahl::eval {
+namespace {
+
+OnlineOptions
+smallScenario()
+{
+    OnlineOptions opts;
+    opts.seed = 404;
+    opts.users = 8;
+    opts.servers = 4;
+    opts.epochSeconds = 60.0;
+    opts.horizonSeconds = 1800.0;
+    opts.arrivalsPerServerEpoch = 0.5;
+    return opts;
+}
+
+TEST(Online, JobsArriveAndComplete)
+{
+    CharacterizationCache cache;
+    OnlineSimulator sim(cache, smallScenario());
+    const alloc::AmdahlBiddingPolicy ab;
+    const auto m = sim.run(ab, FractionSource::Estimated);
+    EXPECT_GT(m.jobsArrived, 0);
+    EXPECT_GT(m.jobsCompleted, 0);
+    EXPECT_LE(m.jobsCompleted, m.jobsArrived);
+    EXPECT_GT(m.workCompleted, 0.0);
+    EXPECT_EQ(m.policyName, "AB");
+}
+
+TEST(Online, CompletionTimesAreSane)
+{
+    CharacterizationCache cache;
+    OnlineSimulator sim(cache, smallScenario());
+    const alloc::AmdahlBiddingPolicy ab;
+    const auto m = sim.run(ab, FractionSource::Estimated);
+    EXPECT_GT(m.meanCompletionSeconds, 0.0);
+    EXPECT_GE(m.p95CompletionSeconds, m.meanCompletionSeconds * 0.5);
+    for (const auto &job : m.jobs) {
+        if (job.done()) {
+            EXPECT_GE(job.completionSeconds, job.arrivalSeconds);
+            EXPECT_DOUBLE_EQ(job.remainingWork, 0.0);
+        } else {
+            EXPECT_GT(job.remainingWork, 0.0);
+            EXPECT_LE(job.remainingWork, job.totalWork);
+        }
+    }
+}
+
+TEST(Online, IdenticalArrivalStreamAcrossPolicies)
+{
+    CharacterizationCache cache;
+    OnlineSimulator sim(cache, smallScenario());
+    const auto ab = sim.run(alloc::AmdahlBiddingPolicy(),
+                            FractionSource::Estimated);
+    const auto ps = sim.run(alloc::ProportionalShare(),
+                            FractionSource::Estimated);
+    ASSERT_EQ(ab.jobsArrived, ps.jobsArrived);
+    ASSERT_EQ(ab.jobs.size(), ps.jobs.size());
+    for (std::size_t k = 0; k < ab.jobs.size(); ++k) {
+        EXPECT_EQ(ab.jobs[k].server, ps.jobs[k].server);
+        EXPECT_EQ(ab.jobs[k].workloadIndex, ps.jobs[k].workloadIndex);
+        EXPECT_DOUBLE_EQ(ab.jobs[k].totalWork, ps.jobs[k].totalWork);
+    }
+}
+
+TEST(Online, DeterministicGivenSeed)
+{
+    CharacterizationCache cache;
+    OnlineSimulator sim(cache, smallScenario());
+    const alloc::AmdahlBiddingPolicy ab;
+    const auto a = sim.run(ab, FractionSource::Estimated);
+    const auto b = sim.run(ab, FractionSource::Estimated);
+    EXPECT_EQ(a.jobsCompleted, b.jobsCompleted);
+    EXPECT_DOUBLE_EQ(a.meanCompletionSeconds, b.meanCompletionSeconds);
+}
+
+TEST(Online, MarketBeatsProportionalShareOnThroughput)
+{
+    // The paper's one-shot advantage should compound over epochs:
+    // under the same arrival stream, AB completes at least as much
+    // work as PS.
+    CharacterizationCache cache;
+    auto opts = smallScenario();
+    opts.arrivalsPerServerEpoch = 0.8; // enough load to differentiate
+    OnlineSimulator sim(cache, opts);
+    const auto ab = sim.run(alloc::AmdahlBiddingPolicy(),
+                            FractionSource::Estimated);
+    const auto ps = sim.run(alloc::ProportionalShare(),
+                            FractionSource::Estimated);
+    EXPECT_GE(ab.workCompleted, 0.98 * ps.workCompleted);
+    EXPECT_GE(ab.meanWeightedSpeedup, 0.98 * ps.meanWeightedSpeedup);
+}
+
+TEST(Online, ZeroArrivalRateMeansNothingHappens)
+{
+    CharacterizationCache cache;
+    auto opts = smallScenario();
+    opts.arrivalsPerServerEpoch = 0.0;
+    OnlineSimulator sim(cache, opts);
+    const auto m = sim.run(alloc::AmdahlBiddingPolicy(),
+                           FractionSource::Estimated);
+    EXPECT_EQ(m.jobsArrived, 0);
+    EXPECT_EQ(m.jobsCompleted, 0);
+    EXPECT_DOUBLE_EQ(m.workCompleted, 0.0);
+}
+
+TEST(Online, PlacementRulesProduceValidRuns)
+{
+    CharacterizationCache cache;
+    for (auto rule : {alloc::PlacementRule::RoundRobin,
+                      alloc::PlacementRule::LeastLoaded,
+                      alloc::PlacementRule::PriceAware}) {
+        auto opts = smallScenario();
+        opts.placement = rule;
+        OnlineSimulator sim(cache, opts);
+        const auto m = sim.run(alloc::AmdahlBiddingPolicy(),
+                               FractionSource::Estimated);
+        EXPECT_GT(m.jobsCompleted, 0) << toString(rule);
+    }
+}
+
+TEST(Online, PlacementAffectsOutcomeUnderLoad)
+{
+    CharacterizationCache cache;
+    auto opts = smallScenario();
+    opts.arrivalsPerServerEpoch = 1.5;
+    opts.workScaleMax = 1.5;
+
+    opts.placement = alloc::PlacementRule::RoundRobin;
+    const auto rr = OnlineSimulator(cache, opts)
+                        .run(alloc::AmdahlBiddingPolicy(),
+                             FractionSource::Estimated);
+    opts.placement = alloc::PlacementRule::PriceAware;
+    const auto pa = OnlineSimulator(cache, opts)
+                        .run(alloc::AmdahlBiddingPolicy(),
+                             FractionSource::Estimated);
+    // Same arrival batches, different placements: completions differ.
+    EXPECT_EQ(rr.jobsArrived, pa.jobsArrived);
+    EXPECT_NE(rr.meanCompletionSeconds, pa.meanCompletionSeconds);
+}
+
+TEST(Online, LongRunMapeIsReported)
+{
+    CharacterizationCache cache;
+    OnlineSimulator sim(cache, smallScenario());
+    const auto m = sim.run(alloc::AmdahlBiddingPolicy(),
+                           FractionSource::Estimated);
+    EXPECT_GT(m.longRunEntitlementMape, 0.0);
+    EXPECT_LT(m.longRunEntitlementMape, 200.0);
+}
+
+TEST(Online, DeficitCompensationImprovesLongRunFairness)
+{
+    CharacterizationCache cache;
+    auto opts = smallScenario();
+    opts.arrivalsPerServerEpoch = 1.5;
+    opts.workScaleMax = 1.5;
+
+    OnlineSimulator plain(cache, opts);
+    const auto base = plain.run(alloc::AmdahlBiddingPolicy(),
+                                FractionSource::Estimated);
+    opts.deficitCompensation = true;
+    OnlineSimulator compensated(cache, opts);
+    const auto comp = compensated.run(alloc::AmdahlBiddingPolicy(),
+                                      FractionSource::Estimated);
+    EXPECT_LE(comp.longRunEntitlementMape,
+              base.longRunEntitlementMape + 1.0);
+}
+
+TEST(Online, ValidatesOptions)
+{
+    CharacterizationCache cache;
+    auto opts = smallScenario();
+    opts.users = 0;
+    EXPECT_THROW(OnlineSimulator(cache, opts), FatalError);
+    opts = smallScenario();
+    opts.epochSeconds = 0.0;
+    EXPECT_THROW(OnlineSimulator(cache, opts), FatalError);
+    opts = smallScenario();
+    opts.workScaleMax = 0.05; // below min
+    EXPECT_THROW(OnlineSimulator(cache, opts), FatalError);
+    opts = smallScenario();
+    opts.coresPerServer = 999;
+    EXPECT_THROW(OnlineSimulator(cache, opts), FatalError);
+    opts = smallScenario();
+    opts.arrivalsPerServerEpoch = -1.0;
+    EXPECT_THROW(OnlineSimulator(cache, opts), FatalError);
+}
+
+} // namespace
+} // namespace amdahl::eval

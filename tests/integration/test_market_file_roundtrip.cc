@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Integration: serialize generated markets to the text format, parse
+ * them back, and verify the round-tripped market solves to the same
+ * equilibrium — the CLI's data path, exercised on non-trivial content.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/bidding.hh"
+#include "core/market_io.hh"
+#include "eval/experiment.hh"
+#include "sim/workload_library.hh"
+
+namespace amdahl {
+namespace {
+
+TEST(MarketFileRoundTrip, GeneratedPopulationsSolveIdentically)
+{
+    eval::CharacterizationCache cache;
+    for (std::uint64_t seed : {401u, 402u}) {
+        Rng rng(seed);
+        eval::PopulationOptions opts;
+        opts.users = 15;
+        opts.serverMultiplier = 0.5;
+        opts.density = 8;
+        opts.workloadCount = sim::workloadLibrary().size();
+        const auto pop = eval::generatePopulation(rng, opts);
+        const auto market = eval::buildMarket(
+            pop, cache, eval::FractionSource::Estimated);
+
+        std::ostringstream os;
+        core::writeMarket(os, market);
+        const auto reparsed = core::parseMarketString(os.str());
+
+        core::BiddingOptions bopts;
+        bopts.priceTolerance = 1e-8;
+        bopts.maxIterations = 50000;
+        const auto original = core::solveAmdahlBidding(market, bopts);
+        const auto roundtrip =
+            core::solveAmdahlBidding(reparsed, bopts);
+        ASSERT_TRUE(original.converged);
+        ASSERT_TRUE(roundtrip.converged);
+
+        for (std::size_t j = 0; j < market.serverCount(); ++j) {
+            EXPECT_NEAR(original.prices[j], roundtrip.prices[j],
+                        1e-6 * original.prices[j])
+                << "seed " << seed << " server " << j;
+        }
+        for (std::size_t i = 0; i < market.userCount(); ++i) {
+            for (std::size_t k = 0;
+                 k < original.allocation[i].size(); ++k) {
+                EXPECT_NEAR(original.allocation[i][k],
+                            roundtrip.allocation[i][k], 1e-4)
+                    << "seed " << seed << " user " << i;
+            }
+        }
+    }
+}
+
+TEST(MarketFileRoundTrip, PrecisionSurvivesTextForm)
+{
+    // Fractions round-trip exactly: writeMarket emits max_digits10.
+    core::FisherMarket market({10.0});
+    market.addUser({"u", 1.0, {{0, 0.9349862, 1.0}}});
+    std::ostringstream os;
+    core::writeMarket(os, market);
+    const auto reparsed = core::parseMarketString(os.str());
+    EXPECT_DOUBLE_EQ(reparsed.user(0).jobs[0].parallelFraction,
+                     0.9349862);
+}
+
+} // namespace
+} // namespace amdahl

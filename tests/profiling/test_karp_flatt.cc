@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests for the Karp-Flatt estimation pipeline (Section IV).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "profiling/karp_flatt.hh"
+#include "profiling/profiler.hh"
+#include "profiling/sampler.hh"
+#include "sim/workload_library.hh"
+
+namespace amdahl::profiling {
+namespace {
+
+WorkloadProfile
+profileOf(const char *name, std::vector<int> cores = {2, 4, 8, 16, 24})
+{
+    const Profiler profiler(sim::TaskSimulator(), std::move(cores));
+    const auto &w = sim::findWorkload(name);
+    return profiler.profile(w, {w.datasetGB});
+}
+
+TEST(KarpFlatt, EstimateNearStructuralFractionForCleanWorkloads)
+{
+    const auto &w = sim::findWorkload("correlation");
+    const auto est =
+        estimateFraction(profileOf("correlation"), w.datasetGB);
+    EXPECT_NEAR(est.expected, w.structuralParallelFraction(), 0.02);
+}
+
+TEST(KarpFlatt, LowVarianceForAmdahlFriendlyWorkloads)
+{
+    // Figure 3: well-behaved workloads have tiny Var(F).
+    const auto &w = sim::findWorkload("swaptions");
+    const auto est =
+        estimateFraction(profileOf("swaptions"), w.datasetGB);
+    EXPECT_LT(est.variance, 1e-3);
+}
+
+TEST(KarpFlatt, GraphWorkloadEstimateFallsWithCoreCount)
+{
+    // Figure 1: communication overheads make F(x) decrease in x for
+    // graph analytics.
+    const auto &w = sim::findWorkload("pagerank");
+    const auto est = estimateFraction(profileOf("pagerank"), w.datasetGB);
+    ASSERT_GE(est.fractions.size(), 3u);
+    EXPECT_GT(est.fractions.front(), est.fractions.back() + 0.01);
+}
+
+TEST(KarpFlatt, GraphWorkloadsHaveHigherVarianceThanClean)
+{
+    const auto &pr = sim::findWorkload("pagerank");
+    const auto &bs = sim::findWorkload("blackscholes");
+    const double var_graph =
+        estimateFraction(profileOf("pagerank"), pr.datasetGB).variance;
+    const double var_clean =
+        estimateFraction(profileOf("blackscholes"), bs.datasetGB)
+            .variance;
+    EXPECT_GT(var_graph, var_clean);
+}
+
+TEST(KarpFlatt, EstimatesAreClamped)
+{
+    for (const auto &w : sim::workloadLibrary()) {
+        const Profiler profiler(sim::TaskSimulator(), {2, 8, 24});
+        const auto profile = profiler.profile(w, {w.datasetGB});
+        const auto est = estimateFraction(profile, w.datasetGB);
+        for (double f : est.fractions) {
+            EXPECT_GE(f, minClampedFraction) << w.name;
+            EXPECT_LE(f, 1.0) << w.name;
+        }
+    }
+}
+
+TEST(KarpFlatt, ExpectedIsMeanOfPerCoreEstimates)
+{
+    const auto &w = sim::findWorkload("ferret");
+    const auto est = estimateFraction(profileOf("ferret"), w.datasetGB);
+    double mean = 0.0;
+    for (double f : est.fractions)
+        mean += f;
+    mean /= static_cast<double>(est.fractions.size());
+    EXPECT_DOUBLE_EQ(est.expected, mean);
+}
+
+TEST(KarpFlatt, NeedsMultiCoreProfiles)
+{
+    const Profiler profiler(sim::TaskSimulator(), {1});
+    const auto &w = sim::findWorkload("ferret");
+    const auto profile = profiler.profile(w, {w.datasetGB});
+    EXPECT_THROW(estimateFraction(profile, w.datasetGB), FatalError);
+}
+
+TEST(KarpFlatt, SampledEstimateIsGeometricMeanAcrossDatasets)
+{
+    const auto &w = sim::findWorkload("decision");
+    const Profiler profiler(sim::TaskSimulator(), {2, 4, 8, 16, 24});
+    const auto plan = planSamples(w);
+    const auto profile = profiler.profile(w, plan.sampleSizesGB);
+    const double estimate = estimateFractionFromSamples(profile);
+
+    std::vector<double> expectations;
+    for (double gb : profile.datasetsGB)
+        expectations.push_back(estimateFraction(profile, gb).expected);
+    EXPECT_NEAR(estimate, amdahl::geometricMean(expectations), 1e-12);
+}
+
+TEST(KarpFlatt, SampledEstimateTracksFullDatasetForCleanWorkloads)
+{
+    // Figure 6: sampled and full-dataset estimates agree for most
+    // workloads.
+    for (const char *name : {"svm", "correlation", "linear", "decision",
+                             "blackscholes", "bodytrack", "ferret",
+                             "vips", "x264"}) {
+        const auto &w = sim::findWorkload(name);
+        const Profiler profiler((sim::TaskSimulator()));
+        const auto plan = planSamples(w);
+        const auto sampled = profiler.profile(w, plan.sampleSizesGB);
+        const auto full = profiler.profile(w, {w.datasetGB});
+        const double est = estimateFractionFromSamples(sampled);
+        const double meas =
+            estimateFraction(full, w.datasetGB).expected;
+        EXPECT_NEAR(est, meas, 0.05) << name;
+    }
+}
+
+TEST(KarpFlatt, CannealSampledEstimateOverestimates)
+{
+    // Figure 6's outlier: canneal is memory-intensive; small sampled
+    // datasets miss the bandwidth ceiling and over-estimate F.
+    const auto &w = sim::findWorkload("canneal");
+    const Profiler profiler((sim::TaskSimulator()));
+    const auto plan = planSamples(w);
+    const auto sampled = profiler.profile(w, plan.sampleSizesGB);
+    const auto full = profiler.profile(w, {w.datasetGB});
+    const double est = estimateFractionFromSamples(sampled);
+    const double meas = estimateFraction(full, w.datasetGB).expected;
+    EXPECT_GT(est, meas + 0.01);
+}
+
+} // namespace
+} // namespace amdahl::profiling

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unit tests for dataset sampling plans.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "profiling/sampler.hh"
+#include "sim/workload_library.hh"
+
+namespace amdahl::profiling {
+namespace {
+
+TEST(Sampler, SparkLadderForLargeDataset)
+{
+    // A 24 GB Spark input samples the paper's 1-6 GB ladder.
+    const auto plan = planSamples(sim::findWorkload("correlation"));
+    EXPECT_EQ(plan.sampleSizesGB.size(), 6u);
+    EXPECT_DOUBLE_EQ(plan.sampleSizesGB.front(), 1.0);
+    EXPECT_DOUBLE_EQ(plan.sampleSizesGB.back(), 6.0);
+    EXPECT_DOUBLE_EQ(plan.fullSizeGB, 24.0);
+}
+
+TEST(Sampler, LadderClippedBelowDatasetSize)
+{
+    // A 5.3 GB input keeps only ladder entries below 5.3 GB.
+    const auto plan = planSamples(sim::findWorkload("pagerank"));
+    for (double gb : plan.sampleSizesGB)
+        EXPECT_LT(gb, 5.3);
+    EXPECT_GE(plan.sampleSizesGB.size(), 3u);
+}
+
+TEST(Sampler, SmallDatasetFallsBackToFractions)
+{
+    // kmeans's 327 MB input cannot use the 1-6 GB ladder.
+    const auto &kmeans = sim::findWorkload("kmeans");
+    const auto plan = planSamples(kmeans);
+    EXPECT_GE(plan.sampleSizesGB.size(), 1u);
+    for (double gb : plan.sampleSizesGB) {
+        EXPECT_GT(gb, 0.0);
+        EXPECT_LE(gb, kmeans.datasetGB);
+    }
+}
+
+TEST(Sampler, MinimumParallelismFootnoteRespected)
+{
+    // Samples of large datasets must produce at least the configured
+    // number of tasks (paper footnote 1).
+    SamplerOptions opts;
+    opts.minTasksPerSample = 100;
+    const auto &corr = sim::findWorkload("correlation");
+    const auto plan = planSamples(corr, opts);
+    for (double gb : plan.sampleSizesGB)
+        EXPECT_GE(gb / corr.blockSizeGB, 99.999);
+}
+
+TEST(Sampler, ParsecUsesSimlargeFractions)
+{
+    const auto &ferret = sim::findWorkload("ferret");
+    const auto plan = planSamples(ferret);
+    EXPECT_EQ(plan.sampleSizesGB.size(), 4u);
+    for (double gb : plan.sampleSizesGB)
+        EXPECT_LT(gb, ferret.datasetGB);
+    EXPECT_DOUBLE_EQ(plan.sampleSizesGB.front(),
+                     0.2 * ferret.datasetGB);
+}
+
+TEST(Sampler, SamplesAreAscending)
+{
+    for (const auto &w : sim::workloadLibrary()) {
+        const auto plan = planSamples(w);
+        for (std::size_t i = 1; i < plan.sampleSizesGB.size(); ++i) {
+            EXPECT_GT(plan.sampleSizesGB[i],
+                      plan.sampleSizesGB[i - 1] - 1e-12)
+                << w.name;
+        }
+    }
+}
+
+TEST(Sampler, EveryLibraryWorkloadGetsAPlan)
+{
+    for (const auto &w : sim::workloadLibrary()) {
+        const auto plan = planSamples(w);
+        EXPECT_FALSE(plan.sampleSizesGB.empty()) << w.name;
+        EXPECT_DOUBLE_EQ(plan.fullSizeGB, w.datasetGB) << w.name;
+    }
+}
+
+} // namespace
+} // namespace amdahl::profiling

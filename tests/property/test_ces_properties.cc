@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Property sweeps of the CES market over randomized instances.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "core/ces_market.hh"
+
+namespace amdahl::core {
+namespace {
+
+struct CesCase
+{
+    std::uint64_t seed;
+    int users;
+    int servers;
+};
+
+void
+PrintTo(const CesCase &c, std::ostream *os)
+{
+    *os << "seed" << c.seed << "_u" << c.users << "_s" << c.servers;
+}
+
+CesMarket
+randomCesMarket(const CesCase &c)
+{
+    Rng rng(c.seed);
+    CesMarket market(
+        std::vector<double>(static_cast<std::size_t>(c.servers), 16.0));
+    for (int i = 0; i < c.users; ++i) {
+        CesUser user;
+        user.name = "u" + std::to_string(i);
+        user.budget = rng.uniform(0.5, 4.0);
+        user.rho = rng.uniform(0.2, 0.8);
+        const int jobs = static_cast<int>(rng.uniformInt(1, 3));
+        for (int k = 0; k < jobs; ++k) {
+            user.jobs.push_back(
+                {static_cast<std::size_t>(
+                     rng.uniformInt(0, c.servers - 1)),
+                 rng.uniform(0.5, 3.0)});
+        }
+        market.addUser(std::move(user));
+    }
+    for (int j = 0; j < c.servers; ++j) {
+        CesUser anchor;
+        anchor.name = "anchor" + std::to_string(j);
+        anchor.budget = 1.0;
+        anchor.rho = 0.5;
+        anchor.jobs.push_back({static_cast<std::size_t>(j), 1.0});
+        market.addUser(std::move(anchor));
+    }
+    return market;
+}
+
+class CesProperty : public ::testing::TestWithParam<CesCase>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        market.emplace(randomCesMarket(GetParam()));
+        CesOptions opts;
+        opts.priceTolerance = 1e-10;
+        result = solveCesMarket(*market, opts);
+        ASSERT_TRUE(result.converged);
+    }
+
+    std::optional<CesMarket> market;
+    CesResult result;
+};
+
+TEST_P(CesProperty, MarketClears)
+{
+    std::vector<double> load(market->serverCount(), 0.0);
+    for (std::size_t i = 0; i < market->userCount(); ++i) {
+        const auto &jobs = market->user(i).jobs;
+        for (std::size_t k = 0; k < jobs.size(); ++k)
+            load[jobs[k].server] += result.allocation[i][k];
+    }
+    for (std::size_t j = 0; j < market->serverCount(); ++j)
+        EXPECT_NEAR(load[j], market->capacity(j),
+                    1e-6 * market->capacity(j));
+}
+
+TEST_P(CesProperty, BudgetsExhausted)
+{
+    for (std::size_t i = 0; i < market->userCount(); ++i) {
+        double spent = 0.0;
+        for (double b : result.bids[i])
+            spent += b;
+        EXPECT_NEAR(spent, market->user(i).budget, 1e-9);
+    }
+}
+
+TEST_P(CesProperty, AllocationsMatchClosedFormDemand)
+{
+    for (std::size_t i = 0; i < market->userCount(); ++i) {
+        const auto &user = market->user(i);
+        std::vector<double> weights, prices;
+        for (const auto &job : user.jobs) {
+            weights.push_back(job.weight);
+            prices.push_back(result.prices[job.server]);
+        }
+        const CesUtility utility(weights, user.rho);
+        const auto demand = utility.demand(prices, user.budget);
+        for (std::size_t k = 0; k < demand.size(); ++k) {
+            EXPECT_NEAR(result.allocation[i][k], demand[k],
+                        1e-4 * (demand[k] + 1.0));
+        }
+    }
+}
+
+TEST_P(CesProperty, PositivePrices)
+{
+    for (double p : result.prices)
+        EXPECT_GT(p, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomCesMarkets, CesProperty,
+    ::testing::Values(CesCase{11, 2, 2}, CesCase{12, 4, 3},
+                      CesCase{13, 6, 2}, CesCase{14, 8, 4},
+                      CesCase{15, 3, 5}),
+    ::testing::PrintToStringParamName());
+
+} // namespace
+} // namespace amdahl::core

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Property sweeps of the online runtime across policies, loads, and
+ * placement rules: conservation laws and bookkeeping invariants that
+ * must hold for every configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "alloc/amdahl_bidding_policy.hh"
+#include "alloc/greedy.hh"
+#include "alloc/lottery.hh"
+#include "alloc/proportional_share.hh"
+#include "eval/online.hh"
+
+namespace amdahl::eval {
+namespace {
+
+using OnlineCase = std::tuple<int /*policy*/, double /*rate*/,
+                              int /*placement*/>;
+
+class OnlineProperty : public ::testing::TestWithParam<OnlineCase>
+{
+  protected:
+    OnlineMetrics
+    runScenario()
+    {
+        OnlineOptions opts;
+        opts.seed = 777;
+        opts.users = 10;
+        opts.servers = 5;
+        opts.horizonSeconds = 1200.0;
+        opts.arrivalsPerServerEpoch = std::get<1>(GetParam());
+        opts.placement = static_cast<alloc::PlacementRule>(
+            std::get<2>(GetParam()));
+        CharacterizationCache cache;
+        OnlineSimulator sim(cache, opts);
+        switch (std::get<0>(GetParam())) {
+          case 0:
+            return sim.run(alloc::ProportionalShare(),
+                           FractionSource::Measured);
+          case 1:
+            return sim.run(alloc::AmdahlBiddingPolicy(),
+                           FractionSource::Estimated);
+          case 2:
+            return sim.run(alloc::GreedyPolicy(),
+                           FractionSource::Measured);
+          default:
+            return sim.run(alloc::LotteryPolicy(),
+                           FractionSource::Measured);
+        }
+    }
+};
+
+TEST_P(OnlineProperty, ConservationLaws)
+{
+    const auto m = runScenario();
+
+    // Completed never exceeds arrived; both match the job log.
+    EXPECT_LE(m.jobsCompleted, m.jobsArrived);
+    EXPECT_EQ(static_cast<int>(m.jobs.size()), m.jobsArrived);
+    int done = 0;
+    double arrived_work = 0.0, accounted_work = 0.0;
+    for (const auto &job : m.jobs) {
+        arrived_work += job.totalWork;
+        accounted_work += job.totalWork - job.remainingWork;
+        done += job.done();
+        EXPECT_GE(job.remainingWork, 0.0);
+        EXPECT_LE(job.remainingWork, job.totalWork + 1e-9);
+        if (job.done()) {
+            EXPECT_GE(job.completionSeconds,
+                      job.arrivalSeconds - 1e-9);
+        }
+    }
+    EXPECT_EQ(done, m.jobsCompleted);
+    // Work accounting: metrics.workCompleted equals the log's sum and
+    // never exceeds what arrived.
+    EXPECT_NEAR(m.workCompleted, accounted_work,
+                1e-6 * (accounted_work + 1.0));
+    EXPECT_LE(m.workCompleted, arrived_work + 1e-6);
+}
+
+TEST_P(OnlineProperty, HistoriesSpanEveryEpoch)
+{
+    const auto m = runScenario();
+    EXPECT_EQ(m.occupancyHistory.size(), 20u); // 1200 s / 60 s
+    EXPECT_EQ(m.speedupHistory.size(), m.occupancyHistory.size());
+    for (double occupancy : m.occupancyHistory)
+        EXPECT_GE(occupancy, 0.0);
+    for (double speedup : m.speedupHistory)
+        EXPECT_GE(speedup, 0.0);
+}
+
+TEST_P(OnlineProperty, ThroughputCapRespected)
+{
+    // Work completes at most at the cluster's aggregate measured
+    // speedup: never more than cores * horizon single-core seconds.
+    const auto m = runScenario();
+    const double cap = 5.0 * 24.0 * 1200.0;
+    EXPECT_LE(m.workCompleted, cap + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OnlineProperty,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(0.3, 1.0, 3.0),
+                       ::testing::Values(0, 1, 2)));
+
+} // namespace
+} // namespace amdahl::eval

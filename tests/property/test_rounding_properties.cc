@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Property sweeps of Hamilton rounding over randomized fractional
+ * allocations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/random.hh"
+#include "core/rounding.hh"
+
+namespace amdahl::core {
+namespace {
+
+class HamiltonProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(HamiltonProperty, InvariantsOnRandomVectors)
+{
+    Rng rng(GetParam());
+    for (int trial = 0; trial < 50; ++trial) {
+        const int capacity = static_cast<int>(rng.uniformInt(1, 48));
+        const int jobs = static_cast<int>(rng.uniformInt(1, 20));
+
+        // Random fractional split summing exactly to the capacity.
+        std::vector<double> weights(static_cast<std::size_t>(jobs));
+        double total = 0.0;
+        for (auto &v : weights) {
+            v = rng.uniform(0.0, 1.0) + 1e-9;
+            total += v;
+        }
+        std::vector<double> frac(weights.size());
+        for (std::size_t k = 0; k < weights.size(); ++k)
+            frac[k] = capacity * weights[k] / total;
+
+        const auto rounded = hamiltonRound(frac, capacity);
+
+        // (1) Exact capacity preservation.
+        EXPECT_EQ(std::accumulate(rounded.begin(), rounded.end(), 0),
+                  capacity);
+        // (2) Every entry in {floor, floor+1}.
+        for (std::size_t k = 0; k < frac.size(); ++k) {
+            const int lo = static_cast<int>(std::floor(frac[k]));
+            EXPECT_GE(rounded[k], lo);
+            EXPECT_LE(rounded[k], lo + 1);
+        }
+    }
+}
+
+TEST_P(HamiltonProperty, MonotoneInFractionalShares)
+{
+    // A job with a strictly larger fractional share never receives
+    // fewer cores after rounding (within the same server).
+    Rng rng(GetParam() ^ 0xabcdULL);
+    for (int trial = 0; trial < 50; ++trial) {
+        const int capacity = static_cast<int>(rng.uniformInt(2, 24));
+        const int jobs = static_cast<int>(rng.uniformInt(2, 8));
+        std::vector<double> frac(static_cast<std::size_t>(jobs));
+        double total = 0.0;
+        for (auto &v : frac) {
+            v = rng.uniform(0.0, 1.0) + 1e-9;
+            total += v;
+        }
+        for (auto &v : frac)
+            v *= capacity / total;
+        const auto rounded = hamiltonRound(frac, capacity);
+        for (std::size_t a = 0; a < frac.size(); ++a) {
+            for (std::size_t b = 0; b < frac.size(); ++b) {
+                if (frac[a] > frac[b] + 1.0) {
+                    EXPECT_GE(rounded[a], rounded[b]);
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HamiltonProperty,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+} // namespace
+} // namespace amdahl::core

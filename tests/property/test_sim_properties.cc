@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Property sweeps of the execution simulator across the full Table I
+ * workload library.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "profiling/karp_flatt.hh"
+#include "profiling/profiler.hh"
+#include "profiling/sampler.hh"
+#include "sim/task_sim.hh"
+#include "sim/workload_library.hh"
+#include "solver/linear_model.hh"
+
+namespace amdahl::sim {
+namespace {
+
+class WorkloadProperty : public ::testing::TestWithParam<int>
+{
+  protected:
+    const WorkloadSpec &
+    workload() const
+    {
+        return workloadLibrary()[static_cast<std::size_t>(GetParam())];
+    }
+};
+
+TEST_P(WorkloadProperty, TimesArePositiveAndFinite)
+{
+    TaskSimulator sim;
+    const auto &w = workload();
+    for (int x : {1, 2, 8, 24}) {
+        const double t = sim.executionSeconds(w, w.datasetGB, x);
+        EXPECT_GT(t, 0.0);
+        EXPECT_TRUE(std::isfinite(t));
+    }
+}
+
+TEST_P(WorkloadProperty, SpeedupNeverExceedsCoreCount)
+{
+    TaskSimulator sim;
+    const auto &w = workload();
+    for (int x : {2, 4, 8, 16, 24})
+        EXPECT_LE(sim.speedup(w, w.datasetGB, x), x + 1e-9);
+}
+
+TEST_P(WorkloadProperty, MoreCoresNeverHurtMuch)
+{
+    // Clean workloads never degrade with more cores. Communication-
+    // heavy ones (dedup, graph analytics) legitimately slow past their
+    // sweet spot — the paper's "adding processors increases overheads"
+    // pathology — but even they stay within a bounded penalty.
+    TaskSimulator sim;
+    const auto &w = workload();
+    const double slack = w.commSecondsPerWorker > 0.0 ? 1.50 : 1.10;
+    double best = sim.executionSeconds(w, w.datasetGB, 1);
+    for (int x : {2, 4, 8, 16, 24}) {
+        const double t = sim.executionSeconds(w, w.datasetGB, x);
+        EXPECT_LT(t, best * slack) << x << " cores";
+        best = std::min(best, t);
+    }
+}
+
+TEST_P(WorkloadProperty, KarpFlattEstimateIsPlausible)
+{
+    const profiling::Profiler profiler((TaskSimulator()));
+    const auto &w = workload();
+    const auto profile = profiler.profile(w, {w.datasetGB});
+    const auto est = profiling::estimateFraction(profile, w.datasetGB);
+    EXPECT_GT(est.expected, 0.3) << w.name;
+    EXPECT_LE(est.expected, 1.0) << w.name;
+    // Measured fraction never exceeds the structural fraction by more
+    // than estimation noise: overheads only reduce parallelism.
+    EXPECT_LT(est.expected,
+              w.structuralParallelFraction() + 0.05)
+        << w.name;
+}
+
+TEST_P(WorkloadProperty, ExecutionTimeIsLinearInDatasetSize)
+{
+    // Figure 4's premise, workload by workload (all Table I entries
+    // use linear scaling; quadratic models exist for QR-style codes).
+    const auto &w = workload();
+    TaskSimulator sim;
+    // Tiny datasets (kmeans's 11 tasks) quantize multi-core makespans
+    // into steps, and bandwidth-bound workloads (canneal) go
+    // super-linear once the working set spills from cache; both are
+    // only linear at one core — the paper notes exactly these as the
+    // cases where linear models fall short.
+    const int blocks =
+        static_cast<int>(std::ceil(w.datasetGB / w.blockSizeGB));
+    const bool tiny = w.suite == Suite::Spark && blocks < 100;
+    const bool bandwidth_bound = w.memBandwidthPerCoreGBps > 0.0;
+    const int cores = (tiny || bandwidth_bound) ? 1 : 8;
+    std::vector<double> sizes, times;
+    for (double frac : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+        sizes.push_back(frac * w.datasetGB);
+        times.push_back(
+            sim.executionSeconds(w, frac * w.datasetGB, cores));
+    }
+    const auto model = solver::fitLinear(sizes, times);
+    EXPECT_GT(model.r2, 0.98) << w.name;
+}
+
+TEST_P(WorkloadProperty, SamplingPlanSupportsPredictorFit)
+{
+    const auto &w = workload();
+    const auto plan = profiling::planSamples(w);
+    EXPECT_GE(plan.sampleSizesGB.size(), 2u) << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableOne, WorkloadProperty, ::testing::Range(0, 22),
+    [](const ::testing::TestParamInfo<int> &info) {
+        return workloadLibrary()[static_cast<std::size_t>(info.param)]
+            .name;
+    });
+
+} // namespace
+} // namespace amdahl::sim

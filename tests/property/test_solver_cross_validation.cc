@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Cross-validation property sweeps: the three independent optimizers
+ * in the repo — the closed-form water-filling solver, the log-barrier
+ * interior-point solver, and the proportional-response fixed point —
+ * must agree wherever their problems coincide. Any divergence flags a
+ * bug in exactly one of them, which is the point of implementing them
+ * separately.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "core/amdahl.hh"
+#include "core/bidding.hh"
+#include "solver/interior_point.hh"
+#include "solver/water_filling.hh"
+
+namespace amdahl {
+namespace {
+
+using solver::WaterFillItem;
+
+/** The user's money-domain Amdahl objective for the interior point. */
+class MoneyObjective : public solver::SeparableConcave
+{
+  public:
+    explicit MoneyObjective(std::vector<WaterFillItem> items)
+        : items_(std::move(items))
+    {}
+
+    std::size_t size() const override { return items_.size(); }
+
+    double
+    value(std::size_t j, double b) const override
+    {
+        const auto &it = items_[j];
+        return it.weight * core::amdahlSpeedup(it.parallelFraction,
+                                               b / it.price);
+    }
+
+    double
+    gradient(std::size_t j, double b) const override
+    {
+        const auto &it = items_[j];
+        return it.weight *
+               core::amdahlSpeedupDerivative(it.parallelFraction,
+                                             b / it.price) /
+               it.price;
+    }
+
+    double
+    hessian(std::size_t j, double b) const override
+    {
+        const auto &it = items_[j];
+        const double f = it.parallelFraction;
+        const double x = b / it.price;
+        const double denom = f + (1.0 - f) * x;
+        return -2.0 * it.weight * f * (1.0 - f) /
+               (denom * denom * denom) / (it.price * it.price);
+    }
+
+  private:
+    std::vector<WaterFillItem> items_;
+};
+
+class SolverCross : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    std::vector<WaterFillItem>
+    randomItems(Rng &rng)
+    {
+        const int m = static_cast<int>(rng.uniformInt(2, 6));
+        std::vector<WaterFillItem> items;
+        for (int j = 0; j < m; ++j) {
+            items.push_back({rng.uniform(0.5, 2.0),
+                             rng.uniform(0.4, 0.98),
+                             rng.uniform(0.05, 0.5)});
+        }
+        return items;
+    }
+};
+
+TEST_P(SolverCross, WaterFillingMatchesInteriorPoint)
+{
+    Rng rng(GetParam());
+    for (int trial = 0; trial < 10; ++trial) {
+        const auto items = randomItems(rng);
+        const double budget = rng.uniform(0.5, 5.0);
+
+        const auto wf = solver::waterFill(items, budget);
+        MoneyObjective objective(items);
+        solver::InteriorPointOptions opts;
+        opts.tolerance = 1e-10;
+        const auto ip =
+            solver::maximizeOnSimplex(objective, budget, opts);
+
+        // Compare achieved utilities (allocations may differ slightly
+        // near corners; utility is the invariant).
+        double u_wf = 0.0, u_ip = 0.0;
+        for (std::size_t j = 0; j < items.size(); ++j) {
+            u_wf += objective.value(j, wf.spend[j]);
+            u_ip += objective.value(j, ip[j]);
+        }
+        EXPECT_NEAR(u_wf, u_ip, 1e-4 * std::abs(u_wf));
+        // And interior spends for interior water-fill coordinates
+        // match closely.
+        for (std::size_t j = 0; j < items.size(); ++j) {
+            if (wf.spend[j] > 0.05 * budget)
+                EXPECT_NEAR(ip[j], wf.spend[j], 0.02 * budget);
+        }
+    }
+}
+
+TEST_P(SolverCross, BiddingEquilibriumMatchesWaterFillDemand)
+{
+    // At equilibrium prices, each user's PRD allocation equals her
+    // closed-form optimal demand — the defining fixed-point property,
+    // checked on random two-user markets.
+    Rng rng(GetParam() ^ 0x5afeULL);
+    for (int trial = 0; trial < 5; ++trial) {
+        core::FisherMarket market(
+            {rng.uniform(6.0, 24.0), rng.uniform(6.0, 24.0)});
+        for (int i = 0; i < 2; ++i) {
+            core::MarketUser user;
+            user.name = "u" + std::to_string(i);
+            user.budget = rng.uniform(0.5, 3.0);
+            user.jobs.push_back({0, rng.uniform(0.5, 0.98), 1.0});
+            user.jobs.push_back({1, rng.uniform(0.5, 0.98), 1.0});
+            market.addUser(std::move(user));
+        }
+        core::BiddingOptions opts;
+        opts.priceTolerance = 1e-10;
+        opts.maxIterations = 100000;
+        const auto r = core::solveAmdahlBidding(market, opts);
+        ASSERT_TRUE(r.converged);
+
+        for (std::size_t i = 0; i < 2; ++i) {
+            const auto &user = market.user(i);
+            std::vector<WaterFillItem> items;
+            for (const auto &job : user.jobs) {
+                items.push_back({job.weight, job.parallelFraction,
+                                 r.prices[job.server]});
+            }
+            const auto demand = solver::waterFill(items, user.budget);
+            for (std::size_t k = 0; k < user.jobs.size(); ++k) {
+                EXPECT_NEAR(r.allocation[i][k], demand.cores[k],
+                            1e-3 * (demand.cores[k] + 1.0));
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverCross,
+                         ::testing::Values(1001, 2002, 3003, 4004,
+                                           5005, 6006));
+
+} // namespace
+} // namespace amdahl

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for the colocation interference model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "sim/interference.hh"
+
+namespace amdahl::sim {
+namespace {
+
+TEST(Interference, NoCorunnersNoSlowdown)
+{
+    const InterferenceModel model;
+    EXPECT_DOUBLE_EQ(model.slowdown(4, 0, ServerConfig{}), 1.0);
+}
+
+TEST(Interference, FullContentionHitsMaxDegradation)
+{
+    const InterferenceModel model(0.15);
+    const ServerConfig server; // 24 cores
+    EXPECT_DOUBLE_EQ(model.slowdown(4, 20, server), 1.15);
+}
+
+TEST(Interference, PartialContentionScalesLinearly)
+{
+    const InterferenceModel model(0.10);
+    const ServerConfig server;
+    EXPECT_DOUBLE_EQ(model.slowdown(4, 10, server), 1.0 + 0.10 * 0.5);
+}
+
+TEST(Interference, WholeMachineOwnerIsImmune)
+{
+    const InterferenceModel model(0.15);
+    const ServerConfig server;
+    EXPECT_DOUBLE_EQ(model.slowdown(24, 0, server), 1.0);
+}
+
+TEST(Interference, ValidatesCoreCounts)
+{
+    const InterferenceModel model;
+    const ServerConfig server;
+    EXPECT_THROW(model.slowdown(-1, 0, server), FatalError);
+    EXPECT_THROW(model.slowdown(0, -1, server), FatalError);
+    EXPECT_THROW(model.slowdown(20, 10, server), FatalError);
+}
+
+TEST(Interference, ValidatesDegradationRange)
+{
+    EXPECT_THROW(InterferenceModel(-0.1), FatalError);
+    EXPECT_THROW(InterferenceModel(1.0), FatalError);
+    EXPECT_NO_THROW(InterferenceModel(0.0));
+}
+
+TEST(Interference, ReduceParallelFractionPaperRange)
+{
+    // The paper reduces F by 5-15% to model cache/memory contention.
+    EXPECT_DOUBLE_EQ(
+        InterferenceModel::reduceParallelFraction(0.90, 10.0), 0.81);
+    EXPECT_DOUBLE_EQ(
+        InterferenceModel::reduceParallelFraction(0.90, 0.0), 0.90);
+    EXPECT_DOUBLE_EQ(
+        InterferenceModel::reduceParallelFraction(0.50, 100.0), 0.0);
+}
+
+TEST(Interference, ReduceParallelFractionValidates)
+{
+    EXPECT_THROW(InterferenceModel::reduceParallelFraction(1.5, 10.0),
+                 FatalError);
+    EXPECT_THROW(InterferenceModel::reduceParallelFraction(0.5, -1.0),
+                 FatalError);
+    EXPECT_THROW(InterferenceModel::reduceParallelFraction(0.5, 101.0),
+                 FatalError);
+}
+
+} // namespace
+} // namespace amdahl::sim

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for server and cluster models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "sim/server.hh"
+
+namespace amdahl::sim {
+namespace {
+
+TEST(Server, DefaultMatchesTableII)
+{
+    const ServerConfig config;
+    EXPECT_EQ(config.sockets, 2);
+    EXPECT_EQ(config.coresPerSocket, 12);
+    EXPECT_EQ(config.threadsPerCore, 2);
+    EXPECT_EQ(config.cores(), 24);
+    EXPECT_DOUBLE_EQ(config.memoryGB, 256.0);
+}
+
+TEST(Server, CoresScaleWithSockets)
+{
+    ServerConfig config;
+    config.sockets = 4;
+    config.coresPerSocket = 8;
+    EXPECT_EQ(config.cores(), 32);
+}
+
+TEST(Cluster, HomogeneousConstruction)
+{
+    const auto cluster = Cluster::homogeneous(3);
+    EXPECT_EQ(cluster.size(), 3u);
+    EXPECT_DOUBLE_EQ(cluster.totalCores(), 72.0);
+    const auto caps = cluster.capacities();
+    ASSERT_EQ(caps.size(), 3u);
+    for (double c : caps)
+        EXPECT_DOUBLE_EQ(c, 24.0);
+}
+
+TEST(Cluster, HeterogeneousServers)
+{
+    Cluster cluster;
+    ServerConfig small;
+    small.sockets = 1;
+    small.coresPerSocket = 8;
+    EXPECT_EQ(cluster.addServer(small), 0u);
+    EXPECT_EQ(cluster.addServer(ServerConfig{}), 1u);
+    EXPECT_EQ(cluster.size(), 2u);
+    EXPECT_EQ(cluster.server(0).cores(), 8);
+    EXPECT_EQ(cluster.server(1).cores(), 24);
+    EXPECT_DOUBLE_EQ(cluster.totalCores(), 32.0);
+}
+
+TEST(Cluster, RejectsCorelessServer)
+{
+    Cluster cluster;
+    ServerConfig bad;
+    bad.sockets = 0;
+    EXPECT_THROW(cluster.addServer(bad), FatalError);
+}
+
+TEST(Cluster, ServerIndexIsChecked)
+{
+    const auto cluster = Cluster::homogeneous(1);
+    EXPECT_THROW(cluster.server(1), FatalError);
+}
+
+TEST(Cluster, EmptyClusterHasNoCores)
+{
+    const Cluster cluster;
+    EXPECT_EQ(cluster.size(), 0u);
+    EXPECT_DOUBLE_EQ(cluster.totalCores(), 0.0);
+}
+
+} // namespace
+} // namespace amdahl::sim

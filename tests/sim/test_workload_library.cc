@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit tests for the Table I workload library.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.hh"
+#include "sim/task_sim.hh"
+#include "sim/workload_library.hh"
+
+namespace amdahl::sim {
+namespace {
+
+TEST(WorkloadLibrary, HasTwentyTwoEntries)
+{
+    EXPECT_EQ(workloadLibrary().size(), 22u);
+}
+
+TEST(WorkloadLibrary, TwelveSparkTenParsec)
+{
+    int spark = 0, parsec = 0;
+    for (const auto &w : workloadLibrary())
+        (w.suite == Suite::Spark ? spark : parsec) += 1;
+    EXPECT_EQ(spark, 12);
+    EXPECT_EQ(parsec, 10);
+}
+
+TEST(WorkloadLibrary, IdsMatchTableIOrder)
+{
+    const auto &lib = workloadLibrary();
+    for (std::size_t i = 0; i < lib.size(); ++i)
+        EXPECT_EQ(lib[i].id, static_cast<int>(i) + 1);
+}
+
+TEST(WorkloadLibrary, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const auto &w : workloadLibrary())
+        names.insert(w.name);
+    EXPECT_EQ(names.size(), workloadLibrary().size());
+}
+
+TEST(WorkloadLibrary, AllSpecsValidate)
+{
+    for (const auto &w : workloadLibrary())
+        EXPECT_NO_THROW(w.validate()) << w.name;
+}
+
+TEST(WorkloadLibrary, FindByName)
+{
+    const auto &dedup = findWorkload("dedup");
+    EXPECT_EQ(dedup.id, 16);
+    EXPECT_EQ(dedup.suite, Suite::Parsec);
+    EXPECT_EQ(dedup.application, "Storage");
+}
+
+TEST(WorkloadLibrary, FindUnknownIsFatal)
+{
+    EXPECT_THROW(findWorkload("no-such-benchmark"), FatalError);
+}
+
+TEST(WorkloadLibrary, WorkloadNamesMatchesLibrary)
+{
+    const auto names = workloadNames();
+    ASSERT_EQ(names.size(), workloadLibrary().size());
+    EXPECT_EQ(names.front(), "correlation");
+    EXPECT_EQ(names.back(), "x264");
+}
+
+TEST(WorkloadLibrary, StructuralFractionsSpanPaperRange)
+{
+    // Figure 2: parallel fractions range from ~0.55 to ~0.99.
+    double lo = 1.0, hi = 0.0;
+    for (const auto &w : workloadLibrary()) {
+        const double f = w.structuralParallelFraction();
+        lo = std::min(lo, f);
+        hi = std::max(hi, f);
+        EXPECT_GT(f, 0.4) << w.name;
+        EXPECT_LE(f, 1.0) << w.name;
+    }
+    EXPECT_LT(lo, 0.75);
+    EXPECT_GT(hi, 0.98);
+}
+
+TEST(WorkloadLibrary, KmeansHasElevenTasksOnCensusData)
+{
+    // The paper: kmeans's 327 MB dataset yields only 11 tasks.
+    const auto &kmeans = findWorkload("kmeans");
+    TaskSimulator sim;
+    const auto result = sim.execute(kmeans, kmeans.datasetGB, 4);
+    int max_stage_tasks = 0;
+    for (const auto &stage : result.stages)
+        max_stage_tasks = std::max(max_stage_tasks, stage.tasks);
+    EXPECT_EQ(max_stage_tasks, 11);
+}
+
+TEST(WorkloadLibrary, GraphWorkloadsCarryCommunicationCosts)
+{
+    for (const char *name : {"pagerank", "connected", "triangle"})
+        EXPECT_GT(findWorkload(name).commSecondsPerWorker, 0.0) << name;
+}
+
+TEST(WorkloadLibrary, DedupIsCommunicationBound)
+{
+    // The paper reports dedup's effective parallel fraction ~= 0.53,
+    // far below clean workloads, because of inter-thread communication.
+    const auto &dedup = findWorkload("dedup");
+    EXPECT_GT(dedup.commSecondsPerWorker, 0.0);
+    TaskSimulator sim;
+    const double s24 = sim.speedup(dedup, dedup.datasetGB, 24);
+    EXPECT_LT(s24, 2.5); // Severely limited scalability.
+}
+
+TEST(WorkloadLibrary, CannealIsBandwidthBound)
+{
+    const auto &canneal = findWorkload("canneal");
+    EXPECT_GT(canneal.memBandwidthPerCoreGBps, 0.0);
+    EXPECT_GT(canneal.memBandwidthSaturationGB, 0.0);
+    TaskSimulator sim;
+    // Full dataset throttles at high core counts; a small sample does
+    // not (that is why sampled profiles over-estimate canneal's F).
+    const auto full = sim.execute(canneal, canneal.datasetGB, 24);
+    const auto sample = sim.execute(canneal, 0.2, 24);
+    double full_slowdown = 1.0, sample_slowdown = 1.0;
+    for (const auto &stage : full.stages)
+        full_slowdown = std::max(full_slowdown, stage.bandwidthSlowdown);
+    for (const auto &stage : sample.stages) {
+        sample_slowdown =
+            std::max(sample_slowdown, stage.bandwidthSlowdown);
+    }
+    EXPECT_GT(full_slowdown, 1.5);
+    EXPECT_LT(sample_slowdown, full_slowdown);
+}
+
+TEST(WorkloadLibrary, SparkReferenceTimesAreReasonable)
+{
+    // Single-core reference times within ~1% of their calibration.
+    TaskSimulator sim;
+    const auto &corr = findWorkload("correlation");
+    EXPECT_NEAR(sim.executionSeconds(corr, corr.datasetGB, 1), 2000.0,
+                40.0);
+}
+
+TEST(WorkloadLibrary, ExtensionWorkloadsExist)
+{
+    const auto &extensions = extensionWorkloads();
+    ASSERT_FALSE(extensions.empty());
+    for (const auto &w : extensions)
+        EXPECT_NO_THROW(w.validate()) << w.name;
+}
+
+TEST(WorkloadLibrary, QrScalesQuadratically)
+{
+    const auto &qr = findExtensionWorkload("qr");
+    EXPECT_DOUBLE_EQ(qr.timeExponent, 2.0);
+    TaskSimulator sim;
+    const double t_half =
+        sim.executionSeconds(qr, qr.datasetGB / 2.0, 1);
+    const double t_full = sim.executionSeconds(qr, qr.datasetGB, 1);
+    EXPECT_NEAR(t_full / t_half, 4.0, 0.2);
+}
+
+TEST(WorkloadLibrary, UnknownExtensionIsFatal)
+{
+    EXPECT_THROW(findExtensionWorkload("nope"), FatalError);
+}
+
+TEST(WorkloadLibrary, GraphWorkloadsHaveSkewedCommScaling)
+{
+    // Sparse-graph communication grows super-linearly in the sampled
+    // fraction (Section IV-A's skewed-dataset caveat).
+    for (const char *name : {"pagerank", "connected", "triangle"})
+        EXPECT_GT(findWorkload(name).commDatasetExponent, 1.0) << name;
+}
+
+TEST(WorkloadLibrary, SkewedCommMakesSampledEstimatesOptimistic)
+{
+    // Small samples under-represent graph communication, so measured
+    // speedups on them look more parallel than the full dataset's.
+    const auto &pr = findWorkload("pagerank");
+    TaskSimulator sim;
+    const double s_sample = sim.speedup(pr, 1.0, 24);
+    const double s_full = sim.speedup(pr, pr.datasetGB, 24);
+    EXPECT_GT(s_sample, s_full);
+}
+
+TEST(WorkloadLibrary, LibraryIsCachedAndStable)
+{
+    const auto *first = &workloadLibrary();
+    const auto *second = &workloadLibrary();
+    EXPECT_EQ(first, second);
+}
+
+} // namespace
+} // namespace amdahl::sim

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit tests for the generic Eisenberg-Gale solver, including
+ * cross-validation against Amdahl Bidding on the same markets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "core/amdahl.hh"
+#include "core/bidding.hh"
+#include "solver/eisenberg_gale.hh"
+
+namespace amdahl::solver {
+namespace {
+
+/** Build an EgUser from Amdahl jobs (fractions + servers). */
+EgUser
+amdahlUser(double budget, std::vector<std::size_t> servers,
+           std::vector<double> fractions)
+{
+    EgUser user;
+    user.budget = budget;
+    user.servers = std::move(servers);
+    const auto fracs = std::move(fractions);
+    user.utility = [fracs](const std::vector<double> &x) {
+        double total = 0.0;
+        for (std::size_t k = 0; k < fracs.size(); ++k)
+            total += core::amdahlSpeedup(fracs[k], x[k]);
+        return total / static_cast<double>(fracs.size());
+    };
+    user.gradient = [fracs](const std::vector<double> &x) {
+        std::vector<double> grad(fracs.size());
+        for (std::size_t k = 0; k < fracs.size(); ++k) {
+            grad[k] = core::amdahlSpeedupDerivative(fracs[k], x[k]) /
+                      static_cast<double>(fracs.size());
+        }
+        return grad;
+    };
+    return user;
+}
+
+TEST(SimplexProjection, AlreadyFeasibleIsFixed)
+{
+    const auto p = projectOntoSimplex({3.0, 5.0, 4.0}, 12.0, 0.0);
+    EXPECT_NEAR(p[0], 3.0, 1e-12);
+    EXPECT_NEAR(p[1], 5.0, 1e-12);
+    EXPECT_NEAR(p[2], 4.0, 1e-12);
+}
+
+TEST(SimplexProjection, SumAndNonNegativityEnforced)
+{
+    const auto p = projectOntoSimplex({10.0, -4.0, 1.0}, 6.0, 0.0);
+    EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 6.0, 1e-9);
+    for (double v : p)
+        EXPECT_GE(v, 0.0);
+    // The large coordinate keeps the mass.
+    EXPECT_GT(p[0], p[1]);
+    EXPECT_GT(p[0], p[2]);
+}
+
+TEST(SimplexProjection, UniformExcessSubtractsEvenly)
+{
+    const auto p = projectOntoSimplex({5.0, 5.0}, 6.0, 0.0);
+    EXPECT_NEAR(p[0], 3.0, 1e-12);
+    EXPECT_NEAR(p[1], 3.0, 1e-12);
+}
+
+TEST(SimplexProjection, FloorIsRespected)
+{
+    const auto p = projectOntoSimplex({10.0, 0.0}, 10.0, 0.5);
+    EXPECT_GE(p[1], 0.5 - 1e-12);
+    EXPECT_NEAR(p[0] + p[1], 10.0, 1e-9);
+}
+
+TEST(SimplexProjection, Validates)
+{
+    EXPECT_THROW(projectOntoSimplex({}, 1.0, 0.0), FatalError);
+    EXPECT_THROW(projectOntoSimplex({1.0}, 1.0, 2.0), FatalError);
+}
+
+TEST(EisenbergGale, ProportionalFairnessNearButNotAtEquilibrium)
+{
+    // Amdahl utility is NOT homogeneous of degree one, so the EG
+    // optimum (proportional fairness) is a *different* allocation
+    // than the Fisher equilibrium — close (fractions of a core on the
+    // paper's example) but with a strictly higher EG objective.
+    std::vector<EgUser> users;
+    users.push_back(amdahlUser(1.0, {0, 1}, {0.53, 0.93}));
+    users.push_back(amdahlUser(1.0, {0, 1}, {0.96, 0.68}));
+    EgOptions opts;
+    opts.tolerance = 1e-12;
+    const auto eg = solveEisenbergGale({10.0, 10.0}, users, opts);
+    ASSERT_TRUE(eg.converged);
+    // Near the market equilibrium (1.34, 8.68)/(8.66, 1.32)...
+    EXPECT_NEAR(eg.allocation[0][0], 1.34, 0.5);
+    EXPECT_NEAR(eg.allocation[0][1], 8.68, 0.5);
+    // ...but measurably distinct (PF shaves the flatter curve).
+    EXPECT_LT(eg.allocation[0][0], 1.30);
+    EXPECT_GT(eg.allocation[1][0], 8.70);
+}
+
+TEST(EisenbergGale, ObjectiveWeaklyDominatesTheEquilibriums)
+{
+    // The EG maximizer's objective must be at least the market
+    // equilibrium's (strictly more for non-homogeneous utilities).
+    core::FisherMarket market({12.0, 8.0});
+    market.addUser({"a", 2.0, {{0, 0.9, 1.0}, {1, 0.7, 1.0}}});
+    market.addUser({"b", 1.0, {{0, 0.6, 1.0}, {1, 0.95, 1.0}}});
+    core::BiddingOptions opts;
+    opts.priceTolerance = 1e-10;
+    const auto ab = core::solveAmdahlBidding(market, opts);
+
+    std::vector<EgUser> users;
+    users.push_back(amdahlUser(2.0, {0, 1}, {0.9, 0.7}));
+    users.push_back(amdahlUser(1.0, {0, 1}, {0.6, 0.95}));
+    EgOptions eopts;
+    eopts.tolerance = 1e-12;
+    const auto eg = solveEisenbergGale({12.0, 8.0}, users, eopts);
+
+    double ab_phi = 0.0;
+    for (std::size_t i = 0; i < 2; ++i) {
+        ab_phi += market.user(i).budget *
+                  std::log(users[i].utility(ab.allocation[i]));
+    }
+    EXPECT_GE(eg.objective, ab_phi - 1e-9);
+}
+
+TEST(EisenbergGale, NeitherSolutionParetoDominatesTheOther)
+{
+    // PF takes from one user to give to another: no Pareto ranking
+    // between it and the market equilibrium (both are efficient).
+    std::vector<EgUser> users;
+    users.push_back(amdahlUser(1.0, {0, 1}, {0.53, 0.93}));
+    users.push_back(amdahlUser(1.0, {0, 1}, {0.96, 0.68}));
+    EgOptions opts;
+    opts.tolerance = 1e-12;
+    const auto eg = solveEisenbergGale({10.0, 10.0}, users, opts);
+
+    core::FisherMarket market({10.0, 10.0});
+    market.addUser({"Alice", 1.0, {{0, 0.53, 1.0}, {1, 0.93, 1.0}}});
+    market.addUser({"Bob", 1.0, {{0, 0.96, 1.0}, {1, 0.68, 1.0}}});
+    core::BiddingOptions bopts;
+    bopts.priceTolerance = 1e-12;
+    const auto ab = core::solveAmdahlBidding(market, bopts);
+
+    const double alice_ab = users[0].utility(ab.allocation[0]);
+    const double alice_eg = users[0].utility(eg.allocation[0]);
+    const double bob_ab = users[1].utility(ab.allocation[1]);
+    const double bob_eg = users[1].utility(eg.allocation[1]);
+    // One gains, one loses, in each direction.
+    EXPECT_GT(alice_ab, alice_eg);
+    EXPECT_LT(bob_ab, bob_eg);
+}
+
+TEST(EisenbergGale, ClearsEveryServer)
+{
+    std::vector<EgUser> users;
+    users.push_back(amdahlUser(1.0, {0, 1, 2}, {0.9, 0.8, 0.7}));
+    users.push_back(amdahlUser(3.0, {0, 2}, {0.95, 0.6}));
+    const std::vector<double> caps = {6.0, 10.0, 14.0};
+    const auto eg = solveEisenbergGale(caps, users);
+    std::vector<double> load(3, 0.0);
+    for (std::size_t i = 0; i < users.size(); ++i) {
+        for (std::size_t k = 0; k < users[i].servers.size(); ++k)
+            load[users[i].servers[k]] += eg.allocation[i][k];
+    }
+    for (std::size_t j = 0; j < caps.size(); ++j)
+        EXPECT_NEAR(load[j], caps[j], 1e-6 * caps[j]);
+}
+
+TEST(EisenbergGale, ValidatesInputs)
+{
+    std::vector<EgUser> users;
+    users.push_back(amdahlUser(1.0, {0}, {0.9}));
+    EXPECT_THROW(solveEisenbergGale({}, users), FatalError);
+    EXPECT_THROW(solveEisenbergGale({4.0}, {}), FatalError);
+    // Orphan server 1.
+    EXPECT_THROW(solveEisenbergGale({4.0, 4.0}, users), FatalError);
+    // Bad budget.
+    auto bad = users;
+    bad[0].budget = 0.0;
+    EXPECT_THROW(solveEisenbergGale({4.0}, bad), FatalError);
+}
+
+TEST(EisenbergGale, HandlesNonAmdahlConcaveUtilities)
+{
+    // The point of the generic solver: plug in a CES-style utility
+    // the closed-form machinery does not cover.
+    EgUser a;
+    a.budget = 1.0;
+    a.servers = {0};
+    a.utility = [](const std::vector<double> &x) {
+        return std::sqrt(x[0]);
+    };
+    a.gradient = [](const std::vector<double> &x) {
+        return std::vector<double>{0.5 / std::sqrt(x[0])};
+    };
+    EgUser b = a;
+    b.budget = 3.0;
+    const auto eg = solveEisenbergGale({8.0}, {a, b});
+    ASSERT_TRUE(eg.converged);
+    // EG with sqrt utilities splits proportionally to budgets.
+    EXPECT_NEAR(eg.allocation[0][0], 2.0, 0.05);
+    EXPECT_NEAR(eg.allocation[1][0], 6.0, 0.05);
+}
+
+} // namespace
+} // namespace amdahl::solver

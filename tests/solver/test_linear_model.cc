@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for least-squares regression.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "solver/linear_model.hh"
+
+namespace amdahl::solver {
+namespace {
+
+TEST(LinearModel, ExactLineIsRecovered)
+{
+    const auto m = fitLinear({1.0, 2.0, 3.0}, {5.0, 7.0, 9.0});
+    EXPECT_NEAR(m.slope, 2.0, 1e-12);
+    EXPECT_NEAR(m.intercept, 3.0, 1e-12);
+    EXPECT_NEAR(m.r2, 1.0, 1e-12);
+    EXPECT_EQ(m.n, 3u);
+}
+
+TEST(LinearModel, PredictEvaluatesTheLine)
+{
+    const auto m = fitLinear({0.0, 1.0}, {1.0, 3.0});
+    EXPECT_NEAR(m.predict(2.0), 5.0, 1e-12);
+    EXPECT_NEAR(m.predict(-1.0), -1.0, 1e-12);
+}
+
+TEST(LinearModel, NoisyDataHasR2BelowOne)
+{
+    const auto m = fitLinear({1.0, 2.0, 3.0, 4.0}, {1.1, 1.9, 3.2, 3.8});
+    EXPECT_GT(m.r2, 0.97);
+    EXPECT_LT(m.r2, 1.0);
+    EXPECT_NEAR(m.slope, 1.0, 0.1);
+}
+
+TEST(LinearModel, ConstantResponseHasZeroSlope)
+{
+    const auto m = fitLinear({1.0, 2.0, 3.0}, {4.0, 4.0, 4.0});
+    EXPECT_NEAR(m.slope, 0.0, 1e-12);
+    EXPECT_NEAR(m.intercept, 4.0, 1e-12);
+    EXPECT_DOUBLE_EQ(m.r2, 1.0); // Perfect fit of a constant.
+}
+
+TEST(LinearModel, RejectsDegenerateInput)
+{
+    EXPECT_THROW(fitLinear({1.0}, {2.0}), FatalError);
+    EXPECT_THROW(fitLinear({1.0, 2.0}, {1.0}), FatalError);
+    EXPECT_THROW(fitLinear({2.0, 2.0}, {1.0, 3.0}), FatalError);
+}
+
+TEST(PolynomialModel, QuadraticIsRecovered)
+{
+    // y = 1 + 2x + 3x^2.
+    std::vector<double> xs, ys;
+    for (double x = -2.0; x <= 2.0; x += 0.5) {
+        xs.push_back(x);
+        ys.push_back(1.0 + 2.0 * x + 3.0 * x * x);
+    }
+    const auto m = fitPolynomial(xs, ys, 2);
+    ASSERT_EQ(m.coeffs.size(), 3u);
+    EXPECT_NEAR(m.coeffs[0], 1.0, 1e-9);
+    EXPECT_NEAR(m.coeffs[1], 2.0, 1e-9);
+    EXPECT_NEAR(m.coeffs[2], 3.0, 1e-9);
+    EXPECT_NEAR(m.r2, 1.0, 1e-12);
+    EXPECT_EQ(m.degree(), 2u);
+}
+
+TEST(PolynomialModel, DegreeZeroFitsTheMean)
+{
+    const auto m = fitPolynomial({1.0, 2.0, 3.0}, {2.0, 4.0, 6.0}, 0);
+    ASSERT_EQ(m.coeffs.size(), 1u);
+    EXPECT_NEAR(m.coeffs[0], 4.0, 1e-12);
+}
+
+TEST(PolynomialModel, DegreeOneMatchesLinearFit)
+{
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 5.0};
+    const std::vector<double> ys = {2.1, 4.2, 5.9, 10.3};
+    const auto poly = fitPolynomial(xs, ys, 1);
+    const auto lin = fitLinear(xs, ys);
+    EXPECT_NEAR(poly.coeffs[0], lin.intercept, 1e-9);
+    EXPECT_NEAR(poly.coeffs[1], lin.slope, 1e-9);
+}
+
+TEST(PolynomialModel, PredictUsesHorner)
+{
+    PolynomialModel m;
+    m.coeffs = {1.0, 0.0, 2.0}; // 1 + 2x^2
+    EXPECT_DOUBLE_EQ(m.predict(3.0), 19.0);
+}
+
+TEST(PolynomialModel, NeedsEnoughPoints)
+{
+    EXPECT_THROW(fitPolynomial({1.0, 2.0}, {1.0, 2.0}, 2), FatalError);
+    EXPECT_THROW(fitPolynomial({1.0, 2.0}, {1.0}, 1), FatalError);
+}
+
+TEST(PolynomialModel, QuadraticDatasetScaling)
+{
+    // Execution time scaling quadratically with dataset size (the
+    // paper's QR-decomposition case): a linear fit misses, the
+    // quadratic fit nails it.
+    std::vector<double> xs, ys;
+    for (double gb = 1.0; gb <= 6.0; gb += 1.0) {
+        xs.push_back(gb);
+        ys.push_back(10.0 * gb * gb);
+    }
+    const auto quad = fitPolynomial(xs, ys, 2);
+    const auto lin = fitLinear(xs, ys);
+    EXPECT_NEAR(quad.predict(8.0), 640.0, 1e-6);
+    EXPECT_GT(std::abs(lin.predict(8.0) - 640.0), 50.0);
+}
+
+} // namespace
+} // namespace amdahl::solver

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for scalar root finding and minimization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "solver/root_find.hh"
+
+namespace amdahl::solver {
+namespace {
+
+TEST(Bisect, FindsSquareRoot)
+{
+    const double root =
+        bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+    EXPECT_NEAR(root, std::sqrt(2.0), 1e-9);
+}
+
+TEST(Bisect, AcceptsRootAtBracketEnd)
+{
+    EXPECT_DOUBLE_EQ(bisect([](double x) { return x; }, 0.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(bisect([](double x) { return x - 1.0; }, 0.0, 1.0),
+                     1.0);
+}
+
+TEST(Bisect, HandlesDecreasingFunctions)
+{
+    const double root =
+        bisect([](double x) { return 5.0 - x; }, 0.0, 10.0);
+    EXPECT_NEAR(root, 5.0, 1e-9);
+}
+
+TEST(Bisect, RejectsBadBracket)
+{
+    EXPECT_THROW(bisect([](double x) { return x; }, 2.0, 1.0),
+                 FatalError);
+    EXPECT_THROW(
+        bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+        FatalError);
+}
+
+TEST(Bisect, RespectsTolerance)
+{
+    ScalarSolveOptions opts;
+    opts.tolerance = 1e-3;
+    const double root =
+        bisect([](double x) { return x - 0.333; }, 0.0, 1.0, opts);
+    EXPECT_NEAR(root, 0.333, 1e-3);
+}
+
+TEST(NewtonBracketed, QuadraticConvergesFast)
+{
+    const double root = newtonBracketed(
+        [](double x) { return x * x - 9.0; },
+        [](double x) { return 2.0 * x; }, 0.0, 10.0);
+    EXPECT_NEAR(root, 3.0, 1e-9);
+}
+
+TEST(NewtonBracketed, SurvivesZeroDerivative)
+{
+    // f(x) = x^3 has f'(0) = 0; the bisection fallback must engage.
+    const double root = newtonBracketed(
+        [](double x) { return x * x * x; },
+        [](double x) { return 3.0 * x * x; }, -1.0, 2.0);
+    EXPECT_NEAR(root, 0.0, 1e-6);
+}
+
+TEST(NewtonBracketed, RejectsSameSignBracket)
+{
+    EXPECT_THROW(newtonBracketed([](double x) { return x * x + 1.0; },
+                                 [](double x) { return 2.0 * x; }, -1.0,
+                                 1.0),
+                 FatalError);
+}
+
+TEST(NewtonBracketed, TranscendentalRoot)
+{
+    // x = cos(x) has root ~0.7390851.
+    const double root = newtonBracketed(
+        [](double x) { return x - std::cos(x); },
+        [](double x) { return 1.0 + std::sin(x); }, 0.0, 1.0);
+    EXPECT_NEAR(root, 0.7390851332151607, 1e-9);
+}
+
+TEST(MinimizeGolden, ParabolaMinimum)
+{
+    const double x = minimizeGolden(
+        [](double v) { return (v - 1.5) * (v - 1.5); }, -10.0, 10.0);
+    EXPECT_NEAR(x, 1.5, 1e-6);
+}
+
+TEST(MinimizeGolden, BoundaryMinimum)
+{
+    const double x =
+        minimizeGolden([](double v) { return v; }, 2.0, 5.0);
+    EXPECT_NEAR(x, 2.0, 1e-6);
+}
+
+TEST(MinimizeGolden, RejectsBadInterval)
+{
+    EXPECT_THROW(minimizeGolden([](double v) { return v; }, 1.0, 1.0),
+                 FatalError);
+}
+
+} // namespace
+} // namespace amdahl::solver

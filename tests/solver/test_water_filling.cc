@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the water-filling KKT solver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "core/amdahl.hh"
+#include "solver/water_filling.hh"
+
+namespace amdahl::solver {
+namespace {
+
+double
+utilityOf(const std::vector<WaterFillItem> &items,
+          const std::vector<double> &cores)
+{
+    double u = 0.0;
+    for (std::size_t j = 0; j < items.size(); ++j) {
+        u += items[j].weight *
+             core::amdahlSpeedup(items[j].parallelFraction, cores[j]);
+    }
+    return u;
+}
+
+TEST(WaterFill, SingleItemSpendsWholeBudget)
+{
+    const auto r = waterFill({{1.0, 0.9, 0.1}}, 2.0);
+    EXPECT_NEAR(r.spend[0], 2.0, 1e-9);
+    EXPECT_NEAR(r.cores[0], 20.0, 1e-6);
+}
+
+TEST(WaterFill, BudgetIsExhausted)
+{
+    const std::vector<WaterFillItem> items = {
+        {1.0, 0.9, 0.2}, {1.0, 0.6, 0.1}, {2.0, 0.95, 0.3}};
+    const auto r = waterFill(items, 5.0);
+    double spent = 0.0;
+    for (double b : r.spend)
+        spent += b;
+    EXPECT_NEAR(spent, 5.0, 1e-9);
+}
+
+TEST(WaterFill, SymmetricItemsSplitEvenly)
+{
+    const std::vector<WaterFillItem> items = {{1.0, 0.8, 0.5},
+                                              {1.0, 0.8, 0.5}};
+    const auto r = waterFill(items, 4.0);
+    EXPECT_NEAR(r.spend[0], r.spend[1], 1e-9);
+    EXPECT_NEAR(r.cores[0], 4.0, 1e-9);
+}
+
+TEST(WaterFill, MoreParallelJobGetsMore)
+{
+    const std::vector<WaterFillItem> items = {{1.0, 0.95, 0.5},
+                                              {1.0, 0.60, 0.5}};
+    const auto r = waterFill(items, 4.0);
+    EXPECT_GT(r.cores[0], r.cores[1]);
+}
+
+TEST(WaterFill, CheaperServerGetsMoreCores)
+{
+    const std::vector<WaterFillItem> items = {{1.0, 0.9, 0.1},
+                                              {1.0, 0.9, 0.4}};
+    const auto r = waterFill(items, 2.0);
+    EXPECT_GT(r.cores[0], r.cores[1]);
+}
+
+TEST(WaterFill, SatisfiesKktStationarity)
+{
+    const std::vector<WaterFillItem> items = {
+        {1.0, 0.9, 0.2}, {2.0, 0.7, 0.5}, {1.5, 0.85, 0.35}};
+    const auto r = waterFill(items, 3.0);
+    // For every active coordinate, w s'(x) / p must equal lambda.
+    for (std::size_t j = 0; j < items.size(); ++j) {
+        if (r.cores[j] <= 1e-9)
+            continue;
+        const double marginal =
+            items[j].weight *
+            core::amdahlSpeedupDerivative(items[j].parallelFraction,
+                                          r.cores[j]) /
+            items[j].price;
+        EXPECT_NEAR(marginal, r.multiplier, 1e-4 * r.multiplier);
+    }
+}
+
+TEST(WaterFill, BeatsNeighboringFeasiblePoints)
+{
+    const std::vector<WaterFillItem> items = {{1.0, 0.9, 0.25},
+                                              {1.0, 0.75, 0.4}};
+    const double budget = 2.5;
+    const auto r = waterFill(items, budget);
+    const double best = utilityOf(items, r.cores);
+
+    // Perturb spend between the two items; utility must not improve.
+    for (double delta : {-0.2, -0.05, 0.05, 0.2}) {
+        const double b0 = r.spend[0] + delta;
+        const double b1 = r.spend[1] - delta;
+        if (b0 < 0.0 || b1 < 0.0)
+            continue;
+        const std::vector<double> cores = {b0 / items[0].price,
+                                           b1 / items[1].price};
+        EXPECT_LE(utilityOf(items, cores), best + 1e-9);
+    }
+}
+
+TEST(WaterFill, ReportsConsistentUtility)
+{
+    const std::vector<WaterFillItem> items = {{1.0, 0.9, 0.3},
+                                              {2.0, 0.8, 0.2}};
+    const auto r = waterFill(items, 1.5);
+    EXPECT_NEAR(r.utility, utilityOf(items, r.cores), 1e-9);
+}
+
+TEST(WaterFill, NearlySerialJobStarved)
+{
+    // With one near-serial and one highly parallel job, almost all the
+    // budget goes to the parallel one.
+    const std::vector<WaterFillItem> items = {{1.0, 0.02, 0.5},
+                                              {1.0, 0.98, 0.5}};
+    const auto r = waterFill(items, 10.0);
+    EXPECT_GT(r.spend[1], r.spend[0]);
+}
+
+TEST(WaterFill, HandlesExtremeFractions)
+{
+    // f == 1 (perfectly parallel) and f == 0 (serial) are clamped
+    // internally; the solve must still succeed and exhaust the budget.
+    const std::vector<WaterFillItem> items = {{1.0, 1.0, 0.5},
+                                              {1.0, 0.0, 0.5}};
+    const auto r = waterFill(items, 2.0);
+    EXPECT_NEAR(r.spend[0] + r.spend[1], 2.0, 1e-9);
+    EXPECT_GT(r.spend[0], r.spend[1]);
+}
+
+TEST(WaterFill, ValidatesInputs)
+{
+    EXPECT_THROW(waterFill({}, 1.0), FatalError);
+    EXPECT_THROW(waterFill({{1.0, 0.5, 1.0}}, 0.0), FatalError);
+    EXPECT_THROW(waterFill({{1.0, 0.5, -1.0}}, 1.0), FatalError);
+    EXPECT_THROW(waterFill({{0.0, 0.5, 1.0}}, 1.0), FatalError);
+}
+
+} // namespace
+} // namespace amdahl::solver

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * amdahl_market — command-line front end to the processor market.
+ *
+ * Subcommands:
+ *
+ *   solve <file> [options]   Run Amdahl Bidding on a market file and
+ *                            print prices, allocations, and the
+ *                            equilibrium certificate.
+ *       --epsilon <e>        Price-change termination threshold
+ *                            (default 1e-6).
+ *       --max-iterations <n> Iteration cap (default 10000).
+ *       --gauss-seidel       Use the Gauss-Seidel update schedule.
+ *       --fractional         Skip Hamilton rounding in the output.
+ *
+ *   workloads                Print the Table I workload library with
+ *                            measured characterizations.
+ *
+ *   profile <workload>       Run the Section IV pipeline on one
+ *                            workload: sampled datasets, Karp-Flatt
+ *                            estimates, fitted predictor, accuracy.
+ *
+ *   simulate <workload> <cores> [gb]
+ *                            Execute one run on the simulator and
+ *                            print the per-stage trace.
+ *
+ *   example                  Print a sample market file (the paper's
+ *                            Alice/Bob example).
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "core/bidding.hh"
+#include "core/market_io.hh"
+#include "core/rounding.hh"
+#include "eval/characterization.hh"
+#include "profiling/karp_flatt.hh"
+#include "profiling/predictor.hh"
+#include "profiling/profiler.hh"
+#include "profiling/sampler.hh"
+#include "sim/task_sim.hh"
+#include "sim/workload_library.hh"
+
+namespace {
+
+using namespace amdahl;
+
+int
+usage()
+{
+    std::cerr
+        << "usage: amdahl_market solve <file> [--epsilon e]\n"
+        << "                     [--max-iterations n] [--gauss-seidel]"
+        << " [--fractional]\n"
+        << "       amdahl_market workloads\n"
+        << "       amdahl_market profile <workload>\n"
+        << "       amdahl_market simulate <workload> <cores> [gb]\n"
+        << "       amdahl_market example\n";
+    return 2;
+}
+
+int
+cmdSolve(const std::vector<std::string> &args)
+{
+    std::string path;
+    core::BiddingOptions opts;
+    bool fractional = false;
+    for (std::size_t a = 0; a < args.size(); ++a) {
+        const std::string &arg = args[a];
+        if (arg == "--epsilon" && a + 1 < args.size()) {
+            opts.priceTolerance = std::stod(args[++a]);
+        } else if (arg == "--max-iterations" && a + 1 < args.size()) {
+            opts.maxIterations = std::stoi(args[++a]);
+        } else if (arg == "--gauss-seidel") {
+            opts.schedule = core::UpdateSchedule::GaussSeidel;
+        } else if (arg == "--fractional") {
+            fractional = true;
+        } else if (path.empty() && !arg.empty() && arg[0] != '-') {
+            path = arg;
+        } else {
+            std::cerr << "unknown option '" << arg << "'\n";
+            return usage();
+        }
+    }
+    if (path.empty())
+        return usage();
+
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "cannot open '" << path << "'\n";
+        return 1;
+    }
+    const auto market = core::parseMarket(in);
+    const auto result = core::solveAmdahlBidding(market, opts);
+
+    std::cout << (result.converged ? "converged" : "NOT converged")
+              << " after " << result.iterations << " iterations\n\n";
+
+    TablePrinter prices;
+    prices.addColumn("Server");
+    prices.addColumn("Capacity");
+    prices.addColumn("Price");
+    for (std::size_t j = 0; j < market.serverCount(); ++j) {
+        prices.beginRow().cell(j).cell(market.capacity(j), 0).cell(
+            result.prices[j], 4);
+    }
+    prices.print(std::cout);
+    std::cout << '\n';
+
+    const auto rounded = core::roundOutcome(market, result);
+    TablePrinter alloc;
+    alloc.addColumn("User", TablePrinter::Align::Left);
+    alloc.addColumn("Job");
+    alloc.addColumn("Server");
+    alloc.addColumn(fractional ? "Cores (fractional)" : "Cores");
+    alloc.addColumn("Bid");
+    for (std::size_t i = 0; i < market.userCount(); ++i) {
+        const auto &user = market.user(i);
+        for (std::size_t k = 0; k < user.jobs.size(); ++k) {
+            alloc.beginRow()
+                .cell(user.name.empty() ? "user" + std::to_string(i)
+                                        : user.name)
+                .cell(k)
+                .cell(user.jobs[k].server);
+            if (fractional)
+                alloc.cell(result.allocation[i][k], 3);
+            else
+                alloc.cell(rounded[i][k]);
+            alloc.cell(result.bids[i][k], 4);
+        }
+    }
+    alloc.print(std::cout);
+
+    const auto check = core::verifyEquilibrium(market, result);
+    std::cout << "\nequilibrium certificate: clearing "
+              << formatDouble(check.maxClearingResidual, 9)
+              << ", budget " << formatDouble(check.maxBudgetResidual, 9)
+              << ", optimality gap "
+              << formatDouble(check.maxOptimalityGap, 9) << "\n";
+    return check.pass(1e-3) ? 0 : 1;
+}
+
+int
+cmdWorkloads()
+{
+    eval::CharacterizationCache cache;
+    TablePrinter table;
+    table.addColumn("ID");
+    table.addColumn("Name", TablePrinter::Align::Left);
+    table.addColumn("Suite", TablePrinter::Align::Left);
+    table.addColumn("F(meas)");
+    table.addColumn("F(est)");
+    table.addColumn("T1(s)");
+    const auto &library = sim::workloadLibrary();
+    for (std::size_t i = 0; i < library.size(); ++i) {
+        const auto &c = cache.of(i);
+        table.beginRow()
+            .cell(library[i].id)
+            .cell(library[i].name)
+            .cell(toString(library[i].suite))
+            .cell(c.measuredFraction, 3)
+            .cell(c.estimatedFraction, 3)
+            .cell(c.t1Seconds, 1);
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdProfile(const std::vector<std::string> &args)
+{
+    if (args.size() != 1)
+        return usage();
+    const auto &workload = sim::findWorkload(args[0]);
+
+    const profiling::Profiler profiler((sim::TaskSimulator()));
+    const auto plan = profiling::planSamples(workload);
+    const auto profile = profiler.profile(workload, plan.sampleSizesGB);
+
+    TablePrinter kf;
+    kf.addColumn("Dataset(GB)");
+    kf.addColumn("E[F]");
+    kf.addColumn("Var(F)");
+    for (double gb : profile.datasetsGB) {
+        const auto est = profiling::estimateFraction(profile, gb);
+        kf.beginRow().cell(gb, 2).cell(est.expected, 3).cell(
+            formatDouble(est.variance, 6));
+    }
+    kf.print(std::cout);
+
+    const auto predictor = profiling::PerformancePredictor::fit(profile);
+    const sim::TaskSimulator sim;
+    const auto report = profiling::evaluatePredictor(
+        predictor, sim, workload, workload.datasetGB,
+        {1, 2, 4, 8, 16, 24});
+    std::cout << "\nestimated parallel fraction: "
+              << formatDouble(predictor.parallelFraction(), 3)
+              << "\nfull-dataset prediction error: "
+              << formatDouble(report.meanErrorPercent, 2) << "% mean, "
+              << formatDouble(report.errorSummary.max, 2) << "% max\n";
+    return 0;
+}
+
+int
+cmdSimulate(const std::vector<std::string> &args)
+{
+    if (args.size() < 2 || args.size() > 3)
+        return usage();
+    const auto &workload = sim::findWorkload(args[0]);
+    const int cores = std::stoi(args[1]);
+    const double gb =
+        args.size() == 3 ? std::stod(args[2]) : workload.datasetGB;
+
+    const sim::TaskSimulator sim;
+    const auto result = sim.execute(workload, gb, cores);
+    TablePrinter table;
+    table.addColumn("Stage", TablePrinter::Align::Left);
+    table.addColumn("start(s)");
+    table.addColumn("end(s)");
+    table.addColumn("tasks");
+    table.addColumn("workers");
+    table.addColumn("comm(s)");
+    table.addColumn("bw slowdown");
+    for (const auto &stage : result.stages) {
+        table.beginRow()
+            .cell(stage.label)
+            .cell(stage.startSeconds, 2)
+            .cell(stage.endSeconds, 2)
+            .cell(stage.tasks)
+            .cell(stage.workers)
+            .cell(stage.commSeconds, 2)
+            .cell(stage.bandwidthSlowdown, 2);
+    }
+    table.print(std::cout);
+    std::cout << "\ntotal " << formatDouble(result.totalSeconds, 2)
+              << " s on " << cores << " core(s), speedup "
+              << formatDouble(sim.speedup(workload, gb, cores), 2)
+              << "\n";
+    return 0;
+}
+
+int
+cmdExample()
+{
+    std::cout << "# The paper's Section V example: two users, two\n"
+              << "# 10-core servers, equal entitlements.\n"
+              << "servers 10 10\n"
+              << "user Alice budget 1\n"
+              << "job server 0 fraction 0.53   # dedup\n"
+              << "job server 1 fraction 0.93   # bodytrack\n"
+              << "user Bob budget 1\n"
+              << "job server 0 fraction 0.96   # x264\n"
+              << "job server 1 fraction 0.68   # raytrace\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+    try {
+        if (command == "solve")
+            return cmdSolve(args);
+        if (command == "workloads")
+            return cmdWorkloads();
+        if (command == "profile")
+            return cmdProfile(args);
+        if (command == "simulate")
+            return cmdSimulate(args);
+        if (command == "example")
+            return cmdExample();
+    } catch (const std::exception &err) {
+        std::cerr << err.what() << "\n";
+        return 1;
+    }
+    return usage();
+}
