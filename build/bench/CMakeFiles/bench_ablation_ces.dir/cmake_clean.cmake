@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ces.dir/bench_ablation_ces.cc.o"
+  "CMakeFiles/bench_ablation_ces.dir/bench_ablation_ces.cc.o.d"
+  "bench_ablation_ces"
+  "bench_ablation_ces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

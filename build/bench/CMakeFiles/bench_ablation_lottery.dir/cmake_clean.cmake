@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lottery.dir/bench_ablation_lottery.cc.o"
+  "CMakeFiles/bench_ablation_lottery.dir/bench_ablation_lottery.cc.o.d"
+  "bench_ablation_lottery"
+  "bench_ablation_lottery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lottery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_quadratic.dir/bench_ablation_quadratic.cc.o"
+  "CMakeFiles/bench_ablation_quadratic.dir/bench_ablation_quadratic.cc.o.d"
+  "bench_ablation_quadratic"
+  "bench_ablation_quadratic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_quadratic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

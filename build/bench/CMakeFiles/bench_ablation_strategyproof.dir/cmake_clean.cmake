@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_strategyproof.dir/bench_ablation_strategyproof.cc.o"
+  "CMakeFiles/bench_ablation_strategyproof.dir/bench_ablation_strategyproof.cc.o.d"
+  "bench_ablation_strategyproof"
+  "bench_ablation_strategyproof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_strategyproof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_class_performance.dir/bench_fig10_class_performance.cc.o"
+  "CMakeFiles/bench_fig10_class_performance.dir/bench_fig10_class_performance.cc.o.d"
+  "bench_fig10_class_performance"
+  "bench_fig10_class_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_class_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_entitlement_mape.dir/bench_fig11_entitlement_mape.cc.o"
+  "CMakeFiles/bench_fig11_entitlement_mape.dir/bench_fig11_entitlement_mape.cc.o.d"
+  "bench_fig11_entitlement_mape"
+  "bench_fig11_entitlement_mape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_entitlement_mape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

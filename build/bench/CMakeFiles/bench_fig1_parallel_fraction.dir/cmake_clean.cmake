@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_parallel_fraction.dir/bench_fig1_parallel_fraction.cc.o"
+  "CMakeFiles/bench_fig1_parallel_fraction.dir/bench_fig1_parallel_fraction.cc.o.d"
+  "bench_fig1_parallel_fraction"
+  "bench_fig1_parallel_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_parallel_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

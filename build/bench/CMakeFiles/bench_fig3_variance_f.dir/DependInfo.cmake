@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_variance_f.cc" "bench/CMakeFiles/bench_fig3_variance_f.dir/bench_fig3_variance_f.cc.o" "gcc" "bench/CMakeFiles/bench_fig3_variance_f.dir/bench_fig3_variance_f.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/amdahl_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/amdahl_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/amdahl_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/amdahl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/amdahl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/amdahl_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/amdahl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

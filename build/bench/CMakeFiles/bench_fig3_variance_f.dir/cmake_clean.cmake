@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_variance_f.dir/bench_fig3_variance_f.cc.o"
+  "CMakeFiles/bench_fig3_variance_f.dir/bench_fig3_variance_f.cc.o.d"
+  "bench_fig3_variance_f"
+  "bench_fig3_variance_f.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_variance_f.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

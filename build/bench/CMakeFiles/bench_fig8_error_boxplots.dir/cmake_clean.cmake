@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_error_boxplots.dir/bench_fig8_error_boxplots.cc.o"
+  "CMakeFiles/bench_fig8_error_boxplots.dir/bench_fig8_error_boxplots.cc.o.d"
+  "bench_fig8_error_boxplots"
+  "bench_fig8_error_boxplots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_error_boxplots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

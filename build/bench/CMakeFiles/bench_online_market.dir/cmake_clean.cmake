@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_online_market.dir/bench_online_market.cc.o"
+  "CMakeFiles/bench_online_market.dir/bench_online_market.cc.o.d"
+  "bench_online_market"
+  "bench_online_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_online_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

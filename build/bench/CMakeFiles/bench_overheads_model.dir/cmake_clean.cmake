@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overheads_model.dir/bench_overheads_model.cc.o"
+  "CMakeFiles/bench_overheads_model.dir/bench_overheads_model.cc.o.d"
+  "bench_overheads_model"
+  "bench_overheads_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overheads_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_server.dir/bench_table2_server.cc.o"
+  "CMakeFiles/bench_table2_server.dir/bench_table2_server.cc.o.d"
+  "bench_table2_server"
+  "bench_table2_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_market.dir/datacenter_market.cpp.o"
+  "CMakeFiles/datacenter_market.dir/datacenter_market.cpp.o.d"
+  "datacenter_market"
+  "datacenter_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

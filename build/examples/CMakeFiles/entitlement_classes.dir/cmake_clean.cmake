@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entitlement_classes.dir/entitlement_classes.cpp.o"
+  "CMakeFiles/entitlement_classes.dir/entitlement_classes.cpp.o.d"
+  "entitlement_classes"
+  "entitlement_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entitlement_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

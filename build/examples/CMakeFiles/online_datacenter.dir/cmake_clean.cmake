@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_datacenter.dir/online_datacenter.cpp.o"
+  "CMakeFiles/online_datacenter.dir/online_datacenter.cpp.o.d"
+  "online_datacenter"
+  "online_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

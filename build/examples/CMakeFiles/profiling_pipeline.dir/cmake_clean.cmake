@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiling_pipeline.dir/profiling_pipeline.cpp.o"
+  "CMakeFiles/profiling_pipeline.dir/profiling_pipeline.cpp.o.d"
+  "profiling_pipeline"
+  "profiling_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiling_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

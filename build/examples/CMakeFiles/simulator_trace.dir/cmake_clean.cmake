@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulator_trace.dir/simulator_trace.cpp.o"
+  "CMakeFiles/simulator_trace.dir/simulator_trace.cpp.o.d"
+  "simulator_trace"
+  "simulator_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulator_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

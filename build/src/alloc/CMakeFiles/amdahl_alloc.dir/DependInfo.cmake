@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/amdahl_bidding_policy.cc" "src/alloc/CMakeFiles/amdahl_alloc.dir/amdahl_bidding_policy.cc.o" "gcc" "src/alloc/CMakeFiles/amdahl_alloc.dir/amdahl_bidding_policy.cc.o.d"
+  "/root/repo/src/alloc/best_response.cc" "src/alloc/CMakeFiles/amdahl_alloc.dir/best_response.cc.o" "gcc" "src/alloc/CMakeFiles/amdahl_alloc.dir/best_response.cc.o.d"
+  "/root/repo/src/alloc/greedy.cc" "src/alloc/CMakeFiles/amdahl_alloc.dir/greedy.cc.o" "gcc" "src/alloc/CMakeFiles/amdahl_alloc.dir/greedy.cc.o.d"
+  "/root/repo/src/alloc/lottery.cc" "src/alloc/CMakeFiles/amdahl_alloc.dir/lottery.cc.o" "gcc" "src/alloc/CMakeFiles/amdahl_alloc.dir/lottery.cc.o.d"
+  "/root/repo/src/alloc/placement.cc" "src/alloc/CMakeFiles/amdahl_alloc.dir/placement.cc.o" "gcc" "src/alloc/CMakeFiles/amdahl_alloc.dir/placement.cc.o.d"
+  "/root/repo/src/alloc/policy.cc" "src/alloc/CMakeFiles/amdahl_alloc.dir/policy.cc.o" "gcc" "src/alloc/CMakeFiles/amdahl_alloc.dir/policy.cc.o.d"
+  "/root/repo/src/alloc/proportional_fairness.cc" "src/alloc/CMakeFiles/amdahl_alloc.dir/proportional_fairness.cc.o" "gcc" "src/alloc/CMakeFiles/amdahl_alloc.dir/proportional_fairness.cc.o.d"
+  "/root/repo/src/alloc/proportional_share.cc" "src/alloc/CMakeFiles/amdahl_alloc.dir/proportional_share.cc.o" "gcc" "src/alloc/CMakeFiles/amdahl_alloc.dir/proportional_share.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/amdahl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/amdahl_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/amdahl_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

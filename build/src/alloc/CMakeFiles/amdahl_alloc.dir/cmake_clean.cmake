@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amdahl_alloc.dir/amdahl_bidding_policy.cc.o"
+  "CMakeFiles/amdahl_alloc.dir/amdahl_bidding_policy.cc.o.d"
+  "CMakeFiles/amdahl_alloc.dir/best_response.cc.o"
+  "CMakeFiles/amdahl_alloc.dir/best_response.cc.o.d"
+  "CMakeFiles/amdahl_alloc.dir/greedy.cc.o"
+  "CMakeFiles/amdahl_alloc.dir/greedy.cc.o.d"
+  "CMakeFiles/amdahl_alloc.dir/lottery.cc.o"
+  "CMakeFiles/amdahl_alloc.dir/lottery.cc.o.d"
+  "CMakeFiles/amdahl_alloc.dir/placement.cc.o"
+  "CMakeFiles/amdahl_alloc.dir/placement.cc.o.d"
+  "CMakeFiles/amdahl_alloc.dir/policy.cc.o"
+  "CMakeFiles/amdahl_alloc.dir/policy.cc.o.d"
+  "CMakeFiles/amdahl_alloc.dir/proportional_fairness.cc.o"
+  "CMakeFiles/amdahl_alloc.dir/proportional_fairness.cc.o.d"
+  "CMakeFiles/amdahl_alloc.dir/proportional_share.cc.o"
+  "CMakeFiles/amdahl_alloc.dir/proportional_share.cc.o.d"
+  "libamdahl_alloc.a"
+  "libamdahl_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amdahl_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

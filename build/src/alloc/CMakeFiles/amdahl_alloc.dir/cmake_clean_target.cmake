@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libamdahl_alloc.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amdahl_common.dir/csv.cc.o"
+  "CMakeFiles/amdahl_common.dir/csv.cc.o.d"
+  "CMakeFiles/amdahl_common.dir/logging.cc.o"
+  "CMakeFiles/amdahl_common.dir/logging.cc.o.d"
+  "CMakeFiles/amdahl_common.dir/random.cc.o"
+  "CMakeFiles/amdahl_common.dir/random.cc.o.d"
+  "CMakeFiles/amdahl_common.dir/stats.cc.o"
+  "CMakeFiles/amdahl_common.dir/stats.cc.o.d"
+  "CMakeFiles/amdahl_common.dir/table.cc.o"
+  "CMakeFiles/amdahl_common.dir/table.cc.o.d"
+  "libamdahl_common.a"
+  "libamdahl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amdahl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/amdahl.cc" "src/core/CMakeFiles/amdahl_core.dir/amdahl.cc.o" "gcc" "src/core/CMakeFiles/amdahl_core.dir/amdahl.cc.o.d"
+  "/root/repo/src/core/bidding.cc" "src/core/CMakeFiles/amdahl_core.dir/bidding.cc.o" "gcc" "src/core/CMakeFiles/amdahl_core.dir/bidding.cc.o.d"
+  "/root/repo/src/core/ces_market.cc" "src/core/CMakeFiles/amdahl_core.dir/ces_market.cc.o" "gcc" "src/core/CMakeFiles/amdahl_core.dir/ces_market.cc.o.d"
+  "/root/repo/src/core/entitlement.cc" "src/core/CMakeFiles/amdahl_core.dir/entitlement.cc.o" "gcc" "src/core/CMakeFiles/amdahl_core.dir/entitlement.cc.o.d"
+  "/root/repo/src/core/market.cc" "src/core/CMakeFiles/amdahl_core.dir/market.cc.o" "gcc" "src/core/CMakeFiles/amdahl_core.dir/market.cc.o.d"
+  "/root/repo/src/core/market_io.cc" "src/core/CMakeFiles/amdahl_core.dir/market_io.cc.o" "gcc" "src/core/CMakeFiles/amdahl_core.dir/market_io.cc.o.d"
+  "/root/repo/src/core/rounding.cc" "src/core/CMakeFiles/amdahl_core.dir/rounding.cc.o" "gcc" "src/core/CMakeFiles/amdahl_core.dir/rounding.cc.o.d"
+  "/root/repo/src/core/utility.cc" "src/core/CMakeFiles/amdahl_core.dir/utility.cc.o" "gcc" "src/core/CMakeFiles/amdahl_core.dir/utility.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/amdahl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/amdahl_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amdahl_core.dir/amdahl.cc.o"
+  "CMakeFiles/amdahl_core.dir/amdahl.cc.o.d"
+  "CMakeFiles/amdahl_core.dir/bidding.cc.o"
+  "CMakeFiles/amdahl_core.dir/bidding.cc.o.d"
+  "CMakeFiles/amdahl_core.dir/ces_market.cc.o"
+  "CMakeFiles/amdahl_core.dir/ces_market.cc.o.d"
+  "CMakeFiles/amdahl_core.dir/entitlement.cc.o"
+  "CMakeFiles/amdahl_core.dir/entitlement.cc.o.d"
+  "CMakeFiles/amdahl_core.dir/market.cc.o"
+  "CMakeFiles/amdahl_core.dir/market.cc.o.d"
+  "CMakeFiles/amdahl_core.dir/market_io.cc.o"
+  "CMakeFiles/amdahl_core.dir/market_io.cc.o.d"
+  "CMakeFiles/amdahl_core.dir/rounding.cc.o"
+  "CMakeFiles/amdahl_core.dir/rounding.cc.o.d"
+  "CMakeFiles/amdahl_core.dir/utility.cc.o"
+  "CMakeFiles/amdahl_core.dir/utility.cc.o.d"
+  "libamdahl_core.a"
+  "libamdahl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amdahl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

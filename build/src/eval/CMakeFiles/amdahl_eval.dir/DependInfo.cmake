@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/characterization.cc" "src/eval/CMakeFiles/amdahl_eval.dir/characterization.cc.o" "gcc" "src/eval/CMakeFiles/amdahl_eval.dir/characterization.cc.o.d"
+  "/root/repo/src/eval/deployment.cc" "src/eval/CMakeFiles/amdahl_eval.dir/deployment.cc.o" "gcc" "src/eval/CMakeFiles/amdahl_eval.dir/deployment.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/eval/CMakeFiles/amdahl_eval.dir/experiment.cc.o" "gcc" "src/eval/CMakeFiles/amdahl_eval.dir/experiment.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/amdahl_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/amdahl_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/online.cc" "src/eval/CMakeFiles/amdahl_eval.dir/online.cc.o" "gcc" "src/eval/CMakeFiles/amdahl_eval.dir/online.cc.o.d"
+  "/root/repo/src/eval/population.cc" "src/eval/CMakeFiles/amdahl_eval.dir/population.cc.o" "gcc" "src/eval/CMakeFiles/amdahl_eval.dir/population.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/amdahl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/amdahl_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/amdahl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/amdahl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/amdahl_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/amdahl_alloc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

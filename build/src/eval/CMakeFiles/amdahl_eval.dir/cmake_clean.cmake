@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amdahl_eval.dir/characterization.cc.o"
+  "CMakeFiles/amdahl_eval.dir/characterization.cc.o.d"
+  "CMakeFiles/amdahl_eval.dir/deployment.cc.o"
+  "CMakeFiles/amdahl_eval.dir/deployment.cc.o.d"
+  "CMakeFiles/amdahl_eval.dir/experiment.cc.o"
+  "CMakeFiles/amdahl_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/amdahl_eval.dir/metrics.cc.o"
+  "CMakeFiles/amdahl_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/amdahl_eval.dir/online.cc.o"
+  "CMakeFiles/amdahl_eval.dir/online.cc.o.d"
+  "CMakeFiles/amdahl_eval.dir/population.cc.o"
+  "CMakeFiles/amdahl_eval.dir/population.cc.o.d"
+  "libamdahl_eval.a"
+  "libamdahl_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amdahl_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

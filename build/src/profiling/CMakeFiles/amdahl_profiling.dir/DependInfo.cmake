@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiling/karp_flatt.cc" "src/profiling/CMakeFiles/amdahl_profiling.dir/karp_flatt.cc.o" "gcc" "src/profiling/CMakeFiles/amdahl_profiling.dir/karp_flatt.cc.o.d"
+  "/root/repo/src/profiling/predictor.cc" "src/profiling/CMakeFiles/amdahl_profiling.dir/predictor.cc.o" "gcc" "src/profiling/CMakeFiles/amdahl_profiling.dir/predictor.cc.o.d"
+  "/root/repo/src/profiling/profiler.cc" "src/profiling/CMakeFiles/amdahl_profiling.dir/profiler.cc.o" "gcc" "src/profiling/CMakeFiles/amdahl_profiling.dir/profiler.cc.o.d"
+  "/root/repo/src/profiling/sampler.cc" "src/profiling/CMakeFiles/amdahl_profiling.dir/sampler.cc.o" "gcc" "src/profiling/CMakeFiles/amdahl_profiling.dir/sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/amdahl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/amdahl_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/amdahl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/amdahl_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

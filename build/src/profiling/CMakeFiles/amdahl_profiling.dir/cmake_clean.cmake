@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amdahl_profiling.dir/karp_flatt.cc.o"
+  "CMakeFiles/amdahl_profiling.dir/karp_flatt.cc.o.d"
+  "CMakeFiles/amdahl_profiling.dir/predictor.cc.o"
+  "CMakeFiles/amdahl_profiling.dir/predictor.cc.o.d"
+  "CMakeFiles/amdahl_profiling.dir/profiler.cc.o"
+  "CMakeFiles/amdahl_profiling.dir/profiler.cc.o.d"
+  "CMakeFiles/amdahl_profiling.dir/sampler.cc.o"
+  "CMakeFiles/amdahl_profiling.dir/sampler.cc.o.d"
+  "libamdahl_profiling.a"
+  "libamdahl_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amdahl_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/analytical.cc" "src/sim/CMakeFiles/amdahl_sim.dir/analytical.cc.o" "gcc" "src/sim/CMakeFiles/amdahl_sim.dir/analytical.cc.o.d"
+  "/root/repo/src/sim/interference.cc" "src/sim/CMakeFiles/amdahl_sim.dir/interference.cc.o" "gcc" "src/sim/CMakeFiles/amdahl_sim.dir/interference.cc.o.d"
+  "/root/repo/src/sim/server.cc" "src/sim/CMakeFiles/amdahl_sim.dir/server.cc.o" "gcc" "src/sim/CMakeFiles/amdahl_sim.dir/server.cc.o.d"
+  "/root/repo/src/sim/task_sim.cc" "src/sim/CMakeFiles/amdahl_sim.dir/task_sim.cc.o" "gcc" "src/sim/CMakeFiles/amdahl_sim.dir/task_sim.cc.o.d"
+  "/root/repo/src/sim/workload.cc" "src/sim/CMakeFiles/amdahl_sim.dir/workload.cc.o" "gcc" "src/sim/CMakeFiles/amdahl_sim.dir/workload.cc.o.d"
+  "/root/repo/src/sim/workload_library.cc" "src/sim/CMakeFiles/amdahl_sim.dir/workload_library.cc.o" "gcc" "src/sim/CMakeFiles/amdahl_sim.dir/workload_library.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/amdahl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amdahl_sim.dir/analytical.cc.o"
+  "CMakeFiles/amdahl_sim.dir/analytical.cc.o.d"
+  "CMakeFiles/amdahl_sim.dir/interference.cc.o"
+  "CMakeFiles/amdahl_sim.dir/interference.cc.o.d"
+  "CMakeFiles/amdahl_sim.dir/server.cc.o"
+  "CMakeFiles/amdahl_sim.dir/server.cc.o.d"
+  "CMakeFiles/amdahl_sim.dir/task_sim.cc.o"
+  "CMakeFiles/amdahl_sim.dir/task_sim.cc.o.d"
+  "CMakeFiles/amdahl_sim.dir/workload.cc.o"
+  "CMakeFiles/amdahl_sim.dir/workload.cc.o.d"
+  "CMakeFiles/amdahl_sim.dir/workload_library.cc.o"
+  "CMakeFiles/amdahl_sim.dir/workload_library.cc.o.d"
+  "libamdahl_sim.a"
+  "libamdahl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amdahl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

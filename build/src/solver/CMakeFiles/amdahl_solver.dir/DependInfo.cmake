@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/eisenberg_gale.cc" "src/solver/CMakeFiles/amdahl_solver.dir/eisenberg_gale.cc.o" "gcc" "src/solver/CMakeFiles/amdahl_solver.dir/eisenberg_gale.cc.o.d"
+  "/root/repo/src/solver/interior_point.cc" "src/solver/CMakeFiles/amdahl_solver.dir/interior_point.cc.o" "gcc" "src/solver/CMakeFiles/amdahl_solver.dir/interior_point.cc.o.d"
+  "/root/repo/src/solver/linear_model.cc" "src/solver/CMakeFiles/amdahl_solver.dir/linear_model.cc.o" "gcc" "src/solver/CMakeFiles/amdahl_solver.dir/linear_model.cc.o.d"
+  "/root/repo/src/solver/root_find.cc" "src/solver/CMakeFiles/amdahl_solver.dir/root_find.cc.o" "gcc" "src/solver/CMakeFiles/amdahl_solver.dir/root_find.cc.o.d"
+  "/root/repo/src/solver/water_filling.cc" "src/solver/CMakeFiles/amdahl_solver.dir/water_filling.cc.o" "gcc" "src/solver/CMakeFiles/amdahl_solver.dir/water_filling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/amdahl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

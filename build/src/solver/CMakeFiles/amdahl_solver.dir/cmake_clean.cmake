@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amdahl_solver.dir/eisenberg_gale.cc.o"
+  "CMakeFiles/amdahl_solver.dir/eisenberg_gale.cc.o.d"
+  "CMakeFiles/amdahl_solver.dir/interior_point.cc.o"
+  "CMakeFiles/amdahl_solver.dir/interior_point.cc.o.d"
+  "CMakeFiles/amdahl_solver.dir/linear_model.cc.o"
+  "CMakeFiles/amdahl_solver.dir/linear_model.cc.o.d"
+  "CMakeFiles/amdahl_solver.dir/root_find.cc.o"
+  "CMakeFiles/amdahl_solver.dir/root_find.cc.o.d"
+  "CMakeFiles/amdahl_solver.dir/water_filling.cc.o"
+  "CMakeFiles/amdahl_solver.dir/water_filling.cc.o.d"
+  "libamdahl_solver.a"
+  "libamdahl_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amdahl_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

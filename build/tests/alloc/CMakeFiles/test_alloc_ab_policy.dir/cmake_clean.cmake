@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alloc_ab_policy.dir/test_ab_policy.cc.o"
+  "CMakeFiles/test_alloc_ab_policy.dir/test_ab_policy.cc.o.d"
+  "test_alloc_ab_policy"
+  "test_alloc_ab_policy.pdb"
+  "test_alloc_ab_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alloc_ab_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alloc_best_response.dir/test_best_response.cc.o"
+  "CMakeFiles/test_alloc_best_response.dir/test_best_response.cc.o.d"
+  "test_alloc_best_response"
+  "test_alloc_best_response.pdb"
+  "test_alloc_best_response[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alloc_best_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alloc_greedy.dir/test_greedy.cc.o"
+  "CMakeFiles/test_alloc_greedy.dir/test_greedy.cc.o.d"
+  "test_alloc_greedy"
+  "test_alloc_greedy.pdb"
+  "test_alloc_greedy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alloc_greedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

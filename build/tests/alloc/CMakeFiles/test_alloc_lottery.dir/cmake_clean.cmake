@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alloc_lottery.dir/test_lottery.cc.o"
+  "CMakeFiles/test_alloc_lottery.dir/test_lottery.cc.o.d"
+  "test_alloc_lottery"
+  "test_alloc_lottery.pdb"
+  "test_alloc_lottery[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alloc_lottery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alloc_placement.dir/test_placement.cc.o"
+  "CMakeFiles/test_alloc_placement.dir/test_placement.cc.o.d"
+  "test_alloc_placement"
+  "test_alloc_placement.pdb"
+  "test_alloc_placement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alloc_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alloc_proportional_fairness.dir/test_proportional_fairness.cc.o"
+  "CMakeFiles/test_alloc_proportional_fairness.dir/test_proportional_fairness.cc.o.d"
+  "test_alloc_proportional_fairness"
+  "test_alloc_proportional_fairness.pdb"
+  "test_alloc_proportional_fairness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alloc_proportional_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

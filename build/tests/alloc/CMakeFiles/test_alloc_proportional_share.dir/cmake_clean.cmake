@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alloc_proportional_share.dir/test_proportional_share.cc.o"
+  "CMakeFiles/test_alloc_proportional_share.dir/test_proportional_share.cc.o.d"
+  "test_alloc_proportional_share"
+  "test_alloc_proportional_share.pdb"
+  "test_alloc_proportional_share[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alloc_proportional_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/alloc
+# Build directory: /root/repo/build/tests/alloc
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/alloc/test_alloc_proportional_share[1]_include.cmake")
+include("/root/repo/build/tests/alloc/test_alloc_greedy[1]_include.cmake")
+include("/root/repo/build/tests/alloc/test_alloc_best_response[1]_include.cmake")
+include("/root/repo/build/tests/alloc/test_alloc_ab_policy[1]_include.cmake")
+include("/root/repo/build/tests/alloc/test_alloc_placement[1]_include.cmake")
+include("/root/repo/build/tests/alloc/test_alloc_lottery[1]_include.cmake")
+include("/root/repo/build/tests/alloc/test_alloc_proportional_fairness[1]_include.cmake")

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/common
+# Build directory: /root/repo/build/tests/common
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common/test_common_logging[1]_include.cmake")
+include("/root/repo/build/tests/common/test_common_random[1]_include.cmake")
+include("/root/repo/build/tests/common/test_common_stats[1]_include.cmake")
+include("/root/repo/build/tests/common/test_common_table[1]_include.cmake")
+include("/root/repo/build/tests/common/test_common_csv[1]_include.cmake")
+include("/root/repo/build/tests/common/test_common_math_util[1]_include.cmake")

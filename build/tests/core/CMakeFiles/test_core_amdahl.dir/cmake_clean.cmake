@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_amdahl.dir/test_amdahl.cc.o"
+  "CMakeFiles/test_core_amdahl.dir/test_amdahl.cc.o.d"
+  "test_core_amdahl"
+  "test_core_amdahl.pdb"
+  "test_core_amdahl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_amdahl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_bidding.dir/test_bidding.cc.o"
+  "CMakeFiles/test_core_bidding.dir/test_bidding.cc.o.d"
+  "test_core_bidding"
+  "test_core_bidding.pdb"
+  "test_core_bidding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_bidding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_ces_market.dir/test_ces_market.cc.o"
+  "CMakeFiles/test_core_ces_market.dir/test_ces_market.cc.o.d"
+  "test_core_ces_market"
+  "test_core_ces_market.pdb"
+  "test_core_ces_market[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_ces_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_entitlement.dir/test_entitlement.cc.o"
+  "CMakeFiles/test_core_entitlement.dir/test_entitlement.cc.o.d"
+  "test_core_entitlement"
+  "test_core_entitlement.pdb"
+  "test_core_entitlement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_entitlement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_market.dir/test_market.cc.o"
+  "CMakeFiles/test_core_market.dir/test_market.cc.o.d"
+  "test_core_market"
+  "test_core_market.pdb"
+  "test_core_market[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

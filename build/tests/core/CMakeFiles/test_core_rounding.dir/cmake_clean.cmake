@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_rounding.dir/test_rounding.cc.o"
+  "CMakeFiles/test_core_rounding.dir/test_rounding.cc.o.d"
+  "test_core_rounding"
+  "test_core_rounding.pdb"
+  "test_core_rounding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_rounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

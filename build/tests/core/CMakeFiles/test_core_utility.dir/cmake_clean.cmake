@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_utility.dir/test_utility.cc.o"
+  "CMakeFiles/test_core_utility.dir/test_utility.cc.o.d"
+  "test_core_utility"
+  "test_core_utility.pdb"
+  "test_core_utility[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

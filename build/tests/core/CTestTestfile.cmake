@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/test_core_amdahl[1]_include.cmake")
+include("/root/repo/build/tests/core/test_core_utility[1]_include.cmake")
+include("/root/repo/build/tests/core/test_core_market[1]_include.cmake")
+include("/root/repo/build/tests/core/test_core_bidding[1]_include.cmake")
+include("/root/repo/build/tests/core/test_core_rounding[1]_include.cmake")
+include("/root/repo/build/tests/core/test_core_entitlement[1]_include.cmake")
+include("/root/repo/build/tests/core/test_core_ces_market[1]_include.cmake")
+include("/root/repo/build/tests/core/test_core_market_io[1]_include.cmake")

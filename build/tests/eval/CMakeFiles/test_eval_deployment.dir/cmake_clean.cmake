@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eval_deployment.dir/test_deployment.cc.o"
+  "CMakeFiles/test_eval_deployment.dir/test_deployment.cc.o.d"
+  "test_eval_deployment"
+  "test_eval_deployment.pdb"
+  "test_eval_deployment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eval_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eval_experiment.dir/test_experiment.cc.o"
+  "CMakeFiles/test_eval_experiment.dir/test_experiment.cc.o.d"
+  "test_eval_experiment"
+  "test_eval_experiment.pdb"
+  "test_eval_experiment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eval_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eval_metrics.dir/test_metrics.cc.o"
+  "CMakeFiles/test_eval_metrics.dir/test_metrics.cc.o.d"
+  "test_eval_metrics"
+  "test_eval_metrics.pdb"
+  "test_eval_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eval_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eval_online.dir/test_online.cc.o"
+  "CMakeFiles/test_eval_online.dir/test_online.cc.o.d"
+  "test_eval_online"
+  "test_eval_online.pdb"
+  "test_eval_online[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eval_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/eval
+# Build directory: /root/repo/build/tests/eval
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/eval/test_eval_population[1]_include.cmake")
+include("/root/repo/build/tests/eval/test_eval_characterization[1]_include.cmake")
+include("/root/repo/build/tests/eval/test_eval_metrics[1]_include.cmake")
+include("/root/repo/build/tests/eval/test_eval_experiment[1]_include.cmake")
+include("/root/repo/build/tests/eval/test_eval_deployment[1]_include.cmake")
+include("/root/repo/build/tests/eval/test_eval_online[1]_include.cmake")

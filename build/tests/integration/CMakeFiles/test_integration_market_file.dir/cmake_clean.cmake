@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_market_file.dir/test_market_file_roundtrip.cc.o"
+  "CMakeFiles/test_integration_market_file.dir/test_market_file_roundtrip.cc.o.d"
+  "test_integration_market_file"
+  "test_integration_market_file.pdb"
+  "test_integration_market_file[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_market_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_paper_examples.dir/test_paper_examples.cc.o"
+  "CMakeFiles/test_integration_paper_examples.dir/test_paper_examples.cc.o.d"
+  "test_integration_paper_examples"
+  "test_integration_paper_examples.pdb"
+  "test_integration_paper_examples[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_paper_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

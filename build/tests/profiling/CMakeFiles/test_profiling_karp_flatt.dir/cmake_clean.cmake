@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profiling_karp_flatt.dir/test_karp_flatt.cc.o"
+  "CMakeFiles/test_profiling_karp_flatt.dir/test_karp_flatt.cc.o.d"
+  "test_profiling_karp_flatt"
+  "test_profiling_karp_flatt.pdb"
+  "test_profiling_karp_flatt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profiling_karp_flatt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_profiling_karp_flatt.
+# This may be replaced when dependencies are built.

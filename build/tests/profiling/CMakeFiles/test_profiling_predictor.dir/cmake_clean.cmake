@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profiling_predictor.dir/test_predictor.cc.o"
+  "CMakeFiles/test_profiling_predictor.dir/test_predictor.cc.o.d"
+  "test_profiling_predictor"
+  "test_profiling_predictor.pdb"
+  "test_profiling_predictor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profiling_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/profiling
+# Build directory: /root/repo/build/tests/profiling
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/profiling/test_profiling_sampler[1]_include.cmake")
+include("/root/repo/build/tests/profiling/test_profiling_profiler[1]_include.cmake")
+include("/root/repo/build/tests/profiling/test_profiling_karp_flatt[1]_include.cmake")
+include("/root/repo/build/tests/profiling/test_profiling_predictor[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_amdahl.dir/test_amdahl_properties.cc.o"
+  "CMakeFiles/test_property_amdahl.dir/test_amdahl_properties.cc.o.d"
+  "test_property_amdahl"
+  "test_property_amdahl.pdb"
+  "test_property_amdahl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_amdahl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

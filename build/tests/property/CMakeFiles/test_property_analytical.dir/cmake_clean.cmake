@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_analytical.dir/test_analytical_properties.cc.o"
+  "CMakeFiles/test_property_analytical.dir/test_analytical_properties.cc.o.d"
+  "test_property_analytical"
+  "test_property_analytical.pdb"
+  "test_property_analytical[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_analytical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

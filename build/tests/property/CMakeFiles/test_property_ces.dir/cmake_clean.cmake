@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_ces.dir/test_ces_properties.cc.o"
+  "CMakeFiles/test_property_ces.dir/test_ces_properties.cc.o.d"
+  "test_property_ces"
+  "test_property_ces.pdb"
+  "test_property_ces[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_ces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

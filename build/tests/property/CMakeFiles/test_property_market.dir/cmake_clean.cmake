@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_market.dir/test_market_properties.cc.o"
+  "CMakeFiles/test_property_market.dir/test_market_properties.cc.o.d"
+  "test_property_market"
+  "test_property_market.pdb"
+  "test_property_market[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_online.dir/test_online_properties.cc.o"
+  "CMakeFiles/test_property_online.dir/test_online_properties.cc.o.d"
+  "test_property_online"
+  "test_property_online.pdb"
+  "test_property_online[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

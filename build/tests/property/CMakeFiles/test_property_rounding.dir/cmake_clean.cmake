@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_rounding.dir/test_rounding_properties.cc.o"
+  "CMakeFiles/test_property_rounding.dir/test_rounding_properties.cc.o.d"
+  "test_property_rounding"
+  "test_property_rounding.pdb"
+  "test_property_rounding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_rounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

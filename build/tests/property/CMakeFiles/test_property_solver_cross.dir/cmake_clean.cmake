@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_solver_cross.dir/test_solver_cross_validation.cc.o"
+  "CMakeFiles/test_property_solver_cross.dir/test_solver_cross_validation.cc.o.d"
+  "test_property_solver_cross"
+  "test_property_solver_cross.pdb"
+  "test_property_solver_cross[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_solver_cross.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

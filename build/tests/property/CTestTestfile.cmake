@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/property
+# Build directory: /root/repo/build/tests/property
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/property/test_property_market[1]_include.cmake")
+include("/root/repo/build/tests/property/test_property_amdahl[1]_include.cmake")
+include("/root/repo/build/tests/property/test_property_sim[1]_include.cmake")
+include("/root/repo/build/tests/property/test_property_rounding[1]_include.cmake")
+include("/root/repo/build/tests/property/test_property_ces[1]_include.cmake")
+include("/root/repo/build/tests/property/test_property_solver_cross[1]_include.cmake")
+include("/root/repo/build/tests/property/test_property_analytical[1]_include.cmake")
+include("/root/repo/build/tests/property/test_property_market_stress[1]_include.cmake")
+include("/root/repo/build/tests/property/test_property_online[1]_include.cmake")

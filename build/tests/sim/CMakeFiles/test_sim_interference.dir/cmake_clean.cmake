@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_interference.dir/test_interference.cc.o"
+  "CMakeFiles/test_sim_interference.dir/test_interference.cc.o.d"
+  "test_sim_interference"
+  "test_sim_interference.pdb"
+  "test_sim_interference[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

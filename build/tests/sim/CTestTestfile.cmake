@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sim
+# Build directory: /root/repo/build/tests/sim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim/test_sim_server[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_sim_workload[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_sim_task_sim[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_sim_workload_library[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_sim_interference[1]_include.cmake")

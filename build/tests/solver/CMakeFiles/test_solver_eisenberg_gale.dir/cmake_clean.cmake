@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver_eisenberg_gale.dir/test_eisenberg_gale.cc.o"
+  "CMakeFiles/test_solver_eisenberg_gale.dir/test_eisenberg_gale.cc.o.d"
+  "test_solver_eisenberg_gale"
+  "test_solver_eisenberg_gale.pdb"
+  "test_solver_eisenberg_gale[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver_eisenberg_gale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

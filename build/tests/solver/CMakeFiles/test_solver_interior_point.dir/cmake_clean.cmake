@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver_interior_point.dir/test_interior_point.cc.o"
+  "CMakeFiles/test_solver_interior_point.dir/test_interior_point.cc.o.d"
+  "test_solver_interior_point"
+  "test_solver_interior_point.pdb"
+  "test_solver_interior_point[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver_interior_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver_root_find.dir/test_root_find.cc.o"
+  "CMakeFiles/test_solver_root_find.dir/test_root_find.cc.o.d"
+  "test_solver_root_find"
+  "test_solver_root_find.pdb"
+  "test_solver_root_find[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver_root_find.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

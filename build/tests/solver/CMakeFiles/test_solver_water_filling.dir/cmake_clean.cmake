@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver_water_filling.dir/test_water_filling.cc.o"
+  "CMakeFiles/test_solver_water_filling.dir/test_water_filling.cc.o.d"
+  "test_solver_water_filling"
+  "test_solver_water_filling.pdb"
+  "test_solver_water_filling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver_water_filling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_solver_water_filling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/solver
+# Build directory: /root/repo/build/tests/solver
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/solver/test_solver_linear_model[1]_include.cmake")
+include("/root/repo/build/tests/solver/test_solver_root_find[1]_include.cmake")
+include("/root/repo/build/tests/solver/test_solver_water_filling[1]_include.cmake")
+include("/root/repo/build/tests/solver/test_solver_interior_point[1]_include.cmake")
+include("/root/repo/build/tests/solver/test_solver_eisenberg_gale[1]_include.cmake")

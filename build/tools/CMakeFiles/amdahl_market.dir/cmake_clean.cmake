@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amdahl_market.dir/amdahl_market.cc.o"
+  "CMakeFiles/amdahl_market.dir/amdahl_market.cc.o.d"
+  "amdahl_market"
+  "amdahl_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amdahl_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
