@@ -1,5 +1,6 @@
 #include "amdahl_bidding_policy.hh"
 
+#include "common/check.hh"
 #include "core/rounding.hh"
 
 namespace amdahl::alloc {
@@ -11,6 +12,8 @@ AmdahlBiddingPolicy::allocate(const core::FisherMarket &market) const
     result.policyName = name();
     result.outcome = core::solveAmdahlBidding(market, opts);
     result.cores = core::roundOutcome(market, result.outcome);
+    if constexpr (checkedBuild)
+        auditAllocation(market, result);
     return result;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "core/rounding.hh"
 
@@ -184,6 +185,8 @@ BestResponsePolicy::allocate(const core::FisherMarket &market) const
         }
     }
     result.cores = core::roundOutcome(market, result.outcome);
+    if constexpr (checkedBuild)
+        auditAllocation(market, result);
     return result;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <queue>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "core/amdahl.hh"
 
@@ -88,6 +89,8 @@ MarginalGreedyBase::allocate(const core::FisherMarket &market) const
                 static_cast<double>(result.cores[i][k]);
         }
     }
+    if constexpr (checkedBuild)
+        auditAllocation(market, result);
     return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 
@@ -57,6 +58,8 @@ LotteryPolicy::allocate(const core::FisherMarket &market) const
                 static_cast<double>(result.cores[i][k]);
         }
     }
+    if constexpr (checkedBuild)
+        auditAllocation(market, result);
     return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace amdahl::alloc {
@@ -79,6 +80,14 @@ JobPlacer::updatePrices(const std::vector<double> &prices)
     if (prices.size() != prices_.size())
         fatal("price vector has ", prices.size(), " entries, expected ",
               prices_.size());
+    // Contract: placement steers by price, so a NaN here silently
+    // herds every arrival onto one server.
+    if constexpr (checkedBuild) {
+        for (double p : prices) {
+            AMDAHL_CHECK_FINITE(p);
+            AMDAHL_ASSERT(p >= 0.0, "negative posted price ", p);
+        }
+    }
     prices_ = prices;
     std::fill(sinceUpdate.begin(), sinceUpdate.end(), 0);
 }

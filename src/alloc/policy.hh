@@ -63,6 +63,21 @@ class AllocationPolicy
 std::vector<std::pair<std::size_t, std::size_t>>
 jobsOnServer(const core::FisherMarket &market, std::size_t server);
 
+/**
+ * Audit the contract every policy's output must honor: result shapes
+ * match the market, parallel fractions are in [0, 1], fractional and
+ * integral allocations are non-negative and finite, and no server is
+ * allocated beyond its capacity.
+ *
+ * Policies call this right before returning, inside an
+ * `if constexpr (checkedBuild)` block, so default builds skip the
+ * audit entirely.
+ *
+ * @throws PanicError when the result violates the contract.
+ */
+void auditAllocation(const core::FisherMarket &market,
+                     const AllocationResult &result);
+
 } // namespace amdahl::alloc
 
 #endif // AMDAHL_ALLOC_POLICY_HH

@@ -1,5 +1,6 @@
 #include "proportional_fairness.hh"
 
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "core/amdahl.hh"
 #include "core/rounding.hh"
@@ -61,6 +62,8 @@ ProportionalFairnessPolicy::allocate(
     result.outcome.iterations = eg.iterations;
     result.outcome.converged = eg.converged;
     result.cores = core::roundOutcome(market, result.outcome);
+    if constexpr (checkedBuild)
+        auditAllocation(market, result);
     return result;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "core/rounding.hh"
 
@@ -161,6 +162,8 @@ ProportionalShare::allocate(const core::FisherMarket &market) const
         for (std::size_t k = 0; k < owners.size(); ++k)
             result.cores[owners[k].first][owners[k].second] = rounded[k];
     }
+    if constexpr (checkedBuild)
+        auditAllocation(market, result);
     return result;
 }
 

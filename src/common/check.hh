@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Compile-time-gated contract macros for the market kernels.
+ *
+ * The solvers are numerical fixed-point iterations whose correctness
+ * rests on invariants the math silently assumes: budgets are conserved,
+ * prices stay positive and finite, allocations never exceed capacity,
+ * and Karp-Flatt estimates stay inside [0, 1]. Violations rarely crash;
+ * they drift — fairness erodes while every test that only checks
+ * convergence keeps passing. This header provides the machinery to
+ * state those invariants in the hot paths and compile them away in
+ * production builds.
+ *
+ * Build with -DAMDAHL_CHECKED=ON (CMake option, see the `debug-checked`
+ * preset) to enable the checks. In default builds every macro expands
+ * to an unevaluated no-op, so checked expressions cost nothing and
+ * never fire; `checkedBuild` lets larger verification blocks be
+ * discarded wholesale via `if constexpr`.
+ *
+ * Contract violations throw PanicError (they are library bugs, not
+ * caller errors), so tests can assert on them and long-running
+ * deployments can contain the blast radius of a corrupted market.
+ */
+
+#ifndef AMDAHL_COMMON_CHECK_HH
+#define AMDAHL_COMMON_CHECK_HH
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+#ifndef AMDAHL_CHECKED
+#define AMDAHL_CHECKED 0
+#endif
+
+namespace amdahl {
+
+/**
+ * True when the library was compiled with invariant checking enabled.
+ * Use `if constexpr (checkedBuild) { ... }` around verification blocks
+ * that need scratch state (e.g. building a per-server load vector); the
+ * block type-checks in every configuration but generates no code in
+ * default builds.
+ */
+inline constexpr bool checkedBuild = AMDAHL_CHECKED != 0;
+
+} // namespace amdahl
+
+#if AMDAHL_CHECKED
+
+/**
+ * Assert an internal invariant in a hot path. Active only under
+ * AMDAHL_CHECKED; panics (throws PanicError) with the stringized
+ * condition, source location, and the formatted message on failure.
+ */
+#define AMDAHL_ASSERT(cond, ...)                                          \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::amdahl::panic("invariant `" #cond "` violated at "          \
+                            __FILE__ ":", __LINE__                        \
+                            __VA_OPT__(, ": ", ) __VA_ARGS__);            \
+        }                                                                 \
+    } while (false)
+
+/**
+ * Assert that a floating-point expression is finite (neither NaN nor
+ * infinite). Active only under AMDAHL_CHECKED.
+ */
+#define AMDAHL_CHECK_FINITE(val)                                          \
+    do {                                                                  \
+        const double amdahl_check_finite_v_ = (val);                      \
+        if (!std::isfinite(amdahl_check_finite_v_)) {                     \
+            ::amdahl::panic("non-finite value `" #val "` = ",             \
+                            amdahl_check_finite_v_, " at "                \
+                            __FILE__ ":", __LINE__);                      \
+        }                                                                 \
+    } while (false)
+
+#else
+
+// Unevaluated in default builds: sizeof keeps the operands "used" (no
+// -Wunused warnings, expressions still type-checked) without emitting
+// any code or side effects.
+#define AMDAHL_ASSERT(cond, ...)                                          \
+    static_cast<void>(sizeof((cond) ? 1 : 1))
+#define AMDAHL_CHECK_FINITE(val)                                          \
+    static_cast<void>(sizeof((val) != 0.0 ? 1 : 1))
+
+#endif // AMDAHL_CHECKED
+
+#endif // AMDAHL_COMMON_CHECK_HH

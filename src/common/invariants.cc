@@ -1,0 +1,108 @@
+#include "invariants.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace amdahl::invariants {
+
+void
+CheckParallelFraction(double f, const char *where)
+{
+    if (!std::isfinite(f))
+        panic(where, ": parallel fraction is not finite (", f, ")");
+    if (f < 0.0 || f > 1.0)
+        panic(where, ": parallel fraction ", f, " outside [0, 1]");
+}
+
+void
+CheckMarketState(const std::vector<double> &prices, const Matrix &bids,
+                 const char *where)
+{
+    for (std::size_t j = 0; j < prices.size(); ++j) {
+        if (!std::isfinite(prices[j])) {
+            panic(where, ": price on server ", j, " is not finite (",
+                  prices[j], ")");
+        }
+        if (prices[j] <= 0.0) {
+            panic(where, ": price on server ", j, " is not positive (",
+                  prices[j], ")");
+        }
+    }
+    for (std::size_t i = 0; i < bids.size(); ++i) {
+        for (std::size_t k = 0; k < bids[i].size(); ++k) {
+            if (!std::isfinite(bids[i][k])) {
+                panic(where, ": bid [", i, "][", k,
+                      "] is not finite (", bids[i][k], ")");
+            }
+            if (bids[i][k] < 0.0) {
+                panic(where, ": bid [", i, "][", k, "] is negative (",
+                      bids[i][k], ")");
+            }
+        }
+    }
+}
+
+void
+CheckBidBudgets(const Matrix &bids, const std::vector<double> &budgets,
+                double tol, const char *where)
+{
+    if (bids.size() != budgets.size()) {
+        panic(where, ": bid matrix has ", bids.size(),
+              " users but there are ", budgets.size(), " budgets");
+    }
+    for (std::size_t i = 0; i < bids.size(); ++i) {
+        if (!(budgets[i] > 0.0)) {
+            panic(where, ": user ", i, " has non-positive budget ",
+                  budgets[i]);
+        }
+        double spent = 0.0;
+        for (double b : bids[i])
+            spent += b;
+        if (!std::isfinite(spent)) {
+            panic(where, ": user ", i, " has non-finite total spend (",
+                  spent, ")");
+        }
+        const double drift = std::abs(spent - budgets[i]) / budgets[i];
+        if (drift > tol) {
+            panic(where, ": user ", i, " spends ", spent,
+                  " against budget ", budgets[i],
+                  " (relative drift ", drift, " > ", tol, ")");
+        }
+    }
+}
+
+void
+CheckAllocationFeasible(const std::vector<double> &serverLoads,
+                        const std::vector<double> &capacities, double tol,
+                        const char *where)
+{
+    if (serverLoads.size() != capacities.size()) {
+        panic(where, ": ", serverLoads.size(), " server loads against ",
+              capacities.size(), " capacities");
+    }
+    for (std::size_t j = 0; j < serverLoads.size(); ++j) {
+        if (!(capacities[j] > 0.0)) {
+            panic(where, ": server ", j, " has non-positive capacity ",
+                  capacities[j]);
+        }
+        if (!std::isfinite(serverLoads[j])) {
+            panic(where, ": load on server ", j, " is not finite (",
+                  serverLoads[j], ")");
+        }
+        if (serverLoads[j] < 0.0) {
+            panic(where, ": load on server ", j, " is negative (",
+                  serverLoads[j], ")");
+        }
+        const double excess =
+            (serverLoads[j] - capacities[j]) / capacities[j];
+        if (excess > tol) {
+            panic(where, ": server ", j, " overloaded: ",
+                  serverLoads[j], " cores against capacity ",
+                  capacities[j], " (relative excess ", excess, " > ",
+                  tol, ")");
+        }
+    }
+}
+
+} // namespace amdahl::invariants

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Typed invariant checkers for market state.
+ *
+ * Each checker states one contract the Amdahl Bidding fixed point
+ * (paper Eq. 9-10) and the allocation policies rely on:
+ *
+ *  - CheckParallelFraction: Karp-Flatt estimates land in [0, 1].
+ *  - CheckMarketState:      prices are finite and positive, bids are
+ *                           finite and non-negative.
+ *  - CheckBidBudgets:       each user's bids sum to her budget
+ *                           (budget conservation, Eq. 10).
+ *  - CheckAllocationFeasible: per-server load never exceeds capacity
+ *                           (and clears it, within tolerance).
+ *
+ * The checkers are plain functions on vectors so they stay in
+ * `amdahl_common` (no dependency on core market types) and remain
+ * directly callable from tests in every build configuration. Hot-path
+ * call sites wrap them in `if constexpr (checkedBuild)` or the
+ * AMDAHL_ASSERT macros from check.hh so default builds pay nothing.
+ *
+ * All checkers throw PanicError on violation: a bad market state is an
+ * internal bug, never a caller error.
+ */
+
+#ifndef AMDAHL_COMMON_INVARIANTS_HH
+#define AMDAHL_COMMON_INVARIANTS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace amdahl::invariants {
+
+/** Per-user, per-job value matrix (bids or allocations). */
+using Matrix = std::vector<std::vector<double>>;
+
+/**
+ * Check that a parallel fraction is finite and inside [0, 1].
+ *
+ * @param f     The fraction to validate.
+ * @param where Call-site label included in the diagnostic.
+ * @throws PanicError when f is NaN, infinite, or outside [0, 1].
+ */
+void CheckParallelFraction(double f, const char *where);
+
+/**
+ * Check the running state of a market mechanism: every price is finite
+ * and strictly positive (a cleared server with bidders always has
+ * positive price), and every bid is finite and non-negative.
+ *
+ * @param prices p_j per server.
+ * @param bids   b_ij per [user][job].
+ * @param where  Call-site label included in the diagnostic.
+ * @throws PanicError on any non-finite, non-positive price or any
+ *         non-finite, negative bid.
+ */
+void CheckMarketState(const std::vector<double> &prices,
+                      const Matrix &bids, const char *where);
+
+/**
+ * Check budget conservation: user i's bids sum to b_i within a
+ * relative tolerance. The proportional-response update renormalizes
+ * every round, so any drift signals a broken update or aliasing bug.
+ *
+ * @param bids    b_ij per [user][job].
+ * @param budgets b_i per user; must be positive and the same length.
+ * @param tol     Relative tolerance on |sum_k b_ik - b_i| / b_i.
+ * @param where   Call-site label included in the diagnostic.
+ * @throws PanicError on shape mismatch or budget drift beyond tol.
+ */
+void CheckBidBudgets(const Matrix &bids,
+                     const std::vector<double> &budgets, double tol,
+                     const char *where);
+
+/**
+ * Check capacity feasibility: each server's load is finite,
+ * non-negative, and within a relative tolerance of its capacity from
+ * below (loads may fall short — demand caps leave cores idle — but
+ * must never exceed capacity by more than tol).
+ *
+ * @param serverLoads sum_i x_ij per server.
+ * @param capacities  C_j per server; must be positive, same length.
+ * @param tol         Relative tolerance on (load - C_j) / C_j.
+ * @param where       Call-site label included in the diagnostic.
+ * @throws PanicError on shape mismatch, non-finite load, or overload.
+ */
+void CheckAllocationFeasible(const std::vector<double> &serverLoads,
+                             const std::vector<double> &capacities,
+                             double tol, const char *where);
+
+} // namespace amdahl::invariants
+
+#endif // AMDAHL_COMMON_INVARIANTS_HH

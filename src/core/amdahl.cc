@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace amdahl::core {
@@ -26,6 +27,7 @@ amdahlSpeedup(double f, double x)
     const double denom = f + (1.0 - f) * x;
     if (denom == 0.0)
         return 0.0; // f == 0, x == 0.
+    AMDAHL_CHECK_FINITE(x / denom);
     return x / denom;
 }
 
@@ -36,8 +38,11 @@ amdahlSpeedupDerivative(double f, double x)
     if (x < 0.0)
         fatal("core allocation must be non-negative, got ", x);
     const double denom = f + (1.0 - f) * x;
-    if (denom == 0.0)
-        fatal("speedup derivative undefined at f == 0, x == 0");
+    if (denom == 0.0) {
+        // f == 0, x == 0: a serial workload's speedup is the constant
+        // 1, so its derivative extends continuously to 0.
+        return 0.0;
+    }
     return f / (denom * denom);
 }
 
@@ -55,8 +60,16 @@ karpFlatt(double speedup, double x)
 {
     if (speedup <= 0.0)
         fatal("speedup must be positive, got ", speedup);
-    if (x <= 1.0)
-        fatal("Karp-Flatt needs more than one core, got ", x);
+    if (x < 1.0)
+        fatal("Karp-Flatt needs at least one core, got ", x);
+    if (x == 1.0) {
+        // The metric is 0/0 at a single core: no parallelism is
+        // observable. Return the clamped one-sided limit instead of
+        // dividing by zero — fully serial when no speedup was
+        // measured, fully parallel for (nonsensical) superlinear
+        // single-core speedups.
+        return speedup > 1.0 ? 1.0 : 0.0;
+    }
     return (1.0 - 1.0 / speedup) / (1.0 - 1.0 / x);
 }
 
@@ -73,6 +86,7 @@ coresForSpeedup(double f, double target)
               amdahlSpeedupLimit(f));
     }
     // Solve s = x / (f + (1-f) x) for x: x = s f / (1 - s (1-f)).
+    AMDAHL_CHECK_FINITE(target * f / (1.0 - target * (1.0 - f)));
     return target * f / (1.0 - target * (1.0 - f));
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.hh"
+#include "common/invariants.hh"
 #include "common/logging.hh"
 #include "core/amdahl.hh"
 
@@ -61,8 +63,13 @@ updateUserBids(const MarketUser &user, const std::vector<double> &prices,
         std::fill(bids.begin(), bids.end(), even);
         return;
     }
-    for (double &b : bids)
+    AMDAHL_CHECK_FINITE(total);
+    for (double &b : bids) {
         b = user.budget * b / total;
+        AMDAHL_CHECK_FINITE(b);
+        AMDAHL_ASSERT(b >= 0.0, "proportional update produced a ",
+                      "negative bid for user '", user.name, "'");
+    }
 }
 
 BiddingResult
@@ -155,6 +162,20 @@ solveAmdahlBidding(const FisherMarket &market, const BiddingOptions &opts)
         }
 
         computePrices(market, result.bids, new_prices);
+
+        // Contract: after every proportional-response round, prices
+        // stay positive and finite, bids stay non-negative, and each
+        // user's bids still sum to her budget (paper Eq. 10).
+        if constexpr (checkedBuild) {
+            invariants::CheckMarketState(new_prices, result.bids,
+                                         "bidding round");
+            std::vector<double> budgets(n);
+            for (std::size_t i = 0; i < n; ++i)
+                budgets[i] = market.user(i).budget;
+            invariants::CheckBidBudgets(result.bids, budgets, 1e-9,
+                                        "bidding round");
+        }
+
         double max_delta = 0.0;
         for (std::size_t j = 0; j < m; ++j) {
             const double base = std::max(result.prices[j], 1e-300);
@@ -183,6 +204,19 @@ solveAmdahlBidding(const FisherMarket &market, const BiddingOptions &opts)
                    jobs[k].server);
             result.allocation[i][k] = result.bids[i][k] / p;
         }
+    }
+
+    // Contract: x = b / p clears every server exactly up to rounding,
+    // and never over-subscribes capacity.
+    if constexpr (checkedBuild) {
+        std::vector<double> loads(m, 0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto &jobs = market.user(i).jobs;
+            for (std::size_t k = 0; k < jobs.size(); ++k)
+                loads[jobs[k].server] += result.allocation[i][k];
+        }
+        invariants::CheckAllocationFeasible(loads, market.capacities(),
+                                            1e-6, "bidding allocation");
     }
     return result;
 }

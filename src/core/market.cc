@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.hh"
+#include "common/invariants.hh"
 #include "common/logging.hh"
 #include "core/amdahl.hh"
 #include "solver/water_filling.hh"
@@ -166,11 +168,20 @@ verifyEquilibrium(const FisherMarket &market, const MarketOutcome &outcome)
 
     EquilibriumCheck check;
 
+    // Contract: an outcome under verification has positive, finite
+    // prices and non-negative, finite bids — otherwise the residuals
+    // below are meaningless.
+    if constexpr (checkedBuild) {
+        invariants::CheckMarketState(outcome.prices, outcome.bids,
+                                     "verifyEquilibrium");
+    }
+
     // Condition 1: every server clears.
     for (std::size_t j = 0; j < market.serverCount(); ++j) {
         const double load = outcome.serverLoad(market, j);
         const double residual =
             std::abs(load - market.capacity(j)) / market.capacity(j);
+        AMDAHL_CHECK_FINITE(residual);
         check.maxClearingResidual =
             std::max(check.maxClearingResidual, residual);
     }
@@ -203,6 +214,7 @@ verifyEquilibrium(const FisherMarket &market, const MarketOutcome &outcome)
         }
         if (best.utility > 0.0) {
             const double gap = (best.utility - actual) / best.utility;
+            AMDAHL_CHECK_FINITE(gap);
             check.maxOptimalityGap =
                 std::max(check.maxOptimalityGap, gap);
         }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace amdahl::core {
@@ -50,6 +51,19 @@ hamiltonRound(const std::vector<double> &fractional, int capacity)
     for (std::size_t k = 0; k < order.size() && excess > 0; ++k) {
         ++rounded[order[k]];
         --excess;
+    }
+    // Contract: Hamilton rounding never over-grants the server and
+    // never takes a core away that the floor already granted.
+    if constexpr (checkedBuild) {
+        long long sum = 0;
+        for (int r : rounded) {
+            AMDAHL_ASSERT(r >= 0, "negative rounded grant ", r);
+            sum += r;
+        }
+        AMDAHL_ASSERT(sum <= capacity, "rounded grants sum to ", sum,
+                      " over capacity ", capacity);
+        AMDAHL_ASSERT(sum >= granted, "rounding dropped cores: ", sum,
+                      " granted after ", granted, " floors");
     }
     return rounded;
 }

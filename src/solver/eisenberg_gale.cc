@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "common/check.hh"
+#include "common/invariants.hh"
 #include "common/logging.hh"
 
 namespace amdahl::solver {
@@ -44,8 +46,25 @@ projectOntoSimplex(const std::vector<double> &v, double total,
     }
 
     std::vector<double> result(n);
-    for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t k = 0; k < n; ++k) {
         result[k] = std::max(0.0, shifted[k] - theta) + floor;
+        AMDAHL_CHECK_FINITE(result[k]);
+    }
+    // Contract: the projection lands on the simplex — coordinates at
+    // or above the floor, summing to the requested total.
+    if constexpr (checkedBuild) {
+        double sum = 0.0;
+        for (double r : result) {
+            AMDAHL_ASSERT(r >= floor - 1e-12 * std::abs(total),
+                          "projected coordinate ", r,
+                          " fell below the simplex floor ", floor);
+            sum += r;
+        }
+        AMDAHL_ASSERT(std::abs(sum - total) <=
+                          1e-9 * std::max(1.0, std::abs(total)),
+                      "simplex projection sums to ", sum,
+                      " instead of ", total);
+    }
     return result;
 }
 
@@ -167,6 +186,20 @@ solveEisenbergGale(const std::vector<double> &capacities,
         }
     }
     result.objective = phi;
+    AMDAHL_CHECK_FINITE(result.objective);
+
+    // Contract: the ascent never leaves the feasible polytope — every
+    // server's allocation clears its capacity (the per-server simplex
+    // projection re-imposes this each step).
+    if constexpr (checkedBuild) {
+        std::vector<double> loads(m, 0.0);
+        for (std::size_t i = 0; i < users.size(); ++i) {
+            for (std::size_t k = 0; k < users[i].servers.size(); ++k)
+                loads[users[i].servers[k]] += result.allocation[i][k];
+        }
+        invariants::CheckAllocationFeasible(
+            loads, capacities, 1e-6, "eisenberg-gale allocation");
+    }
 
     // Recover prices as the duals: p_j = b_i u_i'/u_i for interior
     // coordinates, averaged across the server's interior jobs.

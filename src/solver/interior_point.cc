@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace amdahl::solver {
@@ -78,6 +79,7 @@ maximizeOnSimplex(const SeparableConcave &objective, double budget,
             }
             if (decrement < 0.0)
                 decrement = 0.0;
+            AMDAHL_CHECK_FINITE(decrement);
             if (decrement * 0.5 <= opts.newtonTolerance)
                 break;
 
@@ -109,6 +111,19 @@ maximizeOnSimplex(const SeparableConcave &objective, double budget,
                     b = std::move(trial);
                     slack = trial_slack;
                     moved = true;
+                    // Contract: the damped step keeps the iterate
+                    // strictly inside the barrier's domain.
+                    if constexpr (checkedBuild) {
+                        AMDAHL_ASSERT(slack > 0.0,
+                                      "line search left the simplex ",
+                                      "interior (slack ", slack, ")");
+                        for (double bj : b) {
+                            AMDAHL_ASSERT(bj > 0.0,
+                                          "barrier iterate left the ",
+                                          "positive orthant (", bj,
+                                          ")");
+                        }
+                    }
                     break;
                 }
                 alpha *= shrink;

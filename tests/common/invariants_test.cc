@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for the market-invariant contract layer: every checker
+ * accepts clean states, rejects each violation class with PanicError
+ * (a contract break is a library bug, never a caller error), and the
+ * check.hh macros behave per build configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.hh"
+#include "common/invariants.hh"
+#include "common/logging.hh"
+
+namespace amdahl::invariants {
+namespace {
+
+constexpr double nan_v = std::numeric_limits<double>::quiet_NaN();
+constexpr double inf_v = std::numeric_limits<double>::infinity();
+
+TEST(CheckParallelFraction, AcceptsTheClosedUnitInterval)
+{
+    EXPECT_NO_THROW(CheckParallelFraction(0.0, "test"));
+    EXPECT_NO_THROW(CheckParallelFraction(0.5, "test"));
+    EXPECT_NO_THROW(CheckParallelFraction(1.0, "test"));
+}
+
+TEST(CheckParallelFraction, RejectsOutOfRangeAndNonFinite)
+{
+    EXPECT_THROW(CheckParallelFraction(-0.01, "test"), PanicError);
+    EXPECT_THROW(CheckParallelFraction(1.01, "test"), PanicError);
+    EXPECT_THROW(CheckParallelFraction(nan_v, "test"), PanicError);
+    EXPECT_THROW(CheckParallelFraction(inf_v, "test"), PanicError);
+    EXPECT_THROW(CheckParallelFraction(-inf_v, "test"), PanicError);
+}
+
+TEST(CheckMarketState, AcceptsPositivePricesAndNonNegativeBids)
+{
+    EXPECT_NO_THROW(CheckMarketState({1.0, 0.25},
+                                     {{0.5, 0.0}, {0.25, 2.0}},
+                                     "test"));
+    // Empty bid matrix is fine (prices can be audited standalone).
+    EXPECT_NO_THROW(CheckMarketState({2.0}, {}, "test"));
+}
+
+TEST(CheckMarketState, RejectsBadPrices)
+{
+    EXPECT_THROW(CheckMarketState({0.0}, {}, "test"), PanicError);
+    EXPECT_THROW(CheckMarketState({-1.0}, {}, "test"), PanicError);
+    EXPECT_THROW(CheckMarketState({nan_v}, {}, "test"), PanicError);
+    EXPECT_THROW(CheckMarketState({inf_v}, {}, "test"), PanicError);
+    EXPECT_THROW(CheckMarketState({1.0, 0.0}, {}, "test"), PanicError);
+}
+
+TEST(CheckMarketState, RejectsBadBids)
+{
+    EXPECT_THROW(CheckMarketState({1.0}, {{-0.1}}, "test"), PanicError);
+    EXPECT_THROW(CheckMarketState({1.0}, {{nan_v}}, "test"),
+                 PanicError);
+    EXPECT_THROW(CheckMarketState({1.0}, {{0.5}, {inf_v}}, "test"),
+                 PanicError);
+}
+
+TEST(CheckBidBudgets, AcceptsConservedBudgets)
+{
+    EXPECT_NO_THROW(CheckBidBudgets({{0.6, 0.4}, {2.0}}, {1.0, 2.0},
+                                    1e-9, "test"));
+    // Drift inside tolerance passes.
+    EXPECT_NO_THROW(CheckBidBudgets({{1.0 + 1e-12}}, {1.0}, 1e-9,
+                                    "test"));
+}
+
+TEST(CheckBidBudgets, RejectsDriftAndShapeMismatch)
+{
+    // Over- and under-spending beyond tolerance.
+    EXPECT_THROW(CheckBidBudgets({{0.5, 0.4}}, {1.0}, 1e-9, "test"),
+                 PanicError);
+    EXPECT_THROW(CheckBidBudgets({{1.1}}, {1.0}, 1e-9, "test"),
+                 PanicError);
+    // User count mismatch.
+    EXPECT_THROW(CheckBidBudgets({{1.0}}, {1.0, 2.0}, 1e-9, "test"),
+                 PanicError);
+    // Non-positive budget and non-finite spend.
+    EXPECT_THROW(CheckBidBudgets({{0.0}}, {0.0}, 1e-9, "test"),
+                 PanicError);
+    EXPECT_THROW(CheckBidBudgets({{nan_v}}, {1.0}, 1e-9, "test"),
+                 PanicError);
+}
+
+TEST(CheckAllocationFeasible, AcceptsLoadsWithinCapacity)
+{
+    EXPECT_NO_THROW(CheckAllocationFeasible({24.0, 12.0}, {24.0, 24.0},
+                                            1e-9, "test"));
+    // Exactly clearing with tolerance-level excess passes.
+    EXPECT_NO_THROW(CheckAllocationFeasible({24.0 + 1e-9}, {24.0},
+                                            1e-6, "test"));
+    EXPECT_NO_THROW(CheckAllocationFeasible({0.0}, {24.0}, 1e-9,
+                                            "test"));
+}
+
+TEST(CheckAllocationFeasible, RejectsOverloadAndBadShapes)
+{
+    EXPECT_THROW(CheckAllocationFeasible({25.0}, {24.0}, 1e-6, "test"),
+                 PanicError);
+    EXPECT_THROW(CheckAllocationFeasible({1.0, 1.0}, {24.0}, 1e-6,
+                                         "test"),
+                 PanicError);
+    EXPECT_THROW(CheckAllocationFeasible({-0.5}, {24.0}, 1e-6, "test"),
+                 PanicError);
+    EXPECT_THROW(CheckAllocationFeasible({nan_v}, {24.0}, 1e-6,
+                                         "test"),
+                 PanicError);
+    EXPECT_THROW(CheckAllocationFeasible({1.0}, {0.0}, 1e-6, "test"),
+                 PanicError);
+}
+
+TEST(CheckMacros, MatchBuildConfiguration)
+{
+    // checkedBuild mirrors the AMDAHL_CHECKED compile definition; the
+    // macros fire only in checked builds and are inert (but still
+    // type-checked and side-effect free) otherwise.
+    int evaluations = 0;
+    auto count = [&evaluations]() {
+        ++evaluations;
+        return true;
+    };
+    AMDAHL_ASSERT(count(), "must never fire on a true condition");
+    if constexpr (checkedBuild) {
+        EXPECT_EQ(evaluations, 1);
+        EXPECT_THROW(AMDAHL_ASSERT(1 == 2, "fires"), PanicError);
+        EXPECT_THROW(AMDAHL_CHECK_FINITE(nan_v), PanicError);
+        EXPECT_THROW(AMDAHL_CHECK_FINITE(inf_v), PanicError);
+        EXPECT_NO_THROW(AMDAHL_CHECK_FINITE(1.0));
+    } else {
+        // Unevaluated: the condition's side effects never run.
+        EXPECT_EQ(evaluations, 0);
+        EXPECT_NO_THROW(AMDAHL_ASSERT(1 == 2, "inert"));
+        EXPECT_NO_THROW(AMDAHL_CHECK_FINITE(nan_v));
+    }
+}
+
+} // namespace
+} // namespace amdahl::invariants

@@ -85,6 +85,20 @@ TEST(Amdahl, DerivativeMatchesFiniteDifference)
     }
 }
 
+TEST(Amdahl, DomainEdgesAreWellDefined)
+{
+    // x = 0 and f = 1 corners must produce finite, meaningful values,
+    // never inf/NaN: zero cores run nothing, a fully parallel job
+    // scales linearly, and a serial job's speedup is constant 1 with
+    // derivative 0 everywhere (including the 0/0 corner at x = 0).
+    EXPECT_DOUBLE_EQ(amdahlSpeedup(1.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(amdahlSpeedup(0.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(amdahlSpeedup(1.0, 7.0), 7.0);
+    EXPECT_DOUBLE_EQ(amdahlSpeedupDerivative(0.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(amdahlSpeedupDerivative(0.0, 4.0), 0.0);
+    EXPECT_DOUBLE_EQ(amdahlSpeedupDerivative(1.0, 0.0), 1.0);
+}
+
 TEST(Amdahl, DerivativeShowsDiminishingReturns)
 {
     double prev = amdahlSpeedupDerivative(0.9, 0.0);
@@ -143,7 +157,18 @@ TEST(KarpFlatt, ValidatesInputs)
 {
     EXPECT_THROW(karpFlatt(0.0, 4.0), FatalError);
     EXPECT_THROW(karpFlatt(-1.0, 4.0), FatalError);
-    EXPECT_THROW(karpFlatt(2.0, 1.0), FatalError);
+    EXPECT_THROW(karpFlatt(2.0, 0.5), FatalError);
+}
+
+TEST(KarpFlatt, SingleCoreIsWellDefined)
+{
+    // F is 0/0 at x = 1; the implementation returns the clamped limit
+    // instead of inf/NaN: no measurable speedup means fully serial,
+    // superlinear single-core "speedup" clamps to fully parallel.
+    EXPECT_DOUBLE_EQ(karpFlatt(1.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(karpFlatt(0.5, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(karpFlatt(2.0, 1.0), 1.0);
+    EXPECT_TRUE(std::isfinite(karpFlatt(1.0, 1.0)));
 }
 
 TEST(CoresForSpeedup, InvertsTheLaw)

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Run the repo clang-tidy gate over the full first-party source tree.
+#
+# Usage: tools/run_clang_tidy.sh [build-dir]
+#
+#   build-dir  Directory holding compile_commands.json (default: build).
+#              Configured automatically when missing.
+#
+# Exit status: 0 when every translation unit is clean (or when
+# clang-tidy is not installed — the gate is advisory on machines
+# without it and enforced in CI); non-zero on any finding, because
+# .clang-tidy promotes all warnings to errors.
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+find_clang_tidy() {
+    local candidate
+    for candidate in clang-tidy clang-tidy-{20,19,18,17,16,15,14}; do
+        if command -v "$candidate" > /dev/null 2>&1; then
+            echo "$candidate"
+            return 0
+        fi
+    done
+    return 1
+}
+
+if ! tidy=$(find_clang_tidy); then
+    echo "run_clang_tidy: clang-tidy not found on PATH; skipping gate" >&2
+    echo "run_clang_tidy: install clang-tidy (>= 14) to run it locally" >&2
+    exit 0
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+    echo "run_clang_tidy: configuring $build_dir for a compilation database"
+    cmake -S "$repo_root" -B "$build_dir" \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+fi
+
+# Every first-party translation unit under src/; tests and benches are
+# linted by compiler warnings only (gtest/benchmark macros are noisy
+# under several bugprone checks).
+mapfile -t sources < <(find "$repo_root/src" -name '*.cc' | sort)
+if [ "${#sources[@]}" -eq 0 ]; then
+    echo "run_clang_tidy: no sources found under src/" >&2
+    exit 1
+fi
+
+echo "run_clang_tidy: $tidy over ${#sources[@]} files ($build_dir)"
+status=0
+jobs=$(nproc 2> /dev/null || echo 4)
+printf '%s\n' "${sources[@]}" |
+    xargs -P "$jobs" -n 4 "$tidy" -p "$build_dir" --quiet || status=$?
+
+if [ "$status" -ne 0 ]; then
+    echo "run_clang_tidy: FAILED — fix the findings or, for a" >&2
+    echo "third-party false positive, add a NOLINT with a reason." >&2
+    exit "$status"
+fi
+echo "run_clang_tidy: clean"
