@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Ablation: server churn and degraded-mode operation.
+ *
+ * Sweeps the per-server crash rate and the outage length for the
+ * online market running with the fallback ladder enabled, against the
+ * zero-churn baseline on the identical arrival stream. Reports
+ * throughput and latency degradation plus the resilience accounting:
+ * crashes, re-placements, rolled-back work, fallback epochs, and both
+ * fairness views (entitlement against full vs live capacity).
+ */
+
+#include <iostream>
+
+#include "alloc/fallback_policy.hh"
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "eval/online.hh"
+
+int
+main()
+{
+    using namespace amdahl;
+    bench::printHeader(
+        "Ablation: server churn",
+        "One hour of epoch-cleared operation (8 servers) under a "
+        "deterministic crash schedule; fallback ladder enabled");
+
+    eval::CharacterizationCache cache;
+
+    TablePrinter table;
+    table.addColumn("Crash rate");
+    table.addColumn("Down epochs");
+    table.addColumn("crashes");
+    table.addColumn("replaced");
+    table.addColumn("completed");
+    table.addColumn("mean compl (min)");
+    table.addColumn("p95 compl (min)");
+    table.addColumn("work lost (1-core min)");
+    table.addColumn("fallback d/p");
+    table.addColumn("MAPE %");
+    table.addColumn("avail MAPE %");
+
+    // A tight primary iteration cap plus heavy message loss makes the
+    // degraded modes actually fire; checkpoints every 4 epochs leave
+    // rollback work for crashes to take.
+    core::BiddingOptions primary;
+    primary.maxIterations = 600;
+    alloc::FallbackOptions ladder;
+    ladder.retryMaxIterations = 4000;
+    const alloc::FallbackPolicy policy(primary, ladder);
+    for (double rate : {0.0, 0.02, 0.05, 0.10}) {
+        for (int down : {1, 4}) {
+            if (rate == 0.0 && down != 1)
+                continue; // the fault-free baseline needs one row
+            eval::OnlineOptions opts;
+            opts.servers = 8;
+            opts.users = 16;
+            opts.arrivalsPerServerEpoch = 2.0;
+            opts.workScaleMin = 0.5;
+            opts.workScaleMax = 2.5;
+            opts.faults.enabled = rate > 0.0;
+            opts.faults.crashRatePerServerEpoch = rate;
+            opts.faults.downEpochs = down;
+            opts.faults.checkpointEpochs = 4;
+            opts.faults.bidLossRate = rate > 0.0 ? 0.25 : 0.0;
+            eval::OnlineSimulator sim(cache, opts);
+            const auto m =
+                sim.run(policy, eval::FractionSource::Estimated);
+            table.beginRow()
+                .cell(formatDouble(100.0 * rate, 0) + "%")
+                .cell(down)
+                .cell(m.crashEvents)
+                .cell(m.replacements)
+                .cell(m.jobsCompleted)
+                .cell(m.meanCompletionSeconds / 60.0, 1)
+                .cell(m.p95CompletionSeconds / 60.0, 1)
+                .cell(m.workLostSeconds / 60.0, 1)
+                .cell(std::to_string(m.fallbackEpochsDamped) + "/" +
+                      std::to_string(m.fallbackEpochsProportional))
+                .cell(m.longRunEntitlementMape, 1)
+                .cell(m.availabilityWeightedEntitlementMape, 1);
+        }
+    }
+    bench::emitTable(table, "churn");
+    bench::emitJson(table, "churn");
+
+    std::cout
+        << "\nChurn costs capacity, not correctness: every epoch "
+           "still clears over the live servers, crashed servers' jobs "
+           "roll back to their last checkpoint and re-enter through "
+           "the regular placement path, and the damped/proportional "
+           "fallback ladder absorbs the epochs where lossy bidding "
+           "fails to settle. Entitlement tracking against *live* "
+           "capacity stays close to the fault-free baseline even when "
+           "tracking against nameplate capacity drifts.\n";
+    return 0;
+}

@@ -67,6 +67,7 @@ main()
     }
     std::cout << "(a) profiling under failures\n";
     bench::emitTable(table, "failures_profiling");
+    bench::emitJson(table, "failures_profiling");
 
     // (b) allocation drift: characterize under failures, re-run the
     // market, compare against the failure-free equilibrium.
@@ -122,6 +123,7 @@ main()
     }
     std::cout << "\n(b) market allocation drift\n";
     bench::emitTable(drift, "failures_drift");
+    bench::emitJson(drift, "failures_drift");
 
     std::cout << "\nBulk retries land in the task waves, inflating "
                  "the parallel phase at every core count: measured "

@@ -74,6 +74,30 @@ emitTable(const TablePrinter &table, const std::string &name)
     }
 }
 
+/**
+ * Dump a result table as machine-readable JSON: one `[json:<name>]`
+ * marker line on stdout followed by the document, and, when
+ * AMDAHL_BENCH_JSON_DIR is set, also <dir>/<name>.json for harnesses
+ * that collect artifacts from a directory.
+ */
+inline void
+emitJson(const TablePrinter &table, const std::string &name)
+{
+    std::cout << "[json:" << name << "]\n";
+    table.writeJson(std::cout);
+    if (const char *dir = std::getenv("AMDAHL_BENCH_JSON_DIR")) {
+        const std::string path =
+            std::string(dir) + "/" + name + ".json";
+        std::ofstream out(path);
+        if (out) {
+            table.writeJson(out);
+            std::cerr << "wrote " << path << "\n";
+        } else {
+            std::cerr << "could not open " << path << "\n";
+        }
+    }
+}
+
 } // namespace amdahl::bench
 
 #endif // AMDAHL_BENCH_BENCH_UTIL_HH

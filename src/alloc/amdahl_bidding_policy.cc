@@ -17,4 +17,21 @@ AmdahlBiddingPolicy::allocate(const core::FisherMarket &market) const
     return result;
 }
 
+AllocationResult
+AmdahlBiddingPolicy::allocate(
+    const core::FisherMarket &market,
+    const core::BidTransportFaults &faults) const
+{
+    core::BiddingOptions faulty = opts;
+    faulty.transport = faults;
+
+    AllocationResult result;
+    result.policyName = name();
+    result.outcome = core::solveAmdahlBidding(market, faulty);
+    result.cores = core::roundOutcome(market, result.outcome);
+    if constexpr (checkedBuild)
+        auditAllocation(market, result);
+    return result;
+}
+
 } // namespace amdahl::alloc

@@ -29,6 +29,12 @@ class AmdahlBiddingPolicy : public AllocationPolicy
     AllocationResult allocate(
         const core::FisherMarket &market) const override;
 
+    /** Same procedure with this clearing's transport faults merged
+     *  into the bidding options. */
+    AllocationResult allocate(
+        const core::FisherMarket &market,
+        const core::BidTransportFaults &faults) const override;
+
   private:
     core::BiddingOptions opts;
 };

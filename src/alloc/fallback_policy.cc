@@ -1,0 +1,90 @@
+#include "fallback_policy.hh"
+
+#include <algorithm>
+
+#include "alloc/proportional_share.hh"
+#include "common/check.hh"
+#include "common/logging.hh"
+#include "core/rounding.hh"
+
+namespace amdahl::alloc {
+
+FallbackPolicy::FallbackPolicy(core::BiddingOptions primary_opts,
+                               FallbackOptions fallback)
+    : primary(std::move(primary_opts)), fb(fallback)
+{
+    if (fb.retryDampingFactor <= 0.0 || fb.retryDampingFactor >= 1.0)
+        fatal("retry damping factor must be in (0, 1), got ",
+              fb.retryDampingFactor);
+    if (fb.retryMaxIterations < 0)
+        fatal("retry iteration budget must be non-negative");
+}
+
+AllocationResult
+FallbackPolicy::allocate(const core::FisherMarket &market) const
+{
+    return ladder(market, core::BidTransportFaults{});
+}
+
+AllocationResult
+FallbackPolicy::allocate(const core::FisherMarket &market,
+                         const core::BidTransportFaults &faults) const
+{
+    return ladder(market, faults);
+}
+
+AllocationResult
+FallbackPolicy::ladder(const core::FisherMarket &market,
+                       const core::BidTransportFaults &faults) const
+{
+    core::BiddingOptions opts = primary;
+    opts.transport = faults;
+
+    AllocationResult result;
+    result.policyName = name();
+
+    // Rung 1: the configured procedure.
+    auto attempt = core::solveAmdahlBidding(market, opts);
+    if (attempt.converged || !fb.enabled) {
+        result.outcome = std::move(attempt);
+        result.cores = core::roundOutcome(market, result.outcome);
+        if constexpr (checkedBuild)
+            auditAllocation(market, result);
+        return result;
+    }
+
+    // Rung 2: damped, warm-started retry. The faulty transport stays
+    // in effect — the retry runs over the same degraded network.
+    core::BiddingOptions retry = opts;
+    retry.damping =
+        std::max(1e-3, opts.damping * fb.retryDampingFactor);
+    retry.initialBids = attempt.bids;
+    if (fb.retryMaxIterations > 0)
+        retry.maxIterations = fb.retryMaxIterations;
+    const int primary_iterations = attempt.iterations;
+    auto retried = core::solveAmdahlBidding(market, retry);
+    retried.iterations += primary_iterations;
+    if (retried.converged) {
+        result.outcome = std::move(retried);
+        result.cores = core::roundOutcome(market, result.outcome);
+        result.mode = ServeMode::DampedRetry;
+        if constexpr (checkedBuild)
+            auditAllocation(market, result);
+        return result;
+    }
+
+    // Rung 3: proportional share by entitlement — always feasible and
+    // budget-respecting, never efficient. converged stays false: this
+    // epoch was *served*, not solved.
+    const ProportionalShare entitlement;
+    result = entitlement.allocate(market);
+    result.policyName = name();
+    result.mode = ServeMode::ProportionalFallback;
+    result.outcome.iterations = retried.iterations;
+    result.outcome.converged = false;
+    if constexpr (checkedBuild)
+        auditAllocation(market, result);
+    return result;
+}
+
+} // namespace amdahl::alloc

@@ -22,8 +22,8 @@ toString(PlacementRule rule)
 }
 
 JobPlacer::JobPlacer(PlacementRule rule, std::size_t servers)
-    : rule_(rule), loads(servers, 0), prices_(servers, 0.0),
-      sinceUpdate(servers, 0)
+    : rule_(rule), loads(servers, 0), live_(servers, 1),
+      prices_(servers, 0.0), sinceUpdate(servers, 0)
 {
     if (servers == 0)
         fatal("placer needs at least one server");
@@ -32,15 +32,23 @@ JobPlacer::JobPlacer(PlacementRule rule, std::size_t servers)
 std::size_t
 JobPlacer::place()
 {
+    if (!anyLive())
+        fatal("no live server to place on");
+    // First live server: the deterministic tie-break fallback for the
+    // stateful rules below.
     std::size_t choice = 0;
+    while (!live_[choice])
+        ++choice;
     switch (rule_) {
       case PlacementRule::RoundRobin:
+        while (!live_[nextRoundRobin])
+            nextRoundRobin = (nextRoundRobin + 1) % loads.size();
         choice = nextRoundRobin;
         nextRoundRobin = (nextRoundRobin + 1) % loads.size();
         break;
       case PlacementRule::LeastLoaded:
-        for (std::size_t j = 1; j < loads.size(); ++j) {
-            if (loads[j] < loads[choice])
+        for (std::size_t j = choice + 1; j < loads.size(); ++j) {
+            if (live_[j] && loads[j] < loads[choice])
                 choice = j;
         }
         break;
@@ -52,8 +60,8 @@ JobPlacer::place()
             return prices_[j] * (1.0 + sinceUpdate[j]) +
                    1e-9 * sinceUpdate[j];
         };
-        for (std::size_t j = 1; j < prices_.size(); ++j) {
-            if (effective(j) < effective(choice))
+        for (std::size_t j = choice + 1; j < prices_.size(); ++j) {
+            if (live_[j] && effective(j) < effective(choice))
                 choice = j;
         }
         ++sinceUpdate[choice];
@@ -72,6 +80,29 @@ JobPlacer::jobFinished(std::size_t server)
     if (loads[server] <= 0)
         panic("job finished on server ", server, " with no jobs");
     --loads[server];
+}
+
+void
+JobPlacer::setServerLive(std::size_t server, bool live)
+{
+    if (server >= live_.size())
+        fatal("server index ", server, " out of range");
+    live_[server] = live ? 1 : 0;
+}
+
+bool
+JobPlacer::serverLive(std::size_t server) const
+{
+    if (server >= live_.size())
+        fatal("server index ", server, " out of range");
+    return live_[server] != 0;
+}
+
+bool
+JobPlacer::anyLive() const
+{
+    return std::any_of(live_.begin(), live_.end(),
+                       [](char up) { return up != 0; });
 }
 
 void

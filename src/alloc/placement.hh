@@ -55,11 +55,28 @@ class JobPlacer
     /**
      * Choose a server for an arriving job and record the placement.
      * Ties break toward the lowest server index (deterministic).
+     * Only live servers are considered (all servers start live).
+     *
+     * @throws FatalError when no server is live; check anyLive()
+     *         first when churn can empty the cluster.
      */
     std::size_t place();
 
     /** Record that a job on @p server finished (frees its slot). */
     void jobFinished(std::size_t server);
+
+    /**
+     * Mark a server live or dead for placement. Crashed servers stop
+     * receiving arrivals and re-placements until they recover; their
+     * load and price state is retained across the outage.
+     */
+    void setServerLive(std::size_t server, bool live);
+
+    /** @return true when @p server currently accepts placements. */
+    bool serverLive(std::size_t server) const;
+
+    /** @return true when at least one server accepts placements. */
+    bool anyLive() const;
 
     /**
      * Feed the latest equilibrium prices (PriceAware only; ignored by
@@ -77,6 +94,7 @@ class JobPlacer
   private:
     PlacementRule rule_;
     std::vector<int> loads;
+    std::vector<char> live_;
     std::vector<double> prices_;
     /** Placements since the last price update: prices are stale
      *  within an epoch, so each placement inflates its server's

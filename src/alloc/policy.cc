@@ -5,6 +5,20 @@
 
 namespace amdahl::alloc {
 
+const char *
+toString(ServeMode mode)
+{
+    switch (mode) {
+      case ServeMode::Primary:
+        return "primary";
+      case ServeMode::DampedRetry:
+        return "damped-retry";
+      case ServeMode::ProportionalFallback:
+        return "proportional-fallback";
+    }
+    panic("unknown serve mode");
+}
+
 int
 AllocationResult::userCores(std::size_t i) const
 {

@@ -17,7 +17,25 @@
 
 #include "core/market.hh"
 
+namespace amdahl::core {
+struct BidTransportFaults; // core/bidding.hh
+}
+
 namespace amdahl::alloc {
+
+/**
+ * Which rung of the degraded-mode ladder produced an allocation
+ * (alloc/fallback_policy.hh). Ordinary policies always serve Primary.
+ */
+enum class ServeMode
+{
+    Primary,             //!< The configured mechanism converged.
+    DampedRetry,         //!< Damped, warm-started retry converged.
+    ProportionalFallback //!< Served proportional share by entitlement.
+};
+
+/** @return Short label for a serve mode. */
+const char *toString(ServeMode mode);
 
 /** Outcome of running a policy on a market. */
 struct AllocationResult
@@ -32,6 +50,10 @@ struct AllocationResult
      * prices/bids populated by market mechanisms only.
      */
     core::MarketOutcome outcome;
+
+    /** Degraded-mode bookkeeping: which ladder rung served this
+     *  allocation (Primary for every non-fallback policy). */
+    ServeMode mode = ServeMode::Primary;
 
     /** @return Total integral cores held by user i. */
     int userCores(std::size_t i) const;
@@ -54,6 +76,25 @@ class AllocationPolicy
      */
     virtual AllocationResult allocate(
         const core::FisherMarket &market) const = 0;
+
+    /**
+     * Allocate under per-clearing bid-transport faults.
+     *
+     * The online runtime calls this variant so a fault schedule can
+     * degrade the distributed bidding procedure epoch by epoch.
+     * Market mechanisms override it; the default ignores the faults —
+     * centralized policies have no bid messages to lose.
+     *
+     * @param market The problem; validated by implementations.
+     * @param faults This clearing's transport-fault realization.
+     */
+    virtual AllocationResult allocate(
+        const core::FisherMarket &market,
+        const core::BidTransportFaults &faults) const
+    {
+        (void)faults;
+        return allocate(market);
+    }
 };
 
 /**

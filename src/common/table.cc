@@ -1,6 +1,7 @@
 #include "table.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -172,6 +173,68 @@ TablePrinter::writeCsv(std::ostream &os) const
     CsvWriter csv(os, headers);
     for (const auto &row : rows)
         csv.writeRow(row);
+}
+
+namespace {
+
+/** JSON string literal: quotes, backslashes, and control bytes. */
+std::string
+jsonEscape(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size() + 2);
+    out += '"';
+    for (char ch : value) {
+        switch (ch) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(ch)));
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void
+TablePrinter::writeJson(std::ostream &os) const
+{
+    finishPendingRow();
+    os << "[";
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        os << (r > 0 ? ",\n " : "\n ") << "{";
+        for (std::size_t c = 0; c < headers.size(); ++c) {
+            if (c > 0)
+                os << ", ";
+            os << jsonEscape(headers[c]) << ": "
+               << jsonEscape(rows[r][c]);
+        }
+        os << "}";
+    }
+    os << (rows.empty() ? "]" : "\n]") << "\n";
 }
 
 std::string

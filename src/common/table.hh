@@ -78,6 +78,13 @@ class TablePrinter
     /** Write the table as CSV (header + rows). */
     void writeCsv(std::ostream &os) const;
 
+    /**
+     * Write the table as a JSON array of row objects keyed by the
+     * column headers. All values are emitted as JSON strings (cells
+     * are stored pre-formatted); consumers parse numbers themselves.
+     */
+    void writeJson(std::ostream &os) const;
+
   private:
     void finishPendingRow() const;
 

@@ -6,6 +6,7 @@
 #include "common/check.hh"
 #include "common/invariants.hh"
 #include "common/logging.hh"
+#include "common/random.hh"
 #include "core/amdahl.hh"
 
 namespace amdahl::core {
@@ -82,6 +83,9 @@ solveAmdahlBidding(const FisherMarket &market, const BiddingOptions &opts)
         fatal("need at least one iteration");
     if (opts.damping <= 0.0 || opts.damping > 1.0)
         fatal("damping must be in (0, 1], got ", opts.damping);
+    if (opts.transport.lossRate < 0.0 || opts.transport.lossRate > 1.0)
+        fatal("bid loss rate must be in [0, 1], got ",
+              opts.transport.lossRate);
 
     const std::size_t n = market.userCount();
     const std::size_t m = market.serverCount();
@@ -123,9 +127,31 @@ solveAmdahlBidding(const FisherMarket &market, const BiddingOptions &opts)
             // can move every coordinate.
             result.bids[i][k] = std::max(1e-12 * user.budget,
                                          user.budget * seed[k] / total);
+            AMDAHL_CHECK_FINITE(result.bids[i][k]);
+            AMDAHL_ASSERT(result.bids[i][k] > 0.0,
+                          "warm start produced a non-positive bid ",
+                          "for user '", user.name, "' job ", k);
+        }
+        // Contract: renormalization restores budget exhaustion (Eq.
+        // 10) no matter how stale or rescaled the seed bids were; the
+        // positivity floor can only inflate the sum by jobs * 1e-12.
+        if constexpr (checkedBuild) {
+            double renormalized = 0.0;
+            for (double b : result.bids[i])
+                renormalized += b;
+            AMDAHL_ASSERT(std::abs(renormalized - user.budget) <=
+                              1e-9 * user.budget *
+                                  static_cast<double>(seed.size() + 1),
+                          "warm start broke budget conservation for ",
+                          "user '", user.name, "'");
         }
     }
     computePrices(market, result.bids, result.prices);
+
+    // Lossy transport draws from its own deterministic stream; with a
+    // sound transport (the default) no generator is ever touched.
+    const bool lossy = opts.transport.lossRate > 0.0;
+    Rng loss_rng(opts.transport.seed);
 
     std::vector<double> new_prices(m);
     std::vector<double> proposal;
@@ -133,7 +159,16 @@ solveAmdahlBidding(const FisherMarket &market, const BiddingOptions &opts)
     for (int it = 0; it < opts.maxIterations; ++it) {
         if (opts.schedule == UpdateSchedule::GaussSeidel)
             live_prices = result.prices;
+        bool round_lost_message = false;
         for (std::size_t i = 0; i < n; ++i) {
+            if (lossy &&
+                loss_rng.bernoulli(opts.transport.lossRate)) {
+                // This user's update message was lost: her previous
+                // bids stand for the round (they still sum to her
+                // budget, so no invariant moves).
+                round_lost_message = true;
+                continue;
+            }
             const auto &user = market.user(i);
             const auto &posted =
                 opts.schedule == UpdateSchedule::GaussSeidel
@@ -187,7 +222,9 @@ solveAmdahlBidding(const FisherMarket &market, const BiddingOptions &opts)
         result.iterations = it + 1;
         if (opts.trackHistory)
             result.priceDeltaHistory.push_back(max_delta);
-        if (max_delta < opts.priceTolerance) {
+        // A round with lost messages can leave prices spuriously
+        // still (nobody moved), so it never counts as convergence.
+        if (max_delta < opts.priceTolerance && !round_lost_message) {
             result.converged = true;
             break;
         }

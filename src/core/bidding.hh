@@ -37,6 +37,26 @@ enum class UpdateSchedule
     GaussSeidel,
 };
 
+/**
+ * Transport faults of the distributed (Synchronous) deployment: each
+ * user's bid update is an independent message to the price coordinator
+ * and may be lost. A lost update leaves the user's previous bids
+ * standing for that round — exactly the effect of a delayed message —
+ * so budget conservation is never violated; only convergence slows
+ * (and stalls entirely at lossRate 1, which the fallback ladder in
+ * alloc/fallback_policy.hh then absorbs).
+ */
+struct BidTransportFaults
+{
+    /** Per-round probability a user's bid update is lost (0 = sound
+     *  transport). */
+    double lossRate = 0.0;
+
+    /** Seed of the loss realization; a fresh deterministic stream per
+     *  clearing keeps epoch-based runs reproducible. */
+    std::uint64_t seed = 0;
+};
+
 /** Termination and stabilization knobs for Amdahl Bidding. */
 struct BiddingOptions
 {
@@ -71,6 +91,10 @@ struct BiddingOptions
      * Empty (the default) starts from even splits.
      */
     JobMatrix initialBids;
+
+    /** Bid-message loss model (meaningful under Synchronous; under
+     *  GaussSeidel a lost message skips the user's turn). */
+    BidTransportFaults transport;
 };
 
 /** Outcome of the bidding procedure plus convergence diagnostics. */

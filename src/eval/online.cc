@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
+#include "core/bidding.hh"
 #include "sim/workload_library.hh"
 
 namespace amdahl::eval {
@@ -46,6 +48,7 @@ OnlineSimulator::OnlineSimulator(CharacterizationCache &cache,
               cache_.simulator().server().cores(),
               "; progress would be unmeasurable");
     }
+    robustness::validateFaultOptions(opts_.faults);
 }
 
 namespace {
@@ -66,7 +69,8 @@ OnlineSimulator::run(const alloc::AllocationPolicy &policy,
                      FractionSource source)
 {
     // All randomness is re-seeded per run: every policy faces the
-    // identical arrival stream.
+    // identical arrival stream. The fault schedule draws from its own
+    // seed, so toggling it never shifts the arrivals either.
     Rng rng(opts_.seed);
 
     std::vector<double> budgets(static_cast<std::size_t>(opts_.users));
@@ -90,11 +94,83 @@ OnlineSimulator::run(const alloc::AllocationPolicy &policy,
                                 0.0);
     std::vector<double> entitled(static_cast<std::size_t>(opts_.users),
                                  0.0);
+    // Entitlement accrued against the capacity actually live each
+    // epoch (availability-weighted fairness).
+    std::vector<double> entitled_avail(
+        static_cast<std::size_t>(opts_.users), 0.0);
 
     const int epochs = static_cast<int>(
         std::ceil(opts_.horizonSeconds / opts_.epochSeconds));
+
+    const bool faulty = opts_.faults.enabled;
+    const robustness::FaultInjector injector(
+        opts_.faults, static_cast<std::size_t>(opts_.servers), epochs);
+    std::vector<char> live(static_cast<std::size_t>(opts_.servers), 1);
+    std::vector<char> crashing(static_cast<std::size_t>(opts_.servers),
+                               0);
+
     for (int epoch = 0; epoch < epochs; ++epoch) {
         const double now = epoch * opts_.epochSeconds;
+
+        // 0. Fault-schedule bookkeeping: recovered servers rejoin the
+        //    market, and jobs stranded by a total outage are placed as
+        //    soon as capacity exists again.
+        if (faulty) {
+            for (std::size_t j : injector.recoveriesAt(epoch)) {
+                if (!live[j]) {
+                    live[j] = 1;
+                    placer.setServerLive(j, true);
+                }
+            }
+            std::fill(crashing.begin(), crashing.end(), 0);
+            for (std::size_t j : injector.crashesDuring(epoch))
+                crashing[j] = 1;
+            if (placer.anyLive()) {
+                for (auto &job : jobs) {
+                    if (!job.done() && job.unplaced()) {
+                        job.server = placer.place();
+                        ++metrics.replacements;
+                    }
+                }
+            }
+        }
+
+        // Crash application (shared by the idle-epoch early-out and
+        // the main path): servers failing *during* this epoch leave
+        // the market, their jobs roll back to the last checkpoint and
+        // are re-placed through the regular placement machinery.
+        auto apply_crashes = [&]() {
+            if (!faulty)
+                return;
+            for (std::size_t j = 0;
+                 j < static_cast<std::size_t>(opts_.servers); ++j) {
+                if (!crashing[j])
+                    continue;
+                live[j] = 0;
+                placer.setServerLive(j, false);
+                ++metrics.crashEvents;
+                for (auto &job : jobs) {
+                    if (job.done() || job.server != j)
+                        continue;
+                    const double done_work =
+                        job.totalWork - job.remainingWork;
+                    if (done_work > job.checkpointedWork) {
+                        metrics.workLostSeconds +=
+                            done_work - job.checkpointedWork;
+                        job.remainingWork =
+                            job.totalWork - job.checkpointedWork;
+                    }
+                    job.epochsSinceCheckpoint = 0;
+                    placer.jobFinished(j);
+                    if (placer.anyLive()) {
+                        job.server = placer.place();
+                        ++metrics.replacements;
+                    } else {
+                        job.server = OnlineJob::kUnplaced;
+                    }
+                }
+            }
+        };
 
         // 1. Arrivals: a Poisson batch for the whole cluster, placed
         //    by the configured discipline. The batch itself (count,
@@ -116,23 +192,32 @@ OnlineSimulator::run(const alloc::AllocationPolicy &policy,
             job.totalWork = t1 * rng.uniform(opts_.workScaleMin,
                                              opts_.workScaleMax);
             job.remainingWork = job.totalWork;
-            job.server = placer.place();
+            if (faulty && !placer.anyLive())
+                job.server = OnlineJob::kUnplaced;
+            else
+                job.server = placer.place();
             jobs.push_back(job);
             ++metrics.jobsArrived;
         }
 
-        // 2. Build the market over in-flight jobs. Idle servers and
-        //    jobless tenants are excluded from this epoch's market.
+        // 2. Build the market over placed in-flight jobs. Idle or
+        //    crashed servers and jobless tenants are excluded from
+        //    this epoch's market.
         std::vector<std::size_t> active;
+        std::size_t in_system = 0;
         for (std::size_t k = 0; k < jobs.size(); ++k) {
-            if (!jobs[k].done())
+            if (jobs[k].done())
+                continue;
+            ++in_system;
+            if (!jobs[k].unplaced())
                 active.push_back(k);
         }
-        occupancy.add(static_cast<double>(active.size()));
+        occupancy.add(static_cast<double>(in_system));
         metrics.occupancyHistory.push_back(
-            static_cast<double>(active.size()));
+            static_cast<double>(in_system));
         if (active.empty()) {
             metrics.speedupHistory.push_back(0.0);
+            apply_crashes();
             continue;
         }
 
@@ -140,6 +225,9 @@ OnlineSimulator::run(const alloc::AllocationPolicy &policy,
             static_cast<std::size_t>(opts_.servers), -1);
         std::vector<double> capacities;
         for (std::size_t k : active) {
+            AMDAHL_ASSERT(live[jobs[k].server],
+                          "job placed on a dead server at epoch ",
+                          epoch);
             auto &slot = server_map[jobs[k].server];
             if (slot < 0) {
                 slot = static_cast<int>(capacities.size());
@@ -173,8 +261,15 @@ OnlineSimulator::run(const alloc::AllocationPolicy &policy,
             core::JobSpec spec;
             spec.server = static_cast<std::size_t>(
                 server_map[jobs[k].server]);
-            spec.parallelFraction =
+            double fraction =
                 cache_.fraction(jobs[k].workloadIndex, source);
+            if (faulty) {
+                // Stale profiles: the market prices tomorrow's cores
+                // with yesterday's estimates.
+                fraction = injector.perturbFraction(
+                    epoch, jobs[k].workloadIndex, fraction);
+            }
+            spec.parallelFraction = fraction;
             spec.weight = 1.0;
             market_users[static_cast<std::size_t>(slot)]
                 .jobs.push_back(spec);
@@ -185,7 +280,59 @@ OnlineSimulator::run(const alloc::AllocationPolicy &policy,
         for (auto &user : market_users)
             market.addUser(std::move(user));
 
-        const auto result = policy.allocate(market);
+        core::BidTransportFaults transport;
+        if (faulty) {
+            transport.lossRate = opts_.faults.bidLossRate;
+            transport.seed = injector.bidSeed(epoch);
+        }
+        const auto result = faulty ? policy.allocate(market, transport)
+                                   : policy.allocate(market);
+
+        // Degraded-mode bookkeeping: count epochs the primary
+        // procedure failed and which ladder rung served them. A
+        // rate-limited warning keeps non-convergence caller-visible
+        // without flooding long runs.
+        if (result.mode == alloc::ServeMode::DampedRetry)
+            ++metrics.fallbackEpochsDamped;
+        else if (result.mode == alloc::ServeMode::ProportionalFallback)
+            ++metrics.fallbackEpochsProportional;
+        const bool primary_failed =
+            result.mode != alloc::ServeMode::Primary ||
+            (result.outcome.iterations > 0 &&
+             !result.outcome.converged);
+        if (primary_failed) {
+            ++metrics.nonConvergedEpochs;
+            if (metrics.nonConvergedEpochs == 1 ||
+                metrics.nonConvergedEpochs % 64 == 0) {
+                warn(metrics.policyName, ": bidding did not converge ",
+                     "at epoch ", epoch, " (",
+                     result.outcome.iterations,
+                     " iterations; served by ",
+                     alloc::toString(result.mode),
+                     "; ", metrics.nonConvergedEpochs,
+                     " non-converged epochs so far)");
+            }
+        }
+
+        // Contract: an epoch's integral grants never exceed the live
+        // capacity — crashed servers' cores must be out of the market.
+        if constexpr (checkedBuild) {
+            double total_cores = 0.0;
+            for (const auto &row : result.cores) {
+                for (int c : row)
+                    total_cores += static_cast<double>(c);
+            }
+            double live_capacity = 0.0;
+            for (int j = 0; j < opts_.servers; ++j) {
+                if (live[static_cast<std::size_t>(j)]) {
+                    live_capacity += static_cast<double>(
+                        coresOf(opts_, static_cast<std::size_t>(j)));
+                }
+            }
+            AMDAHL_ASSERT(total_cores <= live_capacity + 1e-9,
+                          "epoch ", epoch, " granted ", total_cores,
+                          " cores with only ", live_capacity, " live");
+        }
 
         // Core-second accounting against *base* budgets: the
         // entitlement contract does not move with compensation.
@@ -198,12 +345,22 @@ OnlineSimulator::run(const alloc::AllocationPolicy &policy,
             }
             for (double c : capacities)
                 active_capacity += c;
+            double live_capacity = 0.0;
+            for (int j = 0; j < opts_.servers; ++j) {
+                if (live[static_cast<std::size_t>(j)]) {
+                    live_capacity += static_cast<double>(
+                        coresOf(opts_, static_cast<std::size_t>(j)));
+                }
+            }
             for (std::size_t ui = 0; ui < user_job_ids.size(); ++ui) {
                 const std::size_t tenant =
                     jobs[user_job_ids[ui][0]].user;
                 entitled[tenant] += budgets[tenant] / active_budget *
                                     active_capacity *
                                     opts_.epochSeconds;
+                entitled_avail[tenant] +=
+                    budgets[tenant] / active_budget * live_capacity *
+                    opts_.epochSeconds;
                 granted[tenant] +=
                     result.userCores(ui) * opts_.epochSeconds;
             }
@@ -232,7 +389,9 @@ OnlineSimulator::run(const alloc::AllocationPolicy &policy,
             placer.updatePrices(signal);
         }
 
-        // 3. Advance jobs by their measured speedups.
+        // 3. Advance jobs by their measured speedups. Jobs on a
+        //    server that fails during this epoch make no durable
+        //    progress: the crash takes their epoch with it.
         double epoch_speedup = 0.0;
         double budget_sum = 0.0;
         for (std::size_t ui = 0; ui < user_job_ids.size(); ++ui) {
@@ -241,6 +400,8 @@ OnlineSimulator::run(const alloc::AllocationPolicy &policy,
                  ++kk) {
                 const std::size_t k = user_job_ids[ui][kk];
                 auto &job = jobs[k];
+                if (faulty && crashing[job.server])
+                    continue;
                 const int cores = result.cores[ui][kk];
                 if (cores <= 0)
                     continue;
@@ -277,9 +438,28 @@ OnlineSimulator::run(const alloc::AllocationPolicy &policy,
         } else {
             metrics.speedupHistory.push_back(0.0);
         }
+
+        apply_crashes();
+
+        // 4. Checkpoint tick: durable progress advances every
+        //    checkpointEpochs epochs, bounding what the next crash
+        //    can take.
+        if (faulty) {
+            for (auto &job : jobs) {
+                if (job.done() || job.unplaced())
+                    continue;
+                ++job.epochsSinceCheckpoint;
+                if (job.epochsSinceCheckpoint >=
+                    opts_.faults.checkpointEpochs) {
+                    job.checkpointedWork =
+                        job.totalWork - job.remainingWork;
+                    job.epochsSinceCheckpoint = 0;
+                }
+            }
+        }
     }
 
-    // 4. Aggregate metrics.
+    // 5. Aggregate metrics.
     std::vector<double> completions;
     for (const auto &job : jobs) {
         if (job.done()) {
@@ -299,16 +479,23 @@ OnlineSimulator::run(const alloc::AllocationPolicy &policy,
     metrics.meanWeightedSpeedup = weighted_speedup.mean();
 
     double mape = 0.0;
+    double mape_avail = 0.0;
     std::size_t ever_active = 0;
     for (std::size_t i = 0; i < entitled.size(); ++i) {
         if (entitled[i] <= 0.0)
             continue;
         mape += std::abs(granted[i] - entitled[i]) / entitled[i];
+        if (entitled_avail[i] > 0.0) {
+            mape_avail += std::abs(granted[i] - entitled_avail[i]) /
+                          entitled_avail[i];
+        }
         ++ever_active;
     }
     if (ever_active > 0) {
         metrics.longRunEntitlementMape =
             100.0 * mape / static_cast<double>(ever_active);
+        metrics.availabilityWeightedEntitlementMape =
+            100.0 * mape_avail / static_cast<double>(ever_active);
     }
 
     metrics.jobs = std::move(jobs);

@@ -27,12 +27,19 @@
 #include "alloc/placement.hh"
 #include "alloc/policy.hh"
 #include "eval/characterization.hh"
+#include "robustness/fault_injector.hh"
 
 namespace amdahl::eval {
 
 /** One job flowing through the online system. */
 struct OnlineJob
 {
+    /** Sentinel server index: the job is waiting for a live server
+     *  (only reachable when a fault schedule kills the whole
+     *  cluster). */
+    static constexpr std::size_t kUnplaced =
+        static_cast<std::size_t>(-1);
+
     std::size_t user = 0;
     std::size_t server = 0;
     std::size_t workloadIndex = 0;
@@ -41,8 +48,18 @@ struct OnlineJob
     double remainingWork = 0.0; //!< Single-core seconds left.
     double completionSeconds = -1.0; //!< < 0 while in the system.
 
+    /** Progress durably saved as of the last checkpoint; a crash
+     *  rolls remainingWork back to totalWork - checkpointedWork. */
+    double checkpointedWork = 0.0;
+
+    /** Epochs of progress since the last checkpoint. */
+    int epochsSinceCheckpoint = 0;
+
     /** @return true once the job has finished. */
     bool done() const { return completionSeconds >= 0.0; }
+
+    /** @return true while the job waits for a live server. */
+    bool unplaced() const { return server == kUnplaced; }
 };
 
 /** Scenario knobs. */
@@ -93,6 +110,15 @@ struct OnlineOptions
 
     /** Cap on the compensation multiplier. */
     double maxCompensation = 3.0;
+
+    /**
+     * Fault schedule (robustness/fault_injector.hh): server churn,
+     * bid-message loss, and profile staleness. Disabled by default;
+     * when disabled the run is bit-identical to fault-free operation
+     * (the schedule draws from its own seed, so the arrival stream
+     * never shifts either way).
+     */
+    robustness::FaultOptions faults;
 };
 
 /** Aggregate outcome of one online run. */
@@ -113,6 +139,38 @@ struct OnlineMetrics
      * were ever active.
      */
     double longRunEntitlementMape = 0.0;
+
+    /**
+     * Like longRunEntitlementMape, but each epoch's entitlement
+     * accrues against the *live* cluster capacity — what a tenant
+     * could fairly expect given the servers actually up that epoch.
+     * Equals entitlement against full capacity when nothing crashes.
+     */
+    double availabilityWeightedEntitlementMape = 0.0;
+
+    // --- Resilience accounting (all zero in fault-free runs). ---
+
+    /** Epochs where the primary bidding procedure failed to converge
+     *  (whether or not a fallback then served the epoch). */
+    int nonConvergedEpochs = 0;
+
+    /** Epochs served by the damped, warm-started retry. */
+    int fallbackEpochsDamped = 0;
+
+    /** Epochs served by proportional share after both market attempts
+     *  failed. */
+    int fallbackEpochsProportional = 0;
+
+    /** Server crash events that occurred within the horizon. */
+    int crashEvents = 0;
+
+    /** Jobs moved to another server after a crash (including jobs
+     *  parked during a total outage and placed on recovery). */
+    int replacements = 0;
+
+    /** Single-core seconds of completed progress rolled back to the
+     *  last checkpoint by crashes. */
+    double workLostSeconds = 0.0;
 
     /** Per-epoch jobs in the system (time series). */
     std::vector<double> occupancyHistory;

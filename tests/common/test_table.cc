@@ -146,6 +146,42 @@ TEST(Sparkline, DownsamplesLongSeries)
     EXPECT_EQ(s.size(), 30u);
 }
 
+TEST(Table, WriteJsonEmitsRowObjects)
+{
+    TablePrinter t;
+    t.addColumn("policy", TablePrinter::Align::Left);
+    t.addColumn("speedup");
+    t.beginRow().cell("AB").cell(3.25, 2);
+    t.beginRow().cell("PS").cell(1.5, 1);
+    std::ostringstream os;
+    t.writeJson(os);
+    EXPECT_EQ(os.str(), "[\n"
+                        " {\"policy\": \"AB\", \"speedup\": \"3.25\"},\n"
+                        " {\"policy\": \"PS\", \"speedup\": \"1.5\"}\n"
+                        "]\n");
+}
+
+TEST(Table, WriteJsonEscapesSpecials)
+{
+    TablePrinter t;
+    t.addColumn("name");
+    t.addRow({"say \"hi\"\\\n"});
+    std::ostringstream os;
+    t.writeJson(os);
+    EXPECT_EQ(os.str(), "[\n"
+                        " {\"name\": \"say \\\"hi\\\"\\\\\\n\"}\n"
+                        "]\n");
+}
+
+TEST(Table, WriteJsonEmptyTable)
+{
+    TablePrinter t;
+    t.addColumn("only");
+    std::ostringstream os;
+    t.writeJson(os);
+    EXPECT_EQ(os.str(), "[]\n");
+}
+
 TEST(Table, LeftAlignmentPadsRight)
 {
     TablePrinter t;

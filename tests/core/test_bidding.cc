@@ -271,6 +271,104 @@ TEST(Bidding, WarmStartShapeChecked)
     EXPECT_THROW(solveAmdahlBidding(market, warm), FatalError);
 }
 
+TEST(Bidding, WarmStartFallsBackPerRow)
+{
+    // One garbage row falls back to the even split without disturbing
+    // the other user's (valid, renormalized) seed. Near-zero damping
+    // keeps the first iteration's bids close to the seed itself.
+    const auto market = aliceBobMarket();
+    BiddingOptions warm;
+    warm.maxIterations = 1;
+    warm.priceTolerance = 1e-15;
+    warm.damping = 1e-9;
+    warm.initialBids = {{-3.0, 0.0}, {6.0, 2.0}};
+    const auto r = solveAmdahlBidding(market, warm);
+    EXPECT_NEAR(r.bids[0][0], 0.5, 1e-6);  // even split of budget 1
+    EXPECT_NEAR(r.bids[0][1], 0.5, 1e-6);
+    EXPECT_NEAR(r.bids[1][0], 0.75, 1e-6); // 6:2 rescaled to budget 1
+    EXPECT_NEAR(r.bids[1][1], 0.25, 1e-6);
+}
+
+TEST(Bidding, WarmStartFallsBackOnNonFiniteRow)
+{
+    const auto market = aliceBobMarket();
+    BiddingOptions warm;
+    warm.initialBids = {{std::nan(""), 1.0}, {1.0, 1.0}};
+    const auto r = solveAmdahlBidding(market, warm);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.prices[0], 0.100, 0.002);
+}
+
+TEST(Bidding, SoundTransportMatchesDefault)
+{
+    // lossRate 0 must leave the procedure bit-identical, whatever the
+    // seed says.
+    const auto market = aliceBobMarket();
+    BiddingOptions lossless;
+    lossless.transport.lossRate = 0.0;
+    lossless.transport.seed = 0xdeadbeef;
+    const auto a = solveAmdahlBidding(market);
+    const auto b = solveAmdahlBidding(market, lossless);
+    EXPECT_EQ(a.iterations, b.iterations);
+    for (std::size_t j = 0; j < market.serverCount(); ++j)
+        EXPECT_DOUBLE_EQ(a.prices[j], b.prices[j]);
+}
+
+TEST(Bidding, LossyTransportIsDeterministicGivenSeed)
+{
+    const auto market = aliceBobMarket();
+    BiddingOptions lossy;
+    lossy.transport.lossRate = 0.3;
+    lossy.transport.seed = 42;
+    const auto a = solveAmdahlBidding(market, lossy);
+    const auto b = solveAmdahlBidding(market, lossy);
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_EQ(a.converged, b.converged);
+    for (std::size_t j = 0; j < market.serverCount(); ++j)
+        EXPECT_DOUBLE_EQ(a.prices[j], b.prices[j]);
+}
+
+TEST(Bidding, LossyTransportStillReachesTheEquilibrium)
+{
+    // Lost updates delay convergence but cannot move the fixed point:
+    // the same equilibrium prices as the sound run, more slowly.
+    const auto market = aliceBobMarket();
+    BiddingOptions lossy;
+    lossy.priceTolerance = 1e-9;
+    lossy.transport.lossRate = 0.4;
+    lossy.transport.seed = 7;
+    const auto clean = solveAmdahlBidding(market);
+    const auto noisy = solveAmdahlBidding(market, lossy);
+    ASSERT_TRUE(noisy.converged);
+    EXPECT_GT(noisy.iterations, clean.iterations);
+    for (std::size_t j = 0; j < market.serverCount(); ++j)
+        EXPECT_NEAR(noisy.prices[j], clean.prices[j], 1e-5);
+}
+
+TEST(Bidding, TotalMessageLossNeverConverges)
+{
+    // With every update lost, prices never move — but a round with
+    // losses must not be declared converged.
+    const auto market = aliceBobMarket();
+    BiddingOptions dead;
+    dead.maxIterations = 50;
+    dead.transport.lossRate = 1.0;
+    dead.transport.seed = 3;
+    const auto r = solveAmdahlBidding(market, dead);
+    EXPECT_FALSE(r.converged);
+    EXPECT_EQ(r.iterations, 50);
+}
+
+TEST(Bidding, ValidatesTransportLossRate)
+{
+    const auto market = aliceBobMarket();
+    BiddingOptions bad;
+    bad.transport.lossRate = -0.1;
+    EXPECT_THROW(solveAmdahlBidding(market, bad), FatalError);
+    bad.transport.lossRate = 1.5;
+    EXPECT_THROW(solveAmdahlBidding(market, bad), FatalError);
+}
+
 TEST(Bidding, GaussSeidelReachesTheSameEquilibrium)
 {
     BiddingOptions sync;

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "alloc/amdahl_bidding_policy.hh"
+#include "alloc/fallback_policy.hh"
 #include "alloc/proportional_share.hh"
 #include "common/logging.hh"
 #include "eval/online.hh"
@@ -177,6 +178,239 @@ TEST(Online, DeficitCompensationImprovesLongRunFairness)
                                       FractionSource::Estimated);
     EXPECT_LE(comp.longRunEntitlementMape,
               base.longRunEntitlementMape + 1.0);
+}
+
+namespace {
+
+/** Full bit-level comparison of two runs' metrics and job logs. */
+void
+expectBitIdentical(const OnlineMetrics &a, const OnlineMetrics &b)
+{
+    EXPECT_EQ(a.jobsArrived, b.jobsArrived);
+    EXPECT_EQ(a.jobsCompleted, b.jobsCompleted);
+    EXPECT_DOUBLE_EQ(a.workCompleted, b.workCompleted);
+    EXPECT_DOUBLE_EQ(a.meanCompletionSeconds, b.meanCompletionSeconds);
+    EXPECT_DOUBLE_EQ(a.p95CompletionSeconds, b.p95CompletionSeconds);
+    EXPECT_DOUBLE_EQ(a.meanJobsInSystem, b.meanJobsInSystem);
+    EXPECT_DOUBLE_EQ(a.meanWeightedSpeedup, b.meanWeightedSpeedup);
+    EXPECT_DOUBLE_EQ(a.longRunEntitlementMape,
+                     b.longRunEntitlementMape);
+    EXPECT_DOUBLE_EQ(a.availabilityWeightedEntitlementMape,
+                     b.availabilityWeightedEntitlementMape);
+    EXPECT_EQ(a.nonConvergedEpochs, b.nonConvergedEpochs);
+    EXPECT_EQ(a.fallbackEpochsDamped, b.fallbackEpochsDamped);
+    EXPECT_EQ(a.fallbackEpochsProportional,
+              b.fallbackEpochsProportional);
+    EXPECT_EQ(a.crashEvents, b.crashEvents);
+    EXPECT_EQ(a.replacements, b.replacements);
+    EXPECT_DOUBLE_EQ(a.workLostSeconds, b.workLostSeconds);
+    ASSERT_EQ(a.occupancyHistory.size(), b.occupancyHistory.size());
+    for (std::size_t e = 0; e < a.occupancyHistory.size(); ++e)
+        EXPECT_DOUBLE_EQ(a.occupancyHistory[e], b.occupancyHistory[e]);
+    ASSERT_EQ(a.speedupHistory.size(), b.speedupHistory.size());
+    for (std::size_t e = 0; e < a.speedupHistory.size(); ++e)
+        EXPECT_DOUBLE_EQ(a.speedupHistory[e], b.speedupHistory[e]);
+    ASSERT_EQ(a.jobs.size(), b.jobs.size());
+    for (std::size_t k = 0; k < a.jobs.size(); ++k) {
+        EXPECT_EQ(a.jobs[k].user, b.jobs[k].user);
+        EXPECT_EQ(a.jobs[k].server, b.jobs[k].server);
+        EXPECT_EQ(a.jobs[k].workloadIndex, b.jobs[k].workloadIndex);
+        EXPECT_DOUBLE_EQ(a.jobs[k].totalWork, b.jobs[k].totalWork);
+        EXPECT_DOUBLE_EQ(a.jobs[k].remainingWork,
+                         b.jobs[k].remainingWork);
+        EXPECT_DOUBLE_EQ(a.jobs[k].completionSeconds,
+                         b.jobs[k].completionSeconds);
+    }
+}
+
+OnlineOptions
+churnScenario()
+{
+    auto opts = smallScenario();
+    opts.horizonSeconds = 3600.0;
+    opts.arrivalsPerServerEpoch = 1.0;
+    opts.faults.enabled = true;
+    opts.faults.crashRatePerServerEpoch = 0.04;
+    opts.faults.downEpochs = 2;
+    opts.faults.checkpointEpochs = 4;
+    opts.faults.bidLossRate = 0.1;
+    opts.faults.fractionNoiseStddev = 0.05;
+    return opts;
+}
+
+} // namespace
+
+TEST(Online, RunsAreBitIdenticalGivenSeed)
+{
+    CharacterizationCache cache;
+    OnlineSimulator sim(cache, smallScenario());
+    const alloc::AmdahlBiddingPolicy ab;
+    expectBitIdentical(sim.run(ab, FractionSource::Estimated),
+                       sim.run(ab, FractionSource::Estimated));
+}
+
+TEST(Online, FaultScheduleRunsAreBitIdenticalGivenSeed)
+{
+    CharacterizationCache cache;
+    OnlineSimulator sim(cache, churnScenario());
+    const alloc::FallbackPolicy fb;
+    expectBitIdentical(sim.run(fb, FractionSource::Estimated),
+                       sim.run(fb, FractionSource::Estimated));
+}
+
+TEST(Online, IdenticalArrivalStreamAcrossPoliciesUnderFaults)
+{
+    // Crashes change completion order, which changes placement state,
+    // so server assignments may diverge across policies — but the
+    // arrival stream itself (who, what, how much, when) must not.
+    CharacterizationCache cache;
+    OnlineSimulator sim(cache, churnScenario());
+    const auto ab = sim.run(alloc::AmdahlBiddingPolicy(),
+                            FractionSource::Estimated);
+    const auto ps = sim.run(alloc::ProportionalShare(),
+                            FractionSource::Estimated);
+    ASSERT_EQ(ab.jobsArrived, ps.jobsArrived);
+    ASSERT_EQ(ab.jobs.size(), ps.jobs.size());
+    for (std::size_t k = 0; k < ab.jobs.size(); ++k) {
+        EXPECT_EQ(ab.jobs[k].user, ps.jobs[k].user);
+        EXPECT_EQ(ab.jobs[k].workloadIndex, ps.jobs[k].workloadIndex);
+        EXPECT_DOUBLE_EQ(ab.jobs[k].totalWork, ps.jobs[k].totalWork);
+        EXPECT_DOUBLE_EQ(ab.jobs[k].arrivalSeconds,
+                         ps.jobs[k].arrivalSeconds);
+    }
+    // The crash schedule is policy-independent too.
+    EXPECT_EQ(ab.crashEvents, ps.crashEvents);
+}
+
+TEST(Online, FaultFreeRunsReportZeroResilienceCounters)
+{
+    CharacterizationCache cache;
+    OnlineSimulator sim(cache, smallScenario());
+    const auto m = sim.run(alloc::AmdahlBiddingPolicy(),
+                           FractionSource::Estimated);
+    EXPECT_EQ(m.nonConvergedEpochs, 0);
+    EXPECT_EQ(m.fallbackEpochsDamped, 0);
+    EXPECT_EQ(m.fallbackEpochsProportional, 0);
+    EXPECT_EQ(m.crashEvents, 0);
+    EXPECT_EQ(m.replacements, 0);
+    EXPECT_DOUBLE_EQ(m.workLostSeconds, 0.0);
+    EXPECT_GT(m.availabilityWeightedEntitlementMape, 0.0);
+}
+
+TEST(Online, ChurnProducesResilienceAccountingAndCompletes)
+{
+    CharacterizationCache cache;
+    OnlineSimulator sim(cache, churnScenario());
+    const auto m = sim.run(alloc::FallbackPolicy(),
+                           FractionSource::Estimated);
+    EXPECT_GT(m.crashEvents, 0);
+    EXPECT_GT(m.replacements, 0);
+    EXPECT_GT(m.workLostSeconds, 0.0);
+    EXPECT_GT(m.jobsCompleted, 0);
+    for (const auto &job : m.jobs) {
+        if (job.done()) {
+            EXPECT_DOUBLE_EQ(job.remainingWork, 0.0);
+        }
+    }
+}
+
+TEST(Online, CheckpointIntervalBoundsLostWork)
+{
+    // A single scripted crash: with per-epoch checkpoints the crash
+    // epoch itself makes no durable progress but nothing older is
+    // lost; with no effective checkpointing the job's whole history
+    // rolls back. Trajectories are identical until the crash, so the
+    // comparison isolates the checkpoint knob.
+    CharacterizationCache cache;
+    auto opts = smallScenario();
+    opts.arrivalsPerServerEpoch = 1.0;
+    // Jobs must span several epochs, or there is no uncheckpointed
+    // progress for the crash to take.
+    opts.workScaleMin = 2.0;
+    opts.workScaleMax = 4.0;
+    opts.faults.enabled = true;
+    opts.faults.scriptedCrashes = {{1, 12, 15}};
+
+    opts.faults.checkpointEpochs = 1;
+    const auto tight = OnlineSimulator(cache, opts)
+                           .run(alloc::AmdahlBiddingPolicy(),
+                                FractionSource::Estimated);
+    opts.faults.checkpointEpochs = 1000; // never checkpoints
+    const auto loose = OnlineSimulator(cache, opts)
+                           .run(alloc::AmdahlBiddingPolicy(),
+                                FractionSource::Estimated);
+    EXPECT_EQ(tight.crashEvents, 1);
+    EXPECT_EQ(loose.crashEvents, 1);
+    EXPECT_DOUBLE_EQ(tight.workLostSeconds, 0.0);
+    EXPECT_GT(loose.workLostSeconds, 0.0);
+}
+
+TEST(Online, TotalOutageParksJobsUntilRecovery)
+{
+    CharacterizationCache cache;
+    auto opts = smallScenario();
+    opts.servers = 2;
+    opts.arrivalsPerServerEpoch = 1.0;
+    opts.faults.enabled = true;
+    // Both servers down over epochs 6..14; the whole cluster is out.
+    opts.faults.scriptedCrashes = {{0, 4, 15}, {1, 5, 15}};
+    OnlineSimulator sim(cache, opts);
+    const auto m = sim.run(alloc::AmdahlBiddingPolicy(),
+                           FractionSource::Estimated);
+    EXPECT_EQ(m.crashEvents, 2);
+    EXPECT_GT(m.replacements, 0);
+    // Arrivals kept coming during the outage and were parked; after
+    // recovery everything is placed and work resumes.
+    EXPECT_GT(m.jobsCompleted, 0);
+    for (const auto &job : m.jobs)
+        EXPECT_NE(job.server, OnlineJob::kUnplaced);
+}
+
+TEST(Online, NonConvergenceIsCountedWithoutFallback)
+{
+    // A plain AB policy with a starved iteration budget: epochs are
+    // served unconverged (warned, rate-limited) and counted, with no
+    // fallback rungs involved.
+    CharacterizationCache cache;
+    auto opts = smallScenario();
+    opts.arrivalsPerServerEpoch = 1.0;
+    OnlineSimulator sim(cache, opts);
+    core::BiddingOptions starved;
+    starved.maxIterations = 1;
+    starved.priceTolerance = 1e-15;
+    const auto m = sim.run(alloc::AmdahlBiddingPolicy(starved),
+                           FractionSource::Estimated);
+    EXPECT_GT(m.nonConvergedEpochs, 0);
+    EXPECT_EQ(m.fallbackEpochsDamped, 0);
+    EXPECT_EQ(m.fallbackEpochsProportional, 0);
+}
+
+TEST(Online, FallbackLadderAbsorbsNonConvergedEpochs)
+{
+    // Under the ladder every non-converged epoch is served by a
+    // degraded rung, so the counters must reconcile exactly.
+    CharacterizationCache cache;
+    auto opts = churnScenario();
+    opts.faults.bidLossRate = 0.9;
+    OnlineSimulator sim(cache, opts);
+    core::BiddingOptions primary;
+    primary.maxIterations = 60;
+    const auto m = sim.run(alloc::FallbackPolicy(primary),
+                           FractionSource::Estimated);
+    EXPECT_GT(m.nonConvergedEpochs, 0);
+    EXPECT_EQ(m.nonConvergedEpochs,
+              m.fallbackEpochsDamped + m.fallbackEpochsProportional);
+}
+
+TEST(Online, ValidatesFaultOptions)
+{
+    CharacterizationCache cache;
+    auto opts = smallScenario();
+    opts.faults.bidLossRate = 2.0;
+    EXPECT_THROW(OnlineSimulator(cache, opts), FatalError);
+    opts = smallScenario();
+    opts.faults.checkpointEpochs = 0;
+    EXPECT_THROW(OnlineSimulator(cache, opts), FatalError);
 }
 
 TEST(Online, ValidatesOptions)
