@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Ablation: overload, admission control, and deadline-bounded clearing.
+ *
+ * Sweeps the arrival rate from a comfortable load up to several times
+ * what the cluster can drain, with admission control off and on, for
+ * the online market behind the fallback ladder with a deterministic
+ * per-clearing iteration deadline. Reports the overload accounting —
+ * shedding rate, queue delay, peak queue, deadline-expired epochs —
+ * beside throughput, latency, and fairness, so the cost of saying
+ * "no" can be compared against the cost of admitting everything.
+ */
+
+#include <iostream>
+
+#include "alloc/fallback_policy.hh"
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "eval/online.hh"
+
+int
+main()
+{
+    using namespace amdahl;
+    bench::printHeader(
+        "Ablation: overload and admission control",
+        "One hour of epoch-cleared operation (8 servers) under "
+        "rising arrival rates; iteration-deadline clearing, "
+        "admission control off vs on");
+
+    eval::CharacterizationCache cache;
+
+    TablePrinter table;
+    table.addColumn("Arrivals/server/epoch");
+    table.addColumn("admission");
+    table.addColumn("arrived");
+    table.addColumn("completed");
+    table.addColumn("shed");
+    table.addColumn("shed %");
+    table.addColumn("queue delay (min)");
+    table.addColumn("peak queue");
+    table.addColumn("deadline epochs");
+    table.addColumn("mean compl (min)");
+    table.addColumn("p95 compl (min)");
+    table.addColumn("mean in-system");
+    table.addColumn("MAPE %");
+
+    // The iteration deadline keeps every output deterministic (a
+    // wall-clock deadline would vary run to run) while still firing
+    // under load: crowded epochs need more rounds than the budget
+    // allows, so the anytime rung genuinely serves.
+    core::BiddingOptions primary;
+    primary.deadline.iterationBudget = 200;
+    const alloc::FallbackPolicy policy(primary);
+
+    for (double rate : {1.0, 3.0, 6.0, 10.0}) {
+        for (int admit : {0, 1}) {
+            eval::OnlineOptions opts;
+            opts.servers = 8;
+            opts.users = 16;
+            opts.arrivalsPerServerEpoch = rate;
+            opts.workScaleMin = 0.5;
+            opts.workScaleMax = 2.5;
+            opts.admission.enabled = admit != 0;
+            opts.admission.maxLoadFactor = 6.0;
+            opts.admission.maxQueueLength = 64;
+            eval::OnlineSimulator sim(cache, opts);
+            const auto m =
+                sim.run(policy, eval::FractionSource::Estimated);
+            table.beginRow()
+                .cell(rate, 1)
+                .cell(admit != 0 ? "on" : "off")
+                .cell(m.jobsArrived)
+                .cell(m.jobsCompleted)
+                .cell(m.jobsShed)
+                .cell(100.0 * m.sheddingRate, 1)
+                .cell(m.meanQueueDelaySeconds / 60.0, 1)
+                .cell(m.peakQueueLength)
+                .cell(m.deadlineExpiredEpochs)
+                .cell(m.meanCompletionSeconds / 60.0, 1)
+                .cell(m.p95CompletionSeconds / 60.0, 1)
+                .cell(m.meanJobsInSystem, 1)
+                .cell(m.longRunEntitlementMape, 1);
+        }
+    }
+    bench::emitTable(table, "overload");
+    bench::emitJson(table, "overload");
+
+    std::cout
+        << "\nAn open system has no load limit of its own: past the "
+           "drain rate the in-system count grows all hour, per-job "
+           "grants shrink, and completion times stretch without bound "
+           "while the market dutifully clears every epoch. Admission "
+           "control converts that unbounded latency into an explicit, "
+           "entitlement-ordered shedding rate and a bounded queue, "
+           "and the iteration deadline caps what any one clearing can "
+           "cost — overloaded epochs are served by the best anytime "
+           "bid state instead of a late one.\n";
+    return 0;
+}

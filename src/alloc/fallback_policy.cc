@@ -43,7 +43,9 @@ FallbackPolicy::ladder(const core::FisherMarket &market,
     AllocationResult result;
     result.policyName = name();
 
-    // Rung 1: the configured procedure.
+    // Rung 1: the configured procedure. With the ladder disabled the
+    // attempt is served verbatim — including an expired-deadline
+    // anytime state, which still surfaces via outcome.deadlineExpired.
     auto attempt = core::solveAmdahlBidding(market, opts);
     if (attempt.converged || !fb.enabled) {
         result.outcome = std::move(attempt);
@@ -53,7 +55,19 @@ FallbackPolicy::ladder(const core::FisherMarket &market,
         return result;
     }
 
-    // Rung 2: damped, warm-started retry. The faulty transport stays
+    // Rung 2: deadline expiry. The anytime state is budget-feasible
+    // by construction, and the deadline fired precisely because the
+    // epoch has no time left for a retry — serve it directly.
+    if (attempt.deadlineExpired) {
+        result.outcome = std::move(attempt);
+        result.cores = core::roundOutcome(market, result.outcome);
+        result.mode = ServeMode::DeadlineAnytime;
+        if constexpr (checkedBuild)
+            auditAllocation(market, result);
+        return result;
+    }
+
+    // Rung 3: damped, warm-started retry. The faulty transport stays
     // in effect — the retry runs over the same degraded network.
     core::BiddingOptions retry = opts;
     retry.damping =
@@ -64,16 +78,17 @@ FallbackPolicy::ladder(const core::FisherMarket &market,
     const int primary_iterations = attempt.iterations;
     auto retried = core::solveAmdahlBidding(market, retry);
     retried.iterations += primary_iterations;
-    if (retried.converged) {
+    if (retried.converged || retried.deadlineExpired) {
         result.outcome = std::move(retried);
         result.cores = core::roundOutcome(market, result.outcome);
-        result.mode = ServeMode::DampedRetry;
+        result.mode = retried.converged ? ServeMode::DampedRetry
+                                        : ServeMode::DeadlineAnytime;
         if constexpr (checkedBuild)
             auditAllocation(market, result);
         return result;
     }
 
-    // Rung 3: proportional share by entitlement — always feasible and
+    // Rung 4: proportional share by entitlement — always feasible and
     // budget-respecting, never efficient. converged stays false: this
     // epoch was *served*, not solved.
     const ProportionalShare entitlement;

@@ -8,13 +8,17 @@
  * iteration budget). When the primary procedure exhausts its budget
  * without converging, silently serving the half-iterated bids would
  * misallocate without anyone noticing. This policy degrades
- * *predictably* instead, down a three-rung ladder:
+ * *predictably* instead, down a four-rung ladder:
  *
  *  1. Primary: Amdahl Bidding with the configured options.
- *  2. Damped retry: the same market re-solved with damping scaled
+ *  2. Deadline anytime: when the primary's anytime deadline expires
+ *     (BiddingOptions::deadline), the best budget-feasible bid state
+ *     it reached is served as-is — the deadline exists because there
+ *     is no time left, so no retry is attempted.
+ *  3. Damped retry: the same market re-solved with damping scaled
  *     down and warm-started from the primary attempt's bids — the
  *     cheap fix for oscillating proportional-response dynamics.
- *  3. Proportional fallback: proportional share by entitlement — the
+ *  4. Proportional fallback: proportional share by entitlement — the
  *     allocation every tenant is contractually owed. It ignores
  *     parallelizability (forfeiting the market's efficiency edge for
  *     one epoch) but is feasible, budget-respecting, and closed-form.

@@ -11,6 +11,8 @@ toString(ServeMode mode)
     switch (mode) {
       case ServeMode::Primary:
         return "primary";
+      case ServeMode::DeadlineAnytime:
+        return "deadline-anytime";
       case ServeMode::DampedRetry:
         return "damped-retry";
       case ServeMode::ProportionalFallback:

@@ -29,9 +29,12 @@ namespace amdahl::alloc {
  */
 enum class ServeMode
 {
-    Primary,             //!< The configured mechanism converged.
-    DampedRetry,         //!< Damped, warm-started retry converged.
-    ProportionalFallback //!< Served proportional share by entitlement.
+    Primary,              //!< The configured mechanism converged.
+    DeadlineAnytime,      //!< Deadline expired; served the best anytime
+                          //!< bid state (budget-feasible, flagged via
+                          //!< MarketOutcome::deadlineExpired).
+    DampedRetry,          //!< Damped, warm-started retry converged.
+    ProportionalFallback  //!< Served proportional share by entitlement.
 };
 
 /** @return Short label for a serve mode. */

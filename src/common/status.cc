@@ -1,0 +1,36 @@
+#include "status.hh"
+
+#include <sstream>
+
+namespace amdahl {
+
+const char *
+toString(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::ParseError:
+        return "parse error";
+      case ErrorKind::DomainError:
+        return "domain error";
+      case ErrorKind::SemanticError:
+        return "semantic error";
+      case ErrorKind::IoError:
+        return "io error";
+    }
+    panic("unknown error kind");
+}
+
+std::string
+Status::toString() const
+{
+    if (!failed)
+        return "ok";
+    std::ostringstream os;
+    os << amdahl::toString(errorKind);
+    if (errorLine > 0)
+        os << " at line " << errorLine;
+    os << ": " << text;
+    return os.str();
+}
+
+} // namespace amdahl

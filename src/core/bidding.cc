@@ -1,7 +1,9 @@
 #include "bidding.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <limits>
 
 #include "common/check.hh"
 #include "common/invariants.hh"
@@ -86,6 +88,15 @@ solveAmdahlBidding(const FisherMarket &market, const BiddingOptions &opts)
     if (opts.transport.lossRate < 0.0 || opts.transport.lossRate > 1.0)
         fatal("bid loss rate must be in [0, 1], got ",
               opts.transport.lossRate);
+    if (opts.deadline.wallClockSeconds < 0.0 ||
+        !std::isfinite(opts.deadline.wallClockSeconds)) {
+        fatal("wall-clock deadline must be finite and non-negative, "
+              "got ", opts.deadline.wallClockSeconds);
+    }
+    if (opts.deadline.iterationBudget < 0) {
+        fatal("iteration budget must be non-negative, got ",
+              opts.deadline.iterationBudget);
+    }
 
     const std::size_t n = market.userCount();
     const std::size_t m = market.serverCount();
@@ -147,6 +158,25 @@ solveAmdahlBidding(const FisherMarket &market, const BiddingOptions &opts)
         }
     }
     computePrices(market, result.bids, result.prices);
+
+    // Anytime bookkeeping. The best-so-far snapshot is seeded with the
+    // initial state: on a validated market every server hosts a job and
+    // every initial bid is positive, so initial prices are all
+    // positive and the snapshot is feasible no matter how early the
+    // deadline fires. A round's state only replaces it when its price
+    // update moved less *and* its prices stayed strictly positive.
+    const bool anytime = opts.deadline.enabled();
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_time;
+    if (opts.deadline.wallClockSeconds > 0.0)
+        start_time = Clock::now();
+    JobMatrix best_bids;
+    std::vector<double> best_prices;
+    double best_delta = std::numeric_limits<double>::infinity();
+    if (anytime) {
+        best_bids = result.bids;
+        best_prices = result.prices;
+    }
 
     // Lossy transport draws from its own deterministic stream; with a
     // sound transport (the default) no generator is ever touched.
@@ -228,6 +258,43 @@ solveAmdahlBidding(const FisherMarket &market, const BiddingOptions &opts)
             result.converged = true;
             break;
         }
+
+        if (anytime) {
+            bool positive = true;
+            for (double p : new_prices) {
+                if (!(p > 0.0)) {
+                    positive = false;
+                    break;
+                }
+            }
+            if (positive && max_delta < best_delta) {
+                best_delta = max_delta;
+                best_bids = result.bids;
+                best_prices = new_prices;
+            }
+            bool expired = opts.deadline.iterationBudget > 0 &&
+                           it + 1 >= opts.deadline.iterationBudget;
+            if (opts.deadline.wallClockSeconds > 0.0) {
+                result.elapsedSeconds =
+                    std::chrono::duration<double>(Clock::now() -
+                                                  start_time)
+                        .count();
+                expired = expired || result.elapsedSeconds >=
+                                         opts.deadline.wallClockSeconds;
+            }
+            if (expired) {
+                result.bids = std::move(best_bids);
+                result.prices = std::move(best_prices);
+                result.deadlineExpired = true;
+                break;
+            }
+        }
+    }
+    if (opts.deadline.wallClockSeconds > 0.0 &&
+        !result.deadlineExpired) {
+        result.elapsedSeconds =
+            std::chrono::duration<double>(Clock::now() - start_time)
+                .count();
     }
 
     // Final allocations: x_ij = b_ij / p_j.

@@ -57,6 +57,41 @@ struct BidTransportFaults
     std::uint64_t seed = 0;
 };
 
+/**
+ * Anytime deadline budget (both limits disabled by default).
+ *
+ * An epoch-based deployment must post *some* allocation before the
+ * epoch boundary even when bidding has not converged. With a deadline
+ * armed, the solver tracks the best state seen so far — the bid matrix
+ * whose price update moved the least, restricted to states with
+ * strictly positive prices — and on expiry returns that state flagged
+ * `deadlineExpired` instead of iterating on. The returned state is
+ * always budget-feasible: bids are renormalized to budgets every round
+ * (Eq. 10) and x = b / p clears each server exactly, so grants never
+ * exceed capacity even when the deadline fires on iteration 1 (where
+ * the even-split initial state, which has all-positive prices on any
+ * validated market, is the guaranteed fallback).
+ */
+struct DeadlineOptions
+{
+    /** Wall-clock budget in seconds (0 = no wall-clock deadline).
+     *  Checked against std::chrono::steady_clock after each round, so
+     *  results under a wall-clock deadline are machine-dependent; use
+     *  `iterationBudget` where determinism matters. */
+    double wallClockSeconds = 0.0;
+
+    /** Anytime iteration budget (0 = none). Unlike `maxIterations` —
+     *  which just stops and reports the *last* state — exhausting this
+     *  budget restores the *best* state and flags `deadlineExpired`. */
+    int iterationBudget = 0;
+
+    /** @return true when either limit is armed. */
+    bool enabled() const
+    {
+        return wallClockSeconds > 0.0 || iterationBudget > 0;
+    }
+};
+
 /** Termination and stabilization knobs for Amdahl Bidding. */
 struct BiddingOptions
 {
@@ -95,6 +130,11 @@ struct BiddingOptions
     /** Bid-message loss model (meaningful under Synchronous; under
      *  GaussSeidel a lost message skips the user's turn). */
     BidTransportFaults transport;
+
+    /** Anytime deadline budget; disabled by default, in which case the
+     *  solve path (and its output) is bit-identical to a build without
+     *  this feature. */
+    DeadlineOptions deadline;
 };
 
 /** Outcome of the bidding procedure plus convergence diagnostics. */

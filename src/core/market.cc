@@ -17,7 +17,7 @@ FisherMarket::FisherMarket(std::vector<double> capacities)
     if (capacities_.empty())
         fatal("market needs at least one server");
     for (std::size_t j = 0; j < capacities_.size(); ++j) {
-        if (capacities_[j] <= 0.0)
+        if (!std::isfinite(capacities_[j]) || capacities_[j] <= 0.0)
             fatal("server ", j, " has non-positive capacity ",
                   capacities_[j]);
     }
@@ -26,7 +26,10 @@ FisherMarket::FisherMarket(std::vector<double> capacities)
 std::size_t
 FisherMarket::addUser(MarketUser user)
 {
-    if (user.budget <= 0.0)
+    // The < / > range tests below are false for NaN, so non-finiteness
+    // must be rejected explicitly — a NaN budget or fraction would
+    // otherwise poison budgetSum and every price downstream.
+    if (!std::isfinite(user.budget) || user.budget <= 0.0)
         fatal("user '", user.name, "' has non-positive budget ",
               user.budget);
     if (user.jobs.empty())
@@ -37,11 +40,12 @@ FisherMarket::addUser(MarketUser user)
                   job.server, " but there are only ", capacities_.size(),
                   " servers");
         }
-        if (job.parallelFraction < 0.0 || job.parallelFraction > 1.0) {
+        if (!std::isfinite(job.parallelFraction) ||
+            job.parallelFraction < 0.0 || job.parallelFraction > 1.0) {
             fatal("user '", user.name, "' job has parallel fraction ",
                   job.parallelFraction, " outside [0, 1]");
         }
-        if (job.weight <= 0.0) {
+        if (!std::isfinite(job.weight) || job.weight <= 0.0) {
             fatal("user '", user.name, "' job has non-positive weight ",
                   job.weight);
         }

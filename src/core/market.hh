@@ -124,6 +124,15 @@ struct MarketOutcome
     int iterations = 0;         //!< Bidding rounds executed.
     bool converged = false;     //!< Price-change threshold reached.
 
+    /** An anytime deadline fired before convergence; prices/bids are
+     *  the best budget-feasible state reached, not an equilibrium. */
+    bool deadlineExpired = false;
+
+    /** Wall-clock seconds spent in the solve loop. Only measured when
+     *  a wall-clock deadline is armed (the clock is never read
+     *  otherwise, keeping deadline-free runs bit-identical). */
+    double elapsedSeconds = 0.0;
+
     /** @return Total cores user i holds across all her jobs. */
     double userCores(std::size_t i) const;
 

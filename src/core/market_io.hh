@@ -24,17 +24,69 @@
 #include <iosfwd>
 #include <string>
 
+#include "common/status.hh"
 #include "core/market.hh"
 
 namespace amdahl::core {
 
+/** Strictness knobs for market-file ingestion. */
+struct MarketParseOptions
+{
+    /**
+     * Reject a user listing the same server twice (semantic error).
+     * Two `job` lines on one server are almost always a tenant
+     * copy-paste bug or a deliberate bid-splitting probe, so the
+     * trust boundary refuses them by default. Markets *generated*
+     * in-process may legitimately give one user several jobs on one
+     * server; round-tripping those through writeMarket requires
+     * turning this off.
+     */
+    bool rejectDuplicateServerJobs = true;
+};
+
 /**
- * Parse a market description.
+ * Parse an untrusted market description with structured errors.
+ *
+ * Market files arrive from tenants, so this is a trust boundary
+ * (common/status.hh): every malformed byte sequence maps to a
+ * classified, line-numbered Status — parse errors for bad tokens,
+ * domain errors for non-finite or out-of-range values (NaN budgets,
+ * fractions outside [0, 1], negative capacities), semantic errors for
+ * inconsistent documents (duplicate `job server` entries for one user,
+ * job server indices past the capacity list, markets with no users).
+ * Never throws on malformed input.
+ *
+ * @param in   Input stream with the format above.
+ * @param opts Strictness knobs.
+ * @return The market, or the first error encountered.
+ */
+Result<FisherMarket> tryParseMarket(std::istream &in,
+                                    const MarketParseOptions &opts = {});
+
+/** Convenience: structured parse from a string. */
+Result<FisherMarket>
+tryParseMarketString(const std::string &text,
+                     const MarketParseOptions &opts = {});
+
+/**
+ * Open and parse a market file.
+ *
+ * @param path Filesystem path.
+ * @param opts Strictness knobs.
+ * @return The market, an IoError when the file cannot be opened, or
+ *         the first parse/domain/semantic error.
+ */
+Result<FisherMarket> loadMarket(const std::string &path,
+                                const MarketParseOptions &opts = {});
+
+/**
+ * Parse a market description (throwing wrapper over tryParseMarket).
  *
  * @param in Input stream with the format above.
  * @return The market (validated: at least one user; server indices in
  *         range).
- * @throws FatalError with a line number on malformed input.
+ * @throws FatalError with the classified, line-numbered diagnostic on
+ *         malformed input.
  */
 FisherMarket parseMarket(std::istream &in);
 
@@ -43,7 +95,9 @@ FisherMarket parseMarketString(const std::string &text);
 
 /**
  * Write a market in the same format (round-trips through
- * parseMarket).
+ * parseMarket; markets giving one user several jobs on one server
+ * need MarketParseOptions::rejectDuplicateServerJobs = false to
+ * re-parse).
  */
 void writeMarket(std::ostream &out, const FisherMarket &market);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 
 #include "common/check.hh"
 #include "common/logging.hh"
@@ -48,6 +49,13 @@ OnlineSimulator::OnlineSimulator(CharacterizationCache &cache,
               cache_.simulator().server().cores(),
               "; progress would be unmeasurable");
     }
+    if (!std::isfinite(opts_.admission.maxLoadFactor) ||
+        opts_.admission.maxLoadFactor <= 0.0) {
+        fatal("admission load factor must be positive and finite, "
+              "got ", opts_.admission.maxLoadFactor);
+    }
+    if (opts_.admission.maxQueueLength < 0)
+        fatal("admission queue bound must be non-negative");
     robustness::validateFaultOptions(opts_.faults);
 }
 
@@ -108,6 +116,15 @@ OnlineSimulator::run(const alloc::AllocationPolicy &policy,
     std::vector<char> live(static_cast<std::size_t>(opts_.servers), 1);
     std::vector<char> crashing(static_cast<std::size_t>(opts_.servers),
                                0);
+
+    // Admission-control state: in_flight counts admitted, unfinished
+    // jobs; the wait queue holds generated-but-not-admitted arrivals
+    // (never part of `jobs`, so the market and occupancy accounting
+    // see only admitted work).
+    const bool admission = opts_.admission.enabled;
+    std::deque<OnlineJob> wait_queue;
+    std::size_t in_flight = 0;
+    double queue_delay_sum = 0.0;
 
     for (int epoch = 0; epoch < epochs; ++epoch) {
         const double now = epoch * opts_.epochSeconds;
@@ -172,10 +189,35 @@ OnlineSimulator::run(const alloc::AllocationPolicy &policy,
             }
         };
 
+        // 0.7 Admission cap for this epoch, against the servers that
+        //     are actually live, and a FIFO drain of the wait queue —
+        //     jobs that waited are admitted before this epoch's
+        //     arrivals compete for the remaining headroom.
+        double admit_cap = 0.0;
+        if (admission) {
+            int live_servers = 0;
+            for (char l : live)
+                live_servers += l ? 1 : 0;
+            admit_cap = opts_.admission.maxLoadFactor *
+                        static_cast<double>(live_servers);
+            while (!wait_queue.empty() &&
+                   static_cast<double>(in_flight) < admit_cap &&
+                   placer.anyLive()) {
+                OnlineJob job = wait_queue.front();
+                wait_queue.pop_front();
+                job.server = placer.place();
+                queue_delay_sum += now - job.arrivalSeconds;
+                jobs.push_back(job);
+                ++in_flight;
+            }
+        }
+
         // 1. Arrivals: a Poisson batch for the whole cluster, placed
         //    by the configured discipline. The batch itself (count,
         //    users, workloads, work sizes) is identical across runs
-        //    with the same seed; only placement reacts to state.
+        //    with the same seed — admission control only decides what
+        //    happens *after* a job is drawn, so enabling it (or
+        //    changing the load factor) never shifts the stream.
         const int count = rng.poisson(opts_.arrivalsPerServerEpoch *
                                       opts_.servers);
         for (int a = 0; a < count; ++a) {
@@ -192,12 +234,48 @@ OnlineSimulator::run(const alloc::AllocationPolicy &policy,
             job.totalWork = t1 * rng.uniform(opts_.workScaleMin,
                                              opts_.workScaleMax);
             job.remainingWork = job.totalWork;
-            if (faulty && !placer.anyLive())
-                job.server = OnlineJob::kUnplaced;
-            else
-                job.server = placer.place();
-            jobs.push_back(job);
             ++metrics.jobsArrived;
+            if (!admission) {
+                if (faulty && !placer.anyLive())
+                    job.server = OnlineJob::kUnplaced;
+                else
+                    job.server = placer.place();
+                jobs.push_back(job);
+                ++in_flight;
+            } else if (static_cast<double>(in_flight) < admit_cap &&
+                       (!faulty || placer.anyLive())) {
+                job.server = placer.place();
+                jobs.push_back(job);
+                ++in_flight;
+            } else {
+                // Backpressure: over-cap arrivals wait. A full queue
+                // sheds one job — the earliest lowest-budget one under
+                // entitlement shedding, the arrival itself under tail
+                // drop.
+                wait_queue.push_back(job);
+                ++metrics.jobsQueued;
+                if (wait_queue.size() >
+                    static_cast<std::size_t>(
+                        opts_.admission.maxQueueLength)) {
+                    std::size_t victim = wait_queue.size() - 1;
+                    if (opts_.admission.shedByEntitlement) {
+                        for (std::size_t q = 0; q < wait_queue.size();
+                             ++q) {
+                            if (budgets[wait_queue[q].user] <
+                                budgets[wait_queue[victim].user]) {
+                                victim = q;
+                            }
+                        }
+                    }
+                    wait_queue.erase(
+                        wait_queue.begin() +
+                        static_cast<std::ptrdiff_t>(victim));
+                    ++metrics.jobsShed;
+                }
+                metrics.peakQueueLength = std::max(
+                    metrics.peakQueueLength,
+                    static_cast<int>(wait_queue.size()));
+            }
         }
 
         // 2. Build the market over placed in-flight jobs. Idle or
@@ -296,6 +374,10 @@ OnlineSimulator::run(const alloc::AllocationPolicy &policy,
             ++metrics.fallbackEpochsDamped;
         else if (result.mode == alloc::ServeMode::ProportionalFallback)
             ++metrics.fallbackEpochsProportional;
+        else if (result.mode == alloc::ServeMode::DeadlineAnytime)
+            ++metrics.fallbackEpochsDeadline;
+        if (result.outcome.deadlineExpired)
+            ++metrics.deadlineExpiredEpochs;
         const bool primary_failed =
             result.mode != alloc::ServeMode::Primary ||
             (result.outcome.iterations > 0 &&
@@ -420,6 +502,7 @@ OnlineSimulator::run(const alloc::AllocationPolicy &policy,
                     job.completionSeconds = now + used;
                     job.remainingWork = 0.0;
                     ++metrics.jobsCompleted;
+                    --in_flight;
                     placer.jobFinished(job.server);
                 } else {
                     job.remainingWork -= done_work;
@@ -496,6 +579,17 @@ OnlineSimulator::run(const alloc::AllocationPolicy &policy,
             100.0 * mape / static_cast<double>(ever_active);
         metrics.availabilityWeightedEntitlementMape =
             100.0 * mape_avail / static_cast<double>(ever_active);
+    }
+
+    metrics.jobsQueuedAtHorizon = static_cast<int>(wait_queue.size());
+    if (metrics.jobsArrived > 0) {
+        metrics.sheddingRate =
+            static_cast<double>(metrics.jobsShed) /
+            static_cast<double>(metrics.jobsArrived);
+    }
+    if (!jobs.empty()) {
+        metrics.meanQueueDelaySeconds =
+            queue_delay_sum / static_cast<double>(jobs.size());
     }
 
     metrics.jobs = std::move(jobs);

@@ -62,6 +62,43 @@ struct OnlineJob
     bool unplaced() const { return server == kUnplaced; }
 };
 
+/**
+ * Overload admission control (disabled by default).
+ *
+ * An open arrival process has no intrinsic load limit: past some
+ * arrival rate the in-system job count grows without bound, every
+ * tenant's per-job grant shrinks toward zero, and completion times
+ * explode — the market clears every epoch yet serves nobody. With
+ * admission control on, the simulator caps the number of admitted
+ * in-flight jobs at `maxLoadFactor` per live server; arrivals beyond
+ * the cap wait in a bounded FIFO queue (backpressure) and, when the
+ * queue is full, one job is shed — by entitlement class when
+ * `shedByEntitlement` is set, so the cheapest tenant's work is
+ * sacrificed first and a high-budget tenant's arrival is never turned
+ * away while a lower class waits.
+ *
+ * Arrival generation itself never changes: the same seed draws the
+ * same job stream whether admission control is on or off (and across
+ * load factors), so overload sweeps compare policies on identical
+ * demand.
+ */
+struct AdmissionOptions
+{
+    bool enabled = false;
+
+    /** Cap on admitted in-flight jobs, per live server. */
+    double maxLoadFactor = 6.0;
+
+    /** Bound on the wait queue; 0 sheds every over-cap arrival
+     *  immediately. */
+    int maxQueueLength = 64;
+
+    /** Shed the queued job whose tenant has the lowest budget
+     *  (earliest among ties); off drops the arriving job instead
+     *  (plain tail drop). */
+    bool shedByEntitlement = true;
+};
+
 /** Scenario knobs. */
 struct OnlineOptions
 {
@@ -119,6 +156,10 @@ struct OnlineOptions
      * never shifts either way).
      */
     robustness::FaultOptions faults;
+
+    /** Overload admission control; disabled by default, in which case
+     *  the run is bit-identical to a build without the feature. */
+    AdmissionOptions admission;
 };
 
 /** Aggregate outcome of one online run. */
@@ -160,6 +201,35 @@ struct OnlineMetrics
     /** Epochs served by proportional share after both market attempts
      *  failed. */
     int fallbackEpochsProportional = 0;
+
+    /** Epochs served by the best anytime bid state after a clearing
+     *  deadline expired (ServeMode::DeadlineAnytime). */
+    int fallbackEpochsDeadline = 0;
+
+    /** Epochs whose clearing hit its anytime deadline (counted from
+     *  MarketOutcome::deadlineExpired, whichever rung served). */
+    int deadlineExpiredEpochs = 0;
+
+    // --- Overload accounting (all zero with admission control off). ---
+
+    /** Arrivals that ever waited in the admission queue. */
+    int jobsQueued = 0;
+
+    /** Arrivals shed because the admission queue was full. */
+    int jobsShed = 0;
+
+    /** Arrivals still waiting in the queue when the horizon ended. */
+    int jobsQueuedAtHorizon = 0;
+
+    /** jobsShed / jobsArrived. */
+    double sheddingRate = 0.0;
+
+    /** Mean admission-queue wait over admitted jobs (zero for jobs
+     *  admitted on arrival). */
+    double meanQueueDelaySeconds = 0.0;
+
+    /** Largest queue length observed (after shedding). */
+    int peakQueueLength = 0;
 
     /** Server crash events that occurred within the horizon. */
     int crashEvents = 0;

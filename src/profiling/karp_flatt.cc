@@ -39,19 +39,47 @@ estimateFraction(const WorkloadProfile &profile, double datasetGB)
     }
     est.expected = stats.mean();
     est.variance = stats.variance();
+    est.medianF = median(est.fractions);
     AMDAHL_CHECK_FINITE(est.expected);
     AMDAHL_CHECK_FINITE(est.variance);
     return est;
 }
 
+const char *
+toString(FractionAggregator aggregator)
+{
+    switch (aggregator) {
+      case FractionAggregator::GeometricMean:
+        return "geomean";
+      case FractionAggregator::Median:
+        return "median";
+      case FractionAggregator::TrimmedMean:
+        return "trimmed";
+    }
+    fatal("unknown fraction aggregator");
+}
+
 double
-estimateFractionFromSamples(const WorkloadProfile &profile)
+estimateFractionFromSamples(const WorkloadProfile &profile,
+                            FractionAggregator aggregator)
 {
     std::vector<double> expectations;
     expectations.reserve(profile.datasetsGB.size());
     for (double gb : profile.datasetsGB)
         expectations.push_back(estimateFraction(profile, gb).expected);
-    const double f = std::min(1.0, geometricMean(expectations));
+    double combined = 0.0;
+    switch (aggregator) {
+      case FractionAggregator::GeometricMean:
+        combined = geometricMean(expectations);
+        break;
+      case FractionAggregator::Median:
+        combined = median(expectations);
+        break;
+      case FractionAggregator::TrimmedMean:
+        combined = trimmedMean(expectations, 0.2);
+        break;
+    }
+    const double f = std::min(1.0, combined);
     if constexpr (checkedBuild)
         invariants::CheckParallelFraction(f, "sampled karp-flatt");
     return f;

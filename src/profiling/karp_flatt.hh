@@ -27,6 +27,7 @@ struct FractionEstimate
     std::vector<double> fractions; //!< F(x) per core count, clamped.
     double expected = 0.0;         //!< E[F] = mean over core counts.
     double variance = 0.0;         //!< Var(F) over core counts.
+    double medianF = 0.0;          //!< Median F(x) — outlier-robust.
 };
 
 /**
@@ -47,13 +48,34 @@ FractionEstimate estimateFraction(const WorkloadProfile &profile,
                                   double datasetGB);
 
 /**
- * The workload-level estimate from sampled datasets: the geometric mean
- * of the per-dataset expectations E[F_d] (paper Section IV-C).
+ * How per-dataset expectations E[F_d] combine into the workload-level
+ * estimate. The paper uses the geometric mean (Section IV-C); the
+ * robust variants resist the outliers noisy sampled profiling
+ * produces — one corrupted dataset profile drags a geometric mean but
+ * barely moves a median.
+ */
+enum class FractionAggregator
+{
+    GeometricMean, //!< The paper's aggregator (the default).
+    Median,        //!< Median of E[F_d]; breakdown point 50%.
+    TrimmedMean,   //!< 20%-per-tail trimmed mean of E[F_d].
+};
+
+/** @return Short label for an aggregator ("geomean", ...). */
+const char *toString(FractionAggregator aggregator);
+
+/**
+ * The workload-level estimate from sampled datasets: the per-dataset
+ * expectations E[F_d] combined by the chosen aggregator (paper
+ * Section IV-C uses the geometric mean).
  *
- * @param profile Grid profile over all sampled datasets.
+ * @param profile    Grid profile over all sampled datasets.
+ * @param aggregator How the per-dataset expectations combine.
  * @return Estimated parallel fraction in (0, 1].
  */
-double estimateFractionFromSamples(const WorkloadProfile &profile);
+double estimateFractionFromSamples(
+    const WorkloadProfile &profile,
+    FractionAggregator aggregator = FractionAggregator::GeometricMean);
 
 } // namespace amdahl::profiling
 

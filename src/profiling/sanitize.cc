@@ -1,0 +1,130 @@
+#include "sanitize.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace amdahl::profiling {
+
+SanitizeReport
+sanitizeSpeedups(std::vector<double> &speedups,
+                 const std::vector<int> &coreCounts,
+                 const SanitizeOptions &opts)
+{
+    if (speedups.size() != coreCounts.size()) {
+        fatal("speedup curve has ", speedups.size(),
+              " samples for ", coreCounts.size(), " core counts");
+    }
+    if (opts.minSpeedup <= 0.0)
+        fatal("minimum speedup must be positive");
+    if (opts.superLinearSlack < 1.0)
+        fatal("super-linear slack must be at least 1");
+    for (int x : coreCounts) {
+        if (x <= 1)
+            fatal("speedup curves are defined for core counts > 1");
+    }
+
+    SanitizeReport report;
+    for (std::size_t k = 0; k < speedups.size(); ++k) {
+        double &s = speedups[k];
+        const double cap =
+            opts.superLinearSlack * static_cast<double>(coreCounts[k]);
+        if (!std::isfinite(s)) {
+            // A failed or corrupted measurement carries no signal;
+            // repair to the serial baseline rather than inventing
+            // parallelism.
+            s = 1.0;
+            ++report.nonFiniteRepaired;
+        } else if (s < opts.minSpeedup) {
+            s = opts.minSpeedup;
+            ++report.subSerialClamped;
+        } else if (s > cap) {
+            s = cap;
+            ++report.superLinearClamped;
+        }
+    }
+    if (opts.enforceMonotone) {
+        double running = 0.0;
+        for (double &s : speedups) {
+            if (s < running) {
+                s = running;
+                ++report.monotoneRaised;
+            }
+            running = s;
+        }
+    }
+    return report;
+}
+
+core::FisherMarket
+sanitizeMarketReports(std::vector<double> capacities,
+                      std::vector<core::MarketUser> reports,
+                      const ReportPolicy &policy, ReportAudit *audit)
+{
+    if (!(policy.minFraction >= 0.0 && policy.maxFraction <= 1.0 &&
+          policy.minFraction <= policy.maxFraction)) {
+        fatal("fraction policy band [", policy.minFraction, ", ",
+              policy.maxFraction, "] is not inside [0, 1]");
+    }
+    if (policy.misreportPenalty <= 0.0 ||
+        policy.misreportPenalty > 1.0) {
+        fatal("misreport penalty must be in (0, 1], got ",
+              policy.misreportPenalty);
+    }
+
+    ReportAudit local;
+    local.flagged.assign(reports.size(), 0);
+
+    core::FisherMarket sanitized(std::move(capacities));
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        core::MarketUser &user = reports[i];
+        bool misreported = false;
+        for (auto &job : user.jobs) {
+            if (!std::isfinite(job.parallelFraction)) {
+                job.parallelFraction =
+                    0.5 * (policy.minFraction + policy.maxFraction);
+                ++local.repairedJobs;
+                misreported = true;
+            } else if (job.parallelFraction < policy.minFraction ||
+                       job.parallelFraction > policy.maxFraction) {
+                job.parallelFraction =
+                    std::clamp(job.parallelFraction,
+                               policy.minFraction, policy.maxFraction);
+                ++local.clampedJobs;
+                misreported = true;
+            }
+            if (!std::isfinite(job.weight) || job.weight <= 0.0) {
+                job.weight = 1.0;
+                ++local.repairedJobs;
+                misreported = true;
+            }
+        }
+        if (misreported) {
+            local.flagged[i] = 1;
+            if (policy.misreportPenalty < 1.0) {
+                user.budget *= policy.misreportPenalty;
+                ++local.penalizedUsers;
+            }
+        }
+        sanitized.addUser(std::move(user));
+    }
+
+    if (audit != nullptr)
+        *audit = std::move(local);
+    return sanitized;
+}
+
+core::FisherMarket
+sanitizeMarketReports(const core::FisherMarket &market,
+                      const ReportPolicy &policy, ReportAudit *audit)
+{
+    std::vector<core::MarketUser> reports;
+    reports.reserve(market.userCount());
+    for (std::size_t i = 0; i < market.userCount(); ++i)
+        reports.push_back(market.user(i));
+    return sanitizeMarketReports(market.capacities(),
+                                 std::move(reports), policy, audit);
+}
+
+} // namespace amdahl::profiling

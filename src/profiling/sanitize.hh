@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Sanitization and robust repair of tenant-reported inputs (§III/§VI).
+ *
+ * The paper's f-estimates come from noisy sampled profiling, and a
+ * strategic tenant may misreport outright. Two defenses live here:
+ *
+ *  1. Speedup-curve sanitization. Profiled s(x) curves can contain
+ *     NaNs (a failed run), sub-serial points (s < 1 when overheads
+ *     swamp the parallel gain), super-linear points (cache effects or
+ *     measurement error), and non-monotone dips. `sanitizeSpeedups`
+ *     clamps or repairs each pathology and reports exactly what it
+ *     changed, so callers choose reject-vs-repair: a repair count of
+ *     zero means the curve was clean; a large one means the profile
+ *     should be re-collected.
+ *
+ *  2. Market report policing. `sanitizeMarketReports` bounds-checks
+ *     every tenant-supplied parallel fraction against the operator's
+ *     configured band and applies a budget penalty to tenants whose
+ *     reports had to be clamped — the misreport-penalty hook the
+ *     market applies before clearing, making inflated-f probes
+ *     unprofitable (§VI-E studies exactly this incentive).
+ */
+
+#ifndef AMDAHL_PROFILING_SANITIZE_HH
+#define AMDAHL_PROFILING_SANITIZE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "core/market.hh"
+
+namespace amdahl::profiling {
+
+/** Knobs of the speedup-curve repair pass. */
+struct SanitizeOptions
+{
+    /** Floor for any speedup sample (sub-serial points clamp here,
+     *  keeping Karp-Flatt finite). Must be positive. */
+    double minSpeedup = 1e-3;
+
+    /** Clip super-linear samples to c * x (1.0 = hard Amdahl bound;
+     *  slightly above 1 tolerates measurement jitter). */
+    double superLinearSlack = 1.05;
+
+    /** Repair non-monotone dips with a running maximum (isotonic
+     *  envelope). Off leaves physical dips — parallel overheads do
+     *  produce them — and only fixes non-finite/out-of-band points. */
+    bool enforceMonotone = false;
+};
+
+/** What the repair pass changed (all zero on a clean curve). */
+struct SanitizeReport
+{
+    int nonFiniteRepaired = 0;  //!< NaN/Inf samples replaced.
+    int subSerialClamped = 0;   //!< Samples raised to minSpeedup.
+    int superLinearClamped = 0; //!< Samples clipped to slack * x.
+    int monotoneRaised = 0;     //!< Dips raised to the running max.
+
+    /** @return Total number of repaired samples. */
+    int total() const
+    {
+        return nonFiniteRepaired + subSerialClamped +
+               superLinearClamped + monotoneRaised;
+    }
+
+    /** @return true when the curve needed no repair. */
+    bool clean() const { return total() == 0; }
+};
+
+/**
+ * Repair a profiled speedup curve in place.
+ *
+ * @param speedups   s(x) samples, parallel to coreCounts.
+ * @param coreCounts The x values (each > 1); same length.
+ * @param opts       Repair knobs.
+ * @return What was changed.
+ * @throws FatalError on shape mismatch or invalid options (caller
+ *         bugs — the *data* never throws).
+ */
+SanitizeReport sanitizeSpeedups(std::vector<double> &speedups,
+                                const std::vector<int> &coreCounts,
+                                const SanitizeOptions &opts = {});
+
+/** Per-tenant f-report bounds and the misreport penalty. */
+struct ReportPolicy
+{
+    /** Reports below this clamp up (a zero-f report is a denial-of-
+     *  utility probe: it forces the even-split bidding path). */
+    double minFraction = 0.0;
+
+    /** Reports above this clamp down. The paper's Fig. 2 tops out
+     *  near 0.9997; a reported 1.0 claims embarrassing parallelism
+     *  no profiled workload exhibits. */
+    double maxFraction = 1.0;
+
+    /** Budget multiplier in (0, 1] applied once to any tenant whose
+     *  reports needed clamping — the market-side cost of misreporting
+     *  (1.0 = clamp silently, no penalty). */
+    double misreportPenalty = 1.0;
+};
+
+/** Outcome of policing one market's reports. */
+struct ReportAudit
+{
+    int clampedJobs = 0;      //!< Jobs whose f left the policy band.
+    int repairedJobs = 0;     //!< Jobs with non-finite f or weight.
+    int penalizedUsers = 0;   //!< Users whose budget was scaled.
+    std::vector<char> flagged; //!< Per-user misreport flag.
+
+    /** @return true when every report was inside the band. */
+    bool clean() const { return clampedJobs + repairedJobs == 0; }
+};
+
+/**
+ * Bounds-check tenant-reported job specs and apply the misreport
+ * penalty, producing the market that actually clears.
+ *
+ * This is the pre-admission form: raw reports are policed *before*
+ * market construction, which is what makes repair possible at all —
+ * FisherMarket::addUser rejects non-finite values outright, so a
+ * hostile report must be caught while it is still a plain spec.
+ * Non-finite fractions repair to the policy's midpoint and non-finite
+ * or non-positive weights to 1 (repair, not reject: the epoch must
+ * still clear). Budgets of flagged users are scaled by
+ * `policy.misreportPenalty`.
+ *
+ * @param capacities Server capacities C_j (operator-controlled).
+ * @param reports    Tenant-supplied users; fractions/weights may be
+ *                   arbitrary garbage, but budgets and server indices
+ *                   must already be valid (they come from the
+ *                   operator's entitlement ledger and placement, not
+ *                   from the tenant).
+ * @param policy     Bounds and penalty.
+ * @param audit      Optional out-param describing every change.
+ * @return The sanitized market.
+ */
+core::FisherMarket
+sanitizeMarketReports(std::vector<double> capacities,
+                      std::vector<core::MarketUser> reports,
+                      const ReportPolicy &policy,
+                      ReportAudit *audit = nullptr);
+
+/**
+ * Convenience overload over an already-constructed market (whose
+ * reports are necessarily finite; only band clamping can fire).
+ */
+core::FisherMarket
+sanitizeMarketReports(const core::FisherMarket &market,
+                      const ReportPolicy &policy,
+                      ReportAudit *audit = nullptr);
+
+} // namespace amdahl::profiling
+
+#endif // AMDAHL_PROFILING_SANITIZE_HH

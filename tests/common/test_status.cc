@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for the Status/Result trust-boundary error types.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/logging.hh"
+#include "common/status.hh"
+
+namespace amdahl {
+namespace {
+
+TEST(Status, OkIsOk)
+{
+    const auto st = Status::ok();
+    EXPECT_TRUE(st.isOk());
+    EXPECT_EQ(st.line(), 0);
+    EXPECT_TRUE(st.message().empty());
+}
+
+TEST(Status, ErrorCarriesKindLineAndMessage)
+{
+    const auto st = Status::error(ErrorKind::DomainError, 7,
+                                  "budget ", 3.5, " is too rich");
+    EXPECT_FALSE(st.isOk());
+    EXPECT_EQ(st.kind(), ErrorKind::DomainError);
+    EXPECT_EQ(st.line(), 7);
+    EXPECT_EQ(st.message(), "budget 3.5 is too rich");
+    EXPECT_EQ(st.toString(), "domain error at line 7: budget 3.5 is "
+                             "too rich");
+}
+
+TEST(Status, ZeroLineOmitsLineFromDiagnostic)
+{
+    const auto st =
+        Status::error(ErrorKind::IoError, 0, "cannot open file");
+    EXPECT_EQ(st.toString(), "io error: cannot open file");
+}
+
+TEST(Status, KindLabelsCoverTheTaxonomy)
+{
+    EXPECT_STREQ(toString(ErrorKind::ParseError), "parse error");
+    EXPECT_STREQ(toString(ErrorKind::DomainError), "domain error");
+    EXPECT_STREQ(toString(ErrorKind::SemanticError), "semantic error");
+    EXPECT_STREQ(toString(ErrorKind::IoError), "io error");
+}
+
+TEST(Result, HoldsValue)
+{
+    Result<int> r(42);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), 42);
+    EXPECT_EQ(r.take(), 42);
+}
+
+TEST(Result, HoldsStatus)
+{
+    Result<int> r(
+        Status::error(ErrorKind::ParseError, 3, "bad token"));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().kind(), ErrorKind::ParseError);
+    EXPECT_EQ(r.status().line(), 3);
+}
+
+TEST(Result, ValueOnFailurePanics)
+{
+    Result<int> r(Status::error(ErrorKind::ParseError, 1, "nope"));
+    EXPECT_THROW((void)r.value(), PanicError);
+    EXPECT_THROW((void)r.take(), PanicError);
+}
+
+TEST(Result, OkStatusWithoutValuePanics)
+{
+    EXPECT_THROW(Result<int>(Status::ok()), PanicError);
+}
+
+TEST(Result, OrFatalReturnsValueOrThrowsFatal)
+{
+    Result<std::string> good(std::string("fine"));
+    EXPECT_EQ(good.orFatal(), "fine");
+
+    Result<std::string> bad(
+        Status::error(ErrorKind::SemanticError, 9, "inconsistent"));
+    try {
+        bad.orFatal();
+        FAIL() << "orFatal did not throw";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("semantic error"),
+                  std::string::npos);
+        EXPECT_NE(std::string(err.what()).find("line 9"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace amdahl

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit tests for speedup-curve sanitization, robust aggregation, and
+ * market-report policing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/market.hh"
+#include "profiling/sanitize.hh"
+
+namespace amdahl::profiling {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(SanitizeSpeedups, CleanCurveIsUntouched)
+{
+    std::vector<double> s{1.8, 3.2, 5.5};
+    const std::vector<double> before = s;
+    const auto report = sanitizeSpeedups(s, {2, 4, 8});
+    EXPECT_TRUE(report.clean());
+    EXPECT_EQ(report.total(), 0);
+    EXPECT_EQ(s, before);
+}
+
+TEST(SanitizeSpeedups, RepairsNonFiniteToSerial)
+{
+    std::vector<double> s{kNan, 3.0, kInf};
+    const auto report = sanitizeSpeedups(s, {2, 4, 8});
+    EXPECT_EQ(report.nonFiniteRepaired, 2);
+    EXPECT_EQ(s[0], 1.0);
+    EXPECT_EQ(s[1], 3.0);
+    EXPECT_EQ(s[2], 1.0);
+}
+
+TEST(SanitizeSpeedups, ClampsSubSerialAndSuperLinear)
+{
+    std::vector<double> s{-2.0, 3.0, 100.0};
+    SanitizeOptions opts;
+    const auto report = sanitizeSpeedups(s, {2, 4, 8}, opts);
+    EXPECT_EQ(report.subSerialClamped, 1);
+    EXPECT_EQ(report.superLinearClamped, 1);
+    EXPECT_EQ(s[0], opts.minSpeedup);
+    EXPECT_EQ(s[2], opts.superLinearSlack * 8.0);
+}
+
+TEST(SanitizeSpeedups, MonotoneRepairIsOptIn)
+{
+    std::vector<double> dip{2.0, 1.5, 5.0};
+    auto copy = dip;
+    EXPECT_TRUE(sanitizeSpeedups(copy, {2, 4, 8}).clean());
+
+    SanitizeOptions opts;
+    opts.enforceMonotone = true;
+    const auto report = sanitizeSpeedups(dip, {2, 4, 8}, opts);
+    EXPECT_EQ(report.monotoneRaised, 1);
+    EXPECT_EQ(dip[1], 2.0);
+    EXPECT_EQ(dip[2], 5.0);
+}
+
+TEST(SanitizeSpeedups, CallerBugsThrow)
+{
+    std::vector<double> s{2.0};
+    EXPECT_THROW(sanitizeSpeedups(s, {2, 4}), FatalError);
+    SanitizeOptions bad;
+    bad.minSpeedup = 0.0;
+    EXPECT_THROW(sanitizeSpeedups(s, {2}, bad), FatalError);
+    bad = {};
+    bad.superLinearSlack = 0.5;
+    EXPECT_THROW(sanitizeSpeedups(s, {2}, bad), FatalError);
+    EXPECT_THROW(sanitizeSpeedups(s, {1}), FatalError);
+}
+
+core::FisherMarket
+twoUserMarket(double fA, double fB, double weightB = 1.0)
+{
+    core::FisherMarket market({10.0, 10.0});
+    core::MarketUser a;
+    a.name = "A";
+    a.budget = 2.0;
+    a.jobs.push_back({0, 0.5, 1.0});
+    a.jobs.push_back({1, fA, 1.0});
+    market.addUser(std::move(a));
+    core::MarketUser b;
+    b.name = "B";
+    b.budget = 1.0;
+    b.jobs.push_back({0, fB, weightB});
+    market.addUser(std::move(b));
+    return market;
+}
+
+TEST(SanitizeReports, InBandMarketPassesUnchanged)
+{
+    const auto market = twoUserMarket(0.9, 0.4);
+    ReportPolicy policy;
+    policy.minFraction = 0.01;
+    policy.maxFraction = 0.999;
+    ReportAudit audit;
+    const auto out = sanitizeMarketReports(market, policy, &audit);
+    EXPECT_TRUE(audit.clean());
+    EXPECT_EQ(audit.penalizedUsers, 0);
+    EXPECT_EQ(out.user(0).budget, 2.0);
+    EXPECT_EQ(out.user(1).jobs[0].parallelFraction, 0.4);
+}
+
+TEST(SanitizeReports, ClampsOutOfBandFractionAndPenalizes)
+{
+    const auto market = twoUserMarket(0.9, 1.0);
+    ReportPolicy policy;
+    policy.minFraction = 0.01;
+    policy.maxFraction = 0.99;
+    policy.misreportPenalty = 0.5;
+    ReportAudit audit;
+    const auto out = sanitizeMarketReports(market, policy, &audit);
+    EXPECT_EQ(audit.clampedJobs, 1);
+    EXPECT_EQ(audit.penalizedUsers, 1);
+    ASSERT_EQ(audit.flagged.size(), 2u);
+    EXPECT_EQ(audit.flagged[0], 0);
+    EXPECT_EQ(audit.flagged[1], 1);
+    EXPECT_EQ(out.user(1).jobs[0].parallelFraction, 0.99);
+    EXPECT_EQ(out.user(1).budget, 0.5); // 1.0 * penalty
+    EXPECT_EQ(out.user(0).budget, 2.0); // honest user untouched
+}
+
+TEST(SanitizeReports, InflatedFReportIsUnprofitable)
+{
+    // The §VI-E incentive: claiming f = 1.0 past the policy band must
+    // not grow the claimant's allocation once the penalty applies.
+    const auto honest = twoUserMarket(0.9, 0.95);
+    const auto inflated = twoUserMarket(0.9, 1.0);
+    ReportPolicy policy;
+    policy.maxFraction = 0.99;
+    policy.misreportPenalty = 0.8;
+    const auto cleared = sanitizeMarketReports(inflated, policy);
+    // The inflated report was clamped to the band edge and the budget
+    // docked, so the liar's entitlement share strictly shrank.
+    EXPECT_LT(cleared.entitlementShare(1),
+              honest.entitlementShare(1));
+    EXPECT_EQ(cleared.user(1).jobs[0].parallelFraction, 0.99);
+}
+
+TEST(SanitizeReports, RepairsNonFiniteReports)
+{
+    // FisherMarket::addUser rejects non-finite values outright, so a
+    // hostile report only exists as a raw spec — the pre-admission
+    // overload is the one place the repair path can fire.
+    core::MarketUser hostile;
+    hostile.name = "sly";
+    hostile.budget = 1.0;
+    hostile.jobs.push_back({0, kNan, kInf});
+    core::MarketUser honest;
+    honest.name = "ok";
+    honest.budget = 2.0;
+    honest.jobs.push_back({0, 0.5, 1.0});
+
+    ReportPolicy policy;
+    policy.minFraction = 0.2;
+    policy.maxFraction = 0.8;
+    policy.misreportPenalty = 0.5;
+    ReportAudit audit;
+    std::vector<core::MarketUser> reports;
+    reports.push_back(std::move(hostile));
+    reports.push_back(std::move(honest));
+    const auto market = sanitizeMarketReports(
+        {8.0}, std::move(reports), policy, &audit);
+
+    EXPECT_EQ(audit.repairedJobs, 2); // fraction + weight
+    EXPECT_EQ(audit.clampedJobs, 0);
+    EXPECT_EQ(audit.penalizedUsers, 1);
+    ASSERT_EQ(audit.flagged.size(), 2u);
+    EXPECT_EQ(audit.flagged[0], 1);
+    EXPECT_EQ(audit.flagged[1], 0);
+    // NaN fraction repairs to the band midpoint, Inf weight to 1.
+    EXPECT_EQ(market.user(0).jobs[0].parallelFraction, 0.5);
+    EXPECT_EQ(market.user(0).jobs[0].weight, 1.0);
+    EXPECT_EQ(market.user(0).budget, 0.5); // 1.0 * penalty
+    EXPECT_EQ(market.user(1).budget, 2.0);
+    // The repaired market passes full validation and can clear.
+    market.validate();
+}
+
+TEST(SanitizeReports, BadPolicyThrows)
+{
+    const auto market = twoUserMarket(0.5, 0.5);
+    ReportPolicy bad;
+    bad.minFraction = 0.9;
+    bad.maxFraction = 0.1;
+    EXPECT_THROW(sanitizeMarketReports(market, bad), FatalError);
+    bad = {};
+    bad.misreportPenalty = 0.0;
+    EXPECT_THROW(sanitizeMarketReports(market, bad), FatalError);
+    bad.misreportPenalty = 1.5;
+    EXPECT_THROW(sanitizeMarketReports(market, bad), FatalError);
+}
+
+} // namespace
+} // namespace amdahl::profiling
