@@ -69,5 +69,6 @@ main()
                  "user population, shrink with more servers (smaller "
                  "bids per job), and respond non-monotonically to "
                  "density.\n";
+    bench::emitMetrics("fig13_convergence", cfg);
     return 0;
 }

@@ -143,5 +143,6 @@ main()
                  "deficit ratio tightens cumulative entitlement "
                  "tracking at no throughput cost — deficit "
                  "round-robin's idea, expressed as market weights.\n";
+    bench::emitMetrics("online_market", bench::benchConfig());
     return 0;
 }

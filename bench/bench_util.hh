@@ -17,8 +17,10 @@
 #include <iostream>
 #include <string>
 
+#include "common/json.hh"
 #include "common/table.hh"
 #include "eval/experiment.hh"
+#include "obs/metrics.hh"
 
 namespace amdahl::bench {
 
@@ -96,6 +98,41 @@ emitJson(const TablePrinter &table, const std::string &name)
             std::cerr << "could not open " << path << "\n";
         }
     }
+}
+
+/**
+ * Dump the metrics-registry snapshot accumulated by this bench run,
+ * wrapped with enough run metadata (seed, scale knobs, build flags) to
+ * interpret the numbers later, as <dir>/<name>.metrics.json.
+ *
+ * Gated on AMDAHL_BENCH_METRICS_DIR: when the variable is unset this
+ * is a no-op and the bench's stdout stays bit-identical to a build
+ * without telemetry.
+ */
+inline void
+emitMetrics(const std::string &name,
+            const eval::ExperimentDriver::Config &cfg)
+{
+    const char *dir = std::getenv("AMDAHL_BENCH_METRICS_DIR");
+    if (dir == nullptr)
+        return;
+    const std::string path =
+        std::string(dir) + "/" + name + ".metrics.json";
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "could not open " << path << "\n";
+        return;
+    }
+    out << "{\"run\":{\"bench\":" << jsonEscape(name)
+        << ",\"seed\":" << cfg.seed
+        << ",\"populations\":" << cfg.populationsPerPoint
+        << ",\"users\":" << cfg.users
+        << ",\"server_multiplier\":" << jsonNumber(cfg.serverMultiplier)
+        << ",\"build_flags\":" << jsonEscape(obs::buildFlagsString())
+        << "},\"metrics\":";
+    obs::metrics().writeJson(out);
+    out << "}\n";
+    std::cerr << "wrote " << path << "\n";
 }
 
 } // namespace amdahl::bench

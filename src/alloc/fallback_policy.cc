@@ -6,8 +6,31 @@
 #include "common/check.hh"
 #include "common/logging.hh"
 #include "core/rounding.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace amdahl::alloc {
+
+namespace {
+
+/** Ladder bookkeeping shared by every exit: which rung served, and
+ *  why — a counter for aggregates, a trace event for the post-mortem. */
+void
+recordServe(ServeMode mode, const core::MarketOutcome &outcome)
+{
+    obs::metrics()
+        .counter(std::string("fallback.serves.") + toString(mode))
+        .add();
+    if (auto *sink = obs::traceSink()) {
+        obs::TraceEvent(*sink, "fallback_serve")
+            .field("rung", toString(mode))
+            .field("converged", outcome.converged)
+            .field("iterations", outcome.iterations)
+            .field("deadline_expired", outcome.deadlineExpired);
+    }
+}
+
+} // namespace
 
 FallbackPolicy::FallbackPolicy(core::BiddingOptions primary_opts,
                                FallbackOptions fallback)
@@ -50,6 +73,7 @@ FallbackPolicy::ladder(const core::FisherMarket &market,
     if (attempt.converged || !fb.enabled) {
         result.outcome = std::move(attempt);
         result.cores = core::roundOutcome(market, result.outcome);
+        recordServe(result.mode, result.outcome);
         if constexpr (checkedBuild)
             auditAllocation(market, result);
         return result;
@@ -62,6 +86,7 @@ FallbackPolicy::ladder(const core::FisherMarket &market,
         result.outcome = std::move(attempt);
         result.cores = core::roundOutcome(market, result.outcome);
         result.mode = ServeMode::DeadlineAnytime;
+        recordServe(result.mode, result.outcome);
         if constexpr (checkedBuild)
             auditAllocation(market, result);
         return result;
@@ -83,6 +108,7 @@ FallbackPolicy::ladder(const core::FisherMarket &market,
         result.cores = core::roundOutcome(market, result.outcome);
         result.mode = retried.converged ? ServeMode::DampedRetry
                                         : ServeMode::DeadlineAnytime;
+        recordServe(result.mode, result.outcome);
         if constexpr (checkedBuild)
             auditAllocation(market, result);
         return result;
@@ -97,6 +123,7 @@ FallbackPolicy::ladder(const core::FisherMarket &market,
     result.mode = ServeMode::ProportionalFallback;
     result.outcome.iterations = retried.iterations;
     result.outcome.converged = false;
+    recordServe(result.mode, result.outcome);
     if constexpr (checkedBuild)
         auditAllocation(market, result);
     return result;

@@ -1,0 +1,77 @@
+#include "json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace amdahl {
+
+void
+appendJsonEscaped(std::string &out, std::string_view value)
+{
+    out += '"';
+    for (char ch : value) {
+        switch (ch) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(ch)));
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    out += '"';
+}
+
+std::string
+jsonEscape(std::string_view value)
+{
+    std::string out;
+    out.reserve(value.size() + 2);
+    appendJsonEscaped(out, value);
+    return out;
+}
+
+std::string
+jsonNumber(double value)
+{
+    if (!std::isfinite(value))
+        return "null";
+    // Integers stay integers: %g would render 60.0 as "6e+01", which
+    // round-trips but reads badly in traces and golden files.
+    if (value == std::floor(value) && std::abs(value) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", value);
+        return buf;
+    }
+    // Shortest representation that round-trips: try increasing
+    // precision until strtod reads the same bits back.
+    char buf[40];
+    for (int precision = 1; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+        if (std::strtod(buf, nullptr) == value)
+            break;
+    }
+    return buf;
+}
+
+} // namespace amdahl

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * JSON emission helpers.
+ *
+ * The repo writes JSON from several places — TablePrinter::writeJson,
+ * the metrics exporters, and the trace sink — and they must agree on
+ * escaping and number formatting byte for byte (trace files are golden
+ * tested). This is the single implementation they all share.
+ */
+
+#ifndef AMDAHL_COMMON_JSON_HH
+#define AMDAHL_COMMON_JSON_HH
+
+#include <string>
+#include <string_view>
+
+namespace amdahl {
+
+/**
+ * Append @p value to @p out as a JSON string literal (including the
+ * surrounding quotes). Quotes, backslashes, and control bytes below
+ * 0x20 are escaped; everything else passes through verbatim.
+ */
+void appendJsonEscaped(std::string &out, std::string_view value);
+
+/** @return @p value as a quoted JSON string literal. */
+std::string jsonEscape(std::string_view value);
+
+/**
+ * Format a double as a JSON number token.
+ *
+ * Finite values render with the fewest significant digits that
+ * round-trip exactly (so emitters stay deterministic across runs).
+ * JSON has no non-finite numbers: NaN and infinities render as
+ * `null`.
+ */
+std::string jsonNumber(double value);
+
+} // namespace amdahl
+
+#endif // AMDAHL_COMMON_JSON_HH

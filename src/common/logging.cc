@@ -8,6 +8,7 @@ namespace amdahl {
 namespace {
 
 std::atomic<LogLevel> globalLevel{LogLevel::Warn};
+std::atomic<detail::LogSinkHook> globalLogSink{nullptr};
 
 } // namespace
 
@@ -25,9 +26,19 @@ logLevel()
 
 namespace detail {
 
+LogSinkHook
+setLogSinkHook(LogSinkHook hook)
+{
+    return globalLogSink.exchange(hook);
+}
+
 void
 emitLog(LogLevel level, const std::string &msg)
 {
+    // The structured sink sees every message; the verbosity filter
+    // below only governs the human-facing stderr stream.
+    if (auto *hook = globalLogSink.load())
+        hook(level, msg);
     if (static_cast<int>(level) > static_cast<int>(globalLevel.load()))
         return;
     const char *tag = level == LogLevel::Warn ? "warn: " : "info: ";

@@ -103,6 +103,22 @@ namespace detail {
 
 void emitLog(LogLevel level, const std::string &msg);
 
+/**
+ * Observer of every warn()/inform() message, regardless of the
+ * verbosity filter (the filter governs stderr only; a structured
+ * sink wants the suppressed messages too). Installed by the obs
+ * layer's trace sink — common/ cannot depend on obs/, so the
+ * coupling is this one function pointer.
+ */
+using LogSinkHook = void (*)(LogLevel, const std::string &);
+
+/**
+ * Install (or clear, with nullptr) the log observer.
+ *
+ * @return The previously installed hook.
+ */
+LogSinkHook setLogSinkHook(LogSinkHook hook);
+
 } // namespace detail
 
 /** Report a suspicious-but-survivable condition to stderr. */

@@ -1,12 +1,12 @@
 #include "table.hh"
 
 #include <algorithm>
-#include <cstdio>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 
 #include "csv.hh"
+#include "json.hh"
 #include "logging.hh"
 
 namespace amdahl {
@@ -174,50 +174,6 @@ TablePrinter::writeCsv(std::ostream &os) const
     for (const auto &row : rows)
         csv.writeRow(row);
 }
-
-namespace {
-
-/** JSON string literal: quotes, backslashes, and control bytes. */
-std::string
-jsonEscape(const std::string &value)
-{
-    std::string out;
-    out.reserve(value.size() + 2);
-    out += '"';
-    for (char ch : value) {
-        switch (ch) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          case '\r':
-            out += "\\r";
-            break;
-          default:
-            if (static_cast<unsigned char>(ch) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x",
-                              static_cast<unsigned>(
-                                  static_cast<unsigned char>(ch)));
-                out += buf;
-            } else {
-                out += ch;
-            }
-        }
-    }
-    out += '"';
-    return out;
-}
-
-} // namespace
 
 void
 TablePrinter::writeJson(std::ostream &os) const

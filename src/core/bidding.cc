@@ -10,6 +10,9 @@
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "core/amdahl.hh"
+#include "obs/metrics.hh"
+#include "obs/timer.hh"
+#include "obs/trace.hh"
 
 namespace amdahl::core {
 
@@ -101,6 +104,21 @@ solveAmdahlBidding(const FisherMarket &market, const BiddingOptions &opts)
     const std::size_t n = market.userCount();
     const std::size_t m = market.serverCount();
 
+    obs::ScopedTimer solve_timer(
+        obs::timeHistogram("time.bidding.solve_us"));
+    if (auto *sink = obs::traceSink()) {
+        obs::TraceEvent(*sink, "bidding_start")
+            .field("users", n)
+            .field("servers", m)
+            .field("schedule",
+                   opts.schedule == UpdateSchedule::GaussSeidel
+                       ? "gauss_seidel"
+                       : "synchronous")
+            .field("damping", opts.damping)
+            .field("warm_start", !opts.initialBids.empty())
+            .field("deadline_armed", opts.deadline.enabled());
+    }
+
     BiddingResult result;
     result.bids.resize(n);
     result.prices.assign(m, 0.0);
@@ -182,6 +200,7 @@ solveAmdahlBidding(const FisherMarket &market, const BiddingOptions &opts)
     // sound transport (the default) no generator is ever touched.
     const bool lossy = opts.transport.lossRate > 0.0;
     Rng loss_rng(opts.transport.seed);
+    std::uint64_t lost_messages = 0;
 
     std::vector<double> new_prices(m);
     std::vector<double> proposal;
@@ -197,6 +216,7 @@ solveAmdahlBidding(const FisherMarket &market, const BiddingOptions &opts)
                 // bids stand for the round (they still sum to her
                 // budget, so no invariant moves).
                 round_lost_message = true;
+                ++lost_messages;
                 continue;
             }
             const auto &user = market.user(i);
@@ -252,6 +272,12 @@ solveAmdahlBidding(const FisherMarket &market, const BiddingOptions &opts)
         result.iterations = it + 1;
         if (opts.trackHistory)
             result.priceDeltaHistory.push_back(max_delta);
+        if (auto *sink = obs::traceSink()) {
+            obs::TraceEvent(*sink, "bidding_iter")
+                .field("iter", it + 1)
+                .field("max_delta", max_delta)
+                .field("lost_messages", round_lost_message);
+        }
         // A round with lost messages can leave prices spuriously
         // still (nobody moved), so it never counts as convergence.
         if (max_delta < opts.priceTolerance && !round_lost_message) {
@@ -286,6 +312,11 @@ solveAmdahlBidding(const FisherMarket &market, const BiddingOptions &opts)
                 result.bids = std::move(best_bids);
                 result.prices = std::move(best_prices);
                 result.deadlineExpired = true;
+                if (auto *sink = obs::traceSink()) {
+                    obs::TraceEvent(*sink, "deadline_expired")
+                        .field("iter", it + 1)
+                        .field("best_delta", best_delta);
+                }
                 break;
             }
         }
@@ -295,6 +326,25 @@ solveAmdahlBidding(const FisherMarket &market, const BiddingOptions &opts)
         result.elapsedSeconds =
             std::chrono::duration<double>(Clock::now() - start_time)
                 .count();
+    }
+
+    {
+        auto &reg = obs::metrics();
+        reg.counter("bidding.solves").add();
+        reg.counter("bidding.iterations")
+            .add(static_cast<std::uint64_t>(result.iterations));
+        if (!result.converged)
+            reg.counter("bidding.non_converged").add();
+        if (result.deadlineExpired)
+            reg.counter("bidding.deadline_expired").add();
+        if (lost_messages > 0)
+            reg.counter("bidding.lost_messages").add(lost_messages);
+    }
+    if (auto *sink = obs::traceSink()) {
+        obs::TraceEvent(*sink, "bidding_end")
+            .field("iterations", result.iterations)
+            .field("converged", result.converged)
+            .field("deadline_expired", result.deadlineExpired);
     }
 
     // Final allocations: x_ij = b_ij / p_j.

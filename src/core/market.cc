@@ -7,6 +7,8 @@
 #include "common/invariants.hh"
 #include "common/logging.hh"
 #include "core/amdahl.hh"
+#include "obs/metrics.hh"
+#include "obs/timer.hh"
 #include "solver/water_filling.hh"
 
 namespace amdahl::core {
@@ -170,6 +172,10 @@ verifyEquilibrium(const FisherMarket &market, const MarketOutcome &outcome)
         fatal("outcome has wrong user count");
     }
 
+    obs::ScopedTimer verify_timer(
+        obs::timeHistogram("time.market.verify_us"));
+    obs::metrics().counter("market.equilibrium_verifications").add();
+
     EquilibriumCheck check;
 
     // Contract: an outcome under verification has positive, finite
@@ -223,6 +229,14 @@ verifyEquilibrium(const FisherMarket &market, const MarketOutcome &outcome)
                 std::max(check.maxOptimalityGap, gap);
         }
     }
+    // Published so an operator can watch certificate quality drift
+    // without parsing bench output.
+    auto &reg = obs::metrics();
+    reg.gauge("market.last_clearing_residual")
+        .set(check.maxClearingResidual);
+    reg.gauge("market.last_budget_residual")
+        .set(check.maxBudgetResidual);
+    reg.gauge("market.last_optimality_gap").set(check.maxOptimalityGap);
     return check;
 }
 

@@ -6,6 +6,8 @@
 
 #include "common/check.hh"
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/timer.hh"
 
 namespace amdahl::core {
 
@@ -71,6 +73,10 @@ hamiltonRound(const std::vector<double> &fractional, int capacity)
 std::vector<std::vector<int>>
 roundOutcome(const FisherMarket &market, const MarketOutcome &outcome)
 {
+    obs::ScopedTimer round_timer(
+        obs::timeHistogram("time.rounding.outcome_us"));
+    obs::metrics().counter("rounding.outcomes").add();
+
     const std::size_t n = market.userCount();
     if (outcome.allocation.size() != n)
         fatal("outcome allocation has wrong user count");

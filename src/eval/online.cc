@@ -9,6 +9,8 @@
 #include "common/random.hh"
 #include "common/stats.hh"
 #include "core/bidding.hh"
+#include "obs/timer.hh"
+#include "obs/trace.hh"
 #include "sim/workload_library.hh"
 
 namespace amdahl::eval {
@@ -90,6 +92,18 @@ OnlineSimulator::run(const alloc::AllocationPolicy &policy,
     OnlineMetrics metrics;
     metrics.policyName = policy.name();
 
+    if (auto *sink = obs::traceSink()) {
+        obs::TraceEvent(*sink, "run_start")
+            .field("policy", metrics.policyName)
+            .field("seed", opts_.seed)
+            .field("users", opts_.users)
+            .field("servers", opts_.servers)
+            .field("epoch_seconds", opts_.epochSeconds)
+            .field("horizon_seconds", opts_.horizonSeconds)
+            .field("faults", opts_.faults.enabled)
+            .field("admission", opts_.admission.enabled);
+    }
+
     const auto &library = sim::workloadLibrary();
     std::vector<OnlineJob> jobs;
     OnlineStats occupancy;
@@ -128,6 +142,13 @@ OnlineSimulator::run(const alloc::AllocationPolicy &policy,
 
     for (int epoch = 0; epoch < epochs; ++epoch) {
         const double now = epoch * opts_.epochSeconds;
+        obs::ScopedTimer epoch_timer(
+            obs::timeHistogram("time.online.epoch_us"));
+        if (auto *sink = obs::traceSink()) {
+            obs::TraceEvent(*sink, "epoch_start")
+                .field("epoch", epoch)
+                .field("now", now);
+        }
 
         // 0. Fault-schedule bookkeeping: recovered servers rejoin the
         //    market, and jobs stranded by a total outage are placed as
@@ -137,6 +158,12 @@ OnlineSimulator::run(const alloc::AllocationPolicy &policy,
                 if (!live[j]) {
                     live[j] = 1;
                     placer.setServerLive(j, true);
+                    if (auto *sink = obs::traceSink()) {
+                        obs::TraceEvent(*sink, "churn")
+                            .field("epoch", epoch)
+                            .field("kind", "recovery")
+                            .field("server", j);
+                    }
                 }
             }
             std::fill(crashing.begin(), crashing.end(), 0);
@@ -166,16 +193,31 @@ OnlineSimulator::run(const alloc::AllocationPolicy &policy,
                 live[j] = 0;
                 placer.setServerLive(j, false);
                 ++metrics.crashEvents;
+                if (auto *sink = obs::traceSink()) {
+                    obs::TraceEvent(*sink, "churn")
+                        .field("epoch", epoch)
+                        .field("kind", "crash")
+                        .field("server", j);
+                }
                 for (auto &job : jobs) {
                     if (job.done() || job.server != j)
                         continue;
                     const double done_work =
                         job.totalWork - job.remainingWork;
                     if (done_work > job.checkpointedWork) {
-                        metrics.workLostSeconds +=
+                        const double lost =
                             done_work - job.checkpointedWork;
+                        metrics.workLostSeconds += lost;
                         job.remainingWork =
                             job.totalWork - job.checkpointedWork;
+                        if (auto *sink = obs::traceSink()) {
+                            obs::TraceEvent(*sink,
+                                            "checkpoint_rollback")
+                                .field("epoch", epoch)
+                                .field("user", job.user)
+                                .field("server", j)
+                                .field("lost_work", lost);
+                        }
                     }
                     job.epochsSinceCheckpoint = 0;
                     placer.jobFinished(j);
@@ -207,6 +249,15 @@ OnlineSimulator::run(const alloc::AllocationPolicy &policy,
                 wait_queue.pop_front();
                 job.server = placer.place();
                 queue_delay_sum += now - job.arrivalSeconds;
+                if (auto *sink = obs::traceSink()) {
+                    obs::TraceEvent(*sink, "admission")
+                        .field("epoch", epoch)
+                        .field("action", "admit_from_queue")
+                        .field("user", job.user)
+                        .field("wait_seconds",
+                               now - job.arrivalSeconds)
+                        .field("queue_len", wait_queue.size());
+                }
                 jobs.push_back(job);
                 ++in_flight;
             }
@@ -235,16 +286,28 @@ OnlineSimulator::run(const alloc::AllocationPolicy &policy,
                                              opts_.workScaleMax);
             job.remainingWork = job.totalWork;
             ++metrics.jobsArrived;
+            auto trace_arrival = [&](const char *action) {
+                if (auto *sink = obs::traceSink()) {
+                    obs::TraceEvent(*sink, "admission")
+                        .field("epoch", epoch)
+                        .field("action", action)
+                        .field("user", job.user)
+                        .field("workload", job.workloadIndex)
+                        .field("work", job.totalWork);
+                }
+            };
             if (!admission) {
                 if (faulty && !placer.anyLive())
                     job.server = OnlineJob::kUnplaced;
                 else
                     job.server = placer.place();
+                trace_arrival(job.unplaced() ? "park" : "admit");
                 jobs.push_back(job);
                 ++in_flight;
             } else if (static_cast<double>(in_flight) < admit_cap &&
                        (!faulty || placer.anyLive())) {
                 job.server = placer.place();
+                trace_arrival("admit");
                 jobs.push_back(job);
                 ++in_flight;
             } else {
@@ -254,6 +317,7 @@ OnlineSimulator::run(const alloc::AllocationPolicy &policy,
                 // drop.
                 wait_queue.push_back(job);
                 ++metrics.jobsQueued;
+                trace_arrival("queue");
                 if (wait_queue.size() >
                     static_cast<std::size_t>(
                         opts_.admission.maxQueueLength)) {
@@ -266,6 +330,14 @@ OnlineSimulator::run(const alloc::AllocationPolicy &policy,
                                 victim = q;
                             }
                         }
+                    }
+                    if (auto *sink = obs::traceSink()) {
+                        obs::TraceEvent(*sink, "admission")
+                            .field("epoch", epoch)
+                            .field("action", "shed")
+                            .field("user", wait_queue[victim].user)
+                            .field("queue_len",
+                                   wait_queue.size() - 1);
                     }
                     wait_queue.erase(
                         wait_queue.begin() +
@@ -296,6 +368,12 @@ OnlineSimulator::run(const alloc::AllocationPolicy &policy,
         if (active.empty()) {
             metrics.speedupHistory.push_back(0.0);
             apply_crashes();
+            if (auto *sink = obs::traceSink()) {
+                obs::TraceEvent(*sink, "epoch_end")
+                    .field("epoch", epoch)
+                    .field("in_system", in_system)
+                    .field("idle", true);
+            }
             continue;
         }
 
@@ -540,6 +618,17 @@ OnlineSimulator::run(const alloc::AllocationPolicy &policy,
                 }
             }
         }
+
+        if (auto *sink = obs::traceSink()) {
+            obs::TraceEvent(*sink, "epoch_end")
+                .field("epoch", epoch)
+                .field("in_system", in_system)
+                .field("idle", false)
+                .field("mode", alloc::toString(result.mode))
+                .field("weighted_speedup",
+                       metrics.speedupHistory.back())
+                .field("jobs_completed", metrics.jobsCompleted);
+        }
     }
 
     // 5. Aggregate metrics.
@@ -591,6 +680,33 @@ OnlineSimulator::run(const alloc::AllocationPolicy &policy,
         metrics.meanQueueDelaySeconds =
             queue_delay_sum / static_cast<double>(jobs.size());
     }
+
+    {
+        auto &reg = obs::metrics();
+        reg.counter("online.runs").add();
+        reg.counter("online.epochs")
+            .add(static_cast<std::uint64_t>(epochs));
+        reg.counter("online.jobs_arrived")
+            .add(static_cast<std::uint64_t>(metrics.jobsArrived));
+        reg.counter("online.jobs_completed")
+            .add(static_cast<std::uint64_t>(metrics.jobsCompleted));
+        reg.counter("online.jobs_shed")
+            .add(static_cast<std::uint64_t>(metrics.jobsShed));
+        reg.counter("online.crash_events")
+            .add(static_cast<std::uint64_t>(metrics.crashEvents));
+    }
+    if (auto *sink = obs::traceSink()) {
+        obs::TraceEvent(*sink, "run_end")
+            .field("policy", metrics.policyName)
+            .field("jobs_arrived", metrics.jobsArrived)
+            .field("jobs_completed", metrics.jobsCompleted)
+            .field("jobs_shed", metrics.jobsShed)
+            .field("non_converged_epochs", metrics.nonConvergedEpochs)
+            .field("deadline_expired_epochs",
+                   metrics.deadlineExpiredEpochs);
+        sink->flush();
+    }
+    metrics.metricsSnapshot = obs::metrics().snapshot();
 
     metrics.jobs = std::move(jobs);
     return metrics;

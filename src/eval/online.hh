@@ -27,6 +27,7 @@
 #include "alloc/placement.hh"
 #include "alloc/policy.hh"
 #include "eval/characterization.hh"
+#include "obs/metrics.hh"
 #include "robustness/fault_injector.hh"
 
 namespace amdahl::eval {
@@ -251,6 +252,16 @@ struct OnlineMetrics
 
     /** The full job log (completed and still-running). */
     std::vector<OnlineJob> jobs;
+
+    /**
+     * Snapshot of the process-wide metrics registry taken as the run
+     * ended (obs/metrics.hh): bidding iteration counts, fallback
+     * serves, phase-timing histograms when timing was enabled, and so
+     * on. Cumulative across runs in the same process — diff two
+     * snapshots to attribute counts to one run. Embedded in the bench
+     * JSON export so collected artifacts carry their own telemetry.
+     */
+    obs::MetricsSnapshot metricsSnapshot;
 };
 
 /**

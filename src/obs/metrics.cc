@@ -1,0 +1,315 @@
+#include "metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace amdahl::obs {
+
+Histogram::Histogram(std::vector<double> upperBounds)
+    : bounds_(std::move(upperBounds))
+{
+    if (bounds_.empty())
+        fatal("histogram needs at least one bucket bound");
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+        if (!std::isfinite(bounds_[i]))
+            fatal("histogram bucket bounds must be finite");
+        if (i > 0 && bounds_[i] <= bounds_[i - 1]) {
+            fatal("histogram bucket bounds must be strictly "
+                  "increasing");
+        }
+    }
+    counts_.assign(bounds_.size() + 1, 0);
+}
+
+void
+Histogram::record(double value)
+{
+    // NaN is unordered against every bound (lower_bound would file it
+    // under the *first* bucket); count it in the overflow bucket and
+    // keep it out of min/max/sum so one bad sample cannot poison the
+    // aggregates.
+    if (std::isnan(value)) {
+        ++counts_.back();
+        ++count_;
+        return;
+    }
+    // Bucket i counts value <= bounds_[i]: first bound >= value.
+    const auto it =
+        std::lower_bound(bounds_.begin(), bounds_.end(), value);
+    ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+    if (sampled_ == 0) {
+        min_ = max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++sampled_;
+    ++count_;
+    sum_ += value;
+}
+
+namespace {
+
+/** Shared quantile estimate over bucketed counts (see
+ *  Histogram::quantile). */
+double
+bucketQuantile(const std::vector<double> &bounds,
+               const std::vector<std::uint64_t> &counts,
+               std::uint64_t total, double lo_seen, double hi_seen,
+               double q)
+{
+    if (total == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Target rank in [1, total].
+    const double rank = std::max(1.0, q * static_cast<double>(total));
+    double cumulative = 0.0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        const double in_bucket = static_cast<double>(counts[i]);
+        if (in_bucket == 0.0)
+            continue;
+        if (cumulative + in_bucket < rank) {
+            cumulative += in_bucket;
+            continue;
+        }
+        if (i == bounds.size())
+            return hi_seen; // Overflow bucket: all we know is the max.
+        const double hi = std::min(bounds[i], hi_seen);
+        const double lo = std::max(
+            i == 0 ? lo_seen : bounds[i - 1], lo_seen);
+        if (hi <= lo)
+            return hi;
+        const double fraction = (rank - cumulative) / in_bucket;
+        return lo + fraction * (hi - lo);
+    }
+    return hi_seen;
+}
+
+} // namespace
+
+double
+Histogram::quantile(double q) const
+{
+    return bucketQuantile(bounds_, counts_, count_, minSeen(),
+                          maxSeen(), q);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    count_ = 0;
+    sampled_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+double
+HistogramSample::quantile(double q) const
+{
+    return bucketQuantile(upperBounds, bucketCounts, count,
+                          count ? min : 0.0, count ? max : 0.0, q);
+}
+
+Counter &
+MetricsRegistry::counter(std::string_view name)
+{
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+        it = counters_
+                 .emplace(std::string(name),
+                          std::make_unique<Counter>())
+                 .first;
+    }
+    return *it->second;
+}
+
+Gauge &
+MetricsRegistry::gauge(std::string_view name)
+{
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+        it = gauges_
+                 .emplace(std::string(name), std::make_unique<Gauge>())
+                 .first;
+    }
+    return *it->second;
+}
+
+Histogram &
+MetricsRegistry::histogram(std::string_view name,
+                           const std::vector<double> &upperBounds)
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_
+                 .emplace(std::string(name),
+                          std::make_unique<Histogram>(upperBounds))
+                 .first;
+    } else if (!upperBounds.empty() &&
+               upperBounds != it->second->upperBounds()) {
+        fatal("histogram '", std::string(name),
+              "' re-registered with different bucket bounds");
+    }
+    return *it->second;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    snap.counters.reserve(counters_.size());
+    for (const auto &[name, c] : counters_)
+        snap.counters.push_back({name, c->value()});
+    snap.gauges.reserve(gauges_.size());
+    for (const auto &[name, g] : gauges_)
+        snap.gauges.push_back({name, g->value()});
+    snap.histograms.reserve(histograms_.size());
+    for (const auto &[name, h] : histograms_) {
+        HistogramSample sample;
+        sample.name = name;
+        sample.upperBounds = h->upperBounds();
+        sample.bucketCounts.reserve(h->upperBounds().size() + 1);
+        for (std::size_t i = 0; i <= h->upperBounds().size(); ++i)
+            sample.bucketCounts.push_back(h->bucketCount(i));
+        sample.count = h->count();
+        sample.sum = h->sum();
+        sample.min = h->minSeen();
+        sample.max = h->maxSeen();
+        snap.histograms.push_back(std::move(sample));
+    }
+    return snap;
+}
+
+void
+MetricsRegistry::reset()
+{
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_)
+        g->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
+}
+
+void
+MetricsRegistry::writeText(std::ostream &os) const
+{
+    snapshot().writeText(os);
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    snapshot().writeJson(os);
+}
+
+void
+MetricsSnapshot::writeText(std::ostream &os) const
+{
+    for (const auto &c : counters)
+        os << "counter " << c.name << " = " << c.value << "\n";
+    for (const auto &g : gauges)
+        os << "gauge " << g.name << " = " << jsonNumber(g.value)
+           << "\n";
+    for (const auto &h : histograms) {
+        os << "histogram " << h.name << " count=" << h.count
+           << " sum=" << jsonNumber(h.sum)
+           << " min=" << jsonNumber(h.min)
+           << " max=" << jsonNumber(h.max)
+           << " p50=" << jsonNumber(h.quantile(0.50))
+           << " p95=" << jsonNumber(h.quantile(0.95))
+           << " p99=" << jsonNumber(h.quantile(0.99)) << "\n";
+    }
+}
+
+void
+MetricsSnapshot::writeJson(std::ostream &os) const
+{
+    std::string out;
+    out += "{\"counters\":{";
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+        if (i > 0)
+            out += ",";
+        appendJsonEscaped(out, counters[i].name);
+        out += ":" + std::to_string(counters[i].value);
+    }
+    out += "},\"gauges\":{";
+    for (std::size_t i = 0; i < gauges.size(); ++i) {
+        if (i > 0)
+            out += ",";
+        appendJsonEscaped(out, gauges[i].name);
+        out += ":" + jsonNumber(gauges[i].value);
+    }
+    out += "},\"histograms\":{";
+    for (std::size_t i = 0; i < histograms.size(); ++i) {
+        const auto &h = histograms[i];
+        if (i > 0)
+            out += ",";
+        appendJsonEscaped(out, h.name);
+        out += ":{\"count\":" + std::to_string(h.count);
+        out += ",\"sum\":" + jsonNumber(h.sum);
+        out += ",\"min\":" + jsonNumber(h.min);
+        out += ",\"max\":" + jsonNumber(h.max);
+        out += ",\"p50\":" + jsonNumber(h.quantile(0.50));
+        out += ",\"p95\":" + jsonNumber(h.quantile(0.95));
+        out += ",\"p99\":" + jsonNumber(h.quantile(0.99));
+        out += ",\"buckets\":[";
+        for (std::size_t b = 0; b < h.bucketCounts.size(); ++b) {
+            if (b > 0)
+                out += ",";
+            // The overflow bucket's bound renders as null
+            // (jsonNumber of +inf).
+            const double bound =
+                b < h.upperBounds.size()
+                    ? h.upperBounds[b]
+                    : std::numeric_limits<double>::infinity();
+            out += "{\"le\":" + jsonNumber(bound);
+            out += ",\"count\":" + std::to_string(h.bucketCounts[b]);
+            out += "}";
+        }
+        out += "]}";
+    }
+    out += "}}";
+    os << out;
+}
+
+MetricsRegistry &
+metrics()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+std::string
+buildFlagsString()
+{
+    std::string flags;
+#ifdef NDEBUG
+    flags += "ndebug";
+#else
+    flags += "debug-asserts";
+#endif
+#ifdef AMDAHL_CHECKED
+    flags += ",checked";
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+    flags += ",asan";
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+    flags += ",asan";
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+    flags += ",tsan";
+#endif
+    return flags;
+}
+
+} // namespace amdahl::obs

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Metrics registry: named counters, gauges, and fixed-bucket
+ * histograms with O(1) hot-path recording.
+ *
+ * The paper's headline numbers — convergence in tens of iterations
+ * (Fig. 13), negligible clearing overhead (§VI) — are aggregate
+ * claims; this registry is where the library accounts for them at
+ * runtime. Instrumented code looks a metric up once (a map lookup per
+ * solve/epoch, never per iteration) and then records through a stable
+ * reference: counters are a saturating add, gauges a store, histogram
+ * records a binary search over a handful of fixed bucket bounds.
+ *
+ * Snapshots decouple exporters from live metrics: snapshot() copies
+ * the current values, reset() zeroes them (metric *names* persist so
+ * handles stay valid), and the text/JSON exporters render either the
+ * registry or a snapshot. Registries are not thread-safe; the library
+ * is single-threaded per market, matching the rest of the code.
+ */
+
+#ifndef AMDAHL_OBS_METRICS_HH
+#define AMDAHL_OBS_METRICS_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace amdahl::obs {
+
+/** Monotonic event count. Saturates at the top of uint64 rather than
+ *  wrapping, so a long-running process can never report a small count
+ *  after an overflow. */
+class Counter
+{
+  public:
+    /** Add @p n events (saturating). */
+    void
+    add(std::uint64_t n = 1)
+    {
+        const std::uint64_t max = ~std::uint64_t{0};
+        value_ = (value_ > max - n) ? max : value_ + n;
+    }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Last-write-wins instantaneous value. */
+class Gauge
+{
+  public:
+    void set(double value) { value_ = value; }
+    void add(double delta) { value_ += delta; }
+    double value() const { return value_; }
+    void reset() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * Fixed-bucket histogram.
+ *
+ * Bucket i counts samples v with v <= upperBounds[i] (first matching
+ * bucket); samples above the last bound land in an implicit overflow
+ * bucket. Bounds are fixed at creation — recording never allocates.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param upperBounds Inclusive upper bounds, strictly increasing,
+     *                    finite, non-empty (fatal otherwise).
+     */
+    explicit Histogram(std::vector<double> upperBounds);
+
+    /** Record one sample. NaN samples are counted in the overflow
+     *  bucket and excluded from sum/min/max. */
+    void record(double value);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    /** Smallest/largest non-NaN sample seen (0 before any sample). */
+    double minSeen() const { return sampled_ ? min_ : 0.0; }
+    double maxSeen() const { return sampled_ ? max_ : 0.0; }
+
+    const std::vector<double> &upperBounds() const { return bounds_; }
+
+    /** @return Count of bucket @p i; index bounds_.size() is the
+     *  overflow bucket. */
+    std::uint64_t bucketCount(std::size_t i) const
+    {
+        return counts_[i];
+    }
+
+    /**
+     * Estimate the @p q quantile (q in [0, 1]) by linear
+     * interpolation within the bucket holding the target rank.
+     * Clamped to the observed [min, max]; 0 when empty.
+     */
+    double quantile(double q) const;
+
+    /** Zero all counts; bounds are preserved. */
+    void reset();
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::uint64_t> counts_; // bounds_.size() + 1 (overflow)
+    std::uint64_t count_ = 0;
+    std::uint64_t sampled_ = 0; // count_ minus NaN samples
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Point-in-time copy of one counter. */
+struct CounterSample
+{
+    std::string name;
+    std::uint64_t value = 0;
+};
+
+/** Point-in-time copy of one gauge. */
+struct GaugeSample
+{
+    std::string name;
+    double value = 0.0;
+};
+
+/** Point-in-time copy of one histogram. */
+struct HistogramSample
+{
+    std::string name;
+    std::vector<double> upperBounds;
+    std::vector<std::uint64_t> bucketCounts; // incl. overflow
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    /** Same estimate as Histogram::quantile over the copied counts. */
+    double quantile(double q) const;
+};
+
+/** Point-in-time copy of a whole registry, ordered by metric name. */
+struct MetricsSnapshot
+{
+    std::vector<CounterSample> counters;
+    std::vector<GaugeSample> gauges;
+    std::vector<HistogramSample> histograms;
+
+    /** @return true when no metric was ever registered. */
+    bool empty() const
+    {
+        return counters.empty() && gauges.empty() && histograms.empty();
+    }
+
+    /** Human-readable dump, one metric per line. */
+    void writeText(std::ostream &os) const;
+
+    /** One JSON object: {"counters":{...},"gauges":{...},
+     *  "histograms":{...}}. */
+    void writeJson(std::ostream &os) const;
+};
+
+/**
+ * Named metric store. Lookup by name creates on first use; the
+ * returned references are stable for the registry's lifetime.
+ */
+class MetricsRegistry
+{
+  public:
+    /** @return The counter named @p name (created zeroed on first
+     *  use). */
+    Counter &counter(std::string_view name);
+
+    /** @return The gauge named @p name. */
+    Gauge &gauge(std::string_view name);
+
+    /**
+     * @return The histogram named @p name. @p upperBounds applies on
+     * first use only; later calls return the existing histogram
+     * regardless (fatal if they pass conflicting non-empty bounds).
+     */
+    Histogram &histogram(std::string_view name,
+                         const std::vector<double> &upperBounds);
+
+    /** Copy every metric's current value. */
+    MetricsSnapshot snapshot() const;
+
+    /** Zero every metric (names and bucket layouts persist). */
+    void reset();
+
+    void writeText(std::ostream &os) const;
+    void writeJson(std::ostream &os) const;
+
+  private:
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>>
+        counters_;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+        histograms_;
+};
+
+/** The process-wide registry the library's instrumentation records
+ *  into. Tests that assert on counts should reset() it first. */
+MetricsRegistry &metrics();
+
+/**
+ * Build-configuration tag embedded in exported metric documents so a
+ * collected artifact says what produced it, e.g.
+ * "relwithdebinfo,checked,asan".
+ */
+std::string buildFlagsString();
+
+} // namespace amdahl::obs
+
+#endif // AMDAHL_OBS_METRICS_HH

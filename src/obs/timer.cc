@@ -1,0 +1,49 @@
+#include "timer.hh"
+
+#include <atomic>
+
+namespace amdahl::obs {
+
+namespace {
+
+std::atomic<bool> globalTiming{false};
+
+} // namespace
+
+bool
+timingEnabled()
+{
+    return globalTiming.load(std::memory_order_relaxed);
+}
+
+bool
+setTimingEnabled(bool on)
+{
+    return globalTiming.exchange(on);
+}
+
+const std::vector<double> &
+timeBucketsUs()
+{
+    // 1us .. 4^12us (~16.8s), powers of 4: 13 buckets + overflow.
+    static const std::vector<double> buckets = [] {
+        std::vector<double> b;
+        double bound = 1.0;
+        for (int i = 0; i < 13; ++i) {
+            b.push_back(bound);
+            bound *= 4.0;
+        }
+        return b;
+    }();
+    return buckets;
+}
+
+Histogram *
+timeHistogram(std::string_view name)
+{
+    if (!timingEnabled())
+        return nullptr;
+    return &metrics().histogram(name, timeBucketsUs());
+}
+
+} // namespace amdahl::obs

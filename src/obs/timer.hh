@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Scoped wall-time instrumentation for the market's hot phases.
+ *
+ * Section VI claims clearing overhead is negligible; these timers are
+ * how a running system substantiates that, phase by phase: bidding
+ * solves, solver rungs, Hamilton rounding, and online epochs each
+ * record into a per-phase microsecond histogram in the global metrics
+ * registry.
+ *
+ * Timing is off by default. When off, timeHistogram() returns nullptr
+ * and ScopedTimer never touches the clock, so instrumented code runs
+ * the exact uninstrumented instruction stream apart from one branch —
+ * results are bit-identical and benches see no measurable slowdown.
+ * Turn it on (setTimingEnabled) before a run whose metrics snapshot
+ * should contain phase timings; the clock is steady_clock, so the
+ * recorded values are machine-dependent and never belong in golden
+ * files (traces carry no timings for exactly that reason).
+ */
+
+#ifndef AMDAHL_OBS_TIMER_HH
+#define AMDAHL_OBS_TIMER_HH
+
+#include <chrono>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hh"
+
+namespace amdahl::obs {
+
+/** @return true while phase timing is enabled. */
+bool timingEnabled();
+
+/**
+ * Globally enable/disable phase timing.
+ *
+ * @return The previous setting.
+ */
+bool setTimingEnabled(bool on);
+
+/**
+ * Exponential microsecond bucket ladder shared by every phase timer
+ * (1us .. ~16s, powers of 4), so phase histograms are comparable.
+ */
+const std::vector<double> &timeBucketsUs();
+
+/**
+ * @return The registry histogram for phase @p name with the standard
+ * time buckets, or nullptr while timing is disabled. Call once per
+ * phase execution (it is a map lookup), not per inner iteration.
+ */
+Histogram *timeHistogram(std::string_view name);
+
+/** Records elapsed microseconds into a histogram on destruction;
+ *  no-op (and clock-free) when constructed with nullptr. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Histogram *histogram) : histogram_(histogram)
+    {
+        if (histogram_ != nullptr)
+            start_ = std::chrono::steady_clock::now();
+    }
+
+    ~ScopedTimer()
+    {
+        if (histogram_ == nullptr)
+            return;
+        const auto elapsed =
+            std::chrono::steady_clock::now() - start_;
+        histogram_->record(
+            std::chrono::duration<double, std::micro>(elapsed)
+                .count());
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    Histogram *histogram_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace amdahl::obs
+
+#endif // AMDAHL_OBS_TIMER_HH

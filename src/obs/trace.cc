@@ -1,0 +1,126 @@
+#include "trace.hh"
+
+#include <atomic>
+#include <ostream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace amdahl::obs {
+
+namespace {
+
+std::atomic<TraceSink *> globalSink{nullptr};
+
+/** Log hook installed while a sink is live: warn()/inform() become
+ *  structured "log" events alongside their unchanged stderr output. */
+void
+logToTrace(LogLevel level, const std::string &msg)
+{
+    if (auto *sink = traceSink()) {
+        TraceEvent(*sink, "log")
+            .field("severity",
+                   level == LogLevel::Warn ? "warn" : "info")
+            .field("message", msg);
+    }
+}
+
+} // namespace
+
+void
+TraceSink::write(const std::string &line)
+{
+    *os_ << line << '\n';
+}
+
+void
+TraceSink::flush()
+{
+    os_->flush();
+}
+
+TraceSink *
+traceSink()
+{
+    return globalSink.load(std::memory_order_relaxed);
+}
+
+TraceSink *
+setTraceSink(TraceSink *sink)
+{
+    TraceSink *previous = globalSink.exchange(sink);
+    detail::setLogSinkHook(sink != nullptr ? &logToTrace : nullptr);
+    return previous;
+}
+
+TraceEvent::TraceEvent(TraceSink &sink, std::string_view event)
+    : sink_(&sink)
+{
+    line_.reserve(96);
+    line_ += "{\"seq\":";
+    line_ += std::to_string(sink.nextSeq());
+    line_ += ",\"ev\":";
+    appendJsonEscaped(line_, event);
+}
+
+TraceEvent::~TraceEvent()
+{
+    line_ += '}';
+    sink_->write(line_);
+}
+
+void
+TraceEvent::appendKey(std::string_view key)
+{
+    line_ += ',';
+    appendJsonEscaped(line_, key);
+    line_ += ':';
+}
+
+TraceEvent &
+TraceEvent::field(std::string_view key, std::string_view value)
+{
+    appendKey(key);
+    appendJsonEscaped(line_, value);
+    return *this;
+}
+
+TraceEvent &
+TraceEvent::field(std::string_view key, const char *value)
+{
+    return field(key, std::string_view(value));
+}
+
+TraceEvent &
+TraceEvent::field(std::string_view key, double value)
+{
+    appendKey(key);
+    line_ += jsonNumber(value);
+    return *this;
+}
+
+TraceEvent &
+TraceEvent::field(std::string_view key, bool value)
+{
+    appendKey(key);
+    line_ += value ? "true" : "false";
+    return *this;
+}
+
+TraceEvent &
+TraceEvent::fieldSigned(std::string_view key, std::int64_t value)
+{
+    appendKey(key);
+    line_ += std::to_string(value);
+    return *this;
+}
+
+TraceEvent &
+TraceEvent::fieldUnsigned(std::string_view key, std::uint64_t value)
+{
+    appendKey(key);
+    line_ += std::to_string(value);
+    return *this;
+}
+
+} // namespace amdahl::obs

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Structured trace sink: one JSON object per line (JSONL).
+ *
+ * The market's offline benches report *aggregates*; when a specific
+ * epoch converges slowly, sheds a job, or falls down the fallback
+ * ladder, only a per-decision event stream can say why. Instrumented
+ * code emits typed events — epoch start/end, per-iteration price
+ * residuals, admission and shed decisions, churn and rollback,
+ * fallback transitions, deadline expiries — through a process-global
+ * sink.
+ *
+ * Cost model: the sink is disabled (null) by default, and every
+ * emission site guards on `traceSink()` — a single atomic pointer
+ * load — so the disabled path allocates nothing, formats nothing, and
+ * perturbs no result. With a sink installed, events are deterministic
+ * functions of the computation: a monotonic sequence number stands in
+ * for wall time, so two runs with the same seed produce byte-identical
+ * traces (golden-tested).
+ *
+ * Event schema: every line carries "seq" (monotonic from 1) and "ev"
+ * (the event type); remaining fields are per-type. DESIGN.md §10
+ * documents the full schema; tools/check_trace_schema.py validates a
+ * captured trace against it.
+ */
+
+#ifndef AMDAHL_OBS_TRACE_HH
+#define AMDAHL_OBS_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace amdahl::obs {
+
+/**
+ * Destination of a trace stream. Install with setTraceSink(); the
+ * caller owns both the sink and the stream it wraps, and must
+ * uninstall (setTraceSink(nullptr) or TraceGuard) before either dies.
+ */
+class TraceSink
+{
+  public:
+    /** @param os Stream to receive JSONL lines (not owned). */
+    explicit TraceSink(std::ostream &os) : os_(&os) {}
+
+    /** @return The next sequence number (monotonic from 1). */
+    std::uint64_t nextSeq() { return ++seq_; }
+
+    /** Write one complete JSON line (newline appended). */
+    void write(const std::string &line);
+
+    /** Flush the underlying stream. */
+    void flush();
+
+  private:
+    std::ostream *os_;
+    std::uint64_t seq_ = 0;
+};
+
+/** @return The installed sink, or nullptr when tracing is disabled.
+ *  Emission sites guard on this — it is the whole disabled path. */
+TraceSink *traceSink();
+
+/**
+ * Install (or, with nullptr, remove) the process-global sink.
+ * Also routes warn()/inform() into the sink as "log" events while
+ * installed (stderr behavior unchanged).
+ *
+ * @return The previously installed sink.
+ */
+TraceSink *setTraceSink(TraceSink *sink);
+
+/** RAII sink installation for scoped captures (tests, CLI runs). */
+class TraceGuard
+{
+  public:
+    explicit TraceGuard(TraceSink &sink)
+        : previous_(setTraceSink(&sink))
+    {}
+    ~TraceGuard() { setTraceSink(previous_); }
+    TraceGuard(const TraceGuard &) = delete;
+    TraceGuard &operator=(const TraceGuard &) = delete;
+
+  private:
+    TraceSink *previous_;
+};
+
+/**
+ * Builder for one trace event; emits on destruction.
+ *
+ *     if (auto *sink = obs::traceSink()) {
+ *         obs::TraceEvent(*sink, "bidding_iter")
+ *             .field("iter", it)
+ *             .field("max_delta", delta);
+ *     }
+ */
+class TraceEvent
+{
+  public:
+    TraceEvent(TraceSink &sink, std::string_view event);
+    ~TraceEvent();
+    TraceEvent(const TraceEvent &) = delete;
+    TraceEvent &operator=(const TraceEvent &) = delete;
+
+    TraceEvent &field(std::string_view key, std::string_view value);
+    TraceEvent &field(std::string_view key, const char *value);
+    TraceEvent &field(std::string_view key, double value);
+    TraceEvent &field(std::string_view key, bool value);
+
+    /** Integral fields (int, size_t, uint64_t, ...). */
+    template <typename T,
+              std::enable_if_t<std::is_integral_v<T> &&
+                                   !std::is_same_v<T, bool>,
+                               int> = 0>
+    TraceEvent &
+    field(std::string_view key, T value)
+    {
+        if constexpr (std::is_signed_v<T>)
+            return fieldSigned(key, static_cast<std::int64_t>(value));
+        else
+            return fieldUnsigned(key,
+                                 static_cast<std::uint64_t>(value));
+    }
+
+  private:
+    TraceEvent &fieldSigned(std::string_view key, std::int64_t value);
+    TraceEvent &fieldUnsigned(std::string_view key,
+                              std::uint64_t value);
+    void appendKey(std::string_view key);
+
+    TraceSink *sink_;
+    std::string line_;
+};
+
+} // namespace amdahl::obs
+
+#endif // AMDAHL_OBS_TRACE_HH

@@ -5,8 +5,32 @@
 
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace amdahl::robustness {
+
+namespace {
+
+/** Publish the drawn schedule: each outage becomes one trace event,
+ *  so a post-mortem can line crash epochs up against slow clearings. */
+void
+recordSchedule(const std::vector<CrashEvent> &events)
+{
+    obs::metrics()
+        .counter("faults.scheduled_crashes")
+        .add(events.size());
+    if (auto *sink = obs::traceSink()) {
+        for (const auto &event : events) {
+            obs::TraceEvent(*sink, "fault_schedule")
+                .field("server", event.server)
+                .field("crash_epoch", event.crashEpoch)
+                .field("recover_epoch", event.recoverEpoch);
+        }
+    }
+}
+
+} // namespace
 
 void
 validateFaultOptions(const FaultOptions &opts)
@@ -69,6 +93,7 @@ FaultInjector::FaultInjector(FaultOptions opts, std::size_t servers,
             }
             down_until[event.server] = event.recoverEpoch;
         }
+        recordSchedule(events);
         return;
     }
 
@@ -90,6 +115,7 @@ FaultInjector::FaultInjector(FaultOptions opts, std::size_t servers,
             events.push_back(event);
         }
     }
+    recordSchedule(events);
 }
 
 std::vector<std::size_t>

@@ -8,6 +8,8 @@
 #include "common/check.hh"
 #include "common/invariants.hh"
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/timer.hh"
 
 namespace amdahl::solver {
 
@@ -73,6 +75,8 @@ solveEisenbergGale(const std::vector<double> &capacities,
                    const std::vector<EgUser> &users,
                    const EgOptions &opts)
 {
+    obs::ScopedTimer solve_timer(
+        obs::timeHistogram("time.solver.eisenberg_gale_us"));
     if (capacities.empty())
         fatal("Eisenberg-Gale needs servers");
     if (users.empty())
@@ -187,6 +191,13 @@ solveEisenbergGale(const std::vector<double> &capacities,
     }
     result.objective = phi;
     AMDAHL_CHECK_FINITE(result.objective);
+
+    obs::metrics().counter("solver.eg.solves").add();
+    obs::metrics()
+        .counter("solver.eg.iterations")
+        .add(static_cast<std::uint64_t>(result.iterations));
+    if (!result.converged)
+        obs::metrics().counter("solver.eg.non_converged").add();
 
     // Contract: the ascent never leaves the feasible polytope — every
     // server's allocation clears its capacity (the per-server simplex

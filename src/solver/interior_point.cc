@@ -4,6 +4,8 @@
 
 #include "common/check.hh"
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/timer.hh"
 
 namespace amdahl::solver {
 
@@ -28,6 +30,8 @@ maximizeOnSimplex(const SeparableConcave &objective, double budget,
                   const InteriorPointOptions &opts,
                   InteriorPointStats *stats)
 {
+    obs::ScopedTimer solve_timer(
+        obs::timeHistogram("time.solver.interior_point_us"));
     const std::size_t m = objective.size();
     if (m == 0)
         fatal("maximizeOnSimplex: empty objective");
@@ -138,6 +142,13 @@ maximizeOnSimplex(const SeparableConcave &objective, double budget,
         t *= opts.tGrowth;
     }
 
+    obs::metrics().counter("solver.ip.solves").add();
+    obs::metrics()
+        .counter("solver.ip.barrier_rounds")
+        .add(static_cast<std::uint64_t>(local.barrierRounds));
+    obs::metrics()
+        .counter("solver.ip.newton_steps")
+        .add(static_cast<std::uint64_t>(local.newtonSteps));
     if (stats)
         *stats = local;
     return b;

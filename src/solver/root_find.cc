@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace amdahl::solver {
 
@@ -10,6 +11,11 @@ double
 bisect(const std::function<double(double)> &f, double lo, double hi,
        const ScalarSolveOptions &opts)
 {
+    // Leaf of every waterFill call; a map lookup per invocation would
+    // dominate the work, so the counter binds once per process.
+    static obs::Counter &calls =
+        obs::metrics().counter("solver.bisect.calls");
+    calls.add();
     if (!(lo < hi))
         fatal("bisect: invalid bracket [", lo, ", ", hi, "]");
     double flo = f(lo);
@@ -41,6 +47,9 @@ newtonBracketed(const std::function<double(double)> &f,
                 const std::function<double(double)> &df, double lo,
                 double hi, const ScalarSolveOptions &opts)
 {
+    static obs::Counter &calls =
+        obs::metrics().counter("solver.newton.calls");
+    calls.add();
     if (!(lo < hi))
         fatal("newtonBracketed: invalid bracket [", lo, ", ", hi, "]");
     double flo = f(lo);

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/timer.hh"
 #include "solver/root_find.hh"
 
 namespace amdahl::solver {
@@ -37,6 +39,14 @@ coresAtMultiplier(const WaterFillItem &item, double f, double lambda)
 WaterFillResult
 waterFill(const std::vector<WaterFillItem> &items, double budget)
 {
+    // waterFill runs once per bidder per bidding iteration — the
+    // hottest solver path. Bind the counter once per process so the
+    // steady-state cost is one increment, not a map lookup.
+    static obs::Counter &solves =
+        obs::metrics().counter("solver.wf.solves");
+    solves.add();
+    obs::ScopedTimer solve_timer(
+        obs::timeHistogram("time.solver.water_filling_us"));
     if (items.empty())
         fatal("waterFill: no items");
     if (budget <= 0.0)

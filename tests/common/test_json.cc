@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for the shared JSON helpers (common/json.hh) — the one
+ * escaping/formatting implementation behind TablePrinter::writeJson,
+ * the metrics exporters, and the trace sink.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/table.hh"
+
+namespace amdahl {
+namespace {
+
+TEST(Json, EscapesQuotesAndBackslashes)
+{
+    EXPECT_EQ(jsonEscape("plain"), "\"plain\"");
+    EXPECT_EQ(jsonEscape("say \"hi\""), "\"say \\\"hi\\\"\"");
+    EXPECT_EQ(jsonEscape("a\\b"), "\"a\\\\b\"");
+    EXPECT_EQ(jsonEscape("C:\\path\\\"x\""),
+              "\"C:\\\\path\\\\\\\"x\\\"\"");
+}
+
+TEST(Json, EscapesControlCharacters)
+{
+    EXPECT_EQ(jsonEscape("a\nb"), "\"a\\nb\"");
+    EXPECT_EQ(jsonEscape("a\tb"), "\"a\\tb\"");
+    EXPECT_EQ(jsonEscape("a\rb"), "\"a\\rb\"");
+    // Other C0 controls take the \u00XX form.
+    EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\"\\u0001\"");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x1f')), "\"\\u001f\"");
+    // 0x7f and non-ASCII bytes pass through untouched.
+    EXPECT_EQ(jsonEscape("\x7f"), "\"\x7f\"");
+}
+
+TEST(Json, AppendVariantMatchesEscape)
+{
+    std::string out = "prefix:";
+    appendJsonEscaped(out, "a\"b");
+    EXPECT_EQ(out, "prefix:\"a\\\"b\"");
+}
+
+TEST(Json, NumberNonFiniteIsNull)
+{
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::quiet_NaN()),
+              "null");
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()),
+              "null");
+    EXPECT_EQ(jsonNumber(-std::numeric_limits<double>::infinity()),
+              "null");
+}
+
+TEST(Json, NumberIntegersStayIntegers)
+{
+    EXPECT_EQ(jsonNumber(0.0), "0");
+    EXPECT_EQ(jsonNumber(60.0), "60");
+    EXPECT_EQ(jsonNumber(-17.0), "-17");
+    EXPECT_EQ(jsonNumber(1e6), "1000000");
+}
+
+TEST(Json, NumberRoundTripsExactly)
+{
+    for (double v : {0.1, 1.0 / 3.0, 3.8593122034517444e-12, -2.5,
+                     1e300, 5e-324}) {
+        const std::string text = jsonNumber(v);
+        EXPECT_EQ(std::strtod(text.c_str(), nullptr), v)
+            << "round-trip failed for " << text;
+    }
+}
+
+TEST(Json, NumberPrefersShortForm)
+{
+    EXPECT_EQ(jsonNumber(0.5), "0.5");
+    EXPECT_EQ(jsonNumber(0.1), "0.1");
+}
+
+TEST(Json, TablePrinterUsesSharedEscaping)
+{
+    TablePrinter t;
+    t.addColumn("name", TablePrinter::Align::Left);
+    t.addColumn("value");
+    t.addRow({"quote\"backslash\\", "1"});
+    std::ostringstream os;
+    t.writeJson(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("quote\\\"backslash\\\\"), std::string::npos)
+        << out;
+}
+
+} // namespace
+} // namespace amdahl

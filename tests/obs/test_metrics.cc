@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Unit tests for the metrics registry (obs/metrics.hh): counter
+ * saturation, histogram bucket boundaries and quantile estimates,
+ * snapshot/reset semantics, and the exporters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+
+namespace amdahl::obs {
+namespace {
+
+TEST(Counter, CountsAndResets)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, SaturatesInsteadOfWrapping)
+{
+    const std::uint64_t max = ~std::uint64_t{0};
+    Counter c;
+    c.add(max - 1);
+    c.add(10); // Would wrap; must pin to max.
+    EXPECT_EQ(c.value(), max);
+    c.add();
+    EXPECT_EQ(c.value(), max);
+}
+
+TEST(Gauge, LastWriteWins)
+{
+    Gauge g;
+    g.set(2.5);
+    g.add(0.5);
+    EXPECT_DOUBLE_EQ(g.value(), 3.0);
+    g.set(-1.0);
+    EXPECT_DOUBLE_EQ(g.value(), -1.0);
+    g.reset();
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, RejectsBadBounds)
+{
+    EXPECT_THROW(Histogram({}), FatalError);
+    EXPECT_THROW(Histogram({1.0, 1.0}), FatalError);
+    EXPECT_THROW(Histogram({2.0, 1.0}), FatalError);
+    EXPECT_THROW(
+        Histogram({std::numeric_limits<double>::infinity()}),
+        FatalError);
+}
+
+TEST(Histogram, BucketBoundariesAreInclusiveUpper)
+{
+    Histogram h({1.0, 10.0, 100.0});
+    h.record(1.0);   // == bound 0: bucket 0
+    h.record(1.5);   // bucket 1
+    h.record(10.0);  // == bound 1: bucket 1
+    h.record(100.0); // == bound 2: bucket 2
+    h.record(100.1); // overflow
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 2u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_DOUBLE_EQ(h.minSeen(), 1.0);
+    EXPECT_DOUBLE_EQ(h.maxSeen(), 100.1);
+}
+
+TEST(Histogram, NanLandsInOverflowBucket)
+{
+    Histogram h({1.0, 2.0});
+    h.record(std::numeric_limits<double>::quiet_NaN());
+    EXPECT_EQ(h.bucketCount(2), 1u);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBucket)
+{
+    Histogram h({10.0, 20.0, 30.0});
+    // Four samples in [10, 20]: the p50 rank (2 of 4) falls inside
+    // that bucket, interpolated between the observed min and the
+    // bucket's upper bound.
+    for (double v : {12.0, 14.0, 16.0, 18.0})
+        h.record(v);
+    const double p50 = h.quantile(0.5);
+    EXPECT_GE(p50, 12.0);
+    EXPECT_LE(p50, 20.0);
+    // Every quantile stays inside the observed range.
+    EXPECT_GE(h.quantile(0.0), 12.0);
+    EXPECT_LE(h.quantile(1.0), 18.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), h.quantile(0.5)); // finite
+}
+
+TEST(Histogram, QuantileEmptyIsZero)
+{
+    Histogram h({1.0});
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, QuantileOverflowReportsMax)
+{
+    Histogram h({1.0});
+    h.record(5.0);
+    h.record(7.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 7.0);
+}
+
+TEST(Registry, RegistersOnceAndAccumulates)
+{
+    MetricsRegistry reg;
+    reg.counter("a").add(3);
+    reg.counter("a").add(4);
+    EXPECT_EQ(reg.counter("a").value(), 7u);
+    reg.gauge("g").set(1.5);
+    reg.histogram("h", {1.0, 2.0}).record(1.5);
+    auto snap = reg.snapshot();
+    ASSERT_EQ(snap.counters.size(), 1u);
+    EXPECT_EQ(snap.counters[0].name, "a");
+    EXPECT_EQ(snap.counters[0].value, 7u);
+    ASSERT_EQ(snap.gauges.size(), 1u);
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    EXPECT_EQ(snap.histograms[0].count, 1u);
+    EXPECT_FALSE(snap.empty());
+}
+
+TEST(Registry, ConflictingHistogramBoundsAreFatal)
+{
+    MetricsRegistry reg;
+    reg.histogram("h", {1.0, 2.0});
+    EXPECT_THROW(reg.histogram("h", {1.0, 3.0}), FatalError);
+    // Re-registration with identical (or omitted) bounds is fine.
+    reg.histogram("h", {1.0, 2.0}).record(0.5);
+    reg.histogram("h", {}).record(0.5);
+    EXPECT_EQ(reg.histogram("h", {}).count(), 2u);
+}
+
+TEST(Registry, ResetZeroesValuesButKeepsNames)
+{
+    MetricsRegistry reg;
+    reg.counter("c").add(5);
+    reg.gauge("g").set(2.0);
+    reg.histogram("h", {1.0}).record(0.5);
+    reg.reset();
+    auto snap = reg.snapshot();
+    ASSERT_EQ(snap.counters.size(), 1u);
+    EXPECT_EQ(snap.counters[0].value, 0u);
+    ASSERT_EQ(snap.gauges.size(), 1u);
+    EXPECT_DOUBLE_EQ(snap.gauges[0].value, 0.0);
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    EXPECT_EQ(snap.histograms[0].count, 0u);
+    // Dimensions survive the reset so re-registration stays cheap.
+    EXPECT_EQ(snap.histograms[0].upperBounds.size(), 1u);
+}
+
+TEST(Registry, JsonExportHasStableShape)
+{
+    MetricsRegistry reg;
+    reg.counter("solves").add(2);
+    reg.gauge("residual").set(0.5);
+    reg.histogram("lat_us", {1.0, 4.0}).record(2.0);
+    std::ostringstream os;
+    reg.writeJson(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"counters\":{\"solves\":2}"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("\"gauges\":{\"residual\":0.5}"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("\"lat_us\":{\"count\":1"), std::string::npos)
+        << out;
+    // The overflow bucket's bound serializes as null.
+    EXPECT_NE(out.find("{\"le\":null,\"count\":0}"),
+              std::string::npos)
+        << out;
+}
+
+TEST(Registry, TextExportListsEveryMetric)
+{
+    MetricsRegistry reg;
+    reg.counter("c").add();
+    reg.gauge("g").set(1.0);
+    reg.histogram("h", {1.0}).record(0.5);
+    std::ostringstream os;
+    reg.writeText(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("counter c = 1"), std::string::npos);
+    EXPECT_NE(out.find("gauge g = 1"), std::string::npos);
+    EXPECT_NE(out.find("histogram h count=1"), std::string::npos);
+}
+
+TEST(Registry, GlobalRegistryIsSingleton)
+{
+    EXPECT_EQ(&metrics(), &metrics());
+}
+
+TEST(BuildFlags, ReportsAssertMode)
+{
+    const std::string flags = buildFlagsString();
+    EXPECT_TRUE(flags.find("ndebug") != std::string::npos ||
+                flags.find("debug-asserts") != std::string::npos)
+        << flags;
+}
+
+} // namespace
+} // namespace amdahl::obs

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for the structured trace sink (obs/trace.hh): event line
+ * formatting, sink installation, warn()/inform() routing, and the
+ * golden-determinism contract — two same-seed online simulations
+ * produce byte-identical JSONL traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "alloc/fallback_policy.hh"
+#include "common/logging.hh"
+#include "eval/online.hh"
+#include "obs/timer.hh"
+#include "obs/trace.hh"
+
+namespace amdahl::obs {
+namespace {
+
+/** Split captured JSONL into lines (dropping the trailing blank). */
+std::vector<std::string>
+lines(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::istringstream is(text);
+    for (std::string line; std::getline(is, line);)
+        out.push_back(line);
+    return out;
+}
+
+TEST(Trace, DisabledByDefault)
+{
+    EXPECT_EQ(traceSink(), nullptr);
+}
+
+TEST(Trace, EventFormatsExactLine)
+{
+    std::ostringstream os;
+    TraceSink sink(os);
+    TraceEvent(sink, "unit")
+        .field("s", "tex\"t")
+        .field("d", 0.5)
+        .field("i", -3)
+        .field("u", std::size_t{7})
+        .field("b", true);
+    EXPECT_EQ(os.str(), "{\"seq\":1,\"ev\":\"unit\",\"s\":\"tex\\\"t\""
+                        ",\"d\":0.5,\"i\":-3,\"u\":7,\"b\":true}\n");
+}
+
+TEST(Trace, SequenceNumbersAreMonotonicFromOne)
+{
+    std::ostringstream os;
+    TraceSink sink(os);
+    TraceEvent(sink, "a");
+    TraceEvent(sink, "b");
+    const auto out = lines(os.str());
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].rfind("{\"seq\":1,\"ev\":\"a\"", 0), 0u);
+    EXPECT_EQ(out[1].rfind("{\"seq\":2,\"ev\":\"b\"", 0), 0u);
+}
+
+TEST(Trace, GuardInstallsAndRestores)
+{
+    std::ostringstream os;
+    TraceSink sink(os);
+    {
+        TraceGuard guard(sink);
+        EXPECT_EQ(traceSink(), &sink);
+        std::ostringstream os2;
+        TraceSink inner(os2);
+        {
+            TraceGuard nested(inner);
+            EXPECT_EQ(traceSink(), &inner);
+        }
+        EXPECT_EQ(traceSink(), &sink);
+    }
+    EXPECT_EQ(traceSink(), nullptr);
+}
+
+TEST(Trace, WarnRoutesIntoSinkAsLogEvent)
+{
+    // Silence stderr for the duration; the hook fires regardless of
+    // the verbosity filter.
+    const LogLevel previous = setLogLevel(LogLevel::Quiet);
+    std::ostringstream os;
+    TraceSink sink(os);
+    {
+        TraceGuard guard(sink);
+        warn("suspicious ", 42);
+        inform("status");
+    }
+    warn("after uninstall"); // Must not reach the stream.
+    setLogLevel(previous);
+    const auto out = lines(os.str());
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_NE(out[0].find("\"ev\":\"log\""), std::string::npos);
+    EXPECT_NE(out[0].find("\"severity\":\"warn\""),
+              std::string::npos);
+    EXPECT_NE(out[0].find("suspicious 42"), std::string::npos);
+    EXPECT_NE(out[1].find("\"severity\":\"info\""),
+              std::string::npos);
+}
+
+/** Run one seeded online scenario with tracing into a string. */
+std::string
+captureTrace(std::uint64_t seed)
+{
+    eval::OnlineOptions opts;
+    opts.seed = seed;
+    opts.users = 8;
+    opts.servers = 3;
+    opts.coresPerServer = 16;
+    opts.horizonSeconds = opts.epochSeconds * 10;
+    opts.faults.enabled = true;
+    opts.faults.crashRatePerServerEpoch = 0.05;
+    opts.faults.bidLossRate = 0.05;
+    opts.admission.enabled = true;
+    opts.admission.maxLoadFactor = 1.0;
+    opts.admission.maxQueueLength = 2;
+
+    std::ostringstream os;
+    TraceSink sink(os);
+    TraceGuard guard(sink);
+    eval::CharacterizationCache cache;
+    eval::OnlineSimulator simulator(cache, opts);
+    const alloc::FallbackPolicy policy;
+    simulator.run(policy, eval::FractionSource::Estimated);
+    return os.str();
+}
+
+TEST(Trace, GoldenSameSeedRunsAreByteIdentical)
+{
+    const std::string first = captureTrace(0xfeedULL);
+    const std::string second = captureTrace(0xfeedULL);
+    EXPECT_EQ(first, second);
+    EXPECT_NE(first, captureTrace(0xbeefULL));
+}
+
+TEST(Trace, SimulationTraceHasWellFormedLines)
+{
+    const auto out = lines(captureTrace(0x5eedULL));
+    ASSERT_FALSE(out.empty());
+    EXPECT_NE(out.front().find("\"ev\":\"run_start\""),
+              std::string::npos);
+    EXPECT_NE(out.back().find("\"ev\":\"run_end\""),
+              std::string::npos);
+    std::uint64_t expected_seq = 0;
+    bool saw_bidding = false;
+    for (const auto &line : out) {
+        ++expected_seq;
+        const std::string prefix =
+            "{\"seq\":" + std::to_string(expected_seq) + ",\"ev\":\"";
+        ASSERT_EQ(line.rfind(prefix, 0), 0u) << line;
+        ASSERT_EQ(line.back(), '}') << line;
+        if (line.find("\"ev\":\"bidding_start\"") !=
+            std::string::npos) {
+            saw_bidding = true;
+        }
+    }
+    EXPECT_TRUE(saw_bidding);
+}
+
+TEST(Trace, TimingStaysOutOfTraces)
+{
+    // Timing histograms carry wall time; traces must stay
+    // deterministic even when timing is enabled.
+    setTimingEnabled(true);
+    const std::string first = captureTrace(0x70ffULL);
+    const std::string second = captureTrace(0x70ffULL);
+    setTimingEnabled(false);
+    EXPECT_EQ(first, second);
+}
+
+TEST(Timer, DisabledTimingRecordsNothing)
+{
+    setTimingEnabled(false);
+    EXPECT_EQ(timeHistogram("time.test.unit_us"), nullptr);
+    setTimingEnabled(true);
+    Histogram *h = timeHistogram("time.test.unit_us");
+    ASSERT_NE(h, nullptr);
+    const auto before = h->count();
+    {
+        ScopedTimer timer(h);
+    }
+    EXPECT_EQ(h->count(), before + 1);
+    setTimingEnabled(false);
+    {
+        ScopedTimer noop(timeHistogram("time.test.unit_us"));
+    }
+    EXPECT_EQ(h->count(), before + 1);
+}
+
+} // namespace
+} // namespace amdahl::obs

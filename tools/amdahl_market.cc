@@ -38,19 +38,53 @@
  *
  *   example                  Print a sample market file (the paper's
  *                            Alice/Bob example).
+ *
+ *   trace [options]          Run a seeded online simulation under the
+ *                            fallback ladder and stream the JSONL
+ *                            convergence trace (stdout unless
+ *                            --trace-out redirects it); the run
+ *                            summary goes to stderr.
+ *       --seed <n>           Scenario seed (default 0x0517e5).
+ *       --users/--servers/--cores <n>
+ *                            Cluster shape.
+ *       --epochs <n>         Horizon in epochs (default 20).
+ *       --faults             Enable server churn and bid-message loss.
+ *       --admission          Enable overload admission control.
+ *
+ *   stats <file> [options]   Solve a market file with phase timing
+ *                            enabled and dump the metrics registry
+ *                            (counters, gauges, timing histograms).
+ *       --gauss-seidel       Use the Gauss-Seidel update schedule.
+ *       --json               Emit the registry as JSON instead of text.
+ *
+ * Global flags (any subcommand, before or after it):
+ *
+ *   --trace-out <path>       Write the structured JSONL trace to path.
+ *   --metrics-out <path>     Write a metrics-registry JSON snapshot to
+ *                            path on exit (text when path ends .txt).
+ *   --timing                 Record phase wall-time histograms (off by
+ *                            default; timing never enters traces).
+ *   --log-level <level>      stderr verbosity: quiet, warn, or info.
  */
 
+#include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "alloc/fallback_policy.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "core/bidding.hh"
 #include "core/market_io.hh"
 #include "core/rounding.hh"
 #include "eval/characterization.hh"
+#include "eval/online.hh"
+#include "obs/metrics.hh"
+#include "obs/timer.hh"
+#include "obs/trace.hh"
 #include "profiling/karp_flatt.hh"
 #include "profiling/predictor.hh"
 #include "profiling/profiler.hh"
@@ -75,7 +109,15 @@ usage()
         << "       amdahl_market workloads\n"
         << "       amdahl_market profile <workload>\n"
         << "       amdahl_market simulate <workload> <cores> [gb]\n"
-        << "       amdahl_market example\n";
+        << "       amdahl_market example\n"
+        << "       amdahl_market trace [--seed n] [--users n]"
+        << " [--servers n] [--cores n]\n"
+        << "                     [--epochs n] [--faults] [--admission]\n"
+        << "       amdahl_market stats <file> [--gauss-seidel]"
+        << " [--json]\n"
+        << "global flags: [--trace-out path] [--metrics-out path]"
+        << " [--timing]\n"
+        << "              [--log-level quiet|warn|info]\n";
     return 2;
 }
 
@@ -310,6 +352,114 @@ cmdSimulate(const std::vector<std::string> &args)
 }
 
 int
+cmdTrace(const std::vector<std::string> &args)
+{
+    eval::OnlineOptions opts;
+    int epochs = 20;
+    for (std::size_t a = 0; a < args.size(); ++a) {
+        const std::string &arg = args[a];
+        if (arg == "--seed" && a + 1 < args.size()) {
+            opts.seed = std::stoull(args[++a]);
+        } else if (arg == "--users" && a + 1 < args.size()) {
+            opts.users = std::stoi(args[++a]);
+        } else if (arg == "--servers" && a + 1 < args.size()) {
+            opts.servers = std::stoi(args[++a]);
+        } else if (arg == "--cores" && a + 1 < args.size()) {
+            opts.coresPerServer = std::stoi(args[++a]);
+        } else if (arg == "--epochs" && a + 1 < args.size()) {
+            epochs = std::stoi(args[++a]);
+        } else if (arg == "--faults") {
+            opts.faults.enabled = true;
+            opts.faults.crashRatePerServerEpoch = 0.02;
+            opts.faults.bidLossRate = 0.05;
+        } else if (arg == "--admission") {
+            opts.admission.enabled = true;
+        } else {
+            std::cerr << "unknown option '" << arg << "'\n";
+            return usage();
+        }
+    }
+    if (epochs < 1) {
+        std::cerr << "trace needs at least one epoch\n";
+        return usage();
+    }
+    opts.horizonSeconds = opts.epochSeconds * epochs;
+
+    // A --trace-out flag already installed a sink; otherwise the
+    // JSONL stream goes to stdout (tables stay off this subcommand
+    // so the output is pure trace either way).
+    std::optional<obs::TraceSink> stdout_sink;
+    std::optional<obs::TraceGuard> stdout_guard;
+    if (obs::traceSink() == nullptr) {
+        stdout_sink.emplace(std::cout);
+        stdout_guard.emplace(*stdout_sink);
+    }
+
+    eval::CharacterizationCache cache;
+    eval::OnlineSimulator simulator(cache, opts);
+    const alloc::FallbackPolicy policy;
+    const auto metrics =
+        simulator.run(policy, eval::FractionSource::Estimated);
+    if (stdout_sink)
+        stdout_sink->flush();
+
+    std::cerr << "trace: " << epochs << " epoch(s), "
+              << metrics.jobsArrived << " job(s) arrived, "
+              << metrics.jobsCompleted << " completed, "
+              << metrics.nonConvergedEpochs
+              << " non-converged epoch(s)";
+    if (opts.faults.enabled)
+        std::cerr << ", " << metrics.crashEvents << " crash(es)";
+    if (opts.admission.enabled)
+        std::cerr << ", " << metrics.jobsShed << " shed";
+    std::cerr << "\n";
+    return 0;
+}
+
+int
+cmdStats(const std::vector<std::string> &args)
+{
+    std::string path;
+    bool json = false;
+    core::BiddingOptions opts;
+    for (const std::string &arg : args) {
+        if (arg == "--gauss-seidel") {
+            opts.schedule = core::UpdateSchedule::GaussSeidel;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (path.empty() && !arg.empty() && arg[0] != '-') {
+            path = arg;
+        } else {
+            std::cerr << "unknown option '" << arg << "'\n";
+            return usage();
+        }
+    }
+    if (path.empty())
+        return usage();
+
+    auto parsed = core::loadMarket(path);
+    if (!parsed.ok()) {
+        std::cerr << path << ": " << parsed.status().toString() << "\n";
+        return 1;
+    }
+    const auto market = parsed.take();
+
+    // Time every phase of this one solve, and zero whatever start-up
+    // work already recorded so the dump attributes to the solve alone.
+    obs::setTimingEnabled(true);
+    obs::metrics().reset();
+    const auto result = core::solveAmdahlBidding(market, opts);
+    core::verifyEquilibrium(market, result);
+    core::roundOutcome(market, result);
+
+    if (json)
+        obs::metrics().writeJson(std::cout);
+    else
+        obs::metrics().writeText(std::cout);
+    return result.converged ? 0 : 1;
+}
+
+int
 cmdExample()
 {
     std::cout << "# The paper's Section V example: two users, two\n"
@@ -324,31 +474,154 @@ cmdExample()
     return 0;
 }
 
+/** Telemetry destinations requested by the global flags. */
+struct GlobalFlags
+{
+    std::string traceOut;
+    std::string metricsOut;
+    bool timing = false;
+    bool ok = true;
+};
+
+/**
+ * Strip the global observability flags (valid before or after the
+ * subcommand) out of @p raw, applying --log-level and --timing
+ * immediately. Accepts both `--flag value` and `--flag=value`.
+ */
+GlobalFlags
+extractGlobalFlags(std::vector<std::string> &raw)
+{
+    GlobalFlags flags;
+    auto bad = [&](const std::string &msg) {
+        std::cerr << msg << "\n";
+        flags.ok = false;
+    };
+    std::vector<std::string> kept;
+    for (std::size_t a = 0; a < raw.size(); ++a) {
+        const std::string &arg = raw[a];
+        std::string name = arg;
+        std::string value;
+        bool inline_value = false;
+        if (const auto eq = arg.find('='); eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+            inline_value = true;
+        }
+        if (name != "--trace-out" && name != "--metrics-out" &&
+            name != "--log-level" && name != "--timing") {
+            kept.push_back(arg);
+            continue;
+        }
+        if (name == "--timing") {
+            if (inline_value) {
+                bad("--timing takes no value");
+                return flags;
+            }
+            flags.timing = true;
+            continue;
+        }
+        if (!inline_value) {
+            if (a + 1 >= raw.size()) {
+                bad(name + " needs a value");
+                return flags;
+            }
+            value = raw[++a];
+        }
+        if (name == "--trace-out") {
+            flags.traceOut = value;
+        } else if (name == "--metrics-out") {
+            flags.metricsOut = value;
+        } else if (value == "quiet") {
+            setLogLevel(LogLevel::Quiet);
+        } else if (value == "warn") {
+            setLogLevel(LogLevel::Warn);
+        } else if (value == "info") {
+            setLogLevel(LogLevel::Inform);
+        } else {
+            bad("unknown log level '" + value +
+                "' (want quiet, warn, or info)");
+            return flags;
+        }
+    }
+    raw.swap(kept);
+    return flags;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc < 2)
+    std::vector<std::string> raw(argv + 1, argv + argc);
+    const GlobalFlags flags = extractGlobalFlags(raw);
+    if (!flags.ok)
         return usage();
-    const std::string command = argv[1];
-    std::vector<std::string> args(argv + 2, argv + argc);
+    if (raw.empty())
+        return usage();
+    if (flags.timing)
+        obs::setTimingEnabled(true);
+
+    std::ofstream trace_file;
+    std::optional<obs::TraceSink> sink;
+    std::optional<obs::TraceGuard> guard;
+    if (!flags.traceOut.empty()) {
+        trace_file.open(flags.traceOut);
+        if (!trace_file) {
+            std::cerr << "cannot open trace output '" << flags.traceOut
+                      << "'\n";
+            return 1;
+        }
+        sink.emplace(trace_file);
+        guard.emplace(*sink);
+    }
+
+    const std::string command = raw[0];
+    std::vector<std::string> args(raw.begin() + 1, raw.end());
+    int status = 2;
+    bool known = true;
     try {
         if (command == "solve")
-            return cmdSolve(args);
-        if (command == "check")
-            return cmdCheck(args);
-        if (command == "workloads")
-            return cmdWorkloads();
-        if (command == "profile")
-            return cmdProfile(args);
-        if (command == "simulate")
-            return cmdSimulate(args);
-        if (command == "example")
-            return cmdExample();
+            status = cmdSolve(args);
+        else if (command == "check")
+            status = cmdCheck(args);
+        else if (command == "workloads")
+            status = cmdWorkloads();
+        else if (command == "profile")
+            status = cmdProfile(args);
+        else if (command == "simulate")
+            status = cmdSimulate(args);
+        else if (command == "example")
+            status = cmdExample();
+        else if (command == "trace")
+            status = cmdTrace(args);
+        else if (command == "stats")
+            status = cmdStats(args);
+        else
+            known = false;
     } catch (const std::exception &err) {
         std::cerr << err.what() << "\n";
-        return 1;
+        status = 1;
     }
-    return usage();
+    if (!known)
+        return usage();
+
+    if (sink)
+        sink->flush();
+    if (!flags.metricsOut.empty()) {
+        std::ofstream out(flags.metricsOut);
+        if (!out) {
+            std::cerr << "cannot open metrics output '"
+                      << flags.metricsOut << "'\n";
+            return 1;
+        }
+        const bool text = flags.metricsOut.size() >= 4 &&
+                          flags.metricsOut.compare(
+                              flags.metricsOut.size() - 4, 4,
+                              ".txt") == 0;
+        if (text)
+            obs::metrics().writeText(out);
+        else
+            obs::metrics().writeJson(out);
+    }
+    return status;
 }

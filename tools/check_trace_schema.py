@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Validate an amdahl_market JSONL trace against the event schema.
+
+Usage: check_trace_schema.py [trace.jsonl]   (stdin when omitted)
+
+Checks, per DESIGN.md section 10:
+  - every line parses as a JSON object;
+  - "seq" is present and strictly increasing from 1;
+  - "ev" is present and names a known event type;
+  - each event carries that type's required fields;
+  - no event carries a wall-clock field (traces must be deterministic;
+    timing lives in the metrics histograms).
+
+Exit status 0 when the trace is clean, 1 otherwise.
+"""
+
+import json
+import sys
+
+# Required fields per event type. Extra fields are allowed (the schema
+# grows), missing ones are errors.
+REQUIRED = {
+    "run_start": {"policy", "seed", "users", "servers",
+                  "epoch_seconds", "horizon_seconds", "faults",
+                  "admission"},
+    "run_end": set(),
+    "epoch_start": {"epoch", "now"},
+    "epoch_end": {"epoch", "in_system", "idle"},
+    "bidding_start": {"users", "servers", "schedule", "damping",
+                      "warm_start", "deadline_armed"},
+    "bidding_iter": {"iter", "max_delta"},
+    "bidding_end": {"iterations", "converged", "deadline_expired"},
+    "deadline_expired": {"iter", "best_delta"},
+    "fallback_serve": {"rung", "converged", "iterations",
+                       "deadline_expired"},
+    "fault_schedule": {"server", "crash_epoch", "recover_epoch"},
+    "churn": {"epoch", "kind", "server"},
+    "checkpoint_rollback": {"epoch", "user", "server", "lost_work"},
+    "admission": {"epoch", "action", "user"},
+    "log": {"severity", "message"},
+}
+
+FORBIDDEN = {"time", "wall", "elapsed", "timestamp", "duration"}
+
+
+def fail(line_no, message):
+    print(f"line {line_no}: {message}", file=sys.stderr)
+    return 1
+
+
+def main():
+    stream = open(sys.argv[1]) if len(sys.argv) > 1 else sys.stdin
+    errors = 0
+    expected_seq = 0
+    events = 0
+    with stream:
+        for line_no, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as err:
+                errors += fail(line_no, f"not valid JSON: {err}")
+                continue
+            if not isinstance(event, dict):
+                errors += fail(line_no, "not a JSON object")
+                continue
+            events += 1
+            expected_seq += 1
+            seq = event.get("seq")
+            if seq != expected_seq:
+                errors += fail(
+                    line_no,
+                    f"seq {seq!r}, expected {expected_seq}")
+                expected_seq = seq if isinstance(seq, int) else \
+                    expected_seq
+            ev = event.get("ev")
+            if ev not in REQUIRED:
+                errors += fail(line_no, f"unknown event type {ev!r}")
+                continue
+            missing = REQUIRED[ev] - event.keys()
+            if missing:
+                errors += fail(
+                    line_no,
+                    f"{ev} missing field(s): {sorted(missing)}")
+            banned = {key for key in event
+                      if any(word in key for word in FORBIDDEN)}
+            if banned:
+                errors += fail(
+                    line_no,
+                    f"{ev} carries wall-clock field(s): "
+                    f"{sorted(banned)}")
+    if events == 0:
+        print("empty trace", file=sys.stderr)
+        return 1
+    if errors:
+        print(f"{errors} schema error(s) in {events} event(s)",
+              file=sys.stderr)
+        return 1
+    print(f"ok: {events} event(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
