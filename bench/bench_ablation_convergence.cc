@@ -13,13 +13,20 @@
 
 #include <cmath>
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
 #include "common/random.hh"
 #include "common/table.hh"
 #include "core/bidding.hh"
 #include "eval/experiment.hh"
+#include "exec/thread_pool.hh"
 #include "sim/workload_library.hh"
+
+// Sweep points are independent solves over one shared (const) market,
+// so each sweep fans out across the worker pool — results land in
+// per-point slots and the tables print serially afterwards, identical
+// at any AMDAHL_THREADS setting.
 
 int
 main()
@@ -64,15 +71,24 @@ main()
         table.addColumn("epsilon");
         table.addColumn("iterations");
         table.addColumn("max |x - x*| (cores)");
-        for (double eps : {1e-2, 1e-3, 1e-4, 1e-5, 1e-6}) {
-            core::BiddingOptions opts;
-            opts.priceTolerance = eps;
-            opts.maxIterations = 200000;
-            const auto r = core::solveAmdahlBidding(market, opts);
+        const std::vector<double> epsilons{1e-2, 1e-3, 1e-4, 1e-5,
+                                           1e-6};
+        std::vector<core::BiddingResult> results(epsilons.size());
+        exec::parallelFor(
+            0, epsilons.size(), 1,
+            [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t s = lo; s < hi; ++s) {
+                    core::BiddingOptions opts;
+                    opts.priceTolerance = epsilons[s];
+                    opts.maxIterations = 200000;
+                    results[s] = core::solveAmdahlBidding(market, opts);
+                }
+            });
+        for (std::size_t s = 0; s < epsilons.size(); ++s) {
             table.beginRow()
-                .cell(formatDouble(eps, 6))
-                .cell(r.iterations)
-                .cell(allocation_error(r), 4);
+                .cell(formatDouble(epsilons[s], 6))
+                .cell(results[s].iterations)
+                .cell(allocation_error(results[s]), 4);
         }
         std::cout << "(a) termination threshold sweep\n";
         table.print(std::cout);
@@ -86,16 +102,24 @@ main()
         table.addColumn("damping");
         table.addColumn("iterations");
         table.addColumn("converged");
-        for (double d : {1.0, 0.9, 0.7, 0.5, 0.3}) {
-            core::BiddingOptions opts;
-            opts.priceTolerance = 1e-6;
-            opts.maxIterations = 200000;
-            opts.damping = d;
-            const auto r = core::solveAmdahlBidding(market, opts);
+        const std::vector<double> dampings{1.0, 0.9, 0.7, 0.5, 0.3};
+        std::vector<core::BiddingResult> results(dampings.size());
+        exec::parallelFor(
+            0, dampings.size(), 1,
+            [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t s = lo; s < hi; ++s) {
+                    core::BiddingOptions opts;
+                    opts.priceTolerance = 1e-6;
+                    opts.maxIterations = 200000;
+                    opts.damping = dampings[s];
+                    results[s] = core::solveAmdahlBidding(market, opts);
+                }
+            });
+        for (std::size_t s = 0; s < dampings.size(); ++s) {
             table.beginRow()
-                .cell(d, 1)
-                .cell(r.iterations)
-                .cell(r.converged ? "yes" : "no");
+                .cell(dampings[s], 1)
+                .cell(results[s].iterations)
+                .cell(results[s].converged ? "yes" : "no");
         }
         std::cout << "(b) damping sweep (epsilon = 1e-6)\n";
         table.print(std::cout);
@@ -109,19 +133,28 @@ main()
         table.addColumn("schedule", TablePrinter::Align::Left);
         table.addColumn("iterations");
         table.addColumn("max |x - x*| (cores)");
-        for (auto schedule : {core::UpdateSchedule::Synchronous,
-                              core::UpdateSchedule::GaussSeidel}) {
-            core::BiddingOptions opts;
-            opts.priceTolerance = 1e-6;
-            opts.maxIterations = 200000;
-            opts.schedule = schedule;
-            const auto r = core::solveAmdahlBidding(market, opts);
+        const std::vector<core::UpdateSchedule> schedules{
+            core::UpdateSchedule::Synchronous,
+            core::UpdateSchedule::GaussSeidel};
+        std::vector<core::BiddingResult> results(schedules.size());
+        exec::parallelFor(
+            0, schedules.size(), 1,
+            [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t s = lo; s < hi; ++s) {
+                    core::BiddingOptions opts;
+                    opts.priceTolerance = 1e-6;
+                    opts.maxIterations = 200000;
+                    opts.schedule = schedules[s];
+                    results[s] = core::solveAmdahlBidding(market, opts);
+                }
+            });
+        for (std::size_t s = 0; s < schedules.size(); ++s) {
             table.beginRow()
-                .cell(schedule == core::UpdateSchedule::Synchronous
+                .cell(schedules[s] == core::UpdateSchedule::Synchronous
                           ? "synchronous"
                           : "gauss-seidel")
-                .cell(r.iterations)
-                .cell(allocation_error(r), 4);
+                .cell(results[s].iterations)
+                .cell(allocation_error(results[s]), 4);
         }
         std::cout << "(c) update schedule (epsilon = 1e-6)\n";
         table.print(std::cout);

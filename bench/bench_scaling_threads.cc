@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Thread-scaling study of the parallel market-clearing engine.
+ *
+ * Clears one synthetic 512-user x 64-server market (the paper's "large
+ * datacenter" regime: every server contended by dozens of users) for a
+ * fixed number of proportional-response iterations at 1, 2, 4, and 8
+ * worker threads, and reports clearing throughput (users x iterations
+ * per second) and speedup over the single-thread run.
+ *
+ * The run doubles as a determinism check: the solver's contract is
+ * that same-seed results are *byte-identical* at every thread count
+ * (fixed chunk layouts + ordered reductions, DESIGN.md §11), so the
+ * bench compares prices, bids, and allocations of every configuration
+ * against the single-thread reference with exact equality and prints
+ * the verdict alongside the speedup.
+ *
+ * Scale knobs: AMDAHL_BENCH_SCALING_USERS, AMDAHL_BENCH_SCALING_ITERS,
+ * AMDAHL_BENCH_REPS. Speedup depends on the host's core count — on a
+ * single-core container every configuration collapses to ~1x while
+ * the identity column still must read "yes".
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/random.hh"
+#include "common/table.hh"
+#include "core/bidding.hh"
+#include "core/market.hh"
+#include "exec/parallelism.hh"
+
+namespace {
+
+using namespace amdahl;
+
+/** Dense synthetic market: every user bids on `jobsPerUser` servers,
+ *  server i%m is forced so each server hosts at least one job. */
+core::FisherMarket
+syntheticMarket(int users, int servers, int jobsPerUser,
+                std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> capacities(
+        static_cast<std::size_t>(servers), 24.0);
+    core::FisherMarket market(std::move(capacities));
+    for (int i = 0; i < users; ++i) {
+        core::MarketUser user;
+        user.name = "user" + std::to_string(i);
+        user.budget =
+            static_cast<double>(rng.uniformInt(1, 5));
+        for (int k = 0; k < jobsPerUser; ++k) {
+            core::JobSpec job;
+            job.server = k == 0
+                             ? static_cast<std::size_t>(i % servers)
+                             : static_cast<std::size_t>(rng.uniformInt(
+                                   0, servers - 1));
+            job.parallelFraction = rng.uniform(0.5, 0.999);
+            job.weight = 1.0;
+            user.jobs.push_back(job);
+        }
+        market.addUser(std::move(user));
+    }
+    return market;
+}
+
+bool
+sameMatrix(const core::JobMatrix &a, const core::JobMatrix &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] != b[i]) // exact: the contract is byte-identity
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Scaling: clearing threads",
+        "Fixed-iteration Amdahl Bidding throughput vs worker threads "
+        "(512 users x 64 servers; results must be byte-identical)");
+
+    const int users = bench::envInt("AMDAHL_BENCH_SCALING_USERS", 512);
+    const int servers = std::max(1, users / 8);
+    const int iterations =
+        bench::envInt("AMDAHL_BENCH_SCALING_ITERS", 40);
+    const int reps = bench::envInt("AMDAHL_BENCH_REPS", 3);
+
+    const auto market =
+        syntheticMarket(users, servers, 4, 0x5ca11ab1e);
+
+    core::BiddingOptions opts;
+    // Effectively unreachable tolerance: every run performs exactly
+    // `iterations` proportional-response rounds, so each thread count
+    // does identical work.
+    opts.priceTolerance = 1e-300;
+    opts.maxIterations = iterations;
+
+    const int previous_threads = exec::setThreadCount(1);
+
+    TablePrinter table;
+    table.addColumn("threads");
+    table.addColumn("time (ms)");
+    table.addColumn("users*iters/sec");
+    table.addColumn("speedup");
+    table.addColumn("identical", TablePrinter::Align::Left);
+
+    core::BiddingResult reference;
+    double base_seconds = 0.0;
+    bool all_identical = true;
+    for (int threads : {1, 2, 4, 8}) {
+        exec::setThreadCount(threads);
+        core::BiddingResult result;
+        double best_seconds = 0.0;
+        for (int r = 0; r < reps; ++r) {
+            const auto start = std::chrono::steady_clock::now();
+            result = core::solveAmdahlBidding(market, opts);
+            const double seconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            if (r == 0 || seconds < best_seconds)
+                best_seconds = seconds;
+        }
+
+        bool identical = true;
+        if (threads == 1) {
+            reference = result;
+            base_seconds = best_seconds;
+        } else {
+            identical = result.prices == reference.prices &&
+                        sameMatrix(result.bids, reference.bids) &&
+                        sameMatrix(result.allocation,
+                                   reference.allocation);
+            all_identical = all_identical && identical;
+        }
+
+        const double work = static_cast<double>(users) *
+                            static_cast<double>(result.iterations);
+        table.beginRow()
+            .cell(threads)
+            .cell(best_seconds * 1e3, 2)
+            .cell(work / best_seconds, 0)
+            .cell(base_seconds / best_seconds, 2)
+            .cell(identical ? "yes" : "NO");
+    }
+    exec::setThreadCount(previous_threads);
+
+    bench::emitTable(table, "scaling_threads");
+    std::cout << "\nThroughput is users x iterations per second of "
+                 "wall time (best of " << reps << " reps); speedup is "
+                 "relative to 1 thread on this host ("
+              << exec::hardwareThreads() << " hardware threads). "
+              << (all_identical
+                      ? "All configurations produced byte-identical "
+                        "prices, bids, and allocations."
+                      : "DETERMINISM VIOLATION: results differed "
+                        "across thread counts.")
+              << "\n\n";
+    bench::emitJson(table, "scaling_threads");
+
+    eval::ExperimentDriver::Config cfg;
+    cfg.seed = 0x5ca11ab1e;
+    cfg.populationsPerPoint = reps;
+    cfg.users = users;
+    bench::emitMetrics("scaling_threads", cfg);
+    return all_identical ? 0 : 1;
+}

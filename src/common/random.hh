@@ -44,6 +44,61 @@ class SplitMix64
 };
 
 /**
+ * Counter-based substream derivation.
+ *
+ * mix64 is the SplitMix64 output function applied as a hash: a
+ * bijective 64-bit finalizer with full avalanche. substreamSeed chains
+ * it over (seed, a, b) so every (a, b) pair — e.g. (user, round) —
+ * names a statistically independent seed. Unlike drawing from one
+ * sequential stream, the value at (a, b) does not depend on how many
+ * draws other (a', b') consumers made, or in what order: realizations
+ * are a pure function of the coordinates. The fault-injection layers
+ * use this so a bid-loss decision for user u in round r is identical
+ * whether users are processed serially, in parallel, or in a
+ * different schedule (Synchronous vs GaussSeidel).
+ */
+
+/** @return SplitMix64 finalizer of @p x (stateless hash). */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    std::uint64_t z = x + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** @return An independent 64-bit seed for coordinates (@p a, @p b)
+ *  under @p seed. Pure function — schedule- and order-independent. */
+inline std::uint64_t
+substreamSeed(std::uint64_t seed, std::uint64_t a, std::uint64_t b)
+{
+    return mix64(mix64(mix64(seed) ^ a) ^ b);
+}
+
+/** @return A double uniform in [0, 1) derived from @p bits (the same
+ *  53-bit construction Rng::uniform uses). */
+inline double
+counterUniform(std::uint64_t bits)
+{
+    return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+/** @return true with probability @p p (clamped to [0, 1]) for the
+ *  substream at (@p seed, @p a, @p b). Pure function of its
+ *  arguments. */
+inline bool
+counterBernoulli(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                 double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return counterUniform(mix64(substreamSeed(seed, a, b))) < p;
+}
+
+/**
  * xoshiro256** engine with convenience distributions.
  *
  * Satisfies UniformRandomBitGenerator so it can also be plugged into

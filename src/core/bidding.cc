@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include "common/check.hh"
@@ -10,6 +11,7 @@
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "core/amdahl.hh"
+#include "exec/thread_pool.hh"
 #include "obs/metrics.hh"
 #include "obs/timer.hh"
 #include "obs/trace.hh"
@@ -18,19 +20,214 @@ namespace amdahl::core {
 
 namespace {
 
-/** Recompute prices from bids: p_j = sum b_ij / C_j. */
-void
-computePrices(const FisherMarket &market, const JobMatrix &bids,
-              std::vector<double> &prices)
+/** Users per parallelFor chunk in the Synchronous bid-update kernel.
+ *  Fixed (never derived from the thread count) so the chunk layout —
+ *  and with it exec.tasks and every reduction tree — is identical at
+ *  any thread count. */
+constexpr std::size_t kUserGrain = 32;
+
+/** Servers per chunk in the price gather and the delta reduction. */
+constexpr std::size_t kServerGrain = 8;
+
+/**
+ * Structure-of-arrays view of one clearing problem.
+ *
+ * The per-user AoS layout (MarketUser::jobs, JobMatrix) is the right
+ * API shape but the wrong iteration shape: the proportional-response
+ * inner loop touches three doubles per job and pays a pointer chase
+ * per user per field. The kernel flattens every job to one index e in
+ * user-major order and keeps each field contiguous. The loop-invariant
+ * factor sqrt(f_ij * w_ij) of the propensity U_ij = sqrt(f w p) s(x)
+ * is hoisted here, once per clearing — the per-round kernel multiplies
+ * it by sqrt(p_j), which is exactly the factorization updateUserBids
+ * uses, so kernel bids match the reference function bit for bit.
+ *
+ * Prices are gathered server-major through a CSR index
+ * (serverJobOffset/serverJobIds). Flat job ids are user-major, so each
+ * server's id list is increasing in (user, job) order — summing it
+ * front to back performs the *same sequence of additions* into the
+ * accumulator as the legacy user-major scatter loop did per server.
+ * That is the determinism argument (DESIGN.md §11): per-server sums
+ * associate identically at every thread count, including 1.
+ */
+struct BidKernel
 {
-    std::fill(prices.begin(), prices.end(), 0.0);
-    for (std::size_t i = 0; i < market.userCount(); ++i) {
-        const auto &jobs = market.user(i).jobs;
-        for (std::size_t k = 0; k < jobs.size(); ++k)
-            prices[jobs[k].server] += bids[i][k];
+    std::size_t userCount = 0;
+    std::size_t serverCount = 0;
+    std::size_t jobCount = 0;
+
+    std::vector<std::size_t> userOffset; // userCount + 1
+    std::vector<double> budget;          // per user
+
+    // Per flat job, user-major.
+    std::vector<std::size_t> server;
+    std::vector<double> fraction; // f_ij
+    std::vector<double> sqrtFw;   // sqrt(f_ij * w_ij), hoisted
+    std::vector<double> bids;     // b_ij, the iterated state
+    std::vector<double> scratch;  // unnormalized propensities
+
+    // Server-major CSR over flat job ids (increasing within a server).
+    std::vector<std::size_t> serverJobOffset; // serverCount + 1
+    std::vector<std::size_t> serverJobIds;
+
+    std::vector<double> capacity; // per server
+};
+
+BidKernel
+buildKernel(const FisherMarket &market)
+{
+    BidKernel kernel;
+    kernel.userCount = market.userCount();
+    kernel.serverCount = market.serverCount();
+
+    kernel.userOffset.reserve(kernel.userCount + 1);
+    kernel.userOffset.push_back(0);
+    for (std::size_t i = 0; i < kernel.userCount; ++i) {
+        kernel.userOffset.push_back(kernel.userOffset.back() +
+                                    market.user(i).jobs.size());
     }
-    for (std::size_t j = 0; j < market.serverCount(); ++j)
-        prices[j] /= market.capacity(j);
+    kernel.jobCount = kernel.userOffset.back();
+
+    kernel.budget.resize(kernel.userCount);
+    kernel.server.resize(kernel.jobCount);
+    kernel.fraction.resize(kernel.jobCount);
+    kernel.sqrtFw.resize(kernel.jobCount);
+    kernel.bids.assign(kernel.jobCount, 0.0);
+    kernel.scratch.assign(kernel.jobCount, 0.0);
+    for (std::size_t i = 0; i < kernel.userCount; ++i) {
+        const auto &user = market.user(i);
+        kernel.budget[i] = user.budget;
+        std::size_t e = kernel.userOffset[i];
+        for (const auto &job : user.jobs) {
+            kernel.server[e] = job.server;
+            kernel.fraction[e] = job.parallelFraction;
+            kernel.sqrtFw[e] =
+                std::sqrt(job.parallelFraction * job.weight);
+            ++e;
+        }
+    }
+
+    kernel.capacity.resize(kernel.serverCount);
+    for (std::size_t j = 0; j < kernel.serverCount; ++j)
+        kernel.capacity[j] = market.capacity(j);
+
+    // CSR: counting sort of flat job ids by server. Ids come out
+    // increasing per server because the fill scans them in order.
+    kernel.serverJobOffset.assign(kernel.serverCount + 1, 0);
+    for (std::size_t e = 0; e < kernel.jobCount; ++e)
+        ++kernel.serverJobOffset[kernel.server[e] + 1];
+    for (std::size_t j = 0; j < kernel.serverCount; ++j)
+        kernel.serverJobOffset[j + 1] += kernel.serverJobOffset[j];
+    kernel.serverJobIds.resize(kernel.jobCount);
+    std::vector<std::size_t> cursor(
+        kernel.serverJobOffset.begin(),
+        kernel.serverJobOffset.end() - 1);
+    for (std::size_t e = 0; e < kernel.jobCount; ++e)
+        kernel.serverJobIds[cursor[kernel.server[e]]++] = e;
+
+    return kernel;
+}
+
+void
+flattenBids(const JobMatrix &bids, BidKernel &kernel)
+{
+    for (std::size_t i = 0; i < kernel.userCount; ++i) {
+        std::copy(bids[i].begin(), bids[i].end(),
+                  kernel.bids.begin() +
+                      static_cast<std::ptrdiff_t>(kernel.userOffset[i]));
+    }
+}
+
+void
+unflattenBids(const BidKernel &kernel, JobMatrix &bids)
+{
+    bids.resize(kernel.userCount);
+    for (std::size_t i = 0; i < kernel.userCount; ++i) {
+        const std::size_t lo = kernel.userOffset[i];
+        const std::size_t hi = kernel.userOffset[i + 1];
+        bids[i].assign(kernel.bids.begin() +
+                           static_cast<std::ptrdiff_t>(lo),
+                       kernel.bids.begin() +
+                           static_cast<std::ptrdiff_t>(hi));
+    }
+}
+
+/**
+ * Recompute prices from the flat bids: p_j = sum b_ij / C_j.
+ *
+ * Parallel over servers; each server's sum runs over its CSR id list
+ * front to back, reproducing the legacy user-major accumulation order
+ * exactly (see BidKernel), so the result is bit-identical at any
+ * thread count.
+ */
+void
+gatherPrices(const BidKernel &kernel, std::vector<double> &prices)
+{
+    exec::parallelFor(
+        0, kernel.serverCount, kServerGrain,
+        [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t j = lo; j < hi; ++j) {
+                double sum = 0.0;
+                const std::size_t jb = kernel.serverJobOffset[j];
+                const std::size_t je = kernel.serverJobOffset[j + 1];
+                for (std::size_t s = jb; s < je; ++s)
+                    sum += kernel.bids[kernel.serverJobIds[s]];
+                prices[j] = sum / kernel.capacity[j];
+            }
+        });
+}
+
+/**
+ * One proportional-response update for user @p i against @p posted
+ * prices, writing the (damped) next bids in place. Bitwise identical
+ * to updateUserBids + the solver's damping blend; shared by both
+ * schedules so they cannot drift apart.
+ */
+inline void
+updateOneUser(BidKernel &kernel, std::size_t i,
+              const std::vector<double> &posted, double damping)
+{
+    const std::size_t lo = kernel.userOffset[i];
+    const std::size_t hi = kernel.userOffset[i + 1];
+    double total = 0.0;
+    for (std::size_t e = lo; e < hi; ++e) {
+        const double p = posted[kernel.server[e]];
+        double propensity = 0.0;
+        if (p > 0.0 && kernel.bids[e] > 0.0) {
+            const double x = kernel.bids[e] / p;
+            propensity = kernel.sqrtFw[e] * std::sqrt(p) *
+                         amdahlSpeedup(kernel.fraction[e], x);
+        }
+        kernel.scratch[e] = propensity;
+        total += propensity;
+    }
+
+    if (total <= 0.0) {
+        // All propensities vanished (e.g. fully serial jobs): fall
+        // back to an even split so the budget is still exhausted.
+        const double even =
+            kernel.budget[i] / static_cast<double>(hi - lo);
+        for (std::size_t e = lo; e < hi; ++e) {
+            kernel.bids[e] =
+                damping < 1.0
+                    ? (1.0 - damping) * kernel.bids[e] + damping * even
+                    : even;
+        }
+        return;
+    }
+    AMDAHL_CHECK_FINITE(total);
+    for (std::size_t e = lo; e < hi; ++e) {
+        const double proposal =
+            kernel.budget[i] * kernel.scratch[e] / total;
+        AMDAHL_CHECK_FINITE(proposal);
+        AMDAHL_ASSERT(proposal >= 0.0,
+                      "proportional update produced a negative bid ",
+                      "for user ", i);
+        kernel.bids[e] =
+            damping < 1.0
+                ? (1.0 - damping) * kernel.bids[e] + damping * proposal
+                : proposal;
+    }
 }
 
 } // namespace
@@ -42,7 +239,10 @@ updateUserBids(const MarketUser &user, const std::vector<double> &prices,
     if (bids.size() != user.jobs.size())
         fatal("bid vector size mismatch for user '", user.name, "'");
 
-    // U_ij = sqrt(f w p) * s(x) with x = b / p.
+    // U_ij = sqrt(f w) * sqrt(p) * s(x) with x = b / p. The factored
+    // form (rather than sqrt(f w p)) lets callers hoist sqrt(f w) out
+    // of the iteration; the SoA kernel relies on the two forms being
+    // the *same* expression so its bids match this function bitwise.
     double total = 0.0;
     for (std::size_t k = 0; k < user.jobs.size(); ++k) {
         const auto &job = user.jobs[k];
@@ -55,8 +255,8 @@ updateUserBids(const MarketUser &user, const std::vector<double> &prices,
         if (p > 0.0 && bids[k] > 0.0) {
             const double x = bids[k] / p;
             propensity =
-                std::sqrt(job.parallelFraction * job.weight * p) *
-                amdahlSpeedup(job.parallelFraction, x);
+                std::sqrt(job.parallelFraction * job.weight) *
+                std::sqrt(p) * amdahlSpeedup(job.parallelFraction, x);
         }
         bids[k] = propensity; // Reuse storage for the unnormalized U.
         total += propensity;
@@ -106,6 +306,12 @@ solveAmdahlBidding(const FisherMarket &market, const BiddingOptions &opts)
 
     obs::ScopedTimer solve_timer(
         obs::timeHistogram("time.bidding.solve_us"));
+    // Per-phase timers, looked up once per solve (map lookups do not
+    // belong inside the round loop); nullptr while timing is off.
+    obs::Histogram *update_hist =
+        obs::timeHistogram("time.bidding.update_us");
+    obs::Histogram *prices_hist =
+        obs::timeHistogram("time.bidding.prices_us");
     if (auto *sink = obs::traceSink()) {
         obs::TraceEvent(*sink, "bidding_start")
             .field("users", n)
@@ -175,7 +381,10 @@ solveAmdahlBidding(const FisherMarket &market, const BiddingOptions &opts)
                           "user '", user.name, "'");
         }
     }
-    computePrices(market, result.bids, result.prices);
+
+    BidKernel kernel = buildKernel(market);
+    flattenBids(result.bids, kernel);
+    gatherPrices(kernel, result.prices);
 
     // Anytime bookkeeping. The best-so-far snapshot is seeded with the
     // initial state: on a validated market every server hosts a job and
@@ -188,70 +397,102 @@ solveAmdahlBidding(const FisherMarket &market, const BiddingOptions &opts)
     Clock::time_point start_time;
     if (opts.deadline.wallClockSeconds > 0.0)
         start_time = Clock::now();
-    JobMatrix best_bids;
+    std::vector<double> best_bids;
     std::vector<double> best_prices;
     double best_delta = std::numeric_limits<double>::infinity();
     if (anytime) {
-        best_bids = result.bids;
+        best_bids = kernel.bids;
         best_prices = result.prices;
     }
 
-    // Lossy transport draws from its own deterministic stream; with a
-    // sound transport (the default) no generator is ever touched.
+    // Lossy transport: each (user, round) loss decision comes from its
+    // own counter-based substream — a pure function of (seed, user,
+    // round) — so realizations are identical under either schedule and
+    // at any thread count. The mask is materialized serially before the
+    // round's fan-out; with a sound transport (the default) nothing is
+    // ever drawn.
     const bool lossy = opts.transport.lossRate > 0.0;
-    Rng loss_rng(opts.transport.seed);
+    std::vector<unsigned char> lost;
+    if (lossy)
+        lost.assign(n, 0);
     std::uint64_t lost_messages = 0;
 
     std::vector<double> new_prices(m);
-    std::vector<double> proposal;
     std::vector<double> live_prices;
     for (int it = 0; it < opts.maxIterations; ++it) {
-        if (opts.schedule == UpdateSchedule::GaussSeidel)
-            live_prices = result.prices;
         bool round_lost_message = false;
-        for (std::size_t i = 0; i < n; ++i) {
-            if (lossy &&
-                loss_rng.bernoulli(opts.transport.lossRate)) {
-                // This user's update message was lost: her previous
-                // bids stand for the round (they still sum to her
-                // budget, so no invariant moves).
-                round_lost_message = true;
-                ++lost_messages;
-                continue;
-            }
-            const auto &user = market.user(i);
-            const auto &posted =
-                opts.schedule == UpdateSchedule::GaussSeidel
-                    ? live_prices
-                    : result.prices;
-            proposal = result.bids[i];
-            updateUserBids(user, posted, proposal);
-            if (opts.damping < 1.0) {
-                for (std::size_t k = 0; k < proposal.size(); ++k) {
-                    proposal[k] =
-                        (1.0 - opts.damping) * result.bids[i][k] +
-                        opts.damping * proposal[k];
+        if (lossy) {
+            for (std::size_t i = 0; i < n; ++i) {
+                lost[i] = counterBernoulli(
+                              opts.transport.seed, i,
+                              static_cast<std::uint64_t>(it),
+                              opts.transport.lossRate)
+                              ? 1
+                              : 0;
+                if (lost[i]) {
+                    // This user's update message is lost: her previous
+                    // bids stand for the round (they still sum to her
+                    // budget, so no invariant moves).
+                    round_lost_message = true;
+                    ++lost_messages;
                 }
             }
-            if (opts.schedule == UpdateSchedule::GaussSeidel) {
-                // Fold the bid change into prices immediately so
-                // later users in this round see it.
-                for (std::size_t k = 0; k < proposal.size(); ++k) {
-                    const auto j = user.jobs[k].server;
-                    live_prices[j] +=
-                        (proposal[k] - result.bids[i][k]) /
-                        market.capacity(j);
-                }
-            }
-            result.bids[i] = proposal;
         }
 
-        computePrices(market, result.bids, new_prices);
+        {
+            obs::ScopedTimer update_timer(update_hist);
+            if (opts.schedule == UpdateSchedule::GaussSeidel) {
+                // Inherently sequential: each user responds to prices
+                // that already reflect earlier users' new bids.
+                live_prices = result.prices;
+                for (std::size_t i = 0; i < n; ++i) {
+                    if (lossy && lost[i])
+                        continue;
+                    const std::size_t lo = kernel.userOffset[i];
+                    const std::size_t hi = kernel.userOffset[i + 1];
+                    // Fold the bid change into prices immediately so
+                    // later users in this round see it.
+                    std::vector<double> previous(
+                        kernel.bids.begin() +
+                            static_cast<std::ptrdiff_t>(lo),
+                        kernel.bids.begin() +
+                            static_cast<std::ptrdiff_t>(hi));
+                    updateOneUser(kernel, i, live_prices,
+                                  opts.damping);
+                    for (std::size_t e = lo; e < hi; ++e) {
+                        const std::size_t j = kernel.server[e];
+                        live_prices[j] +=
+                            (kernel.bids[e] - previous[e - lo]) /
+                            kernel.capacity[j];
+                    }
+                }
+            } else {
+                // Synchronous: every user responds to the same posted
+                // prices and writes only her own bid slots — disjoint
+                // per chunk, so the fan-out commutes bitwise.
+                exec::parallelFor(
+                    0, n, kUserGrain,
+                    [&](std::size_t ulo, std::size_t uhi) {
+                        for (std::size_t i = ulo; i < uhi; ++i) {
+                            if (lossy && lost[i])
+                                continue;
+                            updateOneUser(kernel, i, result.prices,
+                                          opts.damping);
+                        }
+                    });
+            }
+        }
+
+        {
+            obs::ScopedTimer prices_timer(prices_hist);
+            gatherPrices(kernel, new_prices);
+        }
 
         // Contract: after every proportional-response round, prices
         // stay positive and finite, bids stay non-negative, and each
         // user's bids still sum to her budget (paper Eq. 10).
         if constexpr (checkedBuild) {
+            unflattenBids(kernel, result.bids);
             invariants::CheckMarketState(new_prices, result.bids,
                                          "bidding round");
             std::vector<double> budgets(n);
@@ -261,13 +502,24 @@ solveAmdahlBidding(const FisherMarket &market, const BiddingOptions &opts)
                                         "bidding round");
         }
 
-        double max_delta = 0.0;
-        for (std::size_t j = 0; j < m; ++j) {
-            const double base = std::max(result.prices[j], 1e-300);
-            max_delta = std::max(
-                max_delta, std::abs(new_prices[j] - result.prices[j]) /
-                               base);
-        }
+        // max over chunks is exact (no rounding), so the tree fold is
+        // trivially order-independent; the reduce keeps the scan off
+        // the critical path at high thread counts.
+        const double max_delta = exec::parallelReduce(
+            std::size_t{0}, m, kServerGrain, 0.0,
+            [&](std::size_t lo, std::size_t hi) {
+                double chunk_max = 0.0;
+                for (std::size_t j = lo; j < hi; ++j) {
+                    const double base =
+                        std::max(result.prices[j], 1e-300);
+                    chunk_max = std::max(
+                        chunk_max,
+                        std::abs(new_prices[j] - result.prices[j]) /
+                            base);
+                }
+                return chunk_max;
+            },
+            [](double a, double b) { return std::max(a, b); });
         result.prices = new_prices;
         result.iterations = it + 1;
         if (opts.trackHistory)
@@ -295,7 +547,7 @@ solveAmdahlBidding(const FisherMarket &market, const BiddingOptions &opts)
             }
             if (positive && max_delta < best_delta) {
                 best_delta = max_delta;
-                best_bids = result.bids;
+                best_bids = kernel.bids;
                 best_prices = new_prices;
             }
             bool expired = opts.deadline.iterationBudget > 0 &&
@@ -309,7 +561,7 @@ solveAmdahlBidding(const FisherMarket &market, const BiddingOptions &opts)
                                          opts.deadline.wallClockSeconds;
             }
             if (expired) {
-                result.bids = std::move(best_bids);
+                kernel.bids = std::move(best_bids);
                 result.prices = std::move(best_prices);
                 result.deadlineExpired = true;
                 if (auto *sink = obs::traceSink()) {
@@ -346,6 +598,8 @@ solveAmdahlBidding(const FisherMarket &market, const BiddingOptions &opts)
             .field("converged", result.converged)
             .field("deadline_expired", result.deadlineExpired);
     }
+
+    unflattenBids(kernel, result.bids);
 
     // Final allocations: x_ij = b_ij / p_j.
     result.allocation.resize(n);

@@ -52,8 +52,12 @@ struct BidTransportFaults
      *  transport). */
     double lossRate = 0.0;
 
-    /** Seed of the loss realization; a fresh deterministic stream per
-     *  clearing keeps epoch-based runs reproducible. */
+    /** Seed of the loss realization. Each (user, round) decision is
+     *  drawn from its own counter-based substream keyed by
+     *  (seed, user, round) — see substreamSeed in common/random.hh —
+     *  so the realization is a pure function of those coordinates:
+     *  identical under either schedule, at any thread count, and
+     *  independent of how many draws other users made. */
     std::uint64_t seed = 0;
 };
 
@@ -158,6 +162,12 @@ BiddingResult solveAmdahlBidding(const FisherMarket &market,
 /**
  * One proportional-response bid update for a single user (exposed for
  * the overheads study, Section VI-F, which times precisely this code).
+ *
+ * Computes the propensity in the factored form
+ * sqrt(f w) * sqrt(p) * s(x) — not sqrt(f w p) * s(x), which differs
+ * in the last ulp — because the solver's structure-of-arrays kernel
+ * hoists sqrt(f w) out of the iteration and the two paths must agree
+ * bit for bit (tests/core/ pins this).
  *
  * @param user      The bidding user.
  * @param prices    Current prices p_j.

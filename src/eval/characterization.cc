@@ -15,6 +15,9 @@ CharacterizationCache::CharacterizationCache(sim::TaskSimulator simulator)
 const WorkloadCharacterization &
 CharacterizationCache::of(std::size_t index)
 {
+    // Held across the characterization itself: a miss is filled once
+    // even when several workers ask for the same workload at once.
+    std::lock_guard<std::mutex> lock(mutex_);
     const auto it = characterizations.find(index);
     if (it != characterizations.end())
         return it->second;
@@ -60,6 +63,7 @@ CharacterizationCache::fraction(std::size_t index, FractionSource source)
 double
 CharacterizationCache::fullDatasetSeconds(std::size_t index, int cores)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     const auto key = std::make_pair(index, cores);
     const auto it = times.find(key);
     if (it != times.end())

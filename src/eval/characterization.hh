@@ -21,6 +21,7 @@
 #define AMDAHL_EVAL_CHARACTERIZATION_HH
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,12 @@ enum class FractionSource
 /**
  * Lazily characterizes workloads from the library and memoizes
  * full-dataset execution times.
+ *
+ * Safe to share across pool workers (src/exec/): lookups serialize on
+ * an internal mutex, and the memoized values are pure functions of
+ * (workload, cores), so which thread fills an entry first is
+ * irrelevant to the result. Returned references stay valid — map
+ * nodes never move.
  */
 class CharacterizationCache
 {
@@ -74,6 +81,7 @@ class CharacterizationCache
 
   private:
     sim::TaskSimulator sim_;
+    std::mutex mutex_; // guards both memo maps
     std::map<std::size_t, WorkloadCharacterization> characterizations;
     std::map<std::pair<std::size_t, int>, double> times;
 };

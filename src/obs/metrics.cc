@@ -29,6 +29,7 @@ Histogram::Histogram(std::vector<double> upperBounds)
 void
 Histogram::record(double value)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     // NaN is unordered against every bound (lower_bound would file it
     // under the *first* bucket); count it in the overflow bucket and
     // keep it out of min/max/sum so one bad sample cannot poison the
@@ -95,13 +96,18 @@ bucketQuantile(const std::vector<double> &bounds,
 double
 Histogram::quantile(double q) const
 {
-    return bucketQuantile(bounds_, counts_, count_, minSeen(),
-                          maxSeen(), q);
+    // Read the members directly under one lock (the public accessors
+    // each take mutex_, which is not recursive).
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bucketQuantile(bounds_, counts_, count_,
+                          sampled_ ? min_ : 0.0,
+                          sampled_ ? max_ : 0.0, q);
 }
 
 void
 Histogram::reset()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::fill(counts_.begin(), counts_.end(), 0);
     count_ = 0;
     sampled_ = 0;
@@ -120,6 +126,7 @@ HistogramSample::quantile(double q) const
 Counter &
 MetricsRegistry::counter(std::string_view name)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = counters_.find(name);
     if (it == counters_.end()) {
         it = counters_
@@ -133,6 +140,7 @@ MetricsRegistry::counter(std::string_view name)
 Gauge &
 MetricsRegistry::gauge(std::string_view name)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = gauges_.find(name);
     if (it == gauges_.end()) {
         it = gauges_
@@ -146,6 +154,7 @@ Histogram &
 MetricsRegistry::histogram(std::string_view name,
                            const std::vector<double> &upperBounds)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = histograms_.find(name);
     if (it == histograms_.end()) {
         it = histograms_
@@ -163,6 +172,7 @@ MetricsRegistry::histogram(std::string_view name,
 MetricsSnapshot
 MetricsRegistry::snapshot() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     MetricsSnapshot snap;
     snap.counters.reserve(counters_.size());
     for (const auto &[name, c] : counters_)
@@ -190,6 +200,7 @@ MetricsRegistry::snapshot() const
 void
 MetricsRegistry::reset()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     for (auto &[name, c] : counters_)
         c->reset();
     for (auto &[name, g] : gauges_)

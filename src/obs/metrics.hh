@@ -14,17 +14,26 @@
  * Snapshots decouple exporters from live metrics: snapshot() copies
  * the current values, reset() zeroes them (metric *names* persist so
  * handles stay valid), and the text/JSON exporters render either the
- * registry or a snapshot. Registries are not thread-safe; the library
- * is single-threaded per market, matching the rest of the code.
+ * registry or a snapshot.
+ *
+ * Thread safety: recording is safe from pool workers (src/exec/) —
+ * counters and gauges are lock-free atomics, histograms and the
+ * name->metric maps take a mutex. Counter totals stay deterministic
+ * (addition commutes); histogram *bucket counts* do too, though
+ * concurrent recording interleaves the internal sum in arbitrary
+ * order (the exported sums of all current phase timers are wall-time
+ * anyway, outside the determinism contract).
  */
 
 #ifndef AMDAHL_OBS_METRICS_HH
 #define AMDAHL_OBS_METRICS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -33,7 +42,7 @@ namespace amdahl::obs {
 
 /** Monotonic event count. Saturates at the top of uint64 rather than
  *  wrapping, so a long-running process can never report a small count
- *  after an overflow. */
+ *  after an overflow. Lock-free; safe to add() from pool workers. */
 class Counter
 {
   public:
@@ -42,27 +51,51 @@ class Counter
     add(std::uint64_t n = 1)
     {
         const std::uint64_t max = ~std::uint64_t{0};
-        value_ = (value_ > max - n) ? max : value_ + n;
+        // CAS loop rather than fetch_add: saturation must not wrap
+        // even transiently under concurrent adds.
+        std::uint64_t current =
+            value_.load(std::memory_order_relaxed);
+        std::uint64_t next;
+        do {
+            next = (current > max - n) ? max : current + n;
+        } while (!value_.compare_exchange_weak(
+            current, next, std::memory_order_relaxed));
     }
 
-    std::uint64_t value() const { return value_; }
-    void reset() { value_ = 0; }
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
 
   private:
-    std::uint64_t value_ = 0;
+    std::atomic<std::uint64_t> value_{0};
 };
 
-/** Last-write-wins instantaneous value. */
+/** Last-write-wins instantaneous value. Lock-free. */
 class Gauge
 {
   public:
-    void set(double value) { value_ = value; }
-    void add(double delta) { value_ += delta; }
-    double value() const { return value_; }
-    void reset() { value_ = 0.0; }
+    void set(double value)
+    {
+        value_.store(value, std::memory_order_relaxed);
+    }
+    void
+    add(double delta)
+    {
+        double current = value_.load(std::memory_order_relaxed);
+        while (!value_.compare_exchange_weak(
+            current, current + delta, std::memory_order_relaxed)) {
+        }
+    }
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
   private:
-    double value_ = 0.0;
+    std::atomic<double> value_{0.0};
 };
 
 /**
@@ -71,6 +104,8 @@ class Gauge
  * Bucket i counts samples v with v <= upperBounds[i] (first matching
  * bucket); samples above the last bound land in an implicit overflow
  * bucket. Bounds are fixed at creation — recording never allocates.
+ * Recording and reading take an internal mutex, so pool workers may
+ * record concurrently.
  */
 class Histogram
 {
@@ -85,18 +120,36 @@ class Histogram
      *  bucket and excluded from sum/min/max. */
     void record(double value);
 
-    std::uint64_t count() const { return count_; }
-    double sum() const { return sum_; }
+    std::uint64_t count() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return count_;
+    }
+    double sum() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return sum_;
+    }
     /** Smallest/largest non-NaN sample seen (0 before any sample). */
-    double minSeen() const { return sampled_ ? min_ : 0.0; }
-    double maxSeen() const { return sampled_ ? max_ : 0.0; }
+    double minSeen() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return sampled_ ? min_ : 0.0;
+    }
+    double maxSeen() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return sampled_ ? max_ : 0.0;
+    }
 
+    /** Bounds are immutable after construction — no lock needed. */
     const std::vector<double> &upperBounds() const { return bounds_; }
 
     /** @return Count of bucket @p i; index bounds_.size() is the
      *  overflow bucket. */
     std::uint64_t bucketCount(std::size_t i) const
     {
+        std::lock_guard<std::mutex> lock(mutex_);
         return counts_[i];
     }
 
@@ -112,6 +165,7 @@ class Histogram
 
   private:
     std::vector<double> bounds_;
+    mutable std::mutex mutex_; // guards everything below
     std::vector<std::uint64_t> counts_; // bounds_.size() + 1 (overflow)
     std::uint64_t count_ = 0;
     std::uint64_t sampled_ = 0; // count_ minus NaN samples
@@ -172,7 +226,9 @@ struct MetricsSnapshot
 
 /**
  * Named metric store. Lookup by name creates on first use; the
- * returned references are stable for the registry's lifetime.
+ * returned references are stable for the registry's lifetime (metrics
+ * live behind unique_ptr, so map rebalancing never moves them).
+ * Lookups, snapshot(), and reset() are mutex-guarded.
  */
 class MetricsRegistry
 {
@@ -202,6 +258,7 @@ class MetricsRegistry
     void writeJson(std::ostream &os) const;
 
   private:
+    mutable std::mutex mutex_; // guards the maps, not the metrics
     std::map<std::string, std::unique_ptr<Counter>, std::less<>>
         counters_;
     std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;

@@ -30,12 +30,14 @@ logToTrace(LogLevel level, const std::string &msg)
 void
 TraceSink::write(const std::string &line)
 {
+    std::lock_guard<std::mutex> lock(writeMutex_);
     *os_ << line << '\n';
 }
 
 void
 TraceSink::flush()
 {
+    std::lock_guard<std::mutex> lock(writeMutex_);
     os_->flush();
 }
 

@@ -27,8 +27,10 @@
 #ifndef AMDAHL_OBS_TRACE_HH
 #define AMDAHL_OBS_TRACE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <type_traits>
@@ -39,6 +41,12 @@ namespace amdahl::obs {
  * Destination of a trace stream. Install with setTraceSink(); the
  * caller owns both the sink and the stream it wraps, and must
  * uninstall (setTraceSink(nullptr) or TraceGuard) before either dies.
+ *
+ * Emission is thread-safe (atomic sequence numbers, mutexed writes);
+ * byte-identical trace *order* additionally requires that events are
+ * emitted from one thread at a time, which the solvers guarantee by
+ * tracing only from the submitting thread, never inside pool regions
+ * (see src/exec/thread_pool.hh).
  */
 class TraceSink
 {
@@ -47,7 +55,11 @@ class TraceSink
     explicit TraceSink(std::ostream &os) : os_(&os) {}
 
     /** @return The next sequence number (monotonic from 1). */
-    std::uint64_t nextSeq() { return ++seq_; }
+    std::uint64_t
+    nextSeq()
+    {
+        return seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    }
 
     /** Write one complete JSON line (newline appended). */
     void write(const std::string &line);
@@ -57,7 +69,8 @@ class TraceSink
 
   private:
     std::ostream *os_;
-    std::uint64_t seq_ = 0;
+    std::mutex writeMutex_;
+    std::atomic<std::uint64_t> seq_{0};
 };
 
 /** @return The installed sink, or nullptr when tracing is disabled.

@@ -16,6 +16,7 @@
 #include "alloc/fallback_policy.hh"
 #include "common/logging.hh"
 #include "eval/online.hh"
+#include "exec/parallelism.hh"
 #include "obs/timer.hh"
 #include "obs/trace.hh"
 
@@ -139,6 +140,22 @@ TEST(Trace, GoldenSameSeedRunsAreByteIdentical)
     const std::string second = captureTrace(0xfeedULL);
     EXPECT_EQ(first, second);
     EXPECT_NE(first, captureTrace(0xbeefULL));
+}
+
+TEST(Trace, GoldenTraceIsThreadCountIndependent)
+{
+    // The execution layer's determinism contract extends to traces:
+    // solvers emit events only from the submitting thread, and every
+    // pool construct is order-deterministic, so the same seed yields
+    // the same bytes at any thread count (DESIGN.md §11).
+    const int original = exec::setThreadCount(1);
+    const std::string reference = captureTrace(0xfeedULL);
+    for (int threads : {2, 8}) {
+        exec::setThreadCount(threads);
+        EXPECT_EQ(captureTrace(0xfeedULL), reference)
+            << "trace diverged at " << threads << " threads";
+    }
+    exec::setThreadCount(original);
 }
 
 TEST(Trace, SimulationTraceHasWellFormedLines)

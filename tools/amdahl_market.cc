@@ -65,6 +65,10 @@
  *   --timing                 Record phase wall-time histograms (off by
  *                            default; timing never enters traces).
  *   --log-level <level>      stderr verbosity: quiet, warn, or info.
+ *   --threads <n|auto>       Worker threads for the parallel clearing
+ *                            kernels (default 1, or AMDAHL_THREADS;
+ *                            "auto" = hardware concurrency). Results
+ *                            are byte-identical at any thread count.
  */
 
 #include <cstdint>
@@ -82,6 +86,7 @@
 #include "core/rounding.hh"
 #include "eval/characterization.hh"
 #include "eval/online.hh"
+#include "exec/parallelism.hh"
 #include "obs/metrics.hh"
 #include "obs/timer.hh"
 #include "obs/trace.hh"
@@ -117,7 +122,8 @@ usage()
         << " [--json]\n"
         << "global flags: [--trace-out path] [--metrics-out path]"
         << " [--timing]\n"
-        << "              [--log-level quiet|warn|info]\n";
+        << "              [--log-level quiet|warn|info]"
+        << " [--threads n|auto]\n";
     return 2;
 }
 
@@ -508,7 +514,8 @@ extractGlobalFlags(std::vector<std::string> &raw)
             inline_value = true;
         }
         if (name != "--trace-out" && name != "--metrics-out" &&
-            name != "--log-level" && name != "--timing") {
+            name != "--log-level" && name != "--timing" &&
+            name != "--threads") {
             kept.push_back(arg);
             continue;
         }
@@ -531,6 +538,16 @@ extractGlobalFlags(std::vector<std::string> &raw)
             flags.traceOut = value;
         } else if (name == "--metrics-out") {
             flags.metricsOut = value;
+        } else if (name == "--threads") {
+            // Applied immediately: the worker pool sizes itself on
+            // first use. Same-seed results are byte-identical at any
+            // thread count, so this is purely a speed knob.
+            try {
+                exec::setThreadCount(exec::parseThreadCount(value));
+            } catch (const FatalError &err) {
+                bad(err.what());
+                return flags;
+            }
         } else if (value == "quiet") {
             setLogLevel(LogLevel::Quiet);
         } else if (value == "warn") {

@@ -38,7 +38,9 @@ if [ ! -f "$build_dir/compile_commands.json" ]; then
         -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
 fi
 
-# Every first-party translation unit under src/; tests and benches are
+# Every first-party translation unit under src/ — including the
+# execution layer in src/exec/, whose lock-discipline code is exactly
+# where the concurrency checks earn their keep. Tests and benches are
 # linted by compiler warnings only (gtest/benchmark macros are noisy
 # under several bugprone checks).
 mapfile -t sources < <(find "$repo_root/src" -name '*.cc' | sort)
