@@ -41,6 +41,8 @@ emitLog(LogLevel level, const std::string &msg)
         hook(level, msg);
     if (static_cast<int>(level) > static_cast<int>(globalLevel.load()))
         return;
+    // The one allowed std::cerr in src/: this *is* the output hook
+    // amdahl_lint's OBS-io rule routes everything else through.
     const char *tag = level == LogLevel::Warn ? "warn: " : "info: ";
     std::cerr << tag << msg << '\n';
 }

@@ -49,7 +49,7 @@ namespace detail {
 
 /** Concatenate a parameter pack into one string via operator<<. */
 template <typename... Args>
-std::string
+[[nodiscard]] std::string
 concat(Args &&...args)
 {
     std::ostringstream os;
@@ -97,7 +97,7 @@ enum class LogLevel { Quiet, Warn, Inform };
 LogLevel setLogLevel(LogLevel level);
 
 /** @return The current global log verbosity. */
-LogLevel logLevel();
+[[nodiscard]] LogLevel logLevel();
 
 namespace detail {
 

@@ -18,7 +18,7 @@ namespace amdahl {
  *
  * @return true iff |a - b| <= abs_tol + rel_tol * max(|a|, |b|).
  */
-inline bool
+[[nodiscard]] inline bool
 approxEqual(double a, double b, double rel_tol = 1e-9,
             double abs_tol = 1e-12)
 {
@@ -27,14 +27,14 @@ approxEqual(double a, double b, double rel_tol = 1e-9,
 }
 
 /** @return Sum of a vector of doubles. */
-inline double
+[[nodiscard]] inline double
 sum(const std::vector<double> &xs)
 {
     return std::accumulate(xs.begin(), xs.end(), 0.0);
 }
 
 /** @return L-infinity distance between two equally sized vectors. */
-inline double
+[[nodiscard]] inline double
 maxAbsDiff(const std::vector<double> &a, const std::vector<double> &b)
 {
     double d = 0.0;
@@ -44,7 +44,7 @@ maxAbsDiff(const std::vector<double> &a, const std::vector<double> &b)
 }
 
 /** Clamp x into [lo, hi]. */
-inline double
+[[nodiscard]] inline double
 clampTo(double x, double lo, double hi)
 {
     return x < lo ? lo : (x > hi ? hi : x);

@@ -7,6 +7,12 @@
  * Rng so that experiments are bit-reproducible across runs and platforms.
  * The engine is xoshiro256** seeded through SplitMix64, following the
  * reference construction by Blackman and Vigna.
+ *
+ * This module is the designated owner of randomness: amdahl_lint's
+ * DET-rand rule flags std::rand, std::random_device, and the <random>
+ * engines/distributions (whose output is implementation-defined)
+ * everywhere else in src/ and bench/ (see tools/lint/ and DESIGN.md
+ * §12).
  */
 
 #ifndef AMDAHL_COMMON_RANDOM_HH

@@ -52,7 +52,7 @@ enum class ErrorKind
 };
 
 /** @return Short label for an error kind ("parse error", ...). */
-const char *toString(ErrorKind kind);
+[[nodiscard]] const char *toString(ErrorKind kind);
 
 /**
  * Outcome of one ingestion step: success, or one classified,
@@ -62,7 +62,7 @@ const char *toString(ErrorKind kind);
  * encountered wins (ingestion stops at the first unusable token, so
  * the line number always points at the offending input).
  */
-class Status
+class [[nodiscard]] Status
 {
   public:
     /** @return The success status. */
@@ -88,22 +88,22 @@ class Status
     }
 
     /** @return true on success. */
-    bool isOk() const { return !failed; }
+    [[nodiscard]] bool isOk() const { return !failed; }
 
     /** @return The taxonomy kind. Only meaningful on failure. */
-    ErrorKind kind() const { return errorKind; }
+    [[nodiscard]] ErrorKind kind() const { return errorKind; }
 
     /** @return 1-based line of the failure; 0 when none applies. */
-    int line() const { return errorLine; }
+    [[nodiscard]] int line() const { return errorLine; }
 
     /** @return The bare failure message (no kind/line prefix). */
-    const std::string &message() const { return text; }
+    [[nodiscard]] const std::string &message() const { return text; }
 
     /**
      * @return The full diagnostic, e.g.
      * "parse error at line 3: expected a number for a budget".
      */
-    std::string toString() const;
+    [[nodiscard]] std::string toString() const;
 
   private:
     Status() = default;
@@ -123,7 +123,7 @@ class Status
  * that is a caller bug, not an input error.
  */
 template <typename T>
-class Result
+class [[nodiscard]] Result
 {
   public:
     /** Success. */
@@ -140,13 +140,13 @@ class Result
     }
 
     /** @return true when a value is present. */
-    bool ok() const { return st.isOk(); }
+    [[nodiscard]] bool ok() const { return st.isOk(); }
 
     /** @return The failure (or success) status. */
-    const Status &status() const { return st; }
+    [[nodiscard]] const Status &status() const { return st; }
 
     /** @return The value. Panics when !ok(). */
-    const T &
+    [[nodiscard]] const T &
     value() const
     {
         ensure(ok(), "Result::value() on a failed result: ",
@@ -155,7 +155,7 @@ class Result
     }
 
     /** @return The value, moved out. Panics when !ok(). */
-    T
+    [[nodiscard]] T
     take()
     {
         ensure(ok(), "Result::take() on a failed result: ",

@@ -393,6 +393,9 @@ solveAmdahlBidding(const FisherMarket &market, const BiddingOptions &opts)
     // deadline fires. A round's state only replaces it when its price
     // update moved less *and* its prices stayed strictly positive.
     const bool anytime = opts.deadline.enabled();
+    // Baselined DET-clock finding (tools/lint/amdahl_lint.baseline):
+    // the wall-clock deadline exists to bound real latency under
+    // overload, and the clock is never read unless a deadline is set.
     using Clock = std::chrono::steady_clock;
     Clock::time_point start_time;
     if (opts.deadline.wallClockSeconds > 0.0)

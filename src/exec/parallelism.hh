@@ -18,6 +18,12 @@
  *                                  query ("0" or "auto" = hardware);
  *   3. default                   — 1 (serial).
  *
+ * exec/ is the designated owner of machine-shape and environment
+ * probes: amdahl_lint's DET-exec rule flags hardware_concurrency,
+ * thread::get_id, and getenv anywhere else in src/, so the thread
+ * count stays a performance knob, never a results knob (see
+ * tools/lint/ and DESIGN.md §12).
+ *
  * Thread count is a *performance* knob, never a results knob: every
  * parallel construct in exec/ is deterministic by design (fixed chunk
  * layouts, ordered reductions), so the same seed produces byte-

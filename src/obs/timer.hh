@@ -16,6 +16,10 @@
  * should contain phase timings; the clock is steady_clock, so the
  * recorded values are machine-dependent and never belong in golden
  * files (traces carry no timings for exactly that reason).
+ *
+ * obs/ is the designated owner of clock reads: amdahl_lint's
+ * DET-clock rule flags steady_clock/system_clock anywhere else in
+ * src/ (see tools/lint/ and DESIGN.md §12).
  */
 
 #ifndef AMDAHL_OBS_TIMER_HH

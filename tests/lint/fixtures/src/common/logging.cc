@@ -1,0 +1,16 @@
+// Fixture: the logging hook itself — the one file in src/ allowed to
+// touch std::cerr, because it *is* the route everything else must
+// take. Expected: 0 findings.
+
+#include <iostream>
+#include <string>
+
+namespace fx {
+
+void
+emit(const std::string &msg)
+{
+    std::cerr << msg << '\n';
+}
+
+} // namespace fx

@@ -1,0 +1,13 @@
+// Fixture: broken suppressions must not suppress, and must be
+// findings themselves. Expected: 2 META-alint findings plus the 2
+// CONC-global findings the markers failed to silence (4 active).
+
+namespace fx {
+
+// ALINT(CONC-global) missing the colon and the reason
+int unguardedOne = 0;
+
+// ALINT(NOT-A-RULE): the reason is fine but the rule id is not
+int unguardedTwo = 0;
+
+} // namespace fx

@@ -1,0 +1,25 @@
+// Fixture: ordinary deterministic kernel code touching none of the
+// rule families. Expected: 0 findings.
+
+#include <cmath>
+#include <vector>
+
+namespace fx {
+
+double
+amdahlSpeedup(double parallelFraction, int cores)
+{
+    const double serial = 1.0 - parallelFraction;
+    return 1.0 / (serial + parallelFraction / cores);
+}
+
+double
+totalUtility(const std::vector<double> &allocations, double f)
+{
+    double sum = 0.0;
+    for (const double x : allocations)
+        sum += std::log(amdahlSpeedup(f, static_cast<int>(x) + 1));
+    return sum;
+}
+
+} // namespace fx

@@ -1,0 +1,25 @@
+// Fixture: every accepted form of namespace-scope state — atomic,
+// sync primitive, thread_local, and const/constexpr. Expected: 0
+// findings.
+
+#include <atomic>
+#include <mutex>
+#include <string>
+
+namespace fx {
+
+std::atomic<int> solveCounter{0};
+std::atomic<bool> timingEnabled{false};
+std::mutex priceLock;
+thread_local int recursionDepth = 0;
+constexpr double kEpsilon = 1e-9;
+const char *const kMarketName = "amdahl";
+static const std::string kVersion = "1.0";
+
+int
+bump()
+{
+    return solveCounter.fetch_add(1) + recursionDepth;
+}
+
+} // namespace fx

@@ -1,0 +1,9 @@
+// Fixture: unguarded mutable globals — data races waiting for the
+// thread pool to find them. Expected: 2 CONC-global findings.
+
+namespace fx {
+
+int solveCounter = 0;
+double lastClearingPrice = 1.0;
+
+} // namespace fx

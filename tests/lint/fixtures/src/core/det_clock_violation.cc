@@ -1,0 +1,19 @@
+// Fixture: wall-clock reads in kernel code. Expected: 2 DET-clock
+// findings (steady_clock, system_clock).
+
+#include <chrono>
+
+namespace fx {
+
+double
+nowSeconds()
+{
+    const auto mono = std::chrono::steady_clock::now();
+    const auto wall = std::chrono::system_clock::now();
+    return std::chrono::duration<double>(
+               mono.time_since_epoch()).count() +
+           std::chrono::duration<double>(
+               wall.time_since_epoch()).count();
+}
+
+} // namespace fx

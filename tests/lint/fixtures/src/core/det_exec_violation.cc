@@ -1,0 +1,18 @@
+// Fixture: machine-shape and environment probes in kernel code.
+// Expected: 2 DET-exec findings (getenv, hardware_concurrency).
+
+#include <cstdlib>
+#include <thread>
+
+namespace fx {
+
+int
+workerCount()
+{
+    const char *env = std::getenv("FX_THREADS");
+    if (env != nullptr)
+        return 1;
+    return static_cast<int>(std::thread::hardware_concurrency());
+}
+
+} // namespace fx

@@ -1,0 +1,18 @@
+// Fixture: deterministic arithmetic only; DET-rand stays silent.
+// Expected: 0 findings.
+
+namespace fx {
+
+// A counter-based mix in the style of common/random — no library
+// randomness involved.
+unsigned
+mix(unsigned counter, unsigned stream)
+{
+    unsigned x = counter * 0x9E3779B9u + stream;
+    x ^= x >> 16;
+    x *= 0x85EBCA6Bu;
+    x ^= x >> 13;
+    return x;
+}
+
+} // namespace fx

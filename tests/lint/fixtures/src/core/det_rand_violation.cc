@@ -1,0 +1,18 @@
+// Fixture: every flavour of nondeterministic randomness DET-rand
+// must catch. Expected: 4 DET-rand findings.
+
+#include <cstdlib>
+#include <random>
+
+namespace fx {
+
+int
+roll()
+{
+    std::random_device entropy;
+    std::mt19937 gen(entropy());
+    std::uniform_int_distribution<int> die(1, 6);
+    return die(gen) + std::rand();
+}
+
+} // namespace fx

@@ -1,0 +1,29 @@
+// Fixture: the clean counterparts — accumulating over an *ordered*
+// map is fine, and an unordered set used for membership tests only
+// never exposes its iteration order. Expected: 0 findings.
+
+#include <map>
+#include <unordered_set>
+
+namespace fx {
+
+double
+totalLoad(const std::map<int, double> &loadByServer)
+{
+    double sum = 0.0;
+    for (const auto &entry : loadByServer)
+        sum += entry.second;
+    return sum;
+}
+
+bool
+anyInRange(const std::unordered_set<int> &members, int lo, int hi)
+{
+    for (int v = lo; v < hi; ++v) {
+        if (members.count(v) > 0)
+            return true;
+    }
+    return false;
+}
+
+} // namespace fx

@@ -1,0 +1,18 @@
+// Fixture: a hash-order-dependent reduction — the float sum over an
+// unordered_map picks up a different rounding order per
+// implementation. Expected: 1 DET-unordered finding.
+
+#include <unordered_map>
+
+namespace fx {
+
+double
+totalLoad(const std::unordered_map<int, double> &loadByServer)
+{
+    double sum = 0.0;
+    for (const auto &entry : loadByServer)
+        sum += entry.second;
+    return sum;
+}
+
+} // namespace fx

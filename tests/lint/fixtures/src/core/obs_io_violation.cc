@@ -1,0 +1,17 @@
+// Fixture: library code writing straight to the process streams,
+// invisible to the logging hook and trace sink. Expected: 2 OBS-io
+// findings (std::cerr, std::printf).
+
+#include <cstdio>
+#include <iostream>
+
+namespace fx {
+
+void
+reportProgress(int round)
+{
+    std::cerr << "round " << round << "\n";
+    std::printf("round %d\n", round);
+}
+
+} // namespace fx

@@ -1,0 +1,24 @@
+// Fixture: every trigger word, but only in comments and string
+// literals — a lexing linter must see none of them. Expected: 0
+// findings.
+//
+// This comment mentions std::rand(), steady_clock, throw, and
+// hardware_concurrency on purpose.
+
+/* Block comment: random_device, system_clock, std::cerr, printf,
+   catch (std::exception byValue), getenv("HOME"). */
+
+#include <string>
+
+namespace fx {
+
+std::string
+decoys()
+{
+    return "rand() throw steady_clock printf std::cerr getenv";
+}
+
+const char *const kRawDecoy =
+    R"(for (auto &kv : unordered_map) sum += kv.second; throw;)";
+
+} // namespace fx

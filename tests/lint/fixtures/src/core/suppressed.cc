@@ -1,0 +1,12 @@
+// Fixture: both inline suppression styles — the whole-line comment
+// above the finding and the trailing comment on its line. Expected:
+// 2 CONC-global findings, both suppressed (0 active).
+
+namespace fx {
+
+// ALINT(CONC-global): written once at startup before threads exist.
+int registryGeneration = 0;
+
+long tallied = 0; // ALINT(CONC-global): single-threaded CLI tally.
+
+} // namespace fx

@@ -1,0 +1,18 @@
+// Fixture: catch-by-value slices a typed error down to its base.
+// Expected: 1 TRUST-catch finding.
+
+#include <exception>
+
+namespace fx {
+
+int
+shield(int (*fn)())
+{
+    try {
+        return fn();
+    } catch (std::exception err) {
+        return -1;
+    }
+}
+
+} // namespace fx

@@ -1,0 +1,31 @@
+// Fixture: the boundary-conformant shape — an explicit result type
+// instead of an exception, and recovery catches by const reference.
+// Expected: 0 findings.
+
+namespace fx {
+
+struct ParseOutcome
+{
+    bool ok;
+    int value;
+};
+
+ParseOutcome
+parsePositive(int value)
+{
+    return ParseOutcome{value >= 0, value};
+}
+
+int
+shielded(int (*fn)())
+{
+    try {
+        return fn();
+    } catch (const int &code) {
+        return code;
+    } catch (...) {
+        return -1;
+    }
+}
+
+} // namespace fx

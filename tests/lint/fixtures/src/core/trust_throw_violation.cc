@@ -1,0 +1,16 @@
+// Fixture: a raw throw on a parse path — exactly what the trust
+// boundary forbids. Expected: 1 TRUST-throw finding.
+
+#include <stdexcept>
+
+namespace fx {
+
+int
+parsePositive(int value)
+{
+    if (value < 0)
+        throw std::runtime_error("value must be non-negative");
+    return value;
+}
+
+} // namespace fx

@@ -1,0 +1,17 @@
+// Fixture: exec/ is the designated owner of machine-shape and
+// environment probes. Expected: 0 findings.
+
+#include <cstdlib>
+#include <thread>
+
+namespace fx {
+
+int
+defaultWorkerCount()
+{
+    if (std::getenv("FX_THREADS") != nullptr)
+        return 1;
+    return static_cast<int>(std::thread::hardware_concurrency());
+}
+
+} // namespace fx

@@ -1,0 +1,15 @@
+// Fixture: obs/ owns timing; the same clock read that is a violation
+// in core/ is allowed here. Expected: 0 findings.
+
+#include <chrono>
+
+namespace fx {
+
+double
+elapsedUs(std::chrono::steady_clock::time_point start)
+{
+    const auto delta = std::chrono::steady_clock::now() - start;
+    return std::chrono::duration<double, std::micro>(delta).count();
+}
+
+} // namespace fx

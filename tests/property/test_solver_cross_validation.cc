@@ -108,8 +108,9 @@ TEST_P(SolverCross, WaterFillingMatchesInteriorPoint)
         // And interior spends for interior water-fill coordinates
         // match closely.
         for (std::size_t j = 0; j < items.size(); ++j) {
-            if (wf.spend[j] > 0.05 * budget)
+            if (wf.spend[j] > 0.05 * budget) {
                 EXPECT_NEAR(ip[j], wf.spend[j], 0.02 * budget);
+            }
         }
     }
 }

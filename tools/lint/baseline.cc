@@ -1,0 +1,112 @@
+#include "baseline.hh"
+
+#include <fstream>
+#include <sstream>
+
+namespace amdahl::lint {
+
+std::string
+squashWhitespace(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    bool pendingSpace = false;
+    for (const char c : text) {
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            pendingSpace = !out.empty();
+            continue;
+        }
+        if (pendingSpace) {
+            out += ' ';
+            pendingSpace = false;
+        }
+        out += c;
+    }
+    return out;
+}
+
+Result<Baseline>
+parseBaseline(const std::string &content)
+{
+    Baseline baseline;
+    std::istringstream in(content);
+    std::string line;
+    int lineNo = 0;
+    // A `# why:` justifies every entry until the next blank line ends
+    // its comment block.
+    bool blockJustified = false;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        const std::string squashed = squashWhitespace(line);
+        if (squashed.empty()) {
+            blockJustified = false;
+            continue;
+        }
+        if (squashed[0] == '#') {
+            if (squashed.rfind("# why:", 0) == 0 &&
+                squashed.size() > 6)
+                blockJustified = true;
+            continue;
+        }
+        const std::size_t bar1 = line.find('|');
+        const std::size_t bar2 =
+            bar1 == std::string::npos ? std::string::npos
+                                      : line.find('|', bar1 + 1);
+        if (bar2 == std::string::npos) {
+            return Status::error(
+                ErrorKind::ParseError, lineNo,
+                "baseline entry needs `rule|file|line-text`, got '",
+                line, "'");
+        }
+        BaselineEntry entry;
+        entry.rule = squashWhitespace(line.substr(0, bar1));
+        entry.file =
+            squashWhitespace(line.substr(bar1 + 1, bar2 - bar1 - 1));
+        entry.squashedLine = squashWhitespace(line.substr(bar2 + 1));
+        entry.sourceLine = lineNo;
+        entry.justified = blockJustified;
+        if (entry.rule.empty() || entry.file.empty() ||
+            entry.squashedLine.empty()) {
+            return Status::error(
+                ErrorKind::ParseError, lineNo,
+                "baseline entry has an empty field: '", line, "'");
+        }
+        baseline.entries.push_back(std::move(entry));
+    }
+    return baseline;
+}
+
+Result<Baseline>
+loadBaseline(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open())
+        return Baseline{}; // Absent baseline == empty baseline.
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad()) {
+        return Status::error(ErrorKind::IoError, 0,
+                             "cannot read baseline '", path, "'");
+    }
+    return parseBaseline(buffer.str());
+}
+
+void
+applyBaseline(Baseline &baseline, std::vector<Finding> &findings)
+{
+    for (Finding &f : findings) {
+        if (f.suppressed)
+            continue;
+        const std::string squashed = squashWhitespace(f.snippet);
+        for (BaselineEntry &entry : baseline.entries) {
+            if (entry.rule == f.rule && entry.file == f.file &&
+                entry.squashedLine == squashed) {
+                f.baselined = true;
+                entry.used = true;
+                break;
+            }
+        }
+    }
+}
+
+} // namespace amdahl::lint

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The amdahl_lint baseline: grandfathered findings, with receipts.
+ *
+ * A new rule landing on an old codebase surfaces findings that are
+ * deliberate (the anytime deadline in core/bidding.cc reads the wall
+ * clock *by design*). Fixing the build by weakening the rule would
+ * also stop it catching new violations; fixing it by sprinkling
+ * inline suppressions buries one-line judgments in production files.
+ * The baseline is the third option: a checked-in ledger of accepted
+ * findings, each carrying a written justification, that `--strict`
+ * subtracts before failing. New code never starts baselined, so the
+ * rule still bites everywhere it should.
+ *
+ * Format (one entry per line, `#` comments, blank lines ignored):
+ *
+ *     # why: <justification for the entries below>
+ *     <rule>|<repo-relative file>|<whitespace-squashed source line>
+ *
+ * Matching is by rule + file + squashed line *text*, not line number,
+ * so unrelated edits above the finding do not invalidate the entry —
+ * but any edit to the offending line itself forces re-triage. Every
+ * entry must be preceded by a `# why:` line in its comment block;
+ * tools/check_lint_baseline.py enforces that in CI, so the baseline
+ * cannot grow without justification.
+ */
+
+#ifndef AMDAHL_LINT_BASELINE_HH
+#define AMDAHL_LINT_BASELINE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+
+#include "rules.hh"
+
+namespace amdahl::lint {
+
+/** One accepted finding from the baseline file. */
+struct BaselineEntry
+{
+    std::string rule;
+    std::string file;
+    std::string squashedLine;
+    int sourceLine = 0;   //!< Line in the baseline file, for errors.
+    bool justified = false; //!< A `# why:` preceded it.
+    bool used = false;      //!< Matched at least one finding this run.
+};
+
+/** The parsed baseline ledger. */
+struct Baseline
+{
+    std::vector<BaselineEntry> entries;
+};
+
+/** @return @p text with whitespace runs collapsed to single spaces
+ *  and outer whitespace trimmed — the line form entries match on. */
+std::string squashWhitespace(std::string_view text);
+
+/**
+ * Parse baseline @p content (the file's text).
+ *
+ * @return The ledger, or a Status naming the first malformed line.
+ */
+Result<Baseline> parseBaseline(const std::string &content);
+
+/**
+ * Read and parse the baseline at @p path. A missing file is an empty
+ * baseline, not an error (new checkouts and fixture runs have none).
+ */
+Result<Baseline> loadBaseline(const std::string &path);
+
+/**
+ * Mark every finding matched by @p baseline (sets
+ * Finding::baselined) and every entry that matched (sets
+ * BaselineEntry::used, so stale entries are reportable).
+ */
+void applyBaseline(Baseline &baseline, std::vector<Finding> &findings);
+
+} // namespace amdahl::lint
+
+#endif // AMDAHL_LINT_BASELINE_HH

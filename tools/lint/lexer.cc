@@ -1,0 +1,302 @@
+#include "lexer.hh"
+
+#include <cctype>
+
+namespace amdahl::lint {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentBody(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/**
+ * Multi-character punctuators the rules care to see whole, longest
+ * first so greedy matching picks the right one. Everything else lexes
+ * as a single character, which is all the rule engine needs.
+ */
+constexpr std::string_view kPuncts[] = {
+    "<<=", ">>=", "->*", "...", "::", "->", "<<", ">>", "<=", ">=",
+    "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=", "^=", "++", "--",
+};
+
+/** Split @p source into raw lines (no terminators), for snippets. */
+std::vector<std::string>
+splitLines(std::string_view source)
+{
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= source.size(); ++i) {
+        if (i == source.size() || source[i] == '\n') {
+            std::string_view line = source.substr(start, i - start);
+            if (!line.empty() && line.back() == '\r')
+                line.remove_suffix(1);
+            lines.emplace_back(line);
+            start = i + 1;
+        }
+    }
+    if (!lines.empty() && lines.back().empty() && !source.empty() &&
+        source.back() == '\n')
+        lines.pop_back();
+    return lines;
+}
+
+/**
+ * Parse every ALINT marker inside one comment's text. The accepted
+ * shape is `ALINT(rule-id): reason`, reason non-empty — anything else
+ * that still says ALINT is reported as malformed so a typo cannot
+ * silently fail to suppress (or worse, look like it did).
+ */
+void
+parseAlint(std::string_view comment, int line,
+           std::vector<Suppression> &out)
+{
+    // Only `ALINT(` opens a marker; the bare word in prose ("carry an
+    // ALINT annotation") is not one. A marker that opens but does not
+    // finish as `(rule): reason` is reported malformed — a typo must
+    // never silently fail to suppress.
+    std::size_t pos = 0;
+    while ((pos = comment.find("ALINT(", pos)) !=
+           std::string_view::npos) {
+        // Count the lines preceding the marker inside a block comment.
+        int markerLine = line;
+        for (std::size_t i = 0; i < pos; ++i)
+            if (comment[i] == '\n')
+                ++markerLine;
+
+        const std::size_t cursor = pos + 5; // At the '('.
+        pos = cursor; // Resume the search after this marker either way.
+        Suppression sup{markerLine, "", "", true};
+        const std::size_t close = comment.find(')', cursor);
+        if (close != std::string_view::npos) {
+            std::string rule(
+                comment.substr(cursor + 1, close - cursor - 1));
+            std::size_t after = close + 1;
+            if (after < comment.size() && comment[after] == ':') {
+                ++after;
+                // The reason runs to the end of the comment line.
+                std::size_t end = comment.find('\n', after);
+                if (end == std::string_view::npos)
+                    end = comment.size();
+                std::string reason(comment.substr(after, end - after));
+                // Trim the reason; it must say something.
+                while (!reason.empty() && reason.front() == ' ')
+                    reason.erase(reason.begin());
+                while (!reason.empty() &&
+                       (reason.back() == ' ' || reason.back() == '/' ||
+                        reason.back() == '*'))
+                    reason.pop_back();
+                if (!rule.empty() && !reason.empty())
+                    sup = Suppression{markerLine, std::move(rule),
+                                      std::move(reason), false};
+            }
+        }
+        out.push_back(std::move(sup));
+    }
+}
+
+} // namespace
+
+LexedFile
+lex(std::string_view source)
+{
+    LexedFile file;
+    file.lines = splitLines(source);
+
+    const std::size_t n = source.size();
+    std::size_t i = 0;
+    int line = 1;
+    bool atLineStart = true; // Only whitespace so far on this line.
+
+    auto advanceOver = [&](char c) {
+        if (c == '\n') {
+            ++line;
+            atLineStart = true;
+        }
+    };
+
+    while (i < n) {
+        const char c = source[i];
+
+        if (c == '\n' || c == ' ' || c == '\t' || c == '\r' ||
+            c == '\f' || c == '\v') {
+            advanceOver(c);
+            ++i;
+            continue;
+        }
+
+        // Preprocessor directive: swallow to end of line, honouring
+        // backslash continuations. Directive bodies are invisible to
+        // the rules (macro definitions are linted where they expand in
+        // this repo's style, and `#include <random>` is not an *use*).
+        if (c == '#' && atLineStart) {
+            while (i < n) {
+                if (source[i] == '\\' && i + 1 < n &&
+                    (source[i + 1] == '\n' ||
+                     (source[i + 1] == '\r' && i + 2 < n &&
+                      source[i + 2] == '\n'))) {
+                    i += source[i + 1] == '\r' ? 3 : 2;
+                    ++line;
+                    continue;
+                }
+                if (source[i] == '\n') {
+                    ++line;
+                    ++i;
+                    break;
+                }
+                ++i;
+            }
+            atLineStart = true;
+            continue;
+        }
+        atLineStart = false;
+
+        // Line comment.
+        if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+            std::size_t end = i + 2;
+            while (end < n && source[end] != '\n')
+                ++end;
+            parseAlint(source.substr(i + 2, end - i - 2), line,
+                       file.suppressions);
+            i = end;
+            continue;
+        }
+
+        // Block comment.
+        if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+            std::size_t end = i + 2;
+            const int startLine = line;
+            int newlines = 0;
+            while (end + 1 < n &&
+                   !(source[end] == '*' && source[end + 1] == '/')) {
+                if (source[end] == '\n')
+                    ++newlines;
+                ++end;
+            }
+            const std::size_t bodyEnd = end + 1 < n ? end : n;
+            parseAlint(source.substr(i + 2, bodyEnd - i - 2), startLine,
+                       file.suppressions);
+            line += newlines;
+            i = end + 1 < n ? end + 2 : n;
+            continue;
+        }
+
+        // Raw string literal: (prefix)R"delim( ... )delim".
+        if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
+            std::size_t d = i + 2;
+            std::string delim;
+            while (d < n && source[d] != '(')
+                delim += source[d++];
+            const std::string close = ")" + delim + "\"";
+            std::size_t end = source.find(close, d);
+            if (end == std::string_view::npos)
+                end = n;
+            else
+                end += close.size();
+            for (std::size_t k = i; k < end && k < n; ++k)
+                if (source[k] == '\n')
+                    ++line;
+            file.tokens.push_back({TokKind::String, "<raw-string>", line});
+            i = end;
+            continue;
+        }
+
+        // Ordinary string / char literal.
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            const int startLine = line;
+            std::size_t end = i + 1;
+            while (end < n && source[end] != quote) {
+                if (source[end] == '\\' && end + 1 < n)
+                    ++end;
+                if (source[end] == '\n')
+                    ++line;
+                ++end;
+            }
+            file.tokens.push_back(
+                {quote == '"' ? TokKind::String : TokKind::CharLit,
+                 "<literal>", startLine});
+            i = end < n ? end + 1 : n;
+            continue;
+        }
+
+        // Number: digits plus exponents, hex, and digit separators.
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+            std::size_t end = i + 1;
+            while (end < n) {
+                const char d = source[end];
+                if (std::isalnum(static_cast<unsigned char>(d)) ||
+                    d == '.' || d == '\'') {
+                    ++end;
+                    continue;
+                }
+                if ((d == '+' || d == '-') &&
+                    (source[end - 1] == 'e' || source[end - 1] == 'E' ||
+                     source[end - 1] == 'p' || source[end - 1] == 'P')) {
+                    ++end;
+                    continue;
+                }
+                break;
+            }
+            file.tokens.push_back(
+                {TokKind::Number, std::string(source.substr(i, end - i)),
+                 line});
+            i = end;
+            continue;
+        }
+
+        // Identifier or keyword. A string prefix (u8"...", L"...")
+        // immediately followed by a quote is re-handled as a literal.
+        if (isIdentStart(c)) {
+            std::size_t end = i + 1;
+            while (end < n && isIdentBody(source[end]))
+                ++end;
+            if (end < n && (source[end] == '"' || source[end] == '\'')) {
+                const std::string_view prefix = source.substr(i, end - i);
+                if (prefix == "u8" || prefix == "u" || prefix == "U" ||
+                    prefix == "L" || prefix == "u8R" || prefix == "uR" ||
+                    prefix == "UR" || prefix == "LR") {
+                    i = end; // Fall through to the literal on next loop.
+                    continue;
+                }
+            }
+            file.tokens.push_back(
+                {TokKind::Identifier,
+                 std::string(source.substr(i, end - i)), line});
+            i = end;
+            continue;
+        }
+
+        // Punctuation, longest match first.
+        bool matched = false;
+        for (const std::string_view p : kPuncts) {
+            if (source.substr(i, p.size()) == p) {
+                file.tokens.push_back(
+                    {TokKind::Punct, std::string(p), line});
+                i += p.size();
+                matched = true;
+                break;
+            }
+        }
+        if (!matched) {
+            file.tokens.push_back(
+                {TokKind::Punct, std::string(1, c), line});
+            ++i;
+        }
+    }
+
+    return file;
+}
+
+} // namespace amdahl::lint

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A minimal C++ lexer for amdahl_lint.
+ *
+ * The linter's rules are lexical: they look for identifiers (`throw`,
+ * `steady_clock`, `rand`), punctuation shapes (a range-for's `:`, a
+ * catch clause's missing `&`), and scope structure (namespace-level
+ * declarations). None of that needs a semantic front end, but all of
+ * it needs to *not* fire on comments, string literals, or the bodies
+ * of preprocessor directives — a grep-based lint drowns in false
+ * positives the moment a doc comment says "never call rand()". This
+ * lexer therefore does exactly the part of translation phases 1-3
+ * that matters: it strips comments, strings, char literals (including
+ * raw strings and digit separators), and preprocessor directives, and
+ * emits a flat token stream with line numbers.
+ *
+ * Comments are not discarded entirely: `// ALINT(rule): reason`
+ * suppression annotations live in them, so the lexer parses every
+ * comment for ALINT markers and reports them alongside the tokens.
+ * A marker that does not match the required shape is reported as
+ * malformed rather than silently ignored — an unreadable suppression
+ * must never accidentally suppress.
+ */
+
+#ifndef AMDAHL_LINT_LEXER_HH
+#define AMDAHL_LINT_LEXER_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace amdahl::lint {
+
+/** Lexical class of one token. */
+enum class TokKind
+{
+    Identifier, //!< Identifiers and keywords (the lexer does not split them).
+    Number,     //!< Integer and floating literals, digit separators included.
+    String,     //!< String literal (ordinary or raw), prefix included.
+    CharLit,    //!< Character literal.
+    Punct,      //!< Operators and punctuation, longest-match.
+};
+
+/** One token with its 1-based source line. */
+struct Token
+{
+    TokKind kind;
+    std::string text;
+    int line;
+};
+
+/**
+ * One `ALINT(rule): reason` marker found in a comment.
+ *
+ * `line` is the line the marker appears on. Whether the suppression
+ * covers that line only or also the next code line is the rule
+ * engine's decision (see rules.cc); the lexer just reports position
+ * and shape.
+ */
+struct Suppression
+{
+    int line;
+    std::string rule;   //!< Rule id inside the parens; empty when malformed.
+    std::string reason; //!< Justification after the colon; may be empty.
+    bool malformed;     //!< Marker present but not `ALINT(rule): reason`.
+};
+
+/** Everything the rule engine needs from one source file. */
+struct LexedFile
+{
+    std::vector<Token> tokens;
+    std::vector<Suppression> suppressions;
+    std::vector<std::string> lines; //!< Raw source lines, for snippets.
+};
+
+/**
+ * Lex @p source. Never fails: unterminated literals are tolerated by
+ * closing them at end of input (the compiler will reject the file; the
+ * linter should still report what it can).
+ */
+LexedFile lex(std::string_view source);
+
+} // namespace amdahl::lint
+
+#endif // AMDAHL_LINT_LEXER_HH

@@ -1,0 +1,178 @@
+#include "linter.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.hh"
+
+namespace amdahl::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+Result<std::string>
+readFile(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) {
+        return Status::error(ErrorKind::IoError, 0, "cannot open '",
+                             path.string(), "'");
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad()) {
+        return Status::error(ErrorKind::IoError, 0, "cannot read '",
+                             path.string(), "'");
+    }
+    return buffer.str();
+}
+
+bool
+isLintable(const fs::path &path)
+{
+    const std::string ext = path.extension().string();
+    return ext == ".cc" || ext == ".hh";
+}
+
+} // namespace
+
+std::vector<std::string>
+discoverFiles(const std::string &root)
+{
+    std::vector<std::string> files;
+    for (const char *subtree : {"src", "tools", "bench"}) {
+        const fs::path base = fs::path(root) / subtree;
+        std::error_code ec;
+        if (!fs::is_directory(base, ec))
+            continue;
+        for (fs::recursive_directory_iterator it(base, ec), end;
+             !ec && it != end; it.increment(ec)) {
+            if (it->is_regular_file(ec) && isLintable(it->path())) {
+                files.push_back(fs::relative(it->path(), root, ec)
+                                    .generic_string());
+            }
+        }
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+FindingCounts
+countFindings(const LintReport &report)
+{
+    FindingCounts counts;
+    for (const Finding &f : report.findings) {
+        ++counts.total;
+        if (f.suppressed)
+            ++counts.suppressed;
+        else if (f.baselined)
+            ++counts.baselined;
+        else
+            ++counts.active;
+    }
+    return counts;
+}
+
+Result<LintReport>
+lintFiles(const std::string &root,
+          const std::vector<std::string> &relPaths, Baseline baseline)
+{
+    LintReport report;
+    for (const std::string &rel : relPaths) {
+        auto content = readFile(fs::path(root) / rel);
+        if (!content.ok())
+            return content.status();
+        const LexedFile lexed = lex(content.value());
+        std::vector<Finding> findings = runRules(rel, lexed);
+        report.findings.insert(report.findings.end(),
+                               std::make_move_iterator(findings.begin()),
+                               std::make_move_iterator(findings.end()));
+        ++report.filesScanned;
+    }
+    applyBaseline(baseline, report.findings);
+    for (const BaselineEntry &entry : baseline.entries) {
+        if (!entry.used)
+            report.staleBaseline.push_back(entry);
+    }
+    return report;
+}
+
+std::string
+formatHuman(const LintReport &report, bool showSilenced)
+{
+    std::ostringstream out;
+    for (const Finding &f : report.findings) {
+        const bool silenced = f.suppressed || f.baselined;
+        if (silenced && !showSilenced)
+            continue;
+        out << f.file << ':' << f.line << ": [" << f.rule << "] "
+            << f.message;
+        if (f.suppressed)
+            out << " (suppressed)";
+        else if (f.baselined)
+            out << " (baselined)";
+        out << "\n    " << f.snippet << '\n';
+    }
+    for (const BaselineEntry &entry : report.staleBaseline) {
+        out << "note: stale baseline entry (matched nothing): "
+            << entry.rule << '|' << entry.file << '|'
+            << entry.squashedLine << '\n';
+    }
+    const FindingCounts counts = countFindings(report);
+    out << "amdahl_lint: " << report.filesScanned << " files, "
+        << counts.total << " finding(s): " << counts.active
+        << " active, " << counts.baselined << " baselined, "
+        << counts.suppressed << " suppressed\n";
+    return out.str();
+}
+
+std::string
+formatJson(const LintReport &report)
+{
+    const FindingCounts counts = countFindings(report);
+    std::string out = "{\"version\":1,\"findings\":[";
+    bool first = true;
+    for (const Finding &f : report.findings) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"rule\":";
+        appendJsonEscaped(out, f.rule);
+        out += ",\"file\":";
+        appendJsonEscaped(out, f.file);
+        out += ",\"line\":" + std::to_string(f.line);
+        out += ",\"message\":";
+        appendJsonEscaped(out, f.message);
+        out += ",\"snippet\":";
+        appendJsonEscaped(out, f.snippet);
+        out += ",\"suppressed\":";
+        out += f.suppressed ? "true" : "false";
+        out += ",\"baselined\":";
+        out += f.baselined ? "true" : "false";
+        out += '}';
+    }
+    out += "],\"staleBaseline\":[";
+    first = true;
+    for (const BaselineEntry &entry : report.staleBaseline) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"rule\":";
+        appendJsonEscaped(out, entry.rule);
+        out += ",\"file\":";
+        appendJsonEscaped(out, entry.file);
+        out += '}';
+    }
+    out += "],\"counts\":{\"total\":" + std::to_string(counts.total);
+    out += ",\"active\":" + std::to_string(counts.active);
+    out += ",\"baselined\":" + std::to_string(counts.baselined);
+    out += ",\"suppressed\":" + std::to_string(counts.suppressed);
+    out += "},\"filesScanned\":" + std::to_string(report.filesScanned);
+    out += "}";
+    return out;
+}
+
+} // namespace amdahl::lint

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * amdahl_lint driver: file discovery, the per-file pipeline, and
+ * report formatting.
+ *
+ * The scan set is the first-party code the contracts govern — `src/`,
+ * `tools/`, and `bench/` under the repo root, every `.cc` and `.hh`,
+ * in sorted order so reports (and the JSON the CI job archives) are
+ * deterministic. Tests are deliberately out of scope: they exercise
+ * violations on purpose (tests/lint/fixtures is a corpus of them).
+ */
+
+#ifndef AMDAHL_LINT_LINTER_HH
+#define AMDAHL_LINT_LINTER_HH
+
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+
+#include "baseline.hh"
+#include "rules.hh"
+
+namespace amdahl::lint {
+
+/** Outcome of one lint run. */
+struct LintReport
+{
+    std::vector<Finding> findings; //!< Sorted by file, then line.
+    int filesScanned = 0;
+    /** Baseline entries that matched nothing — candidates for
+     *  deletion, reported but never fatal. */
+    std::vector<BaselineEntry> staleBaseline;
+};
+
+/** Tallies derived from a report. */
+struct FindingCounts
+{
+    int total = 0;
+    int suppressed = 0;
+    int baselined = 0;
+    int active = 0; //!< Neither suppressed nor baselined.
+};
+
+FindingCounts countFindings(const LintReport &report);
+
+/**
+ * @return The default scan set: every `.cc`/`.hh` under
+ * `<root>/{src,tools,bench}` as sorted repo-relative paths. Missing
+ * subtrees are skipped (fixture roots rarely have all three).
+ */
+std::vector<std::string> discoverFiles(const std::string &root);
+
+/**
+ * Lint @p relPaths (repo-relative, forward slashes) under @p root.
+ *
+ * @return The report, or a Status if a listed file cannot be read
+ * (discovered files exist; an explicit path that does not is a
+ * caller error worth failing loudly on).
+ */
+Result<LintReport> lintFiles(const std::string &root,
+                             const std::vector<std::string> &relPaths,
+                             Baseline baseline);
+
+/** Render `file:line: [rule] message` lines plus a summary. */
+std::string formatHuman(const LintReport &report, bool showSilenced);
+
+/** Render the machine-readable report (schema in DESIGN.md §12). */
+std::string formatJson(const LintReport &report);
+
+} // namespace amdahl::lint
+
+#endif // AMDAHL_LINT_LINTER_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * amdahl_lint command-line entry point.
+ *
+ * Exit codes: 0 = clean (no active findings; baselined and suppressed
+ * ones do not count), 1 = active findings, 2 = usage or I/O error.
+ * `--strict` is the CI mode: identical checking, but stale baseline
+ * notes are printed to stderr so the ledger shrinks over time.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baseline.hh"
+#include "linter.hh"
+#include "rules.hh"
+
+namespace {
+
+using namespace amdahl;
+using namespace amdahl::lint;
+
+int
+usage(std::ostream &out)
+{
+    out << "usage: amdahl_lint [options] [relative-paths...]\n"
+           "\n"
+           "Static enforcement of the repo's determinism and\n"
+           "trust-boundary contracts over src/, tools/, and bench/.\n"
+           "\n"
+           "options:\n"
+           "  --root DIR       repo root to scan (default: .)\n"
+           "  --baseline FILE  baseline ledger (default:\n"
+           "                   <root>/tools/lint/amdahl_lint.baseline)\n"
+           "  --no-baseline    ignore the baseline ledger\n"
+           "  --strict         CI mode: also report stale baseline\n"
+           "                   entries on stderr\n"
+           "  --json           machine-readable report on stdout\n"
+           "  --show-silenced  include suppressed/baselined findings\n"
+           "                   in the human report\n"
+           "  --list-rules     print the rule catalog and exit\n"
+           "\n"
+           "With no paths, scans every .cc/.hh under\n"
+           "<root>/{src,tools,bench}. Paths are relative to --root.\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    std::string baselinePath;
+    bool useBaseline = true;
+    bool strict = false;
+    bool json = false;
+    bool showSilenced = false;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else if (arg == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else if (arg == "--baseline" && i + 1 < argc) {
+            baselinePath = argv[++i];
+        } else if (arg == "--no-baseline") {
+            useBaseline = false;
+        } else if (arg == "--strict") {
+            strict = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--show-silenced") {
+            showSilenced = true;
+        } else if (arg == "--list-rules") {
+            for (const RuleInfo &info : ruleCatalog())
+                std::cout << info.id << "\n    " << info.summary
+                          << '\n';
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "amdahl_lint: unknown option '" << arg
+                      << "'\n";
+            return usage(std::cerr);
+        } else {
+            paths.push_back(arg);
+        }
+    }
+
+    Baseline baseline;
+    if (useBaseline) {
+        if (baselinePath.empty())
+            baselinePath = root + "/tools/lint/amdahl_lint.baseline";
+        auto loaded = loadBaseline(baselinePath);
+        if (!loaded.ok()) {
+            std::cerr << "amdahl_lint: " << loaded.status().toString()
+                      << '\n';
+            return 2;
+        }
+        baseline = loaded.take();
+        for (const BaselineEntry &entry : baseline.entries) {
+            if (!entry.justified) {
+                std::cerr << "amdahl_lint: baseline entry at "
+                          << baselinePath << ':' << entry.sourceLine
+                          << " lacks a preceding '# why:' "
+                             "justification\n";
+                return 2;
+            }
+        }
+    }
+
+    if (paths.empty())
+        paths = discoverFiles(root);
+    if (paths.empty()) {
+        std::cerr << "amdahl_lint: nothing to scan under '" << root
+                  << "' (no src/, tools/, or bench/)\n";
+        return 2;
+    }
+
+    auto result = lintFiles(root, paths, std::move(baseline));
+    if (!result.ok()) {
+        std::cerr << "amdahl_lint: " << result.status().toString()
+                  << '\n';
+        return 2;
+    }
+    const LintReport report = result.take();
+
+    if (json)
+        std::cout << formatJson(report) << '\n';
+    else
+        std::cout << formatHuman(report, showSilenced);
+
+    if (strict && !json) {
+        for (const BaselineEntry &entry : report.staleBaseline) {
+            std::cerr << "amdahl_lint: stale baseline entry: "
+                      << entry.rule << '|' << entry.file << '\n';
+        }
+    }
+
+    return countFindings(report).active > 0 ? 1 : 0;
+}

@@ -6,10 +6,11 @@
 #   build-dir  Directory holding compile_commands.json (default: build).
 #              Configured automatically when missing.
 #
-# Exit status: 0 when every translation unit is clean (or when
-# clang-tidy is not installed — the gate is advisory on machines
-# without it and enforced in CI); non-zero on any finding, because
-# .clang-tidy promotes all warnings to errors.
+# Exit status: 0 when every translation unit is clean; non-zero on
+# any finding, because .clang-tidy promotes all warnings to errors.
+# When clang-tidy is not installed the gate is advisory on developer
+# machines (exit 0 with a notice) but hard in CI (exit 1 when $CI is
+# set): a gate that silently skips where it matters is no gate.
 set -euo pipefail
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
@@ -27,6 +28,12 @@ find_clang_tidy() {
 }
 
 if ! tidy=$(find_clang_tidy); then
+    if [ -n "${CI:-}" ]; then
+        echo "run_clang_tidy: clang-tidy not found on PATH in CI;" >&2
+        echo "run_clang_tidy: the analysis job must install it" \
+             "(apt-get install clang-tidy) — failing the gate" >&2
+        exit 1
+    fi
     echo "run_clang_tidy: clang-tidy not found on PATH; skipping gate" >&2
     echo "run_clang_tidy: install clang-tidy (>= 14) to run it locally" >&2
     exit 0
