@@ -57,6 +57,21 @@ printHeader(const std::string &experiment, const std::string &caption)
 }
 
 /**
+ * Abort the bench on a failed artifact write. A bench whose CSV/JSON
+ * silently vanished (full disk, bad AMDAHL_BENCH_*_DIR) poisons every
+ * downstream comparison; failing loudly is the only safe behavior.
+ */
+inline void
+requireWrite(const Status &st, const std::string &path)
+{
+    if (!st.isOk()) {
+        std::cerr << "error: writing " << path << ": " << st.toString()
+                  << "\n";
+        std::exit(1);
+    }
+}
+
+/**
  * Print a result table and, when AMDAHL_BENCH_CSV_DIR is set, also
  * dump it as <dir>/<name>.csv for external re-plotting.
  */
@@ -68,10 +83,12 @@ emitTable(const TablePrinter &table, const std::string &name)
         const std::string path = std::string(dir) + "/" + name + ".csv";
         std::ofstream out(path);
         if (out) {
-            table.writeCsv(out);
+            requireWrite(table.writeCsv(out), path);
             std::cerr << "wrote " << path << "\n";
         } else {
-            std::cerr << "could not open " << path << "\n";
+            requireWrite(Status::error(ErrorKind::IoError, 0,
+                                       "could not open for writing"),
+                         path);
         }
     }
 }
@@ -86,16 +103,18 @@ inline void
 emitJson(const TablePrinter &table, const std::string &name)
 {
     std::cout << "[json:" << name << "]\n";
-    table.writeJson(std::cout);
+    requireWrite(table.writeJson(std::cout), "<stdout>");
     if (const char *dir = std::getenv("AMDAHL_BENCH_JSON_DIR")) {
         const std::string path =
             std::string(dir) + "/" + name + ".json";
         std::ofstream out(path);
         if (out) {
-            table.writeJson(out);
+            requireWrite(table.writeJson(out), path);
             std::cerr << "wrote " << path << "\n";
         } else {
-            std::cerr << "could not open " << path << "\n";
+            requireWrite(Status::error(ErrorKind::IoError, 0,
+                                       "could not open for writing"),
+                         path);
         }
     }
 }
@@ -120,7 +139,9 @@ emitMetrics(const std::string &name,
         std::string(dir) + "/" + name + ".metrics.json";
     std::ofstream out(path);
     if (!out) {
-        std::cerr << "could not open " << path << "\n";
+        requireWrite(Status::error(ErrorKind::IoError, 0,
+                                   "could not open for writing"),
+                     path);
         return;
     }
     out << "{\"run\":{\"bench\":" << jsonEscape(name)
@@ -130,8 +151,13 @@ emitMetrics(const std::string &name,
         << ",\"server_multiplier\":" << jsonNumber(cfg.serverMultiplier)
         << ",\"build_flags\":" << jsonEscape(obs::buildFlagsString())
         << "},\"metrics\":";
-    obs::metrics().writeJson(out);
+    requireWrite(obs::metrics().writeJson(out), path);
     out << "}\n";
+    out.flush();
+    if (!out.good())
+        requireWrite(Status::error(ErrorKind::IoError, 0,
+                                   "stream failed after final write"),
+                     path);
     std::cerr << "wrote " << path << "\n";
 }
 

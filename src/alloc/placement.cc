@@ -131,4 +131,26 @@ JobPlacer::load(std::size_t server) const
     return loads[server];
 }
 
+JobPlacerState
+JobPlacer::saveState() const
+{
+    return {loads, {live_.begin(), live_.end()}, prices_, sinceUpdate,
+            nextRoundRobin};
+}
+
+void
+JobPlacer::restoreState(const JobPlacerState &s)
+{
+    const std::size_t servers = loads.size();
+    if (s.loads.size() != servers || s.live.size() != servers ||
+        s.prices.size() != servers || s.sinceUpdate.size() != servers)
+        fatal("placer state sized for ", s.loads.size(),
+              " servers, expected ", servers);
+    loads = s.loads;
+    live_.assign(s.live.begin(), s.live.end());
+    prices_ = s.prices;
+    sinceUpdate = s.sinceUpdate;
+    nextRoundRobin = s.nextRoundRobin % servers;
+}
+
 } // namespace amdahl::alloc

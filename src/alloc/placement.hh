@@ -37,6 +37,21 @@ enum class PlacementRule
 std::string toString(PlacementRule rule);
 
 /**
+ * The full mutable state of a JobPlacer, for durable snapshots.
+ *
+ * All vectors are sized to the server count; `live` uses one char per
+ * server (1 = accepting placements).
+ */
+struct JobPlacerState
+{
+    std::vector<int> loads;
+    std::vector<char> live;
+    std::vector<double> prices;
+    std::vector<int> sinceUpdate;
+    std::size_t nextRoundRobin = 0;
+};
+
+/**
  * Stateful placer: tracks per-server job counts and the latest price
  * vector, and picks a server for each arrival.
  */
@@ -90,6 +105,15 @@ class JobPlacer
 
     /** @return Current jobs placed on @p server (and not finished). */
     int load(std::size_t server) const;
+
+    /** @return A copy of the full mutable state (for snapshots). */
+    JobPlacerState saveState() const;
+
+    /**
+     * Overwrite the mutable state with a previously saved one.
+     * Every vector in @p s must match this placer's server count.
+     */
+    void restoreState(const JobPlacerState &s);
 
   private:
     PlacementRule rule_;

@@ -1,0 +1,36 @@
+#include "common/crc32.hh"
+
+#include <array>
+
+namespace amdahl {
+namespace {
+
+/** Byte-at-a-time table for the reflected 0xEDB88320 polynomial. */
+constexpr std::array<std::uint32_t, 256>
+makeTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+constexpr auto kTable = makeTable();
+
+} // namespace
+
+std::uint32_t
+crc32Update(std::uint32_t seed, const void *data, std::size_t size)
+{
+    std::uint32_t c = seed ^ 0xFFFFFFFFu;
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < size; ++i)
+        c = kTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+} // namespace amdahl

@@ -170,6 +170,21 @@ class Rng
      */
     Rng split();
 
+    /**
+     * Raw engine state, for durable snapshots.
+     *
+     * A generator restored from a saved state produces exactly the
+     * draw sequence the original would have produced — the property
+     * crash recovery relies on to replay epochs bit-identically.
+     */
+    std::array<std::uint64_t, 4> saveState() const { return state; }
+
+    /** Overwrite the engine state with a previously saved one. */
+    void restoreState(const std::array<std::uint64_t, 4> &saved)
+    {
+        state = saved;
+    }
+
   private:
     std::array<std::uint64_t, 4> state;
 };

@@ -18,6 +18,22 @@
 namespace amdahl {
 
 /**
+ * The raw accumulator fields of an OnlineStats, for durable snapshots.
+ *
+ * Restoring from a saved state reproduces the accumulator exactly, so
+ * statistics that span a crash/recovery boundary match an uninterrupted
+ * run bit-for-bit.
+ */
+struct OnlineStatsState
+{
+    std::size_t n = 0;
+    double m = 0.0;
+    double m2 = 0.0;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+};
+
+/**
  * Online mean/variance accumulator (Welford's algorithm).
  *
  * Numerically stable for long streams; O(1) space.
@@ -51,6 +67,22 @@ class OnlineStats
 
     /** @return Largest observation; -inf when empty. */
     double max() const { return hi; }
+
+    /** @return The raw accumulator state (see OnlineStatsState). */
+    OnlineStatsState saveState() const { return {n, m, m2, lo, hi}; }
+
+    /** Rebuild an accumulator from a saved state. */
+    static OnlineStats
+    fromState(const OnlineStatsState &s)
+    {
+        OnlineStats st;
+        st.n = s.n;
+        st.m = s.m;
+        st.m2 = s.m2;
+        st.lo = s.lo;
+        st.hi = s.hi;
+        return st;
+    }
 
   private:
     std::size_t n = 0;

@@ -166,16 +166,33 @@ TablePrinter::dataRows() const
     return rows;
 }
 
-void
+namespace {
+
+/** @return ok when @p os survived the write + flush, IoError else. */
+Status
+streamStatus(std::ostream &os, const char *what)
+{
+    os.flush();
+    if (os.good())
+        return Status::ok();
+    return Status::error(ErrorKind::IoError, 0, what,
+                         " write failed (stream in a failed state; "
+                         "disk full or unwritable destination?)");
+}
+
+} // namespace
+
+Status
 TablePrinter::writeCsv(std::ostream &os) const
 {
     finishPendingRow();
     CsvWriter csv(os, headers);
     for (const auto &row : rows)
         csv.writeRow(row);
+    return streamStatus(os, "CSV table");
 }
 
-void
+Status
 TablePrinter::writeJson(std::ostream &os) const
 {
     finishPendingRow();
@@ -191,6 +208,7 @@ TablePrinter::writeJson(std::ostream &os) const
         os << "}";
     }
     os << (rows.empty() ? "]" : "\n]") << "\n";
+    return streamStatus(os, "JSON table");
 }
 
 std::string

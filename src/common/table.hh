@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hh"
+
 namespace amdahl {
 
 /**
@@ -75,15 +77,24 @@ class TablePrinter
     /** @return All data rows (flushes any pending row). */
     const std::vector<std::vector<std::string>> &dataRows() const;
 
-    /** Write the table as CSV (header + rows). */
-    void writeCsv(std::ostream &os) const;
+    /**
+     * Write the table as CSV (header + rows).
+     *
+     * @return IoError when the stream is (or ends up) in a failed
+     * state — a bench whose CSV silently vanished on a full disk is
+     * worse than one that stops with a diagnostic.
+     */
+    Status writeCsv(std::ostream &os) const;
 
     /**
      * Write the table as a JSON array of row objects keyed by the
      * column headers. All values are emitted as JSON strings (cells
      * are stored pre-formatted); consumers parse numbers themselves.
+     *
+     * @return IoError when the stream is (or ends up) in a failed
+     * state after the write + flush.
      */
-    void writeJson(std::ostream &os) const;
+    Status writeJson(std::ostream &os) const;
 
   private:
     void finishPendingRow() const;

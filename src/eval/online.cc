@@ -2,15 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
+#include <optional>
 
 #include "common/check.hh"
+#include "common/crc32.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
-#include "common/stats.hh"
 #include "core/bidding.hh"
 #include "obs/timer.hh"
 #include "obs/trace.hh"
+#include "robustness/durability/codec.hh"
 #include "sim/workload_library.hh"
 
 namespace amdahl::eval {
@@ -72,568 +73,901 @@ coresOf(const OnlineOptions &opts, std::size_t j)
                : opts.serverCores[j];
 }
 
+/** Emit the run_start event (fresh runs only; on a recovery the event
+ *  is already durable in the trace file). */
+void
+emitRunStart(const OnlineOptions &opts, const std::string &policyName)
+{
+    if (auto *sink = obs::traceSink()) {
+        obs::TraceEvent(*sink, "run_start")
+            .field("policy", policyName)
+            .field("seed", opts.seed)
+            .field("users", opts.users)
+            .field("servers", opts.servers)
+            .field("epoch_seconds", opts.epochSeconds)
+            .field("horizon_seconds", opts.horizonSeconds)
+            .field("faults", opts.faults.enabled)
+            .field("admission", opts.admission.enabled);
+    }
+}
+
+/** Layout version of encodeOnlineState; bump on any field change. */
+constexpr std::uint32_t kStateVersion = 1;
+
+void
+putJob(durability::ByteWriter &w, const OnlineJob &job)
+{
+    w.putU64(static_cast<std::uint64_t>(job.user));
+    w.putU64(static_cast<std::uint64_t>(job.server));
+    w.putU64(static_cast<std::uint64_t>(job.workloadIndex));
+    w.putF64(job.arrivalSeconds);
+    w.putF64(job.totalWork);
+    w.putF64(job.remainingWork);
+    w.putF64(job.completionSeconds);
+    w.putF64(job.checkpointedWork);
+    w.putU64(static_cast<std::uint64_t>(job.epochsSinceCheckpoint));
+}
+
+OnlineJob
+readJob(durability::ByteReader &r)
+{
+    OnlineJob job;
+    job.user = static_cast<std::size_t>(r.readU64());
+    job.server = static_cast<std::size_t>(r.readU64());
+    job.workloadIndex = static_cast<std::size_t>(r.readU64());
+    job.arrivalSeconds = r.readF64();
+    job.totalWork = r.readF64();
+    job.remainingWork = r.readF64();
+    job.completionSeconds = r.readF64();
+    job.checkpointedWork = r.readF64();
+    job.epochsSinceCheckpoint = static_cast<int>(r.readU64());
+    return job;
+}
+
+void
+putStats(durability::ByteWriter &w, const OnlineStatsState &st)
+{
+    w.putU64(static_cast<std::uint64_t>(st.n));
+    w.putF64(st.m);
+    w.putF64(st.m2);
+    w.putF64(st.lo);
+    w.putF64(st.hi);
+}
+
+OnlineStatsState
+readStats(durability::ByteReader &r)
+{
+    OnlineStatsState st;
+    st.n = static_cast<std::size_t>(r.readU64());
+    st.m = r.readF64();
+    st.m2 = r.readF64();
+    st.lo = r.readF64();
+    st.hi = r.readF64();
+    return st;
+}
+
+void
+putCharVector(durability::ByteWriter &w, const std::vector<char> &v)
+{
+    w.putString(std::string_view(v.data(), v.size()));
+}
+
+std::vector<char>
+readCharVector(durability::ByteReader &r)
+{
+    const std::string s = r.readString();
+    return {s.begin(), s.end()};
+}
+
+void
+putIntVector(durability::ByteWriter &w, const std::vector<int> &v)
+{
+    w.putU64(v.size());
+    for (int x : v)
+        w.putU64(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(x)));
+}
+
+std::vector<int>
+readIntVector(durability::ByteReader &r)
+{
+    const std::vector<std::uint64_t> raw = r.readU64Vector();
+    std::vector<int> out;
+    out.reserve(raw.size());
+    for (std::uint64_t x : raw)
+        out.push_back(static_cast<int>(static_cast<std::int64_t>(x)));
+    return out;
+}
+
+void
+putCount(durability::ByteWriter &w, int v)
+{
+    w.putU64(static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
+}
+
+int
+readCount(durability::ByteReader &r)
+{
+    return static_cast<int>(static_cast<std::int64_t>(r.readU64()));
+}
+
 } // namespace
 
-OnlineMetrics
-OnlineSimulator::run(const alloc::AllocationPolicy &policy,
-                     FractionSource source)
+std::uint32_t
+onlineStateFingerprint(const OnlineOptions &opts,
+                       std::string_view policyName)
+{
+    Crc32 d;
+    d.updateU64(opts.seed);
+    d.updateU64(static_cast<std::uint64_t>(opts.users));
+    d.updateU64(static_cast<std::uint64_t>(opts.servers));
+    d.updateU64(static_cast<std::uint64_t>(opts.coresPerServer));
+    d.updateU64(opts.serverCores.size());
+    for (int c : opts.serverCores)
+        d.updateU64(static_cast<std::uint64_t>(c));
+    d.updateF64(opts.epochSeconds);
+    d.updateF64(opts.horizonSeconds);
+    d.updateF64(opts.arrivalsPerServerEpoch);
+    d.updateF64(opts.workScaleMin);
+    d.updateF64(opts.workScaleMax);
+    d.updateU64(static_cast<std::uint64_t>(opts.minBudget));
+    d.updateU64(static_cast<std::uint64_t>(opts.maxBudget));
+    d.updateU32(static_cast<std::uint32_t>(opts.placement));
+    d.updateU32(opts.deficitCompensation ? 1 : 0);
+    d.updateF64(opts.maxCompensation);
+    d.updateU32(opts.faults.enabled ? 1 : 0);
+    d.updateU64(opts.faults.seed);
+    d.updateF64(opts.faults.crashRatePerServerEpoch);
+    d.updateU64(static_cast<std::uint64_t>(opts.faults.downEpochs));
+    d.updateU64(
+        static_cast<std::uint64_t>(opts.faults.checkpointEpochs));
+    d.updateF64(opts.faults.bidLossRate);
+    d.updateF64(opts.faults.fractionNoiseStddev);
+    d.updateU64(
+        static_cast<std::uint64_t>(opts.faults.staleRefreshEpochs));
+    d.updateU64(opts.faults.scriptedCrashes.size());
+    for (const auto &ev : opts.faults.scriptedCrashes) {
+        d.updateU64(static_cast<std::uint64_t>(ev.server));
+        d.updateU64(static_cast<std::uint64_t>(ev.crashEpoch));
+        d.updateU64(static_cast<std::uint64_t>(ev.recoverEpoch));
+    }
+    d.updateU32(opts.admission.enabled ? 1 : 0);
+    d.updateF64(opts.admission.maxLoadFactor);
+    d.updateU64(
+        static_cast<std::uint64_t>(opts.admission.maxQueueLength));
+    d.updateU32(opts.admission.shedByEntitlement ? 1 : 0);
+    d.update(policyName);
+    return d.value();
+}
+
+std::string
+encodeOnlineState(const OnlineRunState &s, const OnlineOptions &opts)
+{
+    durability::ByteWriter w;
+    w.putU32(kStateVersion);
+    w.putU32(onlineStateFingerprint(opts, s.metrics.policyName));
+    w.putU64(static_cast<std::uint64_t>(s.epoch));
+    for (std::uint64_t word : s.rngState)
+        w.putU64(word);
+    w.putF64Vector(s.budgets);
+    w.putU64(s.jobs.size());
+    for (const auto &job : s.jobs)
+        putJob(w, job);
+    w.putU64(s.waitQueue.size());
+    for (const auto &job : s.waitQueue)
+        putJob(w, job);
+    w.putU64(static_cast<std::uint64_t>(s.inFlight));
+    w.putF64(s.queueDelaySum);
+    putCharVector(w, s.live);
+    putIntVector(w, s.placer.loads);
+    putCharVector(w, s.placer.live);
+    w.putF64Vector(s.placer.prices);
+    putIntVector(w, s.placer.sinceUpdate);
+    w.putU64(static_cast<std::uint64_t>(s.placer.nextRoundRobin));
+    putStats(w, s.occupancy);
+    putStats(w, s.weightedSpeedup);
+    w.putF64Vector(s.granted);
+    w.putF64Vector(s.entitled);
+    w.putF64Vector(s.entitledAvail);
+    w.putString(s.metrics.policyName);
+    putCount(w, s.metrics.jobsArrived);
+    putCount(w, s.metrics.jobsCompleted);
+    putCount(w, s.metrics.nonConvergedEpochs);
+    putCount(w, s.metrics.fallbackEpochsDamped);
+    putCount(w, s.metrics.fallbackEpochsProportional);
+    putCount(w, s.metrics.fallbackEpochsDeadline);
+    putCount(w, s.metrics.deadlineExpiredEpochs);
+    putCount(w, s.metrics.jobsQueued);
+    putCount(w, s.metrics.jobsShed);
+    putCount(w, s.metrics.peakQueueLength);
+    putCount(w, s.metrics.crashEvents);
+    putCount(w, s.metrics.replacements);
+    w.putF64(s.metrics.workLostSeconds);
+    w.putF64Vector(s.metrics.occupancyHistory);
+    w.putF64Vector(s.metrics.speedupHistory);
+    return w.take();
+}
+
+Result<OnlineRunState>
+decodeOnlineState(std::string_view payload, const OnlineOptions &opts,
+                  std::string_view policyName)
+{
+    durability::ByteReader r(payload);
+    const std::uint32_t version = r.readU32();
+    if (r.ok() && version != kStateVersion) {
+        return Status::error(ErrorKind::SemanticError, 0,
+                             "snapshot state version ", version,
+                             "; this build reads version ",
+                             kStateVersion);
+    }
+    const std::uint32_t fingerprint = r.readU32();
+    const std::uint32_t expected =
+        onlineStateFingerprint(opts, policyName);
+    if (r.ok() && fingerprint != expected) {
+        return Status::error(
+            ErrorKind::SemanticError, 0,
+            "snapshot was produced under a different scenario or "
+            "policy (state fingerprint ", fingerprint, ", this run's ",
+            expected, "); refusing to replay into divergence");
+    }
+
+    OnlineRunState s;
+    s.epoch = static_cast<int>(r.readU64());
+    for (auto &word : s.rngState)
+        word = r.readU64();
+    s.budgets = r.readF64Vector();
+    const std::uint64_t job_count = r.readU64();
+    for (std::uint64_t i = 0; r.ok() && i < job_count; ++i)
+        s.jobs.push_back(readJob(r));
+    const std::uint64_t queue_count = r.readU64();
+    for (std::uint64_t i = 0; r.ok() && i < queue_count; ++i)
+        s.waitQueue.push_back(readJob(r));
+    s.inFlight = static_cast<std::size_t>(r.readU64());
+    s.queueDelaySum = r.readF64();
+    s.live = readCharVector(r);
+    s.placer.loads = readIntVector(r);
+    s.placer.live = readCharVector(r);
+    s.placer.prices = r.readF64Vector();
+    s.placer.sinceUpdate = readIntVector(r);
+    s.placer.nextRoundRobin = static_cast<std::size_t>(r.readU64());
+    s.occupancy = readStats(r);
+    s.weightedSpeedup = readStats(r);
+    s.granted = r.readF64Vector();
+    s.entitled = r.readF64Vector();
+    s.entitledAvail = r.readF64Vector();
+    s.metrics.policyName = r.readString();
+    s.metrics.jobsArrived = readCount(r);
+    s.metrics.jobsCompleted = readCount(r);
+    s.metrics.nonConvergedEpochs = readCount(r);
+    s.metrics.fallbackEpochsDamped = readCount(r);
+    s.metrics.fallbackEpochsProportional = readCount(r);
+    s.metrics.fallbackEpochsDeadline = readCount(r);
+    s.metrics.deadlineExpiredEpochs = readCount(r);
+    s.metrics.jobsQueued = readCount(r);
+    s.metrics.jobsShed = readCount(r);
+    s.metrics.peakQueueLength = readCount(r);
+    s.metrics.crashEvents = readCount(r);
+    s.metrics.replacements = readCount(r);
+    s.metrics.workLostSeconds = r.readF64();
+    s.metrics.occupancyHistory = r.readF64Vector();
+    s.metrics.speedupHistory = r.readF64Vector();
+    r.expectEnd();
+    if (!r.ok())
+        return r.status();
+
+    // The container CRC already matched, so these only fire on a
+    // collision or an encoder bug — but the reader promises to reject
+    // every inconsistent state, not just the probable ones.
+    const auto users = static_cast<std::size_t>(opts.users);
+    const auto servers = static_cast<std::size_t>(opts.servers);
+    const int epochs = static_cast<int>(
+        std::ceil(opts.horizonSeconds / opts.epochSeconds));
+    if (s.epoch < 0 || s.epoch > epochs) {
+        return Status::error(ErrorKind::SemanticError, 0,
+                             "snapshot is at epoch ", s.epoch,
+                             " of a ", epochs, "-epoch horizon");
+    }
+    if (s.budgets.size() != users || s.granted.size() != users ||
+        s.entitled.size() != users || s.entitledAvail.size() != users) {
+        return Status::error(ErrorKind::SemanticError, 0,
+                             "snapshot tenant vectors do not match ",
+                             users, " users");
+    }
+    if (s.live.size() != servers || s.placer.loads.size() != servers ||
+        s.placer.live.size() != servers ||
+        s.placer.prices.size() != servers ||
+        s.placer.sinceUpdate.size() != servers) {
+        return Status::error(ErrorKind::SemanticError, 0,
+                             "snapshot server vectors do not match ",
+                             servers, " servers");
+    }
+    const auto epoch_entries = static_cast<std::size_t>(s.epoch);
+    if (s.metrics.occupancyHistory.size() != epoch_entries ||
+        s.metrics.speedupHistory.size() != epoch_entries) {
+        return Status::error(ErrorKind::SemanticError, 0,
+                             "snapshot history length does not match "
+                             "its epoch count ", s.epoch);
+    }
+    return s;
+}
+
+int
+OnlineSimulator::epochCount() const
+{
+    return static_cast<int>(
+        std::ceil(opts_.horizonSeconds / opts_.epochSeconds));
+}
+
+OnlineRunState
+OnlineSimulator::initState(const alloc::AllocationPolicy &policy) const
 {
     // All randomness is re-seeded per run: every policy faces the
     // identical arrival stream. The fault schedule draws from its own
     // seed, so toggling it never shifts the arrivals either.
     Rng rng(opts_.seed);
 
-    std::vector<double> budgets(static_cast<std::size_t>(opts_.users));
-    for (auto &b : budgets) {
+    OnlineRunState s;
+    s.budgets.resize(static_cast<std::size_t>(opts_.users));
+    for (auto &b : s.budgets) {
         b = static_cast<double>(
             rng.uniformInt(opts_.minBudget, opts_.maxBudget));
     }
-
-    OnlineMetrics metrics;
-    metrics.policyName = policy.name();
-
-    if (auto *sink = obs::traceSink()) {
-        obs::TraceEvent(*sink, "run_start")
-            .field("policy", metrics.policyName)
-            .field("seed", opts_.seed)
-            .field("users", opts_.users)
-            .field("servers", opts_.servers)
-            .field("epoch_seconds", opts_.epochSeconds)
-            .field("horizon_seconds", opts_.horizonSeconds)
-            .field("faults", opts_.faults.enabled)
-            .field("admission", opts_.admission.enabled);
-    }
-
-    const auto &library = sim::workloadLibrary();
-    std::vector<OnlineJob> jobs;
-    OnlineStats occupancy;
-    OnlineStats weighted_speedup;
-    alloc::JobPlacer placer(
+    s.rngState = rng.saveState();
+    s.metrics.policyName = policy.name();
+    s.jobs.clear();
+    s.live.assign(static_cast<std::size_t>(opts_.servers), 1);
+    const alloc::JobPlacer placer(
         opts_.placement, static_cast<std::size_t>(opts_.servers));
+    s.placer = placer.saveState();
+    s.granted.assign(static_cast<std::size_t>(opts_.users), 0.0);
+    s.entitled.assign(static_cast<std::size_t>(opts_.users), 0.0);
+    s.entitledAvail.assign(static_cast<std::size_t>(opts_.users), 0.0);
+    return s;
+}
 
-    // Cumulative core-second accounting for long-run fairness.
-    std::vector<double> granted(static_cast<std::size_t>(opts_.users),
-                                0.0);
-    std::vector<double> entitled(static_cast<std::size_t>(opts_.users),
-                                 0.0);
-    // Entitlement accrued against the capacity actually live each
-    // epoch (availability-weighted fairness).
-    std::vector<double> entitled_avail(
-        static_cast<std::size_t>(opts_.users), 0.0);
-
-    const int epochs = static_cast<int>(
-        std::ceil(opts_.horizonSeconds / opts_.epochSeconds));
-
+void
+OnlineSimulator::runEpoch(OnlineRunState &s,
+                          const alloc::AllocationPolicy &policy,
+                          FractionSource source,
+                          const robustness::FaultInjector &injector) const
+{
+    const int epoch = s.epoch;
+    const double now = epoch * opts_.epochSeconds;
     const bool faulty = opts_.faults.enabled;
-    const robustness::FaultInjector injector(
-        opts_.faults, static_cast<std::size_t>(opts_.servers), epochs);
-    std::vector<char> live(static_cast<std::size_t>(opts_.servers), 1);
+    const bool admission = opts_.admission.enabled;
+    const auto &library = sim::workloadLibrary();
+
+    // Rebuild the live accumulators from their serialized state; they
+    // are saved back on every exit path. A placer/RNG restored from
+    // state behaves identically to one that ran continuously, which is
+    // what makes a replayed epoch bit-identical to the original.
+    Rng rng(opts_.seed);
+    rng.restoreState(s.rngState);
+    alloc::JobPlacer placer(opts_.placement,
+                            static_cast<std::size_t>(opts_.servers));
+    placer.restoreState(s.placer);
+    OnlineStats occupancy = OnlineStats::fromState(s.occupancy);
+    OnlineStats weighted_speedup =
+        OnlineStats::fromState(s.weightedSpeedup);
+    auto &metrics = s.metrics;
+    auto &jobs = s.jobs;
+    auto &live = s.live;
+    auto &budgets = s.budgets;
+    auto &wait_queue = s.waitQueue;
+    auto &granted = s.granted;
+    auto &entitled = s.entitled;
+    auto &entitled_avail = s.entitledAvail;
+    auto &in_flight = s.inFlight;
+    auto &queue_delay_sum = s.queueDelaySum;
     std::vector<char> crashing(static_cast<std::size_t>(opts_.servers),
                                0);
 
-    // Admission-control state: in_flight counts admitted, unfinished
-    // jobs; the wait queue holds generated-but-not-admitted arrivals
-    // (never part of `jobs`, so the market and occupancy accounting
-    // see only admitted work).
-    const bool admission = opts_.admission.enabled;
-    std::deque<OnlineJob> wait_queue;
-    std::size_t in_flight = 0;
-    double queue_delay_sum = 0.0;
+    auto save_back = [&] {
+        s.rngState = rng.saveState();
+        s.placer = placer.saveState();
+        s.occupancy = occupancy.saveState();
+        s.weightedSpeedup = weighted_speedup.saveState();
+        ++s.epoch;
+    };
 
-    for (int epoch = 0; epoch < epochs; ++epoch) {
-        const double now = epoch * opts_.epochSeconds;
-        obs::ScopedTimer epoch_timer(
-            obs::timeHistogram("time.online.epoch_us"));
-        if (auto *sink = obs::traceSink()) {
-            obs::TraceEvent(*sink, "epoch_start")
-                .field("epoch", epoch)
-                .field("now", now);
-        }
+    obs::ScopedTimer epoch_timer(
+        obs::timeHistogram("time.online.epoch_us"));
+    if (auto *sink = obs::traceSink()) {
+        obs::TraceEvent(*sink, "epoch_start")
+            .field("epoch", epoch)
+            .field("now", now);
+    }
 
-        // 0. Fault-schedule bookkeeping: recovered servers rejoin the
-        //    market, and jobs stranded by a total outage are placed as
-        //    soon as capacity exists again.
-        if (faulty) {
-            for (std::size_t j : injector.recoveriesAt(epoch)) {
-                if (!live[j]) {
-                    live[j] = 1;
-                    placer.setServerLive(j, true);
-                    if (auto *sink = obs::traceSink()) {
-                        obs::TraceEvent(*sink, "churn")
-                            .field("epoch", epoch)
-                            .field("kind", "recovery")
-                            .field("server", j);
-                    }
-                }
-            }
-            std::fill(crashing.begin(), crashing.end(), 0);
-            for (std::size_t j : injector.crashesDuring(epoch))
-                crashing[j] = 1;
-            if (placer.anyLive()) {
-                for (auto &job : jobs) {
-                    if (!job.done() && job.unplaced()) {
-                        job.server = placer.place();
-                        ++metrics.replacements;
-                    }
-                }
-            }
-        }
-
-        // Crash application (shared by the idle-epoch early-out and
-        // the main path): servers failing *during* this epoch leave
-        // the market, their jobs roll back to the last checkpoint and
-        // are re-placed through the regular placement machinery.
-        auto apply_crashes = [&]() {
-            if (!faulty)
-                return;
-            for (std::size_t j = 0;
-                 j < static_cast<std::size_t>(opts_.servers); ++j) {
-                if (!crashing[j])
-                    continue;
-                live[j] = 0;
-                placer.setServerLive(j, false);
-                ++metrics.crashEvents;
+    // 0. Fault-schedule bookkeeping: recovered servers rejoin the
+    //    market, and jobs stranded by a total outage are placed as
+    //    soon as capacity exists again.
+    if (faulty) {
+        for (std::size_t j : injector.recoveriesAt(epoch)) {
+            if (!live[j]) {
+                live[j] = 1;
+                placer.setServerLive(j, true);
                 if (auto *sink = obs::traceSink()) {
                     obs::TraceEvent(*sink, "churn")
                         .field("epoch", epoch)
-                        .field("kind", "crash")
+                        .field("kind", "recovery")
                         .field("server", j);
                 }
-                for (auto &job : jobs) {
-                    if (job.done() || job.server != j)
-                        continue;
-                    const double done_work =
-                        job.totalWork - job.remainingWork;
-                    if (done_work > job.checkpointedWork) {
-                        const double lost =
-                            done_work - job.checkpointedWork;
-                        metrics.workLostSeconds += lost;
-                        job.remainingWork =
-                            job.totalWork - job.checkpointedWork;
-                        if (auto *sink = obs::traceSink()) {
-                            obs::TraceEvent(*sink,
-                                            "checkpoint_rollback")
-                                .field("epoch", epoch)
-                                .field("user", job.user)
-                                .field("server", j)
-                                .field("lost_work", lost);
-                        }
-                    }
-                    job.epochsSinceCheckpoint = 0;
-                    placer.jobFinished(j);
-                    if (placer.anyLive()) {
-                        job.server = placer.place();
-                        ++metrics.replacements;
-                    } else {
-                        job.server = OnlineJob::kUnplaced;
+            }
+        }
+        for (std::size_t j : injector.crashesDuring(epoch))
+            crashing[j] = 1;
+        if (placer.anyLive()) {
+            for (auto &job : jobs) {
+                if (!job.done() && job.unplaced()) {
+                    job.server = placer.place();
+                    ++metrics.replacements;
+                }
+            }
+        }
+    }
+
+    // Crash application (shared by the idle-epoch early-out and
+    // the main path): servers failing *during* this epoch leave
+    // the market, their jobs roll back to the last checkpoint and
+    // are re-placed through the regular placement machinery.
+    auto apply_crashes = [&]() {
+        if (!faulty)
+            return;
+        for (std::size_t j = 0;
+             j < static_cast<std::size_t>(opts_.servers); ++j) {
+            if (!crashing[j])
+                continue;
+            live[j] = 0;
+            placer.setServerLive(j, false);
+            ++metrics.crashEvents;
+            if (auto *sink = obs::traceSink()) {
+                obs::TraceEvent(*sink, "churn")
+                    .field("epoch", epoch)
+                    .field("kind", "crash")
+                    .field("server", j);
+            }
+            for (auto &job : jobs) {
+                if (job.done() || job.server != j)
+                    continue;
+                const double done_work =
+                    job.totalWork - job.remainingWork;
+                if (done_work > job.checkpointedWork) {
+                    const double lost =
+                        done_work - job.checkpointedWork;
+                    metrics.workLostSeconds += lost;
+                    job.remainingWork =
+                        job.totalWork - job.checkpointedWork;
+                    if (auto *sink = obs::traceSink()) {
+                        obs::TraceEvent(*sink,
+                                        "checkpoint_rollback")
+                            .field("epoch", epoch)
+                            .field("user", job.user)
+                            .field("server", j)
+                            .field("lost_work", lost);
                     }
                 }
+                job.epochsSinceCheckpoint = 0;
+                placer.jobFinished(j);
+                if (placer.anyLive()) {
+                    job.server = placer.place();
+                    ++metrics.replacements;
+                } else {
+                    job.server = OnlineJob::kUnplaced;
+                }
+            }
+        }
+    };
+
+    // 0.7 Admission cap for this epoch, against the servers that
+    //     are actually live, and a FIFO drain of the wait queue —
+    //     jobs that waited are admitted before this epoch's
+    //     arrivals compete for the remaining headroom.
+    double admit_cap = 0.0;
+    if (admission) {
+        int live_servers = 0;
+        for (char l : live)
+            live_servers += l ? 1 : 0;
+        admit_cap = opts_.admission.maxLoadFactor *
+                    static_cast<double>(live_servers);
+        while (!wait_queue.empty() &&
+               static_cast<double>(in_flight) < admit_cap &&
+               placer.anyLive()) {
+            OnlineJob job = wait_queue.front();
+            wait_queue.pop_front();
+            job.server = placer.place();
+            queue_delay_sum += now - job.arrivalSeconds;
+            if (auto *sink = obs::traceSink()) {
+                obs::TraceEvent(*sink, "admission")
+                    .field("epoch", epoch)
+                    .field("action", "admit_from_queue")
+                    .field("user", job.user)
+                    .field("wait_seconds",
+                           now - job.arrivalSeconds)
+                    .field("queue_len", wait_queue.size());
+            }
+            jobs.push_back(job);
+            ++in_flight;
+        }
+    }
+
+    // 1. Arrivals: a Poisson batch for the whole cluster, placed
+    //    by the configured discipline. The batch itself (count,
+    //    users, workloads, work sizes) is identical across runs
+    //    with the same seed — admission control only decides what
+    //    happens *after* a job is drawn, so enabling it (or
+    //    changing the load factor) never shifts the stream.
+    const int count = rng.poisson(opts_.arrivalsPerServerEpoch *
+                                  opts_.servers);
+    for (int a = 0; a < count; ++a) {
+        OnlineJob job;
+        job.user = static_cast<std::size_t>(
+            rng.uniformInt(0, opts_.users - 1));
+        job.workloadIndex =
+            static_cast<std::size_t>(rng.uniformInt(
+                0,
+                static_cast<std::int64_t>(library.size()) - 1));
+        job.arrivalSeconds = now;
+        const double t1 =
+            cache_.fullDatasetSeconds(job.workloadIndex, 1);
+        job.totalWork = t1 * rng.uniform(opts_.workScaleMin,
+                                         opts_.workScaleMax);
+        job.remainingWork = job.totalWork;
+        ++metrics.jobsArrived;
+        auto trace_arrival = [&](const char *action) {
+            if (auto *sink = obs::traceSink()) {
+                obs::TraceEvent(*sink, "admission")
+                    .field("epoch", epoch)
+                    .field("action", action)
+                    .field("user", job.user)
+                    .field("workload", job.workloadIndex)
+                    .field("work", job.totalWork);
             }
         };
-
-        // 0.7 Admission cap for this epoch, against the servers that
-        //     are actually live, and a FIFO drain of the wait queue —
-        //     jobs that waited are admitted before this epoch's
-        //     arrivals compete for the remaining headroom.
-        double admit_cap = 0.0;
-        if (admission) {
-            int live_servers = 0;
-            for (char l : live)
-                live_servers += l ? 1 : 0;
-            admit_cap = opts_.admission.maxLoadFactor *
-                        static_cast<double>(live_servers);
-            while (!wait_queue.empty() &&
-                   static_cast<double>(in_flight) < admit_cap &&
-                   placer.anyLive()) {
-                OnlineJob job = wait_queue.front();
-                wait_queue.pop_front();
+        if (!admission) {
+            if (faulty && !placer.anyLive())
+                job.server = OnlineJob::kUnplaced;
+            else
                 job.server = placer.place();
-                queue_delay_sum += now - job.arrivalSeconds;
-                if (auto *sink = obs::traceSink()) {
-                    obs::TraceEvent(*sink, "admission")
-                        .field("epoch", epoch)
-                        .field("action", "admit_from_queue")
-                        .field("user", job.user)
-                        .field("wait_seconds",
-                               now - job.arrivalSeconds)
-                        .field("queue_len", wait_queue.size());
-                }
-                jobs.push_back(job);
-                ++in_flight;
-            }
-        }
-
-        // 1. Arrivals: a Poisson batch for the whole cluster, placed
-        //    by the configured discipline. The batch itself (count,
-        //    users, workloads, work sizes) is identical across runs
-        //    with the same seed — admission control only decides what
-        //    happens *after* a job is drawn, so enabling it (or
-        //    changing the load factor) never shifts the stream.
-        const int count = rng.poisson(opts_.arrivalsPerServerEpoch *
-                                      opts_.servers);
-        for (int a = 0; a < count; ++a) {
-            OnlineJob job;
-            job.user = static_cast<std::size_t>(
-                rng.uniformInt(0, opts_.users - 1));
-            job.workloadIndex =
-                static_cast<std::size_t>(rng.uniformInt(
-                    0,
-                    static_cast<std::int64_t>(library.size()) - 1));
-            job.arrivalSeconds = now;
-            const double t1 =
-                cache_.fullDatasetSeconds(job.workloadIndex, 1);
-            job.totalWork = t1 * rng.uniform(opts_.workScaleMin,
-                                             opts_.workScaleMax);
-            job.remainingWork = job.totalWork;
-            ++metrics.jobsArrived;
-            auto trace_arrival = [&](const char *action) {
-                if (auto *sink = obs::traceSink()) {
-                    obs::TraceEvent(*sink, "admission")
-                        .field("epoch", epoch)
-                        .field("action", action)
-                        .field("user", job.user)
-                        .field("workload", job.workloadIndex)
-                        .field("work", job.totalWork);
-                }
-            };
-            if (!admission) {
-                if (faulty && !placer.anyLive())
-                    job.server = OnlineJob::kUnplaced;
-                else
-                    job.server = placer.place();
-                trace_arrival(job.unplaced() ? "park" : "admit");
-                jobs.push_back(job);
-                ++in_flight;
-            } else if (static_cast<double>(in_flight) < admit_cap &&
-                       (!faulty || placer.anyLive())) {
-                job.server = placer.place();
-                trace_arrival("admit");
-                jobs.push_back(job);
-                ++in_flight;
-            } else {
-                // Backpressure: over-cap arrivals wait. A full queue
-                // sheds one job — the earliest lowest-budget one under
-                // entitlement shedding, the arrival itself under tail
-                // drop.
-                wait_queue.push_back(job);
-                ++metrics.jobsQueued;
-                trace_arrival("queue");
-                if (wait_queue.size() >
-                    static_cast<std::size_t>(
-                        opts_.admission.maxQueueLength)) {
-                    std::size_t victim = wait_queue.size() - 1;
-                    if (opts_.admission.shedByEntitlement) {
-                        for (std::size_t q = 0; q < wait_queue.size();
-                             ++q) {
-                            if (budgets[wait_queue[q].user] <
-                                budgets[wait_queue[victim].user]) {
-                                victim = q;
-                            }
+            trace_arrival(job.unplaced() ? "park" : "admit");
+            jobs.push_back(job);
+            ++in_flight;
+        } else if (static_cast<double>(in_flight) < admit_cap &&
+                   (!faulty || placer.anyLive())) {
+            job.server = placer.place();
+            trace_arrival("admit");
+            jobs.push_back(job);
+            ++in_flight;
+        } else {
+            // Backpressure: over-cap arrivals wait. A full queue
+            // sheds one job — the earliest lowest-budget one under
+            // entitlement shedding, the arrival itself under tail
+            // drop.
+            wait_queue.push_back(job);
+            ++metrics.jobsQueued;
+            trace_arrival("queue");
+            if (wait_queue.size() >
+                static_cast<std::size_t>(
+                    opts_.admission.maxQueueLength)) {
+                std::size_t victim = wait_queue.size() - 1;
+                if (opts_.admission.shedByEntitlement) {
+                    for (std::size_t q = 0; q < wait_queue.size();
+                         ++q) {
+                        if (budgets[wait_queue[q].user] <
+                            budgets[wait_queue[victim].user]) {
+                            victim = q;
                         }
                     }
-                    if (auto *sink = obs::traceSink()) {
-                        obs::TraceEvent(*sink, "admission")
-                            .field("epoch", epoch)
-                            .field("action", "shed")
-                            .field("user", wait_queue[victim].user)
-                            .field("queue_len",
-                                   wait_queue.size() - 1);
-                    }
-                    wait_queue.erase(
-                        wait_queue.begin() +
-                        static_cast<std::ptrdiff_t>(victim));
-                    ++metrics.jobsShed;
                 }
-                metrics.peakQueueLength = std::max(
-                    metrics.peakQueueLength,
-                    static_cast<int>(wait_queue.size()));
+                if (auto *sink = obs::traceSink()) {
+                    obs::TraceEvent(*sink, "admission")
+                        .field("epoch", epoch)
+                        .field("action", "shed")
+                        .field("user", wait_queue[victim].user)
+                        .field("queue_len",
+                               wait_queue.size() - 1);
+                }
+                wait_queue.erase(
+                    wait_queue.begin() +
+                    static_cast<std::ptrdiff_t>(victim));
+                ++metrics.jobsShed;
             }
+            metrics.peakQueueLength = std::max(
+                metrics.peakQueueLength,
+                static_cast<int>(wait_queue.size()));
         }
+    }
 
-        // 2. Build the market over placed in-flight jobs. Idle or
-        //    crashed servers and jobless tenants are excluded from
-        //    this epoch's market.
-        std::vector<std::size_t> active;
-        std::size_t in_system = 0;
-        for (std::size_t k = 0; k < jobs.size(); ++k) {
-            if (jobs[k].done())
-                continue;
-            ++in_system;
-            if (!jobs[k].unplaced())
-                active.push_back(k);
-        }
-        occupancy.add(static_cast<double>(in_system));
-        metrics.occupancyHistory.push_back(
-            static_cast<double>(in_system));
-        if (active.empty()) {
-            metrics.speedupHistory.push_back(0.0);
-            apply_crashes();
-            if (auto *sink = obs::traceSink()) {
-                obs::TraceEvent(*sink, "epoch_end")
-                    .field("epoch", epoch)
-                    .field("in_system", in_system)
-                    .field("idle", true);
-            }
+    // 2. Build the market over placed in-flight jobs. Idle or
+    //    crashed servers and jobless tenants are excluded from
+    //    this epoch's market.
+    std::vector<std::size_t> active;
+    std::size_t in_system = 0;
+    for (std::size_t k = 0; k < jobs.size(); ++k) {
+        if (jobs[k].done())
             continue;
-        }
-
-        std::vector<int> server_map(
-            static_cast<std::size_t>(opts_.servers), -1);
-        std::vector<double> capacities;
-        for (std::size_t k : active) {
-            AMDAHL_ASSERT(live[jobs[k].server],
-                          "job placed on a dead server at epoch ",
-                          epoch);
-            auto &slot = server_map[jobs[k].server];
-            if (slot < 0) {
-                slot = static_cast<int>(capacities.size());
-                capacities.push_back(static_cast<double>(
-                    coresOf(opts_, jobs[k].server)));
-            }
-        }
-
-        std::vector<int> user_map(static_cast<std::size_t>(opts_.users),
-                                  -1);
-        std::vector<core::MarketUser> market_users;
-        std::vector<std::vector<std::size_t>> user_job_ids;
-        for (std::size_t k : active) {
-            auto &slot = user_map[jobs[k].user];
-            if (slot < 0) {
-                slot = static_cast<int>(market_users.size());
-                core::MarketUser user;
-                user.name = "tenant" + std::to_string(jobs[k].user);
-                user.budget = budgets[jobs[k].user];
-                if (opts_.deficitCompensation &&
-                    granted[jobs[k].user] > 0.0) {
-                    const double boost = std::clamp(
-                        entitled[jobs[k].user] /
-                            granted[jobs[k].user],
-                        1.0, opts_.maxCompensation);
-                    user.budget *= boost;
-                }
-                market_users.push_back(std::move(user));
-                user_job_ids.emplace_back();
-            }
-            core::JobSpec spec;
-            spec.server = static_cast<std::size_t>(
-                server_map[jobs[k].server]);
-            double fraction =
-                cache_.fraction(jobs[k].workloadIndex, source);
-            if (faulty) {
-                // Stale profiles: the market prices tomorrow's cores
-                // with yesterday's estimates.
-                fraction = injector.perturbFraction(
-                    epoch, jobs[k].workloadIndex, fraction);
-            }
-            spec.parallelFraction = fraction;
-            spec.weight = 1.0;
-            market_users[static_cast<std::size_t>(slot)]
-                .jobs.push_back(spec);
-            user_job_ids[static_cast<std::size_t>(slot)].push_back(k);
-        }
-
-        core::FisherMarket market(capacities);
-        for (auto &user : market_users)
-            market.addUser(std::move(user));
-
-        core::BidTransportFaults transport;
-        if (faulty) {
-            transport.lossRate = opts_.faults.bidLossRate;
-            transport.seed = injector.bidSeed(epoch);
-        }
-        const auto result = faulty ? policy.allocate(market, transport)
-                                   : policy.allocate(market);
-
-        // Degraded-mode bookkeeping: count epochs the primary
-        // procedure failed and which ladder rung served them. A
-        // rate-limited warning keeps non-convergence caller-visible
-        // without flooding long runs.
-        if (result.mode == alloc::ServeMode::DampedRetry)
-            ++metrics.fallbackEpochsDamped;
-        else if (result.mode == alloc::ServeMode::ProportionalFallback)
-            ++metrics.fallbackEpochsProportional;
-        else if (result.mode == alloc::ServeMode::DeadlineAnytime)
-            ++metrics.fallbackEpochsDeadline;
-        if (result.outcome.deadlineExpired)
-            ++metrics.deadlineExpiredEpochs;
-        const bool primary_failed =
-            result.mode != alloc::ServeMode::Primary ||
-            (result.outcome.iterations > 0 &&
-             !result.outcome.converged);
-        if (primary_failed) {
-            ++metrics.nonConvergedEpochs;
-            if (metrics.nonConvergedEpochs == 1 ||
-                metrics.nonConvergedEpochs % 64 == 0) {
-                warn(metrics.policyName, ": bidding did not converge ",
-                     "at epoch ", epoch, " (",
-                     result.outcome.iterations,
-                     " iterations; served by ",
-                     alloc::toString(result.mode),
-                     "; ", metrics.nonConvergedEpochs,
-                     " non-converged epochs so far)");
-            }
-        }
-
-        // Contract: an epoch's integral grants never exceed the live
-        // capacity — crashed servers' cores must be out of the market.
-        if constexpr (checkedBuild) {
-            double total_cores = 0.0;
-            for (const auto &row : result.cores) {
-                for (int c : row)
-                    total_cores += static_cast<double>(c);
-            }
-            double live_capacity = 0.0;
-            for (int j = 0; j < opts_.servers; ++j) {
-                if (live[static_cast<std::size_t>(j)]) {
-                    live_capacity += static_cast<double>(
-                        coresOf(opts_, static_cast<std::size_t>(j)));
-                }
-            }
-            AMDAHL_ASSERT(total_cores <= live_capacity + 1e-9,
-                          "epoch ", epoch, " granted ", total_cores,
-                          " cores with only ", live_capacity, " live");
-        }
-
-        // Core-second accounting against *base* budgets: the
-        // entitlement contract does not move with compensation.
-        {
-            double active_budget = 0.0;
-            double active_capacity = 0.0;
-            for (std::size_t ui = 0; ui < user_job_ids.size(); ++ui) {
-                active_budget +=
-                    budgets[jobs[user_job_ids[ui][0]].user];
-            }
-            for (double c : capacities)
-                active_capacity += c;
-            double live_capacity = 0.0;
-            for (int j = 0; j < opts_.servers; ++j) {
-                if (live[static_cast<std::size_t>(j)]) {
-                    live_capacity += static_cast<double>(
-                        coresOf(opts_, static_cast<std::size_t>(j)));
-                }
-            }
-            for (std::size_t ui = 0; ui < user_job_ids.size(); ++ui) {
-                const std::size_t tenant =
-                    jobs[user_job_ids[ui][0]].user;
-                entitled[tenant] += budgets[tenant] / active_budget *
-                                    active_capacity *
-                                    opts_.epochSeconds;
-                entitled_avail[tenant] +=
-                    budgets[tenant] / active_budget * live_capacity *
-                    opts_.epochSeconds;
-                granted[tenant] +=
-                    result.userCores(ui) * opts_.epochSeconds;
-            }
-        }
-
-        // Feed the placer its congestion signal for the next epoch:
-        // equilibrium prices where the policy publishes them (idle
-        // servers are free), current loads otherwise.
-        {
-            std::vector<double> signal(
-                static_cast<std::size_t>(opts_.servers), 0.0);
-            const bool has_prices =
-                result.outcome.prices.size() == capacities.size();
-            for (int j = 0; j < opts_.servers; ++j) {
-                const int slot = server_map[static_cast<std::size_t>(j)];
-                if (has_prices && slot >= 0) {
-                    signal[static_cast<std::size_t>(j)] =
-                        result.outcome
-                            .prices[static_cast<std::size_t>(slot)];
-                } else if (!has_prices) {
-                    signal[static_cast<std::size_t>(j)] =
-                        static_cast<double>(placer.load(
-                            static_cast<std::size_t>(j)));
-                }
-            }
-            placer.updatePrices(signal);
-        }
-
-        // 3. Advance jobs by their measured speedups. Jobs on a
-        //    server that fails during this epoch make no durable
-        //    progress: the crash takes their epoch with it.
-        double epoch_speedup = 0.0;
-        double budget_sum = 0.0;
-        for (std::size_t ui = 0; ui < user_job_ids.size(); ++ui) {
-            double user_progress = 0.0;
-            for (std::size_t kk = 0; kk < user_job_ids[ui].size();
-                 ++kk) {
-                const std::size_t k = user_job_ids[ui][kk];
-                auto &job = jobs[k];
-                if (faulty && crashing[job.server])
-                    continue;
-                const int cores = result.cores[ui][kk];
-                if (cores <= 0)
-                    continue;
-                const double t1 =
-                    cache_.fullDatasetSeconds(job.workloadIndex, 1);
-                const double tx =
-                    cache_.fullDatasetSeconds(job.workloadIndex,
-                                              cores);
-                const double rate = t1 / tx; // measured speedup
-                user_progress += rate;
-                const double done_work =
-                    rate * opts_.epochSeconds;
-                if (done_work >= job.remainingWork) {
-                    const double used =
-                        job.remainingWork / rate;
-                    job.completionSeconds = now + used;
-                    job.remainingWork = 0.0;
-                    ++metrics.jobsCompleted;
-                    --in_flight;
-                    placer.jobFinished(job.server);
-                } else {
-                    job.remainingWork -= done_work;
-                }
-            }
-            const double b = market.user(ui).budget;
-            epoch_speedup +=
-                b * user_progress /
-                static_cast<double>(user_job_ids[ui].size());
-            budget_sum += b;
-        }
-        if (budget_sum > 0.0) {
-            weighted_speedup.add(epoch_speedup / budget_sum);
-            metrics.speedupHistory.push_back(epoch_speedup /
-                                             budget_sum);
-        } else {
-            metrics.speedupHistory.push_back(0.0);
-        }
-
+        ++in_system;
+        if (!jobs[k].unplaced())
+            active.push_back(k);
+    }
+    occupancy.add(static_cast<double>(in_system));
+    metrics.occupancyHistory.push_back(
+        static_cast<double>(in_system));
+    if (active.empty()) {
+        metrics.speedupHistory.push_back(0.0);
         apply_crashes();
-
-        // 4. Checkpoint tick: durable progress advances every
-        //    checkpointEpochs epochs, bounding what the next crash
-        //    can take.
-        if (faulty) {
-            for (auto &job : jobs) {
-                if (job.done() || job.unplaced())
-                    continue;
-                ++job.epochsSinceCheckpoint;
-                if (job.epochsSinceCheckpoint >=
-                    opts_.faults.checkpointEpochs) {
-                    job.checkpointedWork =
-                        job.totalWork - job.remainingWork;
-                    job.epochsSinceCheckpoint = 0;
-                }
-            }
-        }
-
         if (auto *sink = obs::traceSink()) {
             obs::TraceEvent(*sink, "epoch_end")
                 .field("epoch", epoch)
                 .field("in_system", in_system)
-                .field("idle", false)
-                .field("mode", alloc::toString(result.mode))
-                .field("weighted_speedup",
-                       metrics.speedupHistory.back())
-                .field("jobs_completed", metrics.jobsCompleted);
+                .field("idle", true);
+        }
+        save_back();
+        return;
+    }
+
+    std::vector<int> server_map(
+        static_cast<std::size_t>(opts_.servers), -1);
+    std::vector<double> capacities;
+    for (std::size_t k : active) {
+        AMDAHL_ASSERT(live[jobs[k].server],
+                      "job placed on a dead server at epoch ",
+                      epoch);
+        auto &slot = server_map[jobs[k].server];
+        if (slot < 0) {
+            slot = static_cast<int>(capacities.size());
+            capacities.push_back(static_cast<double>(
+                coresOf(opts_, jobs[k].server)));
         }
     }
 
+    std::vector<int> user_map(static_cast<std::size_t>(opts_.users),
+                              -1);
+    std::vector<core::MarketUser> market_users;
+    std::vector<std::vector<std::size_t>> user_job_ids;
+    for (std::size_t k : active) {
+        auto &slot = user_map[jobs[k].user];
+        if (slot < 0) {
+            slot = static_cast<int>(market_users.size());
+            core::MarketUser user;
+            user.name = "tenant" + std::to_string(jobs[k].user);
+            user.budget = budgets[jobs[k].user];
+            if (opts_.deficitCompensation &&
+                granted[jobs[k].user] > 0.0) {
+                const double boost = std::clamp(
+                    entitled[jobs[k].user] /
+                        granted[jobs[k].user],
+                    1.0, opts_.maxCompensation);
+                user.budget *= boost;
+            }
+            market_users.push_back(std::move(user));
+            user_job_ids.emplace_back();
+        }
+        core::JobSpec spec;
+        spec.server = static_cast<std::size_t>(
+            server_map[jobs[k].server]);
+        double fraction =
+            cache_.fraction(jobs[k].workloadIndex, source);
+        if (faulty) {
+            // Stale profiles: the market prices tomorrow's cores
+            // with yesterday's estimates.
+            fraction = injector.perturbFraction(
+                epoch, jobs[k].workloadIndex, fraction);
+        }
+        spec.parallelFraction = fraction;
+        spec.weight = 1.0;
+        market_users[static_cast<std::size_t>(slot)]
+            .jobs.push_back(spec);
+        user_job_ids[static_cast<std::size_t>(slot)].push_back(k);
+    }
+
+    core::FisherMarket market(capacities);
+    for (auto &user : market_users)
+        market.addUser(std::move(user));
+
+    core::BidTransportFaults transport;
+    if (faulty) {
+        transport.lossRate = opts_.faults.bidLossRate;
+        transport.seed = injector.bidSeed(epoch);
+    }
+    const auto result = faulty ? policy.allocate(market, transport)
+                               : policy.allocate(market);
+
+    // Degraded-mode bookkeeping: count epochs the primary
+    // procedure failed and which ladder rung served them. A
+    // rate-limited warning keeps non-convergence caller-visible
+    // without flooding long runs.
+    if (result.mode == alloc::ServeMode::DampedRetry)
+        ++metrics.fallbackEpochsDamped;
+    else if (result.mode == alloc::ServeMode::ProportionalFallback)
+        ++metrics.fallbackEpochsProportional;
+    else if (result.mode == alloc::ServeMode::DeadlineAnytime)
+        ++metrics.fallbackEpochsDeadline;
+    if (result.outcome.deadlineExpired)
+        ++metrics.deadlineExpiredEpochs;
+    const bool primary_failed =
+        result.mode != alloc::ServeMode::Primary ||
+        (result.outcome.iterations > 0 &&
+         !result.outcome.converged);
+    if (primary_failed) {
+        ++metrics.nonConvergedEpochs;
+        if (metrics.nonConvergedEpochs == 1 ||
+            metrics.nonConvergedEpochs % 64 == 0) {
+            warn(metrics.policyName, ": bidding did not converge ",
+                 "at epoch ", epoch, " (",
+                 result.outcome.iterations,
+                 " iterations; served by ",
+                 alloc::toString(result.mode),
+                 "; ", metrics.nonConvergedEpochs,
+                 " non-converged epochs so far)");
+        }
+    }
+
+    // Contract: an epoch's integral grants never exceed the live
+    // capacity — crashed servers' cores must be out of the market.
+    if constexpr (checkedBuild) {
+        double total_cores = 0.0;
+        for (const auto &row : result.cores) {
+            for (int c : row)
+                total_cores += static_cast<double>(c);
+        }
+        double live_capacity = 0.0;
+        for (int j = 0; j < opts_.servers; ++j) {
+            if (live[static_cast<std::size_t>(j)]) {
+                live_capacity += static_cast<double>(
+                    coresOf(opts_, static_cast<std::size_t>(j)));
+            }
+        }
+        AMDAHL_ASSERT(total_cores <= live_capacity + 1e-9,
+                      "epoch ", epoch, " granted ", total_cores,
+                      " cores with only ", live_capacity, " live");
+    }
+
+    // Core-second accounting against *base* budgets: the
+    // entitlement contract does not move with compensation.
+    {
+        double active_budget = 0.0;
+        double active_capacity = 0.0;
+        for (std::size_t ui = 0; ui < user_job_ids.size(); ++ui) {
+            active_budget +=
+                budgets[jobs[user_job_ids[ui][0]].user];
+        }
+        for (double c : capacities)
+            active_capacity += c;
+        double live_capacity = 0.0;
+        for (int j = 0; j < opts_.servers; ++j) {
+            if (live[static_cast<std::size_t>(j)]) {
+                live_capacity += static_cast<double>(
+                    coresOf(opts_, static_cast<std::size_t>(j)));
+            }
+        }
+        for (std::size_t ui = 0; ui < user_job_ids.size(); ++ui) {
+            const std::size_t tenant =
+                jobs[user_job_ids[ui][0]].user;
+            entitled[tenant] += budgets[tenant] / active_budget *
+                                active_capacity *
+                                opts_.epochSeconds;
+            entitled_avail[tenant] +=
+                budgets[tenant] / active_budget * live_capacity *
+                opts_.epochSeconds;
+            granted[tenant] +=
+                result.userCores(ui) * opts_.epochSeconds;
+        }
+    }
+
+    // Feed the placer its congestion signal for the next epoch:
+    // equilibrium prices where the policy publishes them (idle
+    // servers are free), current loads otherwise.
+    {
+        std::vector<double> signal(
+            static_cast<std::size_t>(opts_.servers), 0.0);
+        const bool has_prices =
+            result.outcome.prices.size() == capacities.size();
+        for (int j = 0; j < opts_.servers; ++j) {
+            const int slot = server_map[static_cast<std::size_t>(j)];
+            if (has_prices && slot >= 0) {
+                signal[static_cast<std::size_t>(j)] =
+                    result.outcome
+                        .prices[static_cast<std::size_t>(slot)];
+            } else if (!has_prices) {
+                signal[static_cast<std::size_t>(j)] =
+                    static_cast<double>(placer.load(
+                        static_cast<std::size_t>(j)));
+            }
+        }
+        placer.updatePrices(signal);
+    }
+
+    // 3. Advance jobs by their measured speedups. Jobs on a
+    //    server that fails during this epoch make no durable
+    //    progress: the crash takes their epoch with it.
+    double epoch_speedup = 0.0;
+    double budget_sum = 0.0;
+    for (std::size_t ui = 0; ui < user_job_ids.size(); ++ui) {
+        double user_progress = 0.0;
+        for (std::size_t kk = 0; kk < user_job_ids[ui].size();
+             ++kk) {
+            const std::size_t k = user_job_ids[ui][kk];
+            auto &job = jobs[k];
+            if (faulty && crashing[job.server])
+                continue;
+            const int cores = result.cores[ui][kk];
+            if (cores <= 0)
+                continue;
+            const double t1 =
+                cache_.fullDatasetSeconds(job.workloadIndex, 1);
+            const double tx =
+                cache_.fullDatasetSeconds(job.workloadIndex,
+                                          cores);
+            const double rate = t1 / tx; // measured speedup
+            user_progress += rate;
+            const double done_work =
+                rate * opts_.epochSeconds;
+            if (done_work >= job.remainingWork) {
+                const double used =
+                    job.remainingWork / rate;
+                job.completionSeconds = now + used;
+                job.remainingWork = 0.0;
+                ++metrics.jobsCompleted;
+                --in_flight;
+                placer.jobFinished(job.server);
+            } else {
+                job.remainingWork -= done_work;
+            }
+        }
+        const double b = market.user(ui).budget;
+        epoch_speedup +=
+            b * user_progress /
+            static_cast<double>(user_job_ids[ui].size());
+        budget_sum += b;
+    }
+    if (budget_sum > 0.0) {
+        weighted_speedup.add(epoch_speedup / budget_sum);
+        metrics.speedupHistory.push_back(epoch_speedup /
+                                         budget_sum);
+    } else {
+        metrics.speedupHistory.push_back(0.0);
+    }
+
+    apply_crashes();
+
+    // 4. Checkpoint tick: durable progress advances every
+    //    checkpointEpochs epochs, bounding what the next crash
+    //    can take.
+    if (faulty) {
+        for (auto &job : jobs) {
+            if (job.done() || job.unplaced())
+                continue;
+            ++job.epochsSinceCheckpoint;
+            if (job.epochsSinceCheckpoint >=
+                opts_.faults.checkpointEpochs) {
+                job.checkpointedWork =
+                    job.totalWork - job.remainingWork;
+                job.epochsSinceCheckpoint = 0;
+            }
+        }
+    }
+
+    if (auto *sink = obs::traceSink()) {
+        obs::TraceEvent(*sink, "epoch_end")
+            .field("epoch", epoch)
+            .field("in_system", in_system)
+            .field("idle", false)
+            .field("mode", alloc::toString(result.mode))
+            .field("weighted_speedup",
+                   metrics.speedupHistory.back())
+            .field("jobs_completed", metrics.jobsCompleted);
+    }
+    save_back();
+}
+
+OnlineMetrics
+OnlineSimulator::finalize(const OnlineRunState &s) const
+{
+    OnlineMetrics metrics = s.metrics;
+
     // 5. Aggregate metrics.
     std::vector<double> completions;
-    for (const auto &job : jobs) {
+    for (const auto &job : s.jobs) {
         if (job.done()) {
             metrics.workCompleted += job.totalWork;
             completions.push_back(job.completionSeconds -
@@ -647,19 +981,22 @@ OnlineSimulator::run(const alloc::AllocationPolicy &policy,
         metrics.meanCompletionSeconds = mean(completions);
         metrics.p95CompletionSeconds = quantile(completions, 0.95);
     }
-    metrics.meanJobsInSystem = occupancy.mean();
-    metrics.meanWeightedSpeedup = weighted_speedup.mean();
+    metrics.meanJobsInSystem =
+        OnlineStats::fromState(s.occupancy).mean();
+    metrics.meanWeightedSpeedup =
+        OnlineStats::fromState(s.weightedSpeedup).mean();
 
     double mape = 0.0;
     double mape_avail = 0.0;
     std::size_t ever_active = 0;
-    for (std::size_t i = 0; i < entitled.size(); ++i) {
-        if (entitled[i] <= 0.0)
+    for (std::size_t i = 0; i < s.entitled.size(); ++i) {
+        if (s.entitled[i] <= 0.0)
             continue;
-        mape += std::abs(granted[i] - entitled[i]) / entitled[i];
-        if (entitled_avail[i] > 0.0) {
-            mape_avail += std::abs(granted[i] - entitled_avail[i]) /
-                          entitled_avail[i];
+        mape += std::abs(s.granted[i] - s.entitled[i]) / s.entitled[i];
+        if (s.entitledAvail[i] > 0.0) {
+            mape_avail +=
+                std::abs(s.granted[i] - s.entitledAvail[i]) /
+                s.entitledAvail[i];
         }
         ++ever_active;
     }
@@ -670,22 +1007,23 @@ OnlineSimulator::run(const alloc::AllocationPolicy &policy,
             100.0 * mape_avail / static_cast<double>(ever_active);
     }
 
-    metrics.jobsQueuedAtHorizon = static_cast<int>(wait_queue.size());
+    metrics.jobsQueuedAtHorizon =
+        static_cast<int>(s.waitQueue.size());
     if (metrics.jobsArrived > 0) {
         metrics.sheddingRate =
             static_cast<double>(metrics.jobsShed) /
             static_cast<double>(metrics.jobsArrived);
     }
-    if (!jobs.empty()) {
+    if (!s.jobs.empty()) {
         metrics.meanQueueDelaySeconds =
-            queue_delay_sum / static_cast<double>(jobs.size());
+            s.queueDelaySum / static_cast<double>(s.jobs.size());
     }
 
     {
         auto &reg = obs::metrics();
         reg.counter("online.runs").add();
         reg.counter("online.epochs")
-            .add(static_cast<std::uint64_t>(epochs));
+            .add(static_cast<std::uint64_t>(s.epoch));
         reg.counter("online.jobs_arrived")
             .add(static_cast<std::uint64_t>(metrics.jobsArrived));
         reg.counter("online.jobs_completed")
@@ -704,11 +1042,194 @@ OnlineSimulator::run(const alloc::AllocationPolicy &policy,
             .field("non_converged_epochs", metrics.nonConvergedEpochs)
             .field("deadline_expired_epochs",
                    metrics.deadlineExpiredEpochs);
-        sink->flush();
+        // A flush failure latches into sink->status(); the CLI
+        // surfaces it at exit, where the destination path is known.
+        (void)sink->flush();
     }
     metrics.metricsSnapshot = obs::metrics().snapshot();
 
-    metrics.jobs = std::move(jobs);
+    metrics.jobs = s.jobs;
+    return metrics;
+}
+
+OnlineMetrics
+OnlineSimulator::run(const alloc::AllocationPolicy &policy,
+                     FractionSource source)
+{
+    OnlineRunState state = initState(policy);
+    emitRunStart(opts_, state.metrics.policyName);
+
+    const int epochs = epochCount();
+    const robustness::FaultInjector injector(
+        opts_.faults, static_cast<std::size_t>(opts_.servers), epochs);
+    while (state.epoch < epochs)
+        runEpoch(state, policy, source, injector);
+    return finalize(state);
+}
+
+Result<OnlineMetrics>
+OnlineSimulator::runDurable(const alloc::AllocationPolicy &policy,
+                            FractionSource source,
+                            durability::DurableStateStore &store,
+                            const durability::RecoveredState *resume)
+{
+    const int epochs = epochCount();
+
+    OnlineRunState state;
+    // Constructed only after run_start is emitted (fresh) or under
+    // trace suppression (resume): building the schedule emits
+    // fault_schedule events, which must land exactly where an
+    // uninterrupted run puts them.
+    std::optional<robustness::FaultInjector> injector;
+    bool completed_on_disk = false;
+    int replayed = 0;
+    std::uint64_t frontier = 0;
+    const bool resuming =
+        resume != nullptr &&
+        (resume->hasSnapshot || !resume->entries.empty());
+
+    if (resuming) {
+        frontier = resume->frontierEpoch();
+        if (resume->hasSnapshot) {
+            auto envelope = durability::decodeSnapshotEnvelope(
+                resume->snapshotPayload);
+            if (!envelope.ok())
+                return envelope.status();
+            completed_on_disk = envelope.value().completed;
+            auto decoded = decodeOnlineState(envelope.value().state,
+                                             opts_, policy.name());
+            if (!decoded.ok())
+                return decoded.status();
+            state = decoded.take();
+        } else {
+            // Crash before the first snapshot: replay from epoch 0.
+            state = initState(policy);
+        }
+
+        // Re-execute the journaled epochs with trace emission
+        // suppressed (their events are already durable in the trace
+        // file), proving each one reproduces exactly what the crashed
+        // process committed. Determinism is the redo log; the digest
+        // is its proof obligation.
+        obs::TraceSink *saved = obs::setTraceSink(nullptr);
+        injector.emplace(opts_.faults,
+                         static_cast<std::size_t>(opts_.servers),
+                         epochs);
+        for (const durability::JournalEntry &entry : resume->entries) {
+            if (entry.epoch !=
+                static_cast<std::uint64_t>(state.epoch) + 1) {
+                obs::setTraceSink(saved);
+                return Status::error(
+                    ErrorKind::SemanticError, 0,
+                    "journal entry for epoch ", entry.epoch,
+                    " does not continue the snapshot state at epoch ",
+                    state.epoch);
+            }
+            runEpoch(state, policy, source, *injector);
+            const std::uint32_t digest =
+                crc32(encodeOnlineState(state, opts_));
+            if (digest != entry.eventCrc) {
+                obs::setTraceSink(saved);
+                return Status::error(
+                    ErrorKind::SemanticError, 0,
+                    "replay divergence at epoch ", entry.epoch,
+                    ": journaled state digest ", entry.eventCrc,
+                    ", replay produced ", digest,
+                    " (option, version, or determinism skew)");
+            }
+            ++replayed;
+        }
+        obs::setTraceSink(saved);
+        if (Status st = store.beginResume(*resume); !st.isOk())
+            return st;
+    } else {
+        state = initState(policy);
+        if (Status st = store.beginFresh(); !st.isOk())
+            return st;
+        emitRunStart(opts_, state.metrics.policyName);
+        injector.emplace(opts_.faults,
+                         static_cast<std::size_t>(opts_.servers),
+                         epochs);
+    }
+
+    while (state.epoch < epochs) {
+        runEpoch(state, policy, source, *injector);
+
+        // WAL rule: the trace bytes an entry claims as durable must be
+        // in the file before the entry itself commits.
+        auto *sink = obs::traceSink();
+        if (sink)
+            (void)sink->flush();
+
+        durability::JournalEntry entry;
+        entry.epoch = static_cast<std::uint64_t>(state.epoch);
+        const std::string encoded = encodeOnlineState(state, opts_);
+        entry.eventCrc = crc32(encoded);
+        entry.traceBytes = sink ? sink->bytesWritten() : 0;
+        entry.traceSeq = sink ? sink->currentSeq() : 0;
+        durability::OnlineSnapshotEnvelope env;
+        env.traceBytes = entry.traceBytes;
+        env.traceSeq = entry.traceSeq;
+        if (Status st = store.commitEpoch(entry, [&] {
+                env.state = encoded;
+                return durability::encodeSnapshotEnvelope(env);
+            });
+            !st.isOk())
+            return st;
+    }
+
+    // A run that already finished on disk has its run_end event in the
+    // durable trace; recompute the aggregates without emitting it
+    // twice.
+    OnlineMetrics metrics;
+    if (completed_on_disk) {
+        obs::TraceSink *saved = obs::setTraceSink(nullptr);
+        metrics = finalize(state);
+        obs::setTraceSink(saved);
+    } else {
+        metrics = finalize(state);
+    }
+
+    auto *sink = obs::traceSink();
+    if (sink)
+        (void)sink->flush();
+    durability::OnlineSnapshotEnvelope final_env;
+    final_env.completed = true;
+    final_env.traceBytes = sink ? sink->bytesWritten() : 0;
+    final_env.traceSeq = sink ? sink->currentSeq() : 0;
+    if (Status st = store.finishRun(
+            static_cast<std::uint64_t>(epochs),
+            [&] {
+                final_env.state = encodeOnlineState(state, opts_);
+                return durability::encodeSnapshotEnvelope(final_env);
+            });
+        !st.isOk())
+        return st;
+
+    const durability::DurabilityCounters &counters = store.counters();
+    metrics.recovered = resuming;
+    metrics.recoveryReplayedEpochs = replayed;
+    metrics.recoveryFrontierEpoch = frontier;
+    metrics.journalCommits = counters.journalAppends;
+    metrics.snapshotsWritten = counters.snapshotsWritten;
+    metrics.ioRetries = counters.ioRetries;
+    metrics.ioInjectedFaults = counters.injectedFaults;
+    metrics.ioBackoffUnits = counters.backoffUnits;
+    {
+        auto &reg = obs::metrics();
+        reg.counter("durability.journal_commits")
+            .add(counters.journalAppends);
+        reg.counter("durability.snapshots_written")
+            .add(counters.snapshotsWritten);
+        reg.counter("durability.io_retries").add(counters.ioRetries);
+        reg.counter("durability.io_injected_faults")
+            .add(counters.injectedFaults);
+        reg.counter("durability.replayed_epochs")
+            .add(static_cast<std::uint64_t>(replayed));
+        if (resuming)
+            reg.counter("durability.recoveries").add();
+    }
+    metrics.metricsSnapshot = obs::metrics().snapshot();
     return metrics;
 }
 

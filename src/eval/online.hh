@@ -21,13 +21,19 @@
 #ifndef AMDAHL_EVAL_ONLINE_HH
 #define AMDAHL_EVAL_ONLINE_HH
 
+#include <array>
 #include <cstdint>
+#include <deque>
+#include <string_view>
 #include <vector>
 
 #include "alloc/placement.hh"
 #include "alloc/policy.hh"
+#include "common/stats.hh"
+#include "common/status.hh"
 #include "eval/characterization.hh"
 #include "obs/metrics.hh"
+#include "robustness/durability/durable_store.hh"
 #include "robustness/fault_injector.hh"
 
 namespace amdahl::eval {
@@ -243,6 +249,34 @@ struct OnlineMetrics
      *  last checkpoint by crashes. */
     double workLostSeconds = 0.0;
 
+    // --- Durability accounting (all zero for non-durable runs and
+    //     excluded from encoded snapshot state, so a recovered run's
+    //     final snapshot is byte-identical to an uninterrupted one). ---
+
+    /** true when this run resumed from on-disk durable state. */
+    bool recovered = false;
+
+    /** Journaled epochs re-executed (and digest-verified) on resume. */
+    int recoveryReplayedEpochs = 0;
+
+    /** Durable epoch frontier found at restart (0 = fresh start). */
+    std::uint64_t recoveryFrontierEpoch = 0;
+
+    /** Epoch commits journaled by this process. */
+    std::uint64_t journalCommits = 0;
+
+    /** Full snapshots written by this process. */
+    std::uint64_t snapshotsWritten = 0;
+
+    /** Durable-IO retries after injected transient faults. */
+    std::uint64_t ioRetries = 0;
+
+    /** Transient IO faults injected into this process's writes. */
+    std::uint64_t ioInjectedFaults = 0;
+
+    /** Deterministic backoff accrued across retries (virtual units). */
+    std::uint64_t ioBackoffUnits = 0;
+
     /** Per-epoch jobs in the system (time series). */
     std::vector<double> occupancyHistory;
 
@@ -263,6 +297,75 @@ struct OnlineMetrics
      */
     obs::MetricsSnapshot metricsSnapshot;
 };
+
+/**
+ * The complete mutable state of an online run between two epochs.
+ *
+ * Everything the epoch loop reads or writes lives here — the RNG
+ * engine words, the job log, the admission queue, the placer, the
+ * Welford accumulators, and the partial metrics counters. Two
+ * properties the durability layer relies on:
+ *
+ *  - runEpoch(state) is a pure function of (state, options, policy):
+ *    advancing a restored state replays exactly the epochs the
+ *    original process ran (determinism is the redo log);
+ *  - encodeOnlineState() is a pure function of this struct, so the
+ *    per-epoch CRC digest and snapshot bytes are identical across the
+ *    original run, a recovery replay, and the equivalence oracle.
+ *
+ * `metrics.jobs` and `metrics.metricsSnapshot` stay empty until
+ * finalize(); recovery counters on OnlineMetrics are excluded from the
+ * encoding (they describe the *process*, not the simulation).
+ */
+struct OnlineRunState
+{
+    /** Next epoch index to run (== completed epoch count). */
+    int epoch = 0;
+    std::array<std::uint64_t, 4> rngState{};
+    std::vector<double> budgets;
+    std::vector<OnlineJob> jobs;
+    std::deque<OnlineJob> waitQueue;
+    std::size_t inFlight = 0;
+    double queueDelaySum = 0.0;
+    std::vector<char> live;
+    alloc::JobPlacerState placer;
+    OnlineStatsState occupancy;
+    OnlineStatsState weightedSpeedup;
+    std::vector<double> granted;
+    std::vector<double> entitled;
+    std::vector<double> entitledAvail;
+    /** Partial accumulators; aggregates are computed by finalize(). */
+    OnlineMetrics metrics;
+};
+
+/**
+ * @return CRC fingerprint of the scenario a state was produced under:
+ * every OnlineOptions knob plus the policy name. Snapshots embed it so
+ * recovery rejects state from a different configuration instead of
+ * replaying it into divergence.
+ */
+std::uint32_t onlineStateFingerprint(const OnlineOptions &opts,
+                                     std::string_view policyName);
+
+/**
+ * Serialize a run state to portable bytes (durability/codec.hh
+ * framing: little-endian fixed-width fields, length-prefixed
+ * containers). Pure function of (@p state, @p opts) — the recovery
+ * oracle compares these bytes directly.
+ */
+std::string encodeOnlineState(const OnlineRunState &state,
+                              const OnlineOptions &opts);
+
+/**
+ * Deserialize a run state.
+ *
+ * @return ParseError on malformed bytes, SemanticError on a version
+ * or fingerprint mismatch (the state was written by a different build
+ * or scenario) or internally inconsistent sizes.
+ */
+Result<OnlineRunState> decodeOnlineState(std::string_view payload,
+                                         const OnlineOptions &opts,
+                                         std::string_view policyName);
 
 /**
  * Epoch-driven online market simulator.
@@ -298,6 +401,70 @@ class OnlineSimulator
      */
     OnlineMetrics run(const alloc::AllocationPolicy &policy,
                       FractionSource source);
+
+    /**
+     * Run the scenario with crash-consistent persistence.
+     *
+     * Fresh start (@p resume null or empty): discards stale durable
+     * state, then runs epoch by epoch; after each epoch the trace sink
+     * is flushed and the epoch is committed to @p store (journal
+     * append carrying the state digest and trace frontier, full
+     * snapshot on the configured cadence). A process killed at *any*
+     * point can be restarted with the RecoveredState from
+     * store.recover(): the last good snapshot is decoded, the
+     * journaled epochs are re-executed with trace emission suppressed
+     * — each replayed epoch's state digest must match the journal, or
+     * the resume is refused with a SemanticError ("replay divergence":
+     * version skew, option skew, or a nondeterminism bug) — and the
+     * run continues live from the durable frontier.
+     *
+     * The caller owns the trace file: before installing the sink on a
+     * resume, truncate it to the envelope/entry trace frontier and
+     * call TraceSink::resume() (see tools/amdahl_market.cc), which
+     * makes the recovered trace byte-identical to an uninterrupted
+     * run's.
+     *
+     * @return The run metrics (recovery counters filled in), or the
+     * Status of the first unrecoverable durability failure (IO retries
+     * exhausted, undecodable snapshot, replay divergence).
+     */
+    Result<OnlineMetrics>
+    runDurable(const alloc::AllocationPolicy &policy,
+               FractionSource source,
+               durability::DurableStateStore &store,
+               const durability::RecoveredState *resume = nullptr);
+
+    /** @return Epochs in the horizon (ceil(horizon / epoch)). */
+    int epochCount() const;
+
+    /**
+     * Seed the RNG, draw tenant budgets, and size every container —
+     * the state a run starts from before epoch 0. Exposed (with
+     * runEpoch/finalize) so recovery tests can drive the loop
+     * directly.
+     */
+    OnlineRunState
+    initState(const alloc::AllocationPolicy &policy) const;
+
+    /**
+     * Advance @p state by one epoch: admit arrivals, clear the market
+     * over in-flight jobs, advance progress, retire completions, and
+     * apply this epoch's fault schedule. @p injector must be built
+     * from options().faults over epochCount() epochs (it is pure, so
+     * every process constructs the identical schedule).
+     */
+    void runEpoch(OnlineRunState &state,
+                  const alloc::AllocationPolicy &policy,
+                  FractionSource source,
+                  const robustness::FaultInjector &injector) const;
+
+    /**
+     * Compute the aggregate metrics of a finished (or mid-horizon)
+     * state: completion statistics, fairness MAPEs, queue stats, the
+     * registry counters, and the run_end trace event. Does not mutate
+     * @p state.
+     */
+    OnlineMetrics finalize(const OnlineRunState &state) const;
 
   private:
     CharacterizationCache &cache_;

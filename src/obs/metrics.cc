@@ -209,19 +209,35 @@ MetricsRegistry::reset()
         h->reset();
 }
 
-void
+namespace {
+
+/** @return ok when @p os survived the write + flush, IoError else. */
+Status
+streamStatus(std::ostream &os, const char *what)
+{
+    os.flush();
+    if (os.good())
+        return Status::ok();
+    return Status::error(ErrorKind::IoError, 0, what,
+                         " write failed (stream in a failed state; "
+                         "disk full or unwritable destination?)");
+}
+
+} // namespace
+
+Status
 MetricsRegistry::writeText(std::ostream &os) const
 {
-    snapshot().writeText(os);
+    return snapshot().writeText(os);
 }
 
-void
+Status
 MetricsRegistry::writeJson(std::ostream &os) const
 {
-    snapshot().writeJson(os);
+    return snapshot().writeJson(os);
 }
 
-void
+Status
 MetricsSnapshot::writeText(std::ostream &os) const
 {
     for (const auto &c : counters)
@@ -238,9 +254,10 @@ MetricsSnapshot::writeText(std::ostream &os) const
            << " p95=" << jsonNumber(h.quantile(0.95))
            << " p99=" << jsonNumber(h.quantile(0.99)) << "\n";
     }
+    return streamStatus(os, "metrics text");
 }
 
-void
+Status
 MetricsSnapshot::writeJson(std::ostream &os) const
 {
     std::string out;
@@ -289,6 +306,7 @@ MetricsSnapshot::writeJson(std::ostream &os) const
     }
     out += "}}";
     os << out;
+    return streamStatus(os, "metrics JSON");
 }
 
 MetricsRegistry &

@@ -38,6 +38,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/status.hh"
+
 namespace amdahl::obs {
 
 /** Monotonic event count. Saturates at the top of uint64 rather than
@@ -216,12 +218,18 @@ struct MetricsSnapshot
         return counters.empty() && gauges.empty() && histograms.empty();
     }
 
-    /** Human-readable dump, one metric per line. */
-    void writeText(std::ostream &os) const;
+    /**
+     * Human-readable dump, one metric per line.
+     *
+     * @return IoError when the stream is in a failed state after the
+     * write + flush (metrics silently lost to a full disk are a
+     * observability hole, not a shrug).
+     */
+    Status writeText(std::ostream &os) const;
 
     /** One JSON object: {"counters":{...},"gauges":{...},
-     *  "histograms":{...}}. */
-    void writeJson(std::ostream &os) const;
+     *  "histograms":{...}}. Same IoError contract as writeText. */
+    Status writeJson(std::ostream &os) const;
 };
 
 /**
@@ -254,8 +262,10 @@ class MetricsRegistry
     /** Zero every metric (names and bucket layouts persist). */
     void reset();
 
-    void writeText(std::ostream &os) const;
-    void writeJson(std::ostream &os) const;
+    /** Snapshot + MetricsSnapshot::writeText (same IoError contract). */
+    Status writeText(std::ostream &os) const;
+    /** Snapshot + MetricsSnapshot::writeJson (same IoError contract). */
+    Status writeJson(std::ostream &os) const;
 
   private:
     mutable std::mutex mutex_; // guards the maps, not the metrics

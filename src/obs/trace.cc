@@ -32,13 +32,45 @@ TraceSink::write(const std::string &line)
 {
     std::lock_guard<std::mutex> lock(writeMutex_);
     *os_ << line << '\n';
+    bytes_.fetch_add(line.size() + 1, std::memory_order_relaxed);
+    if (!failed_ && !os_->good()) {
+        failed_ = true;
+        failureText_ = "trace stream entered a failed state while "
+                       "writing event seq " +
+                       std::to_string(currentSeq());
+    }
 }
 
-void
+Status
 TraceSink::flush()
 {
     std::lock_guard<std::mutex> lock(writeMutex_);
     os_->flush();
+    if (!failed_ && !os_->good()) {
+        failed_ = true;
+        failureText_ = "trace stream failed on flush (disk full or "
+                       "unwritable destination?)";
+    }
+    if (failed_)
+        return Status::error(ErrorKind::IoError, 0, failureText_);
+    return Status::ok();
+}
+
+Status
+TraceSink::status() const
+{
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    if (failed_)
+        return Status::error(ErrorKind::IoError, 0, failureText_);
+    return Status::ok();
+}
+
+void
+TraceSink::resume(std::uint64_t bytes, std::uint64_t seq)
+{
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    bytes_.store(bytes, std::memory_order_relaxed);
+    seq_.store(seq, std::memory_order_relaxed);
 }
 
 TraceSink *

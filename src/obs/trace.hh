@@ -35,6 +35,8 @@
 #include <string_view>
 #include <type_traits>
 
+#include "common/status.hh"
+
 namespace amdahl::obs {
 
 /**
@@ -64,13 +66,55 @@ class TraceSink
     /** Write one complete JSON line (newline appended). */
     void write(const std::string &line);
 
-    /** Flush the underlying stream. */
-    void flush();
+    /**
+     * Flush the underlying stream.
+     *
+     * @return IoError when the stream entered a failed state — silent
+     * trace loss (disk full, EACCES target) must surface to the CLI
+     * instead of being swallowed. The failure also latches into
+     * status().
+     */
+    Status flush();
+
+    /**
+     * @return The first write/flush failure observed, or Status::ok().
+     * Stream badbit/failbit is checked on every write; the status is
+     * sticky so a transiently failing sink is still reported at exit.
+     */
+    Status status() const;
+
+    /** @return Bytes written so far (newlines included). After
+     *  resume(), counts continue from the restored offset. */
+    std::uint64_t
+    bytesWritten() const
+    {
+        return bytes_.load(std::memory_order_relaxed);
+    }
+
+    /** @return The last sequence number handed out (0 = none yet). */
+    std::uint64_t
+    currentSeq() const
+    {
+        return seq_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Continue an interrupted stream: the next event uses sequence
+     * @p seq + 1 and byte accounting starts at @p bytes. Used by crash
+     * recovery after truncating the trace file to its durable prefix,
+     * so a recovered run's trace is byte-identical to an uninterrupted
+     * one.
+     */
+    void resume(std::uint64_t bytes, std::uint64_t seq);
 
   private:
     std::ostream *os_;
-    std::mutex writeMutex_;
+    mutable std::mutex writeMutex_;
     std::atomic<std::uint64_t> seq_{0};
+    std::atomic<std::uint64_t> bytes_{0};
+    /** Guarded by writeMutex_; first failure wins. */
+    bool failed_ = false;
+    std::string failureText_;
 };
 
 /** @return The installed sink, or nullptr when tracing is disabled.

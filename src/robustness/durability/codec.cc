@@ -1,0 +1,177 @@
+#include "robustness/durability/codec.hh"
+
+#include <cstring>
+
+namespace amdahl::durability {
+
+namespace {
+
+void
+appendLe(std::string &buf, std::uint64_t v, int bytes)
+{
+    for (int i = 0; i < bytes; ++i)
+        buf.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+}
+
+} // namespace
+
+void
+ByteWriter::putU32(std::uint32_t v)
+{
+    appendLe(buf, v, 4);
+}
+
+void
+ByteWriter::putU64(std::uint64_t v)
+{
+    appendLe(buf, v, 8);
+}
+
+void
+ByteWriter::putF64(double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    putU64(bits);
+}
+
+void
+ByteWriter::putString(std::string_view s)
+{
+    putU64(s.size());
+    buf.append(s.data(), s.size());
+}
+
+void
+ByteWriter::putF64Vector(const std::vector<double> &v)
+{
+    putU64(v.size());
+    for (double x : v)
+        putF64(x);
+}
+
+void
+ByteWriter::putU64Vector(const std::vector<std::uint64_t> &v)
+{
+    putU64(v.size());
+    for (std::uint64_t x : v)
+        putU64(x);
+}
+
+bool
+ByteReader::need(std::size_t n, const char *what)
+{
+    if (!st.isOk())
+        return false;
+    if (in.size() - pos < n) {
+        st = Status::error(ErrorKind::ParseError, 0, "truncated record: ",
+                           what, " needs ", n, " bytes, ",
+                           in.size() - pos, " remain at offset ", pos);
+        return false;
+    }
+    return true;
+}
+
+std::uint32_t
+ByteReader::readU32()
+{
+    if (!need(4, "u32"))
+        return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(in[pos + i]))
+             << (8 * i);
+    pos += 4;
+    return v;
+}
+
+std::uint64_t
+ByteReader::readU64()
+{
+    if (!need(8, "u64"))
+        return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(in[pos + i]))
+             << (8 * i);
+    pos += 8;
+    return v;
+}
+
+double
+ByteReader::readF64()
+{
+    const std::uint64_t bits = readU64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return st.isOk() ? v : 0.0;
+}
+
+std::string
+ByteReader::readString()
+{
+    const std::uint64_t len = readU64();
+    // The length prefix is untrusted: cap it by the bytes actually
+    // present before allocating.
+    if (st.isOk() && len > in.size() - pos) {
+        st = Status::error(ErrorKind::ParseError, 0, "string length ",
+                           len, " exceeds the ", in.size() - pos,
+                           " bytes remaining at offset ", pos);
+    }
+    if (!need(static_cast<std::size_t>(len), "string body"))
+        return {};
+    std::string s(in.substr(pos, static_cast<std::size_t>(len)));
+    pos += static_cast<std::size_t>(len);
+    return s;
+}
+
+std::vector<double>
+ByteReader::readF64Vector()
+{
+    const std::uint64_t count = readU64();
+    if (st.isOk() && count > (in.size() - pos) / 8) {
+        st = Status::error(ErrorKind::ParseError, 0, "vector count ",
+                           count, " exceeds the ", (in.size() - pos) / 8,
+                           " doubles remaining at offset ", pos);
+    }
+    std::vector<double> v;
+    if (!st.isOk())
+        return v;
+    v.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count && st.isOk(); ++i)
+        v.push_back(readF64());
+    return v;
+}
+
+std::vector<std::uint64_t>
+ByteReader::readU64Vector()
+{
+    const std::uint64_t count = readU64();
+    if (st.isOk() && count > (in.size() - pos) / 8) {
+        st = Status::error(ErrorKind::ParseError, 0, "vector count ",
+                           count, " exceeds the ", (in.size() - pos) / 8,
+                           " words remaining at offset ", pos);
+    }
+    std::vector<std::uint64_t> v;
+    if (!st.isOk())
+        return v;
+    v.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count && st.isOk(); ++i)
+        v.push_back(readU64());
+    return v;
+}
+
+void
+ByteReader::expectEnd()
+{
+    if (st.isOk() && pos != in.size()) {
+        st = Status::error(ErrorKind::ParseError, 0, remaining(),
+                           " unexpected trailing bytes after a "
+                           "complete record");
+    }
+}
+
+} // namespace amdahl::durability

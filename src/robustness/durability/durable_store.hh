@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Crash-consistent persistence for OnlineSimulator epochs.
+ *
+ * DurableStateStore ties the journal and snapshot layers into the
+ * commit protocol the online runtime drives once per epoch:
+ *
+ *   1. journal.append(entry)      — the epoch's verification digest
+ *      and trace frontier become durable (WAL rule: nothing the epoch
+ *      produced is observable until this fsync returns);
+ *   2. every snapshotEvery epochs: snapshot.write(full state) then
+ *      journal.reset() — the snapshot makes journaled epochs
+ *      redundant, so the journal truncates back to a bare header.
+ *
+ * A journal entry is deliberately *not* a state delta. It records the
+ * epoch number, a CRC digest of everything the epoch admitted
+ * (arrivals, placements, admission decisions, completions, churn,
+ * allocations, RNG state), and the trace-file frontier. Recovery
+ * loads the last good snapshot and *re-executes* the journaled epochs
+ * through the same simulator code — determinism is the redo log. The
+ * journaled digest then proves the replay reproduced exactly what the
+ * crashed process committed; any divergence (version skew, a
+ * nondeterminism bug, a tampered journal) is detected and reported
+ * instead of silently producing different history.
+ *
+ * See DESIGN.md §13 for the full recovery state machine.
+ */
+
+#ifndef AMDAHL_ROBUSTNESS_DURABILITY_DURABLE_STORE_HH
+#define AMDAHL_ROBUSTNESS_DURABILITY_DURABLE_STORE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+#include "robustness/durability/io_faults.hh"
+#include "robustness/durability/journal.hh"
+#include "robustness/durability/posix_io.hh"
+#include "robustness/durability/snapshot.hh"
+
+namespace amdahl::durability {
+
+/** Durability knobs (CLI: --state-dir / --snapshot-every / --recover). */
+struct DurabilityOptions
+{
+    /** Directory for journal + snapshots; created when absent. */
+    std::string stateDir;
+    /** Epochs between full snapshots; 0 = final snapshot only. */
+    int snapshotEvery = 8;
+    /** Snapshot generations to retain (>= 1). */
+    int keepSnapshots = 2;
+    /** Transient-IO fault injection (off by default). */
+    IoFaultOptions ioFaults;
+};
+
+/** @return DomainError when a knob is outside its documented range. */
+Status validateDurabilityOptions(const DurabilityOptions &opts);
+
+/** One committed epoch, as journaled. */
+struct JournalEntry
+{
+    /** 1-based count of completed epochs (epoch index + 1). */
+    std::uint64_t epoch = 0;
+    /** Digest of everything the epoch admitted (see file comment). */
+    std::uint32_t eventCrc = 0;
+    /** Trace-sink bytes durable through this epoch. */
+    std::uint64_t traceBytes = 0;
+    /** Trace-sink sequence number through this epoch. */
+    std::uint64_t traceSeq = 0;
+};
+
+/**
+ * The payload framing of every snapshot file.
+ *
+ * The envelope separates what the *durability* layer must know on
+ * recovery (the trace-file frontier to truncate to, and whether the
+ * run had already finalized so its run_end event is durable) from the
+ * opaque simulator state bytes. The replay digest covers only `state`,
+ * so it is identical with and without a trace sink installed.
+ */
+struct OnlineSnapshotEnvelope
+{
+    /** true when written by finishRun (run_end already emitted). */
+    bool completed = false;
+    /** Trace-sink bytes durable as of this snapshot. */
+    std::uint64_t traceBytes = 0;
+    /** Trace-sink sequence number as of this snapshot. */
+    std::uint64_t traceSeq = 0;
+    /** Encoded simulator state (eval::encodeOnlineState bytes). */
+    std::string state;
+};
+
+/** Encode a snapshot envelope to payload bytes. */
+std::string encodeSnapshotEnvelope(const OnlineSnapshotEnvelope &env);
+
+/** Decode a snapshot payload; ParseError/SemanticError on bad bytes. */
+Result<OnlineSnapshotEnvelope>
+decodeSnapshotEnvelope(std::string_view payload);
+
+/** Everything recover() could verify on disk. */
+struct RecoveredState
+{
+    /** Epoch of the snapshot (0 with hasSnapshot = false: none). */
+    std::uint64_t snapshotEpoch = 0;
+    bool hasSnapshot = false;
+    /** Encoded OnlineRunState bytes (decode in eval/online). */
+    std::string snapshotPayload;
+    /** Journaled epochs after the snapshot, strictly contiguous. */
+    std::vector<JournalEntry> entries;
+    /** true when corrupt bytes had to be discarded from the journal. */
+    bool tornTail = false;
+    /** Truncation point for resuming the journal. */
+    std::uint64_t journalValidBytes = 0;
+    /** true when the journal file needs re-creation (unusable). */
+    bool journalUsable = false;
+    /** Human-readable anomaly notes, in detection order. */
+    std::vector<std::string> notes;
+
+    /** @return The newest durable epoch (0 = nothing durable). */
+    std::uint64_t
+    frontierEpoch() const
+    {
+        return entries.empty() ? snapshotEpoch : entries.back().epoch;
+    }
+};
+
+/**
+ * The per-run persistence handle. Lifecycle:
+ *
+ *     open() -> recover() -> beginFresh() | beginResume(rec)
+ *            -> commitEpoch()*            (once per epoch)
+ *            -> finishRun()               (final snapshot)
+ */
+class DurableStateStore
+{
+  public:
+    /** Validate options and create the state directory. */
+    static Result<DurableStateStore> open(DurabilityOptions opts);
+
+    /**
+     * Read-only scan of the state directory: last good snapshot,
+     * verified journal prefix filtered to epochs after the snapshot
+     * and checked for contiguity (a gap or duplicate ends the usable
+     * prefix with a note). Never mutates disk.
+     */
+    RecoveredState recover() const;
+
+    /** Discard any previous state and start a fresh journal. */
+    Status beginFresh();
+
+    /**
+     * Resume after recover(): truncate the journal to the verified
+     * prefix (or re-create it when unusable) and open for append.
+     */
+    Status beginResume(const RecoveredState &rec);
+
+    /**
+     * Commit one epoch: journal append, then on the snapshot cadence
+     * a full snapshot + journal reset. @p encodeState is only invoked
+     * when a snapshot is actually taken. Brackets the work with the
+     * epoch.pre_commit / epoch.post_commit kill points.
+     */
+    Status commitEpoch(const JournalEntry &entry,
+                       const std::function<std::string()> &encodeState);
+
+    /** Final snapshot at @p epoch + journal reset (run completed). */
+    Status finishRun(std::uint64_t epoch,
+                     const std::function<std::string()> &encodeState);
+
+    /** @return Cumulative IO/fault/commit counters. */
+    const DurabilityCounters &counters() const { return *counters_; }
+
+    /** @return The configured options. */
+    const DurabilityOptions &options() const { return opts_; }
+
+    /** @return The journal file path inside the state directory. */
+    std::string journalPath() const { return opts_.stateDir + "/journal.amjl"; }
+
+    /** Encode one journal entry payload (exposed for tests). */
+    static std::string encodeEntry(const JournalEntry &entry);
+
+    /** Decode one journal entry payload (exposed for tests). */
+    static Result<JournalEntry> decodeEntry(std::string_view payload);
+
+  private:
+    DurableStateStore(DurabilityOptions opts)
+        : opts_(std::move(opts)),
+          snapshots_(opts_.stateDir, opts_.keepSnapshots),
+          io_(IoFaultInjector(opts_.ioFaults), counters_.get())
+    {}
+
+    /** Snapshot + journal reset at @p epoch. */
+    Status takeSnapshot(std::uint64_t epoch,
+                        const std::function<std::string()> &encodeState);
+
+    DurabilityOptions opts_;
+    SnapshotStore snapshots_;
+    /** Heap-held so IoContext's pointer survives moving the store
+     *  (e.g. out of the Result returned by open()). */
+    std::unique_ptr<DurabilityCounters> counters_ =
+        std::make_unique<DurabilityCounters>();
+    IoContext io_;
+    std::optional<Journal> journal_;
+    std::uint64_t lastSnapshotEpoch_ = 0;
+};
+
+} // namespace amdahl::durability
+
+#endif // AMDAHL_ROBUSTNESS_DURABILITY_DURABLE_STORE_HH

@@ -1,0 +1,216 @@
+#include "robustness/durability/snapshot.hh"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/crc32.hh"
+#include "robustness/durability/codec.hh"
+#include "robustness/durability/kill_points.hh"
+
+namespace amdahl::durability {
+
+namespace {
+
+constexpr char kMagic[4] = {'A', 'M', 'S', 'S'};
+constexpr std::string_view kPrefix = "snapshot-";
+constexpr std::string_view kSuffix = ".amss";
+constexpr std::string_view kTmpSuffix = ".amss.tmp";
+
+std::string
+epochTag(std::uint64_t epoch)
+{
+    std::string digits = std::to_string(epoch);
+    if (digits.size() < 8)
+        digits.insert(0, 8 - digits.size(), '0');
+    return digits;
+}
+
+/** @return The epoch encoded in a `snapshot-XXXXXXXX.amss` file name,
+ *  or nullopt when @p name does not match the pattern. */
+std::optional<std::uint64_t>
+epochFromName(std::string_view name)
+{
+    if (name.size() < kPrefix.size() + kSuffix.size() + 1 ||
+        name.substr(0, kPrefix.size()) != kPrefix ||
+        name.substr(name.size() - kSuffix.size()) != kSuffix)
+        return std::nullopt;
+    const std::string_view digits = name.substr(
+        kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size());
+    std::uint64_t epoch = 0;
+    for (const char c : digits) {
+        if (c < '0' || c > '9')
+            return std::nullopt;
+        epoch = epoch * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return epoch;
+}
+
+} // namespace
+
+Result<SnapshotData>
+SnapshotStore::decodeFile(const std::string &path)
+{
+    auto bytes = readFileBytes(path);
+    if (!bytes.ok())
+        return bytes.status();
+    const std::string data = bytes.take();
+    if (data.empty())
+        return Status::error(ErrorKind::ParseError, 0,
+                             "snapshot is zero-length");
+    if (data.size() < 4 || data.compare(0, 4, kMagic, 4) != 0)
+        return Status::error(ErrorKind::ParseError, 0,
+                             "snapshot magic is missing or wrong");
+    ByteReader r(std::string_view(data).substr(4));
+    const std::uint32_t version = r.readU32();
+    const std::uint64_t epoch = r.readU64();
+    const std::uint64_t len = r.readU64();
+    const std::uint32_t want = r.readU32();
+    if (!r.ok())
+        return r.status();
+    if (version != kVersion)
+        return Status::error(ErrorKind::SemanticError, 0,
+                             "snapshot version ", version,
+                             " does not match supported version ",
+                             kVersion);
+    if (len > kMaxPayloadBytes)
+        return Status::error(ErrorKind::ParseError, 0,
+                             "implausible snapshot payload length ",
+                             len);
+    if (r.remaining() != len)
+        return Status::error(ErrorKind::ParseError, 0,
+                             "snapshot payload truncated: header "
+                             "promises ",
+                             len, " bytes, ", r.remaining(),
+                             " present");
+    const std::string_view payload =
+        std::string_view(data).substr(data.size() - r.remaining());
+    if (crc32(payload) != want)
+        return Status::error(ErrorKind::ParseError, 0,
+                             "snapshot checksum mismatch");
+    return SnapshotData{epoch, std::string(payload)};
+}
+
+SnapshotLoad
+SnapshotStore::loadLatest() const
+{
+    SnapshotLoad out;
+    std::vector<std::pair<std::uint64_t, std::string>> candidates;
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir_, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (const auto epoch = epochFromName(name))
+            candidates.emplace_back(*epoch, entry.path().string());
+    }
+    // Newest first; the filename epoch is only a hint — the decoded
+    // header epoch is authoritative and must agree.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto &a, const auto &b) { return a.first > b.first; });
+    for (const auto &[epoch, path] : candidates) {
+        auto decoded = decodeFile(path);
+        if (!decoded.ok()) {
+            out.rejected.push_back(path + ": " +
+                                   decoded.status().toString());
+            continue;
+        }
+        SnapshotData snap = decoded.take();
+        if (snap.epoch != epoch) {
+            out.rejected.push_back(
+                path + ": header epoch " + std::to_string(snap.epoch) +
+                " disagrees with the file name");
+            continue;
+        }
+        out.snapshot = std::move(snap);
+        break;
+    }
+    return out;
+}
+
+std::string
+SnapshotStore::pathFor(std::uint64_t epoch) const
+{
+    return dir_ + "/" + std::string(kPrefix) + epochTag(epoch) +
+           std::string(kSuffix);
+}
+
+Status
+SnapshotStore::write(std::uint64_t epoch, std::string_view payload,
+                     IoContext &io)
+{
+    ByteWriter header;
+    header.putU32(static_cast<std::uint32_t>(kMagic[0]) |
+                  static_cast<std::uint32_t>(kMagic[1]) << 8 |
+                  static_cast<std::uint32_t>(kMagic[2]) << 16 |
+                  static_cast<std::uint32_t>(kMagic[3]) << 24);
+    header.putU32(kVersion);
+    header.putU64(epoch);
+    header.putU64(payload.size());
+    header.putU32(crc32(payload));
+    const std::string head = header.take();
+
+    const std::string finalPath = pathFor(epoch);
+    const std::string tmpPath = dir_ + "/" + std::string(kPrefix) +
+                                epochTag(epoch) +
+                                std::string(kTmpSuffix);
+
+    killPoint("snapshot.pre_write");
+    Status st = io.run("snapshot write", [&]() -> Status {
+        // Recreate the tmp from scratch on every attempt, so a failed
+        // attempt never leaves half-written bytes in the next one.
+        auto opened = PosixFile::createTruncate(tmpPath);
+        if (!opened.ok())
+            return opened.status();
+        PosixFile tmp = opened.take();
+        if (Status w = tmp.writeAll(head.data(), head.size()); !w.isOk())
+            return w;
+        const std::size_t half = payload.size() / 2;
+        if (Status w = tmp.writeAll(payload.data(), half); !w.isOk())
+            return w;
+        // Torn-write crash site: a partial tmp file, never renamed —
+        // recovery must ignore it entirely.
+        killPoint("snapshot.mid_write");
+        if (Status w = tmp.writeAll(payload.data() + half,
+                                    payload.size() - half);
+            !w.isOk())
+            return w;
+        if (Status s = tmp.sync(); !s.isOk())
+            return s;
+        return tmp.close();
+    });
+    if (!st.isOk())
+        return st;
+
+    killPoint("snapshot.pre_rename");
+    st = io.run("snapshot rename",
+                [&]() -> Status { return renameFile(tmpPath, finalPath); });
+    if (!st.isOk())
+        return st;
+    killPoint("snapshot.post_rename");
+    st = io.run("state dir sync",
+                [&]() -> Status { return syncDir(dir_); });
+    if (!st.isOk())
+        return st;
+
+    // Prune: drop generations beyond the keep count and stale tmps.
+    // Best-effort — a prune failure must not fail the commit.
+    std::vector<std::pair<std::uint64_t, std::string>> generations;
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir_, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (const auto e = epochFromName(name))
+            generations.emplace_back(*e, entry.path().string());
+        else if (name.size() > kTmpSuffix.size() &&
+                 name.substr(name.size() - kTmpSuffix.size()) ==
+                     kTmpSuffix)
+            (void)removeFile(entry.path().string());
+    }
+    std::sort(generations.begin(), generations.end(),
+              [](const auto &a, const auto &b) { return a.first > b.first; });
+    for (std::size_t i = static_cast<std::size_t>(keep_);
+         i < generations.size(); ++i)
+        (void)removeFile(generations[i].second);
+    return Status::ok();
+}
+
+} // namespace amdahl::durability

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Checksummed full-state snapshots.
+ *
+ * On-disk layout of `snapshot-<epoch:08>.amss` (little-endian):
+ *
+ *     "AMSS" | u32 version | u64 epoch | u64 payloadLen |
+ *     u32 crc32(payload) | payload bytes
+ *
+ * Publication follows the classic atomic-rename protocol: the bytes
+ * are written to a `.tmp` sibling, fsynced, renamed over the final
+ * name, and the directory is fsynced. A reader therefore never sees a
+ * partially written snapshot under the final name; a crash can only
+ * leave a stale `.tmp` (ignored and pruned) or no file at all.
+ *
+ * loadLatest() walks snapshots newest-first and returns the first one
+ * that verifies — a corrupt newest snapshot (bit rot, version skew,
+ * tampering) is *rejected with a note* and the previous one is used,
+ * which is why write() retains keepSnapshots generations instead of
+ * exactly one.
+ */
+
+#ifndef AMDAHL_ROBUSTNESS_DURABILITY_SNAPSHOT_HH
+#define AMDAHL_ROBUSTNESS_DURABILITY_SNAPSHOT_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hh"
+#include "robustness/durability/posix_io.hh"
+
+namespace amdahl::durability {
+
+/** One decoded, checksum-verified snapshot. */
+struct SnapshotData
+{
+    std::uint64_t epoch = 0;
+    std::string payload;
+};
+
+/** Outcome of loadLatest(): the newest verifiable snapshot, if any. */
+struct SnapshotLoad
+{
+    std::optional<SnapshotData> snapshot;
+    /** Notes for every newer snapshot that failed verification. */
+    std::vector<std::string> rejected;
+};
+
+/** Manages the snapshot generation files in one state directory. */
+class SnapshotStore
+{
+  public:
+    static constexpr std::uint32_t kVersion = 1;
+    /** Sanity cap on a snapshot payload (bounds allocation). */
+    static constexpr std::uint64_t kMaxPayloadBytes = 1ull << 30;
+
+    /**
+     * @param dir  State directory (must exist).
+     * @param keep Generations to retain (>= 1).
+     */
+    SnapshotStore(std::string dir, int keep)
+        : dir_(std::move(dir)), keep_(keep)
+    {}
+
+    /**
+     * Verify and decode one snapshot file (any path). Used by
+     * loadLatest() and directly by the corruption-corpus tests.
+     */
+    static Result<SnapshotData> decodeFile(const std::string &path);
+
+    /** @return The newest verifiable snapshot in the directory, with
+     *  notes for every newer one that had to be rejected. */
+    SnapshotLoad loadLatest() const;
+
+    /**
+     * Durably publish a snapshot for @p epoch (tmp + fsync + rename +
+     * dir fsync), then prune generations beyond the keep count and any
+     * stale tmp files. Hits the snapshot.pre_write / mid_write /
+     * pre_rename / post_rename kill points.
+     */
+    Status write(std::uint64_t epoch, std::string_view payload,
+                 IoContext &io);
+
+    /** @return The final path for @p epoch's snapshot file. */
+    std::string pathFor(std::uint64_t epoch) const;
+
+  private:
+    std::string dir_;
+    int keep_;
+};
+
+} // namespace amdahl::durability
+
+#endif // AMDAHL_ROBUSTNESS_DURABILITY_SNAPSHOT_HH

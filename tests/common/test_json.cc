@@ -87,7 +87,7 @@ TEST(Json, TablePrinterUsesSharedEscaping)
     t.addColumn("value");
     t.addRow({"quote\"backslash\\", "1"});
     std::ostringstream os;
-    t.writeJson(os);
+    EXPECT_TRUE(t.writeJson(os).isOk());
     const std::string out = os.str();
     EXPECT_NE(out.find("quote\\\"backslash\\\\"), std::string::npos)
         << out;

@@ -102,7 +102,7 @@ TEST(Table, WriteCsvMatchesContent)
     t.addColumn("v");
     t.addRow({"a,b", "1"});
     std::ostringstream os;
-    t.writeCsv(os);
+    EXPECT_TRUE(t.writeCsv(os).isOk());
     EXPECT_EQ(os.str(), "name,v\n\"a,b\",1\n");
 }
 
@@ -154,7 +154,7 @@ TEST(Table, WriteJsonEmitsRowObjects)
     t.beginRow().cell("AB").cell(3.25, 2);
     t.beginRow().cell("PS").cell(1.5, 1);
     std::ostringstream os;
-    t.writeJson(os);
+    EXPECT_TRUE(t.writeJson(os).isOk());
     EXPECT_EQ(os.str(), "[\n"
                         " {\"policy\": \"AB\", \"speedup\": \"3.25\"},\n"
                         " {\"policy\": \"PS\", \"speedup\": \"1.5\"}\n"
@@ -167,7 +167,7 @@ TEST(Table, WriteJsonEscapesSpecials)
     t.addColumn("name");
     t.addRow({"say \"hi\"\\\n"});
     std::ostringstream os;
-    t.writeJson(os);
+    EXPECT_TRUE(t.writeJson(os).isOk());
     EXPECT_EQ(os.str(), "[\n"
                         " {\"name\": \"say \\\"hi\\\"\\\\\\n\"}\n"
                         "]\n");
@@ -178,7 +178,7 @@ TEST(Table, WriteJsonEmptyTable)
     TablePrinter t;
     t.addColumn("only");
     std::ostringstream os;
-    t.writeJson(os);
+    EXPECT_TRUE(t.writeJson(os).isOk());
     EXPECT_EQ(os.str(), "[]\n");
 }
 

@@ -1,0 +1,25 @@
+// Fixture: raw file IO in core code. Durable artifacts must go
+// through robustness/durability or a designated sink; each construct
+// below is a TRUST-fio finding.
+#include <cstdio>
+#include <fstream>
+
+namespace fixture {
+
+void
+writeArtifact(const char *path)
+{
+    std::ofstream out(path);
+    out << "data\n";
+}
+
+void
+publish(const char *from, const char *to)
+{
+    std::FILE *f = std::fopen(from, "wb");
+    if (f != nullptr)
+        std::fclose(f);
+    std::rename(from, to);
+}
+
+} // namespace fixture

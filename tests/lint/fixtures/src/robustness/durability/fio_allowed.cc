@@ -1,0 +1,22 @@
+// Fixture: the durability layer is the designated owner of raw file
+// IO — the same constructs that fire as TRUST-fio in core/ stay
+// silent here.
+#include <cstdio>
+#include <fstream>
+
+namespace fixture {
+
+void
+journalAppend(const char *path)
+{
+    std::ofstream out(path, std::ios::app);
+    out << "record\n";
+}
+
+void
+atomicPublish(const char *tmp, const char *final_path)
+{
+    std::rename(tmp, final_path);
+}
+
+} // namespace fixture

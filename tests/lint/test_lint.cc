@@ -51,7 +51,7 @@ tally(const LintReport &report)
 TEST(LintCorpus, DiscoversTheWholeFixtureTree)
 {
     const auto files = discoverFiles(kRoot);
-    EXPECT_EQ(files.size(), 20u);
+    EXPECT_EQ(files.size(), 22u);
     // Sorted, repo-relative, forward slashes.
     EXPECT_FALSE(files.empty());
     EXPECT_EQ(files.front().substr(0, 4), "src/");
@@ -68,6 +68,7 @@ TEST(LintCorpus, EachRuleFiresExactlyOnItsFixture)
         {{"src/core/trust_throw_violation.cc", "TRUST-throw"}, 1},
         {{"src/core/trust_catch_violation.cc", "TRUST-catch"}, 1},
         {{"src/core/obs_io_violation.cc", "OBS-io"}, 2},
+        {{"src/core/trust_fio_violation.cc", "TRUST-fio"}, 3},
         {{"src/core/conc_global_violation.cc", "CONC-global"}, 2},
         {{"src/core/suppressed.cc", "CONC-global"}, 2},
         {{"src/core/alint_malformed.cc", "META-alint"}, 2},
@@ -90,6 +91,7 @@ TEST(LintCorpus, CleanCounterpartsAndAllowlistedOwnersStaySilent)
              "src/common/logging.cc",
              "src/obs/clock_allowed.cc",
              "src/exec/probe_allowed.cc",
+             "src/robustness/durability/fio_allowed.cc",
          }) {
         for (const auto &[key, count] : counts)
             EXPECT_NE(key.first, file)
@@ -110,10 +112,10 @@ TEST(LintCorpus, InlineSuppressionSilencesButStaysVisible)
     EXPECT_EQ(suppressed, 2);
 
     const FindingCounts counts = countFindings(report);
-    EXPECT_EQ(counts.total, 21);
+    EXPECT_EQ(counts.total, 24);
     EXPECT_EQ(counts.suppressed, 2);
     EXPECT_EQ(counts.baselined, 0);
-    EXPECT_EQ(counts.active, 19);
+    EXPECT_EQ(counts.active, 22);
 }
 
 TEST(LintCorpus, MalformedMarkersNeverSuppress)
@@ -147,7 +149,7 @@ TEST(LintBaseline, MatchesByRuleFileAndLineText)
     EXPECT_TRUE(sawBaselined);
     const FindingCounts counts = countFindings(report);
     EXPECT_EQ(counts.baselined, 1);
-    EXPECT_EQ(counts.active, 18);
+    EXPECT_EQ(counts.active, 21);
     EXPECT_TRUE(report.staleBaseline.empty());
 }
 
@@ -200,10 +202,10 @@ TEST(LintReportFormat, JsonCarriesTheDocumentedSchema)
     EXPECT_NE(json.find("\"rule\":\"DET-rand\""), std::string::npos);
     EXPECT_NE(json.find("\"file\":\"src/core/det_rand_violation.cc\""),
               std::string::npos);
-    EXPECT_NE(json.find("\"counts\":{\"total\":21,\"active\":19,"
+    EXPECT_NE(json.find("\"counts\":{\"total\":24,\"active\":22,"
                         "\"baselined\":0,\"suppressed\":2}"),
               std::string::npos);
-    EXPECT_NE(json.find("\"filesScanned\":20"), std::string::npos);
+    EXPECT_NE(json.find("\"filesScanned\":22"), std::string::npos);
     EXPECT_EQ(json.back(), '}');
 }
 

@@ -171,7 +171,7 @@ TEST(Registry, JsonExportHasStableShape)
     reg.gauge("residual").set(0.5);
     reg.histogram("lat_us", {1.0, 4.0}).record(2.0);
     std::ostringstream os;
-    reg.writeJson(os);
+    EXPECT_TRUE(reg.writeJson(os).isOk());
     const std::string out = os.str();
     EXPECT_NE(out.find("\"counters\":{\"solves\":2}"),
               std::string::npos)
@@ -194,7 +194,7 @@ TEST(Registry, TextExportListsEveryMetric)
     reg.gauge("g").set(1.0);
     reg.histogram("h", {1.0}).record(0.5);
     std::ostringstream os;
-    reg.writeText(os);
+    EXPECT_TRUE(reg.writeText(os).isOk());
     const std::string out = os.str();
     EXPECT_NE(out.find("counter c = 1"), std::string::npos);
     EXPECT_NE(out.find("gauge g = 1"), std::string::npos);

@@ -1,0 +1,741 @@
+/**
+ * @file
+ * Unit tests for the durability layer: codec, journal, snapshots,
+ * deterministic IO-fault injection, and the DurableStateStore commit
+ * and recovery protocol.
+ *
+ * On-disk corruption coverage lives in two places: synthetic
+ * corruption is crafted inline here (torn tails, bit flips, stale
+ * records), and the checked-in corpus under
+ * tests/data/malformed/durability/ pins the byte-level formats so a
+ * codec change that silently accepts garbage fails loudly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/crc32.hh"
+#include "common/status.hh"
+#include "robustness/durability/codec.hh"
+#include "robustness/durability/durable_store.hh"
+#include "robustness/durability/io_faults.hh"
+#include "robustness/durability/journal.hh"
+#include "robustness/durability/posix_io.hh"
+#include "robustness/durability/snapshot.hh"
+
+#ifndef AMDAHL_TEST_DATA_DIR
+#error "AMDAHL_TEST_DATA_DIR must point at tests/data"
+#endif
+
+namespace amdahl::durability {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** A per-test scratch directory, wiped at the start of each test. */
+fs::path
+freshDir()
+{
+    const auto *info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    fs::path dir = fs::temp_directory_path() / "amdahl_durability_test" /
+                   (std::string(info->test_suite_name()) + "." +
+                    info->name());
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+void
+writeBytes(const fs::path &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << path;
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.good()) << path;
+}
+
+std::string
+readBytes(const fs::path &path)
+{
+    auto bytes = readFileBytes(path.string());
+    EXPECT_TRUE(bytes.ok()) << bytes.status().toString();
+    return bytes.ok() ? bytes.take() : std::string();
+}
+
+/** An IoContext with injection disabled, for direct layer tests. */
+struct PlainIo
+{
+    DurabilityCounters counters;
+    IoContext io{IoFaultInjector(IoFaultOptions{}), &counters};
+};
+
+// --- codec -----------------------------------------------------------
+
+TEST(DurabilityCodec, RoundTripsEveryPrimitive)
+{
+    ByteWriter w;
+    w.putU32(0xDEADBEEFu);
+    w.putU64(0x0123456789ABCDEFull);
+    w.putF64(-1234.5678);
+    w.putString("length-prefixed \0 bytes");
+    w.putF64Vector({0.0, -0.25, 1e300});
+    w.putU64Vector({1, 2, 3});
+
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.readU32(), 0xDEADBEEFu);
+    EXPECT_EQ(r.readU64(), 0x0123456789ABCDEFull);
+    EXPECT_DOUBLE_EQ(r.readF64(), -1234.5678);
+    EXPECT_EQ(r.readString(), "length-prefixed \0 bytes");
+    EXPECT_EQ(r.readF64Vector(),
+              (std::vector<double>{0.0, -0.25, 1e300}));
+    EXPECT_EQ(r.readU64Vector(), (std::vector<std::uint64_t>{1, 2, 3}));
+    r.expectEnd();
+    EXPECT_TRUE(r.ok()) << r.status().toString();
+}
+
+TEST(DurabilityCodec, UnderrunLatchesAParseError)
+{
+    ByteWriter w;
+    w.putU32(7);
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.readU64(), 0u); // only 4 bytes present
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status().kind(), ErrorKind::ParseError);
+    // Every subsequent read stays zero instead of touching memory.
+    EXPECT_EQ(r.readU32(), 0u);
+    EXPECT_EQ(r.readString(), "");
+    EXPECT_TRUE(r.readF64Vector().empty());
+}
+
+TEST(DurabilityCodec, ImplausibleLengthPrefixIsRejected)
+{
+    ByteWriter w;
+    w.putU64(1ull << 40); // string claims a terabyte
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.readString(), "");
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status().kind(), ErrorKind::ParseError);
+}
+
+TEST(DurabilityCodec, TrailingGarbageFailsExpectEnd)
+{
+    ByteWriter w;
+    w.putU32(1);
+    w.putU32(2);
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.readU32(), 1u);
+    r.expectEnd();
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(DurabilityCodec, JournalEntryRoundTrips)
+{
+    const JournalEntry entry{42, 0xCAFEF00Du, 9001, 17};
+    auto decoded =
+        DurableStateStore::decodeEntry(DurableStateStore::encodeEntry(entry));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().toString();
+    EXPECT_EQ(decoded.value().epoch, entry.epoch);
+    EXPECT_EQ(decoded.value().eventCrc, entry.eventCrc);
+    EXPECT_EQ(decoded.value().traceBytes, entry.traceBytes);
+    EXPECT_EQ(decoded.value().traceSeq, entry.traceSeq);
+}
+
+TEST(DurabilityCodec, JournalEntryRejectsEpochZeroAndShortPayloads)
+{
+    const std::string good =
+        DurableStateStore::encodeEntry(JournalEntry{0, 1, 2, 3});
+    auto zero = DurableStateStore::decodeEntry(good);
+    ASSERT_FALSE(zero.ok());
+    EXPECT_EQ(zero.status().kind(), ErrorKind::SemanticError);
+
+    const std::string truncated =
+        DurableStateStore::encodeEntry(JournalEntry{1, 1, 2, 3})
+            .substr(0, 10);
+    EXPECT_FALSE(DurableStateStore::decodeEntry(truncated).ok());
+}
+
+TEST(DurabilityCodec, SnapshotEnvelopeRoundTrips)
+{
+    OnlineSnapshotEnvelope env;
+    env.completed = true;
+    env.traceBytes = 123456;
+    env.traceSeq = 789;
+    env.state = std::string("opaque state bytes\0with nul", 27);
+    auto decoded = decodeSnapshotEnvelope(encodeSnapshotEnvelope(env));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().toString();
+    EXPECT_TRUE(decoded.value().completed);
+    EXPECT_EQ(decoded.value().traceBytes, env.traceBytes);
+    EXPECT_EQ(decoded.value().traceSeq, env.traceSeq);
+    EXPECT_EQ(decoded.value().state, env.state);
+}
+
+TEST(DurabilityCodec, SnapshotEnvelopeRejectsBadFlagAndTruncation)
+{
+    ByteWriter w;
+    w.putU32(2); // completed must be 0 or 1
+    w.putU64(0);
+    w.putU64(0);
+    w.putString("");
+    auto badFlag = decodeSnapshotEnvelope(w.bytes());
+    ASSERT_FALSE(badFlag.ok());
+    EXPECT_EQ(badFlag.status().kind(), ErrorKind::SemanticError);
+
+    const std::string good =
+        encodeSnapshotEnvelope(OnlineSnapshotEnvelope{false, 1, 2, "s"});
+    EXPECT_FALSE(decodeSnapshotEnvelope(good.substr(0, 8)).ok());
+    EXPECT_FALSE(decodeSnapshotEnvelope(good + "x").ok());
+}
+
+// --- journal ---------------------------------------------------------
+
+TEST(DurabilityJournal, AppendScanRoundTrip)
+{
+    const fs::path dir = freshDir();
+    const std::string path = (dir / "journal.amjl").string();
+    PlainIo ctx;
+    auto journal = Journal::create(path, ctx.io);
+    ASSERT_TRUE(journal.ok()) << journal.status().toString();
+    Journal j = journal.take();
+    const std::vector<std::string> payloads{"alpha", "beta",
+                                            std::string(1000, 'z')};
+    for (const auto &p : payloads)
+        ASSERT_TRUE(j.append(p, ctx.io).isOk());
+
+    const JournalScan scan = Journal::scan(path);
+    EXPECT_TRUE(scan.usable);
+    EXPECT_FALSE(scan.tornTail);
+    EXPECT_TRUE(scan.notes.empty());
+    ASSERT_EQ(scan.records.size(), payloads.size());
+    for (std::size_t i = 0; i < payloads.size(); ++i)
+        EXPECT_EQ(scan.records[i].payload, payloads[i]);
+    EXPECT_EQ(scan.validBytes, j.sizeBytes());
+}
+
+TEST(DurabilityJournal, MissingFileScansEmptyAndNonUsable)
+{
+    const fs::path dir = freshDir();
+    const JournalScan scan =
+        Journal::scan((dir / "no_such.amjl").string());
+    EXPECT_FALSE(scan.usable);
+    EXPECT_FALSE(scan.tornTail);
+    EXPECT_TRUE(scan.records.empty());
+    EXPECT_TRUE(scan.notes.empty()); // fresh start, not an anomaly
+}
+
+TEST(DurabilityJournal, TornTailIsDetectedAndResumable)
+{
+    const fs::path dir = freshDir();
+    const std::string path = (dir / "journal.amjl").string();
+    PlainIo ctx;
+    {
+        auto journal = Journal::create(path, ctx.io);
+        ASSERT_TRUE(journal.ok());
+        Journal j = journal.take();
+        ASSERT_TRUE(j.append("first", ctx.io).isOk());
+        ASSERT_TRUE(j.append("second", ctx.io).isOk());
+    }
+    // A crash mid-append: a record header claiming 100 payload bytes
+    // with only a handful present.
+    const std::string intact = readBytes(path);
+    ByteWriter torn;
+    torn.putU32(100);
+    torn.putU32(0);
+    writeBytes(path, intact + torn.bytes() + "shortfall");
+
+    const JournalScan scan = Journal::scan(path);
+    EXPECT_TRUE(scan.usable);
+    EXPECT_TRUE(scan.tornTail);
+    EXPECT_FALSE(scan.notes.empty());
+    ASSERT_EQ(scan.records.size(), 2u);
+    EXPECT_EQ(scan.validBytes, intact.size());
+
+    // Resume truncates the tail; appends continue from the prefix.
+    auto resumed = Journal::openResume(path, scan.validBytes, ctx.io);
+    ASSERT_TRUE(resumed.ok()) << resumed.status().toString();
+    Journal j = resumed.take();
+    ASSERT_TRUE(j.append("third", ctx.io).isOk());
+    const JournalScan rescanned = Journal::scan(path);
+    EXPECT_FALSE(rescanned.tornTail);
+    ASSERT_EQ(rescanned.records.size(), 3u);
+    EXPECT_EQ(rescanned.records[2].payload, "third");
+}
+
+TEST(DurabilityJournal, BitFlipEndsTheValidPrefix)
+{
+    const fs::path dir = freshDir();
+    const std::string path = (dir / "journal.amjl").string();
+    PlainIo ctx;
+    {
+        auto journal = Journal::create(path, ctx.io);
+        ASSERT_TRUE(journal.ok());
+        Journal j = journal.take();
+        ASSERT_TRUE(j.append("stays-valid", ctx.io).isOk());
+        ASSERT_TRUE(j.append("gets-corrupted", ctx.io).isOk());
+    }
+    std::string bytes = readBytes(path);
+    bytes[bytes.size() - 3] =
+        static_cast<char>(bytes[bytes.size() - 3] ^ 0x40);
+    writeBytes(path, bytes);
+
+    const JournalScan scan = Journal::scan(path);
+    EXPECT_TRUE(scan.usable);
+    EXPECT_TRUE(scan.tornTail);
+    ASSERT_EQ(scan.records.size(), 1u);
+    EXPECT_EQ(scan.records[0].payload, "stays-valid");
+}
+
+TEST(DurabilityJournal, BadHeaderMeansNonUsableWithNotes)
+{
+    const fs::path dir = freshDir();
+    const std::string path = (dir / "journal.amjl").string();
+
+    writeBytes(path, "");
+    EXPECT_FALSE(Journal::scan(path).usable);
+    EXPECT_FALSE(Journal::scan(path).notes.empty());
+
+    ByteWriter badMagic;
+    badMagic.putU32(0x4C4E524Au); // "JRNL"
+    badMagic.putU32(Journal::kVersion);
+    writeBytes(path, badMagic.bytes());
+    EXPECT_FALSE(Journal::scan(path).usable);
+
+    ByteWriter skew;
+    skew.putU32(0x4C4A4D41u); // "AMJL"
+    skew.putU32(Journal::kVersion + 41);
+    writeBytes(path, skew.bytes());
+    EXPECT_FALSE(Journal::scan(path).usable);
+}
+
+TEST(DurabilityJournal, ResetTruncatesBackToABareHeader)
+{
+    const fs::path dir = freshDir();
+    const std::string path = (dir / "journal.amjl").string();
+    PlainIo ctx;
+    auto journal = Journal::create(path, ctx.io);
+    ASSERT_TRUE(journal.ok());
+    Journal j = journal.take();
+    ASSERT_TRUE(j.append("soon redundant", ctx.io).isOk());
+    ASSERT_TRUE(j.reset(ctx.io).isOk());
+    EXPECT_EQ(j.sizeBytes(), Journal::kHeaderBytes);
+
+    const JournalScan scan = Journal::scan(path);
+    EXPECT_TRUE(scan.usable);
+    EXPECT_TRUE(scan.records.empty());
+    EXPECT_FALSE(scan.tornTail);
+}
+
+// --- snapshots -------------------------------------------------------
+
+TEST(DurabilitySnapshot, WriteLoadRoundTrip)
+{
+    const fs::path dir = freshDir();
+    PlainIo ctx;
+    SnapshotStore store(dir.string(), 2);
+    const std::string payload(4096, '\x5a');
+    ASSERT_TRUE(store.write(8, payload, ctx.io).isOk());
+    EXPECT_TRUE(fs::exists(store.pathFor(8)));
+
+    const SnapshotLoad load = store.loadLatest();
+    ASSERT_TRUE(load.snapshot.has_value());
+    EXPECT_EQ(load.snapshot->epoch, 8u);
+    EXPECT_EQ(load.snapshot->payload, payload);
+    EXPECT_TRUE(load.rejected.empty());
+}
+
+TEST(DurabilitySnapshot, PrunesBeyondTheKeepCountAndStaleTmp)
+{
+    const fs::path dir = freshDir();
+    PlainIo ctx;
+    SnapshotStore store(dir.string(), 2);
+    writeBytes(dir / "snapshot-00000099.amss.tmp", "crash residue");
+    ASSERT_TRUE(store.write(4, "gen four", ctx.io).isOk());
+    ASSERT_TRUE(store.write(8, "gen eight", ctx.io).isOk());
+    ASSERT_TRUE(store.write(12, "gen twelve", ctx.io).isOk());
+
+    EXPECT_FALSE(fs::exists(store.pathFor(4)));
+    EXPECT_TRUE(fs::exists(store.pathFor(8)));
+    EXPECT_TRUE(fs::exists(store.pathFor(12)));
+    EXPECT_FALSE(fs::exists(dir / "snapshot-00000099.amss.tmp"));
+    const SnapshotLoad load = store.loadLatest();
+    ASSERT_TRUE(load.snapshot.has_value());
+    EXPECT_EQ(load.snapshot->epoch, 12u);
+}
+
+TEST(DurabilitySnapshot, CorruptNewestFallsBackToThePreviousGeneration)
+{
+    const fs::path dir = freshDir();
+    PlainIo ctx;
+    SnapshotStore store(dir.string(), 2);
+    ASSERT_TRUE(store.write(4, "good older state", ctx.io).isOk());
+    ASSERT_TRUE(store.write(8, "rotten newer state", ctx.io).isOk());
+
+    std::string bytes = readBytes(store.pathFor(8));
+    bytes[bytes.size() - 1] =
+        static_cast<char>(bytes[bytes.size() - 1] ^ 0x01);
+    writeBytes(store.pathFor(8), bytes);
+
+    const SnapshotLoad load = store.loadLatest();
+    ASSERT_TRUE(load.snapshot.has_value());
+    EXPECT_EQ(load.snapshot->epoch, 4u);
+    EXPECT_EQ(load.snapshot->payload, "good older state");
+    ASSERT_EQ(load.rejected.size(), 1u);
+    EXPECT_NE(load.rejected[0].find("snapshot-00000008"),
+              std::string::npos);
+}
+
+// --- IO fault injection ----------------------------------------------
+
+TEST(DurabilityIoFaults, RealizationIsAPureFunctionOfTheSeed)
+{
+    IoFaultOptions opts;
+    opts.enabled = true;
+    opts.failureRate = 0.4;
+    const IoFaultInjector a(opts);
+    const IoFaultInjector b(opts);
+    int faults = 0;
+    for (std::uint64_t op = 0; op < 64; ++op) {
+        for (std::uint64_t attempt = 0; attempt < 4; ++attempt) {
+            EXPECT_EQ(a.injectFailure(op, attempt),
+                      b.injectFailure(op, attempt));
+            EXPECT_EQ(a.backoffUnits(op, attempt),
+                      b.backoffUnits(op, attempt));
+            faults += a.injectFailure(op, attempt) ? 1 : 0;
+        }
+    }
+    EXPECT_GT(faults, 0);
+
+    IoFaultOptions reseeded = opts;
+    reseeded.seed ^= 0x9E3779B97F4A7C15ull;
+    const IoFaultInjector c(reseeded);
+    bool differs = false;
+    for (std::uint64_t op = 0; op < 64 && !differs; ++op)
+        differs = a.injectFailure(op, 0) != c.injectFailure(op, 0);
+    EXPECT_TRUE(differs);
+}
+
+TEST(DurabilityIoFaults, DisabledOrZeroRateNeverFails)
+{
+    IoFaultOptions off;
+    const IoFaultInjector disabled(off);
+    IoFaultOptions zero;
+    zero.enabled = true;
+    zero.failureRate = 0.0;
+    const IoFaultInjector zeroRate(zero);
+    for (std::uint64_t op = 0; op < 32; ++op) {
+        EXPECT_FALSE(disabled.injectFailure(op, 0));
+        EXPECT_FALSE(zeroRate.injectFailure(op, 0));
+    }
+}
+
+TEST(DurabilityIoFaults, BackoffIsExponentialWithBoundedJitter)
+{
+    IoFaultOptions opts;
+    opts.enabled = true;
+    opts.failureRate = 0.5;
+    const IoFaultInjector injector(opts);
+    for (std::uint64_t attempt = 0; attempt < 6; ++attempt) {
+        const std::uint64_t base = 1ull << attempt;
+        for (std::uint64_t op = 0; op < 16; ++op) {
+            const std::uint64_t units = injector.backoffUnits(op, attempt);
+            EXPECT_GE(units, base);
+            EXPECT_LT(units, 2 * base);
+        }
+    }
+}
+
+TEST(DurabilityIoFaults, OptionValidationRejectsBadKnobs)
+{
+    IoFaultOptions rate;
+    rate.enabled = true;
+    rate.failureRate = 1.0; // must stay below certain failure
+    EXPECT_EQ(validateIoFaultOptions(rate).kind(),
+              ErrorKind::DomainError);
+    IoFaultOptions retries;
+    retries.maxRetries = 0;
+    EXPECT_EQ(validateIoFaultOptions(retries).kind(),
+              ErrorKind::DomainError);
+}
+
+// --- DurableStateStore protocol --------------------------------------
+
+DurabilityOptions
+storeOptions(const fs::path &dir, int snapshotEvery)
+{
+    DurabilityOptions opts;
+    opts.stateDir = dir.string();
+    opts.snapshotEvery = snapshotEvery;
+    return opts;
+}
+
+/** Commit epochs 1..@p epochs with synthetic digests and payloads. */
+void
+commitEpochs(DurableStateStore &store, int epochs)
+{
+    for (int e = 1; e <= epochs; ++e) {
+        const JournalEntry entry{
+            static_cast<std::uint64_t>(e),
+            crc32("state " + std::to_string(e)),
+            static_cast<std::uint64_t>(100 * e),
+            static_cast<std::uint64_t>(e)};
+        ASSERT_TRUE(store
+                        .commitEpoch(entry,
+                                     [e] {
+                                         return "payload for epoch " +
+                                                std::to_string(e);
+                                     })
+                        .isOk())
+            << "epoch " << e;
+    }
+}
+
+TEST(DurableStore, RejectsInvalidOptions)
+{
+    EXPECT_FALSE(DurableStateStore::open(DurabilityOptions{}).ok());
+    DurabilityOptions opts = storeOptions(freshDir(), -1);
+    auto bad = DurableStateStore::open(opts);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().kind(), ErrorKind::DomainError);
+}
+
+TEST(DurableStore, CommitRecoverRoundTripOnTheSnapshotCadence)
+{
+    const fs::path dir = freshDir();
+    auto opened = DurableStateStore::open(storeOptions(dir, 3));
+    ASSERT_TRUE(opened.ok()) << opened.status().toString();
+    DurableStateStore store = opened.take();
+    ASSERT_TRUE(store.beginFresh().isOk());
+    commitEpochs(store, 7); // snapshots at 3 and 6; 7 journaled
+
+    const RecoveredState rec = store.recover();
+    EXPECT_TRUE(rec.hasSnapshot);
+    EXPECT_EQ(rec.snapshotEpoch, 6u);
+    EXPECT_EQ(rec.snapshotPayload, "payload for epoch 6");
+    ASSERT_EQ(rec.entries.size(), 1u);
+    EXPECT_EQ(rec.entries[0].epoch, 7u);
+    EXPECT_EQ(rec.entries[0].traceBytes, 700u);
+    EXPECT_EQ(rec.frontierEpoch(), 7u);
+    EXPECT_TRUE(rec.journalUsable);
+    EXPECT_FALSE(rec.tornTail);
+    EXPECT_EQ(store.counters().journalAppends, 7u);
+    EXPECT_EQ(store.counters().snapshotsWritten, 2u);
+}
+
+TEST(DurableStore, BeginFreshDiscardsOwnedArtifactsOnly)
+{
+    const fs::path dir = freshDir();
+    writeBytes(dir / "unrelated.txt", "not ours");
+    auto opened = DurableStateStore::open(storeOptions(dir, 2));
+    ASSERT_TRUE(opened.ok());
+    DurableStateStore store = opened.take();
+    ASSERT_TRUE(store.beginFresh().isOk());
+    commitEpochs(store, 4);
+    ASSERT_TRUE(store.recover().hasSnapshot);
+
+    ASSERT_TRUE(store.beginFresh().isOk());
+    const RecoveredState rec = store.recover();
+    EXPECT_FALSE(rec.hasSnapshot);
+    EXPECT_TRUE(rec.entries.empty());
+    EXPECT_TRUE(fs::exists(dir / "unrelated.txt"));
+}
+
+TEST(DurableStore, RecoverSkipsStaleRecordsAfterASnapshotCrash)
+{
+    // Crash window between snapshot.write and journal.reset: the
+    // journal still holds epochs at or before the snapshot.
+    const fs::path dir = freshDir();
+    PlainIo ctx;
+    SnapshotStore snapshots(dir.string(), 2);
+    ASSERT_TRUE(snapshots
+                    .write(4,
+                           encodeSnapshotEnvelope(
+                               OnlineSnapshotEnvelope{false, 0, 0, "s4"}),
+                           ctx.io)
+                    .isOk());
+    auto journal =
+        Journal::create((dir / "journal.amjl").string(), ctx.io);
+    ASSERT_TRUE(journal.ok());
+    Journal j = journal.take();
+    for (std::uint64_t e : {3u, 4u, 5u})
+        ASSERT_TRUE(j.append(DurableStateStore::encodeEntry(
+                                 JournalEntry{e, 0, 0, 0}),
+                             ctx.io)
+                        .isOk());
+
+    auto opened = DurableStateStore::open(storeOptions(dir, 4));
+    ASSERT_TRUE(opened.ok());
+    const RecoveredState rec = opened.value().recover();
+    EXPECT_EQ(rec.snapshotEpoch, 4u);
+    ASSERT_EQ(rec.entries.size(), 1u);
+    EXPECT_EQ(rec.entries[0].epoch, 5u);
+    EXPECT_FALSE(rec.tornTail);
+    const bool noted = std::any_of(
+        rec.notes.begin(), rec.notes.end(), [](const std::string &n) {
+            return n.find("skipped records") != std::string::npos;
+        });
+    EXPECT_TRUE(noted);
+}
+
+TEST(DurableStore, ContiguityBreakEndsTheUsablePrefix)
+{
+    const fs::path dir = freshDir();
+    PlainIo ctx;
+    auto journal =
+        Journal::create((dir / "journal.amjl").string(), ctx.io);
+    ASSERT_TRUE(journal.ok());
+    Journal j = journal.take();
+    for (std::uint64_t e : {1u, 2u, 4u, 5u}) // gap at 3
+        ASSERT_TRUE(j.append(DurableStateStore::encodeEntry(
+                                 JournalEntry{e, 0, 0, 0}),
+                             ctx.io)
+                        .isOk());
+
+    auto opened = DurableStateStore::open(storeOptions(dir, 8));
+    ASSERT_TRUE(opened.ok());
+    const RecoveredState rec = opened.value().recover();
+    ASSERT_EQ(rec.entries.size(), 2u);
+    EXPECT_EQ(rec.entries.back().epoch, 2u);
+    EXPECT_TRUE(rec.tornTail);
+    const bool noted = std::any_of(
+        rec.notes.begin(), rec.notes.end(), [](const std::string &n) {
+            return n.find("breaks contiguity") != std::string::npos;
+        });
+    EXPECT_TRUE(noted);
+
+    // beginResume truncates the journal at the break; a rescan after
+    // resume sees only the contiguous prefix.
+    DurableStateStore store = opened.take();
+    ASSERT_TRUE(store.beginResume(rec).isOk());
+    const JournalScan scan =
+        Journal::scan((dir / "journal.amjl").string());
+    EXPECT_EQ(scan.records.size(), 2u);
+}
+
+TEST(DurableStore, TransientFaultsAreRetriedToSuccess)
+{
+    const fs::path dir = freshDir();
+    DurabilityOptions opts = storeOptions(dir, 2);
+    opts.ioFaults.enabled = true;
+    opts.ioFaults.failureRate = 0.3;
+    opts.ioFaults.maxRetries = 8;
+    auto opened = DurableStateStore::open(opts);
+    ASSERT_TRUE(opened.ok());
+    DurableStateStore store = opened.take();
+    ASSERT_TRUE(store.beginFresh().isOk());
+    commitEpochs(store, 8);
+
+    EXPECT_GT(store.counters().injectedFaults, 0u);
+    EXPECT_GE(store.counters().ioRetries,
+              store.counters().injectedFaults);
+    EXPECT_GT(store.counters().backoffUnits, 0u);
+    // Same data durable despite the faults.
+    const RecoveredState rec = store.recover();
+    EXPECT_EQ(rec.frontierEpoch(), 8u);
+}
+
+TEST(DurableStore, ExhaustedRetriesSurfaceAnIoError)
+{
+    const fs::path dir = freshDir();
+    DurabilityOptions opts = storeOptions(dir, 2);
+    opts.ioFaults.enabled = true;
+    opts.ioFaults.failureRate = 0.999999;
+    opts.ioFaults.maxRetries = 2;
+    auto opened = DurableStateStore::open(opts);
+    ASSERT_TRUE(opened.ok());
+    DurableStateStore store = opened.take();
+    const Status st = store.beginFresh();
+    ASSERT_FALSE(st.isOk());
+    EXPECT_EQ(st.kind(), ErrorKind::IoError);
+}
+
+// --- corruption corpus -----------------------------------------------
+
+fs::path
+corpusDir()
+{
+    return fs::path(AMDAHL_TEST_DATA_DIR) / "malformed" / "durability";
+}
+
+std::vector<fs::path>
+corpusFiles(const std::string &extension)
+{
+    std::vector<fs::path> files;
+    for (const auto &entry : fs::directory_iterator(corpusDir()))
+        if (entry.path().extension() == extension)
+            files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+TEST(DurabilityCorpus, CorpusIsPresent)
+{
+    ASSERT_TRUE(fs::exists(corpusDir()))
+        << "missing corpus dir " << corpusDir();
+    EXPECT_GE(corpusFiles(".amjl").size(), 6u);
+    EXPECT_GE(corpusFiles(".amss").size(), 5u);
+}
+
+TEST(DurabilityCorpus, EveryMalformedJournalIsDetectedOnRecovery)
+{
+    for (const auto &path : corpusFiles(".amjl")) {
+        SCOPED_TRACE(path.filename().string());
+        const fs::path dir = freshDir() / path.stem();
+        fs::create_directories(dir);
+        fs::copy_file(path, dir / "journal.amjl");
+
+        auto opened = DurableStateStore::open(storeOptions(dir, 8));
+        ASSERT_TRUE(opened.ok());
+        const RecoveredState rec = opened.value().recover();
+        // Detected: either the file is unusable, or the corruption
+        // ended the valid prefix — and in every case a note says why.
+        EXPECT_TRUE(!rec.journalUsable || rec.tornTail);
+        EXPECT_FALSE(rec.notes.empty());
+        // Never applied: nothing corrupt ever reaches entries.
+        for (const JournalEntry &entry : rec.entries)
+            EXPECT_GT(entry.epoch, 0u);
+        // And the store still resumes — recovery is never a dead end.
+        DurableStateStore store = opened.take();
+        EXPECT_TRUE(store.beginResume(rec).isOk());
+    }
+}
+
+TEST(DurabilityCorpus, EveryMalformedSnapshotIsRejectedByDecode)
+{
+    for (const auto &path : corpusFiles(".amss")) {
+        SCOPED_TRACE(path.filename().string());
+        auto decoded = SnapshotStore::decodeFile(path.string());
+        ASSERT_FALSE(decoded.ok())
+            << "malformed snapshot accepted: " << path;
+        EXPECT_FALSE(decoded.status().message().empty());
+    }
+}
+
+TEST(DurabilityCorpus, MalformedSnapshotInPlaceFallsBackToLastGood)
+{
+    PlainIo ctx;
+    for (const auto &path : corpusFiles(".amss")) {
+        SCOPED_TRACE(path.filename().string());
+        const fs::path dir = freshDir() / path.stem();
+        fs::create_directories(dir);
+        SnapshotStore store(dir.string(), 3);
+        ASSERT_TRUE(store.write(2, "last good", ctx.io).isOk());
+        // The corrupt file masquerades as a newer generation.
+        fs::copy_file(path, dir / "snapshot-00000009.amss");
+
+        const SnapshotLoad load = store.loadLatest();
+        ASSERT_TRUE(load.snapshot.has_value());
+        EXPECT_EQ(load.snapshot->epoch, 2u);
+        EXPECT_EQ(load.snapshot->payload, "last good");
+        EXPECT_FALSE(load.rejected.empty());
+    }
+}
+
+} // namespace
+} // namespace amdahl::durability

@@ -50,6 +50,26 @@
  *       --epochs <n>         Horizon in epochs (default 20).
  *       --faults             Enable server churn and bid-message loss.
  *       --admission          Enable overload admission control.
+ *       --state-dir <dir>    Persist a write-ahead epoch journal and
+ *                            checksummed snapshots under dir; the run
+ *                            becomes crash-recoverable.
+ *       --snapshot-every <n> Epochs between full snapshots (default 8;
+ *                            0 = final snapshot only).
+ *       --keep-snapshots <n> Snapshot generations to retain (default 2).
+ *       --recover            Resume from the durable state in
+ *                            --state-dir: verify the journal, truncate
+ *                            the trace file to its durable frontier,
+ *                            replay, and continue. The finished trace
+ *                            is byte-identical to an uninterrupted run.
+ *       --io-fault-rate <p>  Inject deterministic transient-IO faults
+ *                            with per-attempt probability p.
+ *       --io-fault-seed <n>  Substream seed for injected IO faults.
+ *       --io-max-retries <n> Attempts per disk operation (default 4).
+ *       --kill-point <site[:N]>
+ *                            Hard-exit (code 86) the Nth time the named
+ *                            commit-protocol site is reached; also read
+ *                            from AMDAHL_KILL_POINT when absent.
+ *       --list-kill-points   Print the crash-site catalog and exit.
  *
  *   stats <file> [options]   Solve a market file with phase timing
  *                            enabled and dump the metrics registry
@@ -72,6 +92,8 @@
  */
 
 #include <cstdint>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -91,6 +113,8 @@
 #include "obs/timer.hh"
 #include "obs/trace.hh"
 #include "profiling/karp_flatt.hh"
+#include "robustness/durability/durable_store.hh"
+#include "robustness/durability/kill_points.hh"
 #include "profiling/predictor.hh"
 #include "profiling/profiler.hh"
 #include "profiling/sampler.hh"
@@ -118,6 +142,12 @@ usage()
         << "       amdahl_market trace [--seed n] [--users n]"
         << " [--servers n] [--cores n]\n"
         << "                     [--epochs n] [--faults] [--admission]\n"
+        << "                     [--state-dir dir] [--snapshot-every n]"
+        << " [--keep-snapshots n]\n"
+        << "                     [--recover] [--io-fault-rate p]"
+        << " [--io-fault-seed n]\n"
+        << "                     [--io-max-retries n]"
+        << " [--kill-point site[:N]] [--list-kill-points]\n"
         << "       amdahl_market stats <file> [--gauss-seidel]"
         << " [--json]\n"
         << "global flags: [--trace-out path] [--metrics-out path]"
@@ -358,10 +388,16 @@ cmdSimulate(const std::vector<std::string> &args)
 }
 
 int
-cmdTrace(const std::vector<std::string> &args)
+cmdTrace(const std::vector<std::string> &args,
+         const std::string &traceOut)
 {
     eval::OnlineOptions opts;
+    durability::DurabilityOptions dur;
     int epochs = 20;
+    bool durable = false;
+    bool recover = false;
+    bool io_knobs = false;
+    std::string kill_spec;
     for (std::size_t a = 0; a < args.size(); ++a) {
         const std::string &arg = args[a];
         if (arg == "--seed" && a + 1 < args.size()) {
@@ -380,6 +416,32 @@ cmdTrace(const std::vector<std::string> &args)
             opts.faults.bidLossRate = 0.05;
         } else if (arg == "--admission") {
             opts.admission.enabled = true;
+        } else if (arg == "--state-dir" && a + 1 < args.size()) {
+            dur.stateDir = args[++a];
+            durable = true;
+        } else if (arg == "--snapshot-every" && a + 1 < args.size()) {
+            dur.snapshotEvery = std::stoi(args[++a]);
+        } else if (arg == "--keep-snapshots" && a + 1 < args.size()) {
+            dur.keepSnapshots = std::stoi(args[++a]);
+        } else if (arg == "--recover") {
+            recover = true;
+        } else if (arg == "--io-fault-rate" && a + 1 < args.size()) {
+            dur.ioFaults.failureRate = std::stod(args[++a]);
+            dur.ioFaults.enabled = dur.ioFaults.failureRate > 0.0;
+            io_knobs = true;
+        } else if (arg == "--io-fault-seed" && a + 1 < args.size()) {
+            dur.ioFaults.seed = std::stoull(args[++a]);
+            io_knobs = true;
+        } else if (arg == "--io-max-retries" && a + 1 < args.size()) {
+            dur.ioFaults.maxRetries = std::stoi(args[++a]);
+            io_knobs = true;
+        } else if (arg == "--kill-point" && a + 1 < args.size()) {
+            kill_spec = args[++a];
+        } else if (arg == "--list-kill-points") {
+            for (std::string_view site :
+                 durability::killPointCatalog())
+                std::cout << site << "\n";
+            return 0;
         } else {
             std::cerr << "unknown option '" << arg << "'\n";
             return usage();
@@ -389,25 +451,169 @@ cmdTrace(const std::vector<std::string> &args)
         std::cerr << "trace needs at least one epoch\n";
         return usage();
     }
+    if (!durable && (recover || io_knobs || !kill_spec.empty())) {
+        std::cerr << "--recover, --io-fault-*, and --kill-point "
+                     "require --state-dir\n";
+        return usage();
+    }
     opts.horizonSeconds = opts.epochSeconds * epochs;
 
-    // A --trace-out flag already installed a sink; otherwise the
-    // JSONL stream goes to stdout (tables stay off this subcommand
-    // so the output is pure trace either way).
-    std::optional<obs::TraceSink> stdout_sink;
-    std::optional<obs::TraceGuard> stdout_guard;
-    if (obs::traceSink() == nullptr) {
-        stdout_sink.emplace(std::cout);
-        stdout_guard.emplace(*stdout_sink);
+    // Kill points arm from here, not from src/: environment probes
+    // stay outside the library per the DET-exec contract.
+    if (kill_spec.empty() && durable) {
+        if (const char *env = std::getenv("AMDAHL_KILL_POINT"))
+            kill_spec = env;
     }
+    if (!kill_spec.empty()) {
+        if (Status st = durability::armKillPoint(kill_spec);
+            !st.isOk()) {
+            std::cerr << "--kill-point: " << st.toString() << "\n";
+            return 2;
+        }
+    }
+
+    // Plain (non-durable) run: stream to --trace-out or stdout.
+    if (!durable) {
+        std::ofstream trace_file;
+        std::optional<obs::TraceSink> sink;
+        std::optional<obs::TraceGuard> guard;
+        if (!traceOut.empty()) {
+            trace_file.open(traceOut);
+            if (!trace_file) {
+                std::cerr << "cannot open trace output '" << traceOut
+                          << "'\n";
+                return 1;
+            }
+            sink.emplace(trace_file);
+        } else {
+            sink.emplace(std::cout);
+        }
+        guard.emplace(*sink);
+
+        eval::CharacterizationCache cache;
+        eval::OnlineSimulator simulator(cache, opts);
+        const alloc::FallbackPolicy policy;
+        const auto metrics =
+            simulator.run(policy, eval::FractionSource::Estimated);
+        (void)sink->flush();
+        if (Status st = sink->status(); !st.isOk()) {
+            std::cerr << "trace output '"
+                      << (traceOut.empty() ? "<stdout>" : traceOut)
+                      << "': " << st.toString() << "\n";
+            return 1;
+        }
+
+        std::cerr << "trace: " << epochs << " epoch(s), "
+                  << metrics.jobsArrived << " job(s) arrived, "
+                  << metrics.jobsCompleted << " completed, "
+                  << metrics.nonConvergedEpochs
+                  << " non-converged epoch(s)";
+        if (opts.faults.enabled)
+            std::cerr << ", " << metrics.crashEvents << " crash(es)";
+        if (opts.admission.enabled)
+            std::cerr << ", " << metrics.jobsShed << " shed";
+        std::cerr << "\n";
+        return 0;
+    }
+
+    // Durable run: open the store first so bad knobs fail with their
+    // classified Status before any file is touched.
+    auto opened = durability::DurableStateStore::open(dur);
+    if (!opened.ok()) {
+        std::cerr << "--state-dir: " << opened.status().toString()
+                  << "\n";
+        return 1;
+    }
+    auto store = opened.take();
+
+    durability::RecoveredState rec;
+    bool resuming = false;
+    std::uint64_t frontier_bytes = 0;
+    std::uint64_t frontier_seq = 0;
+    if (recover) {
+        rec = store.recover();
+        for (const std::string &note : rec.notes)
+            std::cerr << "recover: " << note << "\n";
+        resuming = rec.hasSnapshot || !rec.entries.empty();
+        if (!rec.entries.empty()) {
+            frontier_bytes = rec.entries.back().traceBytes;
+            frontier_seq = rec.entries.back().traceSeq;
+        } else if (rec.hasSnapshot) {
+            auto env =
+                durability::decodeSnapshotEnvelope(rec.snapshotPayload);
+            if (!env.ok()) {
+                std::cerr << "recover: " << env.status().toString()
+                          << "\n";
+                return 1;
+            }
+            frontier_bytes = env.value().traceBytes;
+            frontier_seq = env.value().traceSeq;
+        }
+        if (!resuming)
+            std::cerr << "recover: no durable state found; "
+                         "starting fresh\n";
+    }
+
+    // The durable run owns its trace file: on recovery it truncates to
+    // the journaled frontier and appends, so the finished file is
+    // byte-identical to one from an uninterrupted run.
+    std::ofstream trace_file;
+    std::optional<obs::TraceSink> sink;
+    std::optional<obs::TraceGuard> guard;
+    if (!traceOut.empty()) {
+        if (resuming) {
+            std::error_code ec;
+            const auto size =
+                std::filesystem::file_size(traceOut, ec);
+            if (ec || size < frontier_bytes) {
+                std::cerr << "recover: trace file '" << traceOut
+                          << "' is missing or shorter than the "
+                             "durable frontier ("
+                          << frontier_bytes << " bytes)\n";
+                return 1;
+            }
+            std::filesystem::resize_file(traceOut, frontier_bytes,
+                                         ec);
+            if (ec) {
+                std::cerr << "recover: cannot truncate '" << traceOut
+                          << "': " << ec.message() << "\n";
+                return 1;
+            }
+            trace_file.open(traceOut, std::ios::app);
+        } else {
+            trace_file.open(traceOut, std::ios::trunc);
+        }
+        if (!trace_file) {
+            std::cerr << "cannot open trace output '" << traceOut
+                      << "'\n";
+            return 1;
+        }
+        sink.emplace(trace_file);
+    } else {
+        sink.emplace(std::cout);
+    }
+    if (resuming)
+        sink->resume(frontier_bytes, frontier_seq);
+    guard.emplace(*sink);
 
     eval::CharacterizationCache cache;
     eval::OnlineSimulator simulator(cache, opts);
     const alloc::FallbackPolicy policy;
-    const auto metrics =
-        simulator.run(policy, eval::FractionSource::Estimated);
-    if (stdout_sink)
-        stdout_sink->flush();
+    auto run = simulator.runDurable(policy,
+                                    eval::FractionSource::Estimated,
+                                    store, resuming ? &rec : nullptr);
+    if (!run.ok()) {
+        std::cerr << "trace: " << run.status().toString() << "\n";
+        return 1;
+    }
+    const auto metrics = run.take();
+    (void)sink->flush();
+    if (Status st = sink->status(); !st.isOk()) {
+        std::cerr << "trace output '"
+                  << (traceOut.empty() ? "<stdout>" : traceOut)
+                  << "': " << st.toString() << "\n";
+        return 1;
+    }
 
     std::cerr << "trace: " << epochs << " epoch(s), "
               << metrics.jobsArrived << " job(s) arrived, "
@@ -418,6 +624,18 @@ cmdTrace(const std::vector<std::string> &args)
         std::cerr << ", " << metrics.crashEvents << " crash(es)";
     if (opts.admission.enabled)
         std::cerr << ", " << metrics.jobsShed << " shed";
+    std::cerr << ", " << metrics.journalCommits
+              << " journal commit(s), " << metrics.snapshotsWritten
+              << " snapshot(s)";
+    if (metrics.ioInjectedFaults > 0)
+        std::cerr << ", " << metrics.ioInjectedFaults
+                  << " injected IO fault(s) (" << metrics.ioRetries
+                  << " retried)";
+    if (metrics.recovered)
+        std::cerr << "; recovered from epoch "
+                  << metrics.recoveryFrontierEpoch << " ("
+                  << metrics.recoveryReplayedEpochs
+                  << " epoch(s) replayed)";
     std::cerr << "\n";
     return 0;
 }
@@ -458,10 +676,12 @@ cmdStats(const std::vector<std::string> &args)
     core::verifyEquilibrium(market, result);
     core::roundOutcome(market, result);
 
-    if (json)
-        obs::metrics().writeJson(std::cout);
-    else
-        obs::metrics().writeText(std::cout);
+    const Status wst = json ? obs::metrics().writeJson(std::cout)
+                            : obs::metrics().writeText(std::cout);
+    if (!wst.isOk()) {
+        std::cerr << "stats output: " << wst.toString() << "\n";
+        return 1;
+    }
     return result.converged ? 0 : 1;
 }
 
@@ -578,10 +798,15 @@ main(int argc, char **argv)
     if (flags.timing)
         obs::setTimingEnabled(true);
 
+    const std::string command = raw[0];
+
+    // The trace subcommand owns its trace file (crash recovery must
+    // truncate-and-append rather than start over), so --trace-out is
+    // handed to it instead of being opened here.
     std::ofstream trace_file;
     std::optional<obs::TraceSink> sink;
     std::optional<obs::TraceGuard> guard;
-    if (!flags.traceOut.empty()) {
+    if (!flags.traceOut.empty() && command != "trace") {
         trace_file.open(flags.traceOut);
         if (!trace_file) {
             std::cerr << "cannot open trace output '" << flags.traceOut
@@ -592,7 +817,6 @@ main(int argc, char **argv)
         guard.emplace(*sink);
     }
 
-    const std::string command = raw[0];
     std::vector<std::string> args(raw.begin() + 1, raw.end());
     int status = 2;
     bool known = true;
@@ -610,7 +834,7 @@ main(int argc, char **argv)
         else if (command == "example")
             status = cmdExample();
         else if (command == "trace")
-            status = cmdTrace(args);
+            status = cmdTrace(args, flags.traceOut);
         else if (command == "stats")
             status = cmdStats(args);
         else
@@ -622,8 +846,17 @@ main(int argc, char **argv)
     if (!known)
         return usage();
 
-    if (sink)
-        sink->flush();
+    if (sink) {
+        (void)sink->flush();
+        // Surface any write/flush failure the run latched: a trace
+        // that silently lost lines must not exit 0.
+        if (Status st = sink->status(); !st.isOk()) {
+            std::cerr << "trace output '" << flags.traceOut
+                      << "': " << st.toString() << "\n";
+            if (status == 0)
+                status = 1;
+        }
+    }
     if (!flags.metricsOut.empty()) {
         std::ofstream out(flags.metricsOut);
         if (!out) {
@@ -635,10 +868,18 @@ main(int argc, char **argv)
                           flags.metricsOut.compare(
                               flags.metricsOut.size() - 4, 4,
                               ".txt") == 0;
-        if (text)
-            obs::metrics().writeText(out);
-        else
-            obs::metrics().writeJson(out);
+        Status wst = text ? obs::metrics().writeText(out)
+                          : obs::metrics().writeJson(out);
+        out.flush();
+        if (wst.isOk() && !out.good())
+            wst = Status::error(ErrorKind::IoError, 0,
+                                "stream failed after final write");
+        if (!wst.isOk()) {
+            std::cerr << "metrics output '" << flags.metricsOut
+                      << "': " << wst.toString() << "\n";
+            if (status == 0)
+                status = 1;
+        }
     }
     return status;
 }

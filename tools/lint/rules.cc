@@ -55,6 +55,13 @@ const RuleScope kScopeTrustThrow{{"src/", "tools/"},
                                  {"src/common/logging.hh"}};
 const RuleScope kScopeTrustCatch{{}, {}};
 const RuleScope kScopeObsIo{{"src/"}, {"src/common/logging.cc"}};
+// Raw file IO is confined to the crash-safe durability layer plus the
+// two designated artifact sinks (CLI, bench emitters). The linter's
+// own file loading is exempt: it is a read-only dev tool.
+const RuleScope kScopeTrustFio{
+    {"src/", "bench/", "tools/"},
+    {"src/robustness/durability/", "bench/bench_util.hh",
+     "tools/amdahl_market.cc", "tools/lint/"}};
 const RuleScope kScopeConcGlobal{{"src/"}, {}};
 // The linter's own sources document the marker grammar in comments,
 // which would read as malformed markers; they are the one place
@@ -413,6 +420,29 @@ checkObsIo(RuleContext &ctx)
 }
 
 // ---------------------------------------------------------------------
+// TRUST-fio: raw file IO outside the designated owners.
+
+const std::unordered_set<std::string_view> kRawFileIo{
+    "fopen", "freopen", "tmpfile", "ofstream", "fstream", "rename",
+};
+
+void
+checkTrustFio(RuleContext &ctx)
+{
+    for (const Token &t : ctx.file.tokens) {
+        if (t.kind == TokKind::Identifier && kRawFileIo.count(t.text)) {
+            report(ctx, "TRUST-fio", t.line,
+                   "raw file IO `" + t.text +
+                       "` outside the designated IO owners; durable "
+                       "artifacts go through robustness/durability "
+                       "(fsync + atomic-rename commit protocol) or a "
+                       "designated CLI/bench sink so a write failure "
+                       "is surfaced, never silently torn or lost");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // CONC-global: unguarded mutable namespace-scope state.
 
 const std::unordered_set<std::string_view> kSyncTypes{
@@ -526,6 +556,13 @@ checkConcGlobal(RuleContext &ctx)
             }
             if (s.kind != TokKind::Identifier)
                 continue;
+            if (s.text == "operator") {
+                // Out-of-line operator definition: the '=' of
+                // `T::operator=` is part of the name, not an
+                // initializer.
+                sawParenFirst = true;
+                break;
+            }
             if (kImmutableQualifiers.count(s.text) > 0)
                 immutable = true;
             if (kSyncTypes.count(s.text) > 0 ||
@@ -631,6 +668,9 @@ ruleCatalog()
          "catch-by-value; catch by const reference or `...`"},
         {"OBS-io",
          "direct std::cerr/std::cout/printf-family output in src/"},
+        {"TRUST-fio",
+         "raw file IO (fopen-family, ofstream/fstream, rename) "
+         "outside the durability layer and designated sinks"},
         {"CONC-global",
          "mutable namespace-scope state that is not atomic, a sync "
          "primitive, or thread_local"},
@@ -660,6 +700,8 @@ runRules(const std::string &relPath, const LexedFile &file)
         checkTrustCatch(ctx);
     if (applies(kScopeObsIo, relPath))
         checkObsIo(ctx);
+    if (applies(kScopeTrustFio, relPath))
+        checkTrustFio(ctx);
     if (applies(kScopeConcGlobal, relPath))
         checkConcGlobal(ctx);
     if (applies(kScopeMetaAlint, relPath))

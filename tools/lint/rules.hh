@@ -40,6 +40,16 @@
  *                 library code. Diagnostics must route through the
  *                 common/logging hook so the obs/ trace sink observes
  *                 them. Scope: src/.
+ *  TRUST-fio      Raw file IO (fopen-family, ofstream/fstream,
+ *                 rename) outside its designated owners. Durable
+ *                 artifacts must go through robustness/durability
+ *                 (fsync + atomic-rename commit protocol) or one of
+ *                 the audited sinks (the amdahl_market CLI, the bench
+ *                 emitters) so write failures surface as Status
+ *                 instead of silently losing data. Scope: src/,
+ *                 bench/, tools/; allow: src/robustness/durability/,
+ *                 bench/bench_util.hh, tools/amdahl_market.cc,
+ *                 tools/lint/.
  *  CONC-global    Mutable namespace-scope state that is not atomic,
  *                 a synchronization primitive, thread_local, or
  *                 explicitly ALINT-annotated as externally guarded.
