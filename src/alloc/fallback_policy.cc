@@ -6,6 +6,8 @@
 #include "common/check.hh"
 #include "common/logging.hh"
 #include "core/rounding.hh"
+#include "net/options.hh"
+#include "obs/degraded.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -13,20 +15,53 @@ namespace amdahl::alloc {
 
 namespace {
 
+/**
+ * Why this serve fell off the primary path, derived from the attempt
+ * that failed. The ordering is a severity ladder: a quorum collapse is
+ * reported even if a partition also degraded earlier rounds, and a
+ * partition beats a plain deadline expiry — the operator wants the
+ * strongest cause, not the first one.
+ */
+obs::DegradedReason
+degradeReason(const core::MarketOutcome &outcome)
+{
+    if (outcome.net.quorumCollapsed)
+        return obs::DegradedReason::QuorumFloor;
+    if (outcome.net.partitionDegraded)
+        return obs::DegradedReason::Partition;
+    if (outcome.deadlineExpired || outcome.net.degradedRounds > 0)
+        return obs::DegradedReason::DeadlineExpired;
+    return obs::DegradedReason::NonConverged;
+}
+
 /** Ladder bookkeeping shared by every exit: which rung served, and
- *  why — a counter for aggregates, a trace event for the post-mortem. */
+ *  why — a counter for aggregates, a trace event for the post-mortem.
+ *  A clean primary serve carries reason "none"; every other rung
+ *  carries its structured cause and also reports through
+ *  obs::recordDegraded so the fallback and barrier layers share one
+ *  reason taxonomy. */
 void
 recordServe(ServeMode mode, const core::MarketOutcome &outcome)
 {
+    const bool degraded = mode != ServeMode::Primary;
+    const obs::DegradedReason reason = degradeReason(outcome);
     obs::metrics()
         .counter(std::string("fallback.serves.") + toString(mode))
         .add();
     if (auto *sink = obs::traceSink()) {
         obs::TraceEvent(*sink, "fallback_serve")
             .field("rung", toString(mode))
+            .field("reason",
+                   degraded ? obs::toString(reason) : "none")
             .field("converged", outcome.converged)
             .field("iterations", outcome.iterations)
             .field("deadline_expired", outcome.deadlineExpired);
+    }
+    if (degraded) {
+        obs::recordDegraded(
+            {"fallback", reason,
+             static_cast<std::uint64_t>(outcome.iterations),
+             outcome.net.minQuorum, outcome.net.staleBidRounds});
     }
 }
 
@@ -46,22 +81,39 @@ FallbackPolicy::FallbackPolicy(core::BiddingOptions primary_opts,
 AllocationResult
 FallbackPolicy::allocate(const core::FisherMarket &market) const
 {
-    return ladder(market, core::BidTransportFaults{});
+    return ladder(market, core::ClearingContext{});
 }
 
 AllocationResult
 FallbackPolicy::allocate(const core::FisherMarket &market,
                          const core::BidTransportFaults &faults) const
 {
-    return ladder(market, faults);
+    core::ClearingContext ctx;
+    ctx.transport = faults;
+    return ladder(market, ctx);
+}
+
+AllocationResult
+FallbackPolicy::allocate(const core::FisherMarket &market,
+                         const core::ClearingContext &ctx) const
+{
+    return ladder(market, ctx);
 }
 
 AllocationResult
 FallbackPolicy::ladder(const core::FisherMarket &market,
-                       const core::BidTransportFaults &faults) const
+                       const core::ClearingContext &ctx) const
 {
     core::BiddingOptions opts = primary;
-    opts.transport = faults;
+    opts.transport = ctx.transport;
+    const bool sharded = ctx.sharding && ctx.sharding->enabled();
+
+    const auto solve = [&](const core::BiddingOptions &o) {
+        return sharded ? core::solveShardedBidding(market, o,
+                                                   *ctx.sharding,
+                                                   ctx.session)
+                       : core::solveAmdahlBidding(market, o);
+    };
 
     AllocationResult result;
     result.policyName = name();
@@ -69,7 +121,7 @@ FallbackPolicy::ladder(const core::FisherMarket &market,
     // Rung 1: the configured procedure. With the ladder disabled the
     // attempt is served verbatim — including an expired-deadline
     // anytime state, which still surfaces via outcome.deadlineExpired.
-    auto attempt = core::solveAmdahlBidding(market, opts);
+    auto attempt = solve(opts);
     if (attempt.converged || !fb.enabled) {
         result.outcome = std::move(attempt);
         result.cores = core::roundOutcome(market, result.outcome);
@@ -93,7 +145,9 @@ FallbackPolicy::ladder(const core::FisherMarket &market,
     }
 
     // Rung 3: damped, warm-started retry. The faulty transport stays
-    // in effect — the retry runs over the same degraded network.
+    // in effect — the retry runs over the same degraded network (under
+    // sharded clearing the session's global round keeps advancing, so
+    // a partition window scheduled across the retry stays in force).
     core::BiddingOptions retry = opts;
     retry.damping =
         std::max(1e-3, opts.damping * fb.retryDampingFactor);
@@ -101,7 +155,7 @@ FallbackPolicy::ladder(const core::FisherMarket &market,
     if (fb.retryMaxIterations > 0)
         retry.maxIterations = fb.retryMaxIterations;
     const int primary_iterations = attempt.iterations;
-    auto retried = core::solveAmdahlBidding(market, retry);
+    auto retried = solve(retry);
     retried.iterations += primary_iterations;
     if (retried.converged || retried.deadlineExpired) {
         result.outcome = std::move(retried);
@@ -123,6 +177,7 @@ FallbackPolicy::ladder(const core::FisherMarket &market,
     result.mode = ServeMode::ProportionalFallback;
     result.outcome.iterations = retried.iterations;
     result.outcome.converged = false;
+    result.outcome.net = retried.net;
     recordServe(result.mode, result.outcome);
     if constexpr (checkedBuild)
         auditAllocation(market, result);

@@ -67,9 +67,21 @@ class FallbackPolicy : public AllocationPolicy
         const core::FisherMarket &market,
         const core::BidTransportFaults &faults) const override;
 
+    /**
+     * The full-context overload: when `ctx.sharding` is non-null and
+     * enabled, every rung that clears a market (primary and damped
+     * retry) runs the sharded epoch-barrier solver over the simulated
+     * network instead of the in-process one — so the ladder also
+     * absorbs quorum collapses and partition-degraded epochs, with the
+     * serve's structured `reason` derived from the transport outcome.
+     */
+    AllocationResult allocate(
+        const core::FisherMarket &market,
+        const core::ClearingContext &ctx) const override;
+
   private:
     AllocationResult ladder(const core::FisherMarket &market,
-                            const core::BidTransportFaults &faults) const;
+                            const core::ClearingContext &ctx) const;
 
     core::BiddingOptions primary;
     FallbackOptions fb;

@@ -2,8 +2,18 @@
 
 #include "common/invariants.hh"
 #include "common/logging.hh"
+#include "core/bidding.hh"
 
 namespace amdahl::alloc {
+
+AllocationResult
+AllocationPolicy::allocate(const core::FisherMarket &market,
+                           const core::ClearingContext &ctx) const
+{
+    // Centralized policies clear no network: the sharding options (if
+    // any) are irrelevant and only the bid-loss model passes through.
+    return allocate(market, ctx.transport);
+}
 
 const char *
 toString(ServeMode mode)

@@ -19,6 +19,7 @@
 
 namespace amdahl::core {
 struct BidTransportFaults; // core/bidding.hh
+struct ClearingContext;    // core/bidding.hh
 }
 
 namespace amdahl::alloc {
@@ -98,6 +99,22 @@ class AllocationPolicy
         (void)faults;
         return allocate(market);
     }
+
+    /**
+     * Allocate under a full clearing context: per-user transport
+     * faults plus, when `ctx.sharding` is non-null, sharded clearing
+     * over the simulated network (core/bidding_sharded.cc).
+     *
+     * The default (policy.cc) forwards to the faults overload —
+     * centralized policies clear no network. Market mechanisms that
+     * support distributed clearing override it.
+     *
+     * @param market The problem; validated by implementations.
+     * @param ctx    Faults, sharding options, transport session.
+     */
+    virtual AllocationResult allocate(
+        const core::FisherMarket &market,
+        const core::ClearingContext &ctx) const;
 };
 
 /**

@@ -7,230 +7,16 @@
 #include <limits>
 
 #include "common/check.hh"
-#include "common/invariants.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "core/amdahl.hh"
+#include "core/bidding_kernel.hh"
 #include "exec/thread_pool.hh"
 #include "obs/metrics.hh"
 #include "obs/timer.hh"
 #include "obs/trace.hh"
 
 namespace amdahl::core {
-
-namespace {
-
-/** Users per parallelFor chunk in the Synchronous bid-update kernel.
- *  Fixed (never derived from the thread count) so the chunk layout —
- *  and with it exec.tasks and every reduction tree — is identical at
- *  any thread count. */
-constexpr std::size_t kUserGrain = 32;
-
-/** Servers per chunk in the price gather and the delta reduction. */
-constexpr std::size_t kServerGrain = 8;
-
-/**
- * Structure-of-arrays view of one clearing problem.
- *
- * The per-user AoS layout (MarketUser::jobs, JobMatrix) is the right
- * API shape but the wrong iteration shape: the proportional-response
- * inner loop touches three doubles per job and pays a pointer chase
- * per user per field. The kernel flattens every job to one index e in
- * user-major order and keeps each field contiguous. The loop-invariant
- * factor sqrt(f_ij * w_ij) of the propensity U_ij = sqrt(f w p) s(x)
- * is hoisted here, once per clearing — the per-round kernel multiplies
- * it by sqrt(p_j), which is exactly the factorization updateUserBids
- * uses, so kernel bids match the reference function bit for bit.
- *
- * Prices are gathered server-major through a CSR index
- * (serverJobOffset/serverJobIds). Flat job ids are user-major, so each
- * server's id list is increasing in (user, job) order — summing it
- * front to back performs the *same sequence of additions* into the
- * accumulator as the legacy user-major scatter loop did per server.
- * That is the determinism argument (DESIGN.md §11): per-server sums
- * associate identically at every thread count, including 1.
- */
-struct BidKernel
-{
-    std::size_t userCount = 0;
-    std::size_t serverCount = 0;
-    std::size_t jobCount = 0;
-
-    std::vector<std::size_t> userOffset; // userCount + 1
-    std::vector<double> budget;          // per user
-
-    // Per flat job, user-major.
-    std::vector<std::size_t> server;
-    std::vector<double> fraction; // f_ij
-    std::vector<double> sqrtFw;   // sqrt(f_ij * w_ij), hoisted
-    std::vector<double> bids;     // b_ij, the iterated state
-    std::vector<double> scratch;  // unnormalized propensities
-
-    // Server-major CSR over flat job ids (increasing within a server).
-    std::vector<std::size_t> serverJobOffset; // serverCount + 1
-    std::vector<std::size_t> serverJobIds;
-
-    std::vector<double> capacity; // per server
-};
-
-BidKernel
-buildKernel(const FisherMarket &market)
-{
-    BidKernel kernel;
-    kernel.userCount = market.userCount();
-    kernel.serverCount = market.serverCount();
-
-    kernel.userOffset.reserve(kernel.userCount + 1);
-    kernel.userOffset.push_back(0);
-    for (std::size_t i = 0; i < kernel.userCount; ++i) {
-        kernel.userOffset.push_back(kernel.userOffset.back() +
-                                    market.user(i).jobs.size());
-    }
-    kernel.jobCount = kernel.userOffset.back();
-
-    kernel.budget.resize(kernel.userCount);
-    kernel.server.resize(kernel.jobCount);
-    kernel.fraction.resize(kernel.jobCount);
-    kernel.sqrtFw.resize(kernel.jobCount);
-    kernel.bids.assign(kernel.jobCount, 0.0);
-    kernel.scratch.assign(kernel.jobCount, 0.0);
-    for (std::size_t i = 0; i < kernel.userCount; ++i) {
-        const auto &user = market.user(i);
-        kernel.budget[i] = user.budget;
-        std::size_t e = kernel.userOffset[i];
-        for (const auto &job : user.jobs) {
-            kernel.server[e] = job.server;
-            kernel.fraction[e] = job.parallelFraction;
-            kernel.sqrtFw[e] =
-                std::sqrt(job.parallelFraction * job.weight);
-            ++e;
-        }
-    }
-
-    kernel.capacity.resize(kernel.serverCount);
-    for (std::size_t j = 0; j < kernel.serverCount; ++j)
-        kernel.capacity[j] = market.capacity(j);
-
-    // CSR: counting sort of flat job ids by server. Ids come out
-    // increasing per server because the fill scans them in order.
-    kernel.serverJobOffset.assign(kernel.serverCount + 1, 0);
-    for (std::size_t e = 0; e < kernel.jobCount; ++e)
-        ++kernel.serverJobOffset[kernel.server[e] + 1];
-    for (std::size_t j = 0; j < kernel.serverCount; ++j)
-        kernel.serverJobOffset[j + 1] += kernel.serverJobOffset[j];
-    kernel.serverJobIds.resize(kernel.jobCount);
-    std::vector<std::size_t> cursor(
-        kernel.serverJobOffset.begin(),
-        kernel.serverJobOffset.end() - 1);
-    for (std::size_t e = 0; e < kernel.jobCount; ++e)
-        kernel.serverJobIds[cursor[kernel.server[e]]++] = e;
-
-    return kernel;
-}
-
-void
-flattenBids(const JobMatrix &bids, BidKernel &kernel)
-{
-    for (std::size_t i = 0; i < kernel.userCount; ++i) {
-        std::copy(bids[i].begin(), bids[i].end(),
-                  kernel.bids.begin() +
-                      static_cast<std::ptrdiff_t>(kernel.userOffset[i]));
-    }
-}
-
-void
-unflattenBids(const BidKernel &kernel, JobMatrix &bids)
-{
-    bids.resize(kernel.userCount);
-    for (std::size_t i = 0; i < kernel.userCount; ++i) {
-        const std::size_t lo = kernel.userOffset[i];
-        const std::size_t hi = kernel.userOffset[i + 1];
-        bids[i].assign(kernel.bids.begin() +
-                           static_cast<std::ptrdiff_t>(lo),
-                       kernel.bids.begin() +
-                           static_cast<std::ptrdiff_t>(hi));
-    }
-}
-
-/**
- * Recompute prices from the flat bids: p_j = sum b_ij / C_j.
- *
- * Parallel over servers; each server's sum runs over its CSR id list
- * front to back, reproducing the legacy user-major accumulation order
- * exactly (see BidKernel), so the result is bit-identical at any
- * thread count.
- */
-void
-gatherPrices(const BidKernel &kernel, std::vector<double> &prices)
-{
-    exec::parallelFor(
-        0, kernel.serverCount, kServerGrain,
-        [&](std::size_t lo, std::size_t hi) {
-            for (std::size_t j = lo; j < hi; ++j) {
-                double sum = 0.0;
-                const std::size_t jb = kernel.serverJobOffset[j];
-                const std::size_t je = kernel.serverJobOffset[j + 1];
-                for (std::size_t s = jb; s < je; ++s)
-                    sum += kernel.bids[kernel.serverJobIds[s]];
-                prices[j] = sum / kernel.capacity[j];
-            }
-        });
-}
-
-/**
- * One proportional-response update for user @p i against @p posted
- * prices, writing the (damped) next bids in place. Bitwise identical
- * to updateUserBids + the solver's damping blend; shared by both
- * schedules so they cannot drift apart.
- */
-inline void
-updateOneUser(BidKernel &kernel, std::size_t i,
-              const std::vector<double> &posted, double damping)
-{
-    const std::size_t lo = kernel.userOffset[i];
-    const std::size_t hi = kernel.userOffset[i + 1];
-    double total = 0.0;
-    for (std::size_t e = lo; e < hi; ++e) {
-        const double p = posted[kernel.server[e]];
-        double propensity = 0.0;
-        if (p > 0.0 && kernel.bids[e] > 0.0) {
-            const double x = kernel.bids[e] / p;
-            propensity = kernel.sqrtFw[e] * std::sqrt(p) *
-                         amdahlSpeedup(kernel.fraction[e], x);
-        }
-        kernel.scratch[e] = propensity;
-        total += propensity;
-    }
-
-    if (total <= 0.0) {
-        // All propensities vanished (e.g. fully serial jobs): fall
-        // back to an even split so the budget is still exhausted.
-        const double even =
-            kernel.budget[i] / static_cast<double>(hi - lo);
-        for (std::size_t e = lo; e < hi; ++e) {
-            kernel.bids[e] =
-                damping < 1.0
-                    ? (1.0 - damping) * kernel.bids[e] + damping * even
-                    : even;
-        }
-        return;
-    }
-    AMDAHL_CHECK_FINITE(total);
-    for (std::size_t e = lo; e < hi; ++e) {
-        const double proposal =
-            kernel.budget[i] * kernel.scratch[e] / total;
-        AMDAHL_CHECK_FINITE(proposal);
-        AMDAHL_ASSERT(proposal >= 0.0,
-                      "proportional update produced a negative bid ",
-                      "for user ", i);
-        kernel.bids[e] =
-            damping < 1.0
-                ? (1.0 - damping) * kernel.bids[e] + damping * proposal
-                : proposal;
-    }
-}
-
-} // namespace
 
 void
 updateUserBids(const MarketUser &user, const std::vector<double> &prices,
@@ -281,25 +67,7 @@ updateUserBids(const MarketUser &user, const std::vector<double> &prices,
 BiddingResult
 solveAmdahlBidding(const FisherMarket &market, const BiddingOptions &opts)
 {
-    market.validate();
-    if (opts.priceTolerance <= 0.0)
-        fatal("price tolerance must be positive");
-    if (opts.maxIterations < 1)
-        fatal("need at least one iteration");
-    if (opts.damping <= 0.0 || opts.damping > 1.0)
-        fatal("damping must be in (0, 1], got ", opts.damping);
-    if (opts.transport.lossRate < 0.0 || opts.transport.lossRate > 1.0)
-        fatal("bid loss rate must be in [0, 1], got ",
-              opts.transport.lossRate);
-    if (opts.deadline.wallClockSeconds < 0.0 ||
-        !std::isfinite(opts.deadline.wallClockSeconds)) {
-        fatal("wall-clock deadline must be finite and non-negative, "
-              "got ", opts.deadline.wallClockSeconds);
-    }
-    if (opts.deadline.iterationBudget < 0) {
-        fatal("iteration budget must be non-negative, got ",
-              opts.deadline.iterationBudget);
-    }
+    detail::validateBiddingCommon(market, opts);
 
     const std::size_t n = market.userCount();
     const std::size_t m = market.serverCount();
@@ -312,79 +80,15 @@ solveAmdahlBidding(const FisherMarket &market, const BiddingOptions &opts)
         obs::timeHistogram("time.bidding.update_us");
     obs::Histogram *prices_hist =
         obs::timeHistogram("time.bidding.prices_us");
-    if (auto *sink = obs::traceSink()) {
-        obs::TraceEvent(*sink, "bidding_start")
-            .field("users", n)
-            .field("servers", m)
-            .field("schedule",
-                   opts.schedule == UpdateSchedule::GaussSeidel
-                       ? "gauss_seidel"
-                       : "synchronous")
-            .field("damping", opts.damping)
-            .field("warm_start", !opts.initialBids.empty())
-            .field("deadline_armed", opts.deadline.enabled());
-    }
+    detail::traceBiddingStart(n, m, opts);
 
     BiddingResult result;
-    result.bids.resize(n);
     result.prices.assign(m, 0.0);
+    detail::initializeBids(market, opts, result.bids);
 
-    // Initial bids: warm start when provided, else an even split of
-    // each budget.
-    if (!opts.initialBids.empty() &&
-        opts.initialBids.size() != n) {
-        fatal("warm-start bids have ", opts.initialBids.size(),
-              " users, expected ", n);
-    }
-    for (std::size_t i = 0; i < n; ++i) {
-        const auto &user = market.user(i);
-        const double even =
-            user.budget / static_cast<double>(user.jobs.size());
-        result.bids[i].assign(user.jobs.size(), even);
-        if (opts.initialBids.empty())
-            continue;
-        const auto &seed = opts.initialBids[i];
-        if (seed.size() != user.jobs.size()) {
-            fatal("warm-start bids for user ", i, " have ",
-                  seed.size(), " jobs, expected ", user.jobs.size());
-        }
-        double total = 0.0;
-        bool usable = true;
-        for (double b : seed) {
-            if (b < 0.0 || !std::isfinite(b))
-                usable = false;
-            total += b;
-        }
-        if (!usable || total <= 0.0)
-            continue; // Fall back to the even split.
-        for (std::size_t k = 0; k < seed.size(); ++k) {
-            // Keep strictly positive bids so the proportional update
-            // can move every coordinate.
-            result.bids[i][k] = std::max(1e-12 * user.budget,
-                                         user.budget * seed[k] / total);
-            AMDAHL_CHECK_FINITE(result.bids[i][k]);
-            AMDAHL_ASSERT(result.bids[i][k] > 0.0,
-                          "warm start produced a non-positive bid ",
-                          "for user '", user.name, "' job ", k);
-        }
-        // Contract: renormalization restores budget exhaustion (Eq.
-        // 10) no matter how stale or rescaled the seed bids were; the
-        // positivity floor can only inflate the sum by jobs * 1e-12.
-        if constexpr (checkedBuild) {
-            double renormalized = 0.0;
-            for (double b : result.bids[i])
-                renormalized += b;
-            AMDAHL_ASSERT(std::abs(renormalized - user.budget) <=
-                              1e-9 * user.budget *
-                                  static_cast<double>(seed.size() + 1),
-                          "warm start broke budget conservation for ",
-                          "user '", user.name, "'");
-        }
-    }
-
-    BidKernel kernel = buildKernel(market);
-    flattenBids(result.bids, kernel);
-    gatherPrices(kernel, result.prices);
+    detail::BidKernel kernel = detail::buildKernel(market);
+    detail::flattenBids(result.bids, kernel);
+    detail::gatherPrices(kernel, result.prices);
 
     // Anytime bookkeeping. The best-so-far snapshot is seeded with the
     // initial state: on a validated market every server hosts a job and
@@ -460,8 +164,8 @@ solveAmdahlBidding(const FisherMarket &market, const BiddingOptions &opts)
                             static_cast<std::ptrdiff_t>(lo),
                         kernel.bids.begin() +
                             static_cast<std::ptrdiff_t>(hi));
-                    updateOneUser(kernel, i, live_prices,
-                                  opts.damping);
+                    detail::updateOneUser(kernel, i, live_prices,
+                                          opts.damping);
                     for (std::size_t e = lo; e < hi; ++e) {
                         const std::size_t j = kernel.server[e];
                         live_prices[j] +=
@@ -474,13 +178,14 @@ solveAmdahlBidding(const FisherMarket &market, const BiddingOptions &opts)
                 // prices and writes only her own bid slots — disjoint
                 // per chunk, so the fan-out commutes bitwise.
                 exec::parallelFor(
-                    0, n, kUserGrain,
+                    0, n, detail::kUserGrain,
                     [&](std::size_t ulo, std::size_t uhi) {
                         for (std::size_t i = ulo; i < uhi; ++i) {
                             if (lossy && lost[i])
                                 continue;
-                            updateOneUser(kernel, i, result.prices,
-                                          opts.damping);
+                            detail::updateOneUser(kernel, i,
+                                                  result.prices,
+                                                  opts.damping);
                         }
                     });
             }
@@ -488,41 +193,14 @@ solveAmdahlBidding(const FisherMarket &market, const BiddingOptions &opts)
 
         {
             obs::ScopedTimer prices_timer(prices_hist);
-            gatherPrices(kernel, new_prices);
+            detail::gatherPrices(kernel, new_prices);
         }
 
-        // Contract: after every proportional-response round, prices
-        // stay positive and finite, bids stay non-negative, and each
-        // user's bids still sum to her budget (paper Eq. 10).
-        if constexpr (checkedBuild) {
-            unflattenBids(kernel, result.bids);
-            invariants::CheckMarketState(new_prices, result.bids,
-                                         "bidding round");
-            std::vector<double> budgets(n);
-            for (std::size_t i = 0; i < n; ++i)
-                budgets[i] = market.user(i).budget;
-            invariants::CheckBidBudgets(result.bids, budgets, 1e-9,
-                                        "bidding round");
-        }
+        detail::checkRoundInvariants(market, kernel, new_prices,
+                                     result.bids);
 
-        // max over chunks is exact (no rounding), so the tree fold is
-        // trivially order-independent; the reduce keeps the scan off
-        // the critical path at high thread counts.
-        const double max_delta = exec::parallelReduce(
-            std::size_t{0}, m, kServerGrain, 0.0,
-            [&](std::size_t lo, std::size_t hi) {
-                double chunk_max = 0.0;
-                for (std::size_t j = lo; j < hi; ++j) {
-                    const double base =
-                        std::max(result.prices[j], 1e-300);
-                    chunk_max = std::max(
-                        chunk_max,
-                        std::abs(new_prices[j] - result.prices[j]) /
-                            base);
-                }
-                return chunk_max;
-            },
-            [](double a, double b) { return std::max(a, b); });
+        const double max_delta =
+            detail::maxPriceDelta(result.prices, new_prices, m);
         result.prices = new_prices;
         result.iterations = it + 1;
         if (opts.trackHistory)
@@ -583,52 +261,9 @@ solveAmdahlBidding(const FisherMarket &market, const BiddingOptions &opts)
                 .count();
     }
 
-    {
-        auto &reg = obs::metrics();
-        reg.counter("bidding.solves").add();
-        reg.counter("bidding.iterations")
-            .add(static_cast<std::uint64_t>(result.iterations));
-        if (!result.converged)
-            reg.counter("bidding.non_converged").add();
-        if (result.deadlineExpired)
-            reg.counter("bidding.deadline_expired").add();
-        if (lost_messages > 0)
-            reg.counter("bidding.lost_messages").add(lost_messages);
-    }
-    if (auto *sink = obs::traceSink()) {
-        obs::TraceEvent(*sink, "bidding_end")
-            .field("iterations", result.iterations)
-            .field("converged", result.converged)
-            .field("deadline_expired", result.deadlineExpired);
-    }
-
-    unflattenBids(kernel, result.bids);
-
-    // Final allocations: x_ij = b_ij / p_j.
-    result.allocation.resize(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        const auto &jobs = market.user(i).jobs;
-        result.allocation[i].resize(jobs.size());
-        for (std::size_t k = 0; k < jobs.size(); ++k) {
-            const double p = result.prices[jobs[k].server];
-            ensure(p > 0.0, "zero equilibrium price on server ",
-                   jobs[k].server);
-            result.allocation[i][k] = result.bids[i][k] / p;
-        }
-    }
-
-    // Contract: x = b / p clears every server exactly up to rounding,
-    // and never over-subscribes capacity.
-    if constexpr (checkedBuild) {
-        std::vector<double> loads(m, 0.0);
-        for (std::size_t i = 0; i < n; ++i) {
-            const auto &jobs = market.user(i).jobs;
-            for (std::size_t k = 0; k < jobs.size(); ++k)
-                loads[jobs[k].server] += result.allocation[i][k];
-        }
-        invariants::CheckAllocationFeasible(loads, market.capacities(),
-                                            1e-6, "bidding allocation");
-    }
+    detail::recordSolveEnd(result, lost_messages);
+    detail::unflattenBids(kernel, result.bids);
+    detail::finalizeAllocation(market, result, true);
     return result;
 }
 

@@ -19,9 +19,15 @@
 #ifndef AMDAHL_CORE_BIDDING_HH
 #define AMDAHL_CORE_BIDDING_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "core/market.hh"
+
+namespace amdahl::net {
+struct ShardedOptions;
+struct NetSession;
+} // namespace amdahl::net
 
 namespace amdahl::core {
 
@@ -158,6 +164,48 @@ struct BiddingResult : MarketOutcome
  */
 BiddingResult solveAmdahlBidding(const FisherMarket &market,
                                  const BiddingOptions &opts = {});
+
+/**
+ * Everything an allocation policy needs to know about *how* to clear:
+ * the per-user bid-loss model and, when sharded clearing is enabled,
+ * the protocol options and the cross-epoch transport session. Plain
+ * pointers — the caller (eval/online) owns both and guarantees they
+ * outlive the allocate() call.
+ */
+struct ClearingContext
+{
+    BidTransportFaults transport;
+    /** Non-null enables sharded clearing over the simulated network. */
+    const net::ShardedOptions *sharding = nullptr;
+    /** Persistent transport state; may be null for a one-shot solve. */
+    net::NetSession *session = nullptr;
+};
+
+/**
+ * Amdahl Bidding as a distributed epoch-barrier protocol over the
+ * deterministic simulated transport (src/net/): users grouped into
+ * shards, per-round per-(server, block) bid aggregates, a virtual-time
+ * barrier with bounded retransmit + exponential backoff, and
+ * partial-quorum degraded rounds under faults (see DESIGN.md §14).
+ *
+ * Determinism bridge: with every fault rate zero and no scheduled
+ * partitions, the result — traces, metrics (modulo exec.steal), bids,
+ * prices, allocations — is byte-identical to solveAmdahlBidding at
+ * any shard count. Requires the Synchronous schedule and no
+ * wall-clock deadline (virtual time only); fatals otherwise.
+ *
+ * @param market  The allocation problem (validated internally).
+ * @param opts    Termination/damping options (schedule must be
+ *                Synchronous; wallClockSeconds must be 0).
+ * @param sharded Shard/barrier/fault configuration; must be enabled()
+ *                and pass validateShardedOptions (fatal otherwise).
+ * @param session Cross-epoch transport state, or nullptr to use a
+ *                throwaway session starting at tick 0, round 0.
+ */
+BiddingResult solveShardedBidding(const FisherMarket &market,
+                                  const BiddingOptions &opts,
+                                  const net::ShardedOptions &sharded,
+                                  net::NetSession *session = nullptr);
 
 /**
  * One proportional-response bid update for a single user (exposed for

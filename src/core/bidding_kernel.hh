@@ -1,0 +1,551 @@
+/**
+ * @file
+ * Shared internals of the proportional-response clearing solvers.
+ *
+ * The in-process solver (bidding.cc) and the sharded epoch-barrier
+ * solver (bidding_sharded.cc) must produce byte-identical results in
+ * the fault-free case — ISSUE 8's determinism bridge. The only way to
+ * keep two round loops bit-compatible is to make them share every
+ * numeric kernel, so this header holds the structure-of-arrays view,
+ * the bid update, the price accumulation, the delta reduction, and
+ * the entry/exit bookkeeping as inline functions in core::detail.
+ *
+ * ## The blocked canonical price fold
+ *
+ * Per-server price sums are defined as a left fold over fixed-size
+ * *price blocks* of kPriceBlockUsers consecutive users: block b's
+ * partial on server j is the front-to-back sum of that block's CSR
+ * bid entries, and p_j * C_j = ((0 + part_0) + part_1) + ... in
+ * block order. The block size is a constant — never derived from the
+ * shard or thread count — so the addition tree is a function of the
+ * market alone. A shard owns whole blocks and ships per-(server,
+ * block) partials; the coordinator folds a dense block x server
+ * table. Zero-valued partials (blocks absent on a server) are
+ * bitwise no-ops under IEEE addition (x + 0.0 == x for the
+ * non-negative partials bids produce), so the streaming in-process
+ * fold over present blocks and the dense table fold over all blocks
+ * agree bit for bit — at any shard count, including the legacy
+ * single-fold result for markets of at most one block.
+ */
+
+#ifndef AMDAHL_CORE_BIDDING_KERNEL_HH
+#define AMDAHL_CORE_BIDDING_KERNEL_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hh"
+#include "common/invariants.hh"
+#include "common/logging.hh"
+#include "core/amdahl.hh"
+#include "core/bidding.hh"
+#include "exec/thread_pool.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace amdahl::core::detail {
+
+/** Users per parallelFor chunk in the Synchronous bid-update kernel.
+ *  Fixed (never derived from the thread count) so the chunk layout —
+ *  and with it exec.tasks and every reduction tree — is identical at
+ *  any thread count. */
+constexpr std::size_t kUserGrain = 32;
+
+/** Servers per chunk in the price gather and the delta reduction. */
+constexpr std::size_t kServerGrain = 8;
+
+/** Users per canonical price-accumulation block (see file header).
+ *  Matches kUserGrain so one update chunk produces one block. */
+constexpr std::size_t kPriceBlockUsers = 32;
+
+/** Number of price blocks covering @p userCount users. */
+inline std::size_t
+priceBlockCount(std::size_t userCount)
+{
+    return (userCount + kPriceBlockUsers - 1) / kPriceBlockUsers;
+}
+
+/**
+ * Structure-of-arrays view of one clearing problem.
+ *
+ * The per-user AoS layout (MarketUser::jobs, JobMatrix) is the right
+ * API shape but the wrong iteration shape: the proportional-response
+ * inner loop touches three doubles per job and pays a pointer chase
+ * per user per field. The kernel flattens every job to one index e in
+ * user-major order and keeps each field contiguous. The loop-invariant
+ * factor sqrt(f_ij * w_ij) of the propensity U_ij = sqrt(f w p) s(x)
+ * is hoisted here, once per clearing — the per-round kernel multiplies
+ * it by sqrt(p_j), which is exactly the factorization updateUserBids
+ * uses, so kernel bids match the reference function bit for bit.
+ *
+ * Prices are gathered server-major through a CSR index
+ * (serverJobOffset/serverJobIds). Flat job ids are user-major, so each
+ * server's id list is increasing in (user, job) order — within a price
+ * block, summing it front to back performs the *same sequence of
+ * additions* as the legacy user-major scatter did; across blocks the
+ * canonical left fold takes over (see the file header for the full
+ * determinism argument, DESIGN.md §11/§14).
+ */
+struct BidKernel
+{
+    std::size_t userCount = 0;
+    std::size_t serverCount = 0;
+    std::size_t jobCount = 0;
+
+    std::vector<std::size_t> userOffset; // userCount + 1
+    std::vector<double> budget;          // per user
+
+    // Per flat job, user-major.
+    std::vector<std::size_t> server;
+    std::vector<double> fraction;        // f_ij
+    std::vector<double> sqrtFw;          // sqrt(f_ij * w_ij), hoisted
+    std::vector<double> bids;            // b_ij, the iterated state
+    std::vector<double> scratch;         // unnormalized propensities
+    std::vector<std::uint64_t> jobBlock; // owning user's price block
+
+    // Server-major CSR over flat job ids (increasing within a server).
+    std::vector<std::size_t> serverJobOffset; // serverCount + 1
+    std::vector<std::size_t> serverJobIds;
+
+    std::vector<double> capacity; // per server
+};
+
+inline BidKernel
+buildKernel(const FisherMarket &market)
+{
+    BidKernel kernel;
+    kernel.userCount = market.userCount();
+    kernel.serverCount = market.serverCount();
+
+    kernel.userOffset.reserve(kernel.userCount + 1);
+    kernel.userOffset.push_back(0);
+    for (std::size_t i = 0; i < kernel.userCount; ++i) {
+        kernel.userOffset.push_back(kernel.userOffset.back() +
+                                    market.user(i).jobs.size());
+    }
+    kernel.jobCount = kernel.userOffset.back();
+
+    kernel.budget.resize(kernel.userCount);
+    kernel.server.resize(kernel.jobCount);
+    kernel.fraction.resize(kernel.jobCount);
+    kernel.sqrtFw.resize(kernel.jobCount);
+    kernel.bids.assign(kernel.jobCount, 0.0);
+    kernel.scratch.assign(kernel.jobCount, 0.0);
+    kernel.jobBlock.resize(kernel.jobCount);
+    for (std::size_t i = 0; i < kernel.userCount; ++i) {
+        const auto &user = market.user(i);
+        kernel.budget[i] = user.budget;
+        std::size_t e = kernel.userOffset[i];
+        for (const auto &job : user.jobs) {
+            kernel.server[e] = job.server;
+            kernel.fraction[e] = job.parallelFraction;
+            kernel.sqrtFw[e] =
+                std::sqrt(job.parallelFraction * job.weight);
+            kernel.jobBlock[e] =
+                static_cast<std::uint64_t>(i / kPriceBlockUsers);
+            ++e;
+        }
+    }
+
+    kernel.capacity.resize(kernel.serverCount);
+    for (std::size_t j = 0; j < kernel.serverCount; ++j)
+        kernel.capacity[j] = market.capacity(j);
+
+    // CSR: counting sort of flat job ids by server. Ids come out
+    // increasing per server because the fill scans them in order.
+    kernel.serverJobOffset.assign(kernel.serverCount + 1, 0);
+    for (std::size_t e = 0; e < kernel.jobCount; ++e)
+        ++kernel.serverJobOffset[kernel.server[e] + 1];
+    for (std::size_t j = 0; j < kernel.serverCount; ++j)
+        kernel.serverJobOffset[j + 1] += kernel.serverJobOffset[j];
+    kernel.serverJobIds.resize(kernel.jobCount);
+    std::vector<std::size_t> cursor(
+        kernel.serverJobOffset.begin(),
+        kernel.serverJobOffset.end() - 1);
+    for (std::size_t e = 0; e < kernel.jobCount; ++e)
+        kernel.serverJobIds[cursor[kernel.server[e]]++] = e;
+
+    return kernel;
+}
+
+inline void
+flattenBids(const JobMatrix &bids, BidKernel &kernel)
+{
+    for (std::size_t i = 0; i < kernel.userCount; ++i) {
+        std::copy(bids[i].begin(), bids[i].end(),
+                  kernel.bids.begin() +
+                      static_cast<std::ptrdiff_t>(kernel.userOffset[i]));
+    }
+}
+
+inline void
+unflattenBids(const BidKernel &kernel, JobMatrix &bids)
+{
+    bids.resize(kernel.userCount);
+    for (std::size_t i = 0; i < kernel.userCount; ++i) {
+        const std::size_t lo = kernel.userOffset[i];
+        const std::size_t hi = kernel.userOffset[i + 1];
+        bids[i].assign(kernel.bids.begin() +
+                           static_cast<std::ptrdiff_t>(lo),
+                       kernel.bids.begin() +
+                           static_cast<std::ptrdiff_t>(hi));
+    }
+}
+
+/**
+ * Recompute prices from the flat bids: p_j = sum b_ij / C_j via the
+ * blocked canonical fold (file header). Parallel over servers; each
+ * server streams its CSR id list front to back, closing a block
+ * partial whenever the owning block changes — block ids are
+ * non-decreasing along the list because flat ids are user-major.
+ */
+inline void
+gatherPrices(const BidKernel &kernel, std::vector<double> &prices)
+{
+    exec::parallelFor(
+        0, kernel.serverCount, kServerGrain,
+        [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t j = lo; j < hi; ++j) {
+                double sum = 0.0;
+                double part = 0.0;
+                std::uint64_t block = 0;
+                const std::size_t jb = kernel.serverJobOffset[j];
+                const std::size_t je = kernel.serverJobOffset[j + 1];
+                for (std::size_t s = jb; s < je; ++s) {
+                    const std::size_t e = kernel.serverJobIds[s];
+                    if (kernel.jobBlock[e] != block) {
+                        sum += part;
+                        part = 0.0;
+                        block = kernel.jobBlock[e];
+                    }
+                    part += kernel.bids[e];
+                }
+                prices[j] = (sum + part) / kernel.capacity[j];
+            }
+        });
+}
+
+/**
+ * Fill rows [blockLo, blockHi) of the dense block x server partial
+ * table from the kernel's current bids. Row b holds block b's
+ * front-to-back partial per server (zero where the block has no jobs
+ * on a server). Serial: callers decide the fan-out.
+ */
+inline void
+accumulateBlockPartials(const BidKernel &kernel, std::size_t blockLo,
+                        std::size_t blockHi, std::vector<double> &table)
+{
+    const std::size_t m = kernel.serverCount;
+    for (std::size_t b = blockLo; b < blockHi; ++b) {
+        double *row = table.data() + b * m;
+        std::fill(row, row + m, 0.0);
+        const std::size_t uLo = b * kPriceBlockUsers;
+        const std::size_t uHi =
+            std::min(kernel.userCount, uLo + kPriceBlockUsers);
+        // User-major within the block == the CSR order restricted to
+        // the block, so these partials match gatherPrices bitwise.
+        for (std::size_t e = kernel.userOffset[uLo];
+             e < kernel.userOffset[uHi]; ++e)
+            row[kernel.server[e]] += kernel.bids[e];
+    }
+}
+
+/**
+ * Fold the dense partial table into prices: the canonical left fold
+ * over all blocks, zeros included. Same parallel shape as
+ * gatherPrices, so exec.tasks agrees between the two solvers.
+ */
+inline void
+foldPriceTable(const std::vector<double> &table, std::size_t blockCount,
+               const BidKernel &kernel, std::vector<double> &prices)
+{
+    const std::size_t m = kernel.serverCount;
+    exec::parallelFor(
+        0, m, kServerGrain, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t j = lo; j < hi; ++j) {
+                double sum = 0.0;
+                for (std::size_t b = 0; b < blockCount; ++b)
+                    sum += table[b * m + j];
+                prices[j] = sum / kernel.capacity[j];
+            }
+        });
+}
+
+/**
+ * One proportional-response update for user @p i against @p posted
+ * prices, writing the (damped) next bids in place. Bitwise identical
+ * to updateUserBids + the solver's damping blend; shared by both
+ * schedules and both solvers so they cannot drift apart.
+ */
+inline void
+updateOneUser(BidKernel &kernel, std::size_t i,
+              const std::vector<double> &posted, double damping)
+{
+    const std::size_t lo = kernel.userOffset[i];
+    const std::size_t hi = kernel.userOffset[i + 1];
+    double total = 0.0;
+    for (std::size_t e = lo; e < hi; ++e) {
+        const double p = posted[kernel.server[e]];
+        double propensity = 0.0;
+        if (p > 0.0 && kernel.bids[e] > 0.0) {
+            const double x = kernel.bids[e] / p;
+            propensity = kernel.sqrtFw[e] * std::sqrt(p) *
+                         amdahlSpeedup(kernel.fraction[e], x);
+        }
+        kernel.scratch[e] = propensity;
+        total += propensity;
+    }
+
+    if (total <= 0.0) {
+        // All propensities vanished (e.g. fully serial jobs): fall
+        // back to an even split so the budget is still exhausted.
+        const double even =
+            kernel.budget[i] / static_cast<double>(hi - lo);
+        for (std::size_t e = lo; e < hi; ++e) {
+            kernel.bids[e] =
+                damping < 1.0
+                    ? (1.0 - damping) * kernel.bids[e] + damping * even
+                    : even;
+        }
+        return;
+    }
+    AMDAHL_CHECK_FINITE(total);
+    for (std::size_t e = lo; e < hi; ++e) {
+        const double proposal =
+            kernel.budget[i] * kernel.scratch[e] / total;
+        AMDAHL_CHECK_FINITE(proposal);
+        AMDAHL_ASSERT(proposal >= 0.0,
+                      "proportional update produced a negative bid ",
+                      "for user ", i);
+        kernel.bids[e] =
+            damping < 1.0
+                ? (1.0 - damping) * kernel.bids[e] + damping * proposal
+                : proposal;
+    }
+}
+
+/** The option fatals shared by both solvers (plus market.validate()). */
+inline void
+validateBiddingCommon(const FisherMarket &market,
+                      const BiddingOptions &opts)
+{
+    market.validate();
+    if (opts.priceTolerance <= 0.0)
+        fatal("price tolerance must be positive");
+    if (opts.maxIterations < 1)
+        fatal("need at least one iteration");
+    if (opts.damping <= 0.0 || opts.damping > 1.0)
+        fatal("damping must be in (0, 1], got ", opts.damping);
+    if (opts.transport.lossRate < 0.0 || opts.transport.lossRate > 1.0)
+        fatal("bid loss rate must be in [0, 1], got ",
+              opts.transport.lossRate);
+    if (opts.deadline.wallClockSeconds < 0.0 ||
+        !std::isfinite(opts.deadline.wallClockSeconds)) {
+        fatal("wall-clock deadline must be finite and non-negative, "
+              "got ", opts.deadline.wallClockSeconds);
+    }
+    if (opts.deadline.iterationBudget < 0) {
+        fatal("iteration budget must be non-negative, got ",
+              opts.deadline.iterationBudget);
+    }
+}
+
+/** The bidding_start trace event, identical from both solvers. */
+inline void
+traceBiddingStart(std::size_t n, std::size_t m,
+                  const BiddingOptions &opts)
+{
+    if (auto *sink = obs::traceSink()) {
+        obs::TraceEvent(*sink, "bidding_start")
+            .field("users", n)
+            .field("servers", m)
+            .field("schedule",
+                   opts.schedule == UpdateSchedule::GaussSeidel
+                       ? "gauss_seidel"
+                       : "synchronous")
+            .field("damping", opts.damping)
+            .field("warm_start", !opts.initialBids.empty())
+            .field("deadline_armed", opts.deadline.enabled());
+    }
+}
+
+/**
+ * Initial bids: warm start when provided, else an even split of each
+ * budget (with renormalization and a strict-positivity floor for warm
+ * starts — see the budget-conservation contract inline).
+ */
+inline void
+initializeBids(const FisherMarket &market, const BiddingOptions &opts,
+               JobMatrix &bids)
+{
+    const std::size_t n = market.userCount();
+    if (!opts.initialBids.empty() && opts.initialBids.size() != n) {
+        fatal("warm-start bids have ", opts.initialBids.size(),
+              " users, expected ", n);
+    }
+    bids.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto &user = market.user(i);
+        const double even =
+            user.budget / static_cast<double>(user.jobs.size());
+        bids[i].assign(user.jobs.size(), even);
+        if (opts.initialBids.empty())
+            continue;
+        const auto &seed = opts.initialBids[i];
+        if (seed.size() != user.jobs.size()) {
+            fatal("warm-start bids for user ", i, " have ",
+                  seed.size(), " jobs, expected ", user.jobs.size());
+        }
+        double total = 0.0;
+        bool usable = true;
+        for (double b : seed) {
+            if (b < 0.0 || !std::isfinite(b))
+                usable = false;
+            total += b;
+        }
+        if (!usable || total <= 0.0)
+            continue; // Fall back to the even split.
+        for (std::size_t k = 0; k < seed.size(); ++k) {
+            // Keep strictly positive bids so the proportional update
+            // can move every coordinate.
+            bids[i][k] = std::max(1e-12 * user.budget,
+                                  user.budget * seed[k] / total);
+            AMDAHL_CHECK_FINITE(bids[i][k]);
+            AMDAHL_ASSERT(bids[i][k] > 0.0,
+                          "warm start produced a non-positive bid ",
+                          "for user '", user.name, "' job ", k);
+        }
+        // Contract: renormalization restores budget exhaustion (Eq.
+        // 10) no matter how stale or rescaled the seed bids were; the
+        // positivity floor can only inflate the sum by jobs * 1e-12.
+        if constexpr (checkedBuild) {
+            double renormalized = 0.0;
+            for (double b : bids[i])
+                renormalized += b;
+            AMDAHL_ASSERT(std::abs(renormalized - user.budget) <=
+                              1e-9 * user.budget *
+                                  static_cast<double>(seed.size() + 1),
+                          "warm start broke budget conservation for ",
+                          "user '", user.name, "'");
+        }
+    }
+}
+
+/**
+ * Contract: after every proportional-response round, prices stay
+ * positive and finite, bids stay non-negative, and each user's bids
+ * still sum to her budget (paper Eq. 10). No code in default builds.
+ */
+inline void
+checkRoundInvariants(const FisherMarket &market, const BidKernel &kernel,
+                     const std::vector<double> &newPrices,
+                     JobMatrix &bidsScratch)
+{
+    if constexpr (checkedBuild) {
+        unflattenBids(kernel, bidsScratch);
+        invariants::CheckMarketState(newPrices, bidsScratch,
+                                     "bidding round");
+        const std::size_t n = market.userCount();
+        std::vector<double> budgets(n);
+        for (std::size_t i = 0; i < n; ++i)
+            budgets[i] = market.user(i).budget;
+        invariants::CheckBidBudgets(bidsScratch, budgets, 1e-9,
+                                    "bidding round");
+    }
+}
+
+/**
+ * Relative max price movement between rounds. max over chunks is
+ * exact (no rounding), so the tree fold is trivially
+ * order-independent; the reduce keeps the scan off the critical path
+ * at high thread counts.
+ */
+inline double
+maxPriceDelta(const std::vector<double> &oldPrices,
+              const std::vector<double> &newPrices, std::size_t m)
+{
+    return exec::parallelReduce(
+        std::size_t{0}, m, kServerGrain, 0.0,
+        [&](std::size_t lo, std::size_t hi) {
+            double chunk_max = 0.0;
+            for (std::size_t j = lo; j < hi; ++j) {
+                const double base = std::max(oldPrices[j], 1e-300);
+                chunk_max = std::max(
+                    chunk_max,
+                    std::abs(newPrices[j] - oldPrices[j]) / base);
+            }
+            return chunk_max;
+        },
+        [](double a, double b) { return std::max(a, b); });
+}
+
+/** The bidding.* solve counters + bidding_end event, shared. */
+inline void
+recordSolveEnd(const BiddingResult &result, std::uint64_t lostMessages)
+{
+    auto &reg = obs::metrics();
+    reg.counter("bidding.solves").add();
+    reg.counter("bidding.iterations")
+        .add(static_cast<std::uint64_t>(result.iterations));
+    if (!result.converged)
+        reg.counter("bidding.non_converged").add();
+    if (result.deadlineExpired)
+        reg.counter("bidding.deadline_expired").add();
+    if (lostMessages > 0)
+        reg.counter("bidding.lost_messages").add(lostMessages);
+    if (auto *sink = obs::traceSink()) {
+        obs::TraceEvent(*sink, "bidding_end")
+            .field("iterations", result.iterations)
+            .field("converged", result.converged)
+            .field("deadline_expired", result.deadlineExpired);
+    }
+}
+
+/**
+ * Final allocations x_ij = b_ij / p_j, plus the clearing-feasibility
+ * contract in checked builds. @p checkFeasible lets the sharded
+ * solver skip the contract when its final round served stale
+ * aggregates: shard-local bids and coordinator prices are then
+ * legitimately inconsistent (the degraded round is the point), and
+ * the non-converged result escalates through the fallback ladder
+ * instead.
+ */
+inline void
+finalizeAllocation(const FisherMarket &market, BiddingResult &result,
+                   bool checkFeasible)
+{
+    const std::size_t n = market.userCount();
+    const std::size_t m = market.serverCount();
+    result.allocation.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto &jobs = market.user(i).jobs;
+        result.allocation[i].resize(jobs.size());
+        for (std::size_t k = 0; k < jobs.size(); ++k) {
+            const double p = result.prices[jobs[k].server];
+            ensure(p > 0.0, "zero equilibrium price on server ",
+                   jobs[k].server);
+            result.allocation[i][k] = result.bids[i][k] / p;
+        }
+    }
+
+    // Contract: x = b / p clears every server exactly up to rounding,
+    // and never over-subscribes capacity.
+    if constexpr (checkedBuild) {
+        if (checkFeasible) {
+            std::vector<double> loads(m, 0.0);
+            for (std::size_t i = 0; i < n; ++i) {
+                const auto &jobs = market.user(i).jobs;
+                for (std::size_t k = 0; k < jobs.size(); ++k)
+                    loads[jobs[k].server] += result.allocation[i][k];
+            }
+            invariants::CheckAllocationFeasible(
+                loads, market.capacities(), 1e-6, "bidding allocation");
+        }
+    }
+}
+
+} // namespace amdahl::core::detail
+
+#endif // AMDAHL_CORE_BIDDING_KERNEL_HH

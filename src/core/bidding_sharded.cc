@@ -1,0 +1,600 @@
+/**
+ * @file
+ * Amdahl Bidding as an epoch-barrier protocol over src/net/.
+ *
+ * Users are grouped into shards of whole price blocks. Each round the
+ * coordinator broadcasts a PriceMsg per shard; a shard that receives
+ * it updates its users' bids (proportional response, shared kernel),
+ * ships its per-(server, block) partials back as a BidMsg, and arms
+ * retransmit timers with deterministic exponential backoff. The
+ * coordinator overwrites its dense block x server partial table from
+ * every applied aggregate and waits on a virtual-time barrier: the
+ * round closes when every shard's round-r aggregate has arrived, or
+ * at the barrier deadline, whichever is first. A deadline expiry
+ * clears a partial-quorum degraded round on the stale table — counted,
+ * reasoned (deadline_expired / partition), and staleness-bounded —
+ * and a quorum below the configured floor aborts the solve for the
+ * FallbackPolicy ladder to absorb. Healed shards re-enter with damped
+ * warm-start updates.
+ *
+ * Determinism: all randomness is counter-based (per-edge, round,
+ * attempt substreams), all time is virtual, message processing
+ * follows the transport's total delivery order, and the price fold is
+ * the blocked canonical fold of bidding_kernel.hh — so with zero
+ * fault rates any shard count reproduces the in-process solver byte
+ * for byte, and with faults any (shard count, thread count) pair
+ * reproduces itself.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <tuple>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/check.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "core/bidding.hh"
+#include "core/bidding_kernel.hh"
+#include "exec/thread_pool.hh"
+#include "net/fault_model.hh"
+#include "net/options.hh"
+#include "net/session.hh"
+#include "net/transport.hh"
+#include "obs/degraded.hh"
+#include "obs/metrics.hh"
+#include "obs/timer.hh"
+#include "obs/trace.hh"
+
+namespace amdahl::core {
+
+namespace {
+
+/** A pending shard retransmission (driver-side timer). */
+struct RetransmitTimer
+{
+    net::Ticks tick = 0;
+    std::size_t shard = 0;
+    std::uint64_t round = 0; ///< Global round of the bid being resent.
+    std::uint32_t attempt = 0;
+};
+
+/** Deterministic min-timer: smallest (tick, shard, attempt). */
+int
+nextTimerIndex(const std::vector<RetransmitTimer> &timers)
+{
+    int best = -1;
+    for (std::size_t i = 0; i < timers.size(); ++i) {
+        if (best < 0)
+            best = static_cast<int>(i);
+        else {
+            const auto &a = timers[i];
+            const auto &b = timers[static_cast<std::size_t>(best)];
+            if (std::tuple(a.tick, a.shard, a.attempt) <
+                std::tuple(b.tick, b.shard, b.attempt))
+                best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+BiddingResult
+solveShardedBidding(const FisherMarket &market, const BiddingOptions &opts,
+                    const net::ShardedOptions &sharded,
+                    net::NetSession *session)
+{
+    detail::validateBiddingCommon(market, opts);
+    if (!sharded.enabled())
+        fatal("solveShardedBidding called with sharding disabled");
+    if (const Status st = net::validateShardedOptions(sharded);
+        !st.isOk())
+        fatal("invalid sharded clearing options: ", st.toString());
+    if (opts.schedule == UpdateSchedule::GaussSeidel)
+        fatal("sharded clearing requires the Synchronous schedule");
+    if (opts.deadline.wallClockSeconds > 0.0)
+        fatal("sharded clearing runs in virtual time; wall-clock "
+              "deadlines are not supported (use iterationBudget)");
+
+    const std::size_t n = market.userCount();
+    const std::size_t m = market.serverCount();
+
+    obs::ScopedTimer solve_timer(
+        obs::timeHistogram("time.bidding.solve_us"));
+    obs::Histogram *update_hist =
+        obs::timeHistogram("time.bidding.update_us");
+    obs::Histogram *prices_hist =
+        obs::timeHistogram("time.bidding.prices_us");
+    detail::traceBiddingStart(n, m, opts);
+
+    BiddingResult result;
+    result.prices.assign(m, 0.0);
+    detail::initializeBids(market, opts, result.bids);
+
+    detail::BidKernel kernel = detail::buildKernel(market);
+    detail::flattenBids(result.bids, kernel);
+
+    // Shard layout: contiguous whole price blocks per shard, so shard
+    // boundaries coincide with canonical fold boundaries and the
+    // shard count can never perturb a partial. Effective shard count
+    // is clamped to the block count (a 40-user market has at most two
+    // shards no matter what was asked for).
+    const std::size_t blockCount = detail::priceBlockCount(n);
+    const std::size_t S = std::min(sharded.shards, blockCount);
+    std::vector<std::size_t> blockLo(S + 1);
+    for (std::size_t s = 0; s <= S; ++s)
+        blockLo[s] = s * blockCount / S;
+    std::vector<std::uint32_t> shardOf(n);
+    for (std::size_t s = 0; s < S; ++s) {
+        const std::size_t uLo =
+            std::min(n, blockLo[s] * detail::kPriceBlockUsers);
+        const std::size_t uHi =
+            std::min(n, blockLo[s + 1] * detail::kPriceBlockUsers);
+        for (std::size_t i = uLo; i < uHi; ++i)
+            shardOf[i] = static_cast<std::uint32_t>(s);
+    }
+
+    // Transport plumbing. The session persists across epochs (and
+    // crashes); a null session gets a solve-local throwaway.
+    net::NetSession localSession;
+    net::NetSession *sess = session ? session : &localSession;
+    const std::size_t edgeSpan =
+        2 * std::max(S, sharded.shards);
+    if (sess->edgeSeq.size() < edgeSpan)
+        sess->edgeSeq.resize(edgeSpan, 0);
+    const std::uint64_t base = sess->globalRound;
+    net::VirtualClock clock(sess->ticks);
+    const net::NetFaultModel model(sharded.faults, sharded.partitions);
+    const bool instrumented = model.active();
+    net::NetInstruments instStorage;
+    const net::NetInstruments *inst = nullptr;
+    if (instrumented) {
+        instStorage = net::NetInstruments::bind();
+        inst = &instStorage;
+    }
+    net::VirtualTransport transport(model, *sess, inst);
+
+    // Coordinator state: the dense partial table, seeded from the
+    // initial bids (every shard "fresh as of round base - 1"), and
+    // the canonical fold of it as the opening prices. The scratch
+    // table is the *shard-side* staging area: a shard recomputes its
+    // rows there and ships them as a BidMsg, and the coordinator's
+    // table only changes when that message is actually delivered —
+    // a lost aggregate leaves the coordinator genuinely stale.
+    std::vector<double> table(blockCount * m, 0.0);
+    detail::accumulateBlockPartials(kernel, 0, blockCount, table);
+    detail::foldPriceTable(table, blockCount, kernel, result.prices);
+    std::vector<double> scratch(blockCount * m, 0.0);
+
+    const std::int64_t before =
+        static_cast<std::int64_t>(base) - 1;
+    std::vector<std::int64_t> lastApplied(S, before);  // coordinator
+    std::vector<std::int64_t> lastPriceRound(S, before); // shard-side
+    std::vector<net::Ticks> priceTickLatest(S, clock.now());
+    std::vector<std::vector<double>> postedPrices(S);
+    std::vector<net::Message> lastBid(S);
+    std::vector<std::unordered_set<std::uint64_t>> seenSeq(edgeSpan);
+    std::vector<RetransmitTimer> timers;
+    std::vector<unsigned char> mask(n, 0);
+    std::vector<double> dampShard(S, opts.damping);
+
+    const std::uint64_t quorumMin = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::ceil(
+               sharded.quorumFloor * static_cast<double>(S))));
+
+    // Anytime bookkeeping (iteration budget only — virtual time).
+    const bool anytime = opts.deadline.enabled();
+    std::vector<double> best_bids;
+    std::vector<double> best_prices;
+    double best_delta = std::numeric_limits<double>::infinity();
+    if (anytime) {
+        best_bids = kernel.bids;
+        best_prices = result.prices;
+    }
+
+    const bool lossy = opts.transport.lossRate > 0.0;
+    std::vector<unsigned char> lost;
+    if (lossy)
+        lost.assign(n, 0);
+    std::uint64_t lost_messages = 0;
+
+    std::uint64_t minQuorum = S;
+    bool collapsed = false;
+    bool roundFresh = true;
+    std::vector<double> new_prices(m);
+
+    // One iteration of a shard's protocol reaction to a price it just
+    // applied: recompute its block partials and ship the aggregate,
+    // arming the backoff timers.
+    const auto sendShardBid = [&](std::size_t s, std::uint64_t forRound,
+                                  std::uint64_t partitionRound,
+                                  net::Ticks at) {
+        detail::accumulateBlockPartials(kernel, blockLo[s],
+                                        blockLo[s + 1], scratch);
+        net::Message bm;
+        bm.kind = net::MsgKind::Bid;
+        bm.src = net::shardNode(s);
+        bm.dst = net::kCoordinatorNode;
+        bm.attempt = 0;
+        bm.bid.shard = static_cast<std::uint32_t>(s);
+        bm.bid.round = forRound;
+        bm.bid.partials.reserve((blockLo[s + 1] - blockLo[s]) * m);
+        for (std::size_t b = blockLo[s]; b < blockLo[s + 1]; ++b) {
+            for (std::size_t j = 0; j < m; ++j) {
+                net::BlockPartial p;
+                p.server = static_cast<std::uint32_t>(j);
+                p.block = b;
+                p.partial = scratch[b * m + j];
+                bm.bid.partials.push_back(p);
+            }
+        }
+        lastBid[s] = bm;
+        transport.send(bm, net::bidEdge(s), s, forRound, partitionRound,
+                       at);
+        for (std::uint32_t k = 1; k <= sharded.maxRetransmits; ++k) {
+            RetransmitTimer t;
+            t.tick = at + sharded.retransmitBase *
+                              (net::Ticks{1} << (k - 1));
+            t.shard = s;
+            t.round = forRound;
+            t.attempt = k;
+            timers.push_back(t);
+        }
+    };
+
+    for (int it = 0; it < opts.maxIterations; ++it) {
+        const std::uint64_t g = base + static_cast<std::uint64_t>(it);
+        bool round_lost_message = false;
+        if (lossy) {
+            for (std::size_t i = 0; i < n; ++i) {
+                lost[i] = counterBernoulli(
+                              opts.transport.seed, i,
+                              static_cast<std::uint64_t>(it),
+                              opts.transport.lossRate)
+                              ? 1
+                              : 0;
+                if (lost[i]) {
+                    round_lost_message = true;
+                    ++lost_messages;
+                }
+            }
+        }
+
+        const net::Ticks T = clock.now();
+        const net::Ticks deadlineTick = T + sharded.barrierDeadline;
+
+        // Open the round: broadcast this round's prices to every
+        // shard (through the codec, even when the network is sound).
+        for (std::size_t s = 0; s < S; ++s) {
+            net::Message pm;
+            pm.kind = net::MsgKind::Price;
+            pm.src = net::kCoordinatorNode;
+            pm.dst = net::shardNode(s);
+            pm.attempt = 0;
+            pm.price.round = g;
+            pm.price.prices = result.prices;
+            transport.send(std::move(pm), net::priceEdge(s), s, g, g, T);
+        }
+
+        std::size_t freshCount = 0;
+        net::Ticks closeTick = deadlineTick;
+        roundFresh = false;
+
+        // Shards whose price application is pending at batchTick:
+        // (shard, healed re-entry?). All price deliveries sharing a
+        // tick are folded into one fan-out so the sound-mode task
+        // structure matches the in-process solver exactly.
+        std::vector<std::pair<std::size_t, bool>> batch;
+        net::Ticks batchTick = 0;
+
+        const auto runBatch = [&](net::Ticks tick,
+                                  std::uint64_t partitionRound) {
+            if (batch.empty())
+                return;
+            std::fill(mask.begin(), mask.end(), 0);
+            for (const auto &[s, healed] : batch) {
+                dampShard[s] = opts.damping;
+                if (healed) {
+                    dampShard[s] *= sharded.reentryDamping;
+                    ++result.net.healedReentries;
+                    if (inst)
+                        inst->healedReentries->add();
+                }
+                const std::size_t uLo =
+                    std::min(n, blockLo[s] * detail::kPriceBlockUsers);
+                const std::size_t uHi = std::min(
+                    n, blockLo[s + 1] * detail::kPriceBlockUsers);
+                std::fill(mask.begin() +
+                              static_cast<std::ptrdiff_t>(uLo),
+                          mask.begin() +
+                              static_cast<std::ptrdiff_t>(uHi),
+                          1);
+            }
+            {
+                // One fan-out per batch tick, full span, fixed grain:
+                // in the sound case the single batch covers every
+                // user and this is bit- and task-identical to the
+                // in-process Synchronous update.
+                obs::ScopedTimer update_timer(update_hist);
+                exec::parallelFor(
+                    0, n, detail::kUserGrain,
+                    [&](std::size_t ulo, std::size_t uhi) {
+                        for (std::size_t i = ulo; i < uhi; ++i) {
+                            if (!mask[i])
+                                continue;
+                            if (lossy && lost[i])
+                                continue;
+                            detail::updateOneUser(
+                                kernel, i, postedPrices[shardOf[i]],
+                                dampShard[shardOf[i]]);
+                        }
+                    });
+            }
+            for (const auto &[s, healed] : batch) {
+                sendShardBid(
+                    s,
+                    static_cast<std::uint64_t>(lastPriceRound[s]),
+                    partitionRound, tick);
+            }
+            batch.clear();
+        };
+
+        while (true) {
+            net::Ticks dTick = 0;
+            std::uint64_t dEdge = 0;
+            const bool haveDelivery = transport.peekNext(dTick, dEdge);
+            const int ti = nextTimerIndex(timers);
+            const bool timerEligible =
+                ti >= 0 && timers[static_cast<std::size_t>(ti)].tick <=
+                               deadlineTick;
+            // Deliveries win ties against timers: a same-tick price
+            // broadcast must cancel the retransmission it obsoletes.
+            const bool pickDelivery =
+                haveDelivery && dTick <= deadlineTick &&
+                (!timerEligible ||
+                 dTick <= timers[static_cast<std::size_t>(ti)].tick);
+
+            // Flush the pending price batch before processing
+            // anything that is not another price at the batch tick
+            // (the transport ranks prices ahead of bids at equal
+            // ticks, so same-tick prices drain contiguously). The
+            // batch's sends change the heap, so re-peek afterwards.
+            if (!batch.empty() &&
+                !(pickDelivery && dEdge % 2 == 0 &&
+                  dTick == batchTick)) {
+                runBatch(batchTick, g);
+                continue;
+            }
+
+            if (pickDelivery) {
+                net::Delivery d;
+                if (!transport.popNext(deadlineTick, d))
+                    fatal("transport peek/pop disagree");
+                auto decoded = net::decodeMessage(d.wire);
+                ensure(decoded.ok(), "simulated transport corrupted a "
+                       "frame: ", decoded.status().toString());
+                net::Message msg = decoded.take();
+                if (!seenSeq[d.edge].insert(msg.seq).second) {
+                    if (inst)
+                        inst->dupSuppressed->add();
+                    continue;
+                }
+                const std::size_t s = d.edge / 2;
+                if (d.edge % 2 == 0) {
+                    // Price broadcast to shard s.
+                    ensure(msg.kind == net::MsgKind::Price,
+                           "bid frame on a price edge");
+                    const auto rp =
+                        static_cast<std::int64_t>(msg.price.round);
+                    if (rp <= lastPriceRound[s])
+                        continue; // Stale broadcast; a newer one won.
+                    const bool healed = rp > lastPriceRound[s] + 1;
+                    lastPriceRound[s] = rp;
+                    priceTickLatest[s] = d.at;
+                    postedPrices[s] = std::move(msg.price.prices);
+                    batch.emplace_back(s, healed);
+                    batchTick = d.at;
+                    continue;
+                }
+                // Bid aggregate from shard s.
+                ensure(msg.kind == net::MsgKind::Bid,
+                       "price frame on a bid edge");
+                const auto rb =
+                    static_cast<std::int64_t>(msg.bid.round);
+                if (rb <= lastApplied[s]) {
+                    // A retransmit or duplicate of an aggregate the
+                    // table already reflects.
+                    if (inst)
+                        inst->dupSuppressed->add();
+                    continue;
+                }
+                for (const net::BlockPartial &p : msg.bid.partials)
+                    table[p.block * m + p.server] = p.partial;
+                lastApplied[s] = rb;
+                if (rb == static_cast<std::int64_t>(g)) {
+                    ++freshCount;
+                    if (freshCount == S) {
+                        closeTick = d.at;
+                        roundFresh = true;
+                        break;
+                    }
+                }
+                continue;
+            }
+
+            if (timerEligible) {
+                const RetransmitTimer t =
+                    timers[static_cast<std::size_t>(ti)];
+                timers.erase(timers.begin() + ti);
+                // Cancelled if the shard had already heard a newer
+                // price by the time this timer fires.
+                const bool cancelled =
+                    lastPriceRound[t.shard] >
+                        static_cast<std::int64_t>(t.round) &&
+                    priceTickLatest[t.shard] <= t.tick;
+                if (cancelled)
+                    continue;
+                net::Message re = lastBid[t.shard];
+                re.attempt = t.attempt;
+                transport.send(std::move(re), net::bidEdge(t.shard),
+                               t.shard, t.round, g, t.tick);
+                ++result.net.retransmits;
+                if (inst)
+                    inst->retransmits->add();
+                continue;
+            }
+            break; // Nothing left inside this round's window.
+        }
+        clock.advanceTo(roundFresh ? closeTick : deadlineTick);
+
+        // Drop timers that can never fire (their shard already moved
+        // on) so the pending set stays bounded.
+        timers.erase(
+            std::remove_if(
+                timers.begin(), timers.end(),
+                [&](const RetransmitTimer &t) {
+                    return lastPriceRound[t.shard] >
+                               static_cast<std::int64_t>(t.round) &&
+                           priceTickLatest[t.shard] <= t.tick;
+                }),
+            timers.end());
+
+        // Barrier resolution: quorum accounting and degraded-round
+        // bookkeeping. Unreachable when the network is sound (every
+        // round is fresh), so none of it can perturb the bridge.
+        const std::uint64_t usable = [&] {
+            std::uint64_t count = 0;
+            for (std::size_t s = 0; s < S; ++s) {
+                const auto staleness =
+                    static_cast<std::int64_t>(g) - lastApplied[s];
+                if (staleness <=
+                    static_cast<std::int64_t>(sharded.maxStaleRounds))
+                    ++count;
+            }
+            return count;
+        }();
+        minQuorum = std::min(minQuorum, usable);
+        if (inst)
+            inst->quorum->record(static_cast<double>(usable));
+        if (!roundFresh) {
+            const std::uint64_t staleServed =
+                static_cast<std::uint64_t>(S) - freshCount;
+            bool partitionHit = false;
+            for (std::size_t s = 0; s < S; ++s) {
+                if (lastApplied[s] < static_cast<std::int64_t>(g) &&
+                    model.partitioned(s, g))
+                    partitionHit = true;
+            }
+            if (usable < quorumMin) {
+                collapsed = true;
+                result.net.quorumCollapsed = true;
+                result.iterations = it + 1;
+                if (inst)
+                    inst->quorumCollapses->add();
+                obs::recordDegraded(
+                    {"barrier", obs::DegradedReason::QuorumFloor, g,
+                     usable, staleServed});
+                break;
+            }
+            const obs::DegradedReason reason =
+                partitionHit ? obs::DegradedReason::Partition
+                             : obs::DegradedReason::DeadlineExpired;
+            ++result.net.degradedRounds;
+            result.net.staleBidRounds += staleServed;
+            if (reason == obs::DegradedReason::Partition)
+                result.net.partitionDegraded = true;
+            if (inst) {
+                inst->degradedRounds->add();
+                inst->staleBidRounds->add(staleServed);
+            }
+            obs::recordDegraded({"barrier", reason, g, usable,
+                                 staleServed});
+        }
+
+        {
+            obs::ScopedTimer prices_timer(prices_hist);
+            detail::foldPriceTable(table, blockCount, kernel,
+                                   new_prices);
+        }
+
+        detail::checkRoundInvariants(market, kernel, new_prices,
+                                     result.bids);
+
+        const double max_delta =
+            detail::maxPriceDelta(result.prices, new_prices, m);
+        result.prices = new_prices;
+        result.iterations = it + 1;
+        if (opts.trackHistory)
+            result.priceDeltaHistory.push_back(max_delta);
+        if (auto *sink = obs::traceSink()) {
+            obs::TraceEvent(*sink, "bidding_iter")
+                .field("iter", it + 1)
+                .field("max_delta", max_delta)
+                .field("lost_messages", round_lost_message);
+        }
+        // Degraded rounds never count as convergence: stale shards
+        // haven't responded to these prices yet, so apparent
+        // stillness proves nothing (same reasoning as lost bid
+        // messages in the in-process solver).
+        if (max_delta < opts.priceTolerance && !round_lost_message &&
+            roundFresh) {
+            result.converged = true;
+            break;
+        }
+
+        if (anytime) {
+            bool positive = true;
+            for (double p : new_prices) {
+                if (!(p > 0.0)) {
+                    positive = false;
+                    break;
+                }
+            }
+            // Only fresh rounds are anytime candidates: a degraded
+            // round's prices come from a table the local bids have
+            // partly outrun, and the restored pair must be
+            // consistent.
+            if (positive && roundFresh && max_delta < best_delta) {
+                best_delta = max_delta;
+                best_bids = kernel.bids;
+                best_prices = new_prices;
+            }
+            const bool expired =
+                opts.deadline.iterationBudget > 0 &&
+                it + 1 >= opts.deadline.iterationBudget;
+            if (expired) {
+                kernel.bids = std::move(best_bids);
+                result.prices = std::move(best_prices);
+                result.deadlineExpired = true;
+                if (auto *sink = obs::traceSink()) {
+                    obs::TraceEvent(*sink, "deadline_expired")
+                        .field("iter", it + 1)
+                        .field("best_delta", best_delta);
+                }
+                break;
+            }
+        }
+    }
+
+    result.net.minQuorum = minQuorum;
+    sess->ticks = clock.now();
+    sess->globalRound =
+        base + static_cast<std::uint64_t>(result.iterations);
+
+    detail::recordSolveEnd(result, lost_messages);
+    detail::unflattenBids(kernel, result.bids);
+    // The final state is consistent (x = b / p clears capacity) only
+    // when it came from a fully fresh round: a restored anytime
+    // snapshot, or a final round where every aggregate arrived.
+    const bool consistent =
+        result.deadlineExpired || (roundFresh && !collapsed);
+    detail::finalizeAllocation(market, result, consistent);
+    return result;
+}
+
+} // namespace amdahl::core

@@ -20,6 +20,7 @@
 #define AMDAHL_CORE_MARKET_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -115,6 +116,31 @@ class FisherMarket
  */
 using JobMatrix = std::vector<std::vector<double>>;
 
+/**
+ * Network-facing diagnostics of a sharded clearing solve (src/net/).
+ * All-zero for in-process solves, so the struct is free to carry on
+ * every outcome. The fallback ladder reads these to attribute *why* a
+ * serve was degraded (deadline_expired / partition / quorum_floor).
+ */
+struct NetOutcomeStats
+{
+    /** Rounds cleared on a partial quorum with stale aggregates. */
+    std::uint64_t degradedRounds = 0;
+    /** Shard-rounds where a silent shard's last bids stood in. */
+    std::uint64_t staleBidRounds = 0;
+    /** Bid-aggregate retransmissions across the solve. */
+    std::uint64_t retransmits = 0;
+    /** Shards re-admitted with damped warm-start re-entry. */
+    std::uint64_t healedReentries = 0;
+    /** Smallest usable-shard quorum seen in any round. */
+    std::uint64_t minQuorum = 0;
+    /** At least one degraded round overlapped a scheduled partition. */
+    bool partitionDegraded = false;
+    /** The usable quorum fell below the configured floor and the
+     *  solve aborted (always non-converged). */
+    bool quorumCollapsed = false;
+};
+
 /** Result of running a market mechanism. */
 struct MarketOutcome
 {
@@ -132,6 +158,9 @@ struct MarketOutcome
      *  a wall-clock deadline is armed (the clock is never read
      *  otherwise, keeping deadline-free runs bit-identical). */
     double elapsedSeconds = 0.0;
+
+    /** Sharded-transport diagnostics; all-zero for in-process solves. */
+    NetOutcomeStats net;
 
     /** @return Total cores user i holds across all her jobs. */
     double userCores(std::size_t i) const;

@@ -60,6 +60,10 @@ OnlineSimulator::OnlineSimulator(CharacterizationCache &cache,
     if (opts_.admission.maxQueueLength < 0)
         fatal("admission queue bound must be non-negative");
     robustness::validateFaultOptions(opts_.faults);
+    if (const Status st = net::validateShardedOptions(opts_.net);
+        !st.isOk()) {
+        fatal("invalid sharded clearing options: ", st.toString());
+    }
 }
 
 namespace {
@@ -92,7 +96,7 @@ emitRunStart(const OnlineOptions &opts, const std::string &policyName)
 }
 
 /** Layout version of encodeOnlineState; bump on any field change. */
-constexpr std::uint32_t kStateVersion = 1;
+constexpr std::uint32_t kStateVersion = 2;
 
 void
 putJob(durability::ByteWriter &w, const OnlineJob &job)
@@ -236,6 +240,24 @@ onlineStateFingerprint(const OnlineOptions &opts,
     d.updateU64(
         static_cast<std::uint64_t>(opts.admission.maxQueueLength));
     d.updateU32(opts.admission.shedByEntitlement ? 1 : 0);
+    d.updateU64(static_cast<std::uint64_t>(opts.net.shards));
+    d.updateU64(opts.net.barrierDeadline);
+    d.updateU64(opts.net.retransmitBase);
+    d.updateU32(opts.net.maxRetransmits);
+    d.updateF64(opts.net.quorumFloor);
+    d.updateU64(opts.net.maxStaleRounds);
+    d.updateF64(opts.net.reentryDamping);
+    d.updateF64(opts.net.faults.lossRate);
+    d.updateU64(opts.net.faults.delayMin);
+    d.updateU64(opts.net.faults.delayMax);
+    d.updateF64(opts.net.faults.duplicationRate);
+    d.updateU64(opts.net.faults.seed);
+    d.updateU64(opts.net.partitions.size());
+    for (const auto &w : opts.net.partitions) {
+        d.updateU64(static_cast<std::uint64_t>(w.shard));
+        d.updateU64(w.fromRound);
+        d.updateU64(w.toRound);
+    }
     d.update(policyName);
     return d.value();
 }
@@ -285,6 +307,15 @@ encodeOnlineState(const OnlineRunState &s, const OnlineOptions &opts)
     w.putF64(s.metrics.workLostSeconds);
     w.putF64Vector(s.metrics.occupancyHistory);
     w.putF64Vector(s.metrics.speedupHistory);
+    w.putU64(s.net.ticks);
+    w.putU64(s.net.globalRound);
+    w.putU64(s.net.edgeSeq.size());
+    for (std::uint64_t seq : s.net.edgeSeq)
+        w.putU64(seq);
+    w.putU64(s.metrics.netDegradedRounds);
+    w.putU64(s.metrics.netStaleBidRounds);
+    w.putU64(s.metrics.netRetransmits);
+    w.putU64(s.metrics.netQuorumCollapses);
     return w.take();
 }
 
@@ -351,6 +382,15 @@ decodeOnlineState(std::string_view payload, const OnlineOptions &opts,
     s.metrics.workLostSeconds = r.readF64();
     s.metrics.occupancyHistory = r.readF64Vector();
     s.metrics.speedupHistory = r.readF64Vector();
+    s.net.ticks = r.readU64();
+    s.net.globalRound = r.readU64();
+    const std::uint64_t edge_count = r.readU64();
+    for (std::uint64_t i = 0; r.ok() && i < edge_count; ++i)
+        s.net.edgeSeq.push_back(r.readU64());
+    s.metrics.netDegradedRounds = r.readU64();
+    s.metrics.netStaleBidRounds = r.readU64();
+    s.metrics.netRetransmits = r.readU64();
+    s.metrics.netQuorumCollapses = r.readU64();
     r.expectEnd();
     if (!r.ok())
         return r.status();
@@ -380,6 +420,15 @@ decodeOnlineState(std::string_view payload, const OnlineOptions &opts,
         return Status::error(ErrorKind::SemanticError, 0,
                              "snapshot server vectors do not match ",
                              servers, " servers");
+    }
+    if (!s.net.edgeSeq.empty() &&
+        s.net.edgeSeq.size() != 2 * opts.net.shards) {
+        return Status::error(ErrorKind::SemanticError, 0,
+                             "snapshot transport session has ",
+                             s.net.edgeSeq.size(),
+                             " edge sequences; this scenario's ",
+                             opts.net.shards, " shards need ",
+                             2 * opts.net.shards);
     }
     const auto epoch_entries = static_cast<std::size_t>(s.epoch);
     if (s.metrics.occupancyHistory.size() != epoch_entries ||
@@ -769,8 +818,25 @@ OnlineSimulator::runEpoch(OnlineRunState &s,
         transport.lossRate = opts_.faults.bidLossRate;
         transport.seed = injector.bidSeed(epoch);
     }
-    const auto result = faulty ? policy.allocate(market, transport)
-                               : policy.allocate(market);
+    const auto result = [&] {
+        if (opts_.net.enabled()) {
+            // Sharded clearing over the simulated network: the
+            // transport session rides in the run state so recovery
+            // resumes on the same network timeline.
+            core::ClearingContext ctx;
+            ctx.transport = transport;
+            ctx.sharding = &opts_.net;
+            ctx.session = &s.net;
+            return policy.allocate(market, ctx);
+        }
+        return faulty ? policy.allocate(market, transport)
+                      : policy.allocate(market);
+    }();
+    metrics.netDegradedRounds += result.outcome.net.degradedRounds;
+    metrics.netStaleBidRounds += result.outcome.net.staleBidRounds;
+    metrics.netRetransmits += result.outcome.net.retransmits;
+    if (result.outcome.net.quorumCollapsed)
+        ++metrics.netQuorumCollapses;
 
     // Degraded-mode bookkeeping: count epochs the primary
     // procedure failed and which ladder rung served them. A

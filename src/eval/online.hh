@@ -32,6 +32,8 @@
 #include "common/stats.hh"
 #include "common/status.hh"
 #include "eval/characterization.hh"
+#include "net/options.hh"
+#include "net/session.hh"
 #include "obs/metrics.hh"
 #include "robustness/durability/durable_store.hh"
 #include "robustness/fault_injector.hh"
@@ -167,6 +169,17 @@ struct OnlineOptions
     /** Overload admission control; disabled by default, in which case
      *  the run is bit-identical to a build without the feature. */
     AdmissionOptions admission;
+
+    /**
+     * Sharded clearing over the simulated network (src/net/):
+     * `net.shards > 0` routes every epoch's clearing through the
+     * epoch-barrier protocol of core/bidding_sharded.cc, with the
+     * cross-epoch transport state persisted in OnlineRunState. With
+     * all fault rates zero and no partitions, any shard count is
+     * byte-identical to in-process clearing (the determinism bridge);
+     * shards = 0 (the default) disables the network entirely.
+     */
+    net::ShardedOptions net;
 };
 
 /** Aggregate outcome of one online run. */
@@ -216,6 +229,22 @@ struct OnlineMetrics
     /** Epochs whose clearing hit its anytime deadline (counted from
      *  MarketOutcome::deadlineExpired, whichever rung served). */
     int deadlineExpiredEpochs = 0;
+
+    // --- Network accounting (all zero unless sharded clearing ran
+    //     over a faulty simulated network). ---
+
+    /** Clearing rounds served on partial quorum (stale aggregates). */
+    std::uint64_t netDegradedRounds = 0;
+
+    /** Shard-rounds served from a stale bid aggregate. */
+    std::uint64_t netStaleBidRounds = 0;
+
+    /** Bid-aggregate retransmissions across all clearings. */
+    std::uint64_t netRetransmits = 0;
+
+    /** Clearings aborted below the quorum floor (then escalated down
+     *  the fallback ladder). */
+    std::uint64_t netQuorumCollapses = 0;
 
     // --- Overload accounting (all zero with admission control off). ---
 
@@ -334,6 +363,11 @@ struct OnlineRunState
     std::vector<double> granted;
     std::vector<double> entitled;
     std::vector<double> entitledAvail;
+    /** Cross-epoch simulated-transport state (virtual clock, global
+     *  round, per-edge sequence numbers); all zero/empty unless
+     *  OnlineOptions::net enables sharded clearing. Persisted so a
+     *  crash mid-partition recovers onto the same network timeline. */
+    net::NetSession net;
     /** Partial accumulators; aggregates are computed by finalize(). */
     OnlineMetrics metrics;
 };

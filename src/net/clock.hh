@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Virtual time for the simulated transport.
+ *
+ * The network layer never reads a wall clock (the amdahl_lint
+ * DET-clock rule covers src/net/): all latency, deadlines, and backoff
+ * are expressed in abstract ticks on a monotone virtual clock that the
+ * barrier loop advances explicitly. Two runs with the same seed and
+ * options therefore see the *same* timeline regardless of host load,
+ * thread count, or scheduling — the property every determinism bridge
+ * test in tests/net/ rests on.
+ *
+ * A tick has no physical unit; options such as `--net-delay` and
+ * `--barrier-deadline` are ratios on this shared scale. When every
+ * fault rate is zero all delays are zero, the clock never advances,
+ * and virtual time is invisible in traces and metrics.
+ */
+
+#ifndef AMDAHL_NET_CLOCK_HH
+#define AMDAHL_NET_CLOCK_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace amdahl::net {
+
+/** Abstract virtual-time instant / duration. */
+using Ticks = std::uint64_t;
+
+/**
+ * Monotone virtual clock owned by the barrier loop.
+ *
+ * Constructed from the session's persisted tick count so durable runs
+ * resume on the same timeline they crashed on; advanced only via
+ * advanceTo(), which panics on any attempt to move backwards.
+ */
+class VirtualClock
+{
+  public:
+    explicit VirtualClock(Ticks start = 0) : now_(start) {}
+
+    [[nodiscard]] Ticks now() const { return now_; }
+
+    void
+    advanceTo(Ticks t)
+    {
+        if (t < now_)
+            panic("virtual clock moved backwards: ", t, " < ", now_);
+        now_ = t;
+    }
+
+  private:
+    Ticks now_;
+};
+
+} // namespace amdahl::net
+
+#endif // AMDAHL_NET_CLOCK_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Seed-driven fault realizations for the simulated transport.
+ *
+ * Every stochastic decision (drop? delay by how much? duplicate?) is
+ * a *pure function* of (seed, edge, global round, attempt) through the
+ * counter-based substreams in common/random.hh: no generator state is
+ * consumed, so realizations are independent of query order, thread
+ * count, and schedule. Asking twice gives the same answer; asking for
+ * edge 7 before edge 3 changes nothing. This is what makes a faulted
+ * run replayable — crash recovery re-asks the same questions and gets
+ * the same network.
+ *
+ * Substream layout, per message coordinate (edge e, round g,
+ * attempt a) with s1 = substreamSeed(seed, e, g):
+ *
+ *   loss        = counterBernoulli(s1, a, 0, lossRate)
+ *   duplication = counterBernoulli(s1, a, 1, duplicationRate)
+ *   delay       = delayMin + floor(u2 * span),
+ *                 u2 = counterUniform(mix64(substreamSeed(s1, a, 2)))
+ *   dup delay   = same with purpose 3 (independent draw, so the copy
+ *                 lands at a different tick — reordering for free)
+ *
+ * Scheduled partitions are deterministic windows on *global* rounds
+ * and drop both directions of a shard's edge pair.
+ */
+
+#ifndef AMDAHL_NET_FAULT_MODEL_HH
+#define AMDAHL_NET_FAULT_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "net/options.hh"
+
+namespace amdahl::net {
+
+class NetFaultModel
+{
+  public:
+    NetFaultModel(const NetFaultOptions &faults,
+                  std::vector<PartitionWindow> partitions)
+        : faults_(faults), partitions_(std::move(partitions))
+    {}
+
+    /** True when any fault — stochastic or scheduled — can occur. */
+    [[nodiscard]] bool
+    active() const
+    {
+        return faults_.stochastic() || !partitions_.empty();
+    }
+
+    /** Is @p shard partitioned from the coordinator in round @p g? */
+    [[nodiscard]] bool
+    partitioned(std::size_t shard, std::uint64_t g) const
+    {
+        for (const PartitionWindow &w : partitions_) {
+            if (w.shard == shard && g >= w.fromRound && g < w.toRound)
+                return true;
+        }
+        return false;
+    }
+
+    [[nodiscard]] bool
+    lost(std::uint64_t edge, std::uint64_t g, std::uint32_t attempt) const
+    {
+        if (faults_.lossRate <= 0.0)
+            return false;
+        return counterBernoulli(substreamSeed(faults_.seed, edge, g),
+                                attempt, 0, faults_.lossRate);
+    }
+
+    [[nodiscard]] bool
+    duplicated(std::uint64_t edge, std::uint64_t g,
+               std::uint32_t attempt) const
+    {
+        if (faults_.duplicationRate <= 0.0)
+            return false;
+        return counterBernoulli(substreamSeed(faults_.seed, edge, g),
+                                attempt, 1, faults_.duplicationRate);
+    }
+
+    /** Delivery delay of the primary copy, in ticks. */
+    [[nodiscard]] Ticks
+    delay(std::uint64_t edge, std::uint64_t g, std::uint32_t attempt) const
+    {
+        return drawDelay(edge, g, attempt, 2);
+    }
+
+    /** Independent delivery delay of the duplicated copy. */
+    [[nodiscard]] Ticks
+    duplicateDelay(std::uint64_t edge, std::uint64_t g,
+                   std::uint32_t attempt) const
+    {
+        return drawDelay(edge, g, attempt, 3);
+    }
+
+  private:
+    [[nodiscard]] Ticks
+    drawDelay(std::uint64_t edge, std::uint64_t g, std::uint32_t attempt,
+              std::uint64_t purpose) const
+    {
+        if (faults_.delayMax == 0)
+            return 0;
+        const std::uint64_t s1 = substreamSeed(faults_.seed, edge, g);
+        const double u =
+            counterUniform(mix64(substreamSeed(s1, attempt, purpose)));
+        const Ticks span = faults_.delayMax - faults_.delayMin + 1;
+        Ticks d = faults_.delayMin + static_cast<Ticks>(
+                                         u * static_cast<double>(span));
+        if (d > faults_.delayMax) // guard the u ~ 1.0 edge
+            d = faults_.delayMax;
+        return d;
+    }
+
+    NetFaultOptions faults_;
+    std::vector<PartitionWindow> partitions_;
+};
+
+} // namespace amdahl::net
+
+#endif // AMDAHL_NET_FAULT_MODEL_HH

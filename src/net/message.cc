@@ -1,0 +1,232 @@
+#include "net/message.hh"
+
+#include <cstring>
+
+#include "common/crc32.hh"
+
+namespace amdahl::net {
+namespace {
+
+/**
+ * Wire format (all integers little-endian):
+ *
+ *   u32 magic 'AMNT'   u8 kind   u32 src   u32 dst
+ *   u64 seq   u32 attempt   u32 payloadSize   u32 payloadCrc
+ *   payload bytes...
+ *
+ * Bid payload:   u32 shard, u64 round, u64 count,
+ *                count * { u32 server, u64 block, f64 partial }
+ * Price payload: u64 round, u64 count, count * f64
+ */
+constexpr std::uint32_t kMagic = 0x544e4d41; // "AMNT"
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void
+putF64(std::string &out, double v)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    putU64(out, bits);
+}
+
+class Reader
+{
+  public:
+    explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+    bool
+    readU8(std::uint8_t &v)
+    {
+        if (!have(1))
+            return false;
+        v = static_cast<std::uint8_t>(bytes_[pos_]);
+        ++pos_;
+        return true;
+    }
+
+    bool
+    readU32(std::uint32_t &v)
+    {
+        if (!have(4))
+            return false;
+        v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(bytes_[pos_ + i]))
+                 << (8 * i);
+        pos_ += 4;
+        return true;
+    }
+
+    bool
+    readU64(std::uint64_t &v)
+    {
+        if (!have(8))
+            return false;
+        v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(bytes_[pos_ + i]))
+                 << (8 * i);
+        pos_ += 8;
+        return true;
+    }
+
+    bool
+    readF64(double &v)
+    {
+        std::uint64_t bits = 0;
+        if (!readU64(bits))
+            return false;
+        std::memcpy(&v, &bits, sizeof v);
+        return true;
+    }
+
+    [[nodiscard]] bool have(std::size_t n) const
+    {
+        return bytes_.size() - pos_ >= n;
+    }
+
+    [[nodiscard]] bool atEnd() const { return pos_ == bytes_.size(); }
+
+    [[nodiscard]] std::string_view
+    rest() const
+    {
+        return bytes_.substr(pos_);
+    }
+
+  private:
+    std::string_view bytes_;
+    std::size_t pos_ = 0;
+};
+
+Status
+parseError(const char *what)
+{
+    return Status::error(ErrorKind::ParseError, 0, "net message: ", what);
+}
+
+std::string
+encodePayload(const Message &msg)
+{
+    std::string payload;
+    if (msg.kind == MsgKind::Bid) {
+        putU32(payload, msg.bid.shard);
+        putU64(payload, msg.bid.round);
+        putU64(payload, msg.bid.partials.size());
+        for (const BlockPartial &p : msg.bid.partials) {
+            putU32(payload, p.server);
+            putU64(payload, p.block);
+            putF64(payload, p.partial);
+        }
+    } else {
+        putU64(payload, msg.price.round);
+        putU64(payload, msg.price.prices.size());
+        for (const double p : msg.price.prices)
+            putF64(payload, p);
+    }
+    return payload;
+}
+
+} // namespace
+
+const char *
+toString(MsgKind kind)
+{
+    return kind == MsgKind::Bid ? "bid" : "price";
+}
+
+std::string
+encodeMessage(const Message &msg)
+{
+    const std::string payload = encodePayload(msg);
+    std::string wire;
+    wire.reserve(33 + payload.size());
+    putU32(wire, kMagic);
+    wire.push_back(static_cast<char>(msg.kind));
+    putU32(wire, msg.src);
+    putU32(wire, msg.dst);
+    putU64(wire, msg.seq);
+    putU32(wire, msg.attempt);
+    putU32(wire, static_cast<std::uint32_t>(payload.size()));
+    putU32(wire, crc32(payload));
+    wire += payload;
+    return wire;
+}
+
+Result<Message>
+decodeMessage(std::string_view wire)
+{
+    Reader in(wire);
+    std::uint32_t magic = 0;
+    if (!in.readU32(magic))
+        return parseError("truncated header");
+    if (magic != kMagic)
+        return Status::error(ErrorKind::SemanticError, 0,
+                             "net message: bad magic");
+    Message msg;
+    std::uint8_t kind = 0;
+    if (!in.readU8(kind))
+        return parseError("truncated header");
+    if (kind != static_cast<std::uint8_t>(MsgKind::Bid) &&
+        kind != static_cast<std::uint8_t>(MsgKind::Price))
+        return parseError("unknown kind");
+    msg.kind = static_cast<MsgKind>(kind);
+    std::uint32_t payloadSize = 0;
+    std::uint32_t payloadCrc = 0;
+    if (!in.readU32(msg.src) || !in.readU32(msg.dst) ||
+        !in.readU64(msg.seq) || !in.readU32(msg.attempt) ||
+        !in.readU32(payloadSize) || !in.readU32(payloadCrc))
+        return parseError("truncated header");
+    const std::string_view payload = in.rest();
+    if (payload.size() != payloadSize)
+        return parseError("payload length mismatch");
+    if (crc32(payload) != payloadCrc)
+        return Status::error(ErrorKind::SemanticError, 0,
+                             "net message: payload CRC mismatch");
+
+    Reader body(payload);
+    if (msg.kind == MsgKind::Bid) {
+        std::uint64_t count = 0;
+        if (!body.readU32(msg.bid.shard) || !body.readU64(msg.bid.round) ||
+            !body.readU64(count))
+            return parseError("truncated bid payload");
+        if (count > payload.size() / 20)
+            return parseError("truncated bid payload");
+        msg.bid.partials.resize(static_cast<std::size_t>(count));
+        for (BlockPartial &p : msg.bid.partials) {
+            if (!body.readU32(p.server) || !body.readU64(p.block) ||
+                !body.readF64(p.partial))
+                return parseError("truncated bid payload");
+        }
+    } else {
+        std::uint64_t count = 0;
+        if (!body.readU64(msg.price.round) || !body.readU64(count))
+            return parseError("truncated price payload");
+        if (count > payload.size() / 8)
+            return parseError("truncated price payload");
+        msg.price.prices.resize(static_cast<std::size_t>(count));
+        for (double &p : msg.price.prices) {
+            if (!body.readF64(p))
+                return parseError("truncated price payload");
+        }
+    }
+    if (!body.atEnd())
+        return parseError("trailing payload bytes");
+    return msg;
+}
+
+} // namespace amdahl::net

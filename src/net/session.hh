@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Transport state that survives a clearing round — and a crash.
+ *
+ * A NetSession is the minimal cross-epoch carrier for the simulated
+ * network: the virtual-clock position, the global round counter that
+ * keys fault substreams and partition windows, and the per-edge send
+ * sequence numbers. eval/online persists it inside OnlineRunState, so
+ * a durable run that crashes mid-partition recovers onto the *same*
+ * timeline — the same rounds stay partitioned, the same retransmits
+ * fire, and the replayed trace is byte-identical to an uninterrupted
+ * run's.
+ *
+ * Everything else about the transport (in-flight messages, pending
+ * retransmits) is local to one solve: a clearing boundary flushes the
+ * simulated network, deterministically.
+ */
+
+#ifndef AMDAHL_NET_SESSION_HH
+#define AMDAHL_NET_SESSION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "net/clock.hh"
+
+namespace amdahl::net {
+
+/**
+ * Edge ids: the coordinator talks to shard `s` over directed edge
+ * `2 * s` (price broadcasts) and hears from it over `2 * s + 1` (bid
+ * aggregates). Ids are dense so they can key both substreams and the
+ * per-edge sequence vector.
+ */
+inline constexpr std::uint64_t
+priceEdge(std::size_t shard)
+{
+    return 2 * static_cast<std::uint64_t>(shard);
+}
+
+inline constexpr std::uint64_t
+bidEdge(std::size_t shard)
+{
+    return 2 * static_cast<std::uint64_t>(shard) + 1;
+}
+
+/** Persistent transport state; plain data, codec-friendly. */
+struct NetSession
+{
+    /** Virtual-clock position at the end of the last solve. */
+    Ticks ticks = 0;
+
+    /**
+     * Global round counter across all solves in a run. Fault
+     * substreams and partition windows are keyed by this (not the
+     * per-solve iteration), so a partition scheduled for rounds
+     * [120, 180) spans epoch boundaries and replays identically
+     * after crash recovery.
+     */
+    std::uint64_t globalRound = 0;
+
+    /**
+     * Next send sequence number per edge, indexed by edge id; sized
+     * 2 * shards by the first solve that uses the session. Sequence
+     * numbers never reset, so duplicate suppression is sound across
+     * epochs.
+     */
+    std::vector<std::uint64_t> edgeSeq;
+};
+
+} // namespace amdahl::net
+
+#endif // AMDAHL_NET_SESSION_HH

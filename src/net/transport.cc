@@ -1,0 +1,111 @@
+#include "net/transport.hh"
+
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+
+namespace amdahl::net {
+
+NetInstruments
+NetInstruments::bind()
+{
+    obs::MetricsRegistry &reg = obs::metrics();
+    NetInstruments inst;
+    inst.sent = &reg.counter("net.msgs_sent");
+    inst.delivered = &reg.counter("net.msgs_delivered");
+    inst.lost = &reg.counter("net.msgs_lost");
+    inst.partitionDrops = &reg.counter("net.partition_drops");
+    inst.duplicated = &reg.counter("net.msgs_duplicated");
+    inst.dupSuppressed = &reg.counter("net.dup_suppressed");
+    inst.retransmits = &reg.counter("net.retransmits");
+    inst.staleBidRounds = &reg.counter("net.stale_bid_rounds");
+    inst.degradedRounds = &reg.counter("net.degraded_rounds");
+    inst.quorumCollapses = &reg.counter("net.quorum_collapses");
+    inst.healedReentries = &reg.counter("net.healed_reentries");
+    inst.latency = &reg.histogram(
+        "net.msg_latency", {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0,
+                            128.0, 256.0, 512.0, 1024.0});
+    inst.quorum = &reg.histogram(
+        "net.quorum", {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+    return inst;
+}
+
+void
+VirtualTransport::send(Message msg, std::uint64_t edge, std::size_t shard,
+                       std::uint64_t streamRound,
+                       std::uint64_t partitionRound, Ticks now)
+{
+    if (edge >= session_->edgeSeq.size())
+        panic("net edge ", edge, " outside session sequence space (",
+              session_->edgeSeq.size(), ")");
+    msg.seq = session_->edgeSeq[edge]++;
+    if (inst_)
+        inst_->sent->add();
+    if (model_->partitioned(shard, partitionRound)) {
+        if (inst_)
+            inst_->partitionDrops->add();
+        return;
+    }
+    const std::uint64_t g = streamRound;
+    const std::uint32_t attempt = msg.attempt;
+    if (model_->lost(edge, g, attempt)) {
+        if (inst_)
+            inst_->lost->add();
+        return;
+    }
+    Delivery delivery;
+    delivery.sentAt = now;
+    delivery.edge = edge;
+    delivery.at = now + model_->delay(edge, g, attempt);
+    delivery.wire = encodeMessage(msg);
+    const std::uint64_t seq = msg.seq;
+    const bool dup = model_->duplicated(edge, g, attempt);
+    if (dup) {
+        if (inst_)
+            inst_->duplicated->add();
+        Delivery copy = delivery;
+        copy.at = now + model_->duplicateDelay(edge, g, attempt);
+        enqueue(std::move(copy), seq, 1);
+    }
+    enqueue(std::move(delivery), seq, 0);
+}
+
+void
+VirtualTransport::enqueue(Delivery delivery, std::uint64_t seq,
+                          std::uint32_t copy)
+{
+    Entry entry;
+    entry.seq = seq;
+    entry.copy = copy;
+    // Rank price broadcasts ahead of bid aggregates at the same tick
+    // so the delivery order is a total function of the frame alone.
+    entry.kindRank = delivery.edge % 2 == 0 ? 0 : 1;
+    entry.delivery = std::move(delivery);
+    heap_.push(std::move(entry));
+}
+
+bool
+VirtualTransport::peekNext(Ticks &at, std::uint64_t &edge) const
+{
+    if (heap_.empty())
+        return false;
+    at = heap_.top().delivery.at;
+    edge = heap_.top().delivery.edge;
+    return true;
+}
+
+bool
+VirtualTransport::popNext(Ticks upTo, Delivery &out)
+{
+    if (heap_.empty() || heap_.top().delivery.at > upTo)
+        return false;
+    out = heap_.top().delivery;
+    heap_.pop();
+    if (inst_) {
+        inst_->delivered->add();
+        inst_->latency->record(
+            static_cast<double>(out.at - out.sentAt));
+    }
+    return true;
+}
+
+} // namespace amdahl::net

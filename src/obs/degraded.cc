@@ -1,0 +1,43 @@
+#include "obs/degraded.hh"
+
+#include <string>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace amdahl::obs {
+
+const char *
+toString(DegradedReason reason)
+{
+    switch (reason) {
+      case DegradedReason::DeadlineExpired:
+        return "deadline_expired";
+      case DegradedReason::Partition:
+        return "partition";
+      case DegradedReason::QuorumFloor:
+        return "quorum_floor";
+      case DegradedReason::NonConverged:
+        return "non_converged";
+    }
+    return "unknown";
+}
+
+void
+recordDegraded(const DegradedRound &occurrence)
+{
+    metrics()
+        .counter(std::string("degraded.rounds.") +
+                 toString(occurrence.reason))
+        .add();
+    if (auto *sink = traceSink()) {
+        TraceEvent(*sink, "degraded_round")
+            .field("source", occurrence.source)
+            .field("reason", toString(occurrence.reason))
+            .field("round", occurrence.round)
+            .field("quorum", occurrence.quorum)
+            .field("stale", occurrence.stale);
+    }
+}
+
+} // namespace amdahl::obs

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Structured "why was this round/serve degraded" reporting.
+ *
+ * Before this existed, a degraded round was a bare counter bump: you
+ * could see *that* the market served something below rung 1, but not
+ * whether the cause was an expired barrier deadline, a scheduled
+ * partition, or a quorum collapse — three conditions with three very
+ * different operator responses. recordDegraded() gives every
+ * degradation one typed reason, emitted both as a per-reason counter
+ * (`degraded.rounds.<reason>`) and as a `degraded_round` trace event
+ * carrying the round, quorum, and staleness context. Both the barrier
+ * loop in core/bidding_sharded.cc and the FallbackPolicy ladder
+ * report through here, so the two layers cannot invent divergent
+ * taxonomies.
+ */
+
+#ifndef AMDAHL_OBS_DEGRADED_HH
+#define AMDAHL_OBS_DEGRADED_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace amdahl::obs {
+
+/** Why a clearing round (or a serve) fell below the primary path. */
+enum class DegradedReason
+{
+    /** A barrier (or anytime) deadline expired before full freshness. */
+    DeadlineExpired,
+    /** A scheduled partition silenced at least one shard. */
+    Partition,
+    /** The usable-shard quorum fell below the configured floor. */
+    QuorumFloor,
+    /** The solver ran out of iterations without converging. */
+    NonConverged,
+};
+
+/** Stable lowercase token, also used in traces and CLI summaries. */
+[[nodiscard]] const char *toString(DegradedReason reason);
+
+/** One degradation occurrence with its context. */
+struct DegradedRound
+{
+    /** Reporting layer: "barrier" or "fallback". */
+    std::string_view source;
+    DegradedReason reason = DegradedReason::DeadlineExpired;
+    /** Global round (barrier) or solve iterations (fallback). */
+    std::uint64_t round = 0;
+    /** Usable shards this round (0 when not applicable). */
+    std::uint64_t quorum = 0;
+    /** Shards served from stale aggregates (0 when not applicable). */
+    std::uint64_t stale = 0;
+};
+
+/**
+ * Record one degradation: bumps `degraded.rounds.<reason>` and emits
+ * a `degraded_round` trace event (when a sink is installed). Callers
+ * on byte-identity-sensitive paths must only call this when actually
+ * degraded — the counter is created lazily on first use.
+ */
+void recordDegraded(const DegradedRound &occurrence);
+
+} // namespace amdahl::obs
+
+#endif // AMDAHL_OBS_DEGRADED_HH

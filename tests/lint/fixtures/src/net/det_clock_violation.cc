@@ -1,0 +1,18 @@
+// Fixture: wall-clock reads in transport code, where all time must be
+// virtual ticks. Expected: 2 DET-clock findings
+// (high_resolution_clock, gettimeofday).
+
+#include <chrono>
+
+namespace fx {
+
+long
+transportDeadlineNanos()
+{
+    const auto t = std::chrono::high_resolution_clock::now();
+    struct timeval tv;
+    gettimeofday(&tv, nullptr);
+    return t.time_since_epoch().count() + tv.tv_usec;
+}
+
+} // namespace fx

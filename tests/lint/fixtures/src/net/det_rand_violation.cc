@@ -1,0 +1,20 @@
+// Fixture: stateful randomness in fault-injection code, which must use
+// counter-based substreams instead. Expected: 4 DET-rand findings
+// (srand, default_random_engine, ranlux48, normal_distribution).
+
+#include <cstdlib>
+#include <random>
+
+namespace fx {
+
+double
+jitterTicks()
+{
+    std::srand(7);
+    std::default_random_engine engine(42);
+    std::ranlux48 slow(43);
+    std::normal_distribution<double> noise(0.0, 1.5);
+    return noise(engine) + static_cast<double>(slow());
+}
+
+} // namespace fx

@@ -51,7 +51,7 @@ tally(const LintReport &report)
 TEST(LintCorpus, DiscoversTheWholeFixtureTree)
 {
     const auto files = discoverFiles(kRoot);
-    EXPECT_EQ(files.size(), 22u);
+    EXPECT_EQ(files.size(), 24u);
     // Sorted, repo-relative, forward slashes.
     EXPECT_FALSE(files.empty());
     EXPECT_EQ(files.front().substr(0, 4), "src/");
@@ -63,6 +63,8 @@ TEST(LintCorpus, EachRuleFiresExactlyOnItsFixture)
     const std::map<std::pair<std::string, std::string>, int> expected{
         {{"src/core/det_rand_violation.cc", "DET-rand"}, 4},
         {{"src/core/det_clock_violation.cc", "DET-clock"}, 2},
+        {{"src/net/det_clock_violation.cc", "DET-clock"}, 2},
+        {{"src/net/det_rand_violation.cc", "DET-rand"}, 4},
         {{"src/core/det_exec_violation.cc", "DET-exec"}, 2},
         {{"src/core/det_unordered_violation.cc", "DET-unordered"}, 1},
         {{"src/core/trust_throw_violation.cc", "TRUST-throw"}, 1},
@@ -112,10 +114,10 @@ TEST(LintCorpus, InlineSuppressionSilencesButStaysVisible)
     EXPECT_EQ(suppressed, 2);
 
     const FindingCounts counts = countFindings(report);
-    EXPECT_EQ(counts.total, 24);
+    EXPECT_EQ(counts.total, 30);
     EXPECT_EQ(counts.suppressed, 2);
     EXPECT_EQ(counts.baselined, 0);
-    EXPECT_EQ(counts.active, 22);
+    EXPECT_EQ(counts.active, 28);
 }
 
 TEST(LintCorpus, MalformedMarkersNeverSuppress)
@@ -149,7 +151,7 @@ TEST(LintBaseline, MatchesByRuleFileAndLineText)
     EXPECT_TRUE(sawBaselined);
     const FindingCounts counts = countFindings(report);
     EXPECT_EQ(counts.baselined, 1);
-    EXPECT_EQ(counts.active, 21);
+    EXPECT_EQ(counts.active, 27);
     EXPECT_TRUE(report.staleBaseline.empty());
 }
 
@@ -202,10 +204,10 @@ TEST(LintReportFormat, JsonCarriesTheDocumentedSchema)
     EXPECT_NE(json.find("\"rule\":\"DET-rand\""), std::string::npos);
     EXPECT_NE(json.find("\"file\":\"src/core/det_rand_violation.cc\""),
               std::string::npos);
-    EXPECT_NE(json.find("\"counts\":{\"total\":24,\"active\":22,"
+    EXPECT_NE(json.find("\"counts\":{\"total\":30,\"active\":28,"
                         "\"baselined\":0,\"suppressed\":2}"),
               std::string::npos);
-    EXPECT_NE(json.find("\"filesScanned\":22"), std::string::npos);
+    EXPECT_NE(json.find("\"filesScanned\":24"), std::string::npos);
     EXPECT_EQ(json.back(), '}');
 }
 

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Protocol edge cases of the epoch-barrier sharded clearing loop.
+ *
+ * Each test constructs a small two-shard market and drives
+ * solveShardedBidding() through one sharply-posed scenario: a message
+ * landing exactly on the barrier deadline, a deadline one tick too
+ * short, retransmit recovery under loss with duplicate suppression, a
+ * partition that heals before the final round, and both sides of the
+ * quorum floor. Assertions are exact where determinism promises
+ * exactness (run-vs-run, and constant-delay vs in-process).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "core/bidding.hh"
+#include "core/market.hh"
+#include "net/options.hh"
+#include "net/session.hh"
+
+namespace amdahl::core {
+namespace {
+
+/** Two price blocks' worth of users so two shards are non-trivial. */
+FisherMarket
+barrierMarket(int users = 72, int servers = 8)
+{
+    Rng rng(0xba55);
+    std::vector<double> capacities(static_cast<std::size_t>(servers),
+                                   12.0);
+    FisherMarket market(std::move(capacities));
+    for (int i = 0; i < users; ++i) {
+        MarketUser user;
+        user.name = "u" + std::to_string(i);
+        user.budget = rng.uniform(0.5, 1.5);
+        JobSpec job;
+        job.server = static_cast<std::size_t>(i % servers);
+        job.parallelFraction = rng.uniform(0.4, 0.99);
+        job.weight = rng.uniform(0.5, 2.0);
+        user.jobs.push_back(job);
+        JobSpec second;
+        second.server = static_cast<std::size_t>(
+            rng.uniformInt(0, servers - 1));
+        second.parallelFraction = rng.uniform(0.4, 0.99);
+        second.weight = rng.uniform(0.5, 2.0);
+        user.jobs.push_back(second);
+        market.addUser(std::move(user));
+    }
+    return market;
+}
+
+net::ShardedOptions
+twoShards()
+{
+    net::ShardedOptions sharded;
+    sharded.shards = 2;
+    return sharded;
+}
+
+/** Exact (bitwise) agreement of two bidding results. */
+void
+expectIdentical(const BiddingResult &a, const BiddingResult &b,
+                const std::string &what)
+{
+    EXPECT_EQ(a.iterations, b.iterations) << what;
+    EXPECT_EQ(a.converged, b.converged) << what;
+    EXPECT_EQ(a.deadlineExpired, b.deadlineExpired) << what;
+    ASSERT_EQ(a.prices.size(), b.prices.size()) << what;
+    for (std::size_t j = 0; j < a.prices.size(); ++j)
+        ASSERT_EQ(a.prices[j], b.prices[j]) << what << ": price " << j;
+    ASSERT_EQ(a.bids.size(), b.bids.size()) << what;
+    for (std::size_t i = 0; i < a.bids.size(); ++i) {
+        for (std::size_t k = 0; k < a.bids[i].size(); ++k) {
+            ASSERT_EQ(a.bids[i][k], b.bids[i][k])
+                << what << ": bid (" << i << "," << k << ")";
+            ASSERT_EQ(a.allocation[i][k], b.allocation[i][k])
+                << what << ": allocation (" << i << "," << k << ")";
+        }
+    }
+}
+
+TEST(NetBarrier, MessageExactlyAtTheDeadlineStillClosesFresh)
+{
+    // Constant one-way delay d: the price lands at T+d, the bid
+    // aggregate at T+2d. A barrier of exactly 2d admits it — the
+    // deadline bound is inclusive — so every round is fresh and the
+    // solve is *bitwise* the in-process solve, delays notwithstanding.
+    const auto market = barrierMarket();
+    BiddingOptions opts;
+    net::ShardedOptions sharded = twoShards();
+    sharded.faults.delayMin = 4;
+    sharded.faults.delayMax = 4;
+    sharded.faults.seed = 0xca11;
+    sharded.barrierDeadline = 8;
+
+    const auto viaNet = solveShardedBidding(market, opts, sharded);
+    const auto inProcess = solveAmdahlBidding(market, opts);
+    EXPECT_TRUE(viaNet.converged);
+    EXPECT_EQ(viaNet.net.degradedRounds, 0u);
+    EXPECT_EQ(viaNet.net.retransmits, 0u);
+    EXPECT_EQ(viaNet.net.minQuorum, 2u);
+    expectIdentical(viaNet, inProcess, "deadline == 2d");
+}
+
+TEST(NetBarrier, DeadlineOneTickShortDegradesEveryRound)
+{
+    // Shrink the barrier to 2d - 1: the same aggregates now always
+    // miss, every round clears on last round's table, and the solve
+    // can never converge (stale shards haven't answered these
+    // prices). The staleness bound keeps quorum intact throughout.
+    const auto market = barrierMarket();
+    BiddingOptions opts;
+    opts.maxIterations = 12;
+    net::ShardedOptions sharded = twoShards();
+    sharded.faults.delayMin = 4;
+    sharded.faults.delayMax = 4;
+    sharded.faults.seed = 0xca11;
+    sharded.barrierDeadline = 7;
+
+    const auto result = solveShardedBidding(market, opts, sharded);
+    EXPECT_FALSE(result.converged);
+    EXPECT_EQ(result.iterations, 12);
+    EXPECT_EQ(result.net.degradedRounds, 12u);
+    EXPECT_FALSE(result.net.quorumCollapsed);
+    EXPECT_FALSE(result.net.partitionDegraded);
+    // Every round served both shards stale.
+    EXPECT_EQ(result.net.staleBidRounds, 24u);
+}
+
+TEST(NetBarrier, RetransmitsRecoverFromLossDeterministically)
+{
+    // Lossy, delayed, duplicating network: retransmits must fire, the
+    // solve must still converge, and two identical runs must agree
+    // bit for bit — including every net counter.
+    const auto market = barrierMarket();
+    BiddingOptions opts;
+    net::ShardedOptions sharded = twoShards();
+    sharded.faults.lossRate = 0.3;
+    sharded.faults.delayMin = 1;
+    sharded.faults.delayMax = 3;
+    sharded.faults.duplicationRate = 0.2;
+    sharded.faults.seed = 0x10ad;
+
+    const auto a = solveShardedBidding(market, opts, sharded);
+    const auto b = solveShardedBidding(market, opts, sharded);
+    EXPECT_TRUE(a.converged);
+    EXPECT_GT(a.net.retransmits, 0u);
+    expectIdentical(a, b, "faulted run-vs-run");
+    EXPECT_EQ(a.net.retransmits, b.net.retransmits);
+    EXPECT_EQ(a.net.degradedRounds, b.net.degradedRounds);
+    EXPECT_EQ(a.net.staleBidRounds, b.net.staleBidRounds);
+    EXPECT_EQ(a.net.healedReentries, b.net.healedReentries);
+    EXPECT_EQ(a.net.minQuorum, b.net.minQuorum);
+
+    // A different seed is a different network: the realization must
+    // actually depend on it (otherwise the substreams are dead).
+    net::ShardedOptions other = sharded;
+    other.faults.seed = 0xbeef;
+    const auto c = solveShardedBidding(market, opts, other);
+    EXPECT_NE(a.net.retransmits, c.net.retransmits);
+}
+
+TEST(NetBarrier, PartitionHealsBeforeTheFinalRound)
+{
+    // Shard 1 is cut off for the first four global rounds. With the
+    // default quorum floor the coordinator clears degraded rounds on
+    // its stale aggregate, then the heal triggers a damped warm-start
+    // re-entry and the solve still reaches a fresh, converged round.
+    const auto market = barrierMarket();
+    BiddingOptions opts;
+    net::ShardedOptions sharded = twoShards();
+    sharded.partitions = {{1, 0, 4}};
+
+    const auto result = solveShardedBidding(market, opts, sharded);
+    EXPECT_TRUE(result.converged);
+    EXPECT_TRUE(result.net.partitionDegraded);
+    EXPECT_FALSE(result.net.quorumCollapsed);
+    EXPECT_GE(result.net.degradedRounds, 4u);
+    EXPECT_GE(result.net.healedReentries, 1u);
+    // Four silent rounds sit inside the default staleness allowance
+    // (8), so the partitioned shard never leaves the usable set.
+    EXPECT_EQ(result.net.minQuorum, 2u);
+
+    // The healed equilibrium is the *same* equilibrium: prices match
+    // the fault-free solve to solver tolerance (not bitwise — the
+    // degraded prefix takes a different path to the fixed point).
+    const auto clean = solveAmdahlBidding(market, opts);
+    ASSERT_EQ(result.prices.size(), clean.prices.size());
+    for (std::size_t j = 0; j < clean.prices.size(); ++j)
+        EXPECT_NEAR(result.prices[j], clean.prices[j],
+                    1e-3 * clean.prices[j])
+            << "price " << j;
+}
+
+TEST(NetBarrier, LoneUsableShardSurvivesAtQuorumFloorOne)
+{
+    // Quorum floor low enough that ceil(floor * 2) == 1: with shard 1
+    // partitioned for the whole run and zero staleness allowance, the
+    // coordinator keeps clearing degraded rounds on shard 0 alone —
+    // degraded service, never a collapse.
+    const auto market = barrierMarket();
+    BiddingOptions opts;
+    opts.maxIterations = 10;
+    net::ShardedOptions sharded = twoShards();
+    sharded.quorumFloor = 0.01;
+    sharded.maxStaleRounds = 0;
+    sharded.partitions = {{1, 0, 1000}};
+
+    const auto result = solveShardedBidding(market, opts, sharded);
+    EXPECT_FALSE(result.converged);
+    EXPECT_FALSE(result.net.quorumCollapsed);
+    EXPECT_TRUE(result.net.partitionDegraded);
+    EXPECT_EQ(result.net.degradedRounds, 10u);
+    EXPECT_EQ(result.net.minQuorum, 1u);
+}
+
+TEST(NetBarrier, FullQuorumFloorCollapsesOnFirstSilentShard)
+{
+    // quorumFloor = 1.0 demands every shard every round; the first
+    // round shard 1 misses (staleness bound zero) aborts the solve
+    // for the fallback ladder.
+    const auto market = barrierMarket();
+    BiddingOptions opts;
+    net::ShardedOptions sharded = twoShards();
+    sharded.quorumFloor = 1.0;
+    sharded.maxStaleRounds = 0;
+    sharded.partitions = {{1, 0, 1000}};
+
+    const auto result = solveShardedBidding(market, opts, sharded);
+    EXPECT_FALSE(result.converged);
+    EXPECT_TRUE(result.net.quorumCollapsed);
+    EXPECT_EQ(result.iterations, 1);
+    EXPECT_EQ(result.net.minQuorum, 1u);
+    EXPECT_EQ(result.net.degradedRounds, 0u); // collapsed, not served
+}
+
+TEST(NetBarrier, SessionCarriesPartitionWindowsAcrossSolves)
+{
+    // A window over global rounds [2, 50) spans two back-to-back
+    // solves sharing one session: the first solve converges before
+    // round 2 opens wide... or degrades inside it; the second solve
+    // starts *inside* the window and must see it immediately.
+    const auto market = barrierMarket();
+    BiddingOptions opts;
+    opts.maxIterations = 6;
+    net::ShardedOptions sharded = twoShards();
+    sharded.partitions = {{1, 2, 50}};
+
+    net::NetSession sess;
+    const auto first =
+        solveShardedBidding(market, opts, sharded, &sess);
+    EXPECT_EQ(sess.globalRound, 6u); // budget exhausted inside window
+    EXPECT_TRUE(first.net.partitionDegraded);
+
+    const auto second =
+        solveShardedBidding(market, opts, sharded, &sess);
+    EXPECT_TRUE(second.net.partitionDegraded);
+    EXPECT_GE(second.net.degradedRounds, 1u);
+    EXPECT_EQ(sess.globalRound, 12u);
+}
+
+} // namespace
+} // namespace amdahl::core

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Delivery-order and bookkeeping contracts of VirtualTransport.
+ *
+ * The barrier loop's determinism rests on the transport exposing one
+ * total delivery order — (tick, kind, edge, seq, copy) with prices
+ * ranked ahead of bids at equal ticks — and on per-edge sequence
+ * numbers surviving in the session. These tests drive the transport
+ * directly, without the solver on top.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/fault_model.hh"
+#include "net/message.hh"
+#include "net/session.hh"
+#include "net/transport.hh"
+
+namespace amdahl::net {
+namespace {
+
+Message
+bidMsg(std::size_t shard, std::uint64_t round)
+{
+    Message msg;
+    msg.kind = MsgKind::Bid;
+    msg.src = shardNode(shard);
+    msg.dst = kCoordinatorNode;
+    msg.bid.shard = static_cast<std::uint32_t>(shard);
+    msg.bid.round = round;
+    return msg;
+}
+
+Message
+priceMsg(std::size_t shard, std::uint64_t round)
+{
+    Message msg;
+    msg.kind = MsgKind::Price;
+    msg.src = kCoordinatorNode;
+    msg.dst = shardNode(shard);
+    msg.price.round = round;
+    msg.price.prices = {1.0, 2.0};
+    return msg;
+}
+
+NetSession
+sessionFor(std::size_t shards)
+{
+    NetSession sess;
+    sess.edgeSeq.assign(2 * shards, 0);
+    return sess;
+}
+
+TEST(NetTransport, AssignsSequenceNumbersPerEdge)
+{
+    const NetFaultModel sound(NetFaultOptions{}, {});
+    NetSession sess = sessionFor(2);
+    VirtualTransport transport(sound, sess, nullptr);
+
+    transport.send(bidMsg(0, 0), bidEdge(0), 0, 0, 0, 0);
+    transport.send(bidMsg(0, 1), bidEdge(0), 0, 1, 1, 0);
+    transport.send(bidMsg(1, 0), bidEdge(1), 1, 0, 0, 0);
+    EXPECT_EQ(sess.edgeSeq[bidEdge(0)], 2u);
+    EXPECT_EQ(sess.edgeSeq[bidEdge(1)], 1u);
+    EXPECT_EQ(sess.edgeSeq[priceEdge(0)], 0u);
+
+    // Decoded frames carry the per-edge counter values in send order.
+    Delivery d;
+    std::vector<std::uint64_t> seqs;
+    while (transport.popNext(0, d))
+        seqs.push_back(decodeMessage(d.wire).take().seq);
+    ASSERT_EQ(seqs.size(), 3u);
+    // Total order at one tick: bidEdge(0)=1 before bidEdge(1)=3,
+    // seq 0 before seq 1 within an edge.
+    EXPECT_EQ(seqs[0], 0u);
+    EXPECT_EQ(seqs[1], 1u);
+    EXPECT_EQ(seqs[2], 0u);
+}
+
+TEST(NetTransport, PricesDrainBeforeBidsAtEqualTicks)
+{
+    const NetFaultModel sound(NetFaultOptions{}, {});
+    NetSession sess = sessionFor(1);
+    VirtualTransport transport(sound, sess, nullptr);
+
+    // Send the bid first: arrival order must still put the price
+    // broadcast ahead, because edge parity ranks it.
+    transport.send(bidMsg(0, 4), bidEdge(0), 0, 4, 4, 7);
+    transport.send(priceMsg(0, 5), priceEdge(0), 0, 5, 5, 7);
+
+    Delivery d;
+    ASSERT_TRUE(transport.popNext(7, d));
+    EXPECT_EQ(d.edge, priceEdge(0));
+    ASSERT_TRUE(transport.popNext(7, d));
+    EXPECT_EQ(d.edge, bidEdge(0));
+}
+
+TEST(NetTransport, PopRespectsTheUpToBound)
+{
+    NetFaultOptions delayed;
+    delayed.delayMin = 5;
+    delayed.delayMax = 5;
+    const NetFaultModel model(delayed, {});
+    NetSession sess = sessionFor(1);
+    VirtualTransport transport(model, sess, nullptr);
+
+    transport.send(bidMsg(0, 0), bidEdge(0), 0, 0, 0, 10);
+    Ticks at = 0;
+    std::uint64_t edge = 0;
+    ASSERT_TRUE(transport.peekNext(at, edge));
+    EXPECT_EQ(at, Ticks{15});
+    EXPECT_EQ(edge, bidEdge(0));
+
+    Delivery d;
+    EXPECT_FALSE(transport.popNext(14, d)); // one tick early: stays
+    ASSERT_TRUE(transport.popNext(15, d));  // exactly at bound: pops
+    EXPECT_EQ(d.at, Ticks{15});
+    EXPECT_EQ(d.sentAt, Ticks{10});
+    EXPECT_FALSE(transport.peekNext(at, edge));
+}
+
+TEST(NetTransport, PartitionDropsBothDirectionsButKeepsSequencing)
+{
+    const std::vector<PartitionWindow> windows = {{0, 2, 4}};
+    const NetFaultModel model(NetFaultOptions{}, windows);
+    NetSession sess = sessionFor(1);
+    VirtualTransport transport(model, sess, nullptr);
+
+    transport.send(priceMsg(0, 2), priceEdge(0), 0, 2, 2, 0);
+    transport.send(bidMsg(0, 2), bidEdge(0), 0, 2, 2, 0);
+    EXPECT_EQ(transport.pendingCount(), 0u); // both dropped
+    // Sequence numbers advance even for dropped frames: a drop is a
+    // network event, not a send that never happened.
+    EXPECT_EQ(sess.edgeSeq[priceEdge(0)], 1u);
+    EXPECT_EQ(sess.edgeSeq[bidEdge(0)], 1u);
+
+    // Outside the window the same edges deliver again.
+    transport.send(priceMsg(0, 4), priceEdge(0), 0, 4, 4, 0);
+    EXPECT_EQ(transport.pendingCount(), 1u);
+}
+
+TEST(NetTransport, PartitionCutsByPartitionRoundNotStreamRound)
+{
+    // A retransmit keys its substreams by the original round but
+    // crosses the wire "now": a partition that opened since must drop
+    // it even though its stream round predates the window.
+    const std::vector<PartitionWindow> windows = {{0, 10, 20}};
+    const NetFaultModel model(NetFaultOptions{}, windows);
+    NetSession sess = sessionFor(1);
+    VirtualTransport transport(model, sess, nullptr);
+
+    transport.send(bidMsg(0, 8), bidEdge(0), 0, 8, 12, 0);
+    EXPECT_EQ(transport.pendingCount(), 0u);
+    transport.send(bidMsg(0, 8), bidEdge(0), 0, 8, 9, 0);
+    EXPECT_EQ(transport.pendingCount(), 1u);
+}
+
+TEST(NetTransport, DuplicationEnqueuesACopyWithTheSameSeq)
+{
+    NetFaultOptions dup;
+    dup.duplicationRate = 0.9;
+    dup.delayMax = 4;
+    dup.seed = 0xd0b1e;
+    const NetFaultModel model(dup, {});
+    NetSession sess = sessionFor(1);
+    VirtualTransport transport(model, sess, nullptr);
+
+    std::size_t duplicated = 0;
+    for (std::uint64_t g = 0; g < 32; ++g) {
+        const std::size_t before = transport.pendingCount();
+        transport.send(bidMsg(0, g), bidEdge(0), 0, g, g, 0);
+        const std::size_t added = transport.pendingCount() - before;
+        ASSERT_GE(added, 1u);
+        ASSERT_LE(added, 2u);
+        if (added == 2)
+            ++duplicated;
+    }
+    EXPECT_GT(duplicated, 0u);
+
+    // Both copies of a duplicated frame decode to the same seq — that
+    // identity is what receiver-side suppression keys on.
+    NetSession sess2 = sessionFor(1);
+    VirtualTransport t2(model, sess2, nullptr);
+    std::uint64_t dupRound = 0;
+    for (std::uint64_t g = 0; g < 32; ++g) {
+        if (model.duplicated(bidEdge(0), g, 0)) {
+            dupRound = g;
+            break;
+        }
+    }
+    t2.send(bidMsg(0, dupRound), bidEdge(0), 0, dupRound, dupRound, 0);
+    ASSERT_EQ(t2.pendingCount(), 2u);
+    Delivery a;
+    Delivery b;
+    ASSERT_TRUE(t2.popNext(100, a));
+    ASSERT_TRUE(t2.popNext(100, b));
+    EXPECT_EQ(decodeMessage(a.wire).take().seq,
+              decodeMessage(b.wire).take().seq);
+    EXPECT_LE(a.at, b.at); // delivery order is sorted by arrival
+}
+
+TEST(NetTransport, FramesSurviveTheWireIntact)
+{
+    const NetFaultModel sound(NetFaultOptions{}, {});
+    NetSession sess = sessionFor(1);
+    VirtualTransport transport(sound, sess, nullptr);
+
+    Message msg = priceMsg(0, 12);
+    msg.price.prices = {0.125, -0.0, 3.0e9};
+    transport.send(msg, priceEdge(0), 0, 12, 12, 3);
+    Delivery d;
+    ASSERT_TRUE(transport.popNext(3, d));
+    auto decoded = decodeMessage(d.wire);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().toString();
+    const Message out = decoded.take();
+    EXPECT_EQ(out.price.round, 12u);
+    ASSERT_EQ(out.price.prices.size(), 3u);
+    EXPECT_EQ(out.price.prices[0], 0.125);
+    EXPECT_EQ(out.price.prices[2], 3.0e9);
+}
+
+} // namespace
+} // namespace amdahl::net

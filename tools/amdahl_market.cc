@@ -109,6 +109,7 @@
 #include "eval/characterization.hh"
 #include "eval/online.hh"
 #include "exec/parallelism.hh"
+#include "net/options.hh"
 #include "obs/metrics.hh"
 #include "obs/timer.hh"
 #include "obs/trace.hh"
@@ -148,6 +149,12 @@ usage()
         << " [--io-fault-seed n]\n"
         << "                     [--io-max-retries n]"
         << " [--kill-point site[:N]] [--list-kill-points]\n"
+        << "                     [--shards n] [--net-loss p]"
+        << " [--net-delay max|min:max]\n"
+        << "                     [--net-dup p] [--net-seed n]"
+        << " [--net-partition shard:from:to]...\n"
+        << "                     [--barrier-deadline ticks]"
+        << " [--quorum f] [--max-stale n]\n"
         << "       amdahl_market stats <file> [--gauss-seidel]"
         << " [--json]\n"
         << "global flags: [--trace-out path] [--metrics-out path]"
@@ -435,6 +442,36 @@ cmdTrace(const std::vector<std::string> &args,
         } else if (arg == "--io-max-retries" && a + 1 < args.size()) {
             dur.ioFaults.maxRetries = std::stoi(args[++a]);
             io_knobs = true;
+        } else if (arg == "--shards" && a + 1 < args.size()) {
+            opts.net.shards =
+                static_cast<std::size_t>(std::stoull(args[++a]));
+        } else if (arg == "--net-loss" && a + 1 < args.size()) {
+            opts.net.faults.lossRate = std::stod(args[++a]);
+        } else if (arg == "--net-delay" && a + 1 < args.size()) {
+            if (Status st =
+                    net::parseDelaySpec(args[++a], opts.net.faults);
+                !st.isOk()) {
+                std::cerr << "--net-delay: " << st.toString() << "\n";
+                return 2;
+            }
+        } else if (arg == "--net-dup" && a + 1 < args.size()) {
+            opts.net.faults.duplicationRate = std::stod(args[++a]);
+        } else if (arg == "--net-seed" && a + 1 < args.size()) {
+            opts.net.faults.seed = std::stoull(args[++a]);
+        } else if (arg == "--net-partition" && a + 1 < args.size()) {
+            auto window = net::parsePartitionWindow(args[++a]);
+            if (!window.ok()) {
+                std::cerr << "--net-partition: "
+                          << window.status().toString() << "\n";
+                return 2;
+            }
+            opts.net.partitions.push_back(window.take());
+        } else if (arg == "--barrier-deadline" && a + 1 < args.size()) {
+            opts.net.barrierDeadline = std::stoull(args[++a]);
+        } else if (arg == "--quorum" && a + 1 < args.size()) {
+            opts.net.quorumFloor = std::stod(args[++a]);
+        } else if (arg == "--max-stale" && a + 1 < args.size()) {
+            opts.net.maxStaleRounds = std::stoull(args[++a]);
         } else if (arg == "--kill-point" && a + 1 < args.size()) {
             kill_spec = args[++a];
         } else if (arg == "--list-kill-points") {
@@ -455,6 +492,17 @@ cmdTrace(const std::vector<std::string> &args,
         std::cerr << "--recover, --io-fault-*, and --kill-point "
                      "require --state-dir\n";
         return usage();
+    }
+    if (!opts.net.enabled() &&
+        (opts.net.faults.stochastic() || !opts.net.partitions.empty())) {
+        std::cerr << "--net-* fault options require --shards\n";
+        return usage();
+    }
+    if (Status st = net::validateShardedOptions(opts.net);
+        !st.isOk()) {
+        std::cerr << "sharded clearing options: " << st.toString()
+                  << "\n";
+        return 2;
     }
     opts.horizonSeconds = opts.epochSeconds * epochs;
 
@@ -512,6 +560,13 @@ cmdTrace(const std::vector<std::string> &args,
             std::cerr << ", " << metrics.crashEvents << " crash(es)";
         if (opts.admission.enabled)
             std::cerr << ", " << metrics.jobsShed << " shed";
+        if (opts.net.enabled()) {
+            std::cerr << ", " << metrics.netDegradedRounds
+                      << " degraded round(s), "
+                      << metrics.netQuorumCollapses
+                      << " quorum collapse(s), "
+                      << metrics.netRetransmits << " retransmit(s)";
+        }
         std::cerr << "\n";
         return 0;
     }
@@ -624,6 +679,13 @@ cmdTrace(const std::vector<std::string> &args,
         std::cerr << ", " << metrics.crashEvents << " crash(es)";
     if (opts.admission.enabled)
         std::cerr << ", " << metrics.jobsShed << " shed";
+    if (opts.net.enabled()) {
+        std::cerr << ", " << metrics.netDegradedRounds
+                  << " degraded round(s), "
+                  << metrics.netQuorumCollapses
+                  << " quorum collapse(s), " << metrics.netRetransmits
+                  << " retransmit(s)";
+    }
     std::cerr << ", " << metrics.journalCommits
               << " journal commit(s), " << metrics.snapshotsWritten
               << " snapshot(s)";

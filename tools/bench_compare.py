@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Compare two benchmark JSON artifacts produced by bench::emitJson.
+
+Each artifact is a TablePrinter JSON dump: an array of row objects
+whose values are all strings (numbers formatted by the bench, possibly
+suffixed with '%' or embedded in specs like '1:16'). This tool diffs a
+baseline against a candidate:
+
+  - Rows pair up by position (bench tables emit rows in a fixed,
+    deterministic sweep order); pass --key COL to pair by labeled
+    sweep coordinates instead, making row order irrelevant.
+  - Numeric cells compare within a tolerance: relative by default,
+    absolute for values near zero. Percent signs are stripped before
+    comparison.
+  - Non-numeric cells (e.g. 'Converged': 'yes') must match exactly.
+  - Missing or extra rows/columns are always failures.
+
+Exit status: 0 when everything matches within tolerance, 1 on any
+regression, 2 on usage/IO errors. Intended for CI jobs that pin a
+golden network-ablation run and for local before/after comparisons.
+
+Usage: bench_compare.py baseline.json candidate.json [--rel-tol R]
+       [--abs-tol A] [--key COL ...]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def fail_usage(message):
+    print(f"bench_compare: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_rows(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except OSError as err:
+        fail_usage(f"cannot read {path}: {err}")
+    except json.JSONDecodeError as err:
+        fail_usage(f"{path} is not valid JSON: {err}")
+    if not isinstance(doc, list) or not all(
+        isinstance(row, dict) for row in doc
+    ):
+        fail_usage(f"{path}: expected an array of row objects")
+    return doc
+
+
+def parse_number(text):
+    """Return the float value of a cell, or None if it is not numeric.
+
+    Accepts plain numbers and percent-suffixed numbers ('47.5%').
+    Compound specs such as '1:16' stay non-numeric on purpose: they
+    are sweep coordinates, not measurements.
+    """
+    stripped = text.strip()
+    if stripped.endswith("%"):
+        stripped = stripped[:-1].strip()
+    try:
+        return float(stripped)
+    except ValueError:
+        return None
+
+
+def row_key(row, keys, index):
+    if not keys:
+        return ("#row", index)
+    return tuple(str(row.get(column, "")) for column in keys)
+
+
+def index_rows(rows, keys, path):
+    table = {}
+    for i, row in enumerate(rows):
+        key = row_key(row, keys, i)
+        if key in table:
+            fail_usage(
+                f"{path}: duplicate row key {key}; pass --key to "
+                "choose distinguishing columns"
+            )
+        table[key] = row
+    return table
+
+
+def compare(baseline, candidate, keys, rel_tol, abs_tol):
+    problems = []
+    base_table = index_rows(baseline, keys, "baseline")
+    cand_table = index_rows(candidate, keys, "candidate")
+
+    for key in base_table:
+        if key not in cand_table:
+            problems.append(f"row {key}: missing from candidate")
+    for key in cand_table:
+        if key not in base_table:
+            problems.append(f"row {key}: not in baseline")
+
+    for key, base_row in base_table.items():
+        cand_row = cand_table.get(key)
+        if cand_row is None:
+            continue
+        for column, base_cell in base_row.items():
+            if column not in cand_row:
+                problems.append(f"row {key}: column '{column}' missing")
+                continue
+            cand_cell = cand_row[column]
+            base_num = parse_number(str(base_cell))
+            cand_num = parse_number(str(cand_cell))
+            if base_num is None or cand_num is None:
+                if str(base_cell) != str(cand_cell):
+                    problems.append(
+                        f"row {key}, '{column}': "
+                        f"'{base_cell}' != '{cand_cell}'"
+                    )
+                continue
+            delta = abs(cand_num - base_num)
+            allowed = max(abs_tol, rel_tol * abs(base_num))
+            if delta > allowed:
+                problems.append(
+                    f"row {key}, '{column}': {base_num} -> "
+                    f"{cand_num} (|delta| {delta:.6g} > "
+                    f"allowed {allowed:.6g})"
+                )
+        for column in cand_row:
+            if column not in base_row:
+                problems.append(
+                    f"row {key}: unexpected column '{column}'"
+                )
+    return problems
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two bench::emitJson artifacts with "
+        "numeric tolerance."
+    )
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("candidate", type=Path)
+    parser.add_argument(
+        "--rel-tol",
+        type=float,
+        default=0.05,
+        help="relative tolerance for numeric cells (default 0.05)",
+    )
+    parser.add_argument(
+        "--abs-tol",
+        type=float,
+        default=1e-9,
+        help="absolute tolerance floor for numeric cells",
+    )
+    parser.add_argument(
+        "--key",
+        action="append",
+        default=None,
+        metavar="COL",
+        help="row-identifying column (repeatable); default: pair "
+        "rows by position",
+    )
+    args = parser.parse_args()
+
+    baseline = load_rows(args.baseline)
+    candidate = load_rows(args.candidate)
+    if not baseline:
+        fail_usage(f"{args.baseline}: baseline has no rows")
+
+    keys = args.key or []
+    problems = compare(
+        baseline, candidate, keys, args.rel_tol, args.abs_tol
+    )
+    if problems:
+        print(
+            f"bench_compare: {len(problems)} difference(s) vs "
+            f"{args.baseline}:",
+            file=sys.stderr,
+        )
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        sys.exit(1)
+    print(
+        f"bench_compare: {len(baseline)} row(s) match within "
+        f"rel {args.rel_tol}, abs {args.abs_tol}"
+    )
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

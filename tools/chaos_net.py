@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Network-chaos harness for sharded clearing over the simulated
+transport.
+
+Drives the amdahl_market CLI through faulted sharded scenarios and
+checks the net layer's process-level contracts:
+
+  1. Determinism: a lossy, delayed, duplicating run with a fixed
+     --net-seed, executed twice, must produce byte-identical traces.
+  2. Schema: the faulted trace (degraded_round events, reasoned
+     fallback_serve) must pass check_trace_schema.py.
+  3. Partition / heal: a scheduled partition window must produce
+     degraded rounds attributed to the partition, zero quorum
+     collapses at the default floor, and the run must reconverge —
+     the final epoch's clearing ends converged.
+  4. Crash mid-partition: a durable run killed inside the partition
+     window and then recovered with --recover must finish with a
+     trace byte-identical to the uninterrupted run's. The partition
+     schedule is keyed by persisted global rounds, so recovery must
+     land on the same network timeline.
+
+Any deviation is a hard failure. Deterministic by construction: fixed
+seeds, fixed windows, virtual time only.
+
+Usage: chaos_net.py <path-to-amdahl_market> [--workdir DIR]
+"""
+
+import argparse
+import filecmp
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+KILL_EXIT_CODE = 86
+EPOCHS = 12
+SNAPSHOT_EVERY = 4
+
+BASE = [
+    "trace",
+    "--epochs", str(EPOCHS),
+    "--users", "8",
+    "--servers", "3",
+    "--log-level", "quiet",
+    "--shards", "2",
+]
+
+FAULTS = [
+    "--net-loss", "0.1",
+    "--net-delay", "1:4",
+    "--net-dup", "0.1",
+    "--net-seed", "11",
+]
+
+# Half-open window on persisted global rounds, sized to stay within
+# the staleness bound so the silenced shard degrades service without
+# tripping the quorum floor (the tiny CLI market clamps to one shard).
+PARTITION = ["--net-partition", "0:20:26"]
+
+
+def run(binary, extra, trace_out):
+    cmd = [str(binary)] + BASE + extra + ["--trace-out", str(trace_out)]
+    return subprocess.run(cmd, stdout=subprocess.DEVNULL,
+                          stderr=subprocess.PIPE, text=True)
+
+
+def fail(msg, proc=None):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    if proc is not None and proc.stderr:
+        print(proc.stderr, file=sys.stderr)
+    sys.exit(1)
+
+
+def expect_identical(path_a, path_b, what):
+    if not filecmp.cmp(path_a, path_b, shallow=False):
+        fail(f"{what}: {path_a} differs from {path_b}")
+
+
+def events(trace_path):
+    with open(trace_path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def durable_args(state_dir, recover=False, kill=None):
+    args = ["--state-dir", str(state_dir),
+            "--snapshot-every", str(SNAPSHOT_EVERY)]
+    if recover:
+        args.append("--recover")
+    if kill:
+        args += ["--kill-point", kill]
+    return args
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("binary", type=Path)
+    parser.add_argument("--workdir", type=Path,
+                        default=Path("chaos_net_work"))
+    opts = parser.parse_args()
+    if not opts.binary.exists():
+        fail(f"no such binary: {opts.binary}")
+
+    work = opts.workdir
+    shutil.rmtree(work, ignore_errors=True)
+    work.mkdir(parents=True)
+
+    # 1. Faulted determinism: same seed, same bytes.
+    faulted_a = work / "faulted_a.jsonl"
+    faulted_b = work / "faulted_b.jsonl"
+    proc = run(opts.binary, FAULTS, faulted_a)
+    if proc.returncode != 0:
+        fail("faulted run failed", proc)
+    proc = run(opts.binary, FAULTS, faulted_b)
+    if proc.returncode != 0:
+        fail("faulted re-run failed", proc)
+    expect_identical(faulted_a, faulted_b,
+                     "faulted run must reproduce itself")
+    print("ok: faulted double-run byte-identical", flush=True)
+
+    # 2. The faulted trace obeys the event schema.
+    checker = Path(__file__).resolve().parent / "check_trace_schema.py"
+    proc = subprocess.run(
+        [sys.executable, str(checker), str(faulted_a)],
+        capture_output=True, text=True)
+    if proc.returncode != 0:
+        fail(f"schema check failed:\n{proc.stderr}")
+    print("ok: faulted trace passes the schema", flush=True)
+
+    # 3. Partition / heal: degraded service attributed to the
+    #    partition, no quorum collapse, reconvergence after the heal.
+    part_trace = work / "partition.jsonl"
+    proc = run(opts.binary, PARTITION, part_trace)
+    if proc.returncode != 0:
+        fail("partition run failed", proc)
+    degraded = [e for e in events(part_trace)
+                if e.get("ev") == "degraded_round"]
+    if not any(e.get("reason") == "partition" for e in degraded):
+        fail("partition window produced no partition-reasoned "
+             "degraded rounds")
+    if any(e.get("reason") == "quorum_floor" for e in degraded):
+        fail("partition at the default quorum floor must not "
+             "collapse quorum")
+    endings = [e for e in events(part_trace)
+               if e.get("ev") == "bidding_end"]
+    if not endings:
+        fail("partition trace has no bidding_end events")
+    if not endings[-1].get("converged"):
+        fail("final epoch did not reconverge after the heal")
+    print(f"ok: partition/heal ({len(degraded)} degraded round(s), "
+          "no collapse, reconverged)", flush=True)
+
+    # 4. Crash mid-partition, recover, compare bytes. First pin the
+    #    uninterrupted durable run (which must equal the non-durable
+    #    trace), then kill inside the window and recover.
+    golden_state = work / "state_golden"
+    golden_trace = work / "partition_durable.jsonl"
+    proc = run(opts.binary, PARTITION + durable_args(golden_state),
+               golden_trace)
+    if proc.returncode != 0:
+        fail("durable partition run failed", proc)
+    expect_identical(golden_trace, part_trace,
+                     "durability must not perturb the faulted trace")
+
+    for spec in ("epoch.post_commit:5", "journal.mid_append:7"):
+        tag = spec.replace(".", "_").replace(":", "_")
+        state = work / f"state_{tag}"
+        trace = work / f"trace_{tag}.jsonl"
+        proc = run(opts.binary,
+                   PARTITION + durable_args(state, kill=spec), trace)
+        if proc.returncode == 0:
+            fail(f"kill point {spec} was never reached")
+        if proc.returncode != KILL_EXIT_CODE:
+            fail(f"kill {spec}: expected exit {KILL_EXIT_CODE}, got "
+                 f"{proc.returncode}", proc)
+        proc = run(opts.binary,
+                   PARTITION + durable_args(state, recover=True),
+                   trace)
+        if proc.returncode != 0:
+            fail(f"recovery after {spec} exited {proc.returncode}",
+                 proc)
+        expect_identical(trace, part_trace,
+                         f"recovery after {spec}")
+        print(f"ok: {spec} killed mid-partition and recovered "
+              "byte-identically", flush=True)
+
+    print("chaos-net: determinism, schema, partition/heal, and "
+          "mid-partition crash recovery all hold")
+
+
+if __name__ == "__main__":
+    main()

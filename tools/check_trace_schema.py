@@ -31,8 +31,9 @@ REQUIRED = {
     "bidding_iter": {"iter", "max_delta"},
     "bidding_end": {"iterations", "converged", "deadline_expired"},
     "deadline_expired": {"iter", "best_delta"},
-    "fallback_serve": {"rung", "converged", "iterations",
+    "fallback_serve": {"rung", "reason", "converged", "iterations",
                        "deadline_expired"},
+    "degraded_round": {"source", "reason", "round", "quorum", "stale"},
     "fault_schedule": {"server", "crash_epoch", "recover_epoch"},
     "churn": {"epoch", "kind", "server"},
     "checkpoint_rollback": {"epoch", "user", "server", "lost_work"},
@@ -41,6 +42,37 @@ REQUIRED = {
 }
 
 FORBIDDEN = {"time", "wall", "elapsed", "timestamp", "duration"}
+
+# Structured degradation taxonomy (obs/degraded.hh). fallback_serve
+# additionally allows "none" for a clean primary serve.
+DEGRADED_REASONS = {"deadline_expired", "partition", "quorum_floor",
+                    "non_converged"}
+DEGRADED_SOURCES = {"barrier", "fallback"}
+
+
+def check_enums(event, ev):
+    """Return a list of enum-violation messages for this event."""
+    problems = []
+    if ev == "degraded_round":
+        if event.get("reason") not in DEGRADED_REASONS:
+            problems.append(
+                f"degraded_round reason {event.get('reason')!r} not in "
+                f"{sorted(DEGRADED_REASONS)}")
+        if event.get("source") not in DEGRADED_SOURCES:
+            problems.append(
+                f"degraded_round source {event.get('source')!r} not in "
+                f"{sorted(DEGRADED_SOURCES)}")
+    elif ev == "fallback_serve":
+        reason = event.get("reason")
+        if reason not in DEGRADED_REASONS | {"none"}:
+            problems.append(
+                f"fallback_serve reason {reason!r} not in "
+                f"{sorted(DEGRADED_REASONS | {'none'})}")
+        if reason == "none" and event.get("rung") != "primary":
+            problems.append(
+                "fallback_serve: only a primary serve may carry "
+                "reason 'none'")
+    return problems
 
 
 def fail(line_no, message):
@@ -84,6 +116,8 @@ def main():
                 errors += fail(
                     line_no,
                     f"{ev} missing field(s): {sorted(missing)}")
+            for problem in check_enums(event, ev):
+                errors += fail(line_no, problem)
             banned = {key for key in event
                       if any(word in key for word in FORBIDDEN)}
             if banned:
