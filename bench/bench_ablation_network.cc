@@ -14,6 +14,7 @@
  */
 
 #include <cmath>
+#include <cstdint>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -208,6 +209,105 @@ main()
     std::cout << "\n(c) quorum floor under a persistent partition\n";
     bench::emitTable(quorum, "network_quorum");
     bench::emitJson(quorum, "network_quorum");
+
+    // (d) critical-path attribution per fault mix. The sharded engine
+    // charges every round's virtual-time latency to exactly one cause
+    // chain (market.hh NetOutcomeStats); this section asserts both the
+    // exact-sum invariant and that each configured fault actually
+    // shows up under its own cause — a delay mix must charge
+    // net_delay, a partition mix partition_wait, and so on. A
+    // violation is a correctness bug in the attribution, so it fails
+    // the benchmark run rather than just printing a number.
+    struct AttributionCase
+    {
+        const char *name;
+        net::ShardedOptions cfg;
+        bool wantZero;       //!< all cause counters must be zero
+        bool wantDelay;      //!< delayTicks > 0
+        bool wantRetransmit; //!< retransmitTicks + quorumWaitTicks > 0
+        bool wantPartition;  //!< partitionWaitTicks > 0
+    };
+    std::vector<AttributionCase> cases;
+    {
+        AttributionCase clean_case{"clean", base, true, false, false,
+                                   false};
+        cases.push_back(clean_case);
+        AttributionCase delay_case{"delay 1:4", base, false, true,
+                                   false, false};
+        delay_case.cfg.faults.delayMin = 1;
+        delay_case.cfg.faults.delayMax = 4;
+        cases.push_back(delay_case);
+        AttributionCase loss_case{"loss 15%", base, false, false, true,
+                                  false};
+        loss_case.cfg.faults.lossRate = 0.15;
+        cases.push_back(loss_case);
+        AttributionCase mixed_case{"loss 15% + delay 1:4", base, false,
+                                   true, true, false};
+        mixed_case.cfg.faults.lossRate = 0.15;
+        mixed_case.cfg.faults.delayMin = 1;
+        mixed_case.cfg.faults.delayMax = 4;
+        cases.push_back(mixed_case);
+        AttributionCase part_case{"partition 6 rounds", base, false,
+                                  false, false, true};
+        part_case.cfg.partitions = {{1, 0, 6}};
+        cases.push_back(part_case);
+    }
+
+    TablePrinter attr;
+    attr.addColumn("Config", TablePrinter::Align::Left);
+    attr.addColumn("Latency (ticks)");
+    attr.addColumn("Net delay");
+    attr.addColumn("Retransmit");
+    attr.addColumn("Partition wait");
+    attr.addColumn("Quorum wait");
+    attr.addColumn("Sum check");
+    int attributionFailures = 0;
+    for (const AttributionCase &c : cases) {
+        const Sample s = run(market, c.cfg, cleanWelfare);
+        const core::NetOutcomeStats &net = s.result.net;
+        const std::uint64_t sum = net.delayTicks + net.retransmitTicks +
+                                  net.partitionWaitTicks +
+                                  net.quorumWaitTicks;
+        const bool sumOk = sum == net.latencyTicks;
+        bool causeOk = true;
+        if (c.wantZero)
+            causeOk = net.latencyTicks == 0;
+        if (c.wantDelay)
+            causeOk = causeOk && net.delayTicks > 0;
+        if (c.wantRetransmit)
+            causeOk = causeOk &&
+                      net.retransmitTicks + net.quorumWaitTicks > 0;
+        if (c.wantPartition)
+            causeOk = causeOk && net.partitionWaitTicks > 0;
+        if (!sumOk || !causeOk) {
+            ++attributionFailures;
+            std::cerr << "attribution violation [" << c.name
+                      << "]: latency " << net.latencyTicks
+                      << " = delay " << net.delayTicks
+                      << " + retransmit " << net.retransmitTicks
+                      << " + partition " << net.partitionWaitTicks
+                      << " + quorum " << net.quorumWaitTicks
+                      << (sumOk ? " (sum ok," : " (SUM MISMATCH,")
+                      << (causeOk ? " causes ok)" : " WRONG CAUSE)")
+                      << "\n";
+        }
+        attr.beginRow()
+            .cell(c.name)
+            .cell(net.latencyTicks)
+            .cell(net.delayTicks)
+            .cell(net.retransmitTicks)
+            .cell(net.partitionWaitTicks)
+            .cell(net.quorumWaitTicks)
+            .cell(sumOk ? "exact" : "MISMATCH");
+    }
+    std::cout << "\n(d) critical-path attribution by fault mix\n";
+    bench::emitTable(attr, "network_attribution");
+    bench::emitJson(attr, "network_attribution");
+    if (attributionFailures > 0) {
+        std::cerr << "\n" << attributionFailures
+                  << " attribution violation(s)\n";
+        return 1;
+    }
 
     std::cout
         << "\nLoss and delay stretch convergence (retransmits and "

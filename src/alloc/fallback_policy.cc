@@ -7,8 +7,10 @@
 #include "common/logging.hh"
 #include "core/rounding.hh"
 #include "net/options.hh"
+#include "net/session.hh"
 #include "obs/degraded.hh"
 #include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "obs/trace.hh"
 
 namespace amdahl::alloc {
@@ -108,11 +110,35 @@ FallbackPolicy::ladder(const core::FisherMarket &market,
     opts.transport = ctx.transport;
     const bool sharded = ctx.sharding && ctx.sharding->enabled();
 
-    const auto solve = [&](const core::BiddingOptions &o) {
+    const auto runSolve = [&](const core::BiddingOptions &o) {
         return sharded ? core::solveShardedBidding(market, o,
                                                    *ctx.sharding,
                                                    ctx.session)
                        : core::solveAmdahlBidding(market, o);
+    };
+
+    // Each ladder attempt is one "rung" span: virtual-time stamps
+    // from the persistent session clock (0/0 for in-process solves —
+    // they are instantaneous in virtual time), parented to the
+    // enclosing epoch span, and made the causal parent of the rounds
+    // the attempt clears.
+    const auto solve = [&](const core::BiddingOptions &o, int rung) {
+        obs::TraceSink *const spanTrace = obs::spanSink();
+        if (spanTrace == nullptr)
+            return runSolve(o);
+        const std::uint64_t parent = obs::currentSpanParent();
+        const std::uint64_t t0 = ctx.session ? ctx.session->ticks : 0;
+        const std::uint64_t id =
+            obs::spanId(obs::SpanKind::Rung, parent,
+                        static_cast<std::uint64_t>(rung), t0);
+        obs::SpanParentScope scope(id);
+        auto outcome = runSolve(o);
+        const std::uint64_t t1 = ctx.session ? ctx.session->ticks : 0;
+        obs::SpanEvent(*spanTrace, "rung", id, parent, t0, t1)
+            .field("attempt", rung)
+            .field("sharded", sharded)
+            .field("converged", outcome.converged);
+        return outcome;
     };
 
     AllocationResult result;
@@ -121,7 +147,7 @@ FallbackPolicy::ladder(const core::FisherMarket &market,
     // Rung 1: the configured procedure. With the ladder disabled the
     // attempt is served verbatim — including an expired-deadline
     // anytime state, which still surfaces via outcome.deadlineExpired.
-    auto attempt = solve(opts);
+    auto attempt = solve(opts, 0);
     if (attempt.converged || !fb.enabled) {
         result.outcome = std::move(attempt);
         result.cores = core::roundOutcome(market, result.outcome);
@@ -155,7 +181,7 @@ FallbackPolicy::ladder(const core::FisherMarket &market,
     if (fb.retryMaxIterations > 0)
         retry.maxIterations = fb.retryMaxIterations;
     const int primary_iterations = attempt.iterations;
-    auto retried = solve(retry);
+    auto retried = solve(retry, 1);
     retried.iterations += primary_iterations;
     if (retried.converged || retried.deadlineExpired) {
         result.outcome = std::move(retried);

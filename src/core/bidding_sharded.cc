@@ -30,6 +30,7 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <tuple>
 #include <unordered_set>
 #include <utility>
@@ -47,6 +48,7 @@
 #include "net/transport.hh"
 #include "obs/degraded.hh"
 #include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "obs/timer.hh"
 #include "obs/trace.hh"
 
@@ -159,6 +161,10 @@ solveShardedBidding(const FisherMarket &market, const BiddingOptions &opts,
     }
     net::VirtualTransport transport(model, *sess, inst);
 
+    // Span tracing: resolved once per solve (the CLI flips the switch
+    // before clearing starts). Null is the entire disabled path.
+    obs::TraceSink *const spans = obs::spanSink();
+
     // Coordinator state: the dense partial table, seeded from the
     // initial bids (every shard "fresh as of round base - 1"), and
     // the canonical fold of it as the opening prices. The scratch
@@ -268,6 +274,22 @@ solveShardedBidding(const FisherMarket &market, const BiddingOptions &opts,
         const net::Ticks T = clock.now();
         const net::Ticks deadlineTick = T + sharded.barrierDeadline;
 
+        // Round and barrier span IDs: pure functions of the causal
+        // parent (the fallback rung or epoch) and the global round.
+        // The parent scope makes the barrier the causal parent of
+        // every xfer span the transport emits inside this window.
+        const std::uint64_t roundParent =
+            spans ? obs::currentSpanParent() : 0;
+        const std::uint64_t roundId =
+            spans ? obs::spanId(obs::SpanKind::Round, roundParent, g)
+                  : 0;
+        const std::uint64_t barrierId =
+            spans ? obs::spanId(obs::SpanKind::Barrier, roundId, g)
+                  : 0;
+        std::optional<obs::SpanParentScope> xferScope;
+        if (spans)
+            xferScope.emplace(barrierId);
+
         // Open the round: broadcast this round's prices to every
         // shard (through the codec, even when the network is sound).
         for (std::size_t s = 0; s < S; ++s) {
@@ -284,6 +306,11 @@ solveShardedBidding(const FisherMarket &market, const BiddingOptions &opts,
         std::size_t freshCount = 0;
         net::Ticks closeTick = deadlineTick;
         roundFresh = false;
+        // The delivery that completed the barrier, for critical-path
+        // attribution: which shard closed the round, and when its
+        // winning bid copy left the wire.
+        std::size_t closerShard = 0;
+        net::Ticks closeSentAt = T;
 
         // Shards whose price application is pending at batchTick:
         // (shard, healed re-entry?). All price deliveries sharing a
@@ -335,6 +362,13 @@ solveShardedBidding(const FisherMarket &market, const BiddingOptions &opts,
                         }
                     });
             }
+            if (spans)
+                obs::SpanEvent(
+                    *spans, "compute",
+                    obs::spanId(obs::SpanKind::Compute, roundId, tick),
+                    barrierId, tick, tick)
+                    .field("round", g)
+                    .field("shards", batch.size());
             for (const auto &[s, healed] : batch) {
                 sendShardBid(
                     s,
@@ -421,6 +455,8 @@ solveShardedBidding(const FisherMarket &market, const BiddingOptions &opts,
                     if (freshCount == S) {
                         closeTick = d.at;
                         roundFresh = true;
+                        closerShard = s;
+                        closeSentAt = d.sentAt;
                         break;
                     }
                 }
@@ -481,15 +517,86 @@ solveShardedBidding(const FisherMarket &market, const BiddingOptions &opts,
         minQuorum = std::min(minQuorum, usable);
         if (inst)
             inst->quorum->record(static_cast<double>(usable));
+
+        const std::uint64_t staleServed =
+            static_cast<std::uint64_t>(S) - freshCount;
+        bool partitionHit = false;
         if (!roundFresh) {
-            const std::uint64_t staleServed =
-                static_cast<std::uint64_t>(S) - freshCount;
-            bool partitionHit = false;
             for (std::size_t s = 0; s < S; ++s) {
                 if (lastApplied[s] < static_cast<std::int64_t>(g) &&
                     model.partitioned(s, g))
                     partitionHit = true;
             }
+        }
+
+        // Critical-path attribution. A fresh round's latency is the
+        // closing chain itself: price transit to the closing shard,
+        // retransmit backoff until the winning bid copy left, and
+        // that copy's transit back — three legs that sum to
+        // closeTick - T exactly (compute is instantaneous in virtual
+        // time). A degraded or collapsed round waited out the whole
+        // barrier window instead: charged to partition wait when a
+        // scheduled partition silenced a missing shard, else to
+        // quorum wait.
+        const net::Ticks roundEnd =
+            roundFresh ? closeTick : deadlineTick;
+        const net::Ticks latency = roundEnd - T;
+        net::Ticks cDelay = 0;
+        net::Ticks cRetransmit = 0;
+        net::Ticks cPartition = 0;
+        net::Ticks cQuorum = 0;
+        if (roundFresh) {
+            const net::Ticks priceAt = priceTickLatest[closerShard];
+            cDelay = (priceAt - T) + (closeTick - closeSentAt);
+            cRetransmit = closeSentAt - priceAt;
+        } else if (partitionHit) {
+            cPartition = latency;
+        } else {
+            cQuorum = latency;
+        }
+        result.net.latencyTicks += latency;
+        result.net.delayTicks += cDelay;
+        result.net.retransmitTicks += cRetransmit;
+        result.net.partitionWaitTicks += cPartition;
+        result.net.quorumWaitTicks += cQuorum;
+
+        if (spans) {
+            obs::SpanEvent(*spans, "barrier", barrierId, roundId, T,
+                           roundEnd)
+                .field("round", g)
+                .field("deadline", deadlineTick)
+                .field("fresh", freshCount)
+                .field("quorum", usable);
+        }
+        const auto emitRoundSpan = [&] {
+            if (!spans)
+                return;
+            obs::SpanCause cause = obs::SpanCause::Compute;
+            if (latency > 0) {
+                if (cPartition > 0)
+                    cause = obs::SpanCause::PartitionWait;
+                else if (cQuorum > 0)
+                    cause = obs::SpanCause::QuorumWait;
+                else if (cRetransmit > cDelay)
+                    cause = obs::SpanCause::Retransmit;
+                else
+                    cause = obs::SpanCause::NetDelay;
+            }
+            obs::SpanEvent(*spans, "round", roundId, roundParent, T,
+                           roundEnd)
+                .field("round", g)
+                .field("fresh", roundFresh)
+                .field("closer", closerShard)
+                .field("cause", obs::toString(cause))
+                .field("ticks", latency)
+                .field("c_compute", std::uint64_t{0})
+                .field("c_delay", cDelay)
+                .field("c_retransmit", cRetransmit)
+                .field("c_partition", cPartition)
+                .field("c_quorum", cQuorum);
+        };
+
+        if (!roundFresh) {
             if (usable < quorumMin) {
                 collapsed = true;
                 result.net.quorumCollapsed = true;
@@ -499,6 +606,7 @@ solveShardedBidding(const FisherMarket &market, const BiddingOptions &opts,
                 obs::recordDegraded(
                     {"barrier", obs::DegradedReason::QuorumFloor, g,
                      usable, staleServed});
+                emitRoundSpan();
                 break;
             }
             const obs::DegradedReason reason =
@@ -521,6 +629,12 @@ solveShardedBidding(const FisherMarket &market, const BiddingOptions &opts,
             detail::foldPriceTable(table, blockCount, kernel,
                                    new_prices);
         }
+        if (spans)
+            obs::SpanEvent(*spans, "fold",
+                           obs::spanId(obs::SpanKind::Fold, roundId,
+                                       g),
+                           roundId, roundEnd, roundEnd)
+                .field("round", g);
 
         detail::checkRoundInvariants(market, kernel, new_prices,
                                      result.bids);
@@ -537,6 +651,7 @@ solveShardedBidding(const FisherMarket &market, const BiddingOptions &opts,
                 .field("max_delta", max_delta)
                 .field("lost_messages", round_lost_message);
         }
+        emitRoundSpan();
         // Degraded rounds never count as convergence: stale shards
         // haven't responded to these prices yet, so apparent
         // stillness proves nothing (same reasoning as lost bid

@@ -139,6 +139,27 @@ struct NetOutcomeStats
     /** The usable quorum fell below the configured floor and the
      *  solve aborted (always non-converged). */
     bool quorumCollapsed = false;
+
+    /**
+     * Virtual-time critical-path attribution, in ticks. Every round's
+     * latency (price broadcast to barrier close) is charged exactly
+     * once: fresh rounds split between message transit (delayTicks)
+     * and retransmit backoff (retransmitTicks) along the closing
+     * chain; degraded or collapsed rounds charge the whole barrier
+     * window to partitionWaitTicks (a scheduled partition silenced a
+     * missing shard) or quorumWaitTicks (loss/delay starved the
+     * barrier). The invariant `delayTicks + retransmitTicks +
+     * partitionWaitTicks + quorumWaitTicks == latencyTicks` holds by
+     * construction; compute is instantaneous in virtual time, so a
+     * zero-tick round is attributed 100% to compute. bench_ablation_-
+     * network asserts the invariant per fault mix, and the round
+     * `span` trace events carry the same per-round breakdown.
+     */
+    std::uint64_t latencyTicks = 0;
+    std::uint64_t delayTicks = 0;
+    std::uint64_t retransmitTicks = 0;
+    std::uint64_t partitionWaitTicks = 0;
+    std::uint64_t quorumWaitTicks = 0;
 };
 
 /** Result of running a market mechanism. */

@@ -9,6 +9,7 @@
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "core/bidding.hh"
+#include "obs/span.hh"
 #include "obs/timer.hh"
 #include "obs/trace.hh"
 #include "robustness/durability/codec.hh"
@@ -527,6 +528,28 @@ OnlineSimulator::runEpoch(OnlineRunState &s,
             .field("now", now);
     }
 
+    // Root of this epoch's span tree: derived from (seed, epoch) and
+    // stamped with the persistent net-session clock, so the rungs and
+    // rounds cleared below hang off it. Zero-width for epochs that
+    // never touch the sharded transport (virtual time stands still).
+    const std::uint64_t epochSpanId =
+        obs::spanSink() != nullptr
+            ? obs::spanId(obs::SpanKind::Epoch, opts_.seed,
+                          static_cast<std::uint64_t>(epoch))
+            : 0;
+    const std::uint64_t epochSpanT0 = s.net.ticks;
+    std::optional<obs::SpanParentScope> epochScope;
+    if (epochSpanId != 0)
+        epochScope.emplace(epochSpanId);
+    const auto emitEpochSpan = [&](bool idle) {
+        if (auto *spanTrace = obs::spanSink()) {
+            obs::SpanEvent(*spanTrace, "epoch", epochSpanId, 0,
+                           epochSpanT0, s.net.ticks)
+                .field("epoch", epoch)
+                .field("idle", idle);
+        }
+    };
+
     // 0. Fault-schedule bookkeeping: recovered servers rejoin the
     //    market, and jobs stranded by a total outage are placed as
     //    soon as capacity exists again.
@@ -750,6 +773,7 @@ OnlineSimulator::runEpoch(OnlineRunState &s,
                 .field("in_system", in_system)
                 .field("idle", true);
         }
+        emitEpochSpan(true);
         save_back();
         return;
     }
@@ -1023,6 +1047,7 @@ OnlineSimulator::runEpoch(OnlineRunState &s,
                    metrics.speedupHistory.back())
             .field("jobs_completed", metrics.jobsCompleted);
     }
+    emitEpochSpan(false);
     save_back();
 }
 

@@ -2,8 +2,39 @@
 
 #include "common/logging.hh"
 #include "obs/metrics.hh"
+#include "obs/span.hh"
 
 namespace amdahl::net {
+
+namespace {
+
+/**
+ * Emit one xfer span for a message copy. The span covers the wire
+ * interval send → arrival ("delivered"/"duplicate"); dropped copies
+ * ("lost", "partition_drop") are zero-width at the send tick. The
+ * (edge, round, attempt) triple in the fields is exactly the fault
+ * substream coordinate the NetFaultModel drew from, so the analyzer
+ * can replay any realization question offline.
+ */
+void
+emitXferSpan(obs::TraceSink &sink, std::uint64_t edge,
+             std::size_t shard, std::uint64_t streamRound,
+             std::uint32_t attempt, std::uint32_t copy, Ticks t0,
+             Ticks t1, const char *outcome)
+{
+    const std::uint64_t id = obs::spanId(
+        obs::SpanKind::Xfer, edge, streamRound,
+        (static_cast<std::uint64_t>(attempt) << 1) | copy);
+    obs::SpanEvent(sink, edge % 2 == 0 ? "price_xfer" : "bid_xfer",
+                   id, obs::currentSpanParent(), t0, t1)
+        .field("edge", edge)
+        .field("shard", shard)
+        .field("round", streamRound)
+        .field("attempt", attempt)
+        .field("outcome", outcome);
+}
+
+} // namespace
 
 NetInstruments
 NetInstruments::bind()
@@ -38,18 +69,25 @@ VirtualTransport::send(Message msg, std::uint64_t edge, std::size_t shard,
         panic("net edge ", edge, " outside session sequence space (",
               session_->edgeSeq.size(), ")");
     msg.seq = session_->edgeSeq[edge]++;
+    obs::TraceSink *spans = obs::spanSink();
     if (inst_)
         inst_->sent->add();
+    const std::uint64_t g = streamRound;
+    const std::uint32_t attempt = msg.attempt;
     if (model_->partitioned(shard, partitionRound)) {
         if (inst_)
             inst_->partitionDrops->add();
+        if (spans)
+            emitXferSpan(*spans, edge, shard, g, attempt, 0, now, now,
+                         "partition_drop");
         return;
     }
-    const std::uint64_t g = streamRound;
-    const std::uint32_t attempt = msg.attempt;
     if (model_->lost(edge, g, attempt)) {
         if (inst_)
             inst_->lost->add();
+        if (spans)
+            emitXferSpan(*spans, edge, shard, g, attempt, 0, now, now,
+                         "lost");
         return;
     }
     Delivery delivery;
@@ -59,11 +97,17 @@ VirtualTransport::send(Message msg, std::uint64_t edge, std::size_t shard,
     delivery.wire = encodeMessage(msg);
     const std::uint64_t seq = msg.seq;
     const bool dup = model_->duplicated(edge, g, attempt);
+    if (spans)
+        emitXferSpan(*spans, edge, shard, g, attempt, 0, now,
+                     delivery.at, "delivered");
     if (dup) {
         if (inst_)
             inst_->duplicated->add();
         Delivery copy = delivery;
         copy.at = now + model_->duplicateDelay(edge, g, attempt);
+        if (spans)
+            emitXferSpan(*spans, edge, shard, g, attempt, 1, now,
+                         copy.at, "duplicate");
         enqueue(std::move(copy), seq, 1);
     }
     enqueue(std::move(delivery), seq, 0);

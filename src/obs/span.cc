@@ -1,0 +1,109 @@
+#include "span.hh"
+
+#include <atomic>
+
+namespace amdahl::obs {
+
+namespace {
+
+/**
+ * The effective span sink: non-null only while a trace sink is
+ * installed AND span tracing is enabled. Kept pre-combined so the
+ * hot-path guard in spanSink() is one relaxed load, mirroring the
+ * trace sink's own disabled-path contract.
+ */
+std::atomic<TraceSink *> globalSpanSink{nullptr};
+
+/** The operator's `--span-trace` request, independent of sink life. */
+std::atomic<bool> spanEnabled{false};
+
+/** Last sink observed from setTraceSink(), for re-enable after the
+ *  flag flips while a sink is already installed. */
+std::atomic<TraceSink *> lastTraceSink{nullptr};
+
+void
+recomputeSpanSink()
+{
+    TraceSink *sink = lastTraceSink.load(std::memory_order_relaxed);
+    const bool on = spanEnabled.load(std::memory_order_relaxed);
+    globalSpanSink.store(on ? sink : nullptr,
+                         std::memory_order_relaxed);
+}
+
+} // namespace
+
+std::string_view
+toString(SpanCause cause)
+{
+    switch (cause) {
+    case SpanCause::Compute:
+        return "compute";
+    case SpanCause::NetDelay:
+        return "net_delay";
+    case SpanCause::Retransmit:
+        return "retransmit";
+    case SpanCause::PartitionWait:
+        return "partition_wait";
+    case SpanCause::QuorumWait:
+        return "quorum_wait";
+    }
+    return "compute";
+}
+
+TraceSink *
+spanSink()
+{
+    return globalSpanSink.load(std::memory_order_relaxed);
+}
+
+bool
+setSpanTracingEnabled(bool enabled)
+{
+    const bool previous =
+        spanEnabled.exchange(enabled, std::memory_order_relaxed);
+    recomputeSpanSink();
+    return previous;
+}
+
+bool
+spanTracingEnabled()
+{
+    return spanEnabled.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+/**
+ * Causal parent of spans opened below the current point. Atomic to
+ * satisfy the CONC-global contract, but semantically single-writer:
+ * spans (like all trace events) are emitted only from the submitting
+ * thread, never inside pool regions.
+ */
+std::atomic<std::uint64_t> globalSpanParent{0};
+
+} // namespace
+
+std::uint64_t
+currentSpanParent()
+{
+    return globalSpanParent.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+setSpanParent(std::uint64_t id)
+{
+    return globalSpanParent.exchange(id, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+spanOnTraceSinkChanged(TraceSink *sink)
+{
+    lastTraceSink.store(sink, std::memory_order_relaxed);
+    recomputeSpanSink();
+}
+
+} // namespace detail
+
+} // namespace amdahl::obs

@@ -5,6 +5,7 @@
 
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "obs/span.hh"
 
 namespace amdahl::obs {
 
@@ -83,7 +84,9 @@ TraceSink *
 setTraceSink(TraceSink *sink)
 {
     TraceSink *previous = globalSink.exchange(sink);
-    detail::setLogSinkHook(sink != nullptr ? &logToTrace : nullptr);
+    amdahl::detail::setLogSinkHook(sink != nullptr ? &logToTrace
+                                                   : nullptr);
+    detail::spanOnTraceSinkChanged(sink);
     return previous;
 }
 

@@ -1,0 +1,23 @@
+// Fixture: the span layer must stamp spans with virtual ticks only —
+// a wall-clock read here would break the byte-identical span-stream
+// contract. Expected: 2 DET-clock findings (steady_clock,
+// clock_gettime).
+
+#include <chrono>
+#include <cstdint>
+#include <ctime>
+
+namespace fx {
+
+std::uint64_t
+spanBeginTick()
+{
+    const auto now = std::chrono::steady_clock::now();
+    timespec ts{};
+    clock_gettime(0, &ts);
+    return static_cast<std::uint64_t>(
+               now.time_since_epoch().count()) +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+} // namespace fx

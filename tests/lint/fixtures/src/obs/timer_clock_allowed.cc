@@ -1,5 +1,6 @@
-// Fixture: obs/ owns timing; the same clock read that is a violation
-// in core/ is allowed here. Expected: 0 findings.
+// Fixture: the timer (src/obs/timer*) owns timing; the same clock
+// read that is a violation anywhere else in obs/ is allowed here.
+// Expected: 0 findings.
 
 #include <chrono>
 

@@ -51,7 +51,7 @@ tally(const LintReport &report)
 TEST(LintCorpus, DiscoversTheWholeFixtureTree)
 {
     const auto files = discoverFiles(kRoot);
-    EXPECT_EQ(files.size(), 24u);
+    EXPECT_EQ(files.size(), 25u);
     // Sorted, repo-relative, forward slashes.
     EXPECT_FALSE(files.empty());
     EXPECT_EQ(files.front().substr(0, 4), "src/");
@@ -64,6 +64,7 @@ TEST(LintCorpus, EachRuleFiresExactlyOnItsFixture)
         {{"src/core/det_rand_violation.cc", "DET-rand"}, 4},
         {{"src/core/det_clock_violation.cc", "DET-clock"}, 2},
         {{"src/net/det_clock_violation.cc", "DET-clock"}, 2},
+        {{"src/obs/span_clock_violation.cc", "DET-clock"}, 2},
         {{"src/net/det_rand_violation.cc", "DET-rand"}, 4},
         {{"src/core/det_exec_violation.cc", "DET-exec"}, 2},
         {{"src/core/det_unordered_violation.cc", "DET-unordered"}, 1},
@@ -91,7 +92,7 @@ TEST(LintCorpus, CleanCounterpartsAndAllowlistedOwnersStaySilent)
              "src/core/clean.cc",
              "src/common/random.cc",
              "src/common/logging.cc",
-             "src/obs/clock_allowed.cc",
+             "src/obs/timer_clock_allowed.cc",
              "src/exec/probe_allowed.cc",
              "src/robustness/durability/fio_allowed.cc",
          }) {
@@ -114,10 +115,10 @@ TEST(LintCorpus, InlineSuppressionSilencesButStaysVisible)
     EXPECT_EQ(suppressed, 2);
 
     const FindingCounts counts = countFindings(report);
-    EXPECT_EQ(counts.total, 30);
+    EXPECT_EQ(counts.total, 32);
     EXPECT_EQ(counts.suppressed, 2);
     EXPECT_EQ(counts.baselined, 0);
-    EXPECT_EQ(counts.active, 28);
+    EXPECT_EQ(counts.active, 30);
 }
 
 TEST(LintCorpus, MalformedMarkersNeverSuppress)
@@ -151,7 +152,7 @@ TEST(LintBaseline, MatchesByRuleFileAndLineText)
     EXPECT_TRUE(sawBaselined);
     const FindingCounts counts = countFindings(report);
     EXPECT_EQ(counts.baselined, 1);
-    EXPECT_EQ(counts.active, 27);
+    EXPECT_EQ(counts.active, 29);
     EXPECT_TRUE(report.staleBaseline.empty());
 }
 
@@ -204,10 +205,10 @@ TEST(LintReportFormat, JsonCarriesTheDocumentedSchema)
     EXPECT_NE(json.find("\"rule\":\"DET-rand\""), std::string::npos);
     EXPECT_NE(json.find("\"file\":\"src/core/det_rand_violation.cc\""),
               std::string::npos);
-    EXPECT_NE(json.find("\"counts\":{\"total\":30,\"active\":28,"
+    EXPECT_NE(json.find("\"counts\":{\"total\":32,\"active\":30,"
                         "\"baselined\":0,\"suppressed\":2}"),
               std::string::npos);
-    EXPECT_NE(json.find("\"filesScanned\":24"), std::string::npos);
+    EXPECT_NE(json.find("\"filesScanned\":25"), std::string::npos);
     EXPECT_EQ(json.back(), '}');
 }
 

@@ -44,6 +44,17 @@
  *                            convergence trace (stdout unless
  *                            --trace-out redirects it); the run
  *                            summary goes to stderr.
+ *
+ *   trace analyze <file>     Reconstruct the span DAG from a captured
+ *                            --span-trace stream: per-round critical-
+ *                            path attribution (compute / net delay /
+ *                            retransmit / partition / quorum), round
+ *                            latency p50/p99 in ticks, and transfer
+ *                            outcome counts. Verifies that per-cause
+ *                            ticks sum exactly to each round's
+ *                            latency (exit 1 on violation).
+ *       --chrome <path>      Also export Chrome trace_event JSON for
+ *                            chrome://tracing / Perfetto.
  *       --seed <n>           Scenario seed (default 0x0517e5).
  *       --users/--servers/--cores <n>
  *                            Cluster shape.
@@ -84,6 +95,10 @@
  *                            path on exit (text when path ends .txt).
  *   --timing                 Record phase wall-time histograms (off by
  *                            default; timing never enters traces).
+ *   --span-trace             Emit causal `span` events (virtual-time
+ *                            rounds, barriers, transfers, rungs,
+ *                            epochs) into the trace stream for
+ *                            `trace analyze` / tools/trace_analyze.py.
  *   --log-level <level>      stderr verbosity: quiet, warn, or info.
  *   --threads <n|auto>       Worker threads for the parallel clearing
  *                            kernels (default 1, or AMDAHL_THREADS;
@@ -91,6 +106,7 @@
  *                            are byte-identical at any thread count.
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
@@ -111,6 +127,7 @@
 #include "exec/parallelism.hh"
 #include "net/options.hh"
 #include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "obs/timer.hh"
 #include "obs/trace.hh"
 #include "profiling/karp_flatt.hh"
@@ -155,10 +172,12 @@ usage()
         << " [--net-partition shard:from:to]...\n"
         << "                     [--barrier-deadline ticks]"
         << " [--quorum f] [--max-stale n]\n"
+        << "       amdahl_market trace analyze <trace.jsonl>"
+        << " [--chrome out.json]\n"
         << "       amdahl_market stats <file> [--gauss-seidel]"
         << " [--json]\n"
         << "global flags: [--trace-out path] [--metrics-out path]"
-        << " [--timing]\n"
+        << " [--timing] [--span-trace]\n"
         << "              [--log-level quiet|warn|info]"
         << " [--threads n|auto]\n";
     return 2;
@@ -394,10 +413,306 @@ cmdSimulate(const std::vector<std::string> &args)
     return 0;
 }
 
+/**
+ * Flush the trace sink exactly once and surface its sticky Status.
+ * Every cmdTrace exit after the sink is installed — including the
+ * early aborts of the durable path — must route through here: a
+ * swallowed trace-IO failure would let a run that silently lost
+ * trace lines exit 0 and poison every downstream byte-identity check.
+ */
+int
+finishTraceSink(std::optional<obs::TraceSink> &sink,
+                const std::string &traceOut, int status)
+{
+    if (!sink)
+        return status;
+    (void)sink->flush();
+    if (Status st = sink->status(); !st.isOk()) {
+        std::cerr << "trace output '"
+                  << (traceOut.empty() ? "<stdout>" : traceOut)
+                  << "': " << st.toString() << "\n";
+        if (status == 0)
+            status = 1;
+    }
+    return status;
+}
+
+/**
+ * One parsed `span` event. The sink emits spans with a fixed flat
+ * shape (string name/cause/outcome fields, unsigned numeric fields,
+ * no escapes in any enum token), so targeted key extraction is exact
+ * without a general JSON parser.
+ */
+struct SpanRecord
+{
+    std::string name;
+    std::uint64_t id = 0;
+    std::uint64_t parent = 0;
+    std::uint64_t t0 = 0;
+    std::uint64_t t1 = 0;
+    std::uint64_t round = 0;
+    bool hasRound = false;
+    std::uint64_t shard = 0;
+    bool hasShard = false;
+    std::string cause;
+    std::string outcome;
+    std::uint64_t ticks = 0;
+    std::uint64_t cDelay = 0;
+    std::uint64_t cRetransmit = 0;
+    std::uint64_t cPartition = 0;
+    std::uint64_t cQuorum = 0;
+};
+
+bool
+extractU64(const std::string &line, const std::string &key,
+           std::uint64_t &out)
+{
+    const std::string needle = "\"" + key + "\":";
+    const auto pos = line.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    std::size_t i = pos + needle.size();
+    if (i >= line.size() || line[i] < '0' || line[i] > '9')
+        return false;
+    std::uint64_t v = 0;
+    while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
+        v = v * 10 + static_cast<std::uint64_t>(line[i] - '0');
+        ++i;
+    }
+    out = v;
+    return true;
+}
+
+bool
+extractToken(const std::string &line, const std::string &key,
+             std::string &out)
+{
+    const std::string needle = "\"" + key + "\":\"";
+    const auto pos = line.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    const auto start = pos + needle.size();
+    const auto end = line.find('"', start);
+    if (end == std::string::npos)
+        return false;
+    out = line.substr(start, end - start);
+    return true;
+}
+
+int
+cmdTraceAnalyze(const std::vector<std::string> &args)
+{
+    std::string path;
+    std::string chromeOut;
+    for (std::size_t a = 0; a < args.size(); ++a) {
+        const std::string &arg = args[a];
+        if (arg == "--chrome" && a + 1 < args.size()) {
+            chromeOut = args[++a];
+        } else if (path.empty() && !arg.empty() && arg[0] != '-') {
+            path = arg;
+        } else {
+            std::cerr << "unknown option '" << arg << "'\n";
+            return usage();
+        }
+    }
+    if (path.empty())
+        return usage();
+
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "cannot open trace '" << path << "'\n";
+        return 1;
+    }
+
+    std::vector<SpanRecord> spans;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find("\"ev\":\"span\"") == std::string::npos)
+            continue;
+        SpanRecord s;
+        if (!extractToken(line, "name", s.name) ||
+            !extractU64(line, "id", s.id) ||
+            !extractU64(line, "t0", s.t0) ||
+            !extractU64(line, "t1", s.t1)) {
+            std::cerr << "malformed span line: " << line << "\n";
+            return 1;
+        }
+        (void)extractU64(line, "parent", s.parent);
+        s.hasRound = extractU64(line, "round", s.round);
+        s.hasShard = extractU64(line, "shard", s.shard);
+        (void)extractToken(line, "cause", s.cause);
+        (void)extractToken(line, "outcome", s.outcome);
+        (void)extractU64(line, "ticks", s.ticks);
+        (void)extractU64(line, "c_delay", s.cDelay);
+        (void)extractU64(line, "c_retransmit", s.cRetransmit);
+        (void)extractU64(line, "c_partition", s.cPartition);
+        (void)extractU64(line, "c_quorum", s.cQuorum);
+        spans.push_back(std::move(s));
+    }
+    if (spans.empty()) {
+        std::cerr << "no span events in '" << path
+                  << "' (captured without --span-trace?)\n";
+        return 1;
+    }
+
+    // Per-round attribution audit: the per-cause breakdown must sum
+    // exactly to the round's virtual-time latency — an analyzer that
+    // "mostly" accounts for a round cannot support an SLO post-mortem.
+    std::vector<std::uint64_t> latencies;
+    std::uint64_t totalTicks = 0;
+    std::uint64_t cDelay = 0;
+    std::uint64_t cRetransmit = 0;
+    std::uint64_t cPartition = 0;
+    std::uint64_t cQuorum = 0;
+    std::uint64_t freshRounds = 0;
+    std::uint64_t sumViolations = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t lost = 0;
+    std::uint64_t partitionDrops = 0;
+    std::uint64_t duplicates = 0;
+    for (const SpanRecord &s : spans) {
+        if (s.t1 < s.t0) {
+            std::cerr << "span " << s.id << " (" << s.name
+                      << ") is time-inverted: t0 " << s.t0 << " > t1 "
+                      << s.t1 << "\n";
+            return 1;
+        }
+        if (s.name == "round") {
+            const std::uint64_t latency = s.t1 - s.t0;
+            const std::uint64_t sum =
+                s.cDelay + s.cRetransmit + s.cPartition + s.cQuorum;
+            if (latency != s.ticks || sum != latency) {
+                std::cerr << "round " << s.round
+                          << ": cause ticks sum to " << sum
+                          << " but latency is " << latency << "\n";
+                ++sumViolations;
+            }
+            latencies.push_back(latency);
+            totalTicks += latency;
+            cDelay += s.cDelay;
+            cRetransmit += s.cRetransmit;
+            cPartition += s.cPartition;
+            cQuorum += s.cQuorum;
+            if (s.cause == "compute")
+                ++freshRounds;
+        } else if (s.name == "price_xfer" || s.name == "bid_xfer") {
+            if (s.outcome == "delivered")
+                ++delivered;
+            else if (s.outcome == "lost")
+                ++lost;
+            else if (s.outcome == "partition_drop")
+                ++partitionDrops;
+            else if (s.outcome == "duplicate")
+                ++duplicates;
+        }
+    }
+
+    const auto percentile = [&](double p) -> std::uint64_t {
+        if (latencies.empty())
+            return 0;
+        const auto idx = static_cast<std::size_t>(
+            p * static_cast<double>(latencies.size() - 1));
+        return latencies[idx];
+    };
+    std::sort(latencies.begin(), latencies.end());
+
+    std::cout << spans.size() << " span(s), " << latencies.size()
+              << " round(s)";
+    if (!latencies.empty())
+        std::cout << ", round latency p50 " << percentile(0.5)
+                  << " / p99 " << percentile(0.99) << " tick(s)";
+    std::cout << "\n"
+              << "transfers: " << delivered << " delivered, " << lost
+              << " lost, " << partitionDrops << " partition-dropped, "
+              << duplicates << " duplicated\n\n";
+
+    TablePrinter attribution;
+    attribution.addColumn("Cause", TablePrinter::Align::Left);
+    attribution.addColumn("Ticks");
+    attribution.addColumn("Share");
+    const auto share = [&](std::uint64_t t) {
+        return totalTicks == 0
+                   ? std::string("-")
+                   : formatDouble(100.0 * static_cast<double>(t) /
+                                      static_cast<double>(totalTicks),
+                                  1) +
+                         "%";
+    };
+    const std::uint64_t cCompute = 0;
+    attribution.beginRow().cell("compute").cell(cCompute).cell(
+        totalTicks == 0 ? "100.0%" : share(cCompute));
+    attribution.beginRow().cell("net_delay").cell(cDelay).cell(
+        share(cDelay));
+    attribution.beginRow()
+        .cell("retransmit")
+        .cell(cRetransmit)
+        .cell(share(cRetransmit));
+    attribution.beginRow()
+        .cell("partition_wait")
+        .cell(cPartition)
+        .cell(share(cPartition));
+    attribution.beginRow()
+        .cell("quorum_wait")
+        .cell(cQuorum)
+        .cell(share(cQuorum));
+    attribution.print(std::cout);
+
+    if (!chromeOut.empty()) {
+        std::ofstream out(chromeOut);
+        if (!out) {
+            std::cerr << "cannot open chrome export '" << chromeOut
+                      << "'\n";
+            return 1;
+        }
+        out << "{\"traceEvents\":[";
+        bool first = true;
+        for (const SpanRecord &s : spans) {
+            if (!first)
+                out << ",";
+            first = false;
+            out << "{\"name\":\"" << s.name
+                << "\",\"cat\":\"amdahl\",\"ph\":\"X\",\"ts\":" << s.t0
+                << ",\"dur\":" << (s.t1 - s.t0) << ",\"pid\":1"
+                << ",\"tid\":" << (s.hasShard ? s.shard + 1 : 0)
+                << ",\"args\":{\"id\":\"" << s.id
+                << "\",\"parent\":\"" << s.parent << "\"";
+            if (s.hasRound)
+                out << ",\"round\":" << s.round;
+            if (!s.cause.empty())
+                out << ",\"cause\":\"" << s.cause << "\"";
+            if (!s.outcome.empty())
+                out << ",\"outcome\":\"" << s.outcome << "\"";
+            out << "}}";
+        }
+        out << "],\"displayTimeUnit\":\"ms\"}\n";
+        out.flush();
+        if (!out.good()) {
+            std::cerr << "chrome export '" << chromeOut
+                      << "': stream failed\n";
+            return 1;
+        }
+        std::cerr << "wrote " << chromeOut << "\n";
+    }
+
+    if (sumViolations > 0) {
+        std::cerr << "\n"
+                  << sumViolations
+                  << " round(s) with attribution-sum violations\n";
+        return 1;
+    }
+    std::cout << "\nattribution: causes sum to round latency in "
+              << latencies.size() << "/" << latencies.size()
+              << " round(s)\n";
+    return 0;
+}
+
 int
 cmdTrace(const std::vector<std::string> &args,
          const std::string &traceOut)
 {
+    if (!args.empty() && args[0] == "analyze")
+        return cmdTraceAnalyze(
+            std::vector<std::string>(args.begin() + 1, args.end()));
     eval::OnlineOptions opts;
     durability::DurabilityOptions dur;
     int epochs = 20;
@@ -543,13 +858,8 @@ cmdTrace(const std::vector<std::string> &args,
         const alloc::FallbackPolicy policy;
         const auto metrics =
             simulator.run(policy, eval::FractionSource::Estimated);
-        (void)sink->flush();
-        if (Status st = sink->status(); !st.isOk()) {
-            std::cerr << "trace output '"
-                      << (traceOut.empty() ? "<stdout>" : traceOut)
-                      << "': " << st.toString() << "\n";
-            return 1;
-        }
+        if (int rc = finishTraceSink(sink, traceOut, 0); rc != 0)
+            return rc;
 
         std::cerr << "trace: " << epochs << " epoch(s), "
                   << metrics.jobsArrived << " job(s) arrived, "
@@ -658,17 +968,14 @@ cmdTrace(const std::vector<std::string> &args,
                                     eval::FractionSource::Estimated,
                                     store, resuming ? &rec : nullptr);
     if (!run.ok()) {
+        // The aborted run may still have buffered trace lines (and a
+        // sticky IO error of its own) — flush and surface both.
         std::cerr << "trace: " << run.status().toString() << "\n";
-        return 1;
+        return finishTraceSink(sink, traceOut, 1);
     }
     const auto metrics = run.take();
-    (void)sink->flush();
-    if (Status st = sink->status(); !st.isOk()) {
-        std::cerr << "trace output '"
-                  << (traceOut.empty() ? "<stdout>" : traceOut)
-                  << "': " << st.toString() << "\n";
-        return 1;
-    }
+    if (int rc = finishTraceSink(sink, traceOut, 0); rc != 0)
+        return rc;
 
     std::cerr << "trace: " << epochs << " epoch(s), "
               << metrics.jobsArrived << " job(s) arrived, "
@@ -768,6 +1075,7 @@ struct GlobalFlags
     std::string traceOut;
     std::string metricsOut;
     bool timing = false;
+    bool spanTrace = false;
     bool ok = true;
 };
 
@@ -797,7 +1105,7 @@ extractGlobalFlags(std::vector<std::string> &raw)
         }
         if (name != "--trace-out" && name != "--metrics-out" &&
             name != "--log-level" && name != "--timing" &&
-            name != "--threads") {
+            name != "--span-trace" && name != "--threads") {
             kept.push_back(arg);
             continue;
         }
@@ -807,6 +1115,14 @@ extractGlobalFlags(std::vector<std::string> &raw)
                 return flags;
             }
             flags.timing = true;
+            continue;
+        }
+        if (name == "--span-trace") {
+            if (inline_value) {
+                bad("--span-trace takes no value");
+                return flags;
+            }
+            flags.spanTrace = true;
             continue;
         }
         if (!inline_value) {
@@ -859,6 +1175,8 @@ main(int argc, char **argv)
         return usage();
     if (flags.timing)
         obs::setTimingEnabled(true);
+    if (flags.spanTrace)
+        obs::setSpanTracingEnabled(true);
 
     const std::string command = raw[0];
 

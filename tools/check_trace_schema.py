@@ -39,6 +39,7 @@ REQUIRED = {
     "checkpoint_rollback": {"epoch", "user", "server", "lost_work"},
     "admission": {"epoch", "action", "user"},
     "log": {"severity", "message"},
+    "span": {"name", "id", "parent", "t0", "t1"},
 }
 
 FORBIDDEN = {"time", "wall", "elapsed", "timestamp", "duration"}
@@ -48,6 +49,109 @@ FORBIDDEN = {"time", "wall", "elapsed", "timestamp", "duration"}
 DEGRADED_REASONS = {"deadline_expired", "partition", "quorum_floor",
                     "non_converged"}
 DEGRADED_SOURCES = {"barrier", "fallback"}
+
+# Causal span taxonomy (obs/span.hh). Span IDs are pure functions of
+# structural coordinates, so same-seed traces must agree byte-for-byte;
+# parents may legitimately be *emitted* after their children (a round
+# span closes after its transfers), hence the deferred second pass.
+SPAN_NAMES = {"epoch", "rung", "round", "barrier", "compute", "fold",
+              "price_xfer", "bid_xfer"}
+SPAN_CAUSES = {"compute", "net_delay", "retransmit", "partition_wait",
+               "quorum_wait"}
+SPAN_XFER_OUTCOMES = {"delivered", "lost", "partition_drop",
+                      "duplicate"}
+SPAN_ROUND_COSTS = ("c_compute", "c_delay", "c_retransmit",
+                    "c_partition", "c_quorum")
+
+
+def check_span(event):
+    """Return per-line problems for one span event (pass one)."""
+    problems = []
+    name = event.get("name")
+    if name not in SPAN_NAMES:
+        problems.append(
+            f"span name {name!r} not in {sorted(SPAN_NAMES)}")
+    for key in ("id", "parent", "t0", "t1"):
+        if not isinstance(event.get(key), int):
+            problems.append(f"span field {key!r} must be an integer")
+            return problems
+    if event["id"] == 0:
+        problems.append("span id 0 is reserved for 'no parent'")
+    if event["t0"] > event["t1"]:
+        problems.append(
+            f"span is time-inverted: t0 {event['t0']} > t1 "
+            f"{event['t1']}")
+    if name == "round":
+        cause = event.get("cause")
+        if cause not in SPAN_CAUSES:
+            problems.append(
+                f"round span cause {cause!r} not in "
+                f"{sorted(SPAN_CAUSES)}")
+        missing = [key for key in SPAN_ROUND_COSTS + ("ticks",)
+                   if not isinstance(event.get(key), int)]
+        if missing:
+            problems.append(
+                f"round span missing cost field(s): {missing}")
+        else:
+            latency = event["t1"] - event["t0"]
+            total = sum(event[key] for key in SPAN_ROUND_COSTS)
+            if event["ticks"] != latency:
+                problems.append(
+                    f"round span ticks {event['ticks']} != t1-t0 "
+                    f"{latency}")
+            if total != latency:
+                problems.append(
+                    f"round span causes sum to {total}, latency is "
+                    f"{latency}")
+    elif name in ("price_xfer", "bid_xfer"):
+        outcome = event.get("outcome")
+        if outcome not in SPAN_XFER_OUTCOMES:
+            problems.append(
+                f"xfer span outcome {outcome!r} not in "
+                f"{sorted(SPAN_XFER_OUTCOMES)}")
+    return problems
+
+
+def check_span_graph(spans):
+    """Cross-span validation once the whole stream is read.
+
+    @param spans List of (line_no, event) for every span event.
+    @return List of (line_no, message) problems: duplicate IDs,
+            orphaned parent references, and parents that begin after
+            their children (causality must respect virtual time).
+    """
+    problems = []
+    by_id = {}
+    for line_no, event in spans:
+        sid = event.get("id")
+        if not isinstance(sid, int):
+            continue
+        if sid in by_id:
+            problems.append(
+                (line_no, f"duplicate span id {sid} (first on line "
+                          f"{by_id[sid][0]})"))
+        else:
+            by_id[sid] = (line_no, event)
+    for line_no, event in spans:
+        parent = event.get("parent")
+        if not isinstance(parent, int) or parent == 0:
+            continue
+        if parent not in by_id:
+            problems.append(
+                (line_no,
+                 f"orphaned span {event.get('id')}: parent {parent} "
+                 f"never emitted"))
+            continue
+        parent_event = by_id[parent][1]
+        if isinstance(event.get("t0"), int) and \
+                isinstance(parent_event.get("t0"), int) and \
+                parent_event["t0"] > event["t0"]:
+            problems.append(
+                (line_no,
+                 f"span {event.get('id')} begins at t0 {event['t0']} "
+                 f"before its parent {parent} at t0 "
+                 f"{parent_event['t0']}"))
+    return problems
 
 
 def check_enums(event, ev):
@@ -85,6 +189,7 @@ def main():
     errors = 0
     expected_seq = 0
     events = 0
+    spans = []
     with stream:
         for line_no, line in enumerate(stream, start=1):
             line = line.strip()
@@ -118,6 +223,10 @@ def main():
                     f"{ev} missing field(s): {sorted(missing)}")
             for problem in check_enums(event, ev):
                 errors += fail(line_no, problem)
+            if ev == "span":
+                for problem in check_span(event):
+                    errors += fail(line_no, problem)
+                spans.append((line_no, event))
             banned = {key for key in event
                       if any(word in key for word in FORBIDDEN)}
             if banned:
@@ -125,6 +234,8 @@ def main():
                     line_no,
                     f"{ev} carries wall-clock field(s): "
                     f"{sorted(banned)}")
+    for line_no, problem in check_span_graph(spans):
+        errors += fail(line_no, problem)
     if events == 0:
         print("empty trace", file=sys.stderr)
         return 1
@@ -132,7 +243,8 @@ def main():
         print(f"{errors} schema error(s) in {events} event(s)",
               file=sys.stderr)
         return 1
-    print(f"ok: {events} event(s)")
+    suffix = f", {len(spans)} span(s)" if spans else ""
+    print(f"ok: {events} event(s){suffix}")
     return 0
 
 

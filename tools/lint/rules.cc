@@ -47,7 +47,11 @@ applies(const RuleScope &scope, std::string_view rel)
 }
 
 const RuleScope kScopeDetRand{{"src/", "bench/"}, {"src/common/random."}};
-const RuleScope kScopeDetClock{{"src/"}, {"src/obs/", "src/exec/"}};
+// Only the timer (src/obs/timer.*) may read wall clocks inside obs/:
+// the span and trace layers carry virtual ticks exclusively, so a
+// clock read there is a determinism bug, not telemetry.
+const RuleScope kScopeDetClock{{"src/"},
+                               {"src/obs/timer", "src/exec/"}};
 const RuleScope kScopeDetExec{{"src/"}, {"src/exec/"}};
 const RuleScope kScopeDetUnordered{
     {"src/core/", "src/solver/", "src/eval/"}, {}};
@@ -178,7 +182,7 @@ checkDetRand(RuleContext &ctx)
 }
 
 // ---------------------------------------------------------------------
-// DET-clock: wall-clock reads outside obs/ and exec/.
+// DET-clock: wall-clock reads outside obs/timer and exec/.
 
 const std::unordered_set<std::string_view> kClockIdents{
     "system_clock",   "steady_clock", "high_resolution_clock",
@@ -200,7 +204,7 @@ checkDetClock(RuleContext &ctx)
         if (kClockIdents.count(t.text) > 0 || stdTimeCall) {
             report(ctx, "DET-clock", t.line,
                    "clock read `" + t.text +
-                       "` outside obs/ and exec/; results must not "
+                       "` outside obs/timer and exec/; results must not "
                        "depend on wall time — route timing through "
                        "obs::ScopedTimer or justify with an ALINT");
         }
@@ -653,7 +657,7 @@ ruleCatalog()
          "randomness outside common/random (std::rand, random_device, "
          "<random> engines/distributions)"},
         {"DET-clock",
-         "clock reads outside obs/ and exec/ (system_clock, "
+         "clock reads outside obs/timer and exec/ (system_clock, "
          "steady_clock, C time APIs)"},
         {"DET-exec",
          "machine/environment probes outside exec/ "

@@ -1,0 +1,304 @@
+#!/usr/bin/env python3
+"""Reconstruct the span DAG of an amdahl_market trace and attribute
+round latency along the virtual-time critical path.
+
+Usage: trace_analyze.py trace.jsonl [--chrome out.json] [--validate]
+
+Reads the `span` events emitted under --span-trace (obs/span.hh,
+DESIGN.md section 15), rebuilds the per-round span DAG, and reports:
+
+  - round-latency percentiles (p50/p99) in virtual ticks;
+  - per-cause latency attribution (compute / net_delay / retransmit /
+    partition_wait / quorum_wait) with the invariant that the causes
+    of every round sum exactly to its latency;
+  - a critical-path cross-check for fresh rounds: the price-broadcast
+    and bid-aggregate transfer spans along the closing chain must
+    reproduce the round's net_delay and retransmit charges;
+  - transfer outcome counts (delivered / lost / partition_drop /
+    duplicate).
+
+--chrome exports every span as a Chrome trace_event "X" (complete)
+event: ts/dur are virtual ticks, tid is the shard (0 for control
+spans), span causality is kept in args. Load via chrome://tracing or
+Perfetto.
+
+--validate exits 1 on any structural violation (orphaned parents,
+time inversion, duplicate IDs, attribution-sum mismatch, failed
+critical-path cross-check); without it, violations are reported but
+only attribution-sum failures are fatal.
+
+Exit status: 0 clean, 1 on violations or an unreadable/span-free
+trace, 2 on usage errors.
+"""
+
+import json
+import sys
+
+SPAN_NAMES = {"epoch", "rung", "round", "barrier", "compute", "fold",
+              "price_xfer", "bid_xfer"}
+SPAN_CAUSES = {"compute", "net_delay", "retransmit", "partition_wait",
+               "quorum_wait"}
+XFER_OUTCOMES = {"delivered", "lost", "partition_drop", "duplicate"}
+ROUND_COSTS = ("c_compute", "c_delay", "c_retransmit", "c_partition",
+               "c_quorum")
+
+
+def load_spans(path):
+    """Parse the trace, returning ([span dicts], [error strings])."""
+    spans = []
+    errors = []
+    with open(path) as stream:
+        for line_no, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as err:
+                errors.append(f"line {line_no}: not valid JSON: {err}")
+                continue
+            if event.get("ev") != "span":
+                continue
+            event["_line"] = line_no
+            spans.append(event)
+    return spans, errors
+
+
+def validate_graph(spans):
+    """Structural checks over the whole DAG.
+
+    Span parents may be emitted after their children (a round span
+    closes after its transfers), so everything here runs after the
+    full stream is loaded.
+    """
+    errors = []
+    by_id = {}
+    for span in spans:
+        sid = span.get("id")
+        where = f"line {span['_line']}"
+        if span.get("name") not in SPAN_NAMES:
+            errors.append(
+                f"{where}: unknown span name {span.get('name')!r}")
+        if not isinstance(sid, int) or sid == 0:
+            errors.append(f"{where}: bad span id {sid!r}")
+            continue
+        if sid in by_id:
+            errors.append(f"{where}: duplicate span id {sid}")
+            continue
+        by_id[sid] = span
+        if span["t0"] > span["t1"]:
+            errors.append(
+                f"{where}: span {sid} time-inverted "
+                f"(t0 {span['t0']} > t1 {span['t1']})")
+    for span in spans:
+        parent = span.get("parent", 0)
+        if parent == 0:
+            continue
+        where = f"line {span['_line']}"
+        if parent not in by_id:
+            errors.append(
+                f"{where}: orphaned span {span.get('id')}: parent "
+                f"{parent} never emitted")
+        elif by_id[parent]["t0"] > span["t0"]:
+            errors.append(
+                f"{where}: span {span.get('id')} begins before its "
+                f"parent {parent}")
+    return by_id, errors
+
+
+def critical_path_check(rounds, xfers_by_parent, by_id):
+    """Cross-check each fresh round's attribution against its DAG.
+
+    A fresh round's latency decomposes along the closing chain —
+    price broadcast to the closer shard, then the closer's bid
+    transfer that satisfied the barrier. The transfer spans under the
+    round's barrier must reproduce the round span's c_delay and
+    c_retransmit charges; a mismatch means the emitter and the DAG
+    disagree about what actually closed the barrier.
+    """
+    errors = []
+    for rnd in rounds:
+        if rnd.get("cause") not in ("net_delay", "retransmit"):
+            continue  # degraded/collapsed or zero-latency round
+        barrier = next(
+            (sid for sid, span in by_id.items()
+             if span.get("name") == "barrier" and
+             span.get("parent") == rnd["id"]), None)
+        if barrier is None:
+            errors.append(
+                f"round {rnd.get('round')}: no barrier span")
+            continue
+        xfers = xfers_by_parent.get(barrier, [])
+        closer = rnd.get("closer", 0)
+        price = [x for x in xfers
+                 if x["name"] == "price_xfer" and
+                 x.get("shard") == closer and
+                 x.get("outcome") == "delivered" and
+                 x["t0"] == rnd["t0"]]
+        bids = [x for x in xfers
+                if x["name"] == "bid_xfer" and
+                x.get("shard") == closer and
+                x.get("outcome") == "delivered" and
+                x["t1"] == rnd["t1"]]
+        want_delay = rnd.get("c_delay", 0)
+        want_retr = rnd.get("c_retransmit", 0)
+        ok = any(
+            (p["t1"] - p["t0"]) + (b["t1"] - b["t0"]) == want_delay
+            and b["t0"] - p["t1"] == want_retr
+            for p in price for b in bids)
+        if not ok:
+            errors.append(
+                f"round {rnd.get('round')}: no closing "
+                f"price/bid transfer chain reproduces c_delay "
+                f"{want_delay} + c_retransmit {want_retr}")
+    return errors
+
+
+def percentile(sorted_values, fraction):
+    if not sorted_values:
+        return 0
+    index = int(fraction * (len(sorted_values) - 1))
+    return sorted_values[index]
+
+
+def chrome_export(spans, path):
+    """Write a Chrome trace_event JSON file of complete ("X") events."""
+    events = []
+    for span in spans:
+        args = {"id": str(span.get("id")),
+                "parent": str(span.get("parent", 0))}
+        for key in ("round", "cause", "outcome", "attempt", "epoch"):
+            if key in span:
+                args[key] = span[key]
+        events.append({
+            "name": span.get("name"),
+            "cat": "amdahl",
+            "ph": "X",
+            "ts": span["t0"],
+            "dur": span["t1"] - span["t0"],
+            "pid": 1,
+            "tid": span.get("shard", -1) + 1,
+            "args": args,
+        })
+    with open(path, "w") as out:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"},
+                  out)
+        out.write("\n")
+
+
+def main():
+    argv = sys.argv[1:]
+    path = None
+    chrome_out = None
+    validate = False
+    while argv:
+        arg = argv.pop(0)
+        if arg == "--chrome":
+            if not argv:
+                print("--chrome needs a value", file=sys.stderr)
+                return 2
+            chrome_out = argv.pop(0)
+        elif arg == "--validate":
+            validate = True
+        elif path is None and not arg.startswith("-"):
+            path = arg
+        else:
+            print(__doc__.strip().splitlines()[0], file=sys.stderr)
+            return 2
+    if path is None:
+        print("usage: trace_analyze.py trace.jsonl "
+              "[--chrome out.json] [--validate]", file=sys.stderr)
+        return 2
+
+    try:
+        spans, errors = load_spans(path)
+    except OSError as err:
+        print(f"cannot read '{path}': {err}", file=sys.stderr)
+        return 1
+    if not spans:
+        print(f"no span events in '{path}' (captured without "
+              f"--span-trace?)", file=sys.stderr)
+        return 1
+
+    by_id, graph_errors = validate_graph(spans)
+    errors.extend(graph_errors)
+
+    rounds = [s for s in spans if s.get("name") == "round"]
+    xfers_by_parent = {}
+    outcomes = {key: 0 for key in sorted(XFER_OUTCOMES)}
+    for span in spans:
+        if span.get("name") in ("price_xfer", "bid_xfer"):
+            xfers_by_parent.setdefault(
+                span.get("parent", 0), []).append(span)
+            if span.get("outcome") in outcomes:
+                outcomes[span["outcome"]] += 1
+
+    # Attribution-sum gate: always fatal. An analyzer that cannot
+    # account for 100% of a round's latency is lying about the
+    # critical path.
+    sum_errors = []
+    totals = {key: 0 for key in ROUND_COSTS}
+    latencies = []
+    for rnd in rounds:
+        latency = rnd["t1"] - rnd["t0"]
+        causes = sum(rnd.get(key, 0) for key in ROUND_COSTS)
+        if causes != latency or rnd.get("ticks") != latency:
+            sum_errors.append(
+                f"round {rnd.get('round')}: causes sum to {causes}, "
+                f"latency is {latency} (ticks field "
+                f"{rnd.get('ticks')})")
+        latencies.append(latency)
+        for key in ROUND_COSTS:
+            totals[key] += rnd.get(key, 0)
+    latencies.sort()
+
+    path_errors = critical_path_check(rounds, xfers_by_parent, by_id)
+
+    total_ticks = sum(latencies)
+    print(f"{len(spans)} span(s), {len(rounds)} round(s), "
+          f"{sum(1 for r in rounds if not r.get('fresh', True))} "
+          f"degraded")
+    if rounds:
+        print(f"round latency: p50 {percentile(latencies, 0.5)} / "
+              f"p99 {percentile(latencies, 0.99)} / max "
+              f"{latencies[-1]} tick(s)")
+    print("transfers: " + ", ".join(
+        f"{count} {name}" for name, count in outcomes.items()))
+    print()
+    print(f"{'cause':<16}{'ticks':>10}  share")
+    labels = {"c_compute": "compute", "c_delay": "net_delay",
+              "c_retransmit": "retransmit",
+              "c_partition": "partition_wait",
+              "c_quorum": "quorum_wait"}
+    for key in ROUND_COSTS:
+        ticks = totals[key]
+        if total_ticks == 0:
+            share = "100.0%" if key == "c_compute" else "-"
+        else:
+            share = f"{100.0 * ticks / total_ticks:.1f}%"
+        print(f"{labels[key]:<16}{ticks:>10}  {share}")
+
+    if chrome_out is not None:
+        chrome_export(spans, chrome_out)
+        print(f"\nwrote {chrome_out} "
+              f"({len(spans)} trace_event span(s))")
+
+    fatal = list(sum_errors)
+    advisory = errors + path_errors
+    if validate:
+        fatal += advisory
+        advisory = []
+    for message in advisory:
+        print(f"warning: {message}", file=sys.stderr)
+    if fatal:
+        for message in fatal:
+            print(f"error: {message}", file=sys.stderr)
+        print(f"{len(fatal)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"\nattribution: causes sum to round latency in "
+          f"{len(rounds)}/{len(rounds)} round(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
