@@ -35,6 +35,14 @@ class AmdahlBiddingPolicy : public AllocationPolicy
         const core::FisherMarket &market,
         const core::BidTransportFaults &faults) const override;
 
+    /** Full clearing context: faults plus the delta re-clearing
+     *  plumbing (warm-start bids, kernel cache). Sharded clearing
+     *  still requires the fallback ladder — this adapter serves the
+     *  in-process procedure only and fatals on a sharded context. */
+    AllocationResult allocate(
+        const core::FisherMarket &market,
+        const core::ClearingContext &ctx) const override;
+
   private:
     core::BiddingOptions opts;
 };

@@ -108,6 +108,15 @@ FallbackPolicy::ladder(const core::FisherMarket &market,
 {
     core::BiddingOptions opts = primary;
     opts.transport = ctx.transport;
+    // Delta re-clearing plumbing: a previous equilibrium seeds the
+    // bids, and the kernel cache (in-process solves only; the sharded
+    // solver documents that it ignores the field) skips the CSR
+    // rebuild when the market structure is unchanged. Both are
+    // bitwise-invisible to the equilibrium contract — the warm start
+    // changes the trajectory, never the invariants.
+    if (ctx.initialBids != nullptr)
+        opts.initialBids = *ctx.initialBids;
+    opts.kernelCache = ctx.kernelCache;
     const bool sharded = ctx.sharding && ctx.sharding->enabled();
 
     const auto runSolve = [&](const core::BiddingOptions &o) {

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <deque>
 #include <limits>
 
 #include "common/check.hh"
@@ -11,12 +12,212 @@
 #include "common/random.hh"
 #include "core/amdahl.hh"
 #include "core/bidding_kernel.hh"
+#include "core/bidding_simd.hh"
 #include "exec/thread_pool.hh"
 #include "obs/metrics.hh"
 #include "obs/timer.hh"
 #include "obs/trace.hh"
 
 namespace amdahl::core {
+
+namespace {
+
+/**
+ * Anderson acceleration state over the proportional-response map
+ * (DESIGN.md §16). Keeps up to depth+1 (iterate, update) pairs with
+ * their residuals f = g(x) - x and the residual Gram matrix
+ * G[a][b] = <f_a, f_b>, maintained incrementally so each round costs
+ * one new row of dot products. All reductions are strict serial left
+ * folds — the accelerated trajectory is as reproducible as the plain
+ * one.
+ */
+struct AndersonState
+{
+    int depth;
+    double ridge;
+    double maxMixWeight;
+    std::deque<std::vector<double>> xs;
+    std::deque<std::vector<double>> gs;
+    std::deque<std::vector<double>> fs; // residuals g - x
+    std::deque<std::vector<double>> gram;
+
+    void
+    clear()
+    {
+        xs.clear();
+        gs.clear();
+        fs.clear();
+        gram.clear();
+    }
+
+    void
+    push(std::vector<double> x, const std::vector<double> &g)
+    {
+        const std::size_t jobs = x.size();
+        std::vector<double> f(jobs);
+        for (std::size_t e = 0; e < jobs; ++e)
+            f[e] = g[e] - x[e];
+
+        // New Gram row: <f_new, f_a> for every kept residual + self.
+        std::vector<double> row(fs.size() + 1, 0.0);
+        for (std::size_t a = 0; a < fs.size(); ++a) {
+            double dot = 0.0;
+            const std::vector<double> &fa = fs[a];
+            for (std::size_t e = 0; e < jobs; ++e)
+                dot += f[e] * fa[e];
+            row[a] = dot;
+            gram[a].push_back(dot);
+        }
+        double self = 0.0;
+        for (std::size_t e = 0; e < jobs; ++e)
+            self += f[e] * f[e];
+        row.back() = self;
+        gram.push_back(std::move(row));
+
+        xs.push_back(std::move(x));
+        gs.push_back(g);
+        fs.push_back(std::move(f));
+
+        const std::size_t cap = static_cast<std::size_t>(depth) + 1;
+        if (xs.size() > cap) {
+            xs.pop_front();
+            gs.pop_front();
+            fs.pop_front();
+            gram.pop_front();
+            for (auto &r : gram)
+                r.erase(r.begin());
+        }
+    }
+
+    /**
+     * The least-squares mixing proposal: minimize
+     * ||f_last + sum_i gamma_i (f_i - f_last)|| over the window,
+     * Tikhonov-regularized, solved by partially pivoted Gaussian
+     * elimination on the (at most depth x depth) normal equations.
+     * @return false when the window is too short or the system is
+     * numerically degenerate — the caller then serves the plain step.
+     */
+    bool
+    proposal(std::vector<double> &out) const
+    {
+        const std::size_t k = fs.size();
+        if (k < 2)
+            return false;
+        const std::size_t mm = k - 1;
+        const std::size_t last = k - 1;
+        const double gll = gram[last][last];
+
+        // A gamma = rhs over differences d_i = f_i - f_last.
+        std::vector<double> A(mm * mm);
+        std::vector<double> rhs(mm);
+        double trace = 0.0;
+        for (std::size_t a = 0; a < mm; ++a) {
+            for (std::size_t b = 0; b < mm; ++b) {
+                A[a * mm + b] = gram[a][b] - gram[a][last] -
+                                gram[last][b] + gll;
+            }
+            trace += A[a * mm + a];
+            rhs[a] = gll - gram[a][last];
+        }
+        if (!(trace > 0.0) || !std::isfinite(trace))
+            return false;
+        const double reg = ridge * trace;
+        for (std::size_t a = 0; a < mm; ++a)
+            A[a * mm + a] += reg;
+
+        // Gaussian elimination with partial pivoting (mm <= 8).
+        std::vector<std::size_t> perm(mm);
+        for (std::size_t a = 0; a < mm; ++a)
+            perm[a] = a;
+        for (std::size_t col = 0; col < mm; ++col) {
+            std::size_t pivot = col;
+            double best = std::abs(A[perm[col] * mm + col]);
+            for (std::size_t r = col + 1; r < mm; ++r) {
+                const double cand = std::abs(A[perm[r] * mm + col]);
+                if (cand > best) {
+                    best = cand;
+                    pivot = r;
+                }
+            }
+            if (!(best > 1e-14 * trace))
+                return false;
+            std::swap(perm[col], perm[pivot]);
+            const double diag = A[perm[col] * mm + col];
+            for (std::size_t r = col + 1; r < mm; ++r) {
+                const double factor = A[perm[r] * mm + col] / diag;
+                if (factor == 0.0)
+                    continue;
+                for (std::size_t c = col; c < mm; ++c)
+                    A[perm[r] * mm + c] -= factor * A[perm[col] * mm + c];
+                rhs[perm[r]] -= factor * rhs[perm[col]];
+            }
+        }
+        std::vector<double> gamma(mm);
+        for (std::size_t col = mm; col-- > 0;) {
+            double v = rhs[perm[col]];
+            for (std::size_t c = col + 1; c < mm; ++c)
+                v -= A[perm[col] * mm + c] * gamma[c];
+            gamma[col] = v / A[perm[col] * mm + col];
+            if (!std::isfinite(gamma[col]))
+                return false;
+        }
+
+        // Bounded extrapolation: an ill-conditioned window asks for
+        // an enormous jump that overshoots the locally-linear region
+        // and gets rejected; a capped jump in the same direction is
+        // accepted and compounds (AccelOptions::maxMixWeight).
+        double gsum = 0.0;
+        for (std::size_t a = 0; a < mm; ++a)
+            gsum += std::abs(gamma[a]);
+        if (gsum > maxMixWeight) {
+            for (auto &g : gamma)
+                g *= maxMixWeight / gsum;
+        }
+
+        // out = g_last + sum_i gamma_i (g_i - g_last).
+        out = gs[last];
+        for (std::size_t a = 0; a < mm; ++a) {
+            const double ga = gamma[a];
+            if (ga == 0.0)
+                continue;
+            const std::vector<double> &gi = gs[a];
+            const std::vector<double> &gl = gs[last];
+            for (std::size_t e = 0; e < out.size(); ++e)
+                out[e] += ga * (gi[e] - gl[e]);
+        }
+        return true;
+    }
+};
+
+/**
+ * Project mixed bids back to the feasible set: per user, clamp to the
+ * strict-positivity floor initializeBids uses and rescale to restore
+ * budget conservation (Eq. 10). The affine mixing can leave a
+ * coordinate negative; the projection is what makes the accelerated
+ * iterate a legal bid state.
+ */
+void
+projectBids(const detail::BidKernel &kernel, std::vector<double> &bids)
+{
+    for (std::size_t i = 0; i < kernel.userCount; ++i) {
+        const std::size_t lo = kernel.userOffset[i];
+        const std::size_t hi = kernel.userOffset[i + 1];
+        const double floor = 1e-12 * kernel.budget[i];
+        double sum = 0.0;
+        for (std::size_t e = lo; e < hi; ++e) {
+            const double v = bids[e];
+            const double clamped =
+                (std::isfinite(v) && v > floor) ? v : floor;
+            bids[e] = clamped;
+            sum += clamped;
+        }
+        const double scale = kernel.budget[i] / sum;
+        for (std::size_t e = lo; e < hi; ++e)
+            bids[e] *= scale;
+    }
+}
+
+} // namespace
 
 void
 updateUserBids(const MarketUser &user, const std::vector<double> &prices,
@@ -64,10 +265,75 @@ updateUserBids(const MarketUser &user, const std::vector<double> &prices,
     }
 }
 
+JobMatrix
+meanFieldSeedBids(const FisherMarket &market)
+{
+    market.validate();
+    const std::size_t n = market.userCount();
+    double totalBudget = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        totalBudget += market.user(i).budget;
+    double totalCapacity = 0.0;
+    for (std::size_t j = 0; j < market.serverCount(); ++j)
+        totalCapacity += market.capacity(j);
+    const double pbar = totalBudget / totalCapacity;
+
+    JobMatrix bids(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto &user = market.user(i);
+        const std::size_t jobs = user.jobs.size();
+        bids[i].resize(jobs);
+        // Fair-share cores per job at the uniform price, then one
+        // analytic proportional-response step against it.
+        const double xbar =
+            user.budget / (static_cast<double>(jobs) * pbar);
+        double total = 0.0;
+        for (std::size_t k = 0; k < jobs; ++k) {
+            const auto &job = user.jobs[k];
+            const double propensity =
+                std::sqrt(job.parallelFraction * job.weight) *
+                std::sqrt(pbar) *
+                amdahlSpeedup(job.parallelFraction, xbar);
+            bids[i][k] = propensity;
+            total += propensity;
+        }
+        if (total <= 0.0) {
+            const double even =
+                user.budget / static_cast<double>(jobs);
+            std::fill(bids[i].begin(), bids[i].end(), even);
+            continue;
+        }
+        for (double &b : bids[i])
+            b = user.budget * b / total;
+    }
+    return bids;
+}
+
 BiddingResult
 solveAmdahlBidding(const FisherMarket &market, const BiddingOptions &opts)
 {
     detail::validateBiddingCommon(market, opts);
+    if (opts.accel.enabled) {
+        if (opts.schedule == UpdateSchedule::GaussSeidel)
+            fatal("Anderson acceleration requires the Synchronous "
+                  "schedule (the accelerated iterate must respond to "
+                  "one posted price vector)");
+        if (opts.transport.lossRate > 0.0)
+            fatal("Anderson acceleration requires a sound transport; "
+                  "under message loss the fixed-point map changes "
+                  "every round");
+        if (opts.accel.depth < 1 || opts.accel.depth > 8)
+            fatal("acceleration depth must be in [1, 8], got ",
+                  opts.accel.depth);
+        if (!(opts.accel.ridge >= 0.0) ||
+            !std::isfinite(opts.accel.ridge))
+            fatal("acceleration ridge must be finite and non-negative, "
+                  "got ", opts.accel.ridge);
+        if (!(opts.accel.maxMixWeight > 0.0) ||
+            !std::isfinite(opts.accel.maxMixWeight))
+            fatal("acceleration mix-weight cap must be finite and "
+                  "positive, got ", opts.accel.maxMixWeight);
+    }
 
     const std::size_t n = market.userCount();
     const std::size_t m = market.serverCount();
@@ -86,7 +352,9 @@ solveAmdahlBidding(const FisherMarket &market, const BiddingOptions &opts)
     result.prices.assign(m, 0.0);
     detail::initializeBids(market, opts, result.bids);
 
-    detail::BidKernel kernel = detail::buildKernel(market);
+    detail::BidKernel localKernel;
+    detail::BidKernel &kernel =
+        detail::acquireKernel(market, opts.kernelCache, localKernel);
     detail::flattenBids(result.bids, kernel);
     detail::gatherPrices(kernel, result.prices);
 
@@ -123,6 +391,25 @@ solveAmdahlBidding(const FisherMarket &market, const BiddingOptions &opts)
     if (lossy)
         lost.assign(n, 0);
     std::uint64_t lost_messages = 0;
+
+    // The user grain is a config/env knob (bench sweeps it); the
+    // price-block size is not, so the canonical fold — and with it
+    // every result byte — is identical at any grain.
+    const std::size_t userGrain =
+        exec::bidUpdateGrain(detail::kUserGrain);
+
+    const bool accel = opts.accel.enabled;
+    AndersonState anderson{opts.accel.depth, opts.accel.ridge,
+                           opts.accel.maxMixWeight, {}, {}, {}, {}};
+    std::vector<double> accel_prev;
+    std::vector<double> accel_mix;
+    std::vector<double> accel_candidate;
+    std::vector<double> accel_prices;
+    std::vector<double> accel_next_prices;
+    if (accel) {
+        accel_prices.resize(m);
+        accel_next_prices.resize(m);
+    }
 
     std::vector<double> new_prices(m);
     std::vector<double> live_prices;
@@ -176,12 +463,22 @@ solveAmdahlBidding(const FisherMarket &market, const BiddingOptions &opts)
             } else {
                 // Synchronous: every user responds to the same posted
                 // prices and writes only her own bid slots — disjoint
-                // per chunk, so the fan-out commutes bitwise.
+                // per chunk, so the fan-out commutes bitwise. The
+                // accelerator needs the pre-update iterate to form the
+                // residual g(x) - x.
+                if (accel)
+                    accel_prev = kernel.bids;
                 exec::parallelFor(
-                    0, n, detail::kUserGrain,
+                    0, n, userGrain,
                     [&](std::size_t ulo, std::size_t uhi) {
+                        if (!lossy) {
+                            detail::updateUsersRange(kernel, ulo, uhi,
+                                                     result.prices,
+                                                     opts.damping);
+                            return;
+                        }
                         for (std::size_t i = ulo; i < uhi; ++i) {
-                            if (lossy && lost[i])
+                            if (lost[i])
                                 continue;
                             detail::updateOneUser(kernel, i,
                                                   result.prices,
@@ -196,11 +493,66 @@ solveAmdahlBidding(const FisherMarket &market, const BiddingOptions &opts)
             detail::gatherPrices(kernel, new_prices);
         }
 
+        double max_delta =
+            detail::maxPriceDelta(result.prices, new_prices, m);
+
+        if (accel) {
+            // The plain PRD step is already in kernel.bids/new_prices
+            // and is the guaranteed fallback. Try to do better: mix
+            // the history window into a candidate iterate, project it
+            // to feasibility, and *evaluate* it — one proportional-
+            // response pass at the candidate measures its true
+            // fixed-point residual. Accept only when that residual is
+            // strictly below the plain step's; the evaluation pass is
+            // never wasted, because on acceptance g(candidate) is
+            // exactly the next iterate (and joins the history). On
+            // rejection the plain step stands untouched and the
+            // window restarts — a poisoned history would keep
+            // proposing the same bad direction.
+            const double plain_delta = max_delta;
+            anderson.push(std::move(accel_prev), kernel.bids);
+            double accel_delta = -1.0;
+            bool accepted = false;
+            if (anderson.proposal(accel_mix)) {
+                projectBids(kernel, accel_mix);
+                // kernel.bids := candidate; accel_mix keeps the plain
+                // step for the rejection path.
+                std::swap(kernel.bids, accel_mix);
+                detail::gatherPrices(kernel, accel_prices);
+                accel_candidate = kernel.bids;
+                exec::parallelFor(
+                    0, n, userGrain,
+                    [&](std::size_t ulo, std::size_t uhi) {
+                        detail::updateUsersRange(kernel, ulo, uhi,
+                                                 accel_prices,
+                                                 opts.damping);
+                    });
+                detail::gatherPrices(kernel, accel_next_prices);
+                accel_delta = detail::maxPriceDelta(
+                    accel_prices, accel_next_prices, m);
+                if (accel_delta < plain_delta) {
+                    accepted = true;
+                    anderson.push(std::move(accel_candidate),
+                                  kernel.bids);
+                    std::swap(new_prices, accel_next_prices);
+                    max_delta = accel_delta;
+                    ++result.accelAccepted;
+                } else {
+                    std::swap(kernel.bids, accel_mix);
+                    ++result.accelRejected;
+                }
+            }
+            if (auto *sink = obs::traceSink()) {
+                obs::TraceEvent(*sink, "bidding_accel")
+                    .field("iter", it + 1)
+                    .field("plain_delta", plain_delta)
+                    .field("accel_delta", accel_delta)
+                    .field("accepted", accepted);
+            }
+        }
+
         detail::checkRoundInvariants(market, kernel, new_prices,
                                      result.bids);
-
-        const double max_delta =
-            detail::maxPriceDelta(result.prices, new_prices, m);
         result.prices = new_prices;
         result.iterations = it + 1;
         if (opts.trackHistory)

@@ -102,6 +102,55 @@ struct DeadlineOptions
     }
 };
 
+/**
+ * Anderson acceleration over the proportional-response fixed-point map
+ * (opt-in; `--accel` on the CLI). Each round still evaluates the plain
+ * PRD update g(x); the accelerator then proposes an affine combination
+ * of the last `depth + 1` (iterate, update) pairs that minimizes the
+ * combined residual in least squares, projected back to the feasible
+ * set (strictly positive bids, per-user budget conservation).
+ *
+ * Rejection rule (the guaranteed fallback): the proposal is accepted
+ * only when its posted-price residual is strictly smaller than the
+ * plain step's. On rejection the round serves the plain PRD step
+ * unchanged and the history window is cleared, so the iteration is
+ * never worse than undamped proportional response — in the worst case
+ * it *is* undamped proportional response.
+ *
+ * Off (the default) the solve path is bit-identical to a build
+ * without this feature. Incompatible with the GaussSeidel schedule,
+ * lossy transports, and the sharded solver (fatal).
+ */
+struct AccelOptions
+{
+    /** Master switch. */
+    bool enabled = false;
+
+    /** History window: past (iterate, update) pairs kept, in [1, 8].
+     *  The least-squares system has at most this many unknowns. */
+    int depth = 3;
+
+    /** Tikhonov regularization scale for the normal equations,
+     *  relative to the Gram matrix trace. */
+    double ridge = 1e-10;
+
+    /**
+     * Cap on the l1 norm of the mixing weights (gamma is rescaled
+     * when it exceeds this). Near the fixed point the residual
+     * window becomes nearly collinear and the unconstrained
+     * least-squares extrapolation factor grows like 1/(1 - rate) —
+     * thousands for a slowly-mixing market — landing the candidate
+     * far outside the locally-linear region, where it is rejected
+     * every round and the acceleration stalls. Bounding the weights
+     * trades one giant (useless) jump for a sequence of large
+     * (accepted) ones; empirically tens of times fewer rounds than
+     * plain proportional response on contended markets.
+     */
+    double maxMixWeight = 30.0;
+};
+
+struct KernelCache;
+
 /** Termination and stabilization knobs for Amdahl Bidding. */
 struct BiddingOptions
 {
@@ -145,6 +194,20 @@ struct BiddingOptions
      *  solve path (and its output) is bit-identical to a build without
      *  this feature. */
     DeadlineOptions deadline;
+
+    /** Anderson acceleration; disabled by default (same bit-identity
+     *  contract as `deadline`). */
+    AccelOptions accel;
+
+    /**
+     * Optional cross-solve kernel cache (incremental re-clearing).
+     * Non-owning; the caller (eval/online) guarantees it outlives the
+     * solve. When the cached CSR structure matches the market exactly
+     * the counting sort is skipped and only changed user rows are
+     * re-derived — a pure structural cache, so results are byte-
+     * identical with or without it. Ignored by the sharded solver.
+     */
+    KernelCache *kernelCache = nullptr;
 };
 
 /** Outcome of the bidding procedure plus convergence diagnostics. */
@@ -152,6 +215,10 @@ struct BiddingResult : MarketOutcome
 {
     /** Relative price change after each iteration (if tracked). */
     std::vector<double> priceDeltaHistory;
+
+    /** Anderson steps accepted / rejected (zero unless accel is on). */
+    int accelAccepted = 0;
+    int accelRejected = 0;
 };
 
 /**
@@ -179,7 +246,24 @@ struct ClearingContext
     const net::ShardedOptions *sharding = nullptr;
     /** Persistent transport state; may be null for a one-shot solve. */
     net::NetSession *session = nullptr;
+    /** Non-null seeds bidding from a previous equilibrium (delta
+     *  re-clearing); shape must match the market. */
+    const JobMatrix *initialBids = nullptr;
+    /** Non-null enables cross-epoch CSR reuse (bitwise invisible). */
+    KernelCache *kernelCache = nullptr;
 };
+
+/**
+ * Mean-field warm-start seed for a cold market: assume the uniform
+ * price p̄ = total budget / total capacity every large market
+ * converges toward, give each job its user's fair share of cores at
+ * that price, and run one analytic proportional-response update. The
+ * result is a valid warm start (positive, budget-conserving after
+ * initializeBids' renormalization) that typically lands within a few
+ * rounds of the equilibrium on populations drawn from a common f/w
+ * distribution. Deterministic and serial.
+ */
+JobMatrix meanFieldSeedBids(const FisherMarket &market);
 
 /**
  * Amdahl Bidding as a distributed epoch-barrier protocol over the

@@ -87,6 +87,13 @@ priceBlockCount(std::size_t userCount)
  * additions* as the legacy user-major scatter did; across blocks the
  * canonical left fold takes over (see the file header for the full
  * determinism argument, DESIGN.md §11/§14).
+ *
+ * Per-job index arrays (server, jobBlock, serverJobIds) are 32-bit:
+ * the round loop is memory-bound once the market outgrows the cache,
+ * and every byte streamed per job per round counts. buildKernel
+ * rejects markets whose job or server count overflows 32 bits —
+ * 4 * 10^9 jobs is three orders of magnitude past the scale this
+ * repo targets (bench_scaling_users tops out at 10^6 users).
  */
 struct BidKernel
 {
@@ -98,16 +105,16 @@ struct BidKernel
     std::vector<double> budget;          // per user
 
     // Per flat job, user-major.
-    std::vector<std::size_t> server;
+    std::vector<std::uint32_t> server;
     std::vector<double> fraction;        // f_ij
     std::vector<double> sqrtFw;          // sqrt(f_ij * w_ij), hoisted
     std::vector<double> bids;            // b_ij, the iterated state
     std::vector<double> scratch;         // unnormalized propensities
-    std::vector<std::uint64_t> jobBlock; // owning user's price block
+    std::vector<std::uint32_t> jobBlock; // owning user's price block
 
     // Server-major CSR over flat job ids (increasing within a server).
     std::vector<std::size_t> serverJobOffset; // serverCount + 1
-    std::vector<std::size_t> serverJobIds;
+    std::vector<std::uint32_t> serverJobIds;
 
     std::vector<double> capacity; // per server
 };
@@ -126,6 +133,9 @@ buildKernel(const FisherMarket &market)
                                     market.user(i).jobs.size());
     }
     kernel.jobCount = kernel.userOffset.back();
+    ensure(kernel.jobCount < UINT32_MAX &&
+               kernel.serverCount < UINT32_MAX,
+           "market exceeds the kernel's 32-bit job/server id range");
 
     kernel.budget.resize(kernel.userCount);
     kernel.server.resize(kernel.jobCount);
@@ -139,12 +149,12 @@ buildKernel(const FisherMarket &market)
         kernel.budget[i] = user.budget;
         std::size_t e = kernel.userOffset[i];
         for (const auto &job : user.jobs) {
-            kernel.server[e] = job.server;
+            kernel.server[e] = static_cast<std::uint32_t>(job.server);
             kernel.fraction[e] = job.parallelFraction;
             kernel.sqrtFw[e] =
                 std::sqrt(job.parallelFraction * job.weight);
             kernel.jobBlock[e] =
-                static_cast<std::uint64_t>(i / kPriceBlockUsers);
+                static_cast<std::uint32_t>(i / kPriceBlockUsers);
             ++e;
         }
     }
@@ -164,8 +174,10 @@ buildKernel(const FisherMarket &market)
     std::vector<std::size_t> cursor(
         kernel.serverJobOffset.begin(),
         kernel.serverJobOffset.end() - 1);
-    for (std::size_t e = 0; e < kernel.jobCount; ++e)
-        kernel.serverJobIds[cursor[kernel.server[e]]++] = e;
+    for (std::size_t e = 0; e < kernel.jobCount; ++e) {
+        kernel.serverJobIds[cursor[kernel.server[e]]++] =
+            static_cast<std::uint32_t>(e);
+    }
 
     return kernel;
 }
@@ -210,7 +222,7 @@ gatherPrices(const BidKernel &kernel, std::vector<double> &prices)
             for (std::size_t j = lo; j < hi; ++j) {
                 double sum = 0.0;
                 double part = 0.0;
-                std::uint64_t block = 0;
+                std::uint32_t block = 0;
                 const std::size_t jb = kernel.serverJobOffset[j];
                 const std::size_t je = kernel.serverJobOffset[j + 1];
                 for (std::size_t s = jb; s < je; ++s) {
@@ -495,6 +507,12 @@ recordSolveEnd(const BiddingResult &result, std::uint64_t lostMessages)
         reg.counter("bidding.deadline_expired").add();
     if (lostMessages > 0)
         reg.counter("bidding.lost_messages").add(lostMessages);
+    if (result.accelAccepted > 0)
+        reg.counter("bidding.accel_accepted")
+            .add(static_cast<std::uint64_t>(result.accelAccepted));
+    if (result.accelRejected > 0)
+        reg.counter("bidding.accel_rejected")
+            .add(static_cast<std::uint64_t>(result.accelRejected));
     if (auto *sink = obs::traceSink()) {
         obs::TraceEvent(*sink, "bidding_end")
             .field("iterations", result.iterations)
@@ -547,5 +565,128 @@ finalizeAllocation(const FisherMarket &market, BiddingResult &result,
 }
 
 } // namespace amdahl::core::detail
+
+namespace amdahl::core {
+
+/**
+ * Cross-solve kernel cache for incremental delta re-clearing.
+ *
+ * An epoch-based deployment re-clears a market whose *structure* (who
+ * bids on which server, server capacities) rarely changes between
+ * epochs even when *values* (budgets from compensation, f/w from
+ * re-profiling) drift. The cache keeps the previous solve's BidKernel;
+ * when the structure still matches — decided by exact comparison, not
+ * hashing, so reuse can never silently serve stale data — the CSR
+ * counting sort and all allocations are skipped and only the rows of
+ * users whose values changed are re-derived (including the hoisted
+ * sqrt(f w), recomputed with the same expression buildKernel uses).
+ * Results are therefore byte-identical with or without the cache; it
+ * is a pure structural cache, safe to drop at any time (crash
+ * recovery simply rebuilds it).
+ */
+struct KernelCache
+{
+    bool valid = false;
+    detail::BidKernel kernel;
+    /** Per flat job, the weight the cached sqrtFw was derived from
+     *  (the kernel itself only stores the product sqrt(f w)). */
+    std::vector<double> weight;
+
+    // Telemetry, mirrored into bidding.kernel_* counters.
+    std::uint64_t rebuilds = 0;
+    std::uint64_t reuses = 0;
+    std::uint64_t patchedUsers = 0;
+};
+
+namespace detail {
+
+/** @return true when @p kernel's structure matches @p market exactly:
+ *  same shape, same job→server edges, same capacities. */
+inline bool
+kernelStructureMatches(const BidKernel &kernel,
+                       const FisherMarket &market)
+{
+    if (kernel.userCount != market.userCount() ||
+        kernel.serverCount != market.serverCount())
+        return false;
+    for (std::size_t j = 0; j < kernel.serverCount; ++j) {
+        if (kernel.capacity[j] != market.capacity(j))
+            return false;
+    }
+    for (std::size_t i = 0; i < kernel.userCount; ++i) {
+        const auto &jobs = market.user(i).jobs;
+        if (kernel.userOffset[i + 1] - kernel.userOffset[i] !=
+            jobs.size())
+            return false;
+        std::size_t e = kernel.userOffset[i];
+        for (const auto &job : jobs) {
+            if (kernel.server[e] != job.server)
+                return false;
+            ++e;
+        }
+    }
+    return true;
+}
+
+/**
+ * The kernel for this solve: a fresh build into @p local when no cache
+ * is supplied, otherwise the cached kernel — rebuilt on structural
+ * mismatch, row-patched where only values moved (see KernelCache).
+ */
+inline BidKernel &
+acquireKernel(const FisherMarket &market, KernelCache *cache,
+              BidKernel &local)
+{
+    if (cache == nullptr) {
+        local = buildKernel(market);
+        return local;
+    }
+    auto &reg = obs::metrics();
+    if (!cache->valid || !kernelStructureMatches(cache->kernel, market)) {
+        cache->kernel = buildKernel(market);
+        cache->weight.resize(cache->kernel.jobCount);
+        for (std::size_t i = 0; i < cache->kernel.userCount; ++i) {
+            std::size_t e = cache->kernel.userOffset[i];
+            for (const auto &job : market.user(i).jobs)
+                cache->weight[e++] = job.weight;
+        }
+        cache->valid = true;
+        ++cache->rebuilds;
+        reg.counter("bidding.kernel_rebuilds").add();
+        return cache->kernel;
+    }
+
+    ++cache->reuses;
+    reg.counter("bidding.kernel_reuses").add();
+    BidKernel &kernel = cache->kernel;
+    for (std::size_t i = 0; i < kernel.userCount; ++i) {
+        const auto &user = market.user(i);
+        bool changed = kernel.budget[i] != user.budget;
+        std::size_t e = kernel.userOffset[i];
+        for (const auto &job : user.jobs) {
+            changed = changed ||
+                      kernel.fraction[e] != job.parallelFraction ||
+                      cache->weight[e] != job.weight;
+            ++e;
+        }
+        if (!changed)
+            continue;
+        kernel.budget[i] = user.budget;
+        e = kernel.userOffset[i];
+        for (const auto &job : user.jobs) {
+            kernel.fraction[e] = job.parallelFraction;
+            cache->weight[e] = job.weight;
+            kernel.sqrtFw[e] =
+                std::sqrt(job.parallelFraction * job.weight);
+            ++e;
+        }
+        ++cache->patchedUsers;
+        reg.counter("bidding.kernel_patched_users").add();
+    }
+    return kernel;
+}
+
+} // namespace detail
+} // namespace amdahl::core
 
 #endif // AMDAHL_CORE_BIDDING_KERNEL_HH

@@ -41,6 +41,7 @@
 #include "common/random.hh"
 #include "core/bidding.hh"
 #include "core/bidding_kernel.hh"
+#include "exec/parallelism.hh"
 #include "exec/thread_pool.hh"
 #include "net/fault_model.hh"
 #include "net/options.hh"
@@ -102,6 +103,10 @@ solveShardedBidding(const FisherMarket &market, const BiddingOptions &opts,
     if (opts.deadline.wallClockSeconds > 0.0)
         fatal("sharded clearing runs in virtual time; wall-clock "
               "deadlines are not supported (use iterationBudget)");
+    if (opts.accel.enabled)
+        fatal("Anderson acceleration is not supported by the sharded "
+              "solver: the accelerated iterate mixes whole bid "
+              "vectors, which no shard owns");
 
     const std::size_t n = market.userCount();
     const std::size_t m = market.serverCount();
@@ -348,8 +353,14 @@ solveShardedBidding(const FisherMarket &market, const BiddingOptions &opts,
                 // user and this is bit- and task-identical to the
                 // in-process Synchronous update.
                 obs::ScopedTimer update_timer(update_hist);
+                // Same grain source as the in-process solver, so
+                // exec.tasks agrees across the determinism bridge at
+                // any AMDAHL_BID_GRAIN setting. The per-user loop
+                // stays scalar: users in one chunk may sit in
+                // different shards with different posted prices, and
+                // both kernels are bit-identical anyway.
                 exec::parallelFor(
-                    0, n, detail::kUserGrain,
+                    0, n, exec::bidUpdateGrain(detail::kUserGrain),
                     [&](std::size_t ulo, std::size_t uhi) {
                         for (std::size_t i = ulo; i < uhi; ++i) {
                             if (!mask[i])

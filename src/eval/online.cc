@@ -9,6 +9,7 @@
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "core/bidding.hh"
+#include "core/bidding_kernel.hh"
 #include "obs/span.hh"
 #include "obs/timer.hh"
 #include "obs/trace.hh"
@@ -97,7 +98,7 @@ emitRunStart(const OnlineOptions &opts, const std::string &policyName)
 }
 
 /** Layout version of encodeOnlineState; bump on any field change. */
-constexpr std::uint32_t kStateVersion = 2;
+constexpr std::uint32_t kStateVersion = 3;
 
 void
 putJob(durability::ByteWriter &w, const OnlineJob &job)
@@ -253,6 +254,9 @@ onlineStateFingerprint(const OnlineOptions &opts,
     d.updateU64(opts.net.faults.delayMax);
     d.updateF64(opts.net.faults.duplicationRate);
     d.updateU64(opts.net.faults.seed);
+    d.updateU32(opts.delta.reuseKernel ? 1 : 0);
+    d.updateU32(opts.delta.warmStartBids ? 1 : 0);
+    d.updateF64(opts.delta.maxChurnFraction);
     d.updateU64(opts.net.partitions.size());
     for (const auto &w : opts.net.partitions) {
         d.updateU64(static_cast<std::uint64_t>(w.shard));
@@ -317,6 +321,9 @@ encodeOnlineState(const OnlineRunState &s, const OnlineOptions &opts)
     w.putU64(s.metrics.netStaleBidRounds);
     w.putU64(s.metrics.netRetransmits);
     w.putU64(s.metrics.netQuorumCollapses);
+    // The kernel cache is deliberately absent: it is bitwise invisible
+    // (a recovered run rebuilds it and stays on the same trajectory).
+    w.putF64Vector(s.lastBids);
     return w.take();
 }
 
@@ -392,6 +399,7 @@ decodeOnlineState(std::string_view payload, const OnlineOptions &opts,
     s.metrics.netStaleBidRounds = r.readU64();
     s.metrics.netRetransmits = r.readU64();
     s.metrics.netQuorumCollapses = r.readU64();
+    s.lastBids = r.readF64Vector();
     r.expectEnd();
     if (!r.ok())
         return r.status();
@@ -437,6 +445,12 @@ decodeOnlineState(std::string_view payload, const OnlineOptions &opts,
         return Status::error(ErrorKind::SemanticError, 0,
                              "snapshot history length does not match "
                              "its epoch count ", s.epoch);
+    }
+    if (s.lastBids.size() > s.jobs.size()) {
+        return Status::error(ErrorKind::SemanticError, 0,
+                             "snapshot carries ", s.lastBids.size(),
+                             " warm-start bids for a ", s.jobs.size(),
+                             "-entry job log");
     }
     return s;
 }
@@ -842,20 +856,104 @@ OnlineSimulator::runEpoch(OnlineRunState &s,
         transport.lossRate = opts_.faults.bidLossRate;
         transport.seed = injector.bidSeed(epoch);
     }
+
+    // Delta re-clearing: seed this epoch's bids from the previous
+    // equilibrium. Surviving jobs restart at their last-cleared bid,
+    // new jobs at an even split of their tenant's (possibly
+    // compensated) budget; a cold start, or churn above the
+    // threshold, falls back to the analytic mean-field seed. The
+    // solver renormalizes and floors whatever seed it is given, so
+    // this is a trajectory hint, never a feasibility obligation.
+    const bool delta = opts_.delta.enabled();
+    core::JobMatrix warm;
+    if (delta && opts_.delta.warmStartBids) {
+        std::size_t warm_jobs = 0;
+        std::size_t total_jobs = 0;
+        warm.resize(user_job_ids.size());
+        for (std::size_t ui = 0; ui < user_job_ids.size(); ++ui) {
+            warm[ui].assign(user_job_ids[ui].size(), -1.0);
+            for (std::size_t kk = 0; kk < user_job_ids[ui].size();
+                 ++kk) {
+                const std::size_t k = user_job_ids[ui][kk];
+                if (k < s.lastBids.size() && s.lastBids[k] >= 0.0) {
+                    warm[ui][kk] = s.lastBids[k];
+                    ++warm_jobs;
+                }
+                ++total_jobs;
+            }
+        }
+        const double churn =
+            1.0 - static_cast<double>(warm_jobs) /
+                      static_cast<double>(total_jobs);
+        if (warm_jobs == 0 || churn > opts_.delta.maxChurnFraction) {
+            warm = core::meanFieldSeedBids(market);
+            obs::metrics()
+                .counter("online.delta.meanfield_epochs")
+                .add();
+        } else {
+            for (auto ui = std::size_t{0}; ui < warm.size(); ++ui) {
+                const double even =
+                    market.user(ui).budget /
+                    static_cast<double>(warm[ui].size());
+                for (double &b : warm[ui]) {
+                    if (b < 0.0)
+                        b = even;
+                }
+            }
+            obs::metrics().counter("online.delta.warm_epochs").add();
+        }
+    }
+
     const auto result = [&] {
-        if (opts_.net.enabled()) {
-            // Sharded clearing over the simulated network: the
+        if (opts_.net.enabled() || delta) {
+            // Sharded clearing over the simulated network (the
             // transport session rides in the run state so recovery
-            // resumes on the same network timeline.
+            // resumes on the same network timeline), and/or the delta
+            // re-clearing plumbing. The kernel cache lives in the run
+            // state but is never serialized: a recovered run rebuilds
+            // it and stays on the original's trajectory.
             core::ClearingContext ctx;
             ctx.transport = transport;
-            ctx.sharding = &opts_.net;
-            ctx.session = &s.net;
+            if (opts_.net.enabled()) {
+                ctx.sharding = &opts_.net;
+                ctx.session = &s.net;
+            }
+            if (!warm.empty())
+                ctx.initialBids = &warm;
+            if (opts_.delta.reuseKernel) {
+                if (!s.kernelCache) {
+                    s.kernelCache =
+                        std::make_shared<core::KernelCache>();
+                }
+                ctx.kernelCache = s.kernelCache.get();
+            }
             return policy.allocate(market, ctx);
         }
         return faulty ? policy.allocate(market, transport)
                       : policy.allocate(market);
     }();
+
+    // Record the equilibrium bids for the next epoch's warm start.
+    // Shape-guarded: fallback rungs (proportional share) and
+    // non-market policies publish no bids — those epochs leave the
+    // previous record standing rather than poisoning it.
+    if (delta) {
+        const auto &bids = result.outcome.bids;
+        bool shaped = bids.size() == user_job_ids.size();
+        for (std::size_t ui = 0; shaped && ui < bids.size(); ++ui)
+            shaped = bids[ui].size() == user_job_ids[ui].size();
+        if (shaped) {
+            s.lastBids.assign(jobs.size(), -1.0);
+            for (std::size_t ui = 0; ui < user_job_ids.size();
+                 ++ui) {
+                for (std::size_t kk = 0;
+                     kk < user_job_ids[ui].size(); ++kk) {
+                    s.lastBids[user_job_ids[ui][kk]] =
+                        bids[ui][kk];
+                }
+            }
+        }
+    }
     metrics.netDegradedRounds += result.outcome.net.degradedRounds;
     metrics.netStaleBidRounds += result.outcome.net.staleBidRounds;
     metrics.netRetransmits += result.outcome.net.retransmits;

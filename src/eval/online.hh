@@ -24,6 +24,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string_view>
 #include <vector>
 
@@ -37,6 +38,10 @@
 #include "obs/metrics.hh"
 #include "robustness/durability/durable_store.hh"
 #include "robustness/fault_injector.hh"
+
+namespace amdahl::core {
+struct KernelCache; // core/bidding_kernel.hh
+}
 
 namespace amdahl::eval {
 
@@ -106,6 +111,53 @@ struct AdmissionOptions
      *  (earliest among ties); off drops the arriving job instead
      *  (plain tail drop). */
     bool shedByEntitlement = true;
+};
+
+/**
+ * Incremental (delta) re-clearing across epochs.
+ *
+ * Successive epochs clear nearly-identical markets: the tenant
+ * population is fixed, and most jobs survive from one epoch to the
+ * next. Delta re-clearing exploits that continuity two ways, both
+ * bitwise-invisible to the equilibrium contract (the solver's
+ * invariants, convergence test, and audit are unchanged — only the
+ * starting point and the CSR build cost move):
+ *
+ *  - `reuseKernel` keeps the solver's CSR kernel alive across epochs
+ *    in OnlineRunState and patches only the rows whose users changed,
+ *    instead of rebuilding the whole structure. Structure or value
+ *    mismatches are detected by exact comparison (never hashing), so
+ *    a reused kernel is byte-for-byte the kernel a cold build would
+ *    produce.
+ *  - `warmStartBids` seeds each epoch's bids from the previous
+ *    equilibrium: surviving jobs restart at their last-cleared bids,
+ *    new jobs at an even split of their tenant's budget. When the
+ *    fraction of jobs with no previous bid exceeds
+ *    `maxChurnFraction` (or on a cold start), the seed falls back to
+ *    the analytic mean-field estimate (core::meanFieldSeedBids),
+ *    which beats both an even split and stale bids when most of the
+ *    market is new.
+ *
+ * Disabled by default, in which case the run is bit-identical to a
+ * build without the feature.
+ */
+struct DeltaClearingOptions
+{
+    /** Keep (and patch) the bid kernel across epochs. */
+    bool reuseKernel = false;
+
+    /** Seed bids from the previous epoch's equilibrium. */
+    bool warmStartBids = false;
+
+    /**
+     * Warm-start churn threshold: when more than this fraction of the
+     * epoch's jobs have no previous-equilibrium bid, warm bids are
+     * judged stale and the mean-field seed is used instead.
+     */
+    double maxChurnFraction = 0.5;
+
+    /** @return true when any delta mechanism is on. */
+    bool enabled() const { return reuseKernel || warmStartBids; }
 };
 
 /** Scenario knobs. */
@@ -180,6 +232,11 @@ struct OnlineOptions
      * shards = 0 (the default) disables the network entirely.
      */
     net::ShardedOptions net;
+
+    /** Incremental re-clearing across epochs; disabled by default, in
+     *  which case the run is bit-identical to a build without the
+     *  feature. */
+    DeltaClearingOptions delta;
 };
 
 /** Aggregate outcome of one online run. */
@@ -368,6 +425,24 @@ struct OnlineRunState
      *  OnlineOptions::net enables sharded clearing. Persisted so a
      *  crash mid-partition recovers onto the same network timeline. */
     net::NetSession net;
+    /**
+     * Previous equilibrium's bid per job-log entry (indexed like
+     * `jobs`; -1 marks a job with no cleared bid — done, unplaced, or
+     * arrived after the last clearing). Empty until the first cleared
+     * epoch of a delta-enabled run, and always empty otherwise, so a
+     * delta-off state encodes byte-identically to one from a build
+     * without the feature's data. Persisted: a recovered run warm
+     * starts exactly where the original would have.
+     */
+    std::vector<double> lastBids;
+    /**
+     * Cross-epoch bid-kernel cache (DeltaClearingOptions::reuseKernel).
+     * Deliberately *not* serialized: a cached kernel is bitwise
+     * invisible (exact compare-and-patch reproduces the cold build
+     * byte for byte), so a recovered run simply rebuilds it on first
+     * use and stays on the original's trajectory.
+     */
+    std::shared_ptr<core::KernelCache> kernelCache;
     /** Partial accumulators; aggregates are computed by finalize(). */
     OnlineMetrics metrics;
 };

@@ -258,6 +258,57 @@ TEST(Online, FaultScheduleRunsAreBitIdenticalGivenSeed)
                        sim.run(fb, FractionSource::Estimated));
 }
 
+TEST(Online, KernelReuseIsBitwiseInvisible)
+{
+    // reuseKernel is a pure structural cache: the run with it on must
+    // be byte-identical to the plain run — same equilibria, same job
+    // log, same histories. (warmStartBids legitimately changes
+    // low-order equilibrium bits, so it gets determinism tests, not
+    // an identity test.)
+    CharacterizationCache cache;
+    OnlineSimulator plain(cache, smallScenario());
+    const alloc::AmdahlBiddingPolicy ab;
+    const auto reference = plain.run(ab, FractionSource::Estimated);
+
+    OnlineOptions delta = smallScenario();
+    delta.delta.reuseKernel = true;
+    OnlineSimulator cachedSim(cache, delta);
+    expectBitIdentical(cachedSim.run(ab, FractionSource::Estimated),
+                       reference);
+}
+
+TEST(Online, DeltaRunsAreBitIdenticalGivenSeed)
+{
+    CharacterizationCache cache;
+    OnlineOptions opts = smallScenario();
+    opts.delta.reuseKernel = true;
+    opts.delta.warmStartBids = true;
+    OnlineSimulator sim(cache, opts);
+    const alloc::AmdahlBiddingPolicy ab;
+    expectBitIdentical(sim.run(ab, FractionSource::Estimated),
+                       sim.run(ab, FractionSource::Estimated));
+}
+
+TEST(Online, DeltaRunCompletesComparableWork)
+{
+    // Warm starts change which equilibrium bits the solver lands on,
+    // never the economics: the delta run must complete the same jobs
+    // to within the usual cross-policy slack.
+    CharacterizationCache cache;
+    OnlineSimulator plain(cache, smallScenario());
+    const alloc::AmdahlBiddingPolicy ab;
+    const auto reference = plain.run(ab, FractionSource::Estimated);
+
+    OnlineOptions opts = smallScenario();
+    opts.delta.reuseKernel = true;
+    opts.delta.warmStartBids = true;
+    OnlineSimulator sim(cache, opts);
+    const auto delta = sim.run(ab, FractionSource::Estimated);
+    EXPECT_EQ(delta.jobsArrived, reference.jobsArrived);
+    EXPECT_NEAR(delta.workCompleted, reference.workCompleted,
+                0.02 * reference.workCompleted);
+}
+
 TEST(Online, IdenticalArrivalStreamAcrossPoliciesUnderFaults)
 {
     // Crashes change completion order, which changes placement state,

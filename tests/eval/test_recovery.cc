@@ -321,5 +321,71 @@ TEST(Recovery, CompletedRunResumesWithZeroReplay)
     EXPECT_EQ(again.value().recoveryReplayedEpochs, 0);
 }
 
+OnlineOptions
+deltaScenario()
+{
+    OnlineOptions opts = smallScenario();
+    opts.delta.reuseKernel = true;
+    opts.delta.warmStartBids = true;
+    return opts;
+}
+
+TEST(Recovery, DeltaStateRoundTripsWithItsWarmStartBids)
+{
+    // Delta re-clearing makes the previous equilibrium part of the
+    // run state (OnlineRunState::lastBids): the encoding must carry
+    // it, and a decoded state must resume bit-identically.
+    CharacterizationCache cache;
+    const OnlineOptions opts = deltaScenario();
+    OnlineSimulator sim(cache, opts);
+    const alloc::AmdahlBiddingPolicy ab;
+    const robustness::FaultInjector injector(
+        opts.faults, static_cast<std::size_t>(opts.servers),
+        sim.epochCount());
+
+    OnlineRunState state = sim.initState(ab);
+    for (int e = 0; e < 4; ++e)
+        sim.runEpoch(state, ab, FractionSource::Estimated, injector);
+    EXPECT_FALSE(state.lastBids.empty());
+
+    const std::string encoded = encodeOnlineState(state, opts);
+    auto decoded = decodeOnlineState(encoded, opts, ab.name());
+    ASSERT_TRUE(decoded.ok()) << decoded.status().toString();
+    EXPECT_EQ(decoded.value().lastBids, state.lastBids);
+    EXPECT_EQ(encodeOnlineState(decoded.value(), opts), encoded);
+
+    // Resuming the decoded state must match the uninterrupted drive.
+    OnlineRunState resumed = decoded.take();
+    sim.runEpoch(state, ab, FractionSource::Estimated, injector);
+    sim.runEpoch(resumed, ab, FractionSource::Estimated, injector);
+    EXPECT_EQ(crc32(encodeOnlineState(resumed, opts)),
+              crc32(encodeOnlineState(state, opts)));
+}
+
+TEST(Recovery, KillMidRunRecoversTheDeltaOutcome)
+{
+    // The crash-recovery oracle with delta re-clearing on: warm-start
+    // bids survive the crash through the journal, so the recovered
+    // run must land on the uninterrupted outcome exactly.
+    CharacterizationCache cache;
+    OnlineSimulator sim(cache, deltaScenario());
+    const alloc::AmdahlBiddingPolicy ab;
+    const OnlineMetrics plain = sim.run(ab, FractionSource::Estimated);
+
+    const fs::path dir = freshDir();
+    {
+        auto store = openStore(dir, 3);
+        runAndAbandonAfter(sim, ab, store, 5);
+    }
+    auto store = openStore(dir, 3);
+    const durability::RecoveredState rec = store.recover();
+    ASSERT_EQ(rec.frontierEpoch(), 5u);
+    auto resumed =
+        sim.runDurable(ab, FractionSource::Estimated, store, &rec);
+    ASSERT_TRUE(resumed.ok()) << resumed.status().toString();
+    expectSameSimulation(resumed.value(), plain);
+    EXPECT_TRUE(resumed.value().recovered);
+}
+
 } // namespace
 } // namespace amdahl::eval

@@ -1,0 +1,18 @@
+// Fixture: the designated kernel TU (src/core/bidding_simd.*) owns
+// vector intrinsics; the same include and intrinsics that are a
+// violation anywhere else are allowed here.
+// Expected: 0 findings.
+
+#include <immintrin.h>
+
+namespace fx {
+
+double
+horizontalFirst(const double *values)
+{
+    const __m256d v = _mm256_loadu_pd(values);
+    const __m128d lo = _mm256_castpd256_pd128(v);
+    return _mm_cvtsd_f64(lo);
+}
+
+} // namespace fx

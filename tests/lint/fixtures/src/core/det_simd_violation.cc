@@ -1,0 +1,17 @@
+// Fixture: vector intrinsics outside the designated kernel TU.
+// Expected: 3 DET-simd findings (the immintrin include, the __m256d
+// vector type, and the _mm256_loadu_pd intrinsic — the latter two on
+// one line).
+
+#include <immintrin.h>
+
+namespace fx {
+
+double
+firstLane(const double *values)
+{
+    const __m256d v = _mm256_loadu_pd(values);
+    return ((const double *)&v)[0];
+}
+
+} // namespace fx

@@ -51,7 +51,7 @@ tally(const LintReport &report)
 TEST(LintCorpus, DiscoversTheWholeFixtureTree)
 {
     const auto files = discoverFiles(kRoot);
-    EXPECT_EQ(files.size(), 25u);
+    EXPECT_EQ(files.size(), 27u);
     // Sorted, repo-relative, forward slashes.
     EXPECT_FALSE(files.empty());
     EXPECT_EQ(files.front().substr(0, 4), "src/");
@@ -68,6 +68,7 @@ TEST(LintCorpus, EachRuleFiresExactlyOnItsFixture)
         {{"src/net/det_rand_violation.cc", "DET-rand"}, 4},
         {{"src/core/det_exec_violation.cc", "DET-exec"}, 2},
         {{"src/core/det_unordered_violation.cc", "DET-unordered"}, 1},
+        {{"src/core/det_simd_violation.cc", "DET-simd"}, 3},
         {{"src/core/trust_throw_violation.cc", "TRUST-throw"}, 1},
         {{"src/core/trust_catch_violation.cc", "TRUST-catch"}, 1},
         {{"src/core/obs_io_violation.cc", "OBS-io"}, 2},
@@ -86,6 +87,7 @@ TEST(LintCorpus, CleanCounterpartsAndAllowlistedOwnersStaySilent)
     for (const char *file : {
              "src/core/det_rand_clean.cc",
              "src/core/det_unordered_clean.cc",
+             "src/core/bidding_simd.cc",
              "src/core/trust_clean.cc",
              "src/core/conc_global_clean.cc",
              "src/core/strings_and_comments_clean.cc",
@@ -115,10 +117,10 @@ TEST(LintCorpus, InlineSuppressionSilencesButStaysVisible)
     EXPECT_EQ(suppressed, 2);
 
     const FindingCounts counts = countFindings(report);
-    EXPECT_EQ(counts.total, 32);
+    EXPECT_EQ(counts.total, 35);
     EXPECT_EQ(counts.suppressed, 2);
     EXPECT_EQ(counts.baselined, 0);
-    EXPECT_EQ(counts.active, 30);
+    EXPECT_EQ(counts.active, 33);
 }
 
 TEST(LintCorpus, MalformedMarkersNeverSuppress)
@@ -152,7 +154,7 @@ TEST(LintBaseline, MatchesByRuleFileAndLineText)
     EXPECT_TRUE(sawBaselined);
     const FindingCounts counts = countFindings(report);
     EXPECT_EQ(counts.baselined, 1);
-    EXPECT_EQ(counts.active, 29);
+    EXPECT_EQ(counts.active, 32);
     EXPECT_TRUE(report.staleBaseline.empty());
 }
 
@@ -205,10 +207,10 @@ TEST(LintReportFormat, JsonCarriesTheDocumentedSchema)
     EXPECT_NE(json.find("\"rule\":\"DET-rand\""), std::string::npos);
     EXPECT_NE(json.find("\"file\":\"src/core/det_rand_violation.cc\""),
               std::string::npos);
-    EXPECT_NE(json.find("\"counts\":{\"total\":32,\"active\":30,"
+    EXPECT_NE(json.find("\"counts\":{\"total\":35,\"active\":33,"
                         "\"baselined\":0,\"suppressed\":2}"),
               std::string::npos);
-    EXPECT_NE(json.find("\"filesScanned\":25"), std::string::npos);
+    EXPECT_NE(json.find("\"filesScanned\":27"), std::string::npos);
     EXPECT_EQ(json.back(), '}');
 }
 

@@ -104,6 +104,23 @@
  *                            kernels (default 1, or AMDAHL_THREADS;
  *                            "auto" = hardware concurrency). Results
  *                            are byte-identical at any thread count.
+ *   --kernel <mode>          Bid-update kernel: scalar, simd, or auto
+ *                            (default auto, or AMDAHL_KERNEL). The
+ *                            two kernels are bit-identical; asking
+ *                            for simd in a build without it (or on a
+ *                            CPU without AVX2) is a hard error.
+ *
+ * `solve` also accepts:
+ *
+ *   --accel                  Anderson-accelerate the proportional-
+ *                            response iteration (DESIGN.md §16).
+ *                            Typically tens of times fewer rounds on
+ *                            slowly-mixing markets; each accepted
+ *                            step is validated against the plain
+ *                            update, so the iteration never regresses
+ *                            below undamped proportional response.
+ *   --accel-depth <n>        Anderson history window in [1, 8]
+ *                            (default 3).
  */
 
 #include <algorithm>
@@ -120,6 +137,7 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "core/bidding.hh"
+#include "core/bidding_simd.hh"
 #include "core/market_io.hh"
 #include "core/rounding.hh"
 #include "eval/characterization.hh"
@@ -152,6 +170,7 @@ usage()
         << " [--fractional]\n"
         << "                     [--deadline-iterations n]"
         << " [--deadline-seconds s]\n"
+        << "                     [--accel] [--accel-depth n]\n"
         << "       amdahl_market check <file> [--allow-duplicate-jobs]\n"
         << "       amdahl_market workloads\n"
         << "       amdahl_market profile <workload>\n"
@@ -179,7 +198,8 @@ usage()
         << "global flags: [--trace-out path] [--metrics-out path]"
         << " [--timing] [--span-trace]\n"
         << "              [--log-level quiet|warn|info]"
-        << " [--threads n|auto]\n";
+        << " [--threads n|auto]"
+        << " [--kernel scalar|simd|auto]\n";
     return 2;
 }
 
@@ -204,6 +224,11 @@ cmdSolve(const std::vector<std::string> &args)
             opts.deadline.iterationBudget = std::stoi(args[++a]);
         } else if (arg == "--deadline-seconds" && a + 1 < args.size()) {
             opts.deadline.wallClockSeconds = std::stod(args[++a]);
+        } else if (arg == "--accel") {
+            opts.accel.enabled = true;
+        } else if (arg == "--accel-depth" && a + 1 < args.size()) {
+            opts.accel.enabled = true;
+            opts.accel.depth = std::stoi(args[++a]);
         } else if (path.empty() && !arg.empty() && arg[0] != '-') {
             path = arg;
         } else {
@@ -1105,7 +1130,8 @@ extractGlobalFlags(std::vector<std::string> &raw)
         }
         if (name != "--trace-out" && name != "--metrics-out" &&
             name != "--log-level" && name != "--timing" &&
-            name != "--span-trace" && name != "--threads") {
+            name != "--span-trace" && name != "--threads" &&
+            name != "--kernel") {
             kept.push_back(arg);
             continue;
         }
@@ -1142,6 +1168,16 @@ extractGlobalFlags(std::vector<std::string> &raw)
             // thread count, so this is purely a speed knob.
             try {
                 exec::setThreadCount(exec::parseThreadCount(value));
+            } catch (const FatalError &err) {
+                bad(err.what());
+                return flags;
+            }
+        } else if (name == "--kernel") {
+            // Same contract as --threads: the scalar and SIMD kernels
+            // are bit-identical, so this only moves speed. Asking for
+            // an unavailable SIMD kernel is a configuration error.
+            try {
+                core::setBidKernelMode(core::parseBidKernelMode(value));
             } catch (const FatalError &err) {
                 bad(err.what());
                 return flags;

@@ -29,6 +29,8 @@ REQUIRED = {
     "bidding_start": {"users", "servers", "schedule", "damping",
                       "warm_start", "deadline_armed"},
     "bidding_iter": {"iter", "max_delta"},
+    "bidding_accel": {"iter", "plain_delta", "accel_delta",
+                      "accepted"},
     "bidding_end": {"iterations", "converged", "deadline_expired"},
     "deadline_expired": {"iter", "best_delta"},
     "fallback_serve": {"rung", "reason", "converged", "iterations",

@@ -55,6 +55,14 @@ const RuleScope kScopeDetClock{{"src/"},
 const RuleScope kScopeDetExec{{"src/"}, {"src/exec/"}};
 const RuleScope kScopeDetUnordered{
     {"src/core/", "src/solver/", "src/eval/"}, {}};
+// Vector intrinsics live in exactly one translation unit
+// (src/core/bidding_simd.cc, plus its header's declarations), where
+// the bit-identity argument — elementwise correctly-rounded ops, no
+// FMA, serial semantic folds — is written down and tested. An
+// intrinsic anywhere else has no such contract and silently breaks
+// the default build's byte-identity across -DAMDAHL_SIMD values.
+const RuleScope kScopeDetSimd{{"src/", "bench/"},
+                              {"src/core/bidding_simd."}};
 const RuleScope kScopeTrustThrow{{"src/", "tools/"},
                                  {"src/common/logging.hh"}};
 const RuleScope kScopeTrustCatch{{}, {}};
@@ -356,6 +364,70 @@ checkDetUnordered(RuleContext &ctx)
                            "iterate a sorted index instead");
                 break;
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// DET-simd: vector intrinsics outside the designated kernel TU.
+
+const std::unordered_set<std::string_view> kSimdHeaders{
+    "immintrin.h", "x86intrin.h", "xmmintrin.h", "emmintrin.h",
+    "pmmintrin.h", "smmintrin.h", "tmmintrin.h", "nmmintrin.h",
+    "wmmintrin.h", "ammintrin.h", "avxintrin.h", "avx2intrin.h",
+    "avx512fintrin.h", "arm_neon.h", "arm_sve.h",
+};
+
+const std::unordered_set<std::string_view> kSimdVectorTypes{
+    "__m64",   "__m128", "__m128d", "__m128i", "__m256",
+    "__m256d", "__m256i", "__m512", "__m512d", "__m512i",
+};
+
+bool
+isIntrinsicName(std::string_view text)
+{
+    return text.substr(0, 4) == "_mm_" ||
+           text.substr(0, 7) == "_mm256_" ||
+           text.substr(0, 7) == "_mm512_" ||
+           text.substr(0, 15) == "__builtin_ia32_" ||
+           kSimdVectorTypes.count(text) > 0;
+}
+
+void
+checkDetSimd(RuleContext &ctx)
+{
+    // The lexer strips preprocessor directives from the token stream,
+    // so the include boundary is checked on the raw lines: a line
+    // whose first non-blank character is '#' cannot be a comment or a
+    // string, making the match exact enough to pin counts on.
+    for (std::size_t n = 0; n < ctx.file.lines.size(); ++n) {
+        std::string_view line = ctx.file.lines[n];
+        while (!line.empty() &&
+               (line.front() == ' ' || line.front() == '\t'))
+            line.remove_prefix(1);
+        if (line.empty() || line.front() != '#' ||
+            line.find("include") == std::string_view::npos)
+            continue;
+        for (const std::string_view header : kSimdHeaders) {
+            if (line.find(header) != std::string_view::npos) {
+                report(ctx, "DET-simd", static_cast<int>(n + 1),
+                       "intrinsics header <" + std::string(header) +
+                           "> outside core/bidding_simd; vector code "
+                           "is confined to the one kernel whose "
+                           "bit-identity contract is proven and "
+                           "pinned by tests");
+                break;
+            }
+        }
+    }
+    for (const Token &t : ctx.file.tokens) {
+        if (t.kind == TokKind::Identifier && isIntrinsicName(t.text)) {
+            report(ctx, "DET-simd", t.line,
+                   "vector intrinsic `" + t.text +
+                       "` outside core/bidding_simd; an intrinsic "
+                       "here has no bit-identity contract with the "
+                       "scalar reference kernel — move it into the "
+                       "designated TU or justify with an ALINT");
         }
     }
 }
@@ -665,6 +737,10 @@ ruleCatalog()
         {"DET-unordered",
          "range-for over an unordered container feeding an "
          "accumulation in core/, solver/, eval/"},
+        {"DET-simd",
+         "vector intrinsics or intrinsics headers outside "
+         "core/bidding_simd, the one TU with a bit-identity "
+         "contract"},
         {"TRUST-throw",
          "literal `throw` outside common/logging.hh; boundary code "
          "returns Result<T>/Status"},
@@ -698,6 +774,8 @@ runRules(const std::string &relPath, const LexedFile &file)
         checkDetExec(ctx);
     if (applies(kScopeDetUnordered, relPath))
         checkDetUnordered(ctx);
+    if (applies(kScopeDetSimd, relPath))
+        checkDetSimd(ctx);
     if (applies(kScopeTrustThrow, relPath))
         checkTrustThrow(ctx);
     if (applies(kScopeTrustCatch, relPath))
